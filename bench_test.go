@@ -1,0 +1,192 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§6), plus engine-level microbenchmarks. Each Fig/Table
+// benchmark wraps the corresponding experiment from internal/exp at a
+// reduced scale with trimmed sweeps; `go run ./cmd/dmcbench -exp all`
+// produces the full, human-readable versions.
+package dmc_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"dmc/internal/apriori"
+	"dmc/internal/core"
+	"dmc/internal/exp"
+	"dmc/internal/gen"
+	"dmc/internal/minhash"
+)
+
+// benchScale keeps each iteration in the low tens of milliseconds.
+const benchScale = 0.02
+
+var benchCfg = exp.Config{Scale: benchScale, Seed: 1, Quick: true}
+
+// benchExperiment runs one registered experiment per iteration,
+// rendering to io.Discard so table formatting is included but not
+// terminal I/O.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := e.Run(benchCfg)
+		if err := res.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig6a(b *testing.B)  { benchExperiment(b, "fig6a") }
+func BenchmarkFig6b(b *testing.B)  { benchExperiment(b, "fig6b") }
+func BenchmarkFig6c(b *testing.B)  { benchExperiment(b, "fig6c") }
+func BenchmarkFig6d(b *testing.B)  { benchExperiment(b, "fig6d") }
+func BenchmarkFig6e(b *testing.B)  { benchExperiment(b, "fig6e") }
+func BenchmarkFig6f(b *testing.B)  { benchExperiment(b, "fig6f") }
+func BenchmarkFig6g(b *testing.B)  { benchExperiment(b, "fig6g") }
+func BenchmarkFig6h(b *testing.B)  { benchExperiment(b, "fig6h") }
+func BenchmarkFig6i(b *testing.B)  { benchExperiment(b, "fig6i") }
+func BenchmarkFig6j(b *testing.B)  { benchExperiment(b, "fig6j") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkConcl(b *testing.B)  { benchExperiment(b, "concl") }
+
+// Engine microbenchmarks over the generated data sets, at the two ends
+// of the threshold sweep.
+
+var (
+	benchOnce sync.Once
+	benchSets []gen.Dataset
+)
+
+func datasets(b *testing.B) []gen.Dataset {
+	benchOnce.Do(func() {
+		benchSets = gen.Table1(gen.Config{Scale: benchScale, Seed: 1})
+	})
+	return benchSets
+}
+
+func BenchmarkDMCImp(b *testing.B) {
+	for _, ds := range datasets(b) {
+		for _, pct := range []int{100, 85, 70} {
+			ds, pct := ds, pct
+			b.Run(ds.Name+"/"+core.FromPercent(pct).String(), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					core.DMCImp(ds.M, core.FromPercent(pct), core.Options{})
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkDMCSim(b *testing.B) {
+	for _, ds := range datasets(b) {
+		for _, pct := range []int{100, 85, 70} {
+			ds, pct := ds, pct
+			b.Run(ds.Name+"/"+core.FromPercent(pct).String(), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					core.DMCSim(ds.M, core.FromPercent(pct), core.Options{})
+				}
+			})
+		}
+	}
+}
+
+// Baseline comparison benches on NewsP, the paper's §6.2 setting.
+func newsP(b *testing.B) gen.Dataset {
+	for _, ds := range datasets(b) {
+		if ds.Name == "NewsP" {
+			return ds
+		}
+	}
+	b.Fatal("NewsP missing")
+	return gen.Dataset{}
+}
+
+func BenchmarkBaselineApriori(b *testing.B) {
+	m := newsP(b).M
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		apriori.Implications(m, core.FromPercent(85), apriori.Options{})
+	}
+}
+
+func BenchmarkBaselineAprioriSim(b *testing.B) {
+	m := newsP(b).M
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		apriori.Similarities(m, core.FromPercent(85), apriori.Options{})
+	}
+}
+
+func BenchmarkBaselineMinHash(b *testing.B) {
+	m := newsP(b).M
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		minhash.Similarities(m, core.FromPercent(85), minhash.Options{Seed: 1})
+	}
+}
+
+func BenchmarkBaselineKMin(b *testing.B) {
+	m := newsP(b).M
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		minhash.KMinImplications(m, core.FromPercent(85), minhash.Options{Seed: 1})
+	}
+}
+
+// Ablation benches for the design choices DESIGN.md calls out: row
+// ordering, the 100%-phase split, and the DMC-bitmap switch.
+func BenchmarkAblationOrdering(b *testing.B) {
+	m := newsP(b).M
+	for _, kind := range []core.OrderKind{core.OrderSparsestFirst, core.OrderOriginal, core.OrderDensestFirst} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.DMCImp(m, core.FromPercent(85), core.Options{Order: kind})
+			}
+		})
+	}
+}
+
+func BenchmarkAblation100Phase(b *testing.B) {
+	m := newsP(b).M
+	for name, opts := range map[string]core.Options{
+		"pipeline":    {},
+		"single-scan": {SingleScan: true},
+	} {
+		opts := opts
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.DMCImp(m, core.FromPercent(85), opts)
+			}
+		})
+	}
+}
+
+func BenchmarkAblationBitmap(b *testing.B) {
+	wlog := datasets(b)[0]
+	if wlog.Name != "Wlog" {
+		b.Fatal("expected Wlog first")
+	}
+	for name, opts := range map[string]core.Options{
+		"with-bitmap": {BitmapMinBytes: 1 << 16},
+		"no-bitmap":   {DisableBitmap: true},
+	} {
+		opts := opts
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.DMCImp(wlog.M, core.FromPercent(90), opts)
+			}
+		})
+	}
+}

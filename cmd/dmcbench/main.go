@@ -1,0 +1,87 @@
+// Command dmcbench regenerates the paper's tables and figures on the
+// synthetic stand-in data sets. Each experiment prints its measured
+// series next to a one-line statement of the shape the paper reports;
+// EXPERIMENTS.md is the curated record of a full run.
+//
+// Usage:
+//
+//	dmcbench -list
+//	dmcbench -exp fig6a -scale 0.05
+//	dmcbench -exp all -scale 0.05 -csv ./out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dmc/internal/exp"
+)
+
+func main() {
+	var (
+		id    = flag.String("exp", "", "experiment id, or 'all'")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		scale = flag.Float64("scale", 0, "dataset scale (0 = default, 1/20 of the paper's sizes)")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		quick = flag.Bool("quick", false, "trim threshold sweeps to their endpoints")
+		csv   = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+	if err := run(*id, *list, *scale, *seed, *quick, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "dmcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(id string, list bool, scale float64, seed int64, quick bool, csvDir string) error {
+	if list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-8s %s\n         paper: %s\n", e.ID, e.Title, e.Expect)
+		}
+		return nil
+	}
+	if id == "" {
+		return fmt.Errorf("missing -exp (use -list to see experiments)")
+	}
+	cfg := exp.Config{Scale: scale, Seed: seed, Quick: quick}
+	var todo []exp.Experiment
+	if id == "all" {
+		todo = exp.All()
+	} else {
+		e, ok := exp.ByID(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		todo = []exp.Experiment{e}
+	}
+	for _, e := range todo {
+		fmt.Printf("### %s — %s\n", e.ID, e.Title)
+		fmt.Printf("paper: %s\n\n", e.Expect)
+		res := e.Run(cfg)
+		if err := res.Render(os.Stdout); err != nil {
+			return err
+		}
+		if csvDir != "" {
+			if err := os.MkdirAll(csvDir, 0o755); err != nil {
+				return err
+			}
+			for i, t := range res.Tables {
+				path := filepath.Join(csvDir, fmt.Sprintf("%s_%d.csv", e.ID, i))
+				f, err := os.Create(path)
+				if err != nil {
+					return err
+				}
+				if err := t.RenderCSV(f); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

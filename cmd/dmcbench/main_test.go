@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run("", true, 0.01, 1, true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOneExperiment(t *testing.T) {
+	if err := run("table1", false, 0.01, 1, true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithCSV(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "csv")
+	if err := run("fig4", false, 0.01, 1, true, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no CSV files written")
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".csv" {
+			t.Errorf("unexpected file %s", e.Name())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", false, 0.01, 1, true, ""); err == nil {
+		t.Error("missing -exp accepted")
+	}
+	if err := run("bogus", false, 0.01, 1, true, ""); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,73 @@
+// Command dmcconvert converts matrix files between the library's
+// formats and applies common preprocessing: support pruning (how WlogP
+// and NewsP are derived from their raw sets) and transposition (how
+// plinkT is derived from plinkF).
+//
+// Usage:
+//
+//	dmcconvert -in data.basket -out data.dmb
+//	dmcconvert -in wlog.dmb -out wlogp.dmb -minsupport 11
+//	dmcconvert -in plinkF.dmb -out plinkT.dmb -transpose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dmc/internal/matrix"
+)
+
+func main() {
+	var (
+		in         = flag.String("in", "", "input matrix (.dmt, .dmb or .basket)")
+		out        = flag.String("out", "", "output matrix (.dmt, .dmb or .basket)")
+		minSupport = flag.Int("minsupport", 0, "drop columns with fewer 1s than this")
+		maxSupport = flag.Int("maxsupport", 0, "drop columns with more 1s than this (0 = no bound)")
+		transpose  = flag.Bool("transpose", false, "transpose rows and columns (drops labels)")
+		dropEmpty  = flag.Bool("dropempty", false, "drop rows with no 1s")
+	)
+	flag.Parse()
+	if err := run(*in, *out, *minSupport, *maxSupport, *transpose, *dropEmpty); err != nil {
+		fmt.Fprintln(os.Stderr, "dmcconvert:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out string, minSupport, maxSupport int, transpose, dropEmpty bool) error {
+	if in == "" || out == "" {
+		return fmt.Errorf("missing -in or -out")
+	}
+	m, err := matrix.Load(in)
+	if err != nil {
+		return err
+	}
+	fmt.Println(matrix.Describe(in, m))
+
+	if minSupport > 0 || maxSupport > 0 {
+		m, _ = m.PruneColumns(func(c matrix.Col, ones int) bool {
+			return ones >= minSupport && (maxSupport <= 0 || ones <= maxSupport)
+		})
+	}
+	if transpose {
+		m = m.Transpose()
+	}
+	if dropEmpty {
+		var rows [][]matrix.Col
+		for i := 0; i < m.NumRows(); i++ {
+			if m.RowWeight(i) > 0 {
+				rows = append(rows, m.Row(i))
+			}
+		}
+		t := matrix.FromRows(m.NumCols(), rows)
+		if m.Labels() != nil {
+			t.SetLabels(m.Labels())
+		}
+		m = t
+	}
+	if err := matrix.Save(out, m); err != nil {
+		return err
+	}
+	fmt.Println(matrix.Describe(out, m))
+	return nil
+}

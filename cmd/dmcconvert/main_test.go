@@ -1,0 +1,81 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dmc/internal/matrix"
+)
+
+func src(t *testing.T) string {
+	t.Helper()
+	m := matrix.FromRows(3, [][]matrix.Col{
+		{0, 1, 2}, {0, 1}, {0}, {},
+	})
+	m.SetLabels([]string{"a", "b", "c"})
+	path := filepath.Join(t.TempDir(), "m.dmb")
+	if err := matrix.Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestConvertFormats(t *testing.T) {
+	in := src(t)
+	for _, ext := range []string{matrix.ExtText, matrix.ExtBinary, matrix.ExtBasket} {
+		out := filepath.Join(t.TempDir(), "out"+ext)
+		if err := run(in, out, 0, 0, false, false); err != nil {
+			t.Fatalf("%s: %v", ext, err)
+		}
+		back, err := matrix.Load(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.NumOnes() != 6 {
+			t.Fatalf("%s: %d ones", ext, back.NumOnes())
+		}
+	}
+}
+
+func TestConvertPruneAndTranspose(t *testing.T) {
+	in := src(t)
+	out := filepath.Join(t.TempDir(), "out.dmb")
+	// ones = [3,2,1]; minsupport 2 keeps a and b.
+	if err := run(in, out, 2, 0, false, false); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := matrix.Load(out)
+	if m.NumCols() != 2 {
+		t.Fatalf("pruned cols = %d", m.NumCols())
+	}
+	// maxsupport 2 keeps b and c.
+	if err := run(in, out, 0, 2, false, false); err != nil {
+		t.Fatal(err)
+	}
+	m, _ = matrix.Load(out)
+	if m.NumCols() != 2 {
+		t.Fatalf("max-pruned cols = %d", m.NumCols())
+	}
+	if err := run(in, out, 0, 0, true, true); err != nil {
+		t.Fatal(err)
+	}
+	m, _ = matrix.Load(out)
+	if m.NumRows() != 3 || m.NumCols() != 4 {
+		t.Fatalf("transposed dims %dx%d", m.NumRows(), m.NumCols())
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	if err := run("", "x.dmb", 0, 0, false, false); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run(src(t), "", 0, 0, false, false); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "no.dmb"), "x.dmb", 0, 0, false, false); err == nil {
+		t.Error("missing input accepted")
+	}
+	if err := run(src(t), filepath.Join(t.TempDir(), "x.weird"), 0, 0, false, false); err == nil {
+		t.Error("unknown output extension accepted")
+	}
+}

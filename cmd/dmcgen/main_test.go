@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dmc/internal/matrix"
+)
+
+func TestRunSingle(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "news.dmb")
+	if err := run("News", false, 0.01, 1, out, dir); err != nil {
+		t.Fatal(err)
+	}
+	m, err := matrix.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRows() == 0 || m.Labels() == nil {
+		t.Fatal("generated News is empty or unlabeled")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("", true, 0.01, 1, "", dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == matrix.ExtBinary {
+			files++
+		}
+	}
+	if files != 7 {
+		t.Fatalf("generated %d data sets, want 7", files)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", false, 0.01, 1, "", "."); err == nil {
+		t.Error("no -data and no -all accepted")
+	}
+	if err := run("Bogus", false, 0.01, 1, "", "."); err == nil {
+		t.Error("unknown data set accepted")
+	}
+	if err := run("News", false, 0.01, 1, filepath.Join(t.TempDir(), "x.unknown"), ""); err == nil {
+		t.Error("unknown extension accepted")
+	}
+}
+
+func TestDefaultOutName(t *testing.T) {
+	dir := t.TempDir()
+	cwd, _ := os.Getwd()
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+	if err := run("WlogP", false, 0.01, 1, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "WlogP"+matrix.ExtBinary)); err != nil {
+		t.Fatalf("default output missing: %v", err)
+	}
+}

@@ -1,0 +1,297 @@
+// Command dmcmine mines implication or similarity rules from a matrix
+// file using any of the implemented engines, printing the rules (with
+// labels when the data set has them) and the run statistics.
+//
+// Usage:
+//
+//	dmcmine -in news.dmb -mode imp -threshold 85
+//	dmcmine -in dict.dmb -mode sim -threshold 70 -engine minhash
+//	dmcmine -in wlog.dmb -mode imp -threshold 90 -engine apriori -top 25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dmc/internal/apriori"
+	"dmc/internal/core"
+	"dmc/internal/matrix"
+	"dmc/internal/minhash"
+	"dmc/internal/rules"
+	"dmc/internal/stream"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input matrix file (.dmt or .dmb)")
+		mode      = flag.String("mode", "imp", "imp (implication rules) or sim (similarity rules)")
+		threshold = flag.Int("threshold", 85, "confidence/similarity threshold in percent")
+		engine    = flag.String("engine", "dmc", "dmc, apriori, naive, kmin (imp only), minhash or lsh (sim only)")
+		order     = flag.String("order", "sparsest", "row order for dmc: sparsest, original, densest")
+		top       = flag.Int("top", 50, "print at most this many rules, strongest first (0 = all)")
+		stats     = flag.Bool("stats", true, "print run statistics")
+		streaming = flag.Bool("stream", false, "mine from disk in two passes without loading the matrix (dmc engine only)")
+		workers   = flag.Int("workers", 1, "parallel workers for the dmc engine (columns partitioned across them)")
+		clusters  = flag.Bool("clusters", false, "in sim mode, also print the connected clusters of similar columns")
+		groups    = flag.Bool("groups", false, "in imp mode, also print equivalence groups (mutually implying columns)")
+		out       = flag.String("out", "", "also write the mined rules to this file (dmcrules reads it back)")
+		minSup    = flag.Int("minsupport", 0, "also apply support pruning at this count (dmc and apriori engines)")
+	)
+	flag.Parse()
+	if err := run(runConfig{*in, *mode, *threshold, *engine, *order, *top, *stats, *streaming, *workers, *clusters, *groups, *out, *minSup}); err != nil {
+		fmt.Fprintln(os.Stderr, "dmcmine:", err)
+		os.Exit(1)
+	}
+}
+
+type runConfig struct {
+	in        string
+	mode      string
+	threshold int
+	engine    string
+	order     string
+	top       int
+	stats     bool
+	stream    bool
+	workers   int
+	clusters  bool
+	groups    bool
+	out       string
+	minSup    int
+}
+
+func run(cfg runConfig) error {
+	in, mode, threshold, engine, order := cfg.in, cfg.mode, cfg.threshold, cfg.engine, cfg.order
+	top, stats := cfg.top, cfg.stats
+	if in == "" {
+		return fmt.Errorf("missing -in")
+	}
+	th := core.FromPercent(threshold)
+	if cfg.stream {
+		if engine != "dmc" {
+			return fmt.Errorf("-stream supports only the dmc engine")
+		}
+		return runStream(cfg, th)
+	}
+	m, err := matrix.Load(in)
+	if err != nil {
+		return err
+	}
+	fmt.Println(matrix.Describe(in, m))
+
+	var opts core.Options
+	opts.MinSupport = cfg.minSup
+	switch order {
+	case "sparsest":
+		opts.Order = core.OrderSparsestFirst
+	case "original":
+		opts.Order = core.OrderOriginal
+	case "densest":
+		opts.Order = core.OrderDensestFirst
+	default:
+		return fmt.Errorf("unknown -order %q", order)
+	}
+
+	switch mode {
+	case "imp":
+		var rs []rules.Implication
+		var report string
+		switch engine {
+		case "dmc":
+			var st core.Stats
+			if cfg.workers > 1 {
+				rs, st = core.DMCImpParallel(m, th, opts, cfg.workers)
+			} else {
+				rs, st = core.DMCImp(m, th, opts)
+			}
+			report = dmcStats(st)
+		case "apriori":
+			var st apriori.Stats
+			rs, st = apriori.Implications(m, th, apriori.Options{MinSupport: cfg.minSup})
+			report = fmt.Sprintf("total %v, %d pair counters (%d bytes)", st.Total, st.PairCounters, st.PeakCounterBytes)
+		case "kmin":
+			var st minhash.Stats
+			rs, st = minhash.KMinImplications(m, th, minhash.Options{})
+			report = fmt.Sprintf("total %v, %d candidates verified (note: K-Min can miss rules)", st.Total, st.NumCandidates)
+		case "naive":
+			rs = core.NaiveImplications(m, th)
+		default:
+			return fmt.Errorf("unknown -engine %q for imp", engine)
+		}
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Confidence() > rs[j].Confidence() })
+		fmt.Printf("%d implication rules at >= %d%% confidence\n", len(rs), threshold)
+		for i, r := range rs {
+			if top > 0 && i == top {
+				fmt.Printf("... and %d more\n", len(rs)-top)
+				break
+			}
+			fmt.Println("  " + r.Label(m))
+		}
+		if stats && report != "" {
+			fmt.Println(report)
+		}
+		if cfg.groups {
+			printGroups(rs, m)
+		}
+		if cfg.out != "" {
+			if err := writeRuleFile(cfg.out, func(w *os.File) error { return rules.WriteImplications(w, rs) }); err != nil {
+				return err
+			}
+		}
+	case "sim":
+		var rs []rules.Similarity
+		var report string
+		switch engine {
+		case "dmc":
+			var st core.Stats
+			if cfg.workers > 1 {
+				rs, st = core.DMCSimParallel(m, th, opts, cfg.workers)
+			} else {
+				rs, st = core.DMCSim(m, th, opts)
+			}
+			report = dmcStats(st)
+		case "apriori":
+			var st apriori.Stats
+			rs, st = apriori.Similarities(m, th, apriori.Options{MinSupport: cfg.minSup})
+			report = fmt.Sprintf("total %v, %d pair counters (%d bytes)", st.Total, st.PairCounters, st.PeakCounterBytes)
+		case "minhash":
+			var st minhash.Stats
+			rs, st = minhash.Similarities(m, th, minhash.Options{})
+			report = fmt.Sprintf("total %v, %d candidates verified (note: Min-Hash can miss rules)", st.Total, st.NumCandidates)
+		case "lsh":
+			var st minhash.Stats
+			rs, st = minhash.LSHSimilarities(m, th, minhash.LSHOptions{})
+			report = fmt.Sprintf("total %v, %d candidates verified (note: LSH can miss rules)", st.Total, st.NumCandidates)
+		case "naive":
+			rs = core.NaiveSimilarities(m, th)
+		default:
+			return fmt.Errorf("unknown -engine %q for sim", engine)
+		}
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Value() > rs[j].Value() })
+		fmt.Printf("%d similarity rules at >= %d%% similarity\n", len(rs), threshold)
+		for i, r := range rs {
+			if top > 0 && i == top {
+				fmt.Printf("... and %d more\n", len(rs)-top)
+				break
+			}
+			fmt.Println("  " + r.Label(m))
+		}
+		if stats && report != "" {
+			fmt.Println(report)
+		}
+		if cfg.clusters {
+			printClusters(rs, m)
+		}
+		if cfg.out != "" {
+			if err := writeRuleFile(cfg.out, func(w *os.File) error { return rules.WriteSimilarities(w, rs) }); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown -mode %q (want imp or sim)", mode)
+	}
+	return nil
+}
+
+func dmcStats(st core.Stats) string {
+	s := fmt.Sprintf("total %v (prescan %v, 100%%-phase %v, <100%%-phase %v, bitmap %v)\n",
+		st.Total, st.Prescan, st.Phase100, st.PhaseLT, st.Bitmap)
+	s += fmt.Sprintf("peak counter array %d bytes, %d candidates added, %d deleted dynamically",
+		st.PeakCounterBytes, st.CandidatesAdded, st.CandidatesDeleted)
+	if st.SwitchPos100 >= 0 || st.SwitchPosLT >= 0 {
+		s += fmt.Sprintf("; bitmap switch at rows %d/%d", st.SwitchPos100, st.SwitchPosLT)
+	}
+	return s
+}
+
+// runStream mines straight from disk via the two-pass bucket spill
+// path; only rule counts and stats are printed (labels would need the
+// matrix in memory).
+func runStream(cfg runConfig, th core.Threshold) error {
+	switch cfg.mode {
+	case "imp":
+		rs, st, err := stream.MineImplications(cfg.in, th, core.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d implication rules at >= %d%% confidence (streamed)\n", len(rs), cfg.threshold)
+		if cfg.stats {
+			fmt.Println(dmcStats(st))
+		}
+	case "sim":
+		rs, st, err := stream.MineSimilarities(cfg.in, th, core.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d similarity rules at >= %d%% similarity (streamed)\n", len(rs), cfg.threshold)
+		if cfg.stats {
+			fmt.Println(dmcStats(st))
+		}
+	default:
+		return fmt.Errorf("unknown -mode %q (want imp or sim)", cfg.mode)
+	}
+	return nil
+}
+
+// printClusters renders the §7 grouping of similarity rules.
+func printClusters(rs []rules.Similarity, m *matrix.Matrix) {
+	cls := rules.Clusters(rs)
+	fmt.Printf("%d clusters of similar columns:\n", len(cls))
+	for i, cl := range cls {
+		if i == 20 {
+			fmt.Printf("  ... and %d more\n", len(cls)-20)
+			break
+		}
+		minQ, meanQ := rules.ClusterQuality(cl, rs)
+		fmt.Printf("  [%d members, min %.2f mean %.2f]", len(cl), minQ, meanQ)
+		for j, c := range cl {
+			if j == 8 {
+				fmt.Printf(" ...")
+				break
+			}
+			fmt.Printf(" %s", m.Label(c))
+		}
+		fmt.Println()
+	}
+}
+
+// printGroups renders the implication-side §7 grouping: strongly
+// connected components of the rule graph.
+func printGroups(rs []rules.Implication, m *matrix.Matrix) {
+	groups := rules.EquivalenceGroups(rs)
+	fmt.Printf("%d equivalence groups (mutually implying columns):\n", len(groups))
+	for i, g := range groups {
+		if i == 20 {
+			fmt.Printf("  ... and %d more\n", len(groups)-20)
+			break
+		}
+		fmt.Printf("  [%d members]", len(g))
+		for j, c := range g {
+			if j == 8 {
+				fmt.Printf(" ...")
+				break
+			}
+			fmt.Printf(" %s", m.Label(c))
+		}
+		fmt.Println()
+	}
+}
+
+// writeRuleFile saves mined rules for later browsing.
+func writeRuleFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("rules written to %s\n", path)
+	return nil
+}

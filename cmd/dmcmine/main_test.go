@@ -1,0 +1,172 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dmc/internal/matrix"
+	"dmc/internal/paperdata"
+	"dmc/internal/rules"
+)
+
+func fig2Path(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fig2.dmb")
+	if err := matrix.Save(path, paperdata.Fig2()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func baseConfig(in string) runConfig {
+	return runConfig{
+		in: in, mode: "imp", threshold: 80, engine: "dmc",
+		order: "sparsest", top: 10, stats: true, workers: 1,
+	}
+}
+
+func TestRunAllEnginesAndModes(t *testing.T) {
+	path := fig2Path(t)
+	for _, mode := range []string{"imp", "sim"} {
+		engines := []string{"dmc", "apriori", "naive"}
+		if mode == "imp" {
+			engines = append(engines, "kmin")
+		} else {
+			engines = append(engines, "minhash")
+		}
+		for _, engine := range engines {
+			cfg := baseConfig(path)
+			cfg.mode = mode
+			cfg.engine = engine
+			if err := run(cfg); err != nil {
+				t.Errorf("%s/%s: %v", mode, engine, err)
+			}
+		}
+	}
+}
+
+func TestRunOrders(t *testing.T) {
+	path := fig2Path(t)
+	for _, order := range []string{"sparsest", "original", "densest"} {
+		cfg := baseConfig(path)
+		cfg.order = order
+		if err := run(cfg); err != nil {
+			t.Errorf("order %s: %v", order, err)
+		}
+	}
+}
+
+func TestRunParallelAndStream(t *testing.T) {
+	path := fig2Path(t)
+	cfg := baseConfig(path)
+	cfg.workers = 3
+	if err := run(cfg); err != nil {
+		t.Errorf("parallel: %v", err)
+	}
+	cfg = baseConfig(path)
+	cfg.stream = true
+	if err := run(cfg); err != nil {
+		t.Errorf("stream imp: %v", err)
+	}
+	cfg.mode = "sim"
+	if err := run(cfg); err != nil {
+		t.Errorf("stream sim: %v", err)
+	}
+}
+
+func TestRunClusters(t *testing.T) {
+	path := fig2Path(t)
+	cfg := baseConfig(path)
+	cfg.mode = "sim"
+	cfg.threshold = 50
+	cfg.clusters = true
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := fig2Path(t)
+	cases := map[string]runConfig{
+		"missing in":      {mode: "imp", engine: "dmc", order: "sparsest"},
+		"bad mode":        func() runConfig { c := baseConfig(path); c.mode = "x"; return c }(),
+		"bad engine imp":  func() runConfig { c := baseConfig(path); c.engine = "x"; return c }(),
+		"bad engine sim":  func() runConfig { c := baseConfig(path); c.mode = "sim"; c.engine = "x"; return c }(),
+		"bad order":       func() runConfig { c := baseConfig(path); c.order = "x"; return c }(),
+		"missing file":    baseConfig(filepath.Join(t.TempDir(), "nope.dmb")),
+		"stream non-dmc":  func() runConfig { c := baseConfig(path); c.stream = true; c.engine = "apriori"; return c }(),
+		"stream bad mode": func() runConfig { c := baseConfig(path); c.stream = true; c.mode = "x"; return c }(),
+	}
+	for name, cfg := range cases {
+		if err := run(cfg); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestRunGroupsAndOut(t *testing.T) {
+	path := fig2Path(t)
+	out := filepath.Join(t.TempDir(), "rules.txt")
+	cfg := baseConfig(path)
+	cfg.groups = true
+	cfg.out = out
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rs, err := rules.ReadImplications(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("persisted %d rules, want 2", len(rs))
+	}
+	// Similarity output path too.
+	simOut := filepath.Join(t.TempDir(), "sim.txt")
+	cfg = baseConfig(path)
+	cfg.mode = "sim"
+	cfg.threshold = 50
+	cfg.out = simOut
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	sf, err := os.Open(simOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	if _, err := rules.ReadSimilarities(sf); err != nil {
+		t.Fatal(err)
+	}
+	// Unwritable output must error.
+	cfg = baseConfig(path)
+	cfg.out = filepath.Join(t.TempDir(), "no", "such", "dir", "rules.txt")
+	if err := run(cfg); err == nil {
+		t.Error("unwritable -out accepted")
+	}
+}
+
+func TestRunLSHAndMinSupport(t *testing.T) {
+	path := fig2Path(t)
+	cfg := baseConfig(path)
+	cfg.mode = "sim"
+	cfg.engine = "lsh"
+	cfg.threshold = 60
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg = baseConfig(path)
+	cfg.minSup = 5
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.engine = "apriori"
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dmc/internal/core"
+	"dmc/internal/gen"
+	"dmc/internal/matrix"
+	"dmc/internal/rules"
+)
+
+func newsPath(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "news.dmb")
+	if err := matrix.Save(path, gen.News(gen.Config{Scale: 0.01, Seed: 1})); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPolgar(t *testing.T) {
+	if err := run(newsPath(t), "polgar", 85, 5, -1, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDepthZero(t *testing.T) {
+	if err := run(newsPath(t), "chess", 85, 5, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := newsPath(t)
+	if err := run("", "polgar", 85, 5, -1, ""); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run(path, "", 85, 5, -1, ""); err == nil {
+		t.Error("missing -keyword accepted")
+	}
+	if err := run(path, "not-a-word-in-the-vocab", 85, 5, -1, ""); err == nil {
+		t.Error("unknown keyword accepted")
+	}
+	// Unlabeled input must be rejected.
+	bare := filepath.Join(t.TempDir(), "bare.dmb")
+	if err := matrix.Save(bare, matrix.FromRows(2, [][]matrix.Col{{0, 1}})); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bare, "polgar", 85, 5, -1, ""); err == nil {
+		t.Error("unlabeled matrix accepted")
+	}
+}
+
+func TestRunWithRuleFile(t *testing.T) {
+	path := newsPath(t)
+	m, err := matrix.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imps, _ := core.DMCImp(m, core.FromPercent(85), core.Options{})
+	rf := filepath.Join(t.TempDir(), "rules.txt")
+	f, err := os.Create(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rules.WriteImplications(f, imps); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run(path, "polgar", 85, 0, -1, rf); err != nil {
+		t.Fatal(err)
+	}
+	// A rule file from a different (larger) matrix must be rejected.
+	f2, _ := os.Create(rf)
+	rules.WriteImplications(f2, []rules.Implication{{From: 0, To: 999999, Hits: 1, Ones: 1}})
+	f2.Close()
+	if err := run(path, "polgar", 85, 0, -1, rf); err == nil {
+		t.Error("mismatched rule file accepted")
+	}
+	if err := run(path, "polgar", 85, 0, -1, filepath.Join(t.TempDir(), "none")); err == nil {
+		t.Error("missing rule file accepted")
+	}
+}

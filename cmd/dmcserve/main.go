@@ -1,0 +1,55 @@
+// Command dmcserve serves the miners over HTTP/JSON: load (or upload)
+// datasets, then mine implication/similarity rules and browse them by
+// keyword, all through the exact DMC pipelines.
+//
+// Usage:
+//
+//	dmcserve -addr :8080 -data ./data
+//
+//	curl localhost:8080/v1/datasets
+//	curl -X PUT --data-binary @baskets.txt localhost:8080/v1/datasets/mine
+//	curl 'localhost:8080/v1/datasets/News/implications?threshold=85&limit=20'
+//	curl 'localhost:8080/v1/datasets/News/expand?keyword=polgar&minsupport=5'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"dmc/internal/server"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "localhost:8080", "listen address")
+		data = flag.String("data", "", "directory of matrix files to load at startup")
+	)
+	flag.Parse()
+	ln, handler, err := setup(*addr, *data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmcserve:", err)
+		os.Exit(1)
+	}
+	log.Printf("dmcserve listening on http://%s", ln.Addr())
+	log.Fatal(http.Serve(ln, handler))
+}
+
+// setup builds the handler and binds the listener; split from main for
+// testability.
+func setup(addr, dataDir string) (net.Listener, http.Handler, error) {
+	s := server.New()
+	if dataDir != "" {
+		if err := s.LoadDir(dataDir); err != nil {
+			return nil, nil, err
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ln, s.Handler(), nil
+}

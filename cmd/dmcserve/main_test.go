@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"testing"
+
+	"dmc/internal/matrix"
+)
+
+func TestSetupAndServe(t *testing.T) {
+	dir := t.TempDir()
+	m := matrix.FromRows(2, [][]matrix.Col{{0, 1}, {0, 1}, {0}})
+	if err := matrix.Save(filepath.Join(dir, "tiny.dmb"), m); err != nil {
+		t.Fatal(err)
+	}
+	ln, handler, err := setup("localhost:0", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	srv := &http.Server{Handler: handler}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/v1/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0]["name"] != "tiny" {
+		t.Fatalf("datasets = %v", list)
+	}
+}
+
+func TestSetupErrors(t *testing.T) {
+	if _, _, err := setup("localhost:0", filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing data dir accepted")
+	}
+	if _, _, err := setup("256.0.0.1:99999", ""); err == nil {
+		t.Error("bad address accepted")
+	}
+}

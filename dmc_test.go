@@ -1,0 +1,99 @@
+package dmc_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"dmc"
+	"dmc/internal/paperdata"
+)
+
+func TestMineImplicationsFacade(t *testing.T) {
+	m := paperdata.Fig2()
+	rs, st := dmc.MineImplications(m, dmc.Percent(80), dmc.Options{})
+	dmc.SortImplications(rs)
+	if len(rs) != 2 || st.NumRules != 2 {
+		t.Fatalf("rules = %v", rs)
+	}
+	if rs[0].From != 0 || rs[0].To != 1 || rs[1].From != 2 || rs[1].To != 4 {
+		t.Fatalf("rules = %v", rs)
+	}
+}
+
+func TestMineSimilaritiesFacade(t *testing.T) {
+	m := dmc.FromRows(2, [][]dmc.Col{{0, 1}, {0, 1}, {0}})
+	rs, _ := dmc.MineSimilarities(m, dmc.Ratio(2, 3), dmc.Options{})
+	if len(rs) != 1 || rs[0].Hits != 2 {
+		t.Fatalf("rules = %v", rs)
+	}
+}
+
+func TestBuilderAndRoundTrip(t *testing.T) {
+	b := dmc.NewBuilder(0)
+	b.AddRow([]dmc.Col{2, 1, 2})
+	b.AddRow([]dmc.Col{0})
+	m := b.Build()
+	if m.NumCols() != 3 || m.NumRows() != 2 {
+		t.Fatalf("built %dx%d", m.NumRows(), m.NumCols())
+	}
+	path := filepath.Join(t.TempDir(), "m.dmb")
+	if err := dmc.Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dmc.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumOnes() != m.NumOnes() {
+		t.Fatal("round trip changed the matrix")
+	}
+}
+
+func TestExpandFacade(t *testing.T) {
+	rs := []dmc.Implication{
+		{From: 0, To: 1, Hits: 9, Ones: 10},
+		{From: 1, To: 2, Hits: 9, Ones: 10},
+	}
+	groups := dmc.Expand(rs, 0, -1)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	m := dmc.FromRows(3, [][]dmc.Col{{0, 1, 2}})
+	m.SetLabels([]string{"a", "b", "c"})
+	if _, ok := dmc.ExpandByLabel(rs, m, "a", -1); !ok {
+		t.Fatal("ExpandByLabel failed")
+	}
+}
+
+func TestOrderConstants(t *testing.T) {
+	for _, o := range []dmc.Options{
+		{Order: dmc.OrderSparsestFirst},
+		{Order: dmc.OrderOriginal},
+		{Order: dmc.OrderDensestFirst},
+	} {
+		rs, _ := dmc.MineImplications(paperdata.Fig1(), dmc.Percent(100), o)
+		if len(rs) != 1 {
+			t.Fatalf("order %v: rules = %v", o.Order, rs)
+		}
+	}
+}
+
+// Example_quickstart is the README quickstart, kept compiling by the
+// test runner.
+func Example_quickstart() {
+	b := dmc.NewBuilder(0)
+	b.AddRow([]dmc.Col{1, 2})
+	b.AddRow([]dmc.Col{0, 1, 2})
+	b.AddRow([]dmc.Col{0})
+	b.AddRow([]dmc.Col{1})
+	m := b.Build()
+
+	rules, _ := dmc.MineImplications(m, dmc.Percent(100), dmc.Options{})
+	dmc.SortImplications(rules)
+	for _, r := range rules {
+		fmt.Printf("c%d => c%d (%.0f%%)\n", r.From, r.To, 100*r.Confidence())
+	}
+	// Output:
+	// c2 => c1 (100%)
+}

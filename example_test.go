@@ -1,0 +1,98 @@
+package dmc_test
+
+import (
+	"fmt"
+
+	"dmc"
+)
+
+// ExampleMineImplications mines the paper's Fig-2 matrix at the 80%
+// confidence threshold of Example 3.1.
+func ExampleMineImplications() {
+	m := dmc.FromRows(6, [][]dmc.Col{
+		{1, 5},
+		{2, 3, 4},
+		{2, 4},
+		{0, 1, 2, 5},
+		{0, 1, 2, 4},
+		{0, 1, 3, 5},
+		{0, 1, 2, 3, 4},
+		{3, 5},
+		{0, 3, 4, 5},
+	})
+	rules, _ := dmc.MineImplications(m, dmc.Percent(80), dmc.Options{})
+	dmc.SortImplications(rules)
+	for _, r := range rules {
+		fmt.Printf("c%d => c%d with confidence %d/%d\n", r.From+1, r.To+1, r.Hits, r.Ones)
+	}
+	// Output:
+	// c1 => c2 with confidence 4/5
+	// c3 => c5 with confidence 4/5
+}
+
+// ExampleMineSimilarities finds identical and near-identical columns.
+func ExampleMineSimilarities() {
+	m := dmc.FromRows(3, [][]dmc.Col{
+		{0, 1, 2},
+		{0, 2},
+		{0, 1, 2},
+		{1},
+	})
+	rules, _ := dmc.MineSimilarities(m, dmc.Percent(50), dmc.Options{})
+	dmc.SortSimilarities(rules)
+	for _, r := range rules {
+		fmt.Printf("c%d ~ c%d at %.2f\n", r.A, r.B, r.Value())
+	}
+	// Output:
+	// c0 ~ c1 at 0.50
+	// c0 ~ c2 at 1.00
+	// c1 ~ c2 at 0.50
+}
+
+// ExampleExpand browses rules from a seed column, the §6.3 keyword
+// expansion behind the paper's Fig. 7.
+func ExampleExpand() {
+	rules := []dmc.Implication{
+		{From: 0, To: 1, Hits: 9, Ones: 10},
+		{From: 0, To: 2, Hits: 9, Ones: 10},
+		{From: 1, To: 3, Hits: 9, Ones: 10},
+	}
+	for _, g := range dmc.Expand(rules, 0, -1) {
+		for _, r := range g.Rules {
+			fmt.Printf("c%d -> c%d\n", r.From, r.To)
+		}
+	}
+	// Output:
+	// c0 -> c1
+	// c0 -> c2
+	// c1 -> c3
+}
+
+// ExampleClusters groups similarity rules into families (§7).
+func ExampleClusters() {
+	rules := []dmc.Similarity{
+		{A: 0, B: 1, Hits: 9, OnesA: 10, OnesB: 10},
+		{A: 1, B: 2, Hits: 9, OnesA: 10, OnesB: 10},
+		{A: 7, B: 8, Hits: 4, OnesA: 5, OnesB: 5},
+	}
+	for _, cluster := range dmc.Clusters(rules) {
+		fmt.Println(cluster)
+	}
+	// Output:
+	// [0 1 2]
+	// [7 8]
+}
+
+// ExampleThreshold shows the exact rational thresholds: a rule sitting
+// exactly at the boundary qualifies.
+func ExampleThreshold() {
+	m := dmc.FromRows(2, [][]dmc.Col{
+		{0, 1}, {0, 1}, {0, 1}, {0}, {1},
+	})
+	// Conf(c0 => c1) is exactly 3/4.
+	at, _ := dmc.MineImplications(m, dmc.Ratio(3, 4), dmc.Options{})
+	above, _ := dmc.MineImplications(m, dmc.Ratio(76, 100), dmc.Options{})
+	fmt.Printf("at 3/4: %d rule(s); at 76%%: %d rule(s)\n", len(at), len(above))
+	// Output:
+	// at 3/4: 1 rule(s); at 76%: 0 rule(s)
+}

@@ -1,0 +1,55 @@
+// Dictionary mines the Webster-1913 stand-in for similar head words —
+// words defined with nearly the same vocabulary, like the paper's
+// brother-in-law ≃ sister-in-law example — and contrasts the exact
+// DMC-sim result with the randomized Min-Hash baseline.
+//
+// Run with:
+//
+//	go run ./examples/dictionary [-scale 0.02] [-threshold 70]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"dmc"
+	"dmc/internal/gen"
+	"dmc/internal/minhash"
+
+	"dmc/internal/core"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.02, "dictionary size relative to the paper's 96k head words")
+	threshold := flag.Int("threshold", 70, "similarity threshold in percent")
+	flag.Parse()
+
+	dict := gen.Dictionary(gen.Config{Scale: *scale, Seed: 1})
+	fmt.Printf("dictionary: %d head words defined over %d definition words\n",
+		dict.NumCols(), dict.NumRows())
+
+	sims, stats := dmc.MineSimilarities(dict, dmc.Percent(*threshold), dmc.Options{})
+	sort.Slice(sims, func(i, j int) bool { return sims[i].Value() > sims[j].Value() })
+	fmt.Printf("DMC-sim: %d similar pairs at >= %d%% in %v\n", len(sims), *threshold, stats.Total)
+	shown := 0
+	for _, r := range sims {
+		a, b := dict.Label(r.A), dict.Label(r.B)
+		fmt.Printf("  %-16s ~ %-16s (%.2f)\n", a, b, r.Value())
+		if shown++; shown == 12 {
+			fmt.Printf("  ... and %d more\n", len(sims)-shown)
+			break
+		}
+	}
+
+	// Contrast with Min-Hash: same pairs, but a randomized sketch that
+	// can miss borderline ones (the paper's §3.2 caveat).
+	mh, mhStats := minhash.Similarities(dict, core.FromPercent(*threshold), minhash.Options{Seed: 7})
+	fmt.Printf("\nMin-Hash (k=100): %d of %d pairs found in %v (%d candidates verified)\n",
+		len(mh), len(sims), mhStats.Total, mhStats.NumCandidates)
+	if missed := len(sims) - len(mh); missed > 0 {
+		fmt.Printf("Min-Hash missed %d pairs that DMC-sim found exactly — the reason the paper built DMC.\n", missed)
+	} else {
+		fmt.Println("Min-Hash found them all this time; its guarantee is only probabilistic.")
+	}
+}

@@ -1,0 +1,60 @@
+// Quickstart: build a tiny transaction matrix by hand and mine both
+// rule families with the public API.
+//
+// The data is a toy market basket: rows are purchases, columns are
+// products. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"dmc"
+)
+
+func main() {
+	products := []string{"bread", "butter", "jam", "coffee", "tea"}
+	const (
+		bread = iota
+		butter
+		jam
+		coffee
+		tea
+	)
+
+	b := dmc.NewBuilder(len(products))
+	baskets := [][]dmc.Col{
+		{bread, butter, jam},
+		{bread, butter},
+		{bread, butter, coffee},
+		{bread, butter, jam},
+		{bread, coffee},
+		{coffee, tea},
+		{bread, butter, tea},
+		{jam, bread, butter},
+		{coffee},
+		{bread, butter, jam, coffee},
+	}
+	for _, basket := range baskets {
+		b.AddRow(basket)
+	}
+	m := b.Build()
+	m.SetLabels(products)
+
+	fmt.Println("implication rules at >= 80% confidence:")
+	imps, stats := dmc.MineImplications(m, dmc.Percent(80), dmc.Options{})
+	dmc.SortImplications(imps)
+	for _, r := range imps {
+		fmt.Printf("  buying %-6s => also buys %-6s  (%.0f%%, %d of %d baskets)\n",
+			m.Label(r.From), m.Label(r.To), 100*r.Confidence(), r.Hits, r.Ones)
+	}
+	fmt.Printf("mined in %v with a %d-byte counter array\n\n", stats.Total, stats.PeakCounterBytes)
+
+	fmt.Println("similarity rules at >= 60% Jaccard similarity:")
+	sims, _ := dmc.MineSimilarities(m, dmc.Percent(60), dmc.Options{})
+	dmc.SortSimilarities(sims)
+	for _, r := range sims {
+		fmt.Printf("  %s ~ %s  (%.2f)\n", m.Label(r.A), m.Label(r.B), r.Value())
+	}
+}

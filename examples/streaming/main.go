@@ -1,0 +1,75 @@
+// Streaming demonstrates the paper's actual operating regime: mining a
+// data set that lives on disk with two passes and memory bounded by the
+// counter array, not by the data.
+//
+// It generates a web-access-log stand-in, writes it to a binary matrix
+// file, and mines it three ways:
+//
+//  1. in memory (the whole matrix loaded);
+//  2. streamed from disk (density buckets spilled during the first
+//     pass, replayed sparsest-first for each mining phase);
+//  3. in memory with the §7 parallel pipeline.
+//
+// All three produce the identical rule set; what differs is where the
+// bytes live.
+//
+// Run with:
+//
+//	go run ./examples/streaming [-scale 0.05] [-threshold 90]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"dmc"
+	"dmc/internal/gen"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "log size relative to the paper's 218k clients")
+	threshold := flag.Int("threshold", 90, "confidence threshold in percent")
+	workers := flag.Int("workers", runtime.NumCPU(), "workers for the parallel run")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "dmc-streaming-example-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "wlog.dmb")
+
+	m := gen.WebLog(gen.Config{Scale: *scale, Seed: 1})
+	if err := dmc.Save(path, m); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("dataset: %d clients x %d URLs, %d ones — %d KB on disk\n\n",
+		m.NumRows(), m.NumCols(), m.NumOnes(), info.Size()/1024)
+
+	th := dmc.Percent(*threshold)
+
+	inMem, memStats := dmc.MineImplications(m, th, dmc.Options{})
+	fmt.Printf("in-memory:  %6d rules in %8v, counter peak %d KB\n",
+		len(inMem), memStats.Total.Round(0), memStats.PeakCounterBytes/1024)
+
+	streamed, stStats, err := dmc.MineImplicationsFile(path, th, dmc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed:   %6d rules in %8v, counter peak %d KB (matrix never in memory)\n",
+		len(streamed), stStats.Total.Round(0), stStats.PeakCounterBytes/1024)
+
+	par, parStats := dmc.MineImplicationsParallel(m, th, dmc.Options{}, *workers)
+	fmt.Printf("parallel:   %6d rules in %8v across %d workers\n",
+		len(par), parStats.Total.Round(0), *workers)
+
+	if len(inMem) != len(streamed) || len(inMem) != len(par) {
+		log.Fatalf("rule sets diverged: %d / %d / %d", len(inMem), len(streamed), len(par))
+	}
+	fmt.Println("\nall three paths produced the identical rule set.")
+}

@@ -1,0 +1,114 @@
+package dmc
+
+import (
+	"io"
+	"os"
+
+	"dmc/internal/core"
+	"dmc/internal/rules"
+	"dmc/internal/stream"
+)
+
+// This file extends the facade beyond the paper's core pipelines: the
+// streaming file miners (bounded-memory two-pass operation straight
+// from disk), the §7 divide-and-conquer parallel pipelines, and the §7
+// rule-grouping helper.
+
+// MineImplicationsFile mines implication rules directly from a matrix
+// file (.dmt or .dmb) without loading it into memory: one partitioning
+// pass builds the §4.1 density buckets in temporary spill files, and
+// each pipeline phase streams them back sparsest-first. Memory is
+// bounded by the counter array, exactly the paper's operating regime.
+func MineImplicationsFile(path string, minconf Threshold, opts Options) ([]Implication, Stats, error) {
+	return stream.MineImplications(path, minconf, opts)
+}
+
+// MineSimilaritiesFile is MineImplicationsFile for similarity rules.
+func MineSimilaritiesFile(path string, minsim Threshold, opts Options) ([]Similarity, Stats, error) {
+	return stream.MineSimilarities(path, minsim, opts)
+}
+
+// MineImplicationsParallel runs the DMC-imp pipeline with the columns
+// partitioned round-robin across the given number of workers — the
+// divide-and-conquer parallelization sketched in the paper's §7. The
+// rule set is identical to MineImplications'; the counter-array memory
+// is what gets divided across workers.
+func MineImplicationsParallel(m *Matrix, minconf Threshold, opts Options, workers int) ([]Implication, Stats) {
+	return core.DMCImpParallel(m, minconf, opts, workers)
+}
+
+// MineSimilaritiesParallel is MineImplicationsParallel for similarity
+// rules.
+func MineSimilaritiesParallel(m *Matrix, minsim Threshold, opts Options, workers int) ([]Similarity, Stats) {
+	return core.DMCSimParallel(m, minsim, opts, workers)
+}
+
+// Clusters groups columns into connected components of the
+// similarity-rule graph — the paper's §7 route from pairwise rules to
+// structure over three or more columns (mirror families, synonym sets).
+// Components come back largest first; singletons are omitted.
+func Clusters(rs []Similarity) [][]Col {
+	return rules.Clusters(rs)
+}
+
+// EquivalenceGroups returns the strongly connected components of the
+// implication-rule graph: sets of columns that all imply each other at
+// the mining threshold (e.g. a topic's core vocabulary).
+func EquivalenceGroups(rs []Implication) [][]Col {
+	return rules.EquivalenceGroups(rs)
+}
+
+// SaveImplications writes mined rules to a rule file that
+// LoadImplications (and the dmcrules tool) reads back losslessly.
+func SaveImplications(path string, rs []Implication) error {
+	return saveRules(path, func(w io.Writer) error { return rules.WriteImplications(w, rs) })
+}
+
+// LoadImplications reads a rule file written by SaveImplications.
+func LoadImplications(path string) ([]Implication, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return rules.ReadImplications(f)
+}
+
+// SaveSimilarities writes mined similarity rules to a rule file.
+func SaveSimilarities(path string, rs []Similarity) error {
+	return saveRules(path, func(w io.Writer) error { return rules.WriteSimilarities(w, rs) })
+}
+
+// LoadSimilarities reads a rule file written by SaveSimilarities.
+func LoadSimilarities(path string) ([]Similarity, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return rules.ReadSimilarities(f)
+}
+
+func saveRules(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// MineImplicationsEach mines like MineImplications but streams each
+// rule to fn instead of materializing the slice — for crawl-scale data
+// where the rule volume itself is the memory problem.
+func MineImplicationsEach(m *Matrix, minconf Threshold, opts Options, fn func(Implication)) Stats {
+	return core.DMCImpEach(m, minconf, opts, fn)
+}
+
+// MineSimilaritiesEach is MineImplicationsEach for similarity rules.
+func MineSimilaritiesEach(m *Matrix, minsim Threshold, opts Options, fn func(Similarity)) Stats {
+	return core.DMCSimEach(m, minsim, opts, fn)
+}

@@ -1,0 +1,143 @@
+package dmc_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dmc"
+	"dmc/internal/paperdata"
+)
+
+func TestMineImplicationsFile(t *testing.T) {
+	m := paperdata.Fig2()
+	path := filepath.Join(t.TempDir(), "fig2.dmb")
+	if err := dmc.Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := dmc.MineImplicationsFile(path, dmc.Percent(80), dmc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmc.SortImplications(got)
+	if len(got) != 2 || got[0].From != 0 || got[1].From != 2 {
+		t.Fatalf("rules = %v", got)
+	}
+	if st.NumRules != 2 {
+		t.Errorf("NumRules = %d", st.NumRules)
+	}
+	if _, _, err := dmc.MineImplicationsFile(filepath.Join(t.TempDir(), "nope.dmb"), dmc.Percent(80), dmc.Options{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestMineSimilaritiesFile(t *testing.T) {
+	m := dmc.FromRows(2, [][]dmc.Col{{0, 1}, {0, 1}, {0}})
+	path := filepath.Join(t.TempDir(), "m.dmt")
+	if err := dmc.Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := dmc.MineSimilaritiesFile(path, dmc.Ratio(2, 3), dmc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Hits != 2 {
+		t.Fatalf("rules = %v", got)
+	}
+}
+
+func TestParallelFacade(t *testing.T) {
+	m := paperdata.Fig2()
+	serial, _ := dmc.MineImplications(m, dmc.Percent(80), dmc.Options{})
+	par, _ := dmc.MineImplicationsParallel(m, dmc.Percent(80), dmc.Options{}, 3)
+	dmc.SortImplications(serial)
+	dmc.SortImplications(par)
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("parallel %v != serial %v", par, serial)
+	}
+	ss, _ := dmc.MineSimilarities(m, dmc.Percent(60), dmc.Options{})
+	ps, _ := dmc.MineSimilaritiesParallel(m, dmc.Percent(60), dmc.Options{}, 3)
+	dmc.SortSimilarities(ss)
+	dmc.SortSimilarities(ps)
+	if !reflect.DeepEqual(ss, ps) {
+		t.Fatalf("parallel %v != serial %v", ps, ss)
+	}
+}
+
+func TestClustersFacade(t *testing.T) {
+	rs := []dmc.Similarity{
+		{A: 0, B: 1, Hits: 1, OnesA: 1, OnesB: 1},
+		{A: 1, B: 2, Hits: 1, OnesA: 1, OnesB: 1},
+		{A: 5, B: 6, Hits: 1, OnesA: 1, OnesB: 1},
+	}
+	got := dmc.Clusters(rs)
+	if len(got) != 2 || len(got[0]) != 3 || got[1][0] != 5 {
+		t.Fatalf("clusters = %v", got)
+	}
+}
+
+func TestBasketFacadeRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.basket")
+	m := dmc.FromRows(2, [][]dmc.Col{{0, 1}, {1}})
+	m.SetLabels([]string{"ham", "eggs"})
+	if err := dmc.Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dmc.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Label(0) != "ham" || back.NumRows() != 2 {
+		t.Fatalf("basket round trip wrong: %v", back.Labels())
+	}
+}
+
+func TestRulePersistenceFacade(t *testing.T) {
+	imps := []dmc.Implication{{From: 1, To: 2, Hits: 3, Ones: 4}}
+	sims := []dmc.Similarity{{A: 0, B: 1, Hits: 2, OnesA: 3, OnesB: 4}}
+	dir := t.TempDir()
+	ip, sp := filepath.Join(dir, "i.rules"), filepath.Join(dir, "s.rules")
+	if err := dmc.SaveImplications(ip, imps); err != nil {
+		t.Fatal(err)
+	}
+	if err := dmc.SaveSimilarities(sp, sims); err != nil {
+		t.Fatal(err)
+	}
+	gi, err := dmc.LoadImplications(ip)
+	if err != nil || !reflect.DeepEqual(gi, imps) {
+		t.Fatalf("implications: %v %v", gi, err)
+	}
+	gs, err := dmc.LoadSimilarities(sp)
+	if err != nil || !reflect.DeepEqual(gs, sims) {
+		t.Fatalf("similarities: %v %v", gs, err)
+	}
+	if _, err := dmc.LoadImplications(sp); err == nil {
+		t.Error("similarity file accepted as implications")
+	}
+}
+
+func TestEquivalenceGroupsFacade(t *testing.T) {
+	rs := []dmc.Implication{
+		{From: 0, To: 1, Hits: 1, Ones: 1},
+		{From: 1, To: 0, Hits: 1, Ones: 1},
+	}
+	got := dmc.EquivalenceGroups(rs)
+	if len(got) != 1 || len(got[0]) != 2 {
+		t.Fatalf("groups = %v", got)
+	}
+}
+
+func TestEachFacade(t *testing.T) {
+	m := paperdata.Fig2()
+	var n int
+	st := dmc.MineImplicationsEach(m, dmc.Percent(80), dmc.Options{}, func(dmc.Implication) { n++ })
+	if n != 2 || st.NumRules != 2 {
+		t.Fatalf("streamed %d rules, stats %d", n, st.NumRules)
+	}
+	n = 0
+	dmc.MineSimilaritiesEach(m, dmc.Percent(50), dmc.Options{}, func(dmc.Similarity) { n++ })
+	rs, _ := dmc.MineSimilarities(m, dmc.Percent(50), dmc.Options{})
+	if n != len(rs) {
+		t.Fatalf("streamed %d, materialized %d", n, len(rs))
+	}
+}

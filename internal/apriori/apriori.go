@@ -1,0 +1,248 @@
+// Package apriori implements the support-pruning baselines the paper
+// compares against (§3.1 and §6.2): pairwise a-priori counting and its
+// DHP hash-filtered variant.
+//
+// A-priori for pairs makes one pass to find the frequent columns and a
+// second pass that counts every co-occurring pair among them, then
+// extracts implication or similarity rules by exact confidence /
+// similarity. Unlike DMC it must hold a counter for every surviving
+// pair — m'(m'−1)/2 in the worst case — which is precisely the memory
+// wall the paper's §3.1 describes.
+package apriori
+
+import (
+	"time"
+
+	"dmc/internal/core"
+	"dmc/internal/matrix"
+	"dmc/internal/rules"
+)
+
+// Options configure the baseline.
+type Options struct {
+	// MinSupport is the column-level minimum support count (the
+	// classical support pruning); values below 1 mean no pruning.
+	MinSupport int
+	// MaxSupport, when positive, drops columns with more 1s than this
+	// (the paper's NewsP preparation uses both bounds).
+	MaxSupport int
+	// PairMinSupport, when positive, requires pairs to reach this
+	// support before a rule can be extracted from them.
+	PairMinSupport int
+	// DHP enables the hash-filter pass of Park/Chen/Yu: pair counters
+	// are only allocated for pairs whose hash bucket reached
+	// PairMinSupport. It requires PairMinSupport > 0.
+	DHP bool
+	// DHPBuckets is the hash table size for the DHP pass; 0 means 2^16.
+	DHPBuckets int
+	// MaxDenseCounters bounds the classical triangular counter array:
+	// when the surviving columns fit (m'(m'−1)/2 ≤ MaxDenseCounters)
+	// the counters are a flat int32 array — the exact structure whose
+	// size the paper's §3.1 memory-wall argument is about — otherwise
+	// counting falls back to a sparse map keyed by pair. 0 means 2^24
+	// (64 MB of counters).
+	MaxDenseCounters int
+}
+
+func (o Options) maxDenseCounters() int {
+	if o.MaxDenseCounters == 0 {
+		return 1 << 24
+	}
+	return o.MaxDenseCounters
+}
+
+func (o Options) dhpBuckets() int {
+	if o.DHPBuckets == 0 {
+		return 1 << 16
+	}
+	return o.DHPBuckets
+}
+
+// Stats reports what a run did and the memory the counters needed.
+type Stats struct {
+	Prescan, Count, Extract, Total time.Duration
+	// FrequentColumns is the number of columns surviving support
+	// pruning.
+	FrequentColumns int
+	// PairCounters is the number of distinct pair counters allocated.
+	PairCounters int
+	// PeakCounterBytes models counter memory at 4 bytes per pair
+	// counter (plus the DHP bucket array when enabled).
+	PeakCounterBytes int
+	// NumRules is the number of rules extracted.
+	NumRules int
+}
+
+// pairCounts counts co-occurrences of all frequent-column pairs,
+// either in the classical triangular array (when it fits
+// Options.MaxDenseCounters) or in a sparse map.
+type pairCounts struct {
+	denseOf []int32      // column id -> dense id, -1 if pruned
+	colOf   []matrix.Col // dense id -> column id
+	tri     []int32      // triangular array over dense ids, or nil
+	counts  map[uint64]int32
+}
+
+func pairKey(i, j int32) uint64 { return uint64(i)<<32 | uint64(uint32(j)) }
+
+// triIndex maps the dense pair i<j over n columns into the flattened
+// upper triangle.
+func triIndex(i, j int32, n int) int {
+	return int(i)*(2*n-int(i)-1)/2 + int(j-i) - 1
+}
+
+func (pc *pairCounts) inc(i, j int32) {
+	if pc.tri != nil {
+		pc.tri[triIndex(i, j, len(pc.colOf))]++
+		return
+	}
+	pc.counts[pairKey(i, j)]++
+}
+
+// forEach visits every counted pair with nonzero support.
+func (pc *pairCounts) forEach(fn func(i, j int32, support int)) {
+	if pc.tri != nil {
+		n := int32(len(pc.colOf))
+		idx := 0
+		for i := int32(0); i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if s := pc.tri[idx]; s > 0 {
+					fn(i, j, int(s))
+				}
+				idx++
+			}
+		}
+		return
+	}
+	for key, s := range pc.counts {
+		fn(int32(key>>32), int32(uint32(key)), int(s))
+	}
+}
+
+// count runs the support-pruning pass and the pair-counting pass.
+func count(m *matrix.Matrix, ones []int, opts Options, st *Stats) *pairCounts {
+	t0 := time.Now()
+	pc := &pairCounts{denseOf: make([]int32, m.NumCols())}
+	for c, k := range ones {
+		keep := k > 0 && k >= opts.MinSupport && (opts.MaxSupport <= 0 || k <= opts.MaxSupport)
+		if keep {
+			pc.denseOf[c] = int32(len(pc.colOf))
+			pc.colOf = append(pc.colOf, matrix.Col(c))
+		} else {
+			pc.denseOf[c] = -1
+		}
+	}
+	st.FrequentColumns = len(pc.colOf)
+	st.Prescan += time.Since(t0)
+
+	t1 := time.Now()
+	// Optional DHP pass: count pair hashes so that counters are only
+	// allocated for pairs in heavy-enough buckets.
+	var dhp []int32
+	if opts.DHP && opts.PairMinSupport > 0 {
+		dhp = make([]int32, opts.dhpBuckets())
+		forEachPair(m, pc.denseOf, func(i, j int32) {
+			dhp[dhpHash(i, j)%int32(len(dhp))]++
+		})
+	}
+	nf := len(pc.colOf)
+	if pairs := nf * (nf - 1) / 2; dhp == nil && pairs <= opts.maxDenseCounters() {
+		pc.tri = make([]int32, pairs)
+	} else {
+		pc.counts = make(map[uint64]int32)
+	}
+	forEachPair(m, pc.denseOf, func(i, j int32) {
+		if dhp != nil && dhp[dhpHash(i, j)%int32(len(dhp))] < int32(opts.PairMinSupport) {
+			return
+		}
+		pc.inc(i, j)
+	})
+	st.Count += time.Since(t1)
+	if pc.tri != nil {
+		st.PairCounters = len(pc.tri)
+		st.PeakCounterBytes = len(pc.tri) * 4
+	} else {
+		st.PairCounters = len(pc.counts)
+		st.PeakCounterBytes = len(pc.counts)*12 + len(dhp)*4
+	}
+	return pc
+}
+
+// forEachPair calls fn for every ordered dense pair (i<j) co-occurring
+// in a row.
+func forEachPair(m *matrix.Matrix, denseOf []int32, fn func(i, j int32)) {
+	var buf []int32
+	for r := 0; r < m.NumRows(); r++ {
+		buf = buf[:0]
+		for _, c := range m.Row(r) {
+			if d := denseOf[c]; d >= 0 {
+				buf = append(buf, d)
+			}
+		}
+		for a := 0; a < len(buf); a++ {
+			for b := a + 1; b < len(buf); b++ {
+				fn(buf[a], buf[b])
+			}
+		}
+	}
+}
+
+func dhpHash(i, j int32) int32 {
+	h := uint32(i)*2654435761 ^ uint32(j)*40503
+	h ^= h >> 13
+	return int32(h & 0x7fffffff)
+}
+
+// Implications extracts all implication rules with confidence ≥ minconf
+// among the support-surviving columns.
+func Implications(m *matrix.Matrix, minconf core.Threshold, opts Options) ([]rules.Implication, Stats) {
+	var st Stats
+	start := time.Now()
+	ones := m.Ones()
+	pc := count(m, ones, opts, &st)
+
+	t2 := time.Now()
+	var out []rules.Implication
+	pc.forEach(func(i, j int32, s int) {
+		if opts.PairMinSupport > 0 && s < opts.PairMinSupport {
+			return
+		}
+		ci, cj := pc.colOf[i], pc.colOf[j]
+		from, to := ci, cj
+		if ones[cj] < ones[ci] || (ones[cj] == ones[ci] && cj < ci) {
+			from, to = cj, ci
+		}
+		if minconf.Meets(s, ones[from]) {
+			out = append(out, rules.Implication{From: from, To: to, Hits: s, Ones: ones[from]})
+		}
+	})
+	st.Extract = time.Since(t2)
+	st.NumRules = len(out)
+	st.Total = time.Since(start)
+	return out, st
+}
+
+// Similarities extracts all similarity rules with similarity ≥ minsim
+// among the support-surviving columns.
+func Similarities(m *matrix.Matrix, minsim core.Threshold, opts Options) ([]rules.Similarity, Stats) {
+	var st Stats
+	start := time.Now()
+	ones := m.Ones()
+	pc := count(m, ones, opts, &st)
+
+	t2 := time.Now()
+	var out []rules.Similarity
+	pc.forEach(func(i, j int32, s int) {
+		if opts.PairMinSupport > 0 && s < opts.PairMinSupport {
+			return
+		}
+		ci, cj := pc.colOf[i], pc.colOf[j]
+		if minsim.MeetsSim(s, ones[ci], ones[cj]) {
+			out = append(out, rules.Similarity{A: ci, B: cj, Hits: s, OnesA: ones[ci], OnesB: ones[cj]})
+		}
+	})
+	st.Extract = time.Since(t2)
+	st.NumRules = len(out)
+	st.Total = time.Since(start)
+	return out, st
+}

@@ -1,0 +1,144 @@
+package apriori
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmc/internal/core"
+	"dmc/internal/matrix"
+	"dmc/internal/paperdata"
+	"dmc/internal/rules"
+)
+
+func randomMatrix(rng *rand.Rand, n, m int) *matrix.Matrix {
+	b := matrix.NewBuilder(m)
+	for i := 0; i < n; i++ {
+		var row []matrix.Col
+		for c := 0; c < m; c++ {
+			if rng.Float64() < 0.15 {
+				row = append(row, matrix.Col(c))
+			}
+		}
+		b.AddRow(row)
+	}
+	return b.Build()
+}
+
+// Without support pruning, a-priori must agree exactly with the
+// brute-force reference (and hence with DMC).
+func TestImplicationsMatchNaive(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		mx := randomMatrix(rng, 60, 20)
+		for _, pct := range []int{100, 85, 60, 40} {
+			th := core.FromPercent(pct)
+			got, st := Implications(mx, th, Options{})
+			want := core.NaiveImplications(mx, th)
+			if d := rules.DiffImplications(got, want); d != "" {
+				t.Fatalf("seed %d at %d%%:\n%s", seed, pct, d)
+			}
+			if st.NumRules != len(got) {
+				t.Errorf("NumRules = %d, len = %d", st.NumRules, len(got))
+			}
+		}
+	}
+}
+
+func TestSimilaritiesMatchNaive(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(10 + seed))
+		mx := randomMatrix(rng, 60, 20)
+		for _, pct := range []int{100, 75, 50, 25} {
+			th := core.FromPercent(pct)
+			got, _ := Similarities(mx, th, Options{})
+			want := core.NaiveSimilarities(mx, th)
+			if d := rules.DiffSimilarities(got, want); d != "" {
+				t.Fatalf("seed %d at %d%%:\n%s", seed, pct, d)
+			}
+		}
+	}
+}
+
+func TestFig2(t *testing.T) {
+	got, _ := Implications(paperdata.Fig2(), core.FromPercent(80), Options{})
+	want := []rules.Implication{
+		{From: 0, To: 1, Hits: 4, Ones: 5},
+		{From: 2, To: 4, Hits: 4, Ones: 5},
+	}
+	if d := rules.DiffImplications(got, want); d != "" {
+		t.Fatalf("Fig2:\n%s", d)
+	}
+}
+
+// Support pruning must drop exactly the rules touching infrequent
+// columns.
+func TestMinSupportPrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	mx := randomMatrix(rng, 80, 20)
+	ones := mx.Ones()
+	minSup := 10
+	th := core.FromPercent(50)
+	got, st := Implications(mx, th, Options{MinSupport: minSup})
+	var want []rules.Implication
+	for _, r := range core.NaiveImplications(mx, th) {
+		if ones[r.From] >= minSup && ones[r.To] >= minSup {
+			want = append(want, r)
+		}
+	}
+	if d := rules.DiffImplications(got, want); d != "" {
+		t.Fatalf("min support:\n%s", d)
+	}
+	if st.FrequentColumns >= mx.NumCols() {
+		t.Errorf("no columns pruned: %d", st.FrequentColumns)
+	}
+}
+
+func TestMaxSupportPrunes(t *testing.T) {
+	// Column 0 is in every row (a stop word); MaxSupport removes it.
+	m := matrix.FromRows(3, [][]matrix.Col{
+		{0, 1, 2}, {0, 1, 2}, {0, 1}, {0},
+	})
+	got, st := Implications(m, core.FromPercent(60), Options{MaxSupport: 3})
+	for _, r := range got {
+		if r.From == 0 || r.To == 0 {
+			t.Fatalf("stop-word column in rule %v", r)
+		}
+	}
+	if st.FrequentColumns != 2 {
+		t.Errorf("FrequentColumns = %d, want 2", st.FrequentColumns)
+	}
+}
+
+// Pair-level support (with and without the DHP filter) keeps exactly
+// the rules with enough co-occurrences.
+func TestPairMinSupportAndDHP(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mx := randomMatrix(rng, 100, 16)
+	th := core.FromPercent(40)
+	var want []rules.Implication
+	for _, r := range core.NaiveImplications(mx, th) {
+		if r.Hits >= 4 {
+			want = append(want, r)
+		}
+	}
+	plain, stPlain := Implications(mx, th, Options{PairMinSupport: 4})
+	if d := rules.DiffImplications(plain, want); d != "" {
+		t.Fatalf("pair min support:\n%s", d)
+	}
+	dhp, stDHP := Implications(mx, th, Options{PairMinSupport: 4, DHP: true, DHPBuckets: 1 << 12})
+	if d := rules.DiffImplications(dhp, want); d != "" {
+		t.Fatalf("DHP:\n%s", d)
+	}
+	if stDHP.PairCounters > stPlain.PairCounters {
+		t.Errorf("DHP allocated %d counters, plain %d", stDHP.PairCounters, stPlain.PairCounters)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mx := randomMatrix(rng, 50, 12)
+	_, st := Implications(mx, core.FromPercent(50), Options{})
+	if st.PairCounters <= 0 || st.PeakCounterBytes <= 0 || st.Total <= 0 {
+		t.Errorf("stats not filled: %+v", st)
+	}
+}

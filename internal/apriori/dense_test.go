@@ -1,0 +1,65 @@
+package apriori
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dmc/internal/core"
+	"dmc/internal/rules"
+)
+
+func TestTriIndexBijective(t *testing.T) {
+	const n = 13
+	seen := make(map[int]bool)
+	for i := int32(0); i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			idx := triIndex(i, j, n)
+			if idx < 0 || idx >= n*(n-1)/2 {
+				t.Fatalf("triIndex(%d,%d) = %d out of range", i, j, idx)
+			}
+			if seen[idx] {
+				t.Fatalf("triIndex(%d,%d) = %d collides", i, j, idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if len(seen) != n*(n-1)/2 {
+		t.Fatalf("covered %d of %d slots", len(seen), n*(n-1)/2)
+	}
+}
+
+// Dense and sparse counting must produce identical rule sets; only the
+// memory accounting differs.
+func TestDenseMatchesSparse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mx := randomMatrix(rng, 40+rng.Intn(60), 10+rng.Intn(15))
+		th := core.FromPercent(30 + rng.Intn(70))
+		dense, dst := Implications(mx, th, Options{}) // fits the default dense budget
+		sparse, sst := Implications(mx, th, Options{MaxDenseCounters: 1})
+		if dst.PairCounters == 0 || sst.PairCounters == 0 {
+			return len(dense) == 0 && len(sparse) == 0
+		}
+		if dst.PairCounters < sst.PairCounters {
+			return false // dense allocates the full triangle, sparse only co-occurring pairs
+		}
+		return rules.DiffImplications(dense, sparse) == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseMemoryModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	mx := randomMatrix(rng, 50, 20)
+	_, st := Implications(mx, core.FromPercent(50), Options{})
+	nf := st.FrequentColumns
+	if st.PairCounters != nf*(nf-1)/2 {
+		t.Errorf("dense PairCounters = %d, want %d", st.PairCounters, nf*(nf-1)/2)
+	}
+	if st.PeakCounterBytes != st.PairCounters*4 {
+		t.Errorf("dense bytes = %d", st.PeakCounterBytes)
+	}
+}

@@ -1,0 +1,166 @@
+// Package bitset provides a dense bitmap over row indices.
+//
+// The DMC-bitmap phase (Algorithm 4.1 of the paper) materializes the
+// trailing rows of the matrix as one bitmap per live column and decides
+// rules with bitwise AND / AND-NOT and population counts. The exact
+// reference miner used by the tests builds one bitmap per column for the
+// whole matrix the same way.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bitmap. The zero value is an empty set of
+// capacity zero; use New to create a set that can hold n bits.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns a Set able to hold bits 0..n-1, all initially clear.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromIndices returns a Set of capacity n with the given bits set.
+// It panics if any index is out of range.
+func FromIndices(n int, idx []int) *Set {
+	s := New(n)
+	for _, i := range idx {
+		s.Set(i)
+	}
+	return s
+}
+
+// Len returns the capacity of the set in bits.
+func (s *Set) Len() int { return s.n }
+
+// Set turns bit i on. It panics if i is out of range.
+func (s *Set) Set(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear turns bit i off. It panics if i is out of range.
+func (s *Set) Clear(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Test reports whether bit i is on. It panics if i is out of range.
+func (s *Set) Test(i int) bool {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AndCount returns |s ∧ t| without allocating. The sets must have equal
+// capacity.
+func (s *Set) AndCount(t *Set) int {
+	s.checkLen(t)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & t.words[i])
+	}
+	return c
+}
+
+// AndNotCount returns |s ∧ ¬t| — in DMC terms, the number of misses of s
+// against t among the represented rows. The sets must have equal capacity.
+func (s *Set) AndNotCount(t *Set) int {
+	s.checkLen(t)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w &^ t.words[i])
+	}
+	return c
+}
+
+// OrCount returns |s ∨ t|. The sets must have equal capacity.
+func (s *Set) OrCount(t *Set) int {
+	s.checkLen(t)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w | t.words[i])
+	}
+	return c
+}
+
+// Equal reports whether s and t have the same capacity and the same bits.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// Indices returns the positions of all set bits in ascending order.
+func (s *Set) Indices() []int {
+	out := make([]int, 0, s.Count())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Bytes returns the memory footprint of the set's payload in bytes. The
+// experiment harness uses it to account for DMC-bitmap memory.
+func (s *Set) Bytes() int { return len(s.words) * 8 }
+
+// String renders the set as a 0/1 string, least index first; useful in
+// test failure messages.
+func (s *Set) String() string {
+	var b strings.Builder
+	for i := 0; i < s.n; i++ {
+		if s.Test(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+func (s *Set) checkLen(t *Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitset: size mismatch %d vs %d", s.n, t.n))
+	}
+}

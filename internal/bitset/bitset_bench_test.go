@@ -1,0 +1,49 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchPair(n int) (*Set, *Set) {
+	rng := rand.New(rand.NewSource(1))
+	a, b := New(n), New(n)
+	for i := 0; i < n/4; i++ {
+		a.Set(rng.Intn(n))
+		b.Set(rng.Intn(n))
+	}
+	return a, b
+}
+
+func BenchmarkAndNotCount(b *testing.B) {
+	x, y := benchPair(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.AndNotCount(y)
+	}
+}
+
+func BenchmarkAndCount(b *testing.B) {
+	x, y := benchPair(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.AndCount(y)
+	}
+}
+
+func BenchmarkEqual(b *testing.B) {
+	x, _ := benchPair(1 << 16)
+	y := x.Clone()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.Equal(y)
+	}
+}
+
+func BenchmarkIndices(b *testing.B) {
+	x, _ := benchPair(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.Indices()
+	}
+}

@@ -1,0 +1,197 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(0)
+	if s.Len() != 0 || s.Count() != 0 {
+		t.Fatalf("empty set: Len=%d Count=%d", s.Len(), s.Count())
+	}
+	s = New(130)
+	if s.Len() != 130 || s.Count() != 0 {
+		t.Fatalf("new set: Len=%d Count=%d", s.Len(), s.Count())
+	}
+	for i := 0; i < 130; i++ {
+		if s.Test(i) {
+			t.Fatalf("bit %d set in fresh set", i)
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetClearTest(t *testing.T) {
+	s := New(200)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		s.Set(i)
+		if !s.Test(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Error("bit 64 still set after Clear")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count after clear = %d, want 7", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for name, f := range map[string]func(){
+		"Set":   func() { s.Set(10) },
+		"Clear": func() { s.Clear(-1) },
+		"Test":  func() { s.Test(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s out of range did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFromIndices(t *testing.T) {
+	s := FromIndices(70, []int{3, 69, 3})
+	if s.Count() != 2 || !s.Test(3) || !s.Test(69) {
+		t.Fatalf("FromIndices wrong: %v", s.Indices())
+	}
+}
+
+func TestCountOps(t *testing.T) {
+	a := FromIndices(130, []int{0, 5, 64, 100, 129})
+	b := FromIndices(130, []int{5, 64, 99})
+	if got := a.AndCount(b); got != 2 {
+		t.Errorf("AndCount = %d, want 2", got)
+	}
+	if got := a.AndNotCount(b); got != 3 {
+		t.Errorf("AndNotCount = %d, want 3", got)
+	}
+	if got := b.AndNotCount(a); got != 1 {
+		t.Errorf("reverse AndNotCount = %d, want 1", got)
+	}
+	if got := a.OrCount(b); got != 6 {
+		t.Errorf("OrCount = %d, want 6", got)
+	}
+}
+
+func TestSizeMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AndCount with mismatched sizes did not panic")
+		}
+	}()
+	a.AndCount(b)
+}
+
+func TestEqualClone(t *testing.T) {
+	a := FromIndices(90, []int{1, 2, 88})
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.Set(3)
+	if a.Equal(b) {
+		t.Fatal("mutated clone still equal")
+	}
+	if a.Test(3) {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if a.Equal(New(91)) {
+		t.Fatal("sets of different capacity reported equal")
+	}
+}
+
+func TestIndicesRoundTrip(t *testing.T) {
+	in := []int{0, 7, 63, 64, 65, 120}
+	s := FromIndices(121, in)
+	got := s.Indices()
+	if len(got) != len(in) {
+		t.Fatalf("Indices len = %d, want %d", len(got), len(in))
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("Indices[%d] = %d, want %d", i, got[i], in[i])
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if got := New(1).Bytes(); got != 8 {
+		t.Errorf("New(1).Bytes() = %d, want 8", got)
+	}
+	if got := New(64).Bytes(); got != 8 {
+		t.Errorf("New(64).Bytes() = %d, want 8", got)
+	}
+	if got := New(65).Bytes(); got != 16 {
+		t.Errorf("New(65).Bytes() = %d, want 16", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := FromIndices(4, []int{1, 3})
+	if got := s.String(); got != "0101" {
+		t.Errorf("String = %q, want 0101", got)
+	}
+}
+
+// Property: counting identities hold against an independent map-based model.
+func TestQuickCountIdentities(t *testing.T) {
+	f := func(seed int64, na, nb uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		a, b := New(n), New(n)
+		ma, mb := map[int]bool{}, map[int]bool{}
+		for i := 0; i < int(na); i++ {
+			k := rng.Intn(n)
+			a.Set(k)
+			ma[k] = true
+		}
+		for i := 0; i < int(nb); i++ {
+			k := rng.Intn(n)
+			b.Set(k)
+			mb[k] = true
+		}
+		inter, diff, union := 0, 0, 0
+		for k := range ma {
+			if mb[k] {
+				inter++
+			} else {
+				diff++
+			}
+			union++
+		}
+		for k := range mb {
+			if !ma[k] {
+				union++
+			}
+		}
+		return a.AndCount(b) == inter &&
+			a.AndNotCount(b) == diff &&
+			a.OrCount(b) == union &&
+			a.Count() == len(ma) &&
+			a.OrCount(b) == a.Count()+b.Count()-a.AndCount(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"dmc/internal/matrix"
+	"dmc/internal/rules"
+)
+
+// enumMatrix materializes the matrix whose bits are the binary digits
+// of code, row-major over an n×m grid.
+func enumMatrix(code uint64, n, m int) *matrix.Matrix {
+	rows := make([][]matrix.Col, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if code&(1<<(uint(i*m+j))) != 0 {
+				rows[i] = append(rows[i], matrix.Col(j))
+			}
+		}
+	}
+	return matrix.FromRows(m, rows)
+}
+
+// TestExhaustiveTinyMatrices checks DMC against the brute-force
+// reference on EVERY 0/1 matrix of a small shape — no sampling, no
+// seeds. 4×4 gives 65,536 matrices; with three thresholds and both rule
+// kinds that is ~400k mining runs, still well under a second per
+// configuration.
+func TestExhaustiveTinyMatrices(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive enumeration")
+	}
+	const n, m = 4, 4
+	thresholds := []Threshold{FromPercent(100), FromRatio(2, 3), FromPercent(50)}
+	for code := uint64(0); code < 1<<(n*m); code++ {
+		mx := enumMatrix(code, n, m)
+		for _, th := range thresholds {
+			wantImp := NaiveImplications(mx, th)
+			gotImp, _ := DMCImp(mx, th, Options{})
+			if d := rules.DiffImplications(gotImp, wantImp); d != "" {
+				t.Fatalf("matrix %#x at %v (imp):\n%s", code, th, d)
+			}
+			wantSim := NaiveSimilarities(mx, th)
+			gotSim, _ := DMCSim(mx, th, Options{})
+			if d := rules.DiffSimilarities(gotSim, wantSim); d != "" {
+				t.Fatalf("matrix %#x at %v (sim):\n%s", code, th, d)
+			}
+		}
+	}
+}
+
+// TestExhaustiveTinyBitmapSwitch repeats the enumeration on a smaller
+// shape with the DMC-bitmap switch forced mid-scan, so every tiny
+// matrix also exercises the bitmap phases and their interplay with the
+// in-core prefix.
+func TestExhaustiveTinyBitmapSwitch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive enumeration")
+	}
+	const n, m = 4, 3
+	opts := Options{BitmapMaxRows: 2, BitmapMinBytes: -1}
+	thresholds := []Threshold{FromPercent(100), FromRatio(3, 4), FromPercent(40)}
+	for code := uint64(0); code < 1<<(n*m); code++ {
+		mx := enumMatrix(code, n, m)
+		for _, th := range thresholds {
+			gotImp, _ := DMCImp(mx, th, opts)
+			if d := rules.DiffImplications(gotImp, NaiveImplications(mx, th)); d != "" {
+				t.Fatalf("matrix %#x at %v (imp):\n%s", code, th, d)
+			}
+			gotSim, _ := DMCSim(mx, th, opts)
+			if d := rules.DiffSimilarities(gotSim, NaiveSimilarities(mx, th)); d != "" {
+				t.Fatalf("matrix %#x at %v (sim):\n%s", code, th, d)
+			}
+		}
+	}
+}

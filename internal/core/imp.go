@@ -1,0 +1,116 @@
+package core
+
+import (
+	"time"
+
+	"dmc/internal/matrix"
+	"dmc/internal/rules"
+)
+
+// DMCImp mines all implication rules of m with confidence ≥ minconf,
+// implementing Algorithm 4.2:
+//
+//  1. prescan — count ones(c) and derive the (bucketed) scan order;
+//  2. extract 100%-confidence rules with the simplified counterless
+//     scan of §4.3 (with its DMC-bitmap endgame);
+//  3. drop every column whose miss budget is zero — such columns can
+//     only produce 100%-confidence rules, all found already;
+//  4. extract the remaining rules with the general DMC-base scan (with
+//     its DMC-bitmap endgame).
+//
+// The result is exact: every rule with Conf ≥ minconf among columns
+// with at least one 1, each exactly once, in no particular order.
+// For rule sets too large to materialize, use DMCImpEach.
+func DMCImp(m *matrix.Matrix, minconf Threshold, opts Options) ([]rules.Implication, Stats) {
+	var out []rules.Implication
+	st := DMCImpEach(m, minconf, opts, func(r rules.Implication) { out = append(out, r) })
+	return out, st
+}
+
+// DMCImpEach is DMCImp with streaming emission: each mined rule is
+// passed to fn exactly once, in scan order, and never stored — the
+// right entry point when the rule volume itself is the memory problem
+// (support-free mining of crawl-scale data can yield tens of millions
+// of rules).
+func DMCImpEach(m *matrix.Matrix, minconf Threshold, opts Options, fn func(rules.Implication)) Stats {
+	start := time.Now()
+	ones := m.Ones()
+	src := MatrixSource(m, opts.Order.order(m))
+	prescan := time.Since(start)
+	st := dmcImp(src, ones, minconf, opts, fn)
+	st.Prescan = prescan
+	st.Total = time.Since(start)
+	return st
+}
+
+// DMCImpSource is DMCImp over an abstract row source — the entry point
+// for streamed, disk-backed mining (package stream). ones must be the
+// per-column 1-counts computed by the caller's first pass; the source's
+// pass order is taken as given (Options.Order is ignored), so a
+// streaming caller implements §4.1 by writing density buckets during
+// its first pass and replaying them sparsest-first.
+func DMCImpSource(src Source, ones []int, minconf Threshold, opts Options) ([]rules.Implication, Stats) {
+	var out []rules.Implication
+	st := dmcImp(src, ones, minconf, opts, func(r rules.Implication) { out = append(out, r) })
+	return out, st
+}
+
+// DMCImpSourceEach combines the Source and streaming-emission forms.
+func DMCImpSourceEach(src Source, ones []int, minconf Threshold, opts Options, fn func(rules.Implication)) Stats {
+	return dmcImp(src, ones, minconf, opts, fn)
+}
+
+func dmcImp(src Source, ones []int, minconf Threshold, opts Options, fn func(rules.Implication)) Stats {
+	minconf.check()
+	var st Stats
+	st.SwitchPos100, st.SwitchPosLT = -1, -1
+	start := time.Now()
+
+	mem100 := &memMeter{sample: opts.SampleMemory}
+	memLT := &memMeter{sample: opts.SampleMemory}
+	mcols := src.NumCols()
+	supportAlive := opts.supportMask(ones)
+	emit := func(r rules.Implication) {
+		st.NumRules++
+		fn(r)
+	}
+
+	if opts.SingleScan {
+		// Ablation: plain DMC-base over every column, no 100% split.
+		t0 := time.Now()
+		impScan(src.Pass(), mcols, ones, supportAlive, nil, minconf, opts, memLT, &st, emit)
+		st.PhaseLT = time.Since(t0)
+		st.BitmapLT = st.Bitmap
+		st.ColumnsAfterCutoff = mcols
+	} else {
+		t0 := time.Now()
+		imp100Scan(src.Pass(), mcols, ones, supportAlive, nil, opts, mem100, &st, emit)
+		st.Phase100 = time.Since(t0)
+		st.Bitmap100 = st.Bitmap
+
+		if !minconf.IsOne() {
+			t1 := time.Now()
+			minOnes := minconf.MinOnesConf()
+			alive := make([]bool, mcols)
+			for c, k := range ones {
+				if k >= minOnes && (supportAlive == nil || supportAlive[c]) {
+					alive[c] = true
+					st.ColumnsAfterCutoff++
+				}
+			}
+			impScan(src.Pass(), mcols, ones, alive, nil, minconf, opts, memLT, &st, func(r rules.Implication) {
+				if r.Hits < r.Ones { // 100%-confidence rules came from the first phase
+					emit(r)
+				}
+			})
+			st.PhaseLT = time.Since(t1)
+			st.BitmapLT = st.Bitmap - st.Bitmap100
+		}
+	}
+
+	st.Peak100, st.PeakLT = mem100.peak, memLT.peak
+	st.PeakCounterBytes = max(mem100.peak, memLT.peak)
+	st.MemSamples = append(mem100.samples, memLT.samples...)
+	st.Total = time.Since(start)
+	return st
+}

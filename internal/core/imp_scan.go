@@ -1,0 +1,298 @@
+package core
+
+import (
+	"time"
+
+	"dmc/internal/bitset"
+	"dmc/internal/matrix"
+	"dmc/internal/rules"
+)
+
+// candEntry is one candidate consequent on a column's list: the
+// candidate column id plus its running miss counter. In the paper's
+// memory model it costs 8 bytes (entryBytes).
+type candEntry struct {
+	col  matrix.Col
+	miss int32
+}
+
+// ranker orders columns by (ones, id): the canonical antecedent /
+// consequent orientation of §2. less(a,b) reports that a may be an
+// antecedent of b.
+type ranker struct{ ones []int }
+
+func (r ranker) less(a, b matrix.Col) bool {
+	oa, ob := r.ones[a], r.ones[b]
+	return oa < ob || (oa == ob && a < b)
+}
+
+// impScan runs the general DMC-base scan (Algorithm 3.1) for
+// implication rules over one pass of rows, switching to DMC-bitmap
+// (Algorithm 4.1) when the remaining rows fit the bitmap budget and the
+// counter array has grown past the threshold.
+//
+// alive, when non-nil, masks out columns removed by the step-3 cutoff;
+// masked columns neither open candidate lists nor appear as candidates.
+// owned, when non-nil, restricts which columns act as antecedents —
+// the column-partitioning hook used by the parallel pipeline; a
+// non-owned column can still appear as a consequent. Every rule with
+// confidence ≥ t whose antecedent is alive and owned is emitted exactly
+// once (including 100%-confidence ones; DMC-imp filters those out when
+// this scan runs as its second phase).
+func impScan(rows Rows, mcols int, ones []int, alive, owned []bool, t Threshold, opts Options, mem *memMeter, st *Stats, emit func(rules.Implication)) {
+	rk := ranker{ones}
+	maxmis := make([]int, mcols)
+	for c := 0; c < mcols; c++ {
+		maxmis[c] = t.MaxMissesConf(ones[c])
+	}
+	cnt := make([]int, mcols)
+	cand := make([][]candEntry, mcols)
+	hasList := make([]bool, mcols)
+	released := make([]bool, mcols)
+
+	bmMaxRows, bmMinBytes := opts.bitmapMaxRows(), opts.bitmapMinBytes()
+	rowBuf := make([]matrix.Col, 0, 256)
+	n := rows.Len()
+	for pos := 0; pos < n; pos++ {
+		if !opts.DisableBitmap && n-pos <= bmMaxRows && mem.bytes > bmMinBytes {
+			start := time.Now()
+			impBitmap(rows, pos, mcols, ones, alive, owned, maxmis, cnt, cand, hasList, released, rk, mem, st, emit)
+			st.Bitmap += time.Since(start)
+			if st.SwitchPosLT < 0 {
+				st.SwitchPosLT = pos
+			}
+			return
+		}
+		row := filterRow(rows.Row(pos), alive, &rowBuf)
+		for _, cj := range row {
+			switch {
+			case released[cj] || (owned != nil && !owned[cj]):
+				// Released columns have all their 1s behind them;
+				// non-owned columns belong to another worker.
+			case !hasList[cj]:
+				// First 1 of cj (cnt is 0): every higher-rank column of
+				// this row becomes a candidate with zero misses.
+				lst := make([]candEntry, 0, len(row))
+				for _, ck := range row {
+					if rk.less(cj, ck) {
+						lst = append(lst, candEntry{ck, 0})
+					}
+				}
+				cand[cj] = lst
+				hasList[cj] = true
+				st.CandidatesAdded += len(lst)
+				mem.add(len(lst), entryBytes)
+			case cnt[cj] <= maxmis[cj]:
+				cand[cj] = mergeOpen(cand[cj], row, cj, cnt[cj], maxmis[cj], rk, mem, st)
+			default:
+				cand[cj] = mergeClosed(cand[cj], row, maxmis[cj], mem, st)
+			}
+		}
+		for _, cj := range row {
+			cnt[cj]++
+			if cnt[cj] == ones[cj] {
+				// Last 1 of cj: everything still on its list meets the
+				// threshold (misses are bounded by maxmis eagerly).
+				for _, e := range cand[cj] {
+					emit(rules.Implication{From: cj, To: e.col, Hits: ones[cj] - int(e.miss), Ones: ones[cj]})
+				}
+				mem.remove(len(cand[cj]), entryBytes)
+				cand[cj] = nil
+				released[cj] = true
+			}
+		}
+		mem.snapshot(pos)
+	}
+}
+
+// filterRow drops masked columns from a row, reusing *buf.
+func filterRow(row []matrix.Col, alive []bool, buf *[]matrix.Col) []matrix.Col {
+	if alive == nil {
+		return row
+	}
+	out := (*buf)[:0]
+	for _, c := range row {
+		if alive[c] {
+			out = append(out, c)
+		}
+	}
+	*buf = out
+	return out
+}
+
+// mergeOpen handles the cnt ≤ maxmis case of Algorithm 3.1: walk the
+// candidate list and the row together; columns only in the row join the
+// list with cnt pre-counted misses, candidates absent from the row take
+// a miss (and are deleted if they overflow the budget — see DESIGN.md
+// §3 on why the delete also applies here).
+func mergeOpen(lst []candEntry, row []matrix.Col, cj matrix.Col, cntj, maxmisj int, rk ranker, mem *memMeter, st *Stats) []candEntry {
+	// Count the insertions first: most rows add nothing to an
+	// established list, and then the merge can compact in place with no
+	// allocation (insertions happen strictly left-to-right, and the
+	// write position can never overtake the read position when there
+	// are none).
+	added := 0
+	i := 0
+	for _, ck := range row {
+		for i < len(lst) && lst[i].col < ck {
+			i++
+		}
+		if (i == len(lst) || lst[i].col != ck) && rk.less(cj, ck) {
+			added++
+		}
+	}
+	out := lst[:0]
+	if added > 0 {
+		out = make([]candEntry, 0, len(lst)+added)
+	}
+	deleted := 0
+	i, j := 0, 0
+	for i < len(lst) || j < len(row) {
+		switch {
+		case j >= len(row) || (i < len(lst) && lst[i].col < row[j]):
+			e := lst[i]
+			i++
+			e.miss++
+			if int(e.miss) > maxmisj {
+				deleted++
+				continue
+			}
+			out = append(out, e)
+		case i >= len(lst) || row[j] < lst[i].col:
+			ck := row[j]
+			j++
+			if rk.less(cj, ck) {
+				out = append(out, candEntry{ck, int32(cntj)})
+			}
+		default: // present on both sides: a hit, no counter change
+			out = append(out, lst[i])
+			i++
+			j++
+		}
+	}
+	st.CandidatesAdded += added
+	st.CandidatesDeleted += deleted
+	mem.add(added, entryBytes)
+	mem.remove(deleted, entryBytes)
+	return out
+}
+
+// mergeClosed handles the cnt > maxmis case: no additions are possible,
+// so compact the list in place, bumping (and possibly deleting)
+// candidates absent from the row.
+func mergeClosed(lst []candEntry, row []matrix.Col, maxmisj int, mem *memMeter, st *Stats) []candEntry {
+	out := lst[:0]
+	deleted := 0
+	j := 0
+	for _, e := range lst {
+		for j < len(row) && row[j] < e.col {
+			j++
+		}
+		if j < len(row) && row[j] == e.col {
+			out = append(out, e) // hit
+			continue
+		}
+		e.miss++
+		if int(e.miss) > maxmisj {
+			deleted++
+			continue
+		}
+		out = append(out, e)
+	}
+	st.CandidatesDeleted += deleted
+	mem.remove(deleted, entryBytes)
+	return out
+}
+
+// impBitmap is DMC-bitmap (Algorithm 4.1): materialize the remaining
+// rows as one bitmap per live column, then decide every still-open rule
+// with bitwise counting.
+//
+// Phase 1 covers columns that can no longer accept candidates
+// (cnt > maxmis): each listed candidate's total misses are its counter
+// plus the tail misses |bm(cj) ∧ ¬bm(ck)|.
+//
+// Phase 2 covers columns that still could (cnt ≤ maxmis): hit counters
+// seeded from the candidate list (hits so far = cnt − miss) plus
+// co-occurrences in the tail rows of cj; any higher-rank column reaching
+// ones(cj) − maxmis(cj) hits is a rule. Columns not on the list have
+// zero pre-switch hits by the list-completeness invariant, so seeding
+// only from the list is exact.
+func impBitmap(rows Rows, pos, mcols int, ones []int, alive, owned []bool, maxmis, cnt []int, cand [][]candEntry, hasList, released []bool, rk ranker, mem *memMeter, st *Stats, emit func(rules.Implication)) {
+	tail, bms := tailBitmaps(rows, pos, mcols, alive)
+	empty := bitset.New(len(tail))
+
+	// Phase 1: closed columns.
+	for cj := 0; cj < mcols; cj++ {
+		if !hasList[cj] || released[cj] || cnt[cj] <= maxmis[cj] {
+			continue
+		}
+		bmj := bms[cj]
+		if bmj == nil {
+			bmj = empty
+		}
+		for _, e := range cand[cj] {
+			bmk := bms[e.col]
+			if bmk == nil {
+				bmk = empty
+			}
+			total := int(e.miss) + bmj.AndNotCount(bmk)
+			if total <= maxmis[cj] {
+				emit(rules.Implication{From: matrix.Col(cj), To: e.col, Hits: ones[cj] - total, Ones: ones[cj]})
+			}
+		}
+		mem.remove(len(cand[cj]), entryBytes)
+		cand[cj] = nil
+	}
+
+	// Phase 2: columns that could still accept candidates.
+	for cj := 0; cj < mcols; cj++ {
+		if released[cj] || ones[cj] == 0 || cnt[cj] > maxmis[cj] ||
+			(alive != nil && !alive[cj]) || (owned != nil && !owned[cj]) {
+			continue
+		}
+		needed := ones[cj] - maxmis[cj]
+		hits := make(map[matrix.Col]int, len(cand[cj]))
+		for _, e := range cand[cj] {
+			hits[e.col] = cnt[cj] - int(e.miss)
+		}
+		if bmj := bms[cj]; bmj != nil {
+			for _, o := range bmj.Indices() {
+				for _, ck := range tail[o] {
+					if ck != matrix.Col(cj) {
+						hits[ck]++
+					}
+				}
+			}
+		}
+		for ck, h := range hits {
+			if h >= needed && rk.less(matrix.Col(cj), ck) {
+				emit(rules.Implication{From: matrix.Col(cj), To: ck, Hits: h, Ones: ones[cj]})
+			}
+		}
+		mem.remove(len(cand[cj]), entryBytes)
+		cand[cj] = nil
+	}
+}
+
+// tailBitmaps reads the remaining rows rows[pos:] (masked by alive) and
+// returns copies of them along with a lazily-allocated bitmap per
+// column that appears in them, indexed by tail offset. Rows are copied
+// because Rows implementations may reuse their row buffers.
+func tailBitmaps(rows Rows, pos, mcols int, alive []bool) ([][]matrix.Col, []*bitset.Set) {
+	rem := rows.Len() - pos
+	tail := make([][]matrix.Col, rem)
+	bms := make([]*bitset.Set, mcols)
+	var buf []matrix.Col
+	for o := 0; o < rem; o++ {
+		row := filterRow(rows.Row(pos+o), alive, &buf)
+		tail[o] = append([]matrix.Col(nil), row...)
+		for _, c := range row {
+			if bms[c] == nil {
+				bms[c] = bitset.New(rem)
+			}
+			bms[c].Set(o)
+		}
+	}
+	return tail, bms
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dmc/internal/matrix"
+	"dmc/internal/paperdata"
+	"dmc/internal/rules"
+)
+
+// noBitmap disables the DMC-bitmap switch so the pure scan is tested.
+var noBitmap = Options{DisableBitmap: true}
+
+// forceBitmap switches to DMC-bitmap as early as possible (every row
+// fits the budget, zero memory threshold), exercising the bitmap phases
+// over essentially the whole matrix.
+func forceBitmap(n int) Options {
+	return Options{BitmapMaxRows: n + 1, BitmapMinBytes: -1}
+}
+
+func TestDMCImpFig1(t *testing.T) {
+	m := paperdata.Fig1()
+	got, st := DMCImp(m, FromPercent(100), Options{})
+	want := []rules.Implication{{From: 2, To: 1, Hits: 2, Ones: 2}}
+	if d := rules.DiffImplications(got, want); d != "" {
+		t.Fatalf("Fig1 rules differ:\n%s", d)
+	}
+	if st.NumRules != 1 {
+		t.Errorf("NumRules = %d", st.NumRules)
+	}
+}
+
+func TestDMCImpFig2(t *testing.T) {
+	m := paperdata.Fig2()
+	// Example 3.1: at 80% confidence only c1=>c2 and c3=>c5 survive,
+	// each with exactly one miss (confidence 4/5).
+	want := []rules.Implication{
+		{From: 0, To: 1, Hits: 4, Ones: 5},
+		{From: 2, To: 4, Hits: 4, Ones: 5},
+	}
+	for name, opts := range map[string]Options{
+		"default":        {},
+		"original order": {Order: OrderOriginal},
+		"densest first":  {Order: OrderDensestFirst},
+		"no bitmap":      noBitmap,
+		"forced bitmap":  forceBitmap(m.NumRows()),
+		"single scan":    {SingleScan: true},
+	} {
+		got, _ := DMCImp(m, FromPercent(80), opts)
+		if d := rules.DiffImplications(got, want); d != "" {
+			t.Errorf("%s: Fig2 rules differ:\n%s", name, d)
+		}
+	}
+}
+
+func TestDMCImpFig2At100(t *testing.T) {
+	// No column of Fig 2 is contained in another, so there are no
+	// 100%-confidence rules.
+	got, _ := DMCImp(paperdata.Fig2(), FromPercent(100), Options{})
+	if len(got) != 0 {
+		t.Fatalf("unexpected 100%% rules: %v", got)
+	}
+}
+
+func TestNaiveImplicationsFig2(t *testing.T) {
+	got := NaiveImplications(paperdata.Fig2(), FromPercent(80))
+	want := []rules.Implication{
+		{From: 0, To: 1, Hits: 4, Ones: 5},
+		{From: 2, To: 4, Hits: 4, Ones: 5},
+	}
+	if d := rules.DiffImplications(got, want); d != "" {
+		t.Fatalf("naive Fig2 rules differ:\n%s", d)
+	}
+}
+
+func TestDMCImpEmptyAndDegenerate(t *testing.T) {
+	for name, m := range map[string]*matrix.Matrix{
+		"no rows":    matrix.New(5),
+		"no cols":    matrix.FromRows(0, [][]matrix.Col{}),
+		"single col": matrix.FromRows(1, [][]matrix.Col{{0}, {0}}),
+		"empty rows": matrix.FromRows(3, [][]matrix.Col{{}, {}, {}}),
+		"unused col": matrix.FromRows(3, [][]matrix.Col{{0, 1}, {0, 1}}),
+	} {
+		for _, pct := range []int{100, 80, 50} {
+			got, _ := DMCImp(m, FromPercent(pct), Options{})
+			want := NaiveImplications(m, FromPercent(pct))
+			if d := rules.DiffImplications(got, want); d != "" {
+				t.Errorf("%s at %d%%:\n%s", name, pct, d)
+			}
+		}
+	}
+}
+
+func TestDMCImpIdenticalColumns(t *testing.T) {
+	// Two identical columns give both 100% rules... only the canonical
+	// orientation (equal ones, smaller id first) is reported.
+	m := matrix.FromRows(2, [][]matrix.Col{{0, 1}, {0, 1}, {0, 1}})
+	got, _ := DMCImp(m, FromPercent(100), Options{})
+	want := []rules.Implication{{From: 0, To: 1, Hits: 3, Ones: 3}}
+	if d := rules.DiffImplications(got, want); d != "" {
+		t.Fatalf("identical columns:\n%s", d)
+	}
+}
+
+// randomMatrix builds a random matrix with clustered column groups so
+// that high-confidence rules actually occur.
+func randomMatrix(rng *rand.Rand, n, m int) *matrix.Matrix {
+	b := matrix.NewBuilder(m)
+	nGroups := 1 + m/4
+	for i := 0; i < n; i++ {
+		var row []matrix.Col
+		// A couple of correlated groups per row plus random noise.
+		for g := 0; g < 2; g++ {
+			base := matrix.Col(rng.Intn(nGroups) * 4)
+			for d := 0; d < 4; d++ {
+				c := base + matrix.Col(d)
+				if int(c) < m && rng.Float64() < 0.8 {
+					row = append(row, c)
+				}
+			}
+		}
+		for c := 0; c < m; c++ {
+			if rng.Float64() < 0.05 {
+				row = append(row, matrix.Col(c))
+			}
+		}
+		b.AddRow(row)
+	}
+	return b.Build()
+}
+
+// TestDMCImpMatchesNaive is the core equivalence property: every engine
+// configuration must produce exactly the rule set of the brute-force
+// reference, across sizes and thresholds, including thresholds that hit
+// exact-boundary confidences.
+func TestDMCImpMatchesNaive(t *testing.T) {
+	thresholds := []Threshold{
+		FromPercent(100), FromPercent(95), FromPercent(90), FromPercent(85),
+		FromPercent(80), FromPercent(75), FromPercent(66), FromPercent(50),
+		FromRatio(2, 3), FromRatio(4, 5),
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 20+rng.Intn(80), 8+rng.Intn(24)
+		mx := randomMatrix(rng, n, m)
+		for _, th := range thresholds {
+			want := NaiveImplications(mx, th)
+			for name, opts := range map[string]Options{
+				"default":       {},
+				"original":      {Order: OrderOriginal},
+				"densest":       {Order: OrderDensestFirst},
+				"no bitmap":     noBitmap,
+				"force bitmap":  forceBitmap(n),
+				"tiny bitmap":   {BitmapMaxRows: 3, BitmapMinBytes: -1},
+				"mid bitmap":    {BitmapMaxRows: n / 2, BitmapMinBytes: 64},
+				"single scan":   {SingleScan: true},
+				"single+bitmap": {SingleScan: true, BitmapMaxRows: n / 3, BitmapMinBytes: -1},
+			} {
+				got, _ := DMCImp(mx, th, opts)
+				if d := rules.DiffImplications(got, want); d != "" {
+					t.Fatalf("seed %d %dx%d, %v, %s:\n%s", seed, n, m, th, name, d)
+				}
+			}
+		}
+	}
+}
+
+func TestDMCImpStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mx := randomMatrix(rng, 60, 16)
+	got, st := DMCImp(mx, FromPercent(80), Options{SampleMemory: true})
+	if st.NumRules != len(got) {
+		t.Errorf("NumRules = %d, len = %d", st.NumRules, len(got))
+	}
+	if st.PeakCounterBytes <= 0 {
+		t.Error("PeakCounterBytes not recorded")
+	}
+	if len(st.MemSamples) == 0 {
+		t.Error("MemSamples empty with SampleMemory")
+	}
+	if st.CandidatesAdded <= 0 {
+		t.Error("CandidatesAdded not counted")
+	}
+	if st.Total <= 0 {
+		t.Error("Total duration missing")
+	}
+	if st.ColumnsAfterCutoff <= 0 || st.ColumnsAfterCutoff > mx.NumCols() {
+		t.Errorf("ColumnsAfterCutoff = %d", st.ColumnsAfterCutoff)
+	}
+	// The forced-bitmap run must record a switch position.
+	_, st2 := DMCImp(mx, FromPercent(80), forceBitmap(60))
+	if st2.SwitchPos100 != 0 || st2.SwitchPosLT != 0 {
+		t.Errorf("forced bitmap: switch positions = %d, %d, want 0, 0", st2.SwitchPos100, st2.SwitchPosLT)
+	}
+	_, st3 := DMCImp(mx, FromPercent(80), noBitmap)
+	if st3.SwitchPos100 != -1 || st3.SwitchPosLT != -1 {
+		t.Errorf("no bitmap: switch positions = %d, %d, want -1, -1", st3.SwitchPos100, st3.SwitchPosLT)
+	}
+}
+
+// TestDMCImpMemoryOrdering demonstrates §4.1: on a matrix with a few
+// very dense rows, scanning sparsest-first needs less peak counter
+// memory than scanning densest-first.
+func TestDMCImpMemoryOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := matrix.NewBuilder(60)
+	for i := 0; i < 200; i++ {
+		var row []matrix.Col
+		k := 2 + rng.Intn(3)
+		for j := 0; j < k; j++ {
+			row = append(row, matrix.Col(rng.Intn(60)))
+		}
+		b.AddRow(row)
+	}
+	// Three crawler rows touching every column.
+	full := make([]matrix.Col, 60)
+	for c := range full {
+		full[c] = matrix.Col(c)
+	}
+	b.AddRow(full)
+	b.AddRow(full)
+	b.AddRow(full)
+	mx := b.Build()
+
+	_, sparse := DMCImp(mx, FromPercent(100), Options{Order: OrderSparsestFirst, DisableBitmap: true})
+	_, dense := DMCImp(mx, FromPercent(100), Options{Order: OrderDensestFirst, DisableBitmap: true})
+	if sparse.PeakCounterBytes >= dense.PeakCounterBytes {
+		t.Errorf("sparsest-first peak %d should beat densest-first peak %d",
+			sparse.PeakCounterBytes, dense.PeakCounterBytes)
+	}
+}
+
+// TestDMCImpBitmapCapsMemory demonstrates §4.2: with the DMC-bitmap
+// switch enabled, the dense tail no longer blows up the counter array.
+func TestDMCImpBitmapCapsMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	b := matrix.NewBuilder(80)
+	for i := 0; i < 150; i++ {
+		b.AddRow([]matrix.Col{matrix.Col(rng.Intn(80)), matrix.Col(rng.Intn(80))})
+	}
+	full := make([]matrix.Col, 80)
+	for c := range full {
+		full[c] = matrix.Col(c)
+	}
+	for i := 0; i < 5; i++ {
+		b.AddRow(full)
+	}
+	mx := b.Build()
+	_, off := DMCImp(mx, FromPercent(100), Options{DisableBitmap: true})
+	_, on := DMCImp(mx, FromPercent(100), Options{BitmapMaxRows: 8, BitmapMinBytes: 16})
+	if on.PeakCounterBytes >= off.PeakCounterBytes {
+		t.Errorf("bitmap-capped peak %d should beat uncapped peak %d",
+			on.PeakCounterBytes, off.PeakCounterBytes)
+	}
+	if on.SwitchPos100 < 0 {
+		t.Error("expected a bitmap switch in the 100% phase")
+	}
+}
+
+func TestMemSamplesMonotonePositions(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mx := randomMatrix(rng, 50, 12)
+	_, st := DMCImp(mx, FromPercent(100), Options{SampleMemory: true, DisableBitmap: true})
+	if len(st.MemSamples) != 50 {
+		t.Fatalf("expected one sample per row, got %d", len(st.MemSamples))
+	}
+	for i, s := range st.MemSamples {
+		if s.Pos != i {
+			t.Fatalf("sample %d has pos %d", i, s.Pos)
+		}
+		if s.Bytes < 0 {
+			t.Fatalf("negative memory at %d", i)
+		}
+	}
+}
+
+func ExampleDMCImp() {
+	m := paperdata.Fig2()
+	rs, _ := DMCImp(m, FromPercent(80), Options{})
+	rules.SortImplications(rs)
+	for _, r := range rs {
+		fmt.Println(r)
+	}
+	// Output:
+	// c0 => c1 (0.800, 4/5)
+	// c2 => c4 (0.800, 4/5)
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dmc/internal/matrix"
+)
+
+// Property: every rule DMC-imp emits is exactly verifiable against the
+// matrix — correct hits, canonical orientation, confidence at or above
+// an arbitrary rational threshold.
+func TestQuickImpRulesExact(t *testing.T) {
+	f := func(seed int64, num, den uint8) bool {
+		d := 1 + int64(den)%64
+		n := 1 + int64(num)%64
+		if n > d {
+			n, d = d, n
+		}
+		th := FromRatio(n, d)
+		rng := rand.New(rand.NewSource(seed))
+		mx := randomMatrix(rng, 15+rng.Intn(60), 6+rng.Intn(16))
+		bms := ColumnBitmaps(mx)
+		ones := mx.Ones()
+		rk := ranker{ones}
+		rs, _ := DMCImp(mx, th, Options{})
+		seen := map[[2]matrix.Col]bool{}
+		for _, r := range rs {
+			if !rk.less(r.From, r.To) {
+				return false // orientation violated
+			}
+			if seen[[2]matrix.Col{r.From, r.To}] {
+				return false // duplicate
+			}
+			seen[[2]matrix.Col{r.From, r.To}] = true
+			if r.Ones != ones[r.From] || r.Hits != bms[r.From].AndCount(bms[r.To]) {
+				return false // reported counts wrong
+			}
+			if !th.Meets(r.Hits, r.Ones) {
+				return false // below threshold
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the same for DMC-sim, plus pair symmetry bookkeeping.
+func TestQuickSimRulesExact(t *testing.T) {
+	f := func(seed int64, num, den uint8) bool {
+		d := 1 + int64(den)%64
+		n := 1 + int64(num)%64
+		if n > d {
+			n, d = d, n
+		}
+		th := FromRatio(n, d)
+		rng := rand.New(rand.NewSource(seed))
+		mx := randomMatrix(rng, 15+rng.Intn(60), 6+rng.Intn(16))
+		bms := ColumnBitmaps(mx)
+		ones := mx.Ones()
+		rs, _ := DMCSim(mx, th, Options{})
+		seen := map[[2]matrix.Col]bool{}
+		for _, r := range rs {
+			c := r.Canonical()
+			if c.A == c.B || seen[[2]matrix.Col{c.A, c.B}] {
+				return false
+			}
+			seen[[2]matrix.Col{c.A, c.B}] = true
+			if r.OnesA != ones[r.A] || r.OnesB != ones[r.B] {
+				return false
+			}
+			if r.Hits != bms[r.A].AndCount(bms[r.B]) {
+				return false
+			}
+			if !th.MeetsSim(r.Hits, r.OnesA, r.OnesB) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: result sets are invariant under the scan order (the rule
+// set is a function of the matrix, not of the bucketing).
+func TestQuickOrderInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mx := randomMatrix(rng, 15+rng.Intn(50), 6+rng.Intn(12))
+		th := FromPercent(1 + rng.Intn(100))
+		base, _ := DMCImp(mx, th, Options{Order: OrderSparsestFirst})
+		for _, o := range []OrderKind{OrderOriginal, OrderDensestFirst} {
+			got, _ := DMCImp(mx, th, Options{Order: o})
+			if len(got) != len(base) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: candidate bookkeeping is conserved — every dynamically
+// deleted candidate was added, and the survivors (rules plus deletions)
+// never exceed additions.
+func TestQuickCandidateConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mx := randomMatrix(rng, 15+rng.Intn(50), 6+rng.Intn(12))
+		_, st := DMCImp(mx, FromPercent(1+rng.Intn(100)), noBitmap)
+		if st.CandidatesDeleted > st.CandidatesAdded {
+			return false
+		}
+		return st.NumRules <= st.CandidatesAdded-st.CandidatesDeleted+st.NumRules
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The step-3 cutoff must never lose a boundary rule: a column with
+// exactly MinOnesConf ones and a one-miss rule sits exactly at the
+// threshold and must survive the cutoff into the second phase.
+func TestCutoffBoundaryRuleKept(t *testing.T) {
+	// minconf 90%: MinOnesConf = 10. Column 0 has 10 ones, 9 shared
+	// with column 1 (which has 12): conf = 9/10 = 90%, exactly at the
+	// threshold, with one miss — invisible to the 100% phase.
+	b := matrix.NewBuilder(2)
+	for i := 0; i < 9; i++ {
+		b.AddRow([]matrix.Col{0, 1})
+	}
+	b.AddRow([]matrix.Col{0})
+	for i := 0; i < 3; i++ {
+		b.AddRow([]matrix.Col{1})
+	}
+	mx := b.Build()
+	rs, _ := DMCImp(mx, FromPercent(90), Options{})
+	if len(rs) != 1 || rs[0].Hits != 9 || rs[0].Ones != 10 {
+		t.Fatalf("boundary rule lost: %v", rs)
+	}
+}

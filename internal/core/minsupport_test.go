@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmc/internal/rules"
+)
+
+// Support pruning on top of confidence pruning (§6.2) must keep exactly
+// the rules whose both columns meet the support floor.
+func TestMinSupportMatchesFilteredNaive(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(50 + seed))
+		mx := randomMatrix(rng, 40+rng.Intn(60), 10+rng.Intn(15))
+		ones := mx.Ones()
+		minSup := 3 + rng.Intn(8)
+		for _, pct := range []int{100, 85, 60} {
+			th := FromPercent(pct)
+			var wantImp []rules.Implication
+			for _, r := range NaiveImplications(mx, th) {
+				if ones[r.From] >= minSup && ones[r.To] >= minSup {
+					wantImp = append(wantImp, r)
+				}
+			}
+			var wantSim []rules.Similarity
+			for _, r := range NaiveSimilarities(mx, th) {
+				if ones[r.A] >= minSup && ones[r.B] >= minSup {
+					wantSim = append(wantSim, r)
+				}
+			}
+			for name, opts := range map[string]Options{
+				"default":      {MinSupport: minSup},
+				"single scan":  {MinSupport: minSup, SingleScan: true},
+				"force bitmap": {MinSupport: minSup, BitmapMaxRows: mx.NumRows() + 1, BitmapMinBytes: -1},
+			} {
+				gotImp, _ := DMCImp(mx, th, opts)
+				if d := rules.DiffImplications(gotImp, wantImp); d != "" {
+					t.Fatalf("seed %d %d%% minsup %d imp %s:\n%s", seed, pct, minSup, name, d)
+				}
+				gotSim, _ := DMCSim(mx, th, opts)
+				if d := rules.DiffSimilarities(gotSim, wantSim); d != "" {
+					t.Fatalf("seed %d %d%% minsup %d sim %s:\n%s", seed, pct, minSup, name, d)
+				}
+			}
+			gotPar, _ := DMCImpParallel(mx, th, Options{MinSupport: minSup}, 3)
+			if d := rules.DiffImplications(gotPar, wantImp); d != "" {
+				t.Fatalf("seed %d %d%% minsup %d parallel:\n%s", seed, pct, minSup, d)
+			}
+		}
+	}
+}
+
+// MinSupport of 0 or 1 must be the identity.
+func TestMinSupportIdentityBelow2(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	mx := randomMatrix(rng, 60, 14)
+	th := FromPercent(80)
+	base, _ := DMCImp(mx, th, Options{})
+	for _, ms := range []int{0, 1} {
+		got, _ := DMCImp(mx, th, Options{MinSupport: ms})
+		if d := rules.DiffImplications(got, base); d != "" {
+			t.Fatalf("MinSupport %d changed the result:\n%s", ms, d)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"dmc/internal/bitset"
+	"dmc/internal/matrix"
+	"dmc/internal/rules"
+)
+
+// ColumnBitmaps materializes one bitmap per column over all n rows.
+// It is the substrate of the brute-force reference miners and of the
+// Min-Hash verification pass.
+func ColumnBitmaps(m *matrix.Matrix) []*bitset.Set {
+	bms := make([]*bitset.Set, m.NumCols())
+	for c := range bms {
+		bms[c] = bitset.New(m.NumRows())
+	}
+	for i := 0; i < m.NumRows(); i++ {
+		for _, c := range m.Row(i) {
+			bms[c].Set(i)
+		}
+	}
+	return bms
+}
+
+// NaiveImplications mines implication rules by checking every ordered
+// column pair against exact bitmap intersections. It is O(m²·n/64) and
+// exists as the gold standard for the engine equivalence tests.
+func NaiveImplications(m *matrix.Matrix, minconf Threshold) []rules.Implication {
+	minconf.check()
+	bms := ColumnBitmaps(m)
+	ones := m.Ones()
+	rk := ranker{ones}
+	var out []rules.Implication
+	for i := 0; i < m.NumCols(); i++ {
+		if ones[i] == 0 {
+			continue
+		}
+		for j := 0; j < m.NumCols(); j++ {
+			if i == j || ones[j] == 0 || !rk.less(matrix.Col(i), matrix.Col(j)) {
+				continue
+			}
+			hits := bms[i].AndCount(bms[j])
+			if minconf.Meets(hits, ones[i]) {
+				out = append(out, rules.Implication{From: matrix.Col(i), To: matrix.Col(j), Hits: hits, Ones: ones[i]})
+			}
+		}
+	}
+	return out
+}
+
+// NaiveSimilarities mines similarity rules by exact pairwise Jaccard
+// computation; the reference for the DMC-sim tests.
+func NaiveSimilarities(m *matrix.Matrix, minsim Threshold) []rules.Similarity {
+	minsim.check()
+	bms := ColumnBitmaps(m)
+	ones := m.Ones()
+	var out []rules.Similarity
+	for i := 0; i < m.NumCols(); i++ {
+		if ones[i] == 0 {
+			continue
+		}
+		for j := i + 1; j < m.NumCols(); j++ {
+			if ones[j] == 0 {
+				continue
+			}
+			hits := bms[i].AndCount(bms[j])
+			if minsim.MeetsSim(hits, ones[i], ones[j]) {
+				out = append(out, rules.Similarity{A: matrix.Col(i), B: matrix.Col(j), Hits: hits, OnesA: ones[i], OnesB: ones[j]})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"time"
+
+	"dmc/internal/matrix"
+)
+
+// OrderKind selects the second-pass row order (§4.1).
+type OrderKind int
+
+const (
+	// OrderSparsestFirst scans density buckets [2^i, 2^{i+1}) from
+	// sparsest to densest — the paper's default, which keeps the
+	// counter array small until the dense tail.
+	OrderSparsestFirst OrderKind = iota
+	// OrderOriginal scans rows as stored.
+	OrderOriginal
+	// OrderDensestFirst scans the buckets densest-first — the §4.1
+	// worst case, kept for the row-ordering ablation.
+	OrderDensestFirst
+)
+
+func (k OrderKind) String() string {
+	switch k {
+	case OrderSparsestFirst:
+		return "sparsest-first"
+	case OrderOriginal:
+		return "original"
+	case OrderDensestFirst:
+		return "densest-first"
+	}
+	return "unknown"
+}
+
+func (k OrderKind) order(m *matrix.Matrix) matrix.ScanOrder {
+	switch k {
+	case OrderOriginal:
+		return matrix.OriginalOrder(m.NumRows())
+	case OrderDensestFirst:
+		return matrix.DensestFirstOrder(m)
+	default:
+		return matrix.SparsestFirstOrder(m)
+	}
+}
+
+// Memory model of the counter array, matching the paper's accounting:
+// a counting candidate (id + miss counter) costs 8 bytes, an id-only
+// candidate in the 100%-rule lists costs 4.
+const (
+	entryBytes    = 8
+	entryBytes100 = 4
+)
+
+// Options configure the DMC pipelines. The zero value gives the paper's
+// implementation choices: sparsest-first order and the DMC-bitmap
+// switch at ≤64 remaining rows over a 50MB counter array.
+type Options struct {
+	// Order is the second-pass row order.
+	Order OrderKind
+
+	// BitmapMaxRows is the largest number of remaining rows DMC-bitmap
+	// will absorb; 0 means the paper's 64.
+	BitmapMaxRows int
+
+	// BitmapMinBytes is the counter-array size that must be exceeded
+	// before switching to DMC-bitmap; 0 means the paper's 50MB. Set
+	// negative to switch purely on BitmapMaxRows.
+	BitmapMinBytes int
+
+	// DisableBitmap turns the DMC-bitmap switch off entirely (the
+	// memory-explosion ablation).
+	DisableBitmap bool
+
+	// SingleScan skips the 100%-rule phase and the low-frequency
+	// column removal, running one general miss-counting scan — i.e.
+	// plain DMC-base, kept for the 100%-rule-pruning ablation.
+	SingleScan bool
+
+	// SampleMemory records a per-row counter-array size series into
+	// Stats.MemSamples (the Fig-3 instrumentation).
+	SampleMemory bool
+
+	// MinSupport, when above 1, applies classical support pruning on
+	// top of confidence pruning: columns with fewer 1s are masked out
+	// of every phase, exactly as §6.2 does when comparing against
+	// a-priori ("support pruning can be applied to DMC … in the same
+	// manner as a-priori"). Zero keeps the paper's default of no
+	// support pruning.
+	MinSupport int
+}
+
+// supportMask returns the column mask for MinSupport, or nil when no
+// support pruning is requested.
+func (o Options) supportMask(ones []int) []bool {
+	if o.MinSupport <= 1 {
+		return nil
+	}
+	alive := make([]bool, len(ones))
+	for c, k := range ones {
+		alive[c] = k >= o.MinSupport
+	}
+	return alive
+}
+
+func (o Options) bitmapMaxRows() int {
+	if o.BitmapMaxRows == 0 {
+		return 64
+	}
+	return o.BitmapMaxRows
+}
+
+func (o Options) bitmapMinBytes() int {
+	if o.BitmapMinBytes == 0 {
+		return 50 << 20
+	}
+	return o.BitmapMinBytes
+}
+
+// MemSample is one point of the Fig-3 memory series: the counter-array
+// size in bytes after processing the row at scan position Pos.
+type MemSample struct {
+	Pos   int
+	Bytes int
+}
+
+// Stats reports what a pipeline run did. Durations are wall-clock; the
+// memory figures follow the paper's counter-array model (Options doc).
+type Stats struct {
+	// Prescan is the first pass: counting ones(c) per column (and, for
+	// the pipelines, deriving the bucket order).
+	Prescan time.Duration
+	// Phase100 is the 100%-rule (or identical-column) phase.
+	Phase100 time.Duration
+	// PhaseLT is the less-than-100% phase.
+	PhaseLT time.Duration
+	// Bitmap is the time spent inside DMC-bitmap across both phases
+	// (already included in Phase100/PhaseLT); Bitmap100 and BitmapLT
+	// split it per phase — the paper's Fig 6(e)/(f) jump lives in the
+	// <100% share.
+	Bitmap, Bitmap100, BitmapLT time.Duration
+	// Total is the end-to-end duration.
+	Total time.Duration
+
+	// PeakCounterBytes is the maximum counter-array size over the run;
+	// Peak100 and PeakLT split it per phase. The paper's Fig 6(g)/(h)
+	// plot the counting phase's array (PeakLT), since the 100%-rule
+	// lists carry no counters.
+	PeakCounterBytes, Peak100, PeakLT int
+	// SwitchPos100 and SwitchPosLT are the scan positions at which the
+	// respective phases switched to DMC-bitmap, or -1.
+	SwitchPos100, SwitchPosLT int
+	// CandidatesAdded and CandidatesDeleted count candidate-list
+	// insertions and dynamic deletions across the run.
+	CandidatesAdded, CandidatesDeleted int
+	// ColumnsAfterCutoff is the number of columns that survived the
+	// step-3 low-frequency cutoff (equals the column count for
+	// SingleScan runs).
+	ColumnsAfterCutoff int
+	// NumRules is the number of rules emitted.
+	NumRules int
+	// MemSamples is the per-row memory series (only with
+	// Options.SampleMemory; positions are per-phase scan positions).
+	MemSamples []MemSample
+}
+
+type memMeter struct {
+	bytes   int
+	peak    int
+	samples []MemSample
+	sample  bool
+}
+
+func (mm *memMeter) add(entries, perEntry int)    { mm.grow(entries * perEntry) }
+func (mm *memMeter) remove(entries, perEntry int) { mm.grow(-entries * perEntry) }
+
+func (mm *memMeter) grow(b int) {
+	mm.bytes += b
+	if mm.bytes > mm.peak {
+		mm.peak = mm.bytes
+	}
+}
+
+func (mm *memMeter) snapshot(pos int) {
+	if mm.sample {
+		mm.samples = append(mm.samples, MemSample{Pos: pos, Bytes: mm.bytes})
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"dmc/internal/matrix"
+	"dmc/internal/rules"
+)
+
+// DMCImpParallel is the divide-and-conquer parallelization the paper's
+// §7 proposes (after FDM): columns are partitioned round-robin across
+// workers, and each worker runs the full DMC-imp pipeline but maintains
+// candidate lists — and therefore emits rules — only for the
+// antecedent columns it owns. Every worker scans all the rows (the
+// scan is read-only and shared), so the result is exactly DMCImp's; the
+// counter-array memory is what gets divided.
+//
+// Stats are aggregated: phase durations are the wall-clock times of the
+// parallel phases, candidate counts are summed across workers, and the
+// memory peaks are summed too (they coexist). Switch positions are
+// taken from the first worker that switched.
+func DMCImpParallel(m *matrix.Matrix, minconf Threshold, opts Options, workers int) ([]rules.Implication, Stats) {
+	minconf.check()
+	if workers < 1 {
+		workers = 1
+	}
+	var st Stats
+	st.SwitchPos100, st.SwitchPosLT = -1, -1
+	start := time.Now()
+
+	ones := m.Ones()
+	order := opts.Order.order(m)
+	mcols := m.NumCols()
+	owned := ownership(mcols, workers)
+	supportAlive := opts.supportMask(ones)
+	st.Prescan = time.Since(start)
+
+	perWorker := make([]workerState[rules.Implication], workers)
+
+	t0 := time.Now()
+	runWorkers(workers, func(w int) {
+		ws := &perWorker[w]
+		ws.mem = &memMeter{}
+		imp100Scan(matrixRows{m, order}, mcols, ones, supportAlive, owned[w], opts, ws.mem, &ws.st, func(r rules.Implication) {
+			ws.out = append(ws.out, r)
+		})
+	})
+	st.Phase100 = time.Since(t0)
+	collect(&st, perWorker, true)
+	out := gather(perWorker)
+
+	if !minconf.IsOne() {
+		t1 := time.Now()
+		minOnes := minconf.MinOnesConf()
+		alive := make([]bool, mcols)
+		for c, k := range ones {
+			if k >= minOnes && (supportAlive == nil || supportAlive[c]) {
+				alive[c] = true
+				st.ColumnsAfterCutoff++
+			}
+		}
+		perWorker = make([]workerState[rules.Implication], workers)
+		runWorkers(workers, func(w int) {
+			ws := &perWorker[w]
+			ws.mem = &memMeter{}
+			impScan(matrixRows{m, order}, mcols, ones, alive, owned[w], minconf, opts, ws.mem, &ws.st, func(r rules.Implication) {
+				if r.Hits < r.Ones {
+					ws.out = append(ws.out, r)
+				}
+			})
+		})
+		st.PhaseLT = time.Since(t1)
+		collect(&st, perWorker, false)
+		out = append(out, gather(perWorker)...)
+	}
+
+	st.PeakCounterBytes = max(st.Peak100, st.PeakLT)
+	st.NumRules = len(out)
+	st.Total = time.Since(start)
+	return out, st
+}
+
+// DMCSimParallel is DMCImpParallel for similarity rules: workers own
+// the smaller column of each candidate pair.
+func DMCSimParallel(m *matrix.Matrix, minsim Threshold, opts Options, workers int) ([]rules.Similarity, Stats) {
+	minsim.check()
+	if workers < 1 {
+		workers = 1
+	}
+	var st Stats
+	st.SwitchPos100, st.SwitchPosLT = -1, -1
+	start := time.Now()
+
+	ones := m.Ones()
+	order := opts.Order.order(m)
+	mcols := m.NumCols()
+	owned := ownership(mcols, workers)
+	supportAlive := opts.supportMask(ones)
+	st.Prescan = time.Since(start)
+
+	perWorker := make([]workerState[rules.Similarity], workers)
+
+	t0 := time.Now()
+	runWorkers(workers, func(w int) {
+		ws := &perWorker[w]
+		ws.mem = &memMeter{}
+		sim100Scan(matrixRows{m, order}, mcols, ones, supportAlive, owned[w], opts, ws.mem, &ws.st, func(r rules.Similarity) {
+			ws.out = append(ws.out, r)
+		})
+	})
+	st.Phase100 = time.Since(t0)
+	collect(&st, perWorker, true)
+	out := gather(perWorker)
+
+	if !minsim.IsOne() {
+		t1 := time.Now()
+		minOnes := minsim.MinOnesSim()
+		alive := make([]bool, mcols)
+		for c, k := range ones {
+			if k >= minOnes && (supportAlive == nil || supportAlive[c]) {
+				alive[c] = true
+				st.ColumnsAfterCutoff++
+			}
+		}
+		perWorker = make([]workerState[rules.Similarity], workers)
+		runWorkers(workers, func(w int) {
+			ws := &perWorker[w]
+			ws.mem = &memMeter{}
+			simScan(matrixRows{m, order}, mcols, ones, alive, owned[w], minsim, opts, ws.mem, &ws.st, func(r rules.Similarity) {
+				if !(r.Hits == r.OnesA && r.OnesA == r.OnesB) {
+					ws.out = append(ws.out, r)
+				}
+			})
+		})
+		st.PhaseLT = time.Since(t1)
+		collect(&st, perWorker, false)
+		out = append(out, gather(perWorker)...)
+	}
+
+	st.PeakCounterBytes = max(st.Peak100, st.PeakLT)
+	st.NumRules = len(out)
+	st.Total = time.Since(start)
+	return out, st
+}
+
+type workerState[R any] struct {
+	out []R
+	st  Stats
+	mem *memMeter
+}
+
+// ownership assigns columns round-robin: worker w owns column c iff
+// c mod workers == w. Round-robin balances well because neighboring
+// column ids have no systematic density relationship.
+func ownership(mcols, workers int) [][]bool {
+	if workers == 1 {
+		return [][]bool{nil} // nil mask = own everything, no per-row check
+	}
+	owned := make([][]bool, workers)
+	for w := range owned {
+		owned[w] = make([]bool, mcols)
+	}
+	for c := 0; c < mcols; c++ {
+		owned[c%workers][c] = true
+	}
+	return owned
+}
+
+func runWorkers(workers int, f func(w int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			f(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// collect merges per-worker stats into the aggregate.
+func collect[R any](st *Stats, ws []workerState[R], phase100 bool) {
+	for i := range ws {
+		w := &ws[i]
+		st.CandidatesAdded += w.st.CandidatesAdded
+		st.CandidatesDeleted += w.st.CandidatesDeleted
+		if phase100 {
+			st.Peak100 += w.mem.peak
+			st.Bitmap100 += w.st.Bitmap
+			if st.SwitchPos100 < 0 {
+				st.SwitchPos100 = w.st.SwitchPos100
+			}
+		} else {
+			st.PeakLT += w.mem.peak
+			st.BitmapLT += w.st.Bitmap
+			if st.SwitchPosLT < 0 {
+				st.SwitchPosLT = w.st.SwitchPosLT
+			}
+		}
+	}
+	st.Bitmap = st.Bitmap100 + st.BitmapLT
+}
+
+func gather[R any](ws []workerState[R]) []R {
+	var out []R
+	for i := range ws {
+		out = append(out, ws[i].out...)
+	}
+	return out
+}

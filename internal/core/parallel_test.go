@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmc/internal/paperdata"
+	"dmc/internal/rules"
+)
+
+// The parallel pipelines must produce exactly the serial result for any
+// worker count, across thresholds and bitmap configurations.
+func TestParallelMatchesSerial(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 30+rng.Intn(60), 8+rng.Intn(20)
+		mx := randomMatrix(rng, n, m)
+		for _, pct := range []int{100, 85, 70} {
+			th := FromPercent(pct)
+			wantImp := NaiveImplications(mx, th)
+			wantSim := NaiveSimilarities(mx, th)
+			for _, workers := range []int{1, 2, 3, 7, m + 3} {
+				for name, opts := range map[string]Options{
+					"default":      {},
+					"force bitmap": forceBitmap(n),
+				} {
+					gotImp, _ := DMCImpParallel(mx, th, opts, workers)
+					if d := rules.DiffImplications(gotImp, wantImp); d != "" {
+						t.Fatalf("imp seed %d %d%% workers %d %s:\n%s", seed, pct, workers, name, d)
+					}
+					gotSim, _ := DMCSimParallel(mx, th, opts, workers)
+					if d := rules.DiffSimilarities(gotSim, wantSim); d != "" {
+						t.Fatalf("sim seed %d %d%% workers %d %s:\n%s", seed, pct, workers, name, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParallelFig2(t *testing.T) {
+	m := paperdata.Fig2()
+	want := []rules.Implication{
+		{From: 0, To: 1, Hits: 4, Ones: 5},
+		{From: 2, To: 4, Hits: 4, Ones: 5},
+	}
+	for _, workers := range []int{0, 1, 2, 4} { // 0 is clamped to 1
+		got, st := DMCImpParallel(m, FromPercent(80), Options{}, workers)
+		if d := rules.DiffImplications(got, want); d != "" {
+			t.Fatalf("workers %d:\n%s", workers, d)
+		}
+		if st.NumRules != 2 {
+			t.Errorf("workers %d: NumRules = %d", workers, st.NumRules)
+		}
+	}
+}
+
+func TestParallelStatsAggregated(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	mx := randomMatrix(rng, 80, 20)
+	_, serial := DMCImp(mx, FromPercent(80), Options{})
+	_, par := DMCImpParallel(mx, FromPercent(80), Options{}, 4)
+	// Workers collectively do the same candidate work as the serial
+	// pipeline: the per-column lists are identical, just spread out.
+	if par.CandidatesAdded != serial.CandidatesAdded {
+		t.Errorf("CandidatesAdded: parallel %d, serial %d", par.CandidatesAdded, serial.CandidatesAdded)
+	}
+	if par.CandidatesDeleted != serial.CandidatesDeleted {
+		t.Errorf("CandidatesDeleted: parallel %d, serial %d", par.CandidatesDeleted, serial.CandidatesDeleted)
+	}
+	// Summed worker peaks can exceed the serial peak (they coexist) but
+	// never undershoot a single worker's share of it.
+	if par.PeakCounterBytes <= 0 {
+		t.Error("parallel peak not recorded")
+	}
+	if par.Total <= 0 || par.PhaseLT <= 0 {
+		t.Errorf("durations missing: %+v", par)
+	}
+}
+
+func TestOwnershipPartition(t *testing.T) {
+	owned := ownership(10, 3)
+	if len(owned) != 3 {
+		t.Fatalf("%d masks", len(owned))
+	}
+	for c := 0; c < 10; c++ {
+		count := 0
+		for w := range owned {
+			if owned[w][c] {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Fatalf("column %d owned by %d workers", c, count)
+		}
+	}
+	if ownership(10, 1)[0] != nil {
+		t.Error("single worker should use the nil fast path")
+	}
+}

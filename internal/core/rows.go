@@ -1,0 +1,50 @@
+package core
+
+import "dmc/internal/matrix"
+
+// Rows is one sequential pass over the data: Row(i) must be called with
+// i increasing from 0 to Len()-1. Implementations may reuse the
+// returned slice between calls, so callers must not retain it — the
+// engines copy what they keep.
+type Rows interface {
+	Len() int
+	Row(i int) []matrix.Col
+}
+
+// Source provides repeated passes over a data set whose shape is
+// already known (the paper's model: the first pass computed ones(c) and
+// partitioned the rows into density buckets; each later scan is a fresh
+// pass in bucket order). The in-memory implementation wraps a Matrix
+// with a ScanOrder; package stream provides a disk-backed one with
+// bounded memory.
+type Source interface {
+	NumCols() int
+	NumRows() int
+	// Pass starts a fresh sequential pass.
+	Pass() Rows
+}
+
+// matrixSource adapts an in-memory matrix (with a scan order) to
+// Source.
+type matrixSource struct {
+	m     *matrix.Matrix
+	order matrix.ScanOrder
+}
+
+// MatrixSource returns a Source over m visiting rows in the given
+// order.
+func MatrixSource(m *matrix.Matrix, order matrix.ScanOrder) Source {
+	return matrixSource{m, order}
+}
+
+func (s matrixSource) NumCols() int { return s.m.NumCols() }
+func (s matrixSource) NumRows() int { return len(s.order) }
+func (s matrixSource) Pass() Rows   { return matrixRows(s) }
+
+type matrixRows struct {
+	m     *matrix.Matrix
+	order matrix.ScanOrder
+}
+
+func (r matrixRows) Len() int               { return len(r.order) }
+func (r matrixRows) Row(i int) []matrix.Col { return r.m.Row(r.order[i]) }

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dmc/internal/matrix"
+)
+
+// Model-based tests for the similarity merge kernels, which layer two
+// extra prunings over the implication ones: per-pair budgets and the
+// §5.2 maximum-hits bound.
+
+type simEnv struct {
+	ones   []int
+	cnt    []int
+	t      Threshold
+	rk     ranker
+	budget func(cj, ck matrix.Col) int
+	okFn   func(cj, ck matrix.Col, miss int) bool
+}
+
+func newSimEnv(rng *rand.Rand, mcols int) *simEnv {
+	e := &simEnv{
+		ones: make([]int, mcols),
+		cnt:  make([]int, mcols),
+		t:    FromPercent(1 + rng.Intn(100)),
+	}
+	for c := 0; c < mcols; c++ {
+		e.ones[c] = 1 + rng.Intn(12)
+		e.cnt[c] = rng.Intn(e.ones[c] + 1)
+	}
+	e.rk = ranker{e.ones}
+	e.budget = func(cj, ck matrix.Col) int { return e.t.MaxMissesSim(e.ones[cj], e.ones[ck]) }
+	e.okFn = func(cj, ck matrix.Col, miss int) bool {
+		hits := e.cnt[cj] - miss
+		remJ, remK := e.ones[cj]-e.cnt[cj], e.ones[ck]-e.cnt[ck]
+		rem := remJ
+		if remK < rem {
+			rem = remK
+		}
+		return hits+rem >= e.t.MinHitsSim(e.ones[cj], e.ones[ck])
+	}
+	return e
+}
+
+// modelSimMerge reimplements the open/closed case analysis over maps.
+func (e *simEnv) modelSimMerge(lst []candEntry, row []matrix.Col, cj matrix.Col, open bool) []candEntry {
+	inRow := map[matrix.Col]bool{}
+	for _, c := range row {
+		inRow[c] = true
+	}
+	model := map[matrix.Col]int32{}
+	for _, entry := range lst {
+		miss := entry.miss
+		if !e.okFn(cj, entry.col, int(miss)) {
+			continue // max-hits pruning, checked with the pre-row miss
+		}
+		if !inRow[entry.col] {
+			miss++
+			if int(miss) > e.budget(cj, entry.col) {
+				continue
+			}
+		}
+		model[entry.col] = miss
+	}
+	if open {
+		listed := map[matrix.Col]bool{}
+		for _, entry := range lst {
+			listed[entry.col] = true
+		}
+		for _, ck := range row {
+			if listed[ck] || !e.rk.less(cj, ck) {
+				continue
+			}
+			if e.cnt[cj] <= e.budget(cj, ck) && e.okFn(cj, ck, e.cnt[cj]) {
+				model[ck] = int32(e.cnt[cj])
+			}
+		}
+	}
+	return mapToList(model)
+}
+
+func (e *simEnv) randomCand(rng *rand.Rand, cj matrix.Col, mcols int) []candEntry {
+	var lst []candEntry
+	for c := 0; c < mcols; c++ {
+		ck := matrix.Col(c)
+		if e.rk.less(cj, ck) && rng.Float64() < 0.5 {
+			lst = append(lst, candEntry{ck, int32(rng.Intn(e.cnt[cj] + 1))})
+		}
+	}
+	return lst
+}
+
+func TestQuickSimMergeOpenModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const mcols = 14
+		e := newSimEnv(rng, mcols)
+		cj := matrix.Col(rng.Intn(mcols))
+		lst := e.randomCand(rng, cj, mcols)
+		row := sortedCols(rng, mcols)
+		want := e.modelSimMerge(append([]candEntry(nil), lst...), row, cj, true)
+		var st Stats
+		mem := &memMeter{}
+		got := simMergeOpen(lst, row, cj, e.cnt[cj], e.rk, e.budget, e.okFn, mem, &st)
+		return reflect.DeepEqual(append([]candEntry{}, got...), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSimMergeClosedModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const mcols = 14
+		e := newSimEnv(rng, mcols)
+		cj := matrix.Col(rng.Intn(mcols))
+		lst := e.randomCand(rng, cj, mcols)
+		row := sortedCols(rng, mcols)
+		want := e.modelSimMerge(append([]candEntry(nil), lst...), row, cj, false)
+		var st Stats
+		mem := &memMeter{}
+		got := simMergeClosed(append([]candEntry(nil), lst...), row, cj, e.budget, e.okFn, mem, &st)
+		return reflect.DeepEqual(append([]candEntry{}, got...), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

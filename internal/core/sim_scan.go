@@ -1,0 +1,250 @@
+package core
+
+import (
+	"time"
+
+	"dmc/internal/bitset"
+	"dmc/internal/matrix"
+	"dmc/internal/rules"
+)
+
+// simScan runs the DMC-base variant for similarity rules (step 4 of
+// Algorithm 5.1) over one pass of rows, switching to the DMC-bitmap
+// variant like the implication scan does.
+//
+// Per §5 and footnote 1, the pair (ci, cj) with rank(ci) < rank(cj)
+// lives on ci's candidate list and its counter tracks only the
+// one-sided misses (rows where ci is 1 and cj is not). That is exact:
+// when ci's last 1 is seen, hits = ones(ci) − misses and ones(cj) is
+// known, so the similarity is fully determined. Each pair has its own
+// miss budget Threshold.MaxMissesSim(ones_i, ones_j):
+//
+//   - a negative budget is the column-density pruning of §5.1 (the pair
+//     is never created);
+//   - the maximum-hits pruning of §5.2 deletes a candidate whenever
+//     hits-so-far + min(rem_i, rem_j) cannot reach the hit floor.
+//
+// Every pair with Sim ≥ t whose smaller column is alive and owned is
+// emitted exactly once, including identical pairs (DMC-sim filters
+// those when this runs as its second phase).
+func simScan(rows Rows, mcols int, ones []int, alive, owned []bool, t Threshold, opts Options, mem *memMeter, st *Stats, emit func(rules.Similarity)) {
+	rk := ranker{ones}
+	// colMax(c) is the largest budget any partner of c can offer (the
+	// partner with equal ones); past it the column stops admitting
+	// candidates, mirroring cnt > maxmis for implications.
+	colMax := make([]int, mcols)
+	for c := 0; c < mcols; c++ {
+		colMax[c] = t.MaxMissesSim(ones[c], ones[c])
+	}
+	cnt := make([]int, mcols)
+	cand := make([][]candEntry, mcols)
+	hasList := make([]bool, mcols)
+	released := make([]bool, mcols)
+
+	budget := func(cj, ck matrix.Col) int { return t.MaxMissesSim(ones[cj], ones[ck]) }
+	// maxHitsOK reports whether the pair can still reach its hit floor:
+	// the §5.2 bound with pre-row counts, as in Example 5.1.
+	maxHitsOK := func(cj, ck matrix.Col, miss int) bool {
+		hits := cnt[cj] - miss
+		remJ, remK := ones[cj]-cnt[cj], ones[ck]-cnt[ck]
+		rem := remJ
+		if remK < rem {
+			rem = remK
+		}
+		return hits+rem >= t.MinHitsSim(ones[cj], ones[ck])
+	}
+
+	bmMaxRows, bmMinBytes := opts.bitmapMaxRows(), opts.bitmapMinBytes()
+	rowBuf := make([]matrix.Col, 0, 256)
+	n := rows.Len()
+	for pos := 0; pos < n; pos++ {
+		if !opts.DisableBitmap && n-pos <= bmMaxRows && mem.bytes > bmMinBytes {
+			start := time.Now()
+			simBitmap(rows, pos, mcols, ones, alive, owned, t, colMax, cnt, cand, hasList, released, rk, mem, st, emit)
+			st.Bitmap += time.Since(start)
+			if st.SwitchPosLT < 0 {
+				st.SwitchPosLT = pos
+			}
+			return
+		}
+		row := filterRow(rows.Row(pos), alive, &rowBuf)
+		for _, cj := range row {
+			switch {
+			case released[cj] || (owned != nil && !owned[cj]):
+			case !hasList[cj]:
+				lst := make([]candEntry, 0, len(row))
+				for _, ck := range row {
+					if rk.less(cj, ck) && budget(cj, ck) >= 0 && maxHitsOK(cj, ck, 0) {
+						lst = append(lst, candEntry{ck, 0})
+					}
+				}
+				cand[cj] = lst
+				hasList[cj] = true
+				st.CandidatesAdded += len(lst)
+				mem.add(len(lst), entryBytes)
+			case cnt[cj] <= colMax[cj]:
+				cand[cj] = simMergeOpen(cand[cj], row, cj, cnt[cj], rk, budget, maxHitsOK, mem, st)
+			default:
+				cand[cj] = simMergeClosed(cand[cj], row, cj, budget, maxHitsOK, mem, st)
+			}
+		}
+		for _, cj := range row {
+			cnt[cj]++
+			if cnt[cj] == ones[cj] {
+				for _, e := range cand[cj] {
+					emit(rules.Similarity{A: cj, B: e.col, Hits: ones[cj] - int(e.miss), OnesA: ones[cj], OnesB: ones[e.col]})
+				}
+				mem.remove(len(cand[cj]), entryBytes)
+				cand[cj] = nil
+				released[cj] = true
+			}
+		}
+		mem.snapshot(pos)
+	}
+}
+
+func simMergeOpen(lst []candEntry, row []matrix.Col, cj matrix.Col, cntj int, rk ranker, budget func(matrix.Col, matrix.Col) int, maxHitsOK func(matrix.Col, matrix.Col, int) bool, mem *memMeter, st *Stats) []candEntry {
+	// As in mergeOpen: count insertions first so the no-insertion
+	// common case merges in place without allocating.
+	added := 0
+	i := 0
+	for _, ck := range row {
+		for i < len(lst) && lst[i].col < ck {
+			i++
+		}
+		if (i == len(lst) || lst[i].col != ck) &&
+			rk.less(cj, ck) && cntj <= budget(cj, ck) && maxHitsOK(cj, ck, cntj) {
+			added++
+		}
+	}
+	out := lst[:0]
+	if added > 0 {
+		out = make([]candEntry, 0, len(lst)+added)
+	}
+	deleted := 0
+	i, j := 0, 0
+	for i < len(lst) || j < len(row) {
+		switch {
+		case j >= len(row) || (i < len(lst) && lst[i].col < row[j]):
+			e := lst[i]
+			i++
+			if !maxHitsOK(cj, e.col, int(e.miss)) {
+				deleted++
+				continue
+			}
+			e.miss++
+			if int(e.miss) > budget(cj, e.col) {
+				deleted++
+				continue
+			}
+			out = append(out, e)
+		case i >= len(lst) || row[j] < lst[i].col:
+			ck := row[j]
+			j++
+			if rk.less(cj, ck) && cntj <= budget(cj, ck) && maxHitsOK(cj, ck, cntj) {
+				out = append(out, candEntry{ck, int32(cntj)})
+			}
+		default: // hit
+			e := lst[i]
+			i++
+			j++
+			if !maxHitsOK(cj, e.col, int(e.miss)) {
+				deleted++
+				continue
+			}
+			out = append(out, e)
+		}
+	}
+	st.CandidatesAdded += added
+	st.CandidatesDeleted += deleted
+	mem.add(added, entryBytes)
+	mem.remove(deleted, entryBytes)
+	return out
+}
+
+func simMergeClosed(lst []candEntry, row []matrix.Col, cj matrix.Col, budget func(matrix.Col, matrix.Col) int, maxHitsOK func(matrix.Col, matrix.Col, int) bool, mem *memMeter, st *Stats) []candEntry {
+	out := lst[:0]
+	deleted := 0
+	j := 0
+	for _, e := range lst {
+		for j < len(row) && row[j] < e.col {
+			j++
+		}
+		if !maxHitsOK(cj, e.col, int(e.miss)) {
+			deleted++
+			continue
+		}
+		if j < len(row) && row[j] == e.col {
+			out = append(out, e) // hit
+			continue
+		}
+		e.miss++
+		if int(e.miss) > budget(cj, e.col) {
+			deleted++
+			continue
+		}
+		out = append(out, e)
+	}
+	st.CandidatesDeleted += deleted
+	mem.remove(deleted, entryBytes)
+	return out
+}
+
+// simBitmap is the DMC-bitmap variant for the similarity scan: tail
+// misses by AND-NOT counting for closed columns, tail hit counting for
+// columns that could still admit candidates; both decide with the exact
+// pair hit floor.
+func simBitmap(rows Rows, pos, mcols int, ones []int, alive, owned []bool, t Threshold, colMax, cnt []int, cand [][]candEntry, hasList, released []bool, rk ranker, mem *memMeter, st *Stats, emit func(rules.Similarity)) {
+	tail, bms := tailBitmaps(rows, pos, mcols, alive)
+	empty := bitset.New(len(tail))
+
+	for cj := 0; cj < mcols; cj++ {
+		if !hasList[cj] || released[cj] || cnt[cj] <= colMax[cj] {
+			continue
+		}
+		bmj := bms[cj]
+		if bmj == nil {
+			bmj = empty
+		}
+		for _, e := range cand[cj] {
+			bmk := bms[e.col]
+			if bmk == nil {
+				bmk = empty
+			}
+			total := int(e.miss) + bmj.AndNotCount(bmk)
+			h := ones[cj] - total
+			if h >= t.MinHitsSim(ones[cj], ones[e.col]) {
+				emit(rules.Similarity{A: matrix.Col(cj), B: e.col, Hits: h, OnesA: ones[cj], OnesB: ones[e.col]})
+			}
+		}
+		mem.remove(len(cand[cj]), entryBytes)
+		cand[cj] = nil
+	}
+
+	for cj := 0; cj < mcols; cj++ {
+		if released[cj] || ones[cj] == 0 || cnt[cj] > colMax[cj] ||
+			(alive != nil && !alive[cj]) || (owned != nil && !owned[cj]) {
+			continue
+		}
+		hits := make(map[matrix.Col]int, len(cand[cj]))
+		for _, e := range cand[cj] {
+			hits[e.col] = cnt[cj] - int(e.miss)
+		}
+		if bmj := bms[cj]; bmj != nil {
+			for _, o := range bmj.Indices() {
+				for _, ck := range tail[o] {
+					if ck != matrix.Col(cj) {
+						hits[ck]++
+					}
+				}
+			}
+		}
+		for ck, h := range hits {
+			if rk.less(matrix.Col(cj), ck) && h >= t.MinHitsSim(ones[cj], ones[ck]) {
+				emit(rules.Similarity{A: matrix.Col(cj), B: ck, Hits: h, OnesA: ones[cj], OnesB: ones[ck]})
+			}
+		}
+		mem.remove(len(cand[cj]), entryBytes)
+		cand[cj] = nil
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dmc/internal/matrix"
+	"dmc/internal/paperdata"
+	"dmc/internal/rules"
+)
+
+func TestDMCSimFig5(t *testing.T) {
+	m := paperdata.Fig5()
+	// Example 5.1: at 75% the pair (c1,c2) does not qualify — its exact
+	// similarity is 2/7.
+	for name, opts := range map[string]Options{
+		"default":       {},
+		"original":      {Order: OrderOriginal},
+		"no bitmap":     noBitmap,
+		"forced bitmap": forceBitmap(m.NumRows()),
+		"single scan":   {SingleScan: true},
+	} {
+		got, _ := DMCSim(m, FromPercent(75), opts)
+		if len(got) != 0 {
+			t.Errorf("%s: unexpected rules: %v", name, got)
+		}
+	}
+	// At 2/7 exactly, the pair qualifies.
+	got, _ := DMCSim(m, FromRatio(2, 7), Options{})
+	want := []rules.Similarity{{A: 0, B: 1, Hits: 2, OnesA: 4, OnesB: 5}}
+	if d := rules.DiffSimilarities(got, want); d != "" {
+		t.Fatalf("at 2/7:\n%s", d)
+	}
+}
+
+// TestFig5MaxHitsPruningFires checks the §5.2 narrative directly: with
+// the original row order, the (c1,c2) candidate must be deleted during
+// the scan (at r4) rather than surviving to c1's last row.
+func TestFig5MaxHitsPruningFires(t *testing.T) {
+	m := paperdata.Fig5()
+	_, st := DMCSim(m, FromPercent(75), Options{Order: OrderOriginal, DisableBitmap: true, SingleScan: true})
+	if st.CandidatesAdded != 1 {
+		t.Fatalf("CandidatesAdded = %d, want 1 (the (c1,c2) pair)", st.CandidatesAdded)
+	}
+	if st.CandidatesDeleted != 1 {
+		t.Fatalf("CandidatesDeleted = %d, want 1 (pruned mid-scan)", st.CandidatesDeleted)
+	}
+}
+
+func TestDMCSimIdenticalColumns(t *testing.T) {
+	// Columns 0 and 2 are identical; column 1 differs in one row.
+	m := matrix.FromRows(3, [][]matrix.Col{
+		{0, 1, 2},
+		{0, 2},
+		{0, 1, 2},
+		{1},
+	})
+	got, _ := DMCSim(m, FromPercent(100), Options{})
+	want := []rules.Similarity{{A: 0, B: 2, Hits: 3, OnesA: 3, OnesB: 3}}
+	if d := rules.DiffSimilarities(got, want); d != "" {
+		t.Fatalf("identical pairs:\n%s", d)
+	}
+	// At 50%, (0,1) and (1,2) with sim 2/4 = 0.5 join.
+	got, _ = DMCSim(m, FromPercent(50), Options{})
+	want = []rules.Similarity{
+		{A: 0, B: 1, Hits: 2, OnesA: 3, OnesB: 3},
+		{A: 0, B: 2, Hits: 3, OnesA: 3, OnesB: 3},
+		{A: 1, B: 2, Hits: 2, OnesA: 3, OnesB: 3},
+	}
+	if d := rules.DiffSimilarities(got, want); d != "" {
+		t.Fatalf("at 50%%:\n%s", d)
+	}
+}
+
+func TestDMCSimBoundaryPair(t *testing.T) {
+	// The DESIGN.md §3 boundary: ones 3 and 4 sharing 3 rows sit at
+	// exactly 75% and must NOT be lost to the step-3 cutoff.
+	m := matrix.FromRows(2, [][]matrix.Col{
+		{0, 1}, {0, 1}, {0, 1}, {1},
+	})
+	got, _ := DMCSim(m, FromPercent(75), Options{})
+	want := []rules.Similarity{{A: 0, B: 1, Hits: 3, OnesA: 3, OnesB: 4}}
+	if d := rules.DiffSimilarities(got, want); d != "" {
+		t.Fatalf("boundary pair:\n%s", d)
+	}
+}
+
+func TestDMCSimMatchesNaive(t *testing.T) {
+	thresholds := []Threshold{
+		FromPercent(100), FromPercent(90), FromPercent(80), FromPercent(75),
+		FromPercent(70), FromPercent(60), FromPercent(50), FromPercent(30),
+		FromRatio(2, 3), FromRatio(3, 7),
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 20+rng.Intn(80), 8+rng.Intn(24)
+		mx := randomMatrix(rng, n, m)
+		for _, th := range thresholds {
+			want := NaiveSimilarities(mx, th)
+			for name, opts := range map[string]Options{
+				"default":       {},
+				"original":      {Order: OrderOriginal},
+				"densest":       {Order: OrderDensestFirst},
+				"no bitmap":     noBitmap,
+				"force bitmap":  forceBitmap(n),
+				"tiny bitmap":   {BitmapMaxRows: 3, BitmapMinBytes: -1},
+				"mid bitmap":    {BitmapMaxRows: n / 2, BitmapMinBytes: 64},
+				"single scan":   {SingleScan: true},
+				"single+bitmap": {SingleScan: true, BitmapMaxRows: n / 3, BitmapMinBytes: -1},
+			} {
+				got, _ := DMCSim(mx, th, opts)
+				if d := rules.DiffSimilarities(got, want); d != "" {
+					t.Fatalf("seed %d %dx%d, %v, %s:\n%s", seed, n, m, th, name, d)
+				}
+			}
+		}
+	}
+}
+
+func TestDMCSimWithDuplicatedColumns(t *testing.T) {
+	// Clone columns to stress the identical-pairs phase together with
+	// near-identical ones, across bitmap configurations.
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		n := 30 + rng.Intn(40)
+		b := matrix.NewBuilder(12)
+		for i := 0; i < n; i++ {
+			var row []matrix.Col
+			for c := 0; c < 6; c++ {
+				if rng.Float64() < 0.3 {
+					row = append(row, matrix.Col(c))
+					// Columns 6..11 clone 0..5 with 5% corruption.
+					if rng.Float64() > 0.05 {
+						row = append(row, matrix.Col(c+6))
+					}
+				}
+			}
+			b.AddRow(row)
+		}
+		mx := b.Build()
+		for _, pct := range []int{100, 90, 75, 60} {
+			th := FromPercent(pct)
+			want := NaiveSimilarities(mx, th)
+			for name, opts := range map[string]Options{
+				"default":      {},
+				"force bitmap": forceBitmap(n),
+			} {
+				got, _ := DMCSim(mx, th, opts)
+				if d := rules.DiffSimilarities(got, want); d != "" {
+					t.Fatalf("seed %d, %d%%, %s:\n%s", seed, pct, name, d)
+				}
+			}
+		}
+	}
+}
+
+func TestDMCSimStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	mx := randomMatrix(rng, 60, 16)
+	got, st := DMCSim(mx, FromPercent(60), Options{SampleMemory: true})
+	if st.NumRules != len(got) {
+		t.Errorf("NumRules = %d, len = %d", st.NumRules, len(got))
+	}
+	if st.PeakCounterBytes <= 0 {
+		t.Error("PeakCounterBytes not recorded")
+	}
+	if len(st.MemSamples) == 0 {
+		t.Error("MemSamples empty with SampleMemory")
+	}
+}
+
+// TestSimNeedsLessMemoryThanImp reproduces the Fig 6(g)/(h) observation:
+// thanks to the §5 prunings, DMC-sim's peak counter memory is below
+// DMC-imp's on the same data and threshold.
+func TestSimNeedsLessMemoryThanImp(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	mx := randomMatrix(rng, 300, 40)
+	_, sti := DMCImp(mx, FromPercent(75), noBitmap)
+	_, sts := DMCSim(mx, FromPercent(75), noBitmap)
+	if sts.PeakCounterBytes >= sti.PeakCounterBytes {
+		t.Errorf("sim peak %d should be below imp peak %d", sts.PeakCounterBytes, sti.PeakCounterBytes)
+	}
+}
+
+func ExampleDMCSim() {
+	m := matrix.FromRows(3, [][]matrix.Col{
+		{0, 1, 2},
+		{0, 2},
+		{0, 1, 2},
+		{1},
+	})
+	rs, _ := DMCSim(m, FromPercent(50), Options{})
+	rules.SortSimilarities(rs)
+	for _, r := range rs {
+		fmt.Println(r)
+	}
+	// Output:
+	// c0 ~ c1 (0.500, 2/3+3-2)
+	// c0 ~ c2 (1.000, 3/3+3-3)
+	// c1 ~ c2 (0.500, 2/3+3-2)
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestThresholdConstructors(t *testing.T) {
+	if got := FromPercent(85).Float(); got != 0.85 {
+		t.Errorf("FromPercent(85) = %v", got)
+	}
+	if got := FromRatio(3, 4).Float(); got != 0.75 {
+		t.Errorf("FromRatio(3,4) = %v", got)
+	}
+	if got := FromFloat(0.9).Float(); math.Abs(got-0.9) > 1e-9 {
+		t.Errorf("FromFloat(0.9) = %v", got)
+	}
+	if !FromPercent(100).IsOne() || FromPercent(99).IsOne() {
+		t.Error("IsOne wrong")
+	}
+	if s := FromPercent(85).String(); s != "85%" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestThresholdPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero":      func() { FromPercent(0) },
+		"negative":  func() { FromPercent(-1) },
+		"over one":  func() { FromPercent(101) },
+		"bad ratio": func() { FromRatio(1, 0) },
+		"zero val":  func() { Threshold{}.Meets(1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMeets(t *testing.T) {
+	th := FromPercent(85)
+	cases := []struct {
+		hits, total int
+		want        bool
+	}{
+		{85, 100, true}, {84, 100, false}, {100, 100, true},
+		{17, 20, true}, {16, 20, false}, {1, 1, true}, {0, 5, false},
+	}
+	for _, c := range cases {
+		if got := th.Meets(c.hits, c.total); got != c.want {
+			t.Errorf("Meets(%d,%d) = %v, want %v", c.hits, c.total, got, c.want)
+		}
+	}
+}
+
+func TestMaxMissesConf(t *testing.T) {
+	// Example 1.3: ones=100, minconf 85% → 15 misses allowed.
+	if got := FromPercent(85).MaxMissesConf(100); got != 15 {
+		t.Errorf("85%%/100 ones: maxmis = %d, want 15", got)
+	}
+	// Fig 2 / Example 3.1: ones=5, minconf 80% → one miss allowed.
+	if got := FromPercent(80).MaxMissesConf(5); got != 1 {
+		t.Errorf("80%%/5 ones: maxmis = %d, want 1", got)
+	}
+	// §4.3: at 90%, a column with 9 ones has no slack, one with 10 has 1.
+	if got := FromPercent(90).MaxMissesConf(9); got != 0 {
+		t.Errorf("90%%/9 ones: maxmis = %d, want 0", got)
+	}
+	if got := FromPercent(90).MaxMissesConf(10); got != 1 {
+		t.Errorf("90%%/10 ones: maxmis = %d, want 1", got)
+	}
+	if got := FromPercent(100).MaxMissesConf(1000); got != 0 {
+		t.Errorf("100%%: maxmis = %d, want 0", got)
+	}
+}
+
+// Property: miss ≤ MaxMissesConf(ones) ⟺ Meets(ones−miss, ones).
+func TestQuickMaxMissesConfConsistent(t *testing.T) {
+	f := func(p uint8, onesRaw uint16) bool {
+		pct := 1 + int(p)%100
+		ones := 1 + int(onesRaw)%500
+		th := FromPercent(pct)
+		mm := th.MaxMissesConf(ones)
+		for miss := 0; miss <= ones; miss++ {
+			if (miss <= mm) != th.Meets(ones-miss, ones) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinOnesConf(t *testing.T) {
+	// 90%: columns with <10 ones have a zero budget; 10 is the min with one.
+	if got := FromPercent(90).MinOnesConf(); got != 10 {
+		t.Errorf("90%%: MinOnesConf = %d, want 10", got)
+	}
+	// 85%: 1/(1-0.85) = 6.67 → min ones 7.
+	if got := FromPercent(85).MinOnesConf(); got != 7 {
+		t.Errorf("85%%: MinOnesConf = %d, want 7", got)
+	}
+	// The boundary case from DESIGN.md §3: ones=10 at 90% must be kept.
+	if FromPercent(90).MaxMissesConf(10) < 1 {
+		t.Error("ones=10 at 90% should have a nonzero budget")
+	}
+}
+
+func TestMinHitsSim(t *testing.T) {
+	th := FromPercent(75)
+	// Example 5.1: ones 4 and 5, hit-hat 3 → Sim-hat = 3/6 = 0.5 < 0.75.
+	if th.MeetsSim(3, 4, 5) {
+		t.Error("3 hits on (4,5) should not meet 75%")
+	}
+	// h/(4+5-h) >= 3/4 ⟺ 4h >= 27-3h ⟺ h >= 27/7 → 4.
+	if got := th.MinHitsSim(4, 5); got != 4 {
+		t.Errorf("MinHitsSim(4,5) = %d, want 4", got)
+	}
+	if !th.MeetsSim(4, 4, 5) {
+		t.Error("4 hits on (4,5) should meet 75%: sim = 4/5")
+	}
+}
+
+// Property: MeetsSim agrees with exact rational comparison.
+func TestQuickMeetsSimExact(t *testing.T) {
+	f := func(p uint8, a, b, h uint8) bool {
+		pct := 1 + int(p)%100
+		oi := 1 + int(a)%40
+		oj := oi + int(b)%40
+		hits := int(h) % (oi + 1)
+		th := FromPercent(pct)
+		union := oi + oj - hits
+		want := hits*100 >= pct*union
+		return th.MeetsSim(hits, oi, oj) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxMissesSim(t *testing.T) {
+	th := FromPercent(75)
+	// Equal columns of 8 ones: a ≤ 8 − ⌈0.75·16/1.75⌉ = 8 − ⌈6.857⌉ = 1.
+	if got := th.MaxMissesSim(8, 8); got != 1 {
+		t.Errorf("MaxMissesSim(8,8) = %d, want 1", got)
+	}
+	// Density pruning: ones ratio 2/10 < 0.75 → negative budget.
+	if got := th.MaxMissesSim(2, 10); got >= 0 {
+		t.Errorf("MaxMissesSim(2,10) = %d, want negative", got)
+	}
+}
+
+// Property: the one-sided miss budget is exact: a ≤ budget ⟺ the pair
+// with hits = onesI − a meets the threshold.
+func TestQuickMaxMissesSimConsistent(t *testing.T) {
+	f := func(p uint8, a, b uint8) bool {
+		pct := 1 + int(p)%100
+		oi := 1 + int(a)%60
+		oj := oi + int(b)%60
+		th := FromPercent(pct)
+		budget := th.MaxMissesSim(oi, oj)
+		for miss := 0; miss <= oi; miss++ {
+			if (miss <= budget) != th.MeetsSim(oi-miss, oi, oj) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinOnesSim(t *testing.T) {
+	// 75%: h/(h+1) ≥ 0.75 first holds at h=3 — the DESIGN.md §3 boundary
+	// pair (3,4) with 3 common rows sits exactly at 0.75.
+	if got := FromPercent(75).MinOnesSim(); got != 3 {
+		t.Errorf("75%%: MinOnesSim = %d, want 3", got)
+	}
+	if got := FromPercent(80).MinOnesSim(); got != 4 {
+		t.Errorf("80%%: MinOnesSim = %d, want 4", got)
+	}
+	if got := FromPercent(100).MinOnesSim(); got < 1<<40 {
+		t.Errorf("100%%: MinOnesSim should be effectively infinite, got %d", got)
+	}
+	// And the boundary pair really does qualify at 75%.
+	if !FromPercent(75).MeetsSim(3, 3, 4) {
+		t.Error("pair (3,4,hits=3) should meet 75%")
+	}
+}

@@ -1,0 +1,98 @@
+// Package dist provides the deterministic heavy-tailed samplers the
+// dataset generators are built on: Zipf-distributed ranks for
+// popularity (URL hits, word frequencies, link targets) and bounded
+// Pareto variates for sizes (session lengths, document lengths,
+// out-degrees). Everything is seeded and reproducible.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RNG is the deterministic random source used by all generators.
+type RNG = rand.Rand
+
+// NewRNG returns a seeded source. Generators derive one per logical
+// stream (rows, noise, cluster placement, …) so that changing one knob
+// does not reshuffle everything else.
+func NewRNG(seed int64) *RNG {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Zipf draws ranks in [0, n) with P(k) ∝ 1/(k+1)^s. It wraps the
+// stdlib generator, which requires s > 1.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf returns a Zipf sampler over n items with exponent s. It
+// panics for s <= 1 or n <= 0, which would not define a distribution.
+func NewZipf(r *RNG, s float64, n int) *Zipf {
+	if n <= 0 || s <= 1 {
+		panic(fmt.Sprintf("dist: invalid Zipf(s=%v, n=%d)", s, n))
+	}
+	return &Zipf{rand.NewZipf(r, s, 1, uint64(n-1))}
+}
+
+// Draw returns the next rank in [0, n).
+func (z *Zipf) Draw() int { return int(z.z.Uint64()) }
+
+// BoundedPareto draws integers in [lo, hi] with P(x) ∝ x^(−α−1) by
+// inverse-CDF sampling — the classic model for session sizes and
+// degrees: most draws near lo, a heavy tail up to hi.
+type BoundedPareto struct {
+	r        *RNG
+	lo, hi   float64
+	alpha    float64
+	loPow    float64
+	ratioPow float64
+}
+
+// NewBoundedPareto returns a sampler over [lo, hi] with tail index
+// alpha > 0. It panics on an empty or inverted range.
+func NewBoundedPareto(r *RNG, alpha float64, lo, hi int) *BoundedPareto {
+	if lo <= 0 || hi < lo || alpha <= 0 {
+		panic(fmt.Sprintf("dist: invalid BoundedPareto(alpha=%v, lo=%d, hi=%d)", alpha, lo, hi))
+	}
+	l, h := float64(lo), float64(hi)
+	return &BoundedPareto{
+		r:        r,
+		lo:       l,
+		hi:       h,
+		alpha:    alpha,
+		loPow:    math.Pow(l, alpha),
+		ratioPow: math.Pow(l/h, alpha),
+	}
+}
+
+// Draw returns the next variate in [lo, hi].
+func (p *BoundedPareto) Draw() int {
+	u := p.r.Float64()
+	x := p.lo / math.Pow(1-u*(1-p.ratioPow), 1/p.alpha)
+	if x > p.hi {
+		x = p.hi
+	}
+	v := int(x)
+	if v < int(p.lo) {
+		v = int(p.lo)
+	}
+	return v
+}
+
+// SampleDistinct draws k distinct values from draw (a function
+// returning values in some domain), giving up after enough rejections
+// to avoid spinning on tiny domains. The result has at most k values.
+func SampleDistinct(k int, draw func() int) []int {
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for attempts := 0; len(out) < k && attempts < 20*k+100; attempts++ {
+		v := draw()
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

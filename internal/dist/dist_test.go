@@ -1,0 +1,122 @@
+package dist
+
+import (
+	"testing"
+)
+
+func TestNewRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(1).Int63() == NewRNG(2).Int63() {
+		t.Fatal("different seeds produced the same first value")
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	z := NewZipf(NewRNG(3), 1.5, 50)
+	counts := make([]int, 50)
+	for i := 0; i < 20000; i++ {
+		v := z.Draw()
+		if v < 0 || v >= 50 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must dominate rank 10 by a wide margin.
+	if counts[0] < 4*counts[10] {
+		t.Errorf("not heavy-tailed: counts[0]=%d counts[10]=%d", counts[0], counts[10])
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"n=0": func() { NewZipf(NewRNG(1), 1.5, 0) },
+		"s=1": func() { NewZipf(NewRNG(1), 1.0, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBoundedParetoRange(t *testing.T) {
+	p := NewBoundedPareto(NewRNG(4), 1.2, 2, 100)
+	small, large := 0, 0
+	for i := 0; i < 20000; i++ {
+		v := p.Draw()
+		if v < 2 || v > 100 {
+			t.Fatalf("out of range: %d", v)
+		}
+		if v <= 4 {
+			small++
+		}
+		if v >= 50 {
+			large++
+		}
+	}
+	if small < 10000 {
+		t.Errorf("body too thin: %d draws <= 4", small)
+	}
+	if large == 0 {
+		t.Error("no tail draws at all")
+	}
+	if large > small {
+		t.Errorf("tail heavier than body: %d vs %d", large, small)
+	}
+}
+
+func TestBoundedParetoDegenerate(t *testing.T) {
+	p := NewBoundedPareto(NewRNG(5), 2, 7, 7)
+	for i := 0; i < 100; i++ {
+		if v := p.Draw(); v != 7 {
+			t.Fatalf("degenerate range drew %d", v)
+		}
+	}
+}
+
+func TestBoundedParetoPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"lo=0":     func() { NewBoundedPareto(NewRNG(1), 1, 0, 5) },
+		"inverted": func() { NewBoundedPareto(NewRNG(1), 1, 5, 4) },
+		"alpha=0":  func() { NewBoundedPareto(NewRNG(1), 0, 1, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := NewRNG(6)
+	got := SampleDistinct(5, func() int { return r.Intn(100) })
+	if len(got) != 5 {
+		t.Fatalf("got %d values", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+	// Domain smaller than k: must terminate with the whole domain.
+	r2 := NewRNG(7)
+	got = SampleDistinct(10, func() int { return r2.Intn(3) })
+	if len(got) != 3 {
+		t.Errorf("tiny domain: got %d values, want 3", len(got))
+	}
+}

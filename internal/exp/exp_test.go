@@ -1,0 +1,144 @@
+package exp
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var testCfg = Config{Scale: 0.01, Seed: 1, Quick: true}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"ablations", "concl", "fig3", "fig4", "fig6a", "fig6b", "fig6c",
+		"fig6d", "fig6e", "fig6f", "fig6g", "fig6h", "fig6i", "fig6j",
+		"fig7", "table1",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", got, want)
+		}
+	}
+	if _, ok := ByID("fig6a"); !ok {
+		t.Fatal("ByID(fig6a) failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID accepted an unknown id")
+	}
+}
+
+// Every registered experiment must run and render at a tiny scale.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res := e.Run(testCfg)
+			if res.ID != e.ID {
+				t.Errorf("result ID %q != %q", res.ID, e.ID)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			var buf bytes.Buffer
+			if err := res.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() == 0 {
+				t.Fatal("empty rendering")
+			}
+			for _, tb := range res.Tables {
+				if len(tb.Rows) == 0 {
+					t.Errorf("table %q has no rows", tb.Title)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Columns) {
+						t.Errorf("table %q: row width %d != %d columns", tb.Title, len(row), len(tb.Columns))
+					}
+				}
+			}
+		})
+	}
+}
+
+// The comparison experiments cross-check DMC against a-priori inline
+// and record mismatches as notes — there must never be one.
+func TestNoCrossEngineMismatch(t *testing.T) {
+	for _, id := range []string{"fig6i", "fig6j"} {
+		e, _ := ByID(id)
+		res := e.Run(testCfg)
+		for _, tb := range res.Tables {
+			for _, n := range tb.Notes {
+				if strings.Contains(n, "MISMATCH") {
+					t.Errorf("%s: %s", id, n)
+				}
+			}
+		}
+	}
+}
+
+// Fig-3's note must show sparsest-first reducing peak memory.
+func TestFig3OrderingWins(t *testing.T) {
+	e, _ := ByID("fig3")
+	res := e.Run(Config{Scale: 0.02, Seed: 1})
+	for _, tb := range res.Tables {
+		found := false
+		for _, n := range tb.Notes {
+			if i := strings.Index(n, "x reduction"); i >= 0 {
+				j := strings.LastIndexByte(n[:i], '(')
+				f, err := strconv.ParseFloat(n[j+1:i], 64)
+				if err != nil {
+					t.Fatalf("unparseable note %q", n)
+				}
+				if f < 1.0 {
+					t.Errorf("sparsest-first did not reduce memory: %q", n)
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("table %q missing the reduction note", tb.Title)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Columns: []string{"a", "bb"}}
+	tb.AddRow(1, "x,y")
+	tb.AddRow(2.5, "z\"q")
+	tb.Note("hello %d", 7)
+	var txt, csv bytes.Buffer
+	if err := tb.Render(&txt); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"== T ==", "a", "bb", "2.500", "note: hello 7"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Errorf("text rendering missing %q:\n%s", want, txt.String())
+		}
+	}
+	if err := tb.RenderCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), `"x,y"`) || !strings.Contains(csv.String(), `"z""q"`) {
+		t.Errorf("CSV quoting wrong:\n%s", csv.String())
+	}
+	if strings.Contains(csv.String(), "hello") {
+		t.Error("CSV must not contain notes")
+	}
+}
+
+func TestQuickTrimsSweeps(t *testing.T) {
+	c := Config{Quick: true}
+	got := c.thresholds([]int{100, 90, 80, 70})
+	if len(got) != 2 || got[0] != 100 || got[1] != 70 {
+		t.Fatalf("Quick thresholds = %v", got)
+	}
+	c.Quick = false
+	if got := c.thresholds([]int{100, 90}); len(got) != 2 {
+		t.Fatalf("full thresholds = %v", got)
+	}
+}

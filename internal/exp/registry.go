@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"dmc/internal/gen"
+)
+
+// Config parameterizes a harness run.
+type Config struct {
+	// Scale is the dataset scale passed to the generators; 0 means the
+	// generator default (1/20 of the paper's sizes).
+	Scale float64
+	// Seed drives the generators.
+	Seed int64
+	// Quick trims threshold sweeps to their endpoints, for use inside
+	// benchmarks and smoke tests.
+	Quick bool
+}
+
+func (c Config) gen() gen.Config { return gen.Config{Scale: c.Scale, Seed: c.Seed} }
+
+// thresholds trims a sweep under Quick.
+func (c Config) thresholds(all []int) []int {
+	if c.Quick && len(all) > 2 {
+		return []int{all[0], all[len(all)-1]}
+	}
+	return all
+}
+
+// Experiment is one registered paper artifact.
+type Experiment struct {
+	// ID is the registry key ("table1", "fig6a", …).
+	ID string
+	// Title names the paper artifact.
+	Title string
+	// Expect summarizes the shape the paper reports, for side-by-side
+	// reading with the measured output.
+	Expect string
+	// Run regenerates the artifact.
+	Run func(Config) *Result
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("exp: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// ByID returns a registered experiment.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns the experiments sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IDs returns the registered experiment IDs, sorted.
+func IDs() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// table1 generates the seven paper data sets at the configured scale.
+func table1(cfg Config) []gen.Dataset { return gen.Table1(cfg.gen()) }
+
+// dataset generates one paper data set by name, panicking on unknown
+// names (experiment code only uses registered names).
+func dataset(name string, cfg Config) gen.Dataset {
+	ds, ok := gen.ByName(name, cfg.gen())
+	if !ok {
+		panic("exp: unknown dataset " + name)
+	}
+	return ds
+}
+
+func ms(d interface{ Milliseconds() int64 }) string {
+	return fmt.Sprintf("%dms", d.Milliseconds())
+}
+
+func kb(bytes int) string {
+	return fmt.Sprintf("%dKB", (bytes+1023)/1024)
+}

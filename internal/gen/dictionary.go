@@ -1,0 +1,93 @@
+package gen
+
+import (
+	"fmt"
+
+	"dmc/internal/dist"
+	"dmc/internal/matrix"
+)
+
+// SynonymFamilies are the labeled planted clusters of the dictionary
+// stand-in — head words that share almost all of their definition
+// vocabulary, the paper's "brother-in-law ≃ sister-in-law" example.
+var SynonymFamilies = [][]string{
+	{"brother-in-law", "sister-in-law"},
+	{"northeast", "northwest", "southeast"},
+	{"tuesday", "wednesday", "thursday"},
+	{"carbonate", "bicarbonate"},
+	{"duchess", "countess"},
+}
+
+// Dictionary generates the dicD stand-in: columns are head words, rows
+// are definition words; a cell is 1 when the head word's definition
+// uses the definition word. Definitions draw a Zipf-weighted bag of
+// definition words; synonym families copy a shared definition with a
+// little noise, producing the high-similarity column pairs the paper
+// extracts from Webster 1913.
+//
+// At Scale 1 the dimensions approximate Table 1's 45,418 × 96,540.
+func Dictionary(cfg Config) *matrix.Matrix {
+	s := cfg.scale()
+	numHead := scaled(96540, s, 600)
+	numDef := scaled(45418, s, 400)
+
+	rng := dist.NewRNG(cfg.Seed ^ 0xd1c7)
+	defZipf := dist.NewZipf(rng, 1.2, numDef)
+	defLen := dist.NewBoundedPareto(rng, 1.5, 4, 40)
+
+	// defs[h] is the definition (set of definition-word row ids) of
+	// head word h.
+	defs := make([][]matrix.Col, numHead)
+	labels := genericLabels("hw", numHead)
+
+	next := 0
+	take := func() int { h := next; next++; return h }
+	for _, family := range SynonymFamilies {
+		shared := dist.SampleDistinct(10+rng.Intn(8), func() int { return defZipf.Draw() })
+		for _, name := range family {
+			h := take()
+			labels[h] = name
+			for _, w := range shared {
+				if rng.Float64() < 0.95 {
+					defs[h] = append(defs[h], matrix.Col(w))
+				}
+			}
+			if rng.Float64() < 0.5 {
+				defs[h] = append(defs[h], matrix.Col(defZipf.Draw()))
+			}
+		}
+	}
+	// Unlabeled synonym families to give the similarity miners volume.
+	for g := 0; g < numHead/60; g++ {
+		size := 2 + rng.Intn(2)
+		shared := dist.SampleDistinct(8+rng.Intn(10), func() int { return defZipf.Draw() })
+		for i := 0; i < size && next < numHead; i++ {
+			h := take()
+			labels[h] = fmt.Sprintf("syn%d_%d", g, i)
+			for _, w := range shared {
+				if rng.Float64() < 0.93 {
+					defs[h] = append(defs[h], matrix.Col(w))
+				}
+			}
+		}
+	}
+	// Ordinary head words.
+	for ; next < numHead; next++ {
+		n := defLen.Draw()
+		for i := 0; i < n; i++ {
+			defs[next] = append(defs[next], matrix.Col(defZipf.Draw()))
+		}
+	}
+
+	// Build with rows = head words, then transpose to the paper's
+	// orientation (rows = definition words, columns = head words).
+	hb := matrix.NewBuilder(numDef)
+	for _, d := range defs {
+		hb.AddRow(d)
+	}
+	byHead := hb.Build()
+	m := byHead.Transpose() // numDef rows × numHead columns
+
+	m.SetLabels(labels)
+	return dropEmptyRows(m)
+}

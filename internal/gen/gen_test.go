@@ -1,0 +1,227 @@
+package gen
+
+import (
+	"sort"
+	"testing"
+
+	"dmc/internal/core"
+	"dmc/internal/matrix"
+	"dmc/internal/rules"
+)
+
+var testCfg = Config{Scale: 0.01, Seed: 1}
+
+func TestDeterministic(t *testing.T) {
+	a := WebLog(testCfg)
+	b := WebLog(testCfg)
+	if a.NumRows() != b.NumRows() || a.NumOnes() != b.NumOnes() {
+		t.Fatal("same config, different matrices")
+	}
+	c := WebLog(Config{Scale: 0.01, Seed: 2})
+	if a.NumOnes() == c.NumOnes() {
+		t.Fatal("different seeds produced identical data (suspicious)")
+	}
+}
+
+func TestAllValid(t *testing.T) {
+	for _, ds := range Table1(testCfg) {
+		if err := ds.M.Validate(); err != nil {
+			t.Errorf("%s: %v", ds.Name, err)
+		}
+		if ds.M.NumRows() == 0 || ds.M.NumCols() == 0 || ds.M.NumOnes() == 0 {
+			t.Errorf("%s: degenerate matrix %dx%d", ds.Name, ds.M.NumRows(), ds.M.NumCols())
+		}
+	}
+}
+
+// Scale 1 must approximate the Table-1 dimensions for the directly
+// generated sets (derived sets — pruned or transposed — depend on the
+// synthetic crawl's artifacts and are reported, not asserted).
+func TestScaleOneDimensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale-1 generation is slow")
+	}
+	cfg := Config{Scale: 1, Seed: 1}
+	m := WebLog(cfg)
+	approx(t, "Wlog rows", m.NumRows(), 218518, 0.02)
+	approx(t, "Wlog cols", m.NumCols(), 74957, 0.02)
+}
+
+func approx(t *testing.T, name string, got, want int, tol float64) {
+	t.Helper()
+	lo, hi := float64(want)*(1-tol), float64(want)*(1+tol)
+	if f := float64(got); f < lo || f > hi {
+		t.Errorf("%s = %d, want within %.0f%% of %d", name, got, 100*tol, want)
+	}
+}
+
+// The column-density distribution must be heavy-tailed (Fig 4): many
+// columns with few 1s, few columns with many. The support-pruned
+// derivatives (WlogP, NewsP) have their low-frequency mass removed by
+// construction, and dicD column counts are bounded by the definition
+// length, so those assertions are scoped to the raw sets.
+func TestHeavyTailedColumns(t *testing.T) {
+	for _, ds := range Table1(testCfg) {
+		pruned := ds.Name == "WlogP" || ds.Name == "NewsP"
+		ones := ds.M.Ones()
+		small, maxOnes := 0, 0
+		for _, k := range ones {
+			if k > 0 && k <= 4 {
+				small++
+			}
+			if k > maxOnes {
+				maxOnes = k
+			}
+		}
+		if !pruned && small < ds.M.NumCols()/10 {
+			t.Errorf("%s: only %d/%d low-frequency columns", ds.Name, small, ds.M.NumCols())
+		}
+		popular := map[string]bool{"Wlog": true, "plinkF": true, "plinkT": true, "News": true}
+		if popular[ds.Name] && maxOnes < 50 {
+			t.Errorf("%s: no popular columns (max ones %d)", ds.Name, maxOnes)
+		}
+	}
+}
+
+// Wlog and the link graph must contain a few extremely dense rows (the
+// crawlers / hub pages behind the §4.2 memory explosion).
+func TestDenseRowsExist(t *testing.T) {
+	wlog := WebLog(testCfg)
+	f, _ := LinkGraph(testCfg)
+	for _, tc := range []struct {
+		name string
+		m    *matrix.Matrix
+	}{{"Wlog", wlog}, {"plinkF", f}} {
+		weights := make([]int, tc.m.NumRows())
+		for i := range weights {
+			weights[i] = tc.m.RowWeight(i)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(weights)))
+		median := weights[len(weights)/2]
+		if median == 0 || weights[0] < 50*median {
+			t.Errorf("%s: densest row %d vs median %d — no crawler/hub rows", tc.name, weights[0], median)
+		}
+	}
+}
+
+// The link graph must carry a mass of frequency-4 destination columns
+// that survive the 75% cutoff but not the 80% one (the Fig-6(e)/(f)
+// jump).
+func TestLinkGraphFrequency4Mass(t *testing.T) {
+	f, _ := LinkGraph(testCfg)
+	freq := make(map[int]int)
+	for _, k := range f.Ones() {
+		freq[k]++
+	}
+	if freq[4] < f.NumCols()/100 {
+		t.Errorf("plinkF: only %d frequency-4 columns of %d", freq[4], f.NumCols())
+	}
+	at75 := core.FromPercent(75).MinOnesConf()
+	at80 := core.FromPercent(80).MinOnesConf()
+	if !(at75 <= 4 && at80 > 4) {
+		t.Fatalf("cutoffs wrong: 75%%→%d, 80%%→%d", at75, at80)
+	}
+}
+
+// The web log must yield high-confidence implication rules (deep page ⇒
+// section index), and the dictionary high-similarity pairs (synonyms).
+func TestPlantedStructureMines(t *testing.T) {
+	wlog := WebLog(testCfg)
+	imps, _ := core.DMCImp(wlog, core.FromPercent(85), core.Options{})
+	if len(imps) == 0 {
+		t.Error("Wlog: no rules at 85% confidence")
+	}
+
+	dic := Dictionary(testCfg)
+	sims, _ := core.DMCSim(dic, core.FromPercent(70), core.Options{})
+	if len(sims) == 0 {
+		t.Fatal("dicD: no rules at 70% similarity")
+	}
+	// The brother-in-law ≃ sister-in-law family must be among them.
+	var bro, sis matrix.Col = 0, 0
+	for i, l := range dic.Labels() {
+		switch l {
+		case "brother-in-law":
+			bro = matrix.Col(i)
+		case "sister-in-law":
+			sis = matrix.Col(i)
+		}
+	}
+	found := false
+	for _, r := range sims {
+		r = r.Canonical()
+		if (r.A == bro && r.B == sis) || (r.A == sis && r.B == bro) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("dicD: brother-in-law ≃ sister-in-law not found at 70%")
+	}
+}
+
+// The planted chess cluster must reproduce the core Fig-7 rules at 85%
+// confidence.
+func TestNewsChessCluster(t *testing.T) {
+	news := News(testCfg)
+	imps, _ := core.DMCImp(news, core.FromPercent(85), core.Options{})
+	groups, ok := rules.ExpandByLabel(imps, news, "polgar", 2)
+	if !ok {
+		t.Fatal("polgar is not a labeled column")
+	}
+	have := map[string]bool{}
+	for _, g := range groups {
+		for _, r := range g.Rules {
+			have[news.Label(r.From)+"->"+news.Label(r.To)] = true
+		}
+	}
+	for _, want := range []string{
+		"polgar->chess", "polgar->judit", "polgar->kasparov",
+		"polgar->champion", "judit->soviet", "judit->hungary",
+	} {
+		if !have[want] {
+			t.Errorf("missing Fig-7 rule %s (have %d rules)", want, len(have))
+		}
+	}
+}
+
+func TestNewsPrunedBounds(t *testing.T) {
+	p := NewsPruned(testCfg)
+	ones := p.Ones()
+	minSup := p.NumRows() * 2 / 1000
+	if minSup < 3 {
+		minSup = 3
+	}
+	for c, k := range ones {
+		if k == 0 {
+			t.Fatalf("NewsP column %d empty after pruning", c)
+		}
+	}
+	if p.NumCols() == 0 {
+		t.Fatal("NewsP pruned everything")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		ds, ok := ByName(name, testCfg)
+		if !ok || ds.M == nil {
+			t.Errorf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("nope", testCfg); ok {
+		t.Error("ByName accepted an unknown name")
+	}
+}
+
+func TestWebLogPrunedThreshold(t *testing.T) {
+	wlog := WebLog(testCfg)
+	p := WebLogPruned(wlog)
+	for c, k := range p.Ones() {
+		if k <= 10 {
+			t.Fatalf("WlogP column %d has %d ones (must be > 10)", c, k)
+		}
+	}
+	if p.NumCols() >= wlog.NumCols() {
+		t.Error("pruning removed nothing")
+	}
+}

@@ -1,0 +1,58 @@
+package gen
+
+import (
+	"testing"
+
+	"dmc/internal/core"
+)
+
+// TestGoldenRuleCounts pins the exact rule counts of every generated
+// data set at scale 0.01 / seed 1 across three thresholds. This is the
+// repository's end-to-end regression net: a silent change to a
+// generator, a sampler, a pruning bound or an engine shows up here as a
+// count drift, while the engine-vs-reference equivalence tests would
+// only catch outright bugs.
+func TestGoldenRuleCounts(t *testing.T) {
+	golden := []struct {
+		data     string
+		pct      int
+		imp, sim int
+	}{
+		{"Wlog", 100, 7800, 93},
+		{"Wlog", 85, 7824, 93},
+		{"Wlog", 70, 8842, 150},
+		{"WlogP", 100, 1, 0},
+		{"WlogP", 85, 16, 0},
+		{"WlogP", 70, 72, 0},
+		{"plinkF", 100, 72173, 9873},
+		{"plinkF", 85, 72184, 9882},
+		{"plinkF", 70, 72303, 9893},
+		{"plinkT", 100, 31899, 1969},
+		{"plinkT", 85, 31913, 1970},
+		{"plinkT", 70, 32229, 1983},
+		{"News", 100, 12258, 303},
+		{"News", 85, 12553, 366},
+		{"News", 70, 13189, 389},
+		{"NewsP", 100, 158, 10},
+		{"NewsP", 85, 298, 73},
+		{"NewsP", 70, 397, 95},
+		{"dicD", 100, 9502, 38},
+		{"dicD", 85, 9589, 53},
+		{"dicD", 70, 24175, 286},
+	}
+	sets := map[string]Dataset{}
+	for _, ds := range Table1(testCfg) {
+		sets[ds.Name] = ds
+	}
+	for _, g := range golden {
+		m := sets[g.data].M
+		imps, _ := core.DMCImp(m, core.FromPercent(g.pct), core.Options{})
+		if len(imps) != g.imp {
+			t.Errorf("%s at %d%%: %d implication rules, golden %d", g.data, g.pct, len(imps), g.imp)
+		}
+		sims, _ := core.DMCSim(m, core.FromPercent(g.pct), core.Options{})
+		if len(sims) != g.sim {
+			t.Errorf("%s at %d%%: %d similarity rules, golden %d", g.data, g.pct, len(sims), g.sim)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package gen
+
+import (
+	"fmt"
+
+	"dmc/internal/dist"
+	"dmc/internal/matrix"
+)
+
+// ChessWords are the labeled columns of the planted Fig-7 cluster. The
+// first four are the entities (they appear only in their own document
+// groups); the rest is the shared chess vocabulary.
+var ChessWords = []string{
+	"polgar", "judit", "garri", "kasparov",
+	"chess", "champion", "championship", "soviet", "game", "grandmaster",
+	"international", "top", "old", "players", "federation", "youngest",
+	"player", "ranked", "men", "highest", "hungary", "women",
+}
+
+// News generates the Reuters stand-in: rows are documents, columns are
+// words (stop words assumed already removed, as in §6.1). Documents mix
+// Zipf background vocabulary with one Zipf-chosen topic's word list;
+// each topic also carries a few rare "entity" words whose documents
+// almost always contain specific topic words — the source of the
+// low-support high-confidence rules the paper's text-mining application
+// targets.
+//
+// Columns 0..len(ChessWords)-1 are the planted chess cluster of Fig. 7:
+// ~20 Polgar documents and ~40 Kasparov documents over the shared chess
+// vocabulary, tuned so rules such as polgar ⇒ chess, polgar ⇒ judit,
+// judit ⇒ soviet, kasparov ⇒ game and grandmaster ⇒ chess hold with
+// ≥85% confidence. All columns are labeled (generic "w<id>" outside the
+// cluster), so the Fig-7 keyword expansion works out of the box.
+//
+// At Scale 1 the dimensions approximate Table 1's 84,672 × 170,372.
+func News(cfg Config) *matrix.Matrix {
+	s := cfg.scale()
+	vocab := scaled(170372, s, 2000)
+	numDocs := scaled(84672, s, 800)
+	numTopics := vocab / 4000
+	if numTopics < 4 {
+		numTopics = 4
+	}
+	const topicWords = 30
+	reserved := len(ChessWords)
+
+	rng := dist.NewRNG(cfg.Seed ^ 0x4e3a5)
+	topicZipf := dist.NewZipf(rng, 1.3, numTopics)
+	inTopicZipf := dist.NewZipf(rng, 1.5, topicWords)
+	bgZipf := dist.NewZipf(rng, 1.15, vocab-reserved)
+	docLen := dist.NewBoundedPareto(rng, 1.5, 12, 150)
+
+	// Topic vocabularies, drawn outside the reserved cluster.
+	topics := make([][]matrix.Col, numTopics)
+	for t := range topics {
+		ws := dist.SampleDistinct(topicWords, func() int { return reserved + rng.Intn(vocab-reserved) })
+		topics[t] = make([]matrix.Col, len(ws))
+		for i, w := range ws {
+			topics[t][i] = matrix.Col(w)
+		}
+	}
+	// Per-topic entities: rare words implying a few topic words.
+	type entity struct {
+		word    matrix.Col
+		topic   int
+		implies []matrix.Col
+		docs    int
+	}
+	var entities []entity
+	entityBase := vocab - 3*numTopics // entity ids live at the top of the vocabulary
+	for t := 0; t < numTopics; t++ {
+		for e := 0; e < 3; e++ {
+			ent := entity{
+				word:  matrix.Col(entityBase + 3*t + e),
+				topic: t,
+				docs:  15 + rng.Intn(20),
+			}
+			for i := 0; i < 4; i++ {
+				ent.implies = append(ent.implies, topics[t][inTopicZipf.Draw()%topicWords])
+			}
+			entities = append(entities, ent)
+		}
+	}
+
+	b := matrix.NewBuilder(vocab)
+	background := func(row []matrix.Col, k int) []matrix.Col {
+		for i := 0; i < k; i++ {
+			row = append(row, matrix.Col(reserved+bgZipf.Draw()%(vocab-reserved)))
+		}
+		return row
+	}
+
+	// Planted chess cluster. col ids follow ChessWords order.
+	col := func(w string) matrix.Col {
+		for i, cw := range ChessWords {
+			if cw == w {
+				return matrix.Col(i)
+			}
+		}
+		panic("gen: unknown chess word " + w)
+	}
+	polgarPool := []string{
+		"judit", "kasparov", "garri", "chess", "champion", "soviet", "game",
+		"grandmaster", "international", "top", "old", "players", "federation",
+		"youngest", "player", "ranked", "men", "highest", "hungary", "women",
+	}
+	for d := 0; d < 20; d++ {
+		row := []matrix.Col{col("polgar")}
+		for _, w := range polgarPool {
+			if rng.Float64() < 0.95 {
+				row = append(row, col(w))
+			}
+		}
+		b.AddRow(background(row, 3))
+	}
+	kasparovPool := []string{
+		"garri", "chess", "game", "champion", "championship", "soviet", "grandmaster",
+	}
+	for d := 0; d < 40; d++ {
+		row := []matrix.Col{col("kasparov")}
+		for _, w := range kasparovPool {
+			if rng.Float64() < 0.93 {
+				row = append(row, col(w))
+			}
+		}
+		b.AddRow(background(row, 3))
+	}
+	for d := 0; d < 6; d++ {
+		b.AddRow(background([]matrix.Col{col("judit"), col("soviet"), col("hungary"), col("chess")}, 3))
+	}
+
+	// Entity documents.
+	for _, ent := range entities {
+		for d := 0; d < ent.docs; d++ {
+			row := append([]matrix.Col{ent.word}, ent.implies...)
+			for i := 0; i < 5; i++ {
+				row = append(row, topics[ent.topic][inTopicZipf.Draw()%topicWords])
+			}
+			b.AddRow(background(row, 4))
+		}
+	}
+
+	// Regular documents.
+	for b.NumRows() < numDocs {
+		t := topicZipf.Draw() % numTopics
+		n := docLen.Draw()
+		row := make([]matrix.Col, 0, n)
+		for i := 0; i < n*2/5; i++ {
+			row = append(row, topics[t][inTopicZipf.Draw()%topicWords])
+		}
+		b.AddRow(background(row, n-len(row)))
+	}
+
+	m := b.Build()
+	labels := genericLabels("w", m.NumCols())
+	copy(labels, ChessWords)
+	for t := 0; t < numTopics; t++ {
+		for e := 0; e < 3; e++ {
+			labels[entityBase+3*t+e] = fmt.Sprintf("entity_%d_%d", t, e)
+		}
+	}
+	m.SetLabels(labels)
+	return m
+}
+
+// NewsPruned derives the NewsP comparison set of §6.2: a smaller
+// document sample with support pruning at 0.2% minimum and 20% maximum
+// of the rows (the paper's thresholds 35 and 3278 on 16,392 documents).
+func NewsPruned(cfg Config) *matrix.Matrix {
+	sub := cfg
+	sub.Scale = cfg.scale() * 16392.0 / 84672.0
+	m := News(sub)
+	minSup := m.NumRows() * 2 / 1000
+	if minSup < 3 {
+		minSup = 3
+	}
+	maxSup := m.NumRows() / 5
+	p, _ := m.PruneColumns(func(c matrix.Col, ones int) bool {
+		return ones >= minSup && ones <= maxSup
+	})
+	return p
+}

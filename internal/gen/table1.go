@@ -1,0 +1,59 @@
+package gen
+
+import "dmc/internal/matrix"
+
+// Dataset is a named generated matrix, mirroring one row of Table 1.
+type Dataset struct {
+	Name string
+	M    *matrix.Matrix
+	// PaperRows and PaperCols are the Table-1 dimensions at Scale 1,
+	// for the side-by-side report.
+	PaperRows, PaperCols int
+}
+
+// Table1 generates all seven data sets of the paper's Table 1 at the
+// configured scale. The link graph is generated once and reused for
+// both orientations.
+func Table1(cfg Config) []Dataset {
+	wlog := WebLog(cfg)
+	plinkF, plinkT := LinkGraph(cfg)
+	news := News(cfg)
+	return []Dataset{
+		{Name: "Wlog", M: wlog, PaperRows: 218518, PaperCols: 74957},
+		{Name: "WlogP", M: WebLogPruned(wlog), PaperRows: 203185, PaperCols: 13087},
+		{Name: "plinkF", M: plinkF, PaperRows: 173338, PaperCols: 697824},
+		{Name: "plinkT", M: plinkT, PaperRows: 695280, PaperCols: 688747},
+		{Name: "News", M: news, PaperRows: 84672, PaperCols: 170372},
+		{Name: "NewsP", M: NewsPruned(cfg), PaperRows: 16392, PaperCols: 9518},
+		{Name: "dicD", M: Dictionary(cfg), PaperRows: 45418, PaperCols: 96540},
+	}
+}
+
+// ByName generates a single Table-1 data set; ok is false for unknown
+// names.
+func ByName(name string, cfg Config) (Dataset, bool) {
+	switch name {
+	case "Wlog":
+		return Dataset{Name: name, M: WebLog(cfg), PaperRows: 218518, PaperCols: 74957}, true
+	case "WlogP":
+		return Dataset{Name: name, M: WebLogPruned(WebLog(cfg)), PaperRows: 203185, PaperCols: 13087}, true
+	case "plinkF":
+		f, _ := LinkGraph(cfg)
+		return Dataset{Name: name, M: f, PaperRows: 173338, PaperCols: 697824}, true
+	case "plinkT":
+		_, t := LinkGraph(cfg)
+		return Dataset{Name: name, M: t, PaperRows: 695280, PaperCols: 688747}, true
+	case "News":
+		return Dataset{Name: name, M: News(cfg), PaperRows: 84672, PaperCols: 170372}, true
+	case "NewsP":
+		return Dataset{Name: name, M: NewsPruned(cfg), PaperRows: 16392, PaperCols: 9518}, true
+	case "dicD":
+		return Dataset{Name: name, M: Dictionary(cfg), PaperRows: 45418, PaperCols: 96540}, true
+	}
+	return Dataset{}, false
+}
+
+// Names lists the Table-1 data set names in paper order.
+func Names() []string {
+	return []string{"Wlog", "WlogP", "plinkF", "plinkT", "News", "NewsP", "dicD"}
+}

@@ -1,0 +1,89 @@
+package gen
+
+import (
+	"fmt"
+
+	"dmc/internal/dist"
+	"dmc/internal/matrix"
+)
+
+// WebLog generates the Wlog stand-in: rows are client IPs, columns are
+// URLs, a cell is 1 when the client requested the URL. The shape
+// mirrors the paper's description of the Stanford server log:
+//
+//   - URL popularity is Zipf (a few hot pages, a long tail);
+//   - most clients touch only a few pages, but the site has structure —
+//     sections whose index page is requested by ~92% of the visitors of
+//     any deep page in the section, which is what produces the
+//     high-confidence "deep page ⇒ section index" implication rules;
+//   - a few crawler clients request almost every URL: the handful of
+//     extremely dense rows behind the §4.2 memory explosion.
+//
+// At Scale 1 the dimensions approximate Table 1's 218,518 × 74,957.
+func WebLog(cfg Config) *matrix.Matrix {
+	s := cfg.scale()
+	numURLs := scaled(74957, s, 400)
+	numClients := scaled(218518, s, 1000)
+	const secSize = 24
+	numSec := numURLs / secSize
+	if numSec < 2 {
+		numSec = 2
+	}
+
+	rng := dist.NewRNG(cfg.Seed ^ 0x5eb106)
+	secZipf := dist.NewZipf(rng, 1.08, numSec)
+	pageZipf := dist.NewZipf(rng, 1.25, secSize-1)
+	noiseZipf := dist.NewZipf(rng, 1.05, numURLs)
+	numSecDist := dist.NewBoundedPareto(rng, 1.6, 1, 6)
+	pagesDist := dist.NewBoundedPareto(rng, 1.5, 1, 12)
+
+	b := matrix.NewBuilder(numURLs)
+	// A small population of crawlers with partial coverage each: their
+	// rows are orders of magnitude denser than a human session, and
+	// together they cover the site — the §4.2 memory-explosion tail.
+	numCrawlers := scaled(30, s, 4)
+	for i := 0; i < numCrawlers; i++ {
+		var row []matrix.Col
+		for u := 0; u < numURLs; u++ {
+			if rng.Float64() < 0.35 {
+				row = append(row, matrix.Col(u))
+			}
+		}
+		b.AddRow(row)
+	}
+	for i := numCrawlers; i < numClients; i++ {
+		var row []matrix.Col
+		for k := numSecDist.Draw(); k > 0; k-- {
+			sec := secZipf.Draw() % numSec
+			base := matrix.Col(sec * secSize)
+			if rng.Float64() < 0.92 {
+				row = append(row, base) // the section index page
+			}
+			for p := pagesDist.Draw(); p > 0; p-- {
+				row = append(row, base+1+matrix.Col(pageZipf.Draw()%(secSize-1)))
+			}
+		}
+		for k := 1 + rng.Intn(3); k > 0; k-- {
+			row = append(row, matrix.Col(noiseZipf.Draw()))
+		}
+		b.AddRow(row)
+	}
+	m := b.Build()
+	labels := make([]string, m.NumCols())
+	for u := range labels {
+		if u%secSize == 0 {
+			labels[u] = fmt.Sprintf("/s%d/", u/secSize) // section index page
+		} else {
+			labels[u] = fmt.Sprintf("/s%d/p%d", u/secSize, u%secSize)
+		}
+	}
+	m.SetLabels(labels)
+	return m
+}
+
+// WebLogPruned derives WlogP from a Wlog matrix by dropping columns
+// with 10 or fewer 1s, as in §6.1.
+func WebLogPruned(wlog *matrix.Matrix) *matrix.Matrix {
+	p, _ := wlog.PruneColumns(func(c matrix.Col, ones int) bool { return ones > 10 })
+	return p
+}

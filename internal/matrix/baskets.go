@@ -1,0 +1,85 @@
+package matrix
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The basket format is the zero-friction ingestion path: one
+// transaction per line, items as whitespace-separated tokens, '#'
+// starting a comment line. Column ids are assigned in first-seen order
+// and the tokens become the column labels, so mined rules print with
+// the original item names.
+
+// ReadBaskets parses the basket format.
+func ReadBaskets(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	ids := make(map[string]Col)
+	var labels []string
+	b := NewBuilder(0)
+	var row []Col
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		row = row[:0]
+		for _, tok := range strings.Fields(line) {
+			id, seen := ids[tok]
+			if !seen {
+				id = Col(len(labels))
+				ids[tok] = id
+				labels = append(labels, tok)
+			}
+			row = append(row, id)
+		}
+		b.AddRow(row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	m := b.Build()
+	if m.NumCols() < len(labels) {
+		// All-comment trailing columns cannot happen: every label was
+		// seen in some row, so the builder's width always reaches it.
+		return nil, fmt.Errorf("matrix: internal: %d labels for %d columns", len(labels), m.NumCols())
+	}
+	if len(labels) > 0 {
+		m.SetLabels(labels)
+	}
+	return m, nil
+}
+
+// WriteBaskets writes m in the basket format. The matrix must have
+// labels, none of which may contain whitespace or start with '#'.
+func WriteBaskets(w io.Writer, m *Matrix) error {
+	labels := m.Labels()
+	if labels == nil {
+		return fmt.Errorf("matrix: basket output needs column labels")
+	}
+	for _, l := range labels {
+		if l == "" || strings.ContainsAny(l, " \t\n\r") || strings.HasPrefix(l, "#") {
+			return fmt.Errorf("matrix: label %q not representable in basket format", l)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	for i := 0; i < m.NumRows(); i++ {
+		for j, c := range m.Row(i) {
+			if j > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(labels[c]); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

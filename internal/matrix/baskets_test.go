@@ -1,0 +1,105 @@
+package matrix
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadBaskets(t *testing.T) {
+	in := `# a comment
+bread butter jam
+butter bread
+# another comment
+tea
+
+bread`
+	m, err := ReadBaskets(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five transactions: the blank line is an empty one.
+	if m.NumRows() != 5 || m.NumCols() != 4 {
+		t.Fatalf("dims %dx%d, want 5x4", m.NumRows(), m.NumCols())
+	}
+	if !reflect.DeepEqual(m.Labels(), []string{"bread", "butter", "jam", "tea"}) {
+		t.Fatalf("labels = %v", m.Labels())
+	}
+	if !reflect.DeepEqual(m.Row(0), []Col{0, 1, 2}) {
+		t.Fatalf("row 0 = %v", m.Row(0))
+	}
+	if !reflect.DeepEqual(m.Row(1), []Col{0, 1}) { // normalized order
+		t.Fatalf("row 1 = %v", m.Row(1))
+	}
+	if m.RowWeight(2) != 1 || m.RowWeight(3) != 0 || !reflect.DeepEqual(m.Row(4), []Col{0}) {
+		t.Fatal("tea / empty / trailing rows wrong")
+	}
+}
+
+func TestBasketsRoundTrip(t *testing.T) {
+	in := "a b c\nb c\na\n"
+	m, err := ReadBaskets(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBaskets(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBaskets(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesEqual(m, back) || !reflect.DeepEqual(m.Labels(), back.Labels()) {
+		t.Fatal("basket round trip changed the matrix")
+	}
+}
+
+func TestWriteBasketsErrors(t *testing.T) {
+	var buf bytes.Buffer
+	m := FromRows(1, [][]Col{{0}})
+	if err := WriteBaskets(&buf, m); err == nil {
+		t.Error("unlabeled matrix accepted")
+	}
+	for _, bad := range []string{"", "two words", "#hash"} {
+		m := FromRows(1, [][]Col{{0}})
+		m.SetLabels([]string{bad})
+		if err := WriteBaskets(&buf, m); err == nil {
+			t.Errorf("label %q accepted", bad)
+		}
+	}
+}
+
+func TestBasketSaveLoad(t *testing.T) {
+	m, err := ReadBaskets(strings.NewReader("x y\ny z\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "b.basket")
+	if err := Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesEqual(m, back) || !reflect.DeepEqual(back.Labels(), m.Labels()) {
+		t.Fatal("basket Save/Load round trip failed")
+	}
+	// No companion .labels file for baskets.
+	if _, err := Load(path + ".labels"); err == nil {
+		t.Error("unexpected .labels companion")
+	}
+}
+
+func TestReadBasketsEmpty(t *testing.T) {
+	m, err := ReadBaskets(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRows() != 0 || m.NumCols() != 0 || m.Labels() != nil {
+		t.Fatalf("empty input: %dx%d labels=%v", m.NumRows(), m.NumCols(), m.Labels())
+	}
+}

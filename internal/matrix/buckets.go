@@ -1,0 +1,75 @@
+package matrix
+
+import "math/bits"
+
+// BucketIndex returns the density bucket of a row with the given weight,
+// following §4.1 of the paper: bucket i holds rows whose number of 1s
+// lies in [2^i, 2^{i+1}). Rows with no 1s are placed in bucket 0; they
+// contribute nothing to any pair so their position is irrelevant.
+func BucketIndex(weight int) int {
+	if weight <= 1 {
+		return 0
+	}
+	return bits.Len(uint(weight)) - 1
+}
+
+// NumBuckets returns the number of density buckets needed for a matrix
+// with m columns: ⌈log2 m⌉ + 1 in the paper's notation (a row can have at
+// most m ones).
+func NumBuckets(m int) int {
+	if m <= 1 {
+		return 1
+	}
+	return BucketIndex(m) + 1
+}
+
+// ScanOrder is a permutation of row indices defining the order of the
+// second pass.
+type ScanOrder []int
+
+// OriginalOrder returns the identity permutation over n rows.
+func OriginalOrder(n int) ScanOrder {
+	o := make(ScanOrder, n)
+	for i := range o {
+		o[i] = i
+	}
+	return o
+}
+
+// SparsestFirstOrder buckets the rows of m by density and returns the
+// bucket-major order of §4.1: all rows of bucket 0 first (in original
+// order), then bucket 1, and so on. This is the order DMC-imp and
+// DMC-sim scan in; it is what keeps the counter array small until the
+// dense tail, which DMC-bitmap then absorbs.
+func SparsestFirstOrder(m *Matrix) ScanOrder {
+	nb := NumBuckets(m.NumCols())
+	counts := make([]int, nb)
+	for i := 0; i < m.NumRows(); i++ {
+		counts[BucketIndex(m.RowWeight(i))]++
+	}
+	starts := make([]int, nb)
+	s := 0
+	for b, c := range counts {
+		starts[b] = s
+		s += c
+	}
+	o := make(ScanOrder, m.NumRows())
+	for i := 0; i < m.NumRows(); i++ {
+		b := BucketIndex(m.RowWeight(i))
+		o[starts[b]] = i
+		starts[b]++
+	}
+	return o
+}
+
+// DensestFirstOrder is the reverse bucket order; it exists for the
+// row-ordering ablation experiments (it is the worst case for DMC-base
+// memory, per §4.1).
+func DensestFirstOrder(m *Matrix) ScanOrder {
+	sparse := SparsestFirstOrder(m)
+	o := make(ScanOrder, len(sparse))
+	for i, r := range sparse {
+		o[len(sparse)-1-i] = r
+	}
+	return o
+}

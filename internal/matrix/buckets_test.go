@@ -1,0 +1,140 @@
+package matrix
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct{ weight, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3}, {15, 3}, {16, 4}, {1023, 9}, {1024, 10},
+	}
+	for _, c := range cases {
+		if got := BucketIndex(c.weight); got != c.want {
+			t.Errorf("BucketIndex(%d) = %d, want %d", c.weight, got, c.want)
+		}
+	}
+}
+
+func TestNumBuckets(t *testing.T) {
+	cases := []struct{ m, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {4, 3}, {5, 3}, {1024, 11},
+	}
+	for _, c := range cases {
+		if got := NumBuckets(c.m); got != c.want {
+			t.Errorf("NumBuckets(%d) = %d, want %d", c.m, got, c.want)
+		}
+	}
+	// A row can never land in a bucket >= NumBuckets.
+	for m := 1; m <= 300; m++ {
+		if BucketIndex(m) >= NumBuckets(m) {
+			t.Fatalf("BucketIndex(%d)=%d >= NumBuckets=%d", m, BucketIndex(m), NumBuckets(m))
+		}
+	}
+}
+
+func TestOriginalOrder(t *testing.T) {
+	o := OriginalOrder(4)
+	for i, r := range o {
+		if r != i {
+			t.Fatalf("OriginalOrder[%d] = %d", i, r)
+		}
+	}
+}
+
+// fig2Matrix mirrors paperdata.Fig2 (which cannot be imported here
+// without an import cycle): the reconstructed matrix of the paper's
+// Fig. 2 / Example 3.1. See internal/paperdata for the derivation.
+func fig2Matrix() *Matrix {
+	return FromRows(6, [][]Col{
+		{1, 5},          // r1: c2,c6
+		{2, 3, 4},       // r2: c3,c4,c5
+		{2, 4},          // r3: c3,c5
+		{0, 1, 2, 5},    // r4: c1,c2,c3,c6
+		{0, 1, 2, 4},    // r5: c1,c2,c3,c5
+		{0, 1, 3, 5},    // r6: c1,c2,c4,c6
+		{0, 1, 2, 3, 4}, // r7: c1,c2,c3,c4,c5
+		{3, 5},          // r8: c4,c6
+		{0, 3, 4, 5},    // r9: c1,c4,c5,c6
+	})
+}
+
+// TestSparsestFirstFig2 checks the bucket order on the Fig-2 matrix.
+// Row weights are (2,3,2,4,4,4,5,2,4), so bucket [2,4) holds rows
+// r1,r2,r3,r8 and bucket [4,8) holds r4,r5,r6,r7,r9, each in original
+// order. (The paper's §4.1 prose sorts rows fully by weight, which for
+// this example yields r1,r3,r8,r2,r5,r4,r6,r9,r7; the production
+// algorithm — and ours — uses the coarser stable buckets.)
+func TestSparsestFirstFig2(t *testing.T) {
+	m := fig2Matrix()
+	got := SparsestFirstOrder(m)
+	want := ScanOrder{0, 1, 2, 7, 3, 4, 5, 6, 8}
+	if len(got) != len(want) {
+		t.Fatalf("order length %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFig2ColumnOnes(t *testing.T) {
+	ones := fig2Matrix().Ones()
+	for c, k := range ones {
+		if k != 5 {
+			t.Fatalf("fig2 column %d has %d ones, want 5", c+1, k)
+		}
+	}
+}
+
+func TestQuickOrdersArePermutations(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomMatrix(rng, rng.Intn(50), 1+rng.Intn(30), rng.Float64())
+		for _, o := range []ScanOrder{SparsestFirstOrder(m), DensestFirstOrder(m), OriginalOrder(m.NumRows())} {
+			if !isPermutation(o, m.NumRows()) {
+				return false
+			}
+		}
+		// Sparsest-first weights must be non-decreasing across buckets.
+		o := SparsestFirstOrder(m)
+		for i := 1; i < len(o); i++ {
+			if BucketIndex(m.RowWeight(o[i-1])) > BucketIndex(m.RowWeight(o[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isPermutation(o ScanOrder, n int) bool {
+	if len(o) != n {
+		return false
+	}
+	s := append(ScanOrder{}, o...)
+	sort.Ints(s)
+	for i, v := range s {
+		if v != i {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSparsestFirstStableWithinBucket(t *testing.T) {
+	// Rows with equal weight must keep their original relative order.
+	m := FromRows(4, [][]Col{{0}, {1}, {0, 1}, {2}, {3}, {1, 2}})
+	got := SparsestFirstOrder(m)
+	want := ScanOrder{0, 1, 3, 4, 2, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}

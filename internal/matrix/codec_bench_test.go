@@ -1,0 +1,79 @@
+package matrix
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix() *Matrix {
+	rng := rand.New(rand.NewSource(1))
+	return randomMatrix(rng, 2000, 500, 0.05)
+}
+
+func BenchmarkWriteText(b *testing.B) {
+	m := benchMatrix()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := WriteText(io.Discard, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteBinary(b *testing.B) {
+	m := benchMatrix()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := WriteBinary(io.Discard, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadText(b *testing.B) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, benchMatrix()); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadText(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadBinary(b *testing.B) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, benchMatrix()); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadBinary(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	m := benchMatrix()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Transpose()
+	}
+}
+
+func BenchmarkSparsestFirstOrder(b *testing.B) {
+	m := benchMatrix()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SparsestFirstOrder(m)
+	}
+}

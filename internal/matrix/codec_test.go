@@ -1,0 +1,220 @@
+package matrix
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func matricesEqual(a, b *Matrix) bool {
+	if a.NumRows() != b.NumRows() || a.NumCols() != b.NumCols() {
+		return false
+	}
+	for i := 0; i < a.NumRows(); i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		if len(ra) != len(rb) {
+			return false
+		}
+		for j := range ra {
+			if ra[j] != rb[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	m := fig1()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesEqual(m, got) {
+		t.Fatal("text round trip changed the matrix")
+	}
+}
+
+func TestTextEmptyMatrix(t *testing.T) {
+	m := New(7)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 0 || got.NumCols() != 7 {
+		t.Fatalf("got %dx%d", got.NumRows(), got.NumCols())
+	}
+}
+
+func TestTextEmptyRows(t *testing.T) {
+	m := FromRows(3, [][]Col{{}, {1}, {}})
+	var buf bytes.Buffer
+	if err := WriteText(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 3 || got.RowWeight(0) != 0 || got.RowWeight(1) != 1 {
+		t.Fatalf("empty rows not preserved: %d rows", got.NumRows())
+	}
+}
+
+func TestTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty input":      "",
+		"bad magic":        "xyz 1 1 1\n0\n",
+		"bad version":      "dmc 9 1 1\n0\n",
+		"negative dims":    "dmc 1 -1 3\n",
+		"truncated":        "dmc 1 3 3\n0\n",
+		"extra rows":       "dmc 1 1 3\n0\n1\n",
+		"col out of range": "dmc 1 1 3\n3\n",
+		"not a number":     "dmc 1 1 3\nzero\n",
+		"decreasing":       "dmc 1 1 3\n2 1\n",
+		"duplicate":        "dmc 1 1 3\n1 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: err = %v, want ErrFormat", name, err)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	m := fig1()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesEqual(m, got) {
+		t.Fatal("binary round trip changed the matrix")
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	m := fig1()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Truncation at every prefix length must error, never panic.
+	for n := 0; n < len(full); n++ {
+		if _, err := ReadBinary(bytes.NewReader(full[:n])); err == nil {
+			t.Fatalf("truncated to %d bytes: no error", n)
+		}
+	}
+	if _, err := ReadBinary(bytes.NewReader([]byte("NOPE"))); !errors.Is(err, ErrFormat) {
+		t.Errorf("bad magic: %v", err)
+	}
+}
+
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomMatrix(rng, rng.Intn(40), 1+rng.Intn(50), rng.Float64()*0.5)
+		var tb, bb bytes.Buffer
+		if WriteText(&tb, m) != nil || WriteBinary(&bb, m) != nil {
+			return false
+		}
+		mt, err1 := ReadText(&tb)
+		mb, err2 := ReadBinary(&bb)
+		return err1 == nil && err2 == nil && matricesEqual(m, mt) && matricesEqual(m, mb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelsRoundTrip(t *testing.T) {
+	labels := []string{"alpha", "beta gamma", ""}
+	var buf bytes.Buffer
+	if err := WriteLabels(&buf, labels); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLabels(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, labels) {
+		t.Fatalf("labels = %v, want %v", got, labels)
+	}
+	if err := WriteLabels(&buf, []string{"has\nnewline"}); err == nil {
+		t.Fatal("label with newline accepted")
+	}
+}
+
+func TestSaveLoadFiles(t *testing.T) {
+	dir := t.TempDir()
+	m := fig1()
+	m.SetLabels([]string{"a", "b", "c"})
+	for _, ext := range []string{ExtText, ExtBinary} {
+		path := filepath.Join(dir, "m"+ext)
+		if err := Save(path, m); err != nil {
+			t.Fatalf("Save %s: %v", ext, err)
+		}
+		got, err := Load(path)
+		if err != nil {
+			t.Fatalf("Load %s: %v", ext, err)
+		}
+		if !matricesEqual(m, got) {
+			t.Fatalf("%s round trip changed the matrix", ext)
+		}
+		if !reflect.DeepEqual(got.Labels(), m.Labels()) {
+			t.Fatalf("%s labels = %v", ext, got.Labels())
+		}
+	}
+	if err := Save(filepath.Join(dir, "m.bad"), m); err == nil {
+		t.Fatal("Save with unknown extension accepted")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.dmt")); err == nil {
+		t.Fatal("Load of missing file succeeded")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := Describe("fig1", fig1())
+	for _, want := range []string{"fig1", "4 rows", "3 cols", "7 ones"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Describe = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestSaveRemovesStaleLabels(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.dmb")
+	labeled := fig1()
+	labeled.SetLabels([]string{"a", "b", "c"})
+	if err := Save(path, labeled); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, fig1()); err != nil { // unlabeled overwrite
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Labels() != nil {
+		t.Fatalf("stale labels survived: %v", got.Labels())
+	}
+}

@@ -1,0 +1,101 @@
+package matrix
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for every decoder: arbitrary input must never panic,
+// and anything that parses must re-encode and re-parse to the same
+// matrix. Run with `go test -fuzz=FuzzReadBinary ./internal/matrix` to
+// explore; as plain tests they exercise the seed corpus.
+
+func FuzzReadText(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteText(&seed, fig1()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("dmc 1 0 0\n")
+	f.Add("dmc 1 2 3\n0 1\n\n")
+	f.Add("dmc 1 1 1\n0 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := ReadText(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		roundTrip(t, m)
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteBinary(&seed, fig1()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("DMCB"))
+	f.Add([]byte("DMCB\x01\x00\x00"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		m, err := ReadBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		roundTrip(t, m)
+	})
+}
+
+func FuzzReadBaskets(f *testing.F) {
+	f.Add("a b c\nb c\n# comment\n\na")
+	f.Add("")
+	f.Add("#only a comment")
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := ReadBaskets(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("parsed basket matrix invalid: %v", err)
+		}
+		if m.Labels() != nil && len(m.Labels()) != m.NumCols() {
+			t.Fatalf("label count %d != %d columns", len(m.Labels()), m.NumCols())
+		}
+	})
+}
+
+func FuzzReadLabels(f *testing.F) {
+	f.Add("alpha\nbeta\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		if _, err := ReadLabels(strings.NewReader(in)); err != nil {
+			t.Skip()
+		}
+	})
+}
+
+// roundTrip asserts that a successfully parsed matrix survives both
+// encoders.
+func roundTrip(t *testing.T, m *Matrix) {
+	t.Helper()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("parsed matrix invalid: %v", err)
+	}
+	var tb, bb bytes.Buffer
+	if err := WriteText(&tb, m); err != nil {
+		t.Fatalf("re-encode text: %v", err)
+	}
+	if err := WriteBinary(&bb, m); err != nil {
+		t.Fatalf("re-encode binary: %v", err)
+	}
+	mt, err := ReadText(&tb)
+	if err != nil {
+		t.Fatalf("re-parse text: %v", err)
+	}
+	mb, err := ReadBinary(&bb)
+	if err != nil {
+		t.Fatalf("re-parse binary: %v", err)
+	}
+	if !matricesEqual(m, mt) || !matricesEqual(m, mb) {
+		t.Fatal("round trip changed the matrix")
+	}
+}

@@ -1,0 +1,112 @@
+package matrix
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// File extensions understood by Load and Save.
+const (
+	ExtText   = ".dmt"    // text format
+	ExtBinary = ".dmb"    // binary format
+	ExtBasket = ".basket" // labeled transaction lines (see ReadBaskets)
+)
+
+// Save writes m to path, choosing the codec from the extension (.dmt
+// text, .dmb binary). When m has labels they are written next to the
+// matrix as path+".labels".
+func Save(path string, m *Matrix) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch filepath.Ext(path) {
+	case ExtText:
+		err = WriteText(f, m)
+	case ExtBinary:
+		err = WriteBinary(f, m)
+	case ExtBasket:
+		err = WriteBaskets(f, m)
+	default:
+		return fmt.Errorf("matrix: unknown extension %q (want %s, %s or %s)", filepath.Ext(path), ExtText, ExtBinary, ExtBasket)
+	}
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if m.Labels() != nil && filepath.Ext(path) != ExtBasket {
+		lf, err := os.Create(path + ".labels")
+		if err != nil {
+			return err
+		}
+		defer lf.Close()
+		if err := WriteLabels(lf, m.Labels()); err != nil {
+			return err
+		}
+		return lf.Close()
+	}
+	// Overwriting a labeled file with an unlabeled matrix must not
+	// leave a stale companion behind.
+	if err := os.Remove(path + ".labels"); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// Load reads a matrix written by Save, picking up the companion labels
+// file when present.
+func Load(path string) (*Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var m *Matrix
+	switch filepath.Ext(path) {
+	case ExtText:
+		m, err = ReadText(f)
+	case ExtBinary:
+		m, err = ReadBinary(f)
+	case ExtBasket:
+		m, err = ReadBaskets(f)
+	default:
+		return nil, fmt.Errorf("matrix: unknown extension %q (want %s, %s or %s)", filepath.Ext(path), ExtText, ExtBinary, ExtBasket)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("matrix: loading %s: %w", path, err)
+	}
+	if filepath.Ext(path) == ExtBasket {
+		return m, nil // labels are inline
+	}
+	lf, err := os.Open(path + ".labels")
+	if err == nil {
+		defer lf.Close()
+		labels, lerr := ReadLabels(lf)
+		if lerr != nil {
+			return nil, fmt.Errorf("matrix: loading labels for %s: %w", path, lerr)
+		}
+		if len(labels) != m.NumCols() {
+			return nil, fmt.Errorf("matrix: %s.labels has %d labels for %d columns", path, len(labels), m.NumCols())
+		}
+		m.SetLabels(labels)
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Describe returns a one-line human summary of the matrix, used by the
+// CLI tools.
+func Describe(name string, m *Matrix) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d rows x %d cols, %d ones", name, m.NumRows(), m.NumCols(), m.NumOnes())
+	if n := m.NumRows() * m.NumCols(); n > 0 {
+		fmt.Fprintf(&b, " (density %.5f%%)", 100*float64(m.NumOnes())/float64(n))
+	}
+	return b.String()
+}

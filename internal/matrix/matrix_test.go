@@ -1,0 +1,186 @@
+package matrix
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// fig1 mirrors paperdata.Fig1: the 4-row, 3-column matrix of the
+// paper's Fig. 1 / Example 1.2, 0-based.
+func fig1() *Matrix {
+	return FromRows(3, [][]Col{
+		{1, 2},
+		{0, 1, 2},
+		{0},
+		{1},
+	})
+}
+
+func TestDimensions(t *testing.T) {
+	m := fig1()
+	if m.NumRows() != 4 || m.NumCols() != 3 {
+		t.Fatalf("dims = %dx%d, want 4x3", m.NumRows(), m.NumCols())
+	}
+	if m.NumOnes() != 7 {
+		t.Fatalf("NumOnes = %d, want 7", m.NumOnes())
+	}
+	if m.RowWeight(2) != 1 || m.RowWeight(1) != 3 {
+		t.Fatalf("row weights wrong: %d %d", m.RowWeight(2), m.RowWeight(1))
+	}
+}
+
+func TestOnes(t *testing.T) {
+	got := fig1().Ones()
+	want := []int{2, 3, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Ones = %v, want %v", got, want)
+	}
+}
+
+func TestFromRowsPanicsOnBadRow(t *testing.T) {
+	for name, rows := range map[string][][]Col{
+		"out of range": {{0, 3}},
+		"unsorted":     {{2, 1}},
+		"duplicate":    {{1, 1}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: FromRows did not panic", name)
+				}
+			}()
+			FromRows(3, rows)
+		}()
+	}
+}
+
+func TestBuilderNormalizes(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddRow([]Col{5, 2, 5, 2, 9})
+	b.AddRow(nil)
+	b.AddRow([]Col{0})
+	if b.NumRows() != 3 {
+		t.Fatalf("NumRows = %d, want 3", b.NumRows())
+	}
+	m := b.Build()
+	if m.NumCols() != 10 {
+		t.Fatalf("NumCols = %d, want 10", m.NumCols())
+	}
+	if !reflect.DeepEqual(m.Row(0), []Col{2, 5, 9}) {
+		t.Fatalf("row 0 = %v", m.Row(0))
+	}
+	if len(m.Row(1)) != 0 {
+		t.Fatalf("row 1 not empty: %v", m.Row(1))
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	m := fig1()
+	if got := m.Label(0); got != "c0" {
+		t.Fatalf("placeholder label = %q", got)
+	}
+	m.SetLabels([]string{"a", "b", "c"})
+	if got := m.Label(2); got != "c" {
+		t.Fatalf("label = %q, want c", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetLabels with wrong count did not panic")
+		}
+	}()
+	m.SetLabels([]string{"x"})
+}
+
+func TestPruneColumns(t *testing.T) {
+	m := fig1()
+	m.SetLabels([]string{"a", "b", "c"})
+	// Keep columns with >= 3 ones: only c1 (paper's c2) qualifies.
+	p, newToOld := m.PruneColumns(func(c Col, ones int) bool { return ones >= 3 })
+	if p.NumCols() != 1 {
+		t.Fatalf("pruned cols = %d, want 1", p.NumCols())
+	}
+	if !reflect.DeepEqual(newToOld, []Col{1}) {
+		t.Fatalf("newToOld = %v", newToOld)
+	}
+	if !reflect.DeepEqual(p.Ones(), []int{3}) {
+		t.Fatalf("pruned Ones = %v", p.Ones())
+	}
+	// Row {c1} becomes empty and is dropped.
+	if p.NumRows() != 3 {
+		t.Fatalf("pruned rows = %d, want 3", p.NumRows())
+	}
+	if !reflect.DeepEqual(p.Labels(), []string{"b"}) {
+		t.Fatalf("pruned labels = %v", p.Labels())
+	}
+}
+
+func TestPruneDropsEmptyRows(t *testing.T) {
+	m := FromRows(2, [][]Col{{0}, {1}, {0, 1}})
+	p, _ := m.PruneColumns(func(c Col, ones int) bool { return c == 1 })
+	if p.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2 (row with only c0 dropped)", p.NumRows())
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := fig1()
+	tr := m.Transpose()
+	if tr.NumRows() != 3 || tr.NumCols() != 4 {
+		t.Fatalf("transpose dims = %dx%d", tr.NumRows(), tr.NumCols())
+	}
+	if !reflect.DeepEqual(tr.Row(0), []Col{1, 2}) {
+		t.Fatalf("transpose row 0 = %v", tr.Row(0))
+	}
+	if !reflect.DeepEqual(tr.Row(2), []Col{0, 1}) {
+		t.Fatalf("transpose row 2 = %v", tr.Row(2))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	back := tr.Transpose()
+	for i := 0; i < m.NumRows(); i++ {
+		if !reflect.DeepEqual(back.Row(i), m.Row(i)) {
+			t.Fatalf("double transpose row %d = %v, want %v", i, back.Row(i), m.Row(i))
+		}
+	}
+}
+
+func TestQuickTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomMatrix(rng, 1+rng.Intn(30), 1+rng.Intn(20), 0.3)
+		tt := m.Transpose().Transpose()
+		if tt.NumRows() != m.NumRows() || tt.NumCols() != m.NumCols() {
+			return false
+		}
+		for i := 0; i < m.NumRows(); i++ {
+			if !reflect.DeepEqual(append([]Col{}, tt.Row(i)...), append([]Col{}, m.Row(i)...)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomMatrix builds a random n×m matrix with the given density.
+func randomMatrix(rng *rand.Rand, n, m int, density float64) *Matrix {
+	b := NewBuilder(m)
+	for i := 0; i < n; i++ {
+		var row []Col
+		for c := 0; c < m; c++ {
+			if rng.Float64() < density {
+				row = append(row, Col(c))
+			}
+		}
+		b.AddRow(row)
+	}
+	return b.Build()
+}

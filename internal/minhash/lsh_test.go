@@ -1,0 +1,95 @@
+package minhash
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmc/internal/core"
+	"dmc/internal/matrix"
+	"dmc/internal/rules"
+)
+
+func TestLSHNoFalsePositives(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(30 + seed))
+		mx := clusteredMatrix(rng, 120, 24)
+		th := core.FromPercent(70)
+		wantSet := make(map[rules.Similarity]bool)
+		for _, r := range core.NaiveSimilarities(mx, th) {
+			wantSet[r.Canonical()] = true
+		}
+		got, st := LSHSimilarities(mx, th, LSHOptions{Seed: uint64(seed)})
+		for _, r := range got {
+			if !wantSet[r.Canonical()] {
+				t.Fatalf("seed %d: false positive %v", seed, r)
+			}
+		}
+		if st.NumRules != len(got) {
+			t.Errorf("stats: %+v", st)
+		}
+	}
+}
+
+func TestLSHRecallHighSimilarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	mx := clusteredMatrix(rng, 200, 24)
+	th := core.FromPercent(70)
+	want := core.NaiveSimilarities(mx, th)
+	if len(want) == 0 {
+		t.Fatal("no rules in test data")
+	}
+	// With b=30, r=4 the S-curve threshold sits near (1/30)^(1/4) ≈ 0.43,
+	// far below 0.70, so recall on qualifying pairs should be near-total.
+	got, _ := LSHSimilarities(mx, th, LSHOptions{Bands: 30, RowsPerBand: 4, Seed: 7})
+	found := make(map[rules.Similarity]bool, len(got))
+	for _, r := range got {
+		found[r.Canonical()] = true
+	}
+	missed := 0
+	for _, r := range want {
+		if !found[r.Canonical()] {
+			missed++
+		}
+	}
+	if frac := float64(missed) / float64(len(want)); frac > 0.05 {
+		t.Errorf("missed %d of %d (%.0f%%)", missed, len(want), 100*frac)
+	}
+}
+
+func TestLSHCandidateDedup(t *testing.T) {
+	// Identical columns collide in every band; the candidate list must
+	// still contain each pair once.
+	b := matrix.NewBuilder(4)
+	rng := rand.New(rand.NewSource(34))
+	for i := 0; i < 40; i++ {
+		if rng.Float64() < 0.4 {
+			b.AddRow([]matrix.Col{0, 1})
+		} else {
+			b.AddRow([]matrix.Col{2, 3})
+		}
+	}
+	mx := b.Build()
+	got, st := LSHSimilarities(mx, core.FromPercent(100), LSHOptions{Bands: 10, RowsPerBand: 3, Seed: 1})
+	if st.NumCandidates > 6 { // at most all pairs, despite 10 bands
+		t.Errorf("candidates not deduplicated: %d", st.NumCandidates)
+	}
+	if len(got) != 2 {
+		t.Fatalf("rules = %v, want the two identical pairs", got)
+	}
+}
+
+func TestLSHEmptyMatrix(t *testing.T) {
+	if got, _ := LSHSimilarities(matrix.New(3), core.FromPercent(50), LSHOptions{}); len(got) != 0 {
+		t.Errorf("rules from empty matrix: %v", got)
+	}
+}
+
+func TestLSHDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	mx := clusteredMatrix(rng, 80, 16)
+	a, _ := LSHSimilarities(mx, core.FromPercent(70), LSHOptions{Seed: 9})
+	b, _ := LSHSimilarities(mx, core.FromPercent(70), LSHOptions{Seed: 9})
+	if d := rules.DiffSimilarities(a, b); d != "" {
+		t.Fatalf("same seed diverged:\n%s", d)
+	}
+}

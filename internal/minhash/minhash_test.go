@@ -1,0 +1,170 @@
+package minhash
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmc/internal/core"
+	"dmc/internal/matrix"
+	"dmc/internal/rules"
+)
+
+// clusteredMatrix plants groups of similar columns so both high-Jaccard
+// pairs and high-confidence implications exist.
+func clusteredMatrix(rng *rand.Rand, n, m int) *matrix.Matrix {
+	b := matrix.NewBuilder(m)
+	for i := 0; i < n; i++ {
+		var row []matrix.Col
+		base := matrix.Col(rng.Intn(m/4) * 4)
+		for d := 0; d < 4; d++ {
+			if c := base + matrix.Col(d); int(c) < m && rng.Float64() < 0.9 {
+				row = append(row, c)
+			}
+		}
+		for c := 0; c < m; c++ {
+			if rng.Float64() < 0.02 {
+				row = append(row, matrix.Col(c))
+			}
+		}
+		b.AddRow(row)
+	}
+	return b.Build()
+}
+
+// Verification guarantees zero false positives: every reported rule
+// must be in the exact set.
+func TestSimilaritiesNoFalsePositives(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		mx := clusteredMatrix(rng, 120, 24)
+		th := core.FromPercent(70)
+		want := core.NaiveSimilarities(mx, th)
+		wantSet := make(map[rules.Similarity]bool, len(want))
+		for _, r := range want {
+			wantSet[r.Canonical()] = true
+		}
+		got, st := Similarities(mx, th, Options{Seed: uint64(seed)})
+		for _, r := range got {
+			if !wantSet[r.Canonical()] {
+				t.Fatalf("seed %d: false positive %v", seed, r)
+			}
+		}
+		if st.NumRules != len(got) || st.NumCandidates < len(got) {
+			t.Errorf("stats inconsistent: %+v vs %d rules", st, len(got))
+		}
+	}
+}
+
+// With a generous sketch, recall on clustered data should be high —
+// the paper's Min-Hash found all true similarity rules on NewsP.
+func TestSimilaritiesRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mx := clusteredMatrix(rng, 200, 24)
+	th := core.FromPercent(70)
+	want := core.NaiveSimilarities(mx, th)
+	if len(want) == 0 {
+		t.Fatal("test data produced no similarity rules")
+	}
+	got, _ := Similarities(mx, th, Options{NumHashes: 400, Margin: 0.15, Seed: 1})
+	found := make(map[rules.Similarity]bool, len(got))
+	for _, r := range got {
+		found[r.Canonical()] = true
+	}
+	missed := 0
+	for _, r := range want {
+		if !found[r.Canonical()] {
+			missed++
+		}
+	}
+	if frac := float64(missed) / float64(len(want)); frac > 0.05 {
+		t.Errorf("missed %d of %d rules (%.0f%%)", missed, len(want), 100*frac)
+	}
+}
+
+func TestKMinNoFalsePositives(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(20 + seed))
+		mx := clusteredMatrix(rng, 120, 24)
+		th := core.FromPercent(85)
+		wantSet := make(map[rules.Implication]bool)
+		for _, r := range core.NaiveImplications(mx, th) {
+			wantSet[r] = true
+		}
+		got, _ := KMinImplications(mx, th, Options{Seed: uint64(seed)})
+		for _, r := range got {
+			if !wantSet[r] {
+				t.Fatalf("seed %d: false positive %v", seed, r)
+			}
+		}
+	}
+}
+
+// K-Min is the baseline that is allowed to miss rules; the paper plots
+// it at <10% false negatives. Check a generous sketch reaches that on
+// clustered data.
+func TestKMinRecallWithinBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	mx := clusteredMatrix(rng, 200, 24)
+	th := core.FromPercent(85)
+	want := core.NaiveImplications(mx, th)
+	if len(want) == 0 {
+		t.Fatal("test data produced no implication rules")
+	}
+	got, _ := KMinImplications(mx, th, Options{NumHashes: 400, Margin: 0.2, Seed: 2})
+	found := make(map[rules.Implication]bool, len(got))
+	for _, r := range got {
+		found[r] = true
+	}
+	missed := 0
+	for _, r := range want {
+		if !found[r] {
+			missed++
+		}
+	}
+	if frac := float64(missed) / float64(len(want)); frac > 0.10 {
+		t.Errorf("missed %d of %d rules (%.0f%% > 10%% budget)", missed, len(want), 100*frac)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	mx := clusteredMatrix(rng, 80, 16)
+	th := core.FromPercent(70)
+	a, _ := Similarities(mx, th, Options{Seed: 42})
+	b, _ := Similarities(mx, th, Options{Seed: 42})
+	if d := rules.DiffSimilarities(a, b); d != "" {
+		t.Fatalf("same seed, different results:\n%s", d)
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	m := matrix.New(4)
+	if got, _ := Similarities(m, core.FromPercent(50), Options{}); len(got) != 0 {
+		t.Errorf("rules from empty matrix: %v", got)
+	}
+	if got, _ := KMinImplications(m, core.FromPercent(50), Options{}); len(got) != 0 {
+		t.Errorf("rules from empty matrix: %v", got)
+	}
+}
+
+func TestIdenticalColumnsAlwaysFound(t *testing.T) {
+	// Identical columns collide in every pass, so they can never be
+	// missed regardless of seed.
+	b := matrix.NewBuilder(6)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		var row []matrix.Col
+		for c := 0; c < 3; c++ {
+			if rng.Float64() < 0.3 {
+				row = append(row, matrix.Col(c), matrix.Col(c+3))
+			}
+		}
+		b.AddRow(row)
+	}
+	mx := b.Build()
+	got, _ := Similarities(mx, core.FromPercent(100), Options{NumHashes: 16, Seed: 3})
+	want := core.NaiveSimilarities(mx, core.FromPercent(100))
+	if d := rules.DiffSimilarities(got, want); d != "" {
+		t.Fatalf("identical columns missed:\n%s", d)
+	}
+}

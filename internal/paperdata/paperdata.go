@@ -1,0 +1,82 @@
+// Package paperdata holds the worked examples of the DMC paper as
+// matrices, so every engine's tests can replay them end to end. The
+// figures are images in our source of the paper; Fig. 2 is therefore
+// reconstructed from the narrative, as documented on Fig2.
+package paperdata
+
+import "dmc/internal/matrix"
+
+// Fig1 is the matrix of Fig. 1 / Example 1.2, reconstructed from the
+// narrative (the figure is an image in our source of the paper):
+//
+//   - r1 = {c2,c3}: the first candidates are c2=>c3 and c3=>c2;
+//   - r2 = {c1,c2,c3}: adds c1=>c2 and c1=>c3 (c2=>c1 and c3=>c1
+//     already have one miss from r1);
+//   - r3 = {c1}: kills c1=>c2 and c1=>c3 immediately;
+//   - r4 = {c2}: kills c2=>c3, so after all rows "only one rule,
+//     c3 => c2, survives" at 100% confidence.
+//
+// Under the §2 rank rule the same conclusion holds: ones(c3)=2 <
+// ones(c2)=3 makes c3 the antecedent, and both c3-rows contain c2.
+// Columns 0..2 stand for the paper's c1..c3.
+func Fig1() *matrix.Matrix {
+	return matrix.FromRows(3, [][]matrix.Col{
+		{1, 2},
+		{0, 1, 2},
+		{0},
+		{1},
+	})
+}
+
+// Fig2 is the 9-row, 6-column matrix of Fig. 2 / Example 3.1,
+// reconstructed from the worked example's constraints:
+//
+//   - each column has exactly five 1s;
+//   - before r4 the candidates are exactly c2=>c6, c3=>c4, c3=>c5 and
+//     c4=>c5, with c3=>c4 having missed at r3 — forcing r1={c2,c6},
+//     r2={c3,c4,c5}, r3={c3,c5};
+//   - at r4={c1,c2,c3,c6}: c1 first appears and lists c2,c3,c6; c2 (one
+//     prior 1) adds c3 with one pre-counted miss; c3 (two prior 1s) adds
+//     nothing, and of its candidates c4 is deleted while c5 survives
+//     with one miss;
+//   - the only 80%-confidence rules in the whole matrix are c1=>c2 and
+//     c3=>c5, each with exactly one miss (confidence 4/5).
+//
+// Rows r5..r9 are one of the assignments consistent with all of the
+// above; the end-to-end conclusions are the ones the tests assert.
+func Fig2() *matrix.Matrix {
+	return matrix.FromRows(6, [][]matrix.Col{
+		{1, 5},          // r1: c2,c6
+		{2, 3, 4},       // r2: c3,c4,c5
+		{2, 4},          // r3: c3,c5
+		{0, 1, 2, 5},    // r4: c1,c2,c3,c6
+		{0, 1, 2, 4},    // r5: c1,c2,c3,c5
+		{0, 1, 3, 5},    // r6: c1,c2,c4,c6
+		{0, 1, 2, 3, 4}, // r7: c1,c2,c3,c4,c5
+		{3, 5},          // r8: c4,c6
+		{0, 3, 4, 5},    // r9: c1,c4,c5,c6
+	})
+}
+
+// Fig5 is the matrix of Fig. 5 / Example 5.1 (maximum-hits pruning).
+// The narrative fixes: ones(c1)=4, ones(c2)=5; the pair first co-occurs
+// at r2 (miss counter created there with zero prior misses, so c1 is not
+// in r1 but c2 is); before r4, cnt(c1)=1 and cnt(c2)=3, and the pair has
+// had exactly one hit (at r2) — so r3 contains c2 but not c1; both have
+// 1s at r4, where maximum-hits pruning kills the pair: remaining 1s
+// after r4's counts are rem(c1)=3, rem(c2)=2, so hit-hat = 1+2 = 3 and
+// Sim-hat = 3/(4+5-3) = 0.5 < 0.75.
+//
+// Rows r5..r7 complete the columns (any completion keeps Sim(c1,c2)
+// below 0.75; this one gives hits=2, Sim = 2/7).
+func Fig5() *matrix.Matrix {
+	return matrix.FromRows(2, [][]matrix.Col{
+		{1},    // r1: c2
+		{0, 1}, // r2: c1,c2
+		{1},    // r3: c2
+		{0, 1}, // r4: c1,c2
+		{0},    // r5: c1
+		{0},    // r6: c1
+		{1},    // r7: c2
+	})
+}

@@ -1,0 +1,145 @@
+package paperdata
+
+import (
+	"testing"
+
+	"dmc/internal/matrix"
+)
+
+// The fixtures encode reconstructed figures; these tests pin the
+// narrative constraints the reconstructions were derived from, so any
+// future edit that breaks a constraint fails loudly.
+
+func TestFig1Constraints(t *testing.T) {
+	m := Fig1()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRows() != 4 || m.NumCols() != 3 {
+		t.Fatalf("dims %dx%d", m.NumRows(), m.NumCols())
+	}
+	rowHas := func(i int, c matrix.Col) bool {
+		for _, x := range m.Row(i) {
+			if x == c {
+				return true
+			}
+		}
+		return false
+	}
+	// r1 = {c2,c3}; r2 = {c1,c2,c3}; r3 has c1 but neither c2 nor c3;
+	// r4 has c2 but not c3.
+	if !rowHas(0, 1) || !rowHas(0, 2) || rowHas(0, 0) {
+		t.Error("r1 wrong")
+	}
+	if !rowHas(1, 0) || !rowHas(1, 1) || !rowHas(1, 2) {
+		t.Error("r2 wrong")
+	}
+	if !rowHas(2, 0) || rowHas(2, 1) || rowHas(2, 2) {
+		t.Error("r3 wrong")
+	}
+	if !rowHas(3, 1) || rowHas(3, 2) {
+		t.Error("r4 wrong")
+	}
+	// Every c3-row contains c2 (the surviving 100% rule c3 => c2).
+	for i := 0; i < m.NumRows(); i++ {
+		if rowHas(i, 2) && !rowHas(i, 1) {
+			t.Errorf("row %d breaks c3 => c2", i)
+		}
+	}
+}
+
+func TestFig2Constraints(t *testing.T) {
+	m := Fig2()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRows() != 9 || m.NumCols() != 6 {
+		t.Fatalf("dims %dx%d", m.NumRows(), m.NumCols())
+	}
+	for c, k := range m.Ones() {
+		if k != 5 {
+			t.Errorf("column c%d has %d ones, want 5", c+1, k)
+		}
+	}
+	// r4 = {c1,c2,c3,c6}, and it is c1's first appearance.
+	want := []matrix.Col{0, 1, 2, 5}
+	r4 := m.Row(3)
+	if len(r4) != len(want) {
+		t.Fatalf("r4 = %v", r4)
+	}
+	for i := range want {
+		if r4[i] != want[i] {
+			t.Fatalf("r4 = %v, want %v", r4, want)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for _, c := range m.Row(i) {
+			if c == 0 {
+				t.Fatalf("c1 appears before r4, at r%d", i+1)
+			}
+		}
+	}
+	// Exact final confidences: c1=>c2 and c3=>c5 at 4/5; c3=>c4 fails
+	// with its miss at r3.
+	inter := func(a, b matrix.Col) int {
+		n := 0
+		for i := 0; i < m.NumRows(); i++ {
+			hasA, hasB := false, false
+			for _, c := range m.Row(i) {
+				hasA = hasA || c == a
+				hasB = hasB || c == b
+			}
+			if hasA && hasB {
+				n++
+			}
+		}
+		return n
+	}
+	if inter(0, 1) != 4 {
+		t.Errorf("|c1 ∩ c2| = %d, want 4", inter(0, 1))
+	}
+	if inter(2, 4) != 4 {
+		t.Errorf("|c3 ∩ c5| = %d, want 4", inter(2, 4))
+	}
+	if inter(2, 3) > 3 {
+		t.Errorf("|c3 ∩ c4| = %d, c3=>c4 should fail at 80%%", inter(2, 3))
+	}
+}
+
+func TestFig5Constraints(t *testing.T) {
+	m := Fig5()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ones := m.Ones()
+	if ones[0] != 4 || ones[1] != 5 {
+		t.Fatalf("ones = %v, want [4 5]", ones)
+	}
+	// Counts before r4: cnt(c1)=1, cnt(c2)=3; and both are 1 at r4.
+	c1, c2 := 0, 0
+	for i := 0; i < 3; i++ {
+		for _, c := range m.Row(i) {
+			if c == 0 {
+				c1++
+			} else {
+				c2++
+			}
+		}
+	}
+	if c1 != 1 || c2 != 3 {
+		t.Fatalf("pre-r4 counts = (%d,%d), want (1,3)", c1, c2)
+	}
+	if len(m.Row(3)) != 2 {
+		t.Fatalf("r4 = %v, want both columns", m.Row(3))
+	}
+	// Exact similarity 2/7 < 0.75.
+	hits := 0
+	for i := 0; i < m.NumRows(); i++ {
+		if len(m.Row(i)) == 2 {
+			hits++
+		}
+	}
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2", hits)
+	}
+}

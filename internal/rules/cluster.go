@@ -1,0 +1,85 @@
+package rules
+
+import (
+	"sort"
+
+	"dmc/internal/matrix"
+)
+
+// Clusters groups columns into the connected components of the
+// similarity-rule graph — the paper's §7 observation that grouping
+// pairwise rules yields useful structure over more than two columns
+// (e.g. a family of mirrored pages, or a synonym set). Components are
+// returned largest first, ties by smallest member; singletons (columns
+// in no rule) are omitted. Each component's members are sorted.
+func Clusters(rs []Similarity) [][]matrix.Col {
+	parent := make(map[matrix.Col]matrix.Col)
+	var find func(matrix.Col) matrix.Col
+	find = func(c matrix.Col) matrix.Col {
+		p, seen := parent[c]
+		if !seen {
+			parent[c] = c
+			return c
+		}
+		if p == c {
+			return c
+		}
+		root := find(p)
+		parent[c] = root
+		return root
+	}
+	for _, r := range rs {
+		ra, rb := find(r.A), find(r.B)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	groups := make(map[matrix.Col][]matrix.Col)
+	for c := range parent {
+		root := find(c)
+		groups[root] = append(groups[root], c)
+	}
+	out := make([][]matrix.Col, 0, len(groups))
+	for _, g := range groups {
+		if len(g) < 2 {
+			continue
+		}
+		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}
+
+// ClusterQuality returns, for one cluster, the minimum and mean
+// pairwise similarity among the cluster's rules (edges absent from rs
+// are not counted — components are connected, not complete). It lets
+// callers tell tight families from chains.
+func ClusterQuality(cluster []matrix.Col, rs []Similarity) (min, mean float64) {
+	in := make(map[matrix.Col]bool, len(cluster))
+	for _, c := range cluster {
+		in[c] = true
+	}
+	n := 0
+	min = 1
+	for _, r := range rs {
+		if !in[r.A] || !in[r.B] {
+			continue
+		}
+		v := r.Value()
+		if v < min {
+			min = v
+		}
+		mean += v
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return min, mean / float64(n)
+}

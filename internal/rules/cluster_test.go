@@ -1,0 +1,72 @@
+package rules
+
+import (
+	"reflect"
+	"testing"
+
+	"dmc/internal/matrix"
+)
+
+func sim(a, b matrix.Col, hits, onesA, onesB int) Similarity {
+	return Similarity{A: a, B: b, Hits: hits, OnesA: onesA, OnesB: onesB}
+}
+
+func TestClustersComponents(t *testing.T) {
+	rs := []Similarity{
+		sim(1, 2, 9, 10, 10),
+		sim(2, 3, 9, 10, 10), // chain 1-2-3
+		sim(7, 8, 5, 5, 5),   // pair
+		sim(4, 5, 4, 5, 5),
+		sim(5, 6, 4, 5, 5),
+		sim(4, 6, 4, 5, 5), // triangle 4-5-6
+	}
+	got := Clusters(rs)
+	want := [][]matrix.Col{
+		{1, 2, 3},
+		{4, 5, 6},
+		{7, 8},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Clusters = %v, want %v", got, want)
+	}
+}
+
+func TestClustersEmpty(t *testing.T) {
+	if got := Clusters(nil); len(got) != 0 {
+		t.Fatalf("Clusters(nil) = %v", got)
+	}
+}
+
+func TestClustersSingleEdgeSymmetric(t *testing.T) {
+	// Orientation of the pair must not matter.
+	a := Clusters([]Similarity{sim(9, 3, 1, 2, 2)})
+	b := Clusters([]Similarity{sim(3, 9, 1, 2, 2)})
+	if !reflect.DeepEqual(a, b) || len(a) != 1 || a[0][0] != 3 {
+		t.Fatalf("a=%v b=%v", a, b)
+	}
+}
+
+func TestClustersOrdering(t *testing.T) {
+	// Equal-size clusters order by smallest member.
+	rs := []Similarity{sim(10, 11, 1, 2, 2), sim(0, 1, 1, 2, 2)}
+	got := Clusters(rs)
+	if len(got) != 2 || got[0][0] != 0 || got[1][0] != 10 {
+		t.Fatalf("ordering wrong: %v", got)
+	}
+}
+
+func TestClusterQuality(t *testing.T) {
+	rs := []Similarity{
+		sim(1, 2, 9, 10, 10), // 9/11
+		sim(2, 3, 8, 10, 10), // 8/12
+		sim(7, 8, 1, 10, 10), // outside the cluster
+	}
+	min, mean := ClusterQuality([]matrix.Col{1, 2, 3}, rs)
+	wantMin, wantMean := 8.0/12.0, (9.0/11.0+8.0/12.0)/2
+	if min != wantMin || mean != wantMean {
+		t.Fatalf("quality = (%v, %v), want (%v, %v)", min, mean, wantMin, wantMean)
+	}
+	if min, mean := ClusterQuality([]matrix.Col{5}, rs); min != 0 || mean != 0 {
+		t.Fatalf("empty quality = (%v, %v)", min, mean)
+	}
+}

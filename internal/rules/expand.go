@@ -1,0 +1,71 @@
+package rules
+
+import (
+	"sort"
+
+	"dmc/internal/matrix"
+)
+
+// Expand implements the rule browsing of §6.3 (Fig. 7): starting from a
+// seed column, it selects all rules reachable from the seed by
+// repeatedly following rule antecedents — "selecting all rules related
+// to keyword Polgar and its successors, recursively". It returns the
+// selected rules grouped by antecedent, antecedents in BFS discovery
+// order and consequents in column order, exactly the layout Fig. 7
+// prints. maxDepth bounds the recursion (0 means just the seed's own
+// rules; negative means unlimited).
+func Expand(rs []Implication, seed matrix.Col, maxDepth int) []Group {
+	byFrom := make(map[matrix.Col][]Implication)
+	for _, r := range rs {
+		byFrom[r.From] = append(byFrom[r.From], r)
+	}
+	type qent struct {
+		col   matrix.Col
+		depth int
+	}
+	visited := map[matrix.Col]bool{seed: true}
+	queue := []qent{{seed, 0}}
+	var out []Group
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		rules := append([]Implication(nil), byFrom[cur.col]...)
+		if len(rules) == 0 {
+			continue
+		}
+		sort.Slice(rules, func(i, j int) bool { return rules[i].To < rules[j].To })
+		out = append(out, Group{From: cur.col, Rules: rules})
+		if maxDepth >= 0 && cur.depth >= maxDepth {
+			continue
+		}
+		for _, r := range rules {
+			if !visited[r.To] {
+				visited[r.To] = true
+				queue = append(queue, qent{r.To, cur.depth + 1})
+			}
+		}
+	}
+	return out
+}
+
+// Group is the set of selected rules sharing one antecedent.
+type Group struct {
+	From  matrix.Col
+	Rules []Implication
+}
+
+// ExpandByLabel resolves a seed keyword to its column id via the
+// matrix labels and calls Expand. The second return is false when the
+// keyword is not a column label.
+func ExpandByLabel(rs []Implication, m *matrix.Matrix, keyword string, maxDepth int) ([]Group, bool) {
+	labels := m.Labels()
+	if labels == nil {
+		return nil, false
+	}
+	for i, l := range labels {
+		if l == keyword {
+			return Expand(rs, matrix.Col(i), maxDepth), true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,56 @@
+package rules
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func FuzzReadImplications(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteImplications(&seed, []Implication{{From: 0, To: 1, Hits: 2, Ones: 3}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("dmcrules imp 1 0\n")
+	f.Add("dmcrules imp 1 1\n1 2 3 4\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		rs, err := ReadImplications(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, r := range rs {
+			if r.Hits < 0 || r.Ones <= 0 || r.Hits > r.Ones {
+				t.Fatalf("accepted impossible rule %v", r)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteImplications(&buf, rs); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadImplications(&buf)
+		if err != nil || len(back) != len(rs) {
+			t.Fatalf("round trip: %v (%d vs %d)", err, len(back), len(rs))
+		}
+	})
+}
+
+func FuzzReadSimilarities(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteSimilarities(&seed, []Similarity{{A: 0, B: 1, Hits: 1, OnesA: 2, OnesB: 3}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("dmcrules sim 1 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		rs, err := ReadSimilarities(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, r := range rs {
+			if r.Hits < 0 || r.Hits > r.OnesA || r.Hits > r.OnesB {
+				t.Fatalf("accepted impossible rule %v", r)
+			}
+		}
+	})
+}

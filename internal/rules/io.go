@@ -1,0 +1,158 @@
+package rules
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Rule files let a mining run be separated from rule browsing: dmcmine
+// writes them, dmcrules reads them back. The format is line-oriented
+// text — a header, then one rule per line with its exact counts (so
+// confidences/similarities reload losslessly).
+
+// ErrRuleFormat is wrapped by all rule-file parse errors.
+var ErrRuleFormat = errors.New("rules: malformed rule file")
+
+const (
+	impMagic = "dmcrules imp 1"
+	simMagic = "dmcrules sim 1"
+)
+
+// WriteImplications writes rules in the implication rule-file format.
+func WriteImplications(w io.Writer, rs []Implication) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s %d\n", impMagic, len(rs)); err != nil {
+		return err
+	}
+	for _, r := range rs {
+		if _, err := fmt.Fprintf(bw, "%d %d %d %d\n", r.From, r.To, r.Hits, r.Ones); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadImplications reads a file written by WriteImplications.
+func ReadImplications(r io.Reader) ([]Implication, error) {
+	sc, n, err := ruleHeader(r, impMagic)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Implication, 0, capHint(n))
+	for sc.Scan() {
+		if len(out) == n {
+			return nil, fmt.Errorf("%w: more than %d rules", ErrRuleFormat, n)
+		}
+		var rule Implication
+		if _, err := fmt.Sscanf(sc.Text(), "%d %d %d %d", &rule.From, &rule.To, &rule.Hits, &rule.Ones); err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrRuleFormat, len(out)+2, err)
+		}
+		if err := checkCounts(rule.Hits, rule.Ones); err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrRuleFormat, len(out)+2, err)
+		}
+		out = append(out, rule)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("%w: truncated: %d of %d rules", ErrRuleFormat, len(out), n)
+	}
+	return out, nil
+}
+
+// WriteSimilarities writes rules in the similarity rule-file format.
+func WriteSimilarities(w io.Writer, rs []Similarity) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s %d\n", simMagic, len(rs)); err != nil {
+		return err
+	}
+	for _, r := range rs {
+		if _, err := fmt.Fprintf(bw, "%d %d %d %d %d\n", r.A, r.B, r.Hits, r.OnesA, r.OnesB); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSimilarities reads a file written by WriteSimilarities.
+func ReadSimilarities(r io.Reader) ([]Similarity, error) {
+	sc, n, err := ruleHeader(r, simMagic)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Similarity, 0, capHint(n))
+	for sc.Scan() {
+		if len(out) == n {
+			return nil, fmt.Errorf("%w: more than %d rules", ErrRuleFormat, n)
+		}
+		var rule Similarity
+		if _, err := fmt.Sscanf(sc.Text(), "%d %d %d %d %d", &rule.A, &rule.B, &rule.Hits, &rule.OnesA, &rule.OnesB); err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrRuleFormat, len(out)+2, err)
+		}
+		if checkCounts(rule.Hits, rule.OnesA) != nil || checkCounts(rule.Hits, rule.OnesB) != nil {
+			return nil, fmt.Errorf("%w: line %d: impossible counts", ErrRuleFormat, len(out)+2)
+		}
+		out = append(out, rule)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("%w: truncated: %d of %d rules", ErrRuleFormat, len(out), n)
+	}
+	return out, nil
+}
+
+func ruleHeader(r io.Reader, magic string) (*bufio.Scanner, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	if !sc.Scan() {
+		return nil, 0, fmt.Errorf("%w: missing header", ErrRuleFormat)
+	}
+	header := sc.Text()
+	if !strings.HasPrefix(header, magic+" ") {
+		return nil, 0, fmt.Errorf("%w: bad header %q", ErrRuleFormat, header)
+	}
+	var n int
+	if _, err := fmt.Sscanf(header[len(magic):], "%d", &n); err != nil || n < 0 {
+		return nil, 0, fmt.Errorf("%w: bad rule count in %q", ErrRuleFormat, header)
+	}
+	return sc, n, nil
+}
+
+// capHint bounds header-declared counts used as allocation hints (a
+// forged header must not force a huge allocation).
+func capHint(n int) int {
+	const lim = 1 << 16
+	if n > lim {
+		return lim
+	}
+	return n
+}
+
+func checkCounts(hits, ones int) error {
+	if hits < 0 || ones <= 0 || hits > ones {
+		return fmt.Errorf("impossible counts hits=%d ones=%d", hits, ones)
+	}
+	return nil
+}
+
+// MaxColumn returns the largest column id referenced by the rules,
+// or -1 for an empty set — used to validate a rule file against the
+// matrix it will be browsed with.
+func MaxColumn(rs []Implication) int {
+	maxCol := -1
+	for _, r := range rs {
+		if int(r.From) > maxCol {
+			maxCol = int(r.From)
+		}
+		if int(r.To) > maxCol {
+			maxCol = int(r.To)
+		}
+	}
+	return maxCol
+}

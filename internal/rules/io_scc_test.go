@@ -1,0 +1,147 @@
+package rules
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dmc/internal/matrix"
+)
+
+func TestImplicationRuleFileRoundTrip(t *testing.T) {
+	rs := []Implication{
+		{From: 0, To: 5, Hits: 9, Ones: 10},
+		{From: 3, To: 1, Hits: 4, Ones: 4},
+	}
+	var buf bytes.Buffer
+	if err := WriteImplications(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadImplications(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rs) {
+		t.Fatalf("round trip = %v", got)
+	}
+}
+
+func TestSimilarityRuleFileRoundTrip(t *testing.T) {
+	rs := []Similarity{
+		{A: 2, B: 7, Hits: 3, OnesA: 4, OnesB: 5},
+	}
+	var buf bytes.Buffer
+	if err := WriteSimilarities(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSimilarities(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rs) {
+		t.Fatalf("round trip = %v", got)
+	}
+}
+
+func TestEmptyRuleFiles(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteImplications(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadImplications(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip: %v %v", got, err)
+	}
+}
+
+func TestRuleFileErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"wrong kind":     "dmcrules sim 1 0\n",
+		"bad count":      "dmcrules imp 1 x\n",
+		"negative count": "dmcrules imp 1 -2\n",
+		"truncated":      "dmcrules imp 1 2\n0 1 1 1\n",
+		"extra":          "dmcrules imp 1 0\n0 1 1 1\n",
+		"bad line":       "dmcrules imp 1 1\n0 1 one 1\n",
+		"hits>ones":      "dmcrules imp 1 1\n0 1 5 4\n",
+		"zero ones":      "dmcrules imp 1 1\n0 1 0 0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadImplications(strings.NewReader(in)); !errors.Is(err, ErrRuleFormat) {
+			t.Errorf("%s: err = %v", name, err)
+		}
+	}
+	if _, err := ReadSimilarities(strings.NewReader("dmcrules sim 1 1\n0 1 9 4 5\n")); !errors.Is(err, ErrRuleFormat) {
+		t.Errorf("impossible sim counts: %v", err)
+	}
+}
+
+func TestMaxColumn(t *testing.T) {
+	if got := MaxColumn(nil); got != -1 {
+		t.Errorf("MaxColumn(nil) = %d", got)
+	}
+	rs := []Implication{{From: 3, To: 9, Hits: 1, Ones: 1}, {From: 12, To: 0, Hits: 1, Ones: 1}}
+	if got := MaxColumn(rs); got != 12 {
+		t.Errorf("MaxColumn = %d", got)
+	}
+}
+
+func imp(from, to matrix.Col) Implication {
+	return Implication{From: from, To: to, Hits: 9, Ones: 10}
+}
+
+func TestEquivalenceGroups(t *testing.T) {
+	rs := []Implication{
+		// 0 <-> 1 <-> 2 (cycle), 3 -> 0 (one way), 4 <-> 5.
+		imp(0, 1), imp(1, 2), imp(2, 0),
+		imp(3, 0),
+		imp(4, 5), imp(5, 4),
+	}
+	got := EquivalenceGroups(rs)
+	want := [][]matrix.Col{{0, 1, 2}, {4, 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("groups = %v, want %v", got, want)
+	}
+}
+
+func TestEquivalenceGroupsNoCycles(t *testing.T) {
+	rs := []Implication{imp(0, 1), imp(1, 2), imp(0, 2)}
+	if got := EquivalenceGroups(rs); len(got) != 0 {
+		t.Fatalf("acyclic graph produced groups: %v", got)
+	}
+}
+
+func TestEquivalenceGroupsDeepChain(t *testing.T) {
+	// A long cycle must not blow the stack (Tarjan is iterative).
+	const n = 50000
+	rs := make([]Implication, 0, n)
+	for i := 0; i < n; i++ {
+		rs = append(rs, imp(matrix.Col(i), matrix.Col((i+1)%n)))
+	}
+	got := EquivalenceGroups(rs)
+	if len(got) != 1 || len(got[0]) != n {
+		t.Fatalf("deep cycle: %d groups", len(got))
+	}
+}
+
+func TestEquivalenceGroupsRandomAgainstClusters(t *testing.T) {
+	// When every edge is bidirectional, SCCs equal the undirected
+	// connected components computed by Clusters.
+	rng := rand.New(rand.NewSource(7))
+	var imps []Implication
+	var sims []Similarity
+	for e := 0; e < 60; e++ {
+		a, b := matrix.Col(rng.Intn(40)), matrix.Col(rng.Intn(40))
+		if a == b {
+			continue
+		}
+		imps = append(imps, imp(a, b), imp(b, a))
+		sims = append(sims, Similarity{A: a, B: b, Hits: 1, OnesA: 1, OnesB: 1})
+	}
+	if !reflect.DeepEqual(EquivalenceGroups(imps), Clusters(sims)) {
+		t.Fatal("SCCs of a symmetric graph differ from its components")
+	}
+}

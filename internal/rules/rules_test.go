@@ -1,0 +1,156 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"dmc/internal/matrix"
+)
+
+func TestImplicationConfidence(t *testing.T) {
+	r := Implication{From: 1, To: 2, Hits: 3, Ones: 4}
+	if got := r.Confidence(); got != 0.75 {
+		t.Errorf("Confidence = %v", got)
+	}
+	if (Implication{}).Confidence() != 0 {
+		t.Error("zero-value confidence should be 0")
+	}
+	if s := r.String(); !strings.Contains(s, "c1 => c2") || !strings.Contains(s, "3/4") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestSimilarityValue(t *testing.T) {
+	r := Similarity{A: 0, B: 1, Hits: 2, OnesA: 4, OnesB: 5}
+	if got := r.Value(); got != 2.0/7.0 {
+		t.Errorf("Value = %v", got)
+	}
+	if (Similarity{}).Value() != 0 {
+		t.Error("zero-value similarity should be 0")
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	r := Similarity{A: 5, B: 2, Hits: 1, OnesA: 10, OnesB: 3}
+	c := r.Canonical()
+	if c.A != 2 || c.B != 5 || c.OnesA != 3 || c.OnesB != 10 {
+		t.Errorf("Canonical = %+v", c)
+	}
+	if c.Canonical() != c {
+		t.Error("Canonical not idempotent")
+	}
+}
+
+func TestLabelRendering(t *testing.T) {
+	m := matrix.FromRows(2, [][]matrix.Col{{0, 1}})
+	m.SetLabels([]string{"alpha", "beta"})
+	imp := Implication{From: 0, To: 1, Hits: 1, Ones: 1}
+	if s := imp.Label(m); !strings.Contains(s, "alpha -> beta") {
+		t.Errorf("Label = %q", s)
+	}
+	sim := Similarity{A: 0, B: 1, Hits: 1, OnesA: 1, OnesB: 1}
+	if s := sim.Label(m); !strings.Contains(s, "alpha ~ beta") {
+		t.Errorf("Label = %q", s)
+	}
+}
+
+func TestSortAndDiff(t *testing.T) {
+	a := []Implication{{From: 2, To: 1, Hits: 1, Ones: 1}, {From: 0, To: 1, Hits: 1, Ones: 1}}
+	b := []Implication{{From: 0, To: 1, Hits: 1, Ones: 1}, {From: 2, To: 1, Hits: 1, Ones: 1}}
+	if d := DiffImplications(a, b); d != "" {
+		t.Errorf("order-insensitive diff nonempty:\n%s", d)
+	}
+	c := append([]Implication{}, a...)
+	c[0].Hits = 0
+	d := DiffImplications(c, b)
+	if !strings.Contains(d, "unexpected") || !strings.Contains(d, "missing") {
+		t.Errorf("diff did not show both sides:\n%s", d)
+	}
+	if d := DiffImplications(nil, nil); d != "" {
+		t.Errorf("empty diff = %q", d)
+	}
+	if d := DiffImplications(a, nil); !strings.Contains(d, "unexpected") {
+		t.Errorf("extra rules not reported: %q", d)
+	}
+}
+
+func TestDiffSimilaritiesCanonicalizes(t *testing.T) {
+	a := []Similarity{{A: 3, B: 1, Hits: 2, OnesA: 5, OnesB: 4}}
+	b := []Similarity{{A: 1, B: 3, Hits: 2, OnesA: 4, OnesB: 5}}
+	if d := DiffSimilarities(a, b); d != "" {
+		t.Errorf("orientation-insensitive diff nonempty:\n%s", d)
+	}
+}
+
+func expandFixture() []Implication {
+	// 0 -> {1,2}; 1 -> {3}; 3 -> {0}; 4 -> {5} (unreachable from 0).
+	return []Implication{
+		{From: 0, To: 2, Hits: 9, Ones: 10},
+		{From: 0, To: 1, Hits: 9, Ones: 10},
+		{From: 1, To: 3, Hits: 9, Ones: 10},
+		{From: 3, To: 0, Hits: 9, Ones: 10},
+		{From: 4, To: 5, Hits: 9, Ones: 10},
+	}
+}
+
+func TestExpandBFS(t *testing.T) {
+	groups := Expand(expandFixture(), 0, -1)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3 (0, 1, 3)", len(groups))
+	}
+	if groups[0].From != 0 || groups[1].From != 1 || groups[2].From != 3 {
+		t.Fatalf("BFS order wrong: %v %v %v", groups[0].From, groups[1].From, groups[2].From)
+	}
+	// Consequents sorted by column.
+	if groups[0].Rules[0].To != 1 || groups[0].Rules[1].To != 2 {
+		t.Fatalf("rules not sorted: %+v", groups[0].Rules)
+	}
+	// Column 4's component must not be reached.
+	for _, g := range groups {
+		if g.From == 4 {
+			t.Fatal("unreachable antecedent expanded")
+		}
+	}
+}
+
+func TestExpandDepthLimit(t *testing.T) {
+	if got := Expand(expandFixture(), 0, 0); len(got) != 1 {
+		t.Fatalf("depth 0: %d groups, want 1", len(got))
+	}
+	if got := Expand(expandFixture(), 0, 1); len(got) != 2 {
+		t.Fatalf("depth 1: %d groups, want 2", len(got))
+	}
+}
+
+func TestExpandCycleTerminates(t *testing.T) {
+	rs := []Implication{
+		{From: 0, To: 1, Hits: 1, Ones: 1},
+		{From: 1, To: 0, Hits: 1, Ones: 1},
+	}
+	groups := Expand(rs, 0, -1)
+	if len(groups) != 2 {
+		t.Fatalf("cycle expansion = %d groups, want 2", len(groups))
+	}
+}
+
+func TestExpandNoRules(t *testing.T) {
+	if got := Expand(nil, 7, -1); len(got) != 0 {
+		t.Fatalf("expected no groups, got %d", len(got))
+	}
+}
+
+func TestExpandByLabel(t *testing.T) {
+	m := matrix.FromRows(6, [][]matrix.Col{{0, 1, 2, 3, 4, 5}})
+	m.SetLabels([]string{"zero", "one", "two", "three", "four", "five"})
+	groups, ok := ExpandByLabel(expandFixture(), m, "zero", -1)
+	if !ok || len(groups) != 3 {
+		t.Fatalf("ok=%v groups=%d", ok, len(groups))
+	}
+	if _, ok := ExpandByLabel(expandFixture(), m, "missing", -1); ok {
+		t.Error("unknown keyword accepted")
+	}
+	unlabeled := matrix.FromRows(2, [][]matrix.Col{{0, 1}})
+	if _, ok := ExpandByLabel(expandFixture(), unlabeled, "zero", -1); ok {
+		t.Error("unlabeled matrix accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package rules
+
+import (
+	"sort"
+
+	"dmc/internal/matrix"
+)
+
+// EquivalenceGroups returns the strongly connected components (size ≥ 2)
+// of the implication-rule graph: sets of columns that all imply each
+// other at the mining threshold. This is the implication-side
+// counterpart of Clusters — the paper's §6.3/§7 observation that
+// grouping pairwise rules recovers structure over more than two columns
+// (a topic's vocabulary, where every word implies every other).
+// Components are returned largest first, ties by smallest member, each
+// sorted.
+func EquivalenceGroups(rs []Implication) [][]matrix.Col {
+	adj := make(map[matrix.Col][]matrix.Col)
+	for _, r := range rs {
+		adj[r.From] = append(adj[r.From], r.To)
+		if _, ok := adj[r.To]; !ok {
+			adj[r.To] = nil
+		}
+	}
+	// Tarjan's algorithm, iterative to survive deep chains.
+	index := make(map[matrix.Col]int, len(adj))
+	low := make(map[matrix.Col]int, len(adj))
+	onStack := make(map[matrix.Col]bool, len(adj))
+	var stack []matrix.Col
+	next := 0
+	var out [][]matrix.Col
+
+	type frame struct {
+		v  matrix.Col
+		ei int
+	}
+	for v := range adj {
+		if _, seen := index[v]; seen {
+			continue
+		}
+		callStack := []frame{{v, 0}}
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei]
+				f.ei++
+				if _, seen := index[w]; !seen {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// f.v is done: pop, propagate lowlink, maybe emit an SCC.
+			done := *f
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := &callStack[len(callStack)-1]
+				if low[done.v] < low[parent.v] {
+					low[parent.v] = low[done.v]
+				}
+			}
+			if low[done.v] == index[done.v] {
+				var comp []matrix.Col
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == done.v {
+						break
+					}
+				}
+				if len(comp) >= 2 {
+					sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+					out = append(out, comp)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}

@@ -1,0 +1,349 @@
+// Package server exposes the miners over HTTP/JSON — the serving layer
+// behind cmd/dmcserve. Datasets are held in memory by name; every
+// mining endpoint runs the exact DMC pipelines, so the service inherits
+// the library's no-false-positives / no-false-negatives guarantee.
+//
+// Endpoints (all JSON unless noted):
+//
+//	GET  /v1/healthz
+//	GET  /v1/datasets
+//	PUT  /v1/datasets/{name}           body: basket lines (text/plain)
+//	GET  /v1/datasets/{name}
+//	GET  /v1/datasets/{name}/implications?threshold=85&minsupport=0&limit=100
+//	GET  /v1/datasets/{name}/similarities?threshold=70&minsupport=0&limit=100
+//	GET  /v1/datasets/{name}/expand?keyword=polgar&threshold=85&depth=-1
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dmc/internal/core"
+	"dmc/internal/matrix"
+	"dmc/internal/rules"
+)
+
+// maxUploadBytes caps PUT bodies.
+const maxUploadBytes = 64 << 20
+
+// Server is the HTTP handler. The zero value is not usable; construct
+// with New.
+type Server struct {
+	mu       sync.RWMutex
+	datasets map[string]*matrix.Matrix
+}
+
+// New returns an empty server.
+func New() *Server {
+	return &Server{datasets: make(map[string]*matrix.Matrix)}
+}
+
+// Add registers (or replaces) a dataset under the given name.
+func (s *Server) Add(name string, m *matrix.Matrix) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.datasets[name] = m
+}
+
+// get returns the named dataset.
+func (s *Server) get(name string) (*matrix.Matrix, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.datasets[name]
+	return m, ok
+}
+
+// Handler returns the HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/datasets", s.handleList)
+	mux.HandleFunc("PUT /v1/datasets/{name}", s.handlePut)
+	mux.HandleFunc("GET /v1/datasets/{name}", s.handleDescribe)
+	mux.HandleFunc("GET /v1/datasets/{name}/implications", s.handleImplications)
+	mux.HandleFunc("GET /v1/datasets/{name}/similarities", s.handleSimilarities)
+	mux.HandleFunc("GET /v1/datasets/{name}/expand", s.handleExpand)
+	return mux
+}
+
+// DatasetInfo is the wire form of a dataset summary.
+type DatasetInfo struct {
+	Name    string `json:"name"`
+	Rows    int    `json:"rows"`
+	Cols    int    `json:"cols"`
+	Ones    int    `json:"ones"`
+	Labeled bool   `json:"labeled"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	out := make([]DatasetInfo, 0, len(s.datasets))
+	for name, m := range s.datasets {
+		out = append(out, info(name, m))
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func info(name string, m *matrix.Matrix) DatasetInfo {
+	return DatasetInfo{Name: name, Rows: m.NumRows(), Cols: m.NumCols(), Ones: m.NumOnes(), Labeled: m.Labels() != nil}
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if strings.TrimSpace(name) == "" {
+		writeErr(w, http.StatusBadRequest, "empty dataset name")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
+	m, err := matrix.ReadBaskets(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "parsing baskets: %v", err)
+		return
+	}
+	if m.NumRows() == 0 || m.NumOnes() == 0 {
+		writeErr(w, http.StatusBadRequest, "dataset has no transactions")
+		return
+	}
+	s.Add(name, m)
+	writeJSON(w, http.StatusCreated, info(name, m))
+}
+
+func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	m, ok := s.get(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no dataset %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, info(name, m))
+}
+
+// ImplicationWire is the wire form of an implication rule.
+type ImplicationWire struct {
+	From       string  `json:"from"`
+	To         string  `json:"to"`
+	Confidence float64 `json:"confidence"`
+	Hits       int     `json:"hits"`
+	Ones       int     `json:"ones"`
+}
+
+// MineResponse wraps a mined rule list with run metadata.
+type MineResponse[R any] struct {
+	Dataset   string `json:"dataset"`
+	Threshold int    `json:"threshold_percent"`
+	Total     int    `json:"total_rules"`
+	Truncated bool   `json:"truncated"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+	Rules     []R    `json:"rules"`
+}
+
+func (s *Server) handleImplications(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	m, ok := s.get(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no dataset %q", name)
+		return
+	}
+	p, err := mineParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rs, st := core.DMCImp(m, core.FromPercent(p.threshold), core.Options{MinSupport: p.minSupport})
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Confidence() > rs[j].Confidence() })
+	resp := MineResponse[ImplicationWire]{
+		Dataset: name, Threshold: p.threshold, Total: len(rs), ElapsedMS: st.Total.Milliseconds(),
+	}
+	for i, rule := range rs {
+		if i == p.limit {
+			resp.Truncated = true
+			break
+		}
+		resp.Rules = append(resp.Rules, ImplicationWire{
+			From: m.Label(rule.From), To: m.Label(rule.To),
+			Confidence: rule.Confidence(), Hits: rule.Hits, Ones: rule.Ones,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// SimilarityWire is the wire form of a similarity rule.
+type SimilarityWire struct {
+	A          string  `json:"a"`
+	B          string  `json:"b"`
+	Similarity float64 `json:"similarity"`
+	Hits       int     `json:"hits"`
+	OnesA      int     `json:"ones_a"`
+	OnesB      int     `json:"ones_b"`
+}
+
+func (s *Server) handleSimilarities(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	m, ok := s.get(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no dataset %q", name)
+		return
+	}
+	p, err := mineParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rs, st := core.DMCSim(m, core.FromPercent(p.threshold), core.Options{MinSupport: p.minSupport})
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Value() > rs[j].Value() })
+	resp := MineResponse[SimilarityWire]{
+		Dataset: name, Threshold: p.threshold, Total: len(rs), ElapsedMS: st.Total.Milliseconds(),
+	}
+	for i, rule := range rs {
+		if i == p.limit {
+			resp.Truncated = true
+			break
+		}
+		resp.Rules = append(resp.Rules, SimilarityWire{
+			A: m.Label(rule.A), B: m.Label(rule.B),
+			Similarity: rule.Value(), Hits: rule.Hits, OnesA: rule.OnesA, OnesB: rule.OnesB,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ExpandGroupWire is one antecedent's rules in an expansion response.
+type ExpandGroupWire struct {
+	From  string            `json:"from"`
+	Rules []ImplicationWire `json:"rules"`
+}
+
+func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	m, ok := s.get(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no dataset %q", name)
+		return
+	}
+	if m.Labels() == nil {
+		writeErr(w, http.StatusBadRequest, "dataset %q has no labels", name)
+		return
+	}
+	keyword := r.URL.Query().Get("keyword")
+	if keyword == "" {
+		writeErr(w, http.StatusBadRequest, "missing keyword parameter")
+		return
+	}
+	p, err := mineParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	depth, err := intParam(r, "depth", -1)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rs, _ := core.DMCImp(m, core.FromPercent(p.threshold), core.Options{MinSupport: p.minSupport})
+	groups, ok := rules.ExpandByLabel(rs, m, keyword, depth)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "keyword %q is not a column label", keyword)
+		return
+	}
+	out := make([]ExpandGroupWire, 0, len(groups))
+	for _, g := range groups {
+		gw := ExpandGroupWire{From: m.Label(g.From)}
+		for _, rule := range g.Rules {
+			gw.Rules = append(gw.Rules, ImplicationWire{
+				From: m.Label(rule.From), To: m.Label(rule.To),
+				Confidence: rule.Confidence(), Hits: rule.Hits, Ones: rule.Ones,
+			})
+		}
+		out = append(out, gw)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type params struct {
+	threshold  int
+	minSupport int
+	limit      int
+}
+
+func mineParams(r *http.Request) (params, error) {
+	p := params{threshold: 85, limit: 100}
+	var err error
+	if p.threshold, err = intParam(r, "threshold", 85); err != nil {
+		return p, err
+	}
+	if p.threshold < 1 || p.threshold > 100 {
+		return p, fmt.Errorf("threshold %d outside [1,100]", p.threshold)
+	}
+	if p.minSupport, err = intParam(r, "minsupport", 0); err != nil {
+		return p, err
+	}
+	if p.limit, err = intParam(r, "limit", 100); err != nil {
+		return p, err
+	}
+	if p.limit <= 0 {
+		return p, fmt.Errorf("limit must be positive")
+	}
+	return p, nil
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s parameter %q", name, v)
+	}
+	return n, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// The header is gone; nothing more to do than drop the conn.
+		_ = err
+	}
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// LoadDir loads every matrix file in dir into the server, named by the
+// file's base name without extension. Unknown extensions are skipped.
+func (s *Server) LoadDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		ext := filepath.Ext(e.Name())
+		if ext != matrix.ExtText && ext != matrix.ExtBinary && ext != matrix.ExtBasket {
+			continue
+		}
+		m, err := matrix.Load(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", e.Name(), err)
+		}
+		s.Add(strings.TrimSuffix(e.Name(), ext), m)
+	}
+	return nil
+}

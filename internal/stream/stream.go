@@ -1,0 +1,224 @@
+// Package stream mines matrix files directly from disk in the paper's
+// true two-pass fashion, with memory bounded by the counter array
+// rather than the data size.
+//
+// The first pass (Partition) streams the file once: it counts ones(c)
+// per column and splits the rows into the density buckets of §4.1
+// ([2^i, 2^{i+1}) by row weight), writing each bucket to its own
+// temporary spill file. Every later pass replays the buckets
+// sparsest-first — which is exactly how the paper realizes row
+// re-ordering without sorting. The DMC pipelines then run unchanged on
+// top via core.Source.
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"dmc/internal/core"
+	"dmc/internal/matrix"
+	"dmc/internal/rules"
+)
+
+// Partitioned is the result of the first pass: per-column counts plus
+// the on-disk density buckets. It implements core.Source; each Pass
+// replays all rows sparsest-bucket-first. Close removes the spill
+// files.
+type Partitioned struct {
+	dir     string
+	cols    int
+	rows    int
+	ones    []int
+	buckets []bucket // ascending density, only non-empty ones
+}
+
+type bucket struct {
+	path string
+	rows int
+}
+
+// Partition streams the matrix file at path once, producing the counts
+// and bucket spill files under a fresh directory inside tmpDir (""
+// means the system temp directory).
+func Partition(path, tmpDir string) (*Partitioned, error) {
+	rr, closer, err := matrix.OpenRowReader(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closer.Close()
+
+	dir, err := os.MkdirTemp(tmpDir, "dmc-stream-")
+	if err != nil {
+		return nil, err
+	}
+	p := &Partitioned{dir: dir, cols: rr.NumCols(), rows: rr.NumRows(), ones: make([]int, rr.NumCols())}
+	ok := false
+	defer func() {
+		if !ok {
+			p.Close()
+		}
+	}()
+
+	nb := matrix.NumBuckets(rr.NumCols())
+	files := make([]*os.File, nb)
+	writers := make([]*bufio.Writer, nb)
+	counts := make([]int, nb)
+	for {
+		row, err := rr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range row {
+			p.ones[c]++
+		}
+		b := matrix.BucketIndex(len(row))
+		if writers[b] == nil {
+			f, err := os.Create(filepath.Join(dir, fmt.Sprintf("bucket-%02d.rows", b)))
+			if err != nil {
+				return nil, err
+			}
+			files[b] = f
+			writers[b] = bufio.NewWriterSize(f, 1<<18)
+		}
+		if err := matrix.WriteRawRow(writers[b], row); err != nil {
+			return nil, err
+		}
+		counts[b]++
+	}
+	for b, w := range writers {
+		if w == nil {
+			continue
+		}
+		if err := w.Flush(); err != nil {
+			return nil, err
+		}
+		if err := files[b].Close(); err != nil {
+			return nil, err
+		}
+		p.buckets = append(p.buckets, bucket{path: files[b].Name(), rows: counts[b]})
+	}
+	ok = true
+	return p, nil
+}
+
+// NumCols returns the column count.
+func (p *Partitioned) NumCols() int { return p.cols }
+
+// NumRows returns the row count.
+func (p *Partitioned) NumRows() int { return p.rows }
+
+// Ones returns the per-column 1-counts from the first pass. The slice
+// is owned by p; callers must not modify it.
+func (p *Partitioned) Ones() []int { return p.ones }
+
+// Pass starts a fresh sequential pass over all rows, sparsest bucket
+// first. The returned Rows reads lazily from the spill files; an I/O
+// error mid-pass panics with a *PassError (the core engines have no
+// error channel), which MineImplications and MineSimilarities recover
+// into an ordinary error.
+func (p *Partitioned) Pass() core.Rows {
+	return &bucketRows{p: p}
+}
+
+// Close removes the spill directory.
+func (p *Partitioned) Close() error { return os.RemoveAll(p.dir) }
+
+// PassError wraps an I/O failure during a streaming pass.
+type PassError struct{ Err error }
+
+func (e *PassError) Error() string { return "stream: pass failed: " + e.Err.Error() }
+func (e *PassError) Unwrap() error { return e.Err }
+
+// bucketRows reads the buckets lazily; Row must be called with
+// consecutive indices (the core.Rows contract).
+type bucketRows struct {
+	p     *Partitioned
+	next  int
+	bkt   int
+	inBkt int
+	file  *os.File
+	br    *bufio.Reader
+	buf   []matrix.Col
+}
+
+func (r *bucketRows) Len() int { return r.p.rows }
+
+func (r *bucketRows) Row(i int) []matrix.Col {
+	if i != r.next {
+		panic(&PassError{fmt.Errorf("out-of-order read: got %d, want %d", i, r.next)})
+	}
+	r.next++
+	for r.file == nil || r.inBkt == r.p.buckets[r.bkt].rows {
+		if r.file != nil {
+			r.file.Close()
+			r.file = nil
+			r.bkt++
+			r.inBkt = 0
+		}
+		if r.bkt >= len(r.p.buckets) {
+			panic(&PassError{fmt.Errorf("read past final bucket")})
+		}
+		if r.inBkt == 0 {
+			f, err := os.Open(r.p.buckets[r.bkt].path)
+			if err != nil {
+				panic(&PassError{err})
+			}
+			r.file = f
+			r.br = bufio.NewReaderSize(f, 1<<18)
+		}
+	}
+	row, err := matrix.ReadRawRow(r.br, r.p.cols, r.buf[:0])
+	if err != nil {
+		panic(&PassError{err})
+	}
+	r.buf = row
+	r.inBkt++
+	if r.next == r.p.rows { // final row: release the file handle
+		r.file.Close()
+		r.file = nil
+	}
+	return row
+}
+
+// MineImplications mines implication rules straight from a matrix file:
+// one partitioning pass, then the DMC-imp pipeline streaming the
+// buckets from disk (one extra pass per pipeline phase). Memory is
+// bounded by the counter array and the per-column count slices.
+func MineImplications(path string, minconf core.Threshold, opts core.Options) (rs []rules.Implication, st core.Stats, err error) {
+	p, err := Partition(path, "")
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	defer p.Close()
+	defer recoverPass(&err)
+	rs, st = core.DMCImpSource(p, p.Ones(), minconf, opts)
+	return rs, st, nil
+}
+
+// MineSimilarities is MineImplications for similarity rules.
+func MineSimilarities(path string, minsim core.Threshold, opts core.Options) (rs []rules.Similarity, st core.Stats, err error) {
+	p, err := Partition(path, "")
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	defer p.Close()
+	defer recoverPass(&err)
+	rs, st = core.DMCSimSource(p, p.Ones(), minsim, opts)
+	return rs, st, nil
+}
+
+func recoverPass(err *error) {
+	if r := recover(); r != nil {
+		pe, ok := r.(*PassError)
+		if !ok {
+			panic(r)
+		}
+		*err = pe
+	}
+}
