@@ -1,0 +1,31 @@
+# Mirrors .github/workflows/ci.yml so contributors run the exact same
+# gate locally: `make ci`.
+
+GO ?= go
+
+.PHONY: ci fmt-check fmt vet build test race bench
+
+ci: fmt-check vet build test race bench
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+bench:
+	$(GO) test -run=NoTests -bench=. -benchtime=1x ./...

@@ -1,47 +1,86 @@
 // Command dmcserve serves the miners over HTTP/JSON: load (or upload)
 // datasets, then mine implication/similarity rules and browse them by
-// keyword, all through the exact DMC pipelines.
+// keyword, all through the exact DMC pipelines. The server traces every
+// request, exports Prometheus-style metrics at /v1/metrics, can mount
+// net/http/pprof, bounds mining work with a deadline and a concurrency
+// limiter, and drains in-flight requests on SIGINT/SIGTERM.
 //
 // Usage:
 //
-//	dmcserve -addr :8080 -data ./data
+//	dmcserve -addr :8080 -data ./data -pprof -request-timeout 1m -max-concurrent-mines 8
 //
 //	curl localhost:8080/v1/datasets
 //	curl -X PUT --data-binary @baskets.txt localhost:8080/v1/datasets/mine
 //	curl 'localhost:8080/v1/datasets/News/implications?threshold=85&limit=20'
-//	curl 'localhost:8080/v1/datasets/News/expand?keyword=polgar&minsupport=5'
+//	curl localhost:8080/v1/metrics
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
-	"net/http"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
 
 	"dmc/internal/server"
 )
 
 func main() {
 	var (
-		addr = flag.String("addr", "localhost:8080", "listen address")
-		data = flag.String("data", "", "directory of matrix files to load at startup")
+		addr       = flag.String("addr", "localhost:8080", "listen address")
+		data       = flag.String("data", "", "directory of matrix files to load at startup")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		reqTimeout = flag.Duration("request-timeout", 2*time.Minute, "deadline for one mining request, queue wait included (0 disables)")
+		maxMines   = flag.Int("max-concurrent-mines", runtime.GOMAXPROCS(0), "mining requests allowed to run at once (0 = unlimited)")
+		grace      = flag.Duration("shutdown-grace", 30*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
+		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
-	ln, handler, err := setup(*addr, *data)
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger)
+
+	cfg := server.Config{
+		Logger:             logger,
+		EnablePprof:        *pprofOn,
+		RequestTimeout:     *reqTimeout,
+		MaxConcurrentMines: *maxMines,
+		ShutdownGrace:      *grace,
+	}
+	s, ln, err := setup(cfg, *addr, *data)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmcserve:", err)
 		os.Exit(1)
 	}
-	log.Printf("dmcserve listening on http://%s", ln.Addr())
-	log.Fatal(http.Serve(ln, handler))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger.Info("dmcserve listening",
+		slog.String("addr", ln.Addr().String()),
+		slog.Bool("pprof", *pprofOn),
+		slog.Duration("request_timeout", *reqTimeout),
+		slog.Int("max_concurrent_mines", *maxMines),
+	)
+	if err := s.Run(ctx, ln); err != nil {
+		logger.Error("dmcserve", slog.Any("error", err))
+		os.Exit(1)
+	}
+	logger.Info("dmcserve stopped")
 }
 
-// setup builds the handler and binds the listener; split from main for
+// setup builds the server and binds the listener; split from main for
 // testability.
-func setup(addr, dataDir string) (net.Listener, http.Handler, error) {
-	s := server.New()
+func setup(cfg server.Config, addr, dataDir string) (*server.Server, net.Listener, error) {
+	s := server.NewWith(cfg)
 	if dataDir != "" {
 		if err := s.LoadDir(dataDir); err != nil {
 			return nil, nil, err
@@ -51,5 +90,5 @@ func setup(addr, dataDir string) (net.Listener, http.Handler, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return ln, s.Handler(), nil
+	return s, ln, nil
 }

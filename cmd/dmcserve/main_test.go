@@ -1,12 +1,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"dmc/internal/matrix"
+	"dmc/internal/server"
 )
 
 func TestSetupAndServe(t *testing.T) {
@@ -15,16 +20,16 @@ func TestSetupAndServe(t *testing.T) {
 	if err := matrix.Save(filepath.Join(dir, "tiny.dmb"), m); err != nil {
 		t.Fatal(err)
 	}
-	ln, handler, err := setup("localhost:0", dir)
+	s, ln, err := setup(server.Config{EnablePprof: true}, "localhost:0", dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ln.Close()
-	srv := &http.Server{Handler: handler}
-	go srv.Serve(ln)
-	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- s.Run(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
 
-	resp, err := http.Get("http://" + ln.Addr().String() + "/v1/datasets")
+	resp, err := http.Get(base + "/v1/datasets")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,13 +41,42 @@ func TestSetupAndServe(t *testing.T) {
 	if len(list) != 1 || list[0]["name"] != "tiny" {
 		t.Fatalf("datasets = %v", list)
 	}
+
+	// The observability surface is up: metrics and pprof.
+	mresp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(body), "dmc_http_requests_total") {
+		t.Fatalf("metrics missing request counters:\n%.400s", body)
+	}
+	presp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status = %d", presp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("Run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop on context cancel")
+	}
 }
 
 func TestSetupErrors(t *testing.T) {
-	if _, _, err := setup("localhost:0", filepath.Join(t.TempDir(), "missing")); err == nil {
+	if _, _, err := setup(server.Config{}, "localhost:0", filepath.Join(t.TempDir(), "missing")); err == nil {
 		t.Error("missing data dir accepted")
 	}
-	if _, _, err := setup("256.0.0.1:99999", ""); err == nil {
+	if _, _, err := setup(server.Config{}, "256.0.0.1:99999", ""); err == nil {
 		t.Error("bad address accepted")
 	}
 }

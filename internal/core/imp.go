@@ -36,11 +36,7 @@ func DMCImpEach(m *matrix.Matrix, minconf Threshold, opts Options, fn func(rules
 	start := time.Now()
 	ones := m.Ones()
 	src := MatrixSource(m, opts.Order.order(m))
-	prescan := time.Since(start)
-	st := dmcImp(src, ones, minconf, opts, fn)
-	st.Prescan = prescan
-	st.Total = time.Since(start)
-	return st
+	return dmcImp(src, ones, minconf, opts, time.Since(start), fn)
 }
 
 // DMCImpSource is DMCImp over an abstract row source — the entry point
@@ -51,19 +47,24 @@ func DMCImpEach(m *matrix.Matrix, minconf Threshold, opts Options, fn func(rules
 // its first pass and replaying them sparsest-first.
 func DMCImpSource(src Source, ones []int, minconf Threshold, opts Options) ([]rules.Implication, Stats) {
 	var out []rules.Implication
-	st := dmcImp(src, ones, minconf, opts, func(r rules.Implication) { out = append(out, r) })
+	st := dmcImp(src, ones, minconf, opts, 0, func(r rules.Implication) { out = append(out, r) })
 	return out, st
 }
 
 // DMCImpSourceEach combines the Source and streaming-emission forms.
 func DMCImpSourceEach(src Source, ones []int, minconf Threshold, opts Options, fn func(rules.Implication)) Stats {
-	return dmcImp(src, ones, minconf, opts, fn)
+	return dmcImp(src, ones, minconf, opts, 0, fn)
 }
 
-func dmcImp(src Source, ones []int, minconf Threshold, opts Options, fn func(rules.Implication)) Stats {
+// dmcImp runs the pipeline proper. prescan is the caller's first-pass
+// duration (zero for Source callers, whose prescan happened outside);
+// it is folded into Stats and reported through Options.Hooks.
+func dmcImp(src Source, ones []int, minconf Threshold, opts Options, prescan time.Duration, fn func(rules.Implication)) Stats {
 	minconf.check()
 	var st Stats
 	st.SwitchPos100, st.SwitchPosLT = -1, -1
+	st.Prescan = prescan
+	opts.Hooks.emitPhase("imp", "prescan", prescan)
 	start := time.Now()
 
 	mem100 := &memMeter{sample: opts.SampleMemory}
@@ -82,11 +83,15 @@ func dmcImp(src Source, ones []int, minconf Threshold, opts Options, fn func(rul
 		st.PhaseLT = time.Since(t0)
 		st.BitmapLT = st.Bitmap
 		st.ColumnsAfterCutoff = mcols
+		opts.Hooks.emitPhase("imp", "lt", st.PhaseLT)
+		opts.Hooks.emitSwitch("imp", "lt", st.SwitchPosLT)
 	} else {
 		t0 := time.Now()
 		imp100Scan(src.Pass(), mcols, ones, supportAlive, nil, opts, mem100, &st, emit)
 		st.Phase100 = time.Since(t0)
 		st.Bitmap100 = st.Bitmap
+		opts.Hooks.emitPhase("imp", "100", st.Phase100)
+		opts.Hooks.emitSwitch("imp", "100", st.SwitchPos100)
 
 		if !minconf.IsOne() {
 			t1 := time.Now()
@@ -105,12 +110,15 @@ func dmcImp(src Source, ones []int, minconf Threshold, opts Options, fn func(rul
 			})
 			st.PhaseLT = time.Since(t1)
 			st.BitmapLT = st.Bitmap - st.Bitmap100
+			opts.Hooks.emitPhase("imp", "lt", st.PhaseLT)
+			opts.Hooks.emitSwitch("imp", "lt", st.SwitchPosLT)
 		}
 	}
 
 	st.Peak100, st.PeakLT = mem100.peak, memLT.peak
 	st.PeakCounterBytes = max(mem100.peak, memLT.peak)
 	st.MemSamples = append(mem100.samples, memLT.samples...)
-	st.Total = time.Since(start)
+	st.Total = prescan + time.Since(start)
+	opts.Hooks.emitStats("imp", st)
 	return st
 }

@@ -88,6 +88,46 @@ type Options struct {
 	// manner as a-priori"). Zero keeps the paper's default of no
 	// support pruning.
 	MinSupport int
+
+	// Hooks, when non-nil, receives pipeline lifecycle events as they
+	// happen — the serving layer's metrics feed. Nil disables all
+	// instrumentation at zero cost.
+	Hooks *Hooks
+}
+
+// Hooks observes pipeline execution. Every field is optional, and a
+// nil *Hooks is valid everywhere one is accepted. Callbacks run
+// synchronously on the mining goroutine (for the parallel pipelines,
+// on the coordinating goroutine, never concurrently), so they must be
+// fast and non-blocking.
+type Hooks struct {
+	// OnPhase fires once per completed phase with its wall-clock
+	// duration. Pipelines are "imp", "sim", "imp-parallel",
+	// "sim-parallel"; phases are "prescan", "100" and "lt".
+	OnPhase func(pipeline, phase string, d time.Duration)
+	// OnBitmapSwitch fires when a phase switched to DMC-bitmap, with
+	// the scan position of the switch.
+	OnBitmapSwitch func(pipeline, phase string, pos int)
+	// OnStats fires once at the end of a run with the full Stats.
+	OnStats func(pipeline string, st Stats)
+}
+
+func (h *Hooks) emitPhase(pipeline, phase string, d time.Duration) {
+	if h != nil && h.OnPhase != nil {
+		h.OnPhase(pipeline, phase, d)
+	}
+}
+
+func (h *Hooks) emitSwitch(pipeline, phase string, pos int) {
+	if h != nil && h.OnBitmapSwitch != nil && pos >= 0 {
+		h.OnBitmapSwitch(pipeline, phase, pos)
+	}
+}
+
+func (h *Hooks) emitStats(pipeline string, st Stats) {
+	if h != nil && h.OnStats != nil {
+		h.OnStats(pipeline, st)
+	}
 }
 
 // supportMask returns the column mask for MinSupport, or nil when no

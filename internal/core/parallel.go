@@ -35,6 +35,7 @@ func DMCImpParallel(m *matrix.Matrix, minconf Threshold, opts Options, workers i
 	owned := ownership(mcols, workers)
 	supportAlive := opts.supportMask(ones)
 	st.Prescan = time.Since(start)
+	opts.Hooks.emitPhase("imp-parallel", "prescan", st.Prescan)
 
 	perWorker := make([]workerState[rules.Implication], workers)
 
@@ -48,6 +49,8 @@ func DMCImpParallel(m *matrix.Matrix, minconf Threshold, opts Options, workers i
 	})
 	st.Phase100 = time.Since(t0)
 	collect(&st, perWorker, true)
+	opts.Hooks.emitPhase("imp-parallel", "100", st.Phase100)
+	opts.Hooks.emitSwitch("imp-parallel", "100", st.SwitchPos100)
 	out := gather(perWorker)
 
 	if !minconf.IsOne() {
@@ -72,12 +75,15 @@ func DMCImpParallel(m *matrix.Matrix, minconf Threshold, opts Options, workers i
 		})
 		st.PhaseLT = time.Since(t1)
 		collect(&st, perWorker, false)
+		opts.Hooks.emitPhase("imp-parallel", "lt", st.PhaseLT)
+		opts.Hooks.emitSwitch("imp-parallel", "lt", st.SwitchPosLT)
 		out = append(out, gather(perWorker)...)
 	}
 
 	st.PeakCounterBytes = max(st.Peak100, st.PeakLT)
 	st.NumRules = len(out)
 	st.Total = time.Since(start)
+	opts.Hooks.emitStats("imp-parallel", st)
 	return out, st
 }
 
@@ -98,6 +104,7 @@ func DMCSimParallel(m *matrix.Matrix, minsim Threshold, opts Options, workers in
 	owned := ownership(mcols, workers)
 	supportAlive := opts.supportMask(ones)
 	st.Prescan = time.Since(start)
+	opts.Hooks.emitPhase("sim-parallel", "prescan", st.Prescan)
 
 	perWorker := make([]workerState[rules.Similarity], workers)
 
@@ -111,6 +118,8 @@ func DMCSimParallel(m *matrix.Matrix, minsim Threshold, opts Options, workers in
 	})
 	st.Phase100 = time.Since(t0)
 	collect(&st, perWorker, true)
+	opts.Hooks.emitPhase("sim-parallel", "100", st.Phase100)
+	opts.Hooks.emitSwitch("sim-parallel", "100", st.SwitchPos100)
 	out := gather(perWorker)
 
 	if !minsim.IsOne() {
@@ -135,12 +144,15 @@ func DMCSimParallel(m *matrix.Matrix, minsim Threshold, opts Options, workers in
 		})
 		st.PhaseLT = time.Since(t1)
 		collect(&st, perWorker, false)
+		opts.Hooks.emitPhase("sim-parallel", "lt", st.PhaseLT)
+		opts.Hooks.emitSwitch("sim-parallel", "lt", st.SwitchPosLT)
 		out = append(out, gather(perWorker)...)
 	}
 
 	st.PeakCounterBytes = max(st.Peak100, st.PeakLT)
 	st.NumRules = len(out)
 	st.Total = time.Since(start)
+	opts.Hooks.emitStats("sim-parallel", st)
 	return out, st
 }
 

@@ -33,30 +33,29 @@ func DMCSimEach(m *matrix.Matrix, minsim Threshold, opts Options, fn func(rules.
 	start := time.Now()
 	ones := m.Ones()
 	src := MatrixSource(m, opts.Order.order(m))
-	prescan := time.Since(start)
-	st := dmcSim(src, ones, minsim, opts, fn)
-	st.Prescan = prescan
-	st.Total = time.Since(start)
-	return st
+	return dmcSim(src, ones, minsim, opts, time.Since(start), fn)
 }
 
 // DMCSimSource is DMCSim over an abstract row source; see DMCImpSource
 // for the streaming contract.
 func DMCSimSource(src Source, ones []int, minsim Threshold, opts Options) ([]rules.Similarity, Stats) {
 	var out []rules.Similarity
-	st := dmcSim(src, ones, minsim, opts, func(r rules.Similarity) { out = append(out, r) })
+	st := dmcSim(src, ones, minsim, opts, 0, func(r rules.Similarity) { out = append(out, r) })
 	return out, st
 }
 
 // DMCSimSourceEach combines the Source and streaming-emission forms.
 func DMCSimSourceEach(src Source, ones []int, minsim Threshold, opts Options, fn func(rules.Similarity)) Stats {
-	return dmcSim(src, ones, minsim, opts, fn)
+	return dmcSim(src, ones, minsim, opts, 0, fn)
 }
 
-func dmcSim(src Source, ones []int, minsim Threshold, opts Options, fn func(rules.Similarity)) Stats {
+// dmcSim runs the pipeline proper; prescan as in dmcImp.
+func dmcSim(src Source, ones []int, minsim Threshold, opts Options, prescan time.Duration, fn func(rules.Similarity)) Stats {
 	minsim.check()
 	var st Stats
 	st.SwitchPos100, st.SwitchPosLT = -1, -1
+	st.Prescan = prescan
+	opts.Hooks.emitPhase("sim", "prescan", prescan)
 	start := time.Now()
 
 	mem100 := &memMeter{sample: opts.SampleMemory}
@@ -74,11 +73,15 @@ func dmcSim(src Source, ones []int, minsim Threshold, opts Options, fn func(rule
 		st.PhaseLT = time.Since(t0)
 		st.BitmapLT = st.Bitmap
 		st.ColumnsAfterCutoff = mcols
+		opts.Hooks.emitPhase("sim", "lt", st.PhaseLT)
+		opts.Hooks.emitSwitch("sim", "lt", st.SwitchPosLT)
 	} else {
 		t0 := time.Now()
 		sim100Scan(src.Pass(), mcols, ones, supportAlive, nil, opts, mem100, &st, emit)
 		st.Phase100 = time.Since(t0)
 		st.Bitmap100 = st.Bitmap
+		opts.Hooks.emitPhase("sim", "100", st.Phase100)
+		opts.Hooks.emitSwitch("sim", "100", st.SwitchPos100)
 
 		if !minsim.IsOne() {
 			t1 := time.Now()
@@ -98,12 +101,15 @@ func dmcSim(src Source, ones []int, minsim Threshold, opts Options, fn func(rule
 			})
 			st.PhaseLT = time.Since(t1)
 			st.BitmapLT = st.Bitmap - st.Bitmap100
+			opts.Hooks.emitPhase("sim", "lt", st.PhaseLT)
+			opts.Hooks.emitSwitch("sim", "lt", st.SwitchPosLT)
 		}
 	}
 
 	st.Peak100, st.PeakLT = mem100.peak, memLT.peak
 	st.PeakCounterBytes = max(mem100.peak, memLT.peak)
 	st.MemSamples = append(mem100.samples, memLT.samples...)
-	st.Total = time.Since(start)
+	st.Total = prescan + time.Since(start)
+	opts.Hooks.emitStats("sim", st)
 	return st
 }

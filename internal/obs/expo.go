@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// snapSeries is a point-in-time copy of one series, used by both
+// exposition formats so they agree on what they saw.
+type snapSeries struct {
+	vals   []string
+	value  int64
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+func (f *family) snapshot() []snapSeries {
+	f.mu.RLock()
+	out := make([]snapSeries, 0, len(f.children))
+	for _, s := range f.children {
+		ss := snapSeries{vals: s.labelVals}
+		if f.kind == kindHistogram {
+			s.hmu.Lock()
+			ss.counts = append([]uint64(nil), s.counts...)
+			ss.sum, ss.count = s.sum, s.count
+			s.hmu.Unlock()
+		} else {
+			ss.value = s.n.Load()
+		}
+		out = append(out, ss)
+	}
+	f.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].vals, "\x1f") < strings.Join(out[j].vals, "\x1f")
+	})
+	return out
+}
+
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fs := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fs = append(fs, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fs, func(i, j int) bool { return fs[i].name < fs[j].name })
+	return fs
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// labelString renders {a="x",b="y"} with an optional extra pair (used
+// for histogram "le"); it returns "" when there are no labels at all.
+func labelString(names, vals []string, extraName, extraVal string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, labelEscaper.Replace(vals[i]))
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraName, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteText writes every metric in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers, one line per series, and
+// cumulative _bucket/_sum/_count lines for histograms.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		help := strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(f.help)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, help, f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.snapshot() {
+			switch f.kind {
+			case kindHistogram:
+				var cum uint64
+				for i, ub := range f.buckets {
+					cum += s.counts[i]
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+						labelString(f.labels, s.vals, "le", formatFloat(ub)), cum); err != nil {
+						return err
+					}
+				}
+				cum += s.counts[len(f.buckets)]
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n%s_sum%s %s\n%s_count%s %d\n",
+					f.name, labelString(f.labels, s.vals, "le", "+Inf"), cum,
+					f.name, labelString(f.labels, s.vals, "", ""), formatFloat(s.sum),
+					f.name, labelString(f.labels, s.vals, "", ""), s.count); err != nil {
+					return err
+				}
+			default:
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name,
+					labelString(f.labels, s.vals, "", ""), s.value); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// JSONBucket is one cumulative histogram bucket in the JSON exposition.
+type JSONBucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// JSONSeries is one series in the JSON exposition. Value is set for
+// counters and gauges; Count/Sum/Buckets for histograms.
+type JSONSeries struct {
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   *int64            `json:"value,omitempty"`
+	Count   *uint64           `json:"count,omitempty"`
+	Sum     *float64          `json:"sum,omitempty"`
+	Buckets []JSONBucket      `json:"buckets,omitempty"`
+}
+
+// JSONFamily is one metric family in the JSON exposition.
+type JSONFamily struct {
+	Name   string       `json:"name"`
+	Type   string       `json:"type"`
+	Help   string       `json:"help,omitempty"`
+	Series []JSONSeries `json:"series"`
+}
+
+// WriteJSON writes every metric as a JSON array of families — the
+// machine-friendly twin of WriteText.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	var out []JSONFamily
+	for _, f := range r.sortedFamilies() {
+		jf := JSONFamily{Name: f.name, Type: f.kind.String(), Help: f.help, Series: []JSONSeries{}}
+		for _, s := range f.snapshot() {
+			js := JSONSeries{}
+			if len(f.labels) > 0 {
+				js.Labels = make(map[string]string, len(f.labels))
+				for i, n := range f.labels {
+					js.Labels[n] = s.vals[i]
+				}
+			}
+			if f.kind == kindHistogram {
+				count, sum := s.count, s.sum
+				js.Count, js.Sum = &count, &sum
+				var cum uint64
+				for i, ub := range f.buckets {
+					cum += s.counts[i]
+					js.Buckets = append(js.Buckets, JSONBucket{LE: ub, Count: cum})
+				}
+			} else {
+				v := s.value
+				js.Value = &v
+			}
+			jf.Series = append(jf.Series, js)
+		}
+		out = append(out, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Handler serves the registry over HTTP: Prometheus text by default,
+// JSON when the request asks for it (?format=json or an Accept header
+// preferring application/json).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		wantJSON := req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

@@ -1,0 +1,286 @@
+// Package obs is the stdlib-only observability kit behind the serving
+// layer: a metric registry (counters, gauges and histograms, each with
+// optional labels), Prometheus-text and JSON exposition (expo.go), and
+// an HTTP tracing middleware that emits structured log lines
+// (trace.go). It has no dependencies beyond the standard library and no
+// knowledge of the miners — the mining packages feed it through their
+// own hook types (core.Hooks) or by incrementing counters directly
+// (package stream).
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a set of named metric families. Construct with
+// NewRegistry; all methods are safe for concurrent use. Metric
+// constructors are get-or-create: asking twice for the same name
+// returns a handle to the same family, so independent components can
+// share series without coordination. Re-declaring a name with a
+// different metric type or label set panics — that is a programming
+// error, not a runtime condition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// Default is the process-wide registry. Package stream's spill/pass
+// counters and, unless configured otherwise, the server's request and
+// mining metrics all land here, which is what lets a single
+// /v1/metrics endpoint expose the whole process.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// family is one named metric with its declared shape; children holds
+// one series per observed label-value combination.
+type family struct {
+	name, help string
+	kind       kind
+	labels     []string
+	buckets    []float64 // histogram upper bounds, strictly ascending
+
+	mu       sync.RWMutex
+	children map[string]*series
+}
+
+// series is the data of one label combination.
+type series struct {
+	labelVals []string
+	n         atomic.Int64 // counter / gauge value
+
+	hmu    sync.Mutex // guards the histogram fields
+	counts []uint64   // per-bucket (non-cumulative), last is +Inf
+	sum    float64
+	count  uint64
+}
+
+func (r *Registry) family(name, help string, k kind, labels []string, buckets []float64) *family {
+	checkName(name)
+	for _, l := range labels {
+		checkName(l)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != k || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("obs: metric %q redeclared as %s%v, previously %s%v",
+				name, k, labels, f.kind, f.labels))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: k, labels: labels, buckets: buckets,
+		children: make(map[string]*series)}
+	r.families[name] = f
+	return f
+}
+
+func (f *family) with(vals []string) *series {
+	if len(vals) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(vals)))
+	}
+	key := strings.Join(vals, "\x1f")
+	f.mu.RLock()
+	s, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.children[key]; ok {
+		return s
+	}
+	s = &series{labelVals: append([]string(nil), vals...)}
+	if f.kind == kindHistogram {
+		s.counts = make([]uint64, len(f.buckets)+1)
+	}
+	f.children[key] = s
+	return s
+}
+
+func checkName(name string) {
+	if name == "" {
+		panic("obs: empty metric or label name")
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			panic(fmt.Sprintf("obs: invalid metric or label name %q", name))
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter is a monotonically increasing integer. The zero value is not
+// usable; obtain one from a Registry.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c Counter) Inc() { c.Add(1) }
+
+// Add adds n, which must be non-negative.
+func (c Counter) Add(n int64) {
+	if n < 0 {
+		panic("obs: counter decreased")
+	}
+	c.s.n.Add(n)
+}
+
+// Value returns the current count.
+func (c Counter) Value() int64 { return c.s.n.Load() }
+
+// Gauge is an integer that can go up and down.
+type Gauge struct{ s *series }
+
+// Set replaces the value.
+func (g Gauge) Set(v int64) { g.s.n.Store(v) }
+
+// Add adds n (negative to subtract).
+func (g Gauge) Add(n int64) { g.s.n.Add(n) }
+
+// Inc adds one.
+func (g Gauge) Inc() { g.s.n.Add(1) }
+
+// Dec subtracts one.
+func (g Gauge) Dec() { g.s.n.Add(-1) }
+
+// Value returns the current value.
+func (g Gauge) Value() int64 { return g.s.n.Load() }
+
+// Max raises the gauge to v if v is larger — a high-water mark.
+func (g Gauge) Max(v int64) {
+	for {
+		cur := g.s.n.Load()
+		if v <= cur || g.s.n.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Histogram accumulates observations into cumulative buckets plus a sum
+// and a count, Prometheus-style.
+type Histogram struct {
+	f *family
+	s *series
+}
+
+// Observe records one value.
+func (h Histogram) Observe(v float64) {
+	// First bucket whose upper bound is >= v; past the end means +Inf.
+	i := sort.SearchFloat64s(h.f.buckets, v)
+	s := h.s
+	s.hmu.Lock()
+	s.counts[i]++
+	s.sum += v
+	s.count++
+	s.hmu.Unlock()
+}
+
+// Count returns the number of observations so far.
+func (h Histogram) Count() uint64 {
+	h.s.hmu.Lock()
+	defer h.s.hmu.Unlock()
+	return h.s.count
+}
+
+// CounterVec is a counter family with labels; With selects a series.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (created on first
+// use). The number of values must match the declared label names.
+func (v *CounterVec) With(labelValues ...string) Counter { return Counter{v.f.with(labelValues)} }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) Gauge { return Gauge{v.f.with(labelValues)} }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) Histogram {
+	return Histogram{v.f, v.f.with(labelValues)}
+}
+
+// DefBuckets are the default histogram bounds: latencies in seconds
+// from 1ms to 10s.
+var DefBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Counter returns (creating if needed) the unlabeled counter name.
+func (r *Registry) Counter(name, help string) Counter { return r.CounterVec(name, help).With() }
+
+// CounterVec returns (creating if needed) the labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, kindCounter, labelNames, nil)}
+}
+
+// Gauge returns (creating if needed) the unlabeled gauge name.
+func (r *Registry) Gauge(name, help string) Gauge { return r.GaugeVec(name, help).With() }
+
+// GaugeVec returns (creating if needed) the labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, kindGauge, labelNames, nil)}
+}
+
+// Histogram returns (creating if needed) the unlabeled histogram name.
+// A nil bucket slice means DefBuckets; bounds must be strictly
+// ascending. On a get of an existing family the declared bounds win.
+func (r *Registry) Histogram(name, help string, buckets []float64) Histogram {
+	return r.HistogramVec(name, help, buckets).With()
+}
+
+// HistogramVec returns (creating if needed) the labeled histogram
+// family; see Histogram for the bucket contract.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not strictly ascending", name))
+		}
+	}
+	return &HistogramVec{r.family(name, help, kindHistogram, labelNames, buckets)}
+}

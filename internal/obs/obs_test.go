@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs.")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	// Get-or-create: same name, same series.
+	if r.Counter("jobs_total", "Jobs.").Value() != 5 {
+		t.Fatal("second Counter() did not return the same series")
+	}
+	g := r.Gauge("depth", "Queue depth.")
+	g.Set(7)
+	g.Dec()
+	if g.Value() != 6 {
+		t.Fatalf("gauge = %d, want 6", g.Value())
+	}
+	g.Max(10)
+	g.Max(3)
+	if g.Value() != 10 {
+		t.Fatalf("gauge after Max = %d, want 10", g.Value())
+	}
+}
+
+func TestLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "Requests.", "endpoint", "status")
+	v.With("/a", "200").Inc()
+	v.With("/a", "200").Inc()
+	v.With("/a", "500").Inc()
+	if got := v.With("/a", "200").Value(); got != 2 {
+		t.Fatalf(`/a,200 = %d, want 2`, got)
+	}
+	if got := v.With("/a", "500").Value(); got != 1 {
+		t.Fatalf(`/a,500 = %d, want 1`, got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	// 0.05 and 0.1 land in le="0.1" (le is inclusive); cumulative counts follow.
+	for _, want := range []string{
+		`lat_bucket{le="0.1"} 2`,
+		`lat_bucket{le="1"} 3`,
+		`lat_bucket{le="10"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		`lat_count 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRedeclarePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.")
+	for name, f := range map[string]func(){
+		"kind mismatch":  func() { r.Gauge("x_total", "X.") },
+		"label mismatch": func() { r.CounterVec("x_total", "X.", "op") },
+		"bad name":       func() { r.Counter("bad name", "nope") },
+		"label arity":    func() { r.CounterVec("y_total", "Y.", "a").With("1", "2") },
+		"negative add":   func() { r.Counter("z_total", "Z.").Add(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTextExposition(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("req_total", "Requests served.", "endpoint").With(`/a"b\c`).Add(3)
+	r.Gauge("temp", "Temperature.").Set(-4)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# HELP req_total Requests served.",
+		"# TYPE req_total counter",
+		`req_total{endpoint="/a\"b\\c"} 3`,
+		"# TYPE temp gauge",
+		"temp -4",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestJSONExposition(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("req_total", "Requests.", "endpoint").With("/a").Add(3)
+	r.Histogram("lat", "Latency.", []float64{1, 10}).Observe(5)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var fams []JSONFamily
+	if err := json.Unmarshal([]byte(sb.String()), &fams); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(fams) != 2 {
+		t.Fatalf("families = %d, want 2", len(fams))
+	}
+	// Sorted by name: lat first.
+	if fams[0].Name != "lat" || fams[0].Type != "histogram" {
+		t.Fatalf("fams[0] = %+v", fams[0])
+	}
+	if *fams[0].Series[0].Count != 1 || *fams[0].Series[0].Sum != 5 {
+		t.Fatalf("histogram series = %+v", fams[0].Series[0])
+	}
+	if got := fams[0].Series[0].Buckets; len(got) != 2 || got[0].Count != 0 || got[1].Count != 1 {
+		t.Fatalf("buckets = %+v", got)
+	}
+	if fams[1].Name != "req_total" || *fams[1].Series[0].Value != 3 ||
+		fams[1].Series[0].Labels["endpoint"] != "/a" {
+		t.Fatalf("fams[1] = %+v", fams[1])
+	}
+}
+
+func TestHandlerFormats(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("n_total", "N.").Inc()
+	h := r.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("default Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "n_total 1") {
+		t.Fatalf("text body = %q", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("json Content-Type = %q", ct)
+	}
+	var fams []JSONFamily
+	if err := json.Unmarshal(rec.Body.Bytes(), &fams); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("c_total", "C.", "w")
+	h := r.Histogram("h", "H.", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w%2))
+			for i := 0; i < 1000; i++ {
+				v.With(lbl).Inc()
+				h.Observe(float64(i))
+			}
+		}(w)
+	}
+	// Expose concurrently with the writers to catch races.
+	var sb strings.Builder
+	_ = r.WriteText(&sb)
+	wg.Wait()
+	if got := v.With("a").Value() + v.With("b").Value(); got != 8000 {
+		t.Fatalf("total = %d, want 8000", got)
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("observations = %d, want 8000", h.Count())
+	}
+}

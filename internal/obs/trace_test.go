@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestTraceMiddleware(t *testing.T) {
+	reg := NewRegistry()
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+
+	var seenID string
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seenID = RequestID(r.Context())
+		if strings.HasSuffix(r.URL.Path, "missing") {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.Write([]byte("hello"))
+	})
+	h := Trace(inner, TraceConfig{
+		Registry: reg,
+		Logger:   logger,
+		Endpoint: func(r *http.Request) string { return "/fixed" },
+		Prefix:   "t",
+	})
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/ok", nil))
+	if rec.Code != http.StatusOK || rec.Body.String() != "hello" {
+		t.Fatalf("response = %d %q", rec.Code, rec.Body.String())
+	}
+	id := rec.Header().Get("X-Request-ID")
+	if id == "" || id != seenID {
+		t.Fatalf("request id: header %q, context %q", id, seenID)
+	}
+
+	// Inbound id is honored.
+	req := httptest.NewRequest("GET", "/ok", nil)
+	req.Header.Set("X-Request-ID", "abc123")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seenID != "abc123" || rec.Header().Get("X-Request-ID") != "abc123" {
+		t.Fatalf("inbound id not honored: %q", seenID)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/missing", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d", rec.Code)
+	}
+
+	if got := reg.CounterVec("t_requests_total", "", "endpoint", "status").With("/fixed", "200").Value(); got != 2 {
+		t.Fatalf("200s = %d, want 2", got)
+	}
+	if got := reg.CounterVec("t_requests_total", "", "endpoint", "status").With("/fixed", "404").Value(); got != 1 {
+		t.Fatalf("404s = %d, want 1", got)
+	}
+	if got := reg.CounterVec("t_response_bytes_total", "", "endpoint").With("/fixed").Value(); got != 10 {
+		t.Fatalf("bytes = %d, want 10 (two hellos)", got)
+	}
+	if got := reg.HistogramVec("t_request_seconds", "", nil, "endpoint").With("/fixed").Count(); got != 3 {
+		t.Fatalf("latency observations = %d, want 3", got)
+	}
+	if got := reg.Gauge("t_inflight_requests", "").Value(); got != 0 {
+		t.Fatalf("inflight after requests = %d, want 0", got)
+	}
+
+	logs := logBuf.String()
+	for _, want := range []string{"http_request", "request_id=abc123", "status=404", "method=GET"} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("log output missing %q:\n%s", want, logs)
+		}
+	}
+}
+
+func TestNewRequestIDUnique(t *testing.T) {
+	a, b := newRequestID(), newRequestID()
+	if a == b || len(a) != 16 {
+		t.Fatalf("ids %q, %q", a, b)
+	}
+}

@@ -3,9 +3,19 @@
 // mining endpoint runs the exact DMC pipelines, so the service inherits
 // the library's no-false-positives / no-false-negatives guarantee.
 //
+// The layer is hardened for production traffic: every request is traced
+// (request id, latency, status, bytes — obs.Trace), mining endpoints
+// run under a concurrency limiter and an optional per-request deadline,
+// uploads are size-capped with a proper 413, dataset names are
+// validated against path tricks, and Run drains in-flight requests on
+// shutdown. /v1/metrics exposes the process registry (request metrics,
+// mining phase durations from core.Stats, stream spill/pass counters);
+// /debug/pprof can be mounted behind a config switch.
+//
 // Endpoints (all JSON unless noted):
 //
 //	GET  /v1/healthz
+//	GET  /v1/metrics                   Prometheus text (or ?format=json)
 //	GET  /v1/datasets
 //	PUT  /v1/datasets/{name}           body: basket lines (text/plain)
 //	GET  /v1/datasets/{name}
@@ -15,41 +25,186 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log/slog"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"dmc/internal/core"
 	"dmc/internal/matrix"
+	"dmc/internal/obs"
 	"dmc/internal/rules"
+
+	// Registers the stream spill/pass counters on obs.Default so
+	// /v1/metrics always exposes them, even before any streamed mine.
+	_ "dmc/internal/stream"
 )
 
-// maxUploadBytes caps PUT bodies.
-const maxUploadBytes = 64 << 20
+// Config tunes the serving layer. The zero value is production-safe:
+// metrics on obs.Default, slog.Default() logging, pprof off, a 64MB
+// upload cap, no mining deadline and no mining concurrency limit.
+type Config struct {
+	// Registry receives all metrics; nil means obs.Default.
+	Registry *obs.Registry
+	// Logger receives structured request and lifecycle logs; nil means
+	// slog.Default().
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// RequestTimeout bounds each mining request (queue wait included).
+	// On expiry the client gets 503 and the abandoned mine finishes in
+	// the background. Zero means no deadline.
+	RequestTimeout time.Duration
+	// MaxConcurrentMines caps mining requests running at once; excess
+	// requests queue until a slot frees or their deadline expires
+	// (then 429). Zero means unlimited.
+	MaxConcurrentMines int
+	// MaxUploadBytes caps PUT bodies; zero means 64MB.
+	MaxUploadBytes int64
+	// ReadHeaderTimeout, ReadTimeout, WriteTimeout and IdleTimeout are
+	// the http.Server knobs; zeros mean 10s, 5m, 5m and 2m.
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	WriteTimeout      time.Duration
+	IdleTimeout       time.Duration
+	// ShutdownGrace bounds the drain of in-flight requests once Run's
+	// context is canceled; zero means 30s.
+	ShutdownGrace time.Duration
+}
+
+func (c Config) registry() *obs.Registry {
+	if c.Registry != nil {
+		return c.Registry
+	}
+	return obs.Default
+}
+
+func (c Config) logger() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
+	}
+	return slog.Default()
+}
+
+func (c Config) maxUploadBytes() int64 {
+	if c.MaxUploadBytes > 0 {
+		return c.MaxUploadBytes
+	}
+	return 64 << 20
+}
+
+func durOr(d, def time.Duration) time.Duration {
+	if d > 0 {
+		return d
+	}
+	return def
+}
+
+// serverMetrics are the mining-side series; request-side series are
+// owned by obs.Trace. All constructors are get-or-create, so multiple
+// Server instances on one registry share series.
+type serverMetrics struct {
+	phase     *obs.HistogramVec // pipeline, phase
+	switches  *obs.CounterVec   // pipeline, phase
+	runs      *obs.CounterVec   // pipeline
+	rules     *obs.CounterVec   // pipeline
+	candAdd   obs.Counter
+	candDel   obs.Counter
+	peakBytes obs.Gauge
+	inflight  obs.Gauge
+	rejected  obs.Counter
+	timeouts  obs.Counter
+	datasets  obs.Gauge
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		phase: reg.HistogramVec("dmc_mine_phase_seconds",
+			"Mining phase durations from core.Stats.", nil, "pipeline", "phase"),
+		switches: reg.CounterVec("dmc_mine_bitmap_switches_total",
+			"Phases that switched to DMC-bitmap.", "pipeline", "phase"),
+		runs: reg.CounterVec("dmc_mine_runs_total",
+			"Completed mining runs.", "pipeline"),
+		rules: reg.CounterVec("dmc_mine_rules_total",
+			"Rules emitted by mining runs.", "pipeline"),
+		candAdd: reg.Counter("dmc_mine_candidates_added_total",
+			"Candidate-list insertions across mining runs."),
+		candDel: reg.Counter("dmc_mine_candidates_deleted_total",
+			"Dynamic candidate deletions across mining runs."),
+		peakBytes: reg.Gauge("dmc_mine_peak_counter_bytes",
+			"Largest counter-array size seen by any mining run."),
+		inflight: reg.Gauge("dmc_mines_inflight",
+			"Mining requests currently executing."),
+		rejected: reg.Counter("dmc_mines_rejected_total",
+			"Mining requests rejected by the concurrency limiter."),
+		timeouts: reg.Counter("dmc_mines_timeout_total",
+			"Mining requests that exceeded their deadline."),
+		datasets: reg.Gauge("dmc_datasets_loaded",
+			"Datasets currently resident in memory."),
+	}
+}
 
 // Server is the HTTP handler. The zero value is not usable; construct
-// with New.
+// with New or NewWith.
 type Server struct {
 	mu       sync.RWMutex
 	datasets map[string]*matrix.Matrix
+
+	cfg     Config
+	metrics *serverMetrics
+	hooks   *core.Hooks
+	mineSem chan struct{} // nil = unlimited
+
+	// Mining entry points, swappable by tests.
+	mineImp func(*matrix.Matrix, core.Threshold, core.Options) ([]rules.Implication, core.Stats)
+	mineSim func(*matrix.Matrix, core.Threshold, core.Options) ([]rules.Similarity, core.Stats)
 }
 
-// New returns an empty server.
-func New() *Server {
-	return &Server{datasets: make(map[string]*matrix.Matrix)}
+// New returns an empty server with the default Config.
+func New() *Server { return NewWith(Config{}) }
+
+// NewWith returns an empty server with the given Config.
+func NewWith(cfg Config) *Server {
+	s := &Server{
+		datasets: make(map[string]*matrix.Matrix),
+		cfg:      cfg,
+		metrics:  newServerMetrics(cfg.registry()),
+		mineImp:  core.DMCImp,
+		mineSim:  core.DMCSim,
+	}
+	if cfg.MaxConcurrentMines > 0 {
+		s.mineSem = make(chan struct{}, cfg.MaxConcurrentMines)
+	}
+	m := s.metrics
+	s.hooks = &core.Hooks{
+		OnPhase: func(pipeline, phase string, d time.Duration) {
+			m.phase.With(pipeline, phase).Observe(d.Seconds())
+		},
+		OnBitmapSwitch: func(pipeline, phase string, pos int) {
+			m.switches.With(pipeline, phase).Inc()
+		},
+	}
+	return s
 }
 
 // Add registers (or replaces) a dataset under the given name.
 func (s *Server) Add(name string, m *matrix.Matrix) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.datasets[name] = m
+	s.metrics.datasets.Set(int64(len(s.datasets)))
+	s.mu.Unlock()
 }
 
 // get returns the named dataset.
@@ -60,19 +215,89 @@ func (s *Server) get(name string) (*matrix.Matrix, bool) {
 	return m, ok
 }
 
-// Handler returns the HTTP routing table.
+// Handler returns the HTTP routing table wrapped in the tracing
+// middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.Handle("GET /v1/metrics", s.cfg.registry().Handler())
 	mux.HandleFunc("GET /v1/datasets", s.handleList)
 	mux.HandleFunc("PUT /v1/datasets/{name}", s.handlePut)
 	mux.HandleFunc("GET /v1/datasets/{name}", s.handleDescribe)
 	mux.HandleFunc("GET /v1/datasets/{name}/implications", s.handleImplications)
 	mux.HandleFunc("GET /v1/datasets/{name}/similarities", s.handleSimilarities)
 	mux.HandleFunc("GET /v1/datasets/{name}/expand", s.handleExpand)
-	return mux
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return obs.Trace(mux, obs.TraceConfig{
+		Registry: s.cfg.registry(),
+		Logger:   s.cfg.Logger,
+		Endpoint: endpointLabel,
+		Prefix:   "dmc_http",
+	})
+}
+
+// endpointLabel collapses path parameters so metric label cardinality
+// stays bounded no matter what clients request.
+func endpointLabel(r *http.Request) string {
+	p := r.URL.Path
+	if strings.HasPrefix(p, "/debug/pprof/") {
+		return "/debug/pprof"
+	}
+	seg := strings.Split(strings.Trim(p, "/"), "/")
+	if len(seg) >= 3 && seg[0] == "v1" && seg[1] == "datasets" {
+		if len(seg) == 3 {
+			return "/v1/datasets/{name}"
+		}
+		switch seg[3] {
+		case "implications", "similarities", "expand":
+			return "/v1/datasets/{name}/" + seg[3]
+		}
+		return "/v1/datasets/{name}/other"
+	}
+	switch p {
+	case "/v1/healthz", "/v1/metrics", "/v1/datasets":
+		return p
+	}
+	return "other"
+}
+
+// Run serves the handler on ln until ctx is canceled, then shuts down
+// gracefully: the listener closes immediately, in-flight requests get
+// up to Config.ShutdownGrace to finish. Returns nil on a clean
+// drained shutdown.
+func (s *Server) Run(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: durOr(s.cfg.ReadHeaderTimeout, 10*time.Second),
+		ReadTimeout:       durOr(s.cfg.ReadTimeout, 5*time.Minute),
+		WriteTimeout:      durOr(s.cfg.WriteTimeout, 5*time.Minute),
+		IdleTimeout:       durOr(s.cfg.IdleTimeout, 2*time.Minute),
+		ErrorLog:          slog.NewLogLogger(s.cfg.logger().Handler(), slog.LevelWarn),
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // listener failed before shutdown was requested
+	case <-ctx.Done():
+	}
+	grace := durOr(s.cfg.ShutdownGrace, 30*time.Second)
+	s.cfg.logger().Info("shutting down", slog.Duration("grace", grace))
+	dctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := srv.Shutdown(dctx)
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	return err
 }
 
 // DatasetInfo is the wire form of a dataset summary.
@@ -99,15 +324,30 @@ func info(name string, m *matrix.Matrix) DatasetInfo {
 	return DatasetInfo{Name: name, Rows: m.NumRows(), Cols: m.NumCols(), Ones: m.NumOnes(), Labeled: m.Labels() != nil}
 }
 
+// datasetNameRE admits sane file-system-ish names: a leading
+// alphanumeric, then up to 127 alphanumerics, dots, underscores or
+// dashes. Path separators and leading dots never match, which blocks
+// traversal tricks before they reach any storage layer.
+var datasetNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
+
+func validDatasetName(name string) bool {
+	return datasetNameRE.MatchString(name) && !strings.Contains(name, "..")
+}
+
 func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if strings.TrimSpace(name) == "" {
-		writeErr(w, http.StatusBadRequest, "empty dataset name")
+	if !validDatasetName(name) {
+		writeErr(w, http.StatusBadRequest, "invalid dataset name %q: want a leading alphanumeric, then alphanumerics, '.', '_' or '-' (max 128 chars, no '..')", name)
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.maxUploadBytes())
 	m, err := matrix.ReadBaskets(body)
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "body exceeds the %d-byte upload limit", tooBig.Limit)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "parsing baskets: %v", err)
 		return
 	}
@@ -127,6 +367,85 @@ func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, info(name, m))
+}
+
+// acquireMine admits a mining request under the concurrency limiter,
+// blocking until a slot frees or ctx expires. The returned release must
+// be called when the mine finishes (not when the handler returns — an
+// abandoned mine still occupies its slot).
+func (s *Server) acquireMine(ctx context.Context) (release func(), ok bool) {
+	if s.mineSem != nil {
+		select {
+		case s.mineSem <- struct{}{}:
+		default:
+			select {
+			case s.mineSem <- struct{}{}:
+			case <-ctx.Done():
+				s.metrics.rejected.Inc()
+				return nil, false
+			}
+		}
+	}
+	s.metrics.inflight.Inc()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.metrics.inflight.Dec()
+			if s.mineSem != nil {
+				<-s.mineSem
+			}
+		})
+	}, true
+}
+
+// runMine executes mine under the concurrency limiter and the
+// per-request deadline, recording run metrics on success. On limiter
+// rejection or deadline expiry it writes the error response and
+// returns ok=false; an expired mine keeps running detached until done
+// (the core pipelines have no cancellation points) while its limiter
+// slot stays held, so the limiter keeps bounding actual CPU use.
+func runMine[R any](s *Server, w http.ResponseWriter, r *http.Request, pipeline string, mine func() ([]R, core.Stats)) ([]R, core.Stats, bool) {
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	release, ok := s.acquireMine(ctx)
+	if !ok {
+		writeErr(w, http.StatusTooManyRequests, "mining concurrency limit reached; retry later")
+		return nil, core.Stats{}, false
+	}
+	type result struct {
+		rs []R
+		st core.Stats
+	}
+	ch := make(chan result, 1)
+	go func() {
+		defer release()
+		rs, st := mine()
+		ch <- result{rs, st}
+	}()
+	select {
+	case <-ctx.Done():
+		s.metrics.timeouts.Inc()
+		writeErr(w, http.StatusServiceUnavailable, "mining did not finish before the request deadline; narrow the query or raise the limit")
+		return nil, core.Stats{}, false
+	case res := <-ch:
+		s.recordMine(pipeline, res.st)
+		return res.rs, res.st, true
+	}
+}
+
+// recordMine feeds one run's core.Stats into the registry; phase
+// durations and bitmap switches already arrived via s.hooks.
+func (s *Server) recordMine(pipeline string, st core.Stats) {
+	m := s.metrics
+	m.runs.With(pipeline).Inc()
+	m.rules.With(pipeline).Add(int64(st.NumRules))
+	m.candAdd.Add(int64(st.CandidatesAdded))
+	m.candDel.Add(int64(st.CandidatesDeleted))
+	m.peakBytes.Max(int64(st.PeakCounterBytes))
 }
 
 // ImplicationWire is the wire form of an implication rule.
@@ -160,7 +479,12 @@ func (s *Server) handleImplications(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rs, st := core.DMCImp(m, core.FromPercent(p.threshold), core.Options{MinSupport: p.minSupport})
+	rs, st, ok := runMine(s, w, r, "imp", func() ([]rules.Implication, core.Stats) {
+		return s.mineImp(m, core.FromPercent(p.threshold), core.Options{MinSupport: p.minSupport, Hooks: s.hooks})
+	})
+	if !ok {
+		return
+	}
 	sort.Slice(rs, func(i, j int) bool { return rs[i].Confidence() > rs[j].Confidence() })
 	resp := MineResponse[ImplicationWire]{
 		Dataset: name, Threshold: p.threshold, Total: len(rs), ElapsedMS: st.Total.Milliseconds(),
@@ -200,7 +524,12 @@ func (s *Server) handleSimilarities(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rs, st := core.DMCSim(m, core.FromPercent(p.threshold), core.Options{MinSupport: p.minSupport})
+	rs, st, ok := runMine(s, w, r, "sim", func() ([]rules.Similarity, core.Stats) {
+		return s.mineSim(m, core.FromPercent(p.threshold), core.Options{MinSupport: p.minSupport, Hooks: s.hooks})
+	})
+	if !ok {
+		return
+	}
 	sort.Slice(rs, func(i, j int) bool { return rs[i].Value() > rs[j].Value() })
 	resp := MineResponse[SimilarityWire]{
 		Dataset: name, Threshold: p.threshold, Total: len(rs), ElapsedMS: st.Total.Milliseconds(),
@@ -250,7 +579,12 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rs, _ := core.DMCImp(m, core.FromPercent(p.threshold), core.Options{MinSupport: p.minSupport})
+	rs, _, ok := runMine(s, w, r, "imp", func() ([]rules.Implication, core.Stats) {
+		return s.mineImp(m, core.FromPercent(p.threshold), core.Options{MinSupport: p.minSupport, Hooks: s.hooks})
+	})
+	if !ok {
+		return
+	}
 	groups, ok := rules.ExpandByLabel(rs, m, keyword, depth)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "keyword %q is not a column label", keyword)

@@ -20,7 +20,25 @@ import (
 
 	"dmc/internal/core"
 	"dmc/internal/matrix"
+	"dmc/internal/obs"
 	"dmc/internal/rules"
+)
+
+// Spill/pass counters on the process-wide registry: the serving
+// layer's /v1/metrics endpoint exposes these, which is how operators
+// see whether a deployment is spilling to disk and how many replay
+// passes the pipelines cost.
+var (
+	metricPartitions = obs.Default.Counter("dmc_stream_partitions_total",
+		"Completed first-pass partitionings of a matrix file.")
+	metricSpilledRows = obs.Default.Counter("dmc_stream_spilled_rows_total",
+		"Rows written to density-bucket spill files.")
+	metricSpilledBytes = obs.Default.Counter("dmc_stream_spilled_bytes_total",
+		"Bytes written to density-bucket spill files.")
+	metricSpillBuckets = obs.Default.Counter("dmc_stream_spill_buckets_total",
+		"Non-empty density buckets created by partitioning.")
+	metricPasses = obs.Default.Counter("dmc_stream_passes_total",
+		"Sequential passes replayed over the spill buckets.")
 )
 
 // Partitioned is the result of the first pass: per-column counts plus
@@ -91,6 +109,7 @@ func Partition(path, tmpDir string) (*Partitioned, error) {
 		}
 		counts[b]++
 	}
+	var spilledBytes int64
 	for b, w := range writers {
 		if w == nil {
 			continue
@@ -98,11 +117,18 @@ func Partition(path, tmpDir string) (*Partitioned, error) {
 		if err := w.Flush(); err != nil {
 			return nil, err
 		}
+		if fi, err := files[b].Stat(); err == nil {
+			spilledBytes += fi.Size()
+		}
 		if err := files[b].Close(); err != nil {
 			return nil, err
 		}
 		p.buckets = append(p.buckets, bucket{path: files[b].Name(), rows: counts[b]})
 	}
+	metricPartitions.Inc()
+	metricSpilledRows.Add(int64(p.rows))
+	metricSpilledBytes.Add(spilledBytes)
+	metricSpillBuckets.Add(int64(len(p.buckets)))
 	ok = true
 	return p, nil
 }
@@ -123,6 +149,7 @@ func (p *Partitioned) Ones() []int { return p.ones }
 // error channel), which MineImplications and MineSimilarities recover
 // into an ordinary error.
 func (p *Partitioned) Pass() core.Rows {
+	metricPasses.Inc()
 	return &bucketRows{p: p}
 }
 
