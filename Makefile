@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check fmt vet build test race bench
+.PHONY: ci fmt-check fmt vet build test race bench bench-json
 
 ci: fmt-check vet build test race bench
 
@@ -29,3 +29,8 @@ race:
 
 bench:
 	$(GO) test -run=NoTests -bench=. -benchtime=1x ./...
+
+# Regenerate the checked-in performance trajectory. CI runs the same
+# command with -bench-time 100ms and uploads the result as an artifact.
+bench-json:
+	$(GO) run ./cmd/dmcbench -bench-json BENCH_dmc.json -bench-time 1s

@@ -6,6 +6,7 @@
 package dmc_test
 
 import (
+	"fmt"
 	"io"
 	"sync"
 	"testing"
@@ -96,6 +97,51 @@ func BenchmarkDMCSim(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkDMCParallel is the perf-trajectory suite for the parallel
+// pipelines: engine × worker-count points over NewsP, with a
+// forced-bitmap variant so the shared tail-bitmap path is measured too.
+// cmd/dmcbench -bench-json emits the same grid as machine-readable
+// BENCH_dmc.json.
+func BenchmarkDMCParallel(b *testing.B) {
+	ds := newsP(b)
+	th := core.FromPercent(85)
+	for _, workers := range []int{1, 2, 4} {
+		for name, opts := range map[string]core.Options{
+			"default": {},
+			"bitmap":  {BitmapMaxRows: ds.M.NumRows() + 1, BitmapMinBytes: -1},
+		} {
+			workers, opts := workers, opts
+			b.Run(fmt.Sprintf("imp/%s/w%d", name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				var rules, peak int
+				for i := 0; i < b.N; i++ {
+					rs, st := core.DMCImpParallel(ds.M, th, opts, workers)
+					rules, peak = len(rs), st.PeakCounterBytes
+				}
+				reportMineMetrics(b, rules, peak)
+			})
+			b.Run(fmt.Sprintf("sim/%s/w%d", name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				var rules, peak int
+				for i := 0; i < b.N; i++ {
+					rs, st := core.DMCSimParallel(ds.M, th, opts, workers)
+					rules, peak = len(rs), st.PeakCounterBytes
+				}
+				reportMineMetrics(b, rules, peak)
+			})
+		}
+	}
+}
+
+// reportMineMetrics attaches the mining-rate and counter-memory metrics
+// every trajectory point records alongside ns/op and allocs/op.
+func reportMineMetrics(b *testing.B, rules, peakBytes int) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(rules)*float64(b.N)/s, "rules/s")
+	}
+	b.ReportMetric(float64(peakBytes), "peak-counter-B")
 }
 
 // Baseline comparison benches on NewsP, the paper's §6.2 setting.

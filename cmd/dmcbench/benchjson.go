@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dmc/internal/core"
+	"dmc/internal/gen"
+	"dmc/internal/matrix"
+)
+
+// The bench-JSON mode is the machine-readable performance trajectory:
+// one fixed grid of engine × variant × worker-count points over NewsP
+// (the paper's §6.2 comparison set), written as BENCH_dmc.json so runs
+// from different commits can be diffed. The grid mirrors
+// BenchmarkDMCParallel in bench_test.go; this standalone driver exists
+// because a main program cannot set -benchtime programmatically, and CI
+// wants a one-command artifact.
+
+// BenchFile is the top-level JSON document.
+type BenchFile struct {
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Dataset    string       `json:"dataset"`
+	Rows       int          `json:"rows"`
+	Cols       int          `json:"cols"`
+	Scale      float64      `json:"scale"`
+	Seed       int64        `json:"seed"`
+	BenchTime  string       `json:"bench_time"`
+	Points     []BenchPoint `json:"points"`
+}
+
+// BenchPoint is one measured cell of the grid. Engine "serial" is the
+// single-threaded pipeline; "parallel" is the §7 column-partitioned one
+// at the given worker count. PeakCounterBytes and TailBitmapBytes
+// follow the paper's memory model (core.Stats), not the Go heap;
+// BytesPerOp/AllocsPerOp are real allocator traffic.
+type BenchPoint struct {
+	Name             string  `json:"name"`
+	Mode             string  `json:"mode"`    // imp | sim
+	Variant          string  `json:"variant"` // default | bitmap
+	Engine           string  `json:"engine"`  // serial | parallel
+	Workers          int     `json:"workers"`
+	Iters            int     `json:"iters"`
+	NsPerOp          int64   `json:"ns_per_op"`
+	BytesPerOp       int64   `json:"bytes_per_op"`
+	AllocsPerOp      int64   `json:"allocs_per_op"`
+	Rules            int     `json:"rules"`
+	RulesPerSec      float64 `json:"rules_per_sec"`
+	PeakCounterBytes int     `json:"peak_counter_bytes"`
+	TailBitmapBytes  int     `json:"tail_bitmap_bytes"`
+}
+
+// runBenchJSON measures the full grid and writes the document to path.
+func runBenchJSON(path string, benchTime time.Duration, scale float64, seed int64) error {
+	cfg := gen.Config{Scale: scale, Seed: seed}
+	if scale <= 0 {
+		scale = 0.05 // the generator default, recorded explicitly
+	}
+	ds, ok := gen.ByName("NewsP", cfg)
+	if !ok {
+		return fmt.Errorf("NewsP generator missing")
+	}
+	m := ds.M
+	th := core.FromPercent(85)
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"default", core.Options{}},
+		// Forced switch on the first row: the whole run exercises the
+		// DMC-bitmap path and the shared tail build.
+		{"bitmap", core.Options{BitmapMaxRows: m.NumRows() + 1, BitmapMinBytes: -1}},
+	}
+
+	doc := BenchFile{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Dataset:    ds.Name,
+		Rows:       m.NumRows(),
+		Cols:       m.NumCols(),
+		Scale:      scale,
+		Seed:       seed,
+		BenchTime:  benchTime.String(),
+	}
+
+	for _, v := range variants {
+		for _, mode := range []string{"imp", "sim"} {
+			runs := mineRuns(m, th, v.opts, mode)
+			for _, r := range runs {
+				p := measure(r.f, benchTime)
+				p.Mode, p.Variant, p.Engine, p.Workers = mode, v.name, r.engine, r.workers
+				p.Name = fmt.Sprintf("%s/%s/%s", mode, v.name, r.label)
+				doc.Points = append(doc.Points, p)
+				fmt.Printf("%-28s %12d ns/op %10d B/op %8d allocs/op %10.0f rules/s\n",
+					p.Name, p.NsPerOp, p.BytesPerOp, p.AllocsPerOp, p.RulesPerSec)
+			}
+		}
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// mineRun is one engine point: f runs a full mine and reports the rule
+// count plus the model-memory stats.
+type mineRun struct {
+	label   string
+	engine  string
+	workers int
+	f       func() (rules, peak, tail int)
+}
+
+func mineRuns(m *matrix.Matrix, th core.Threshold, opts core.Options, mode string) []mineRun {
+	runs := []mineRun{{label: "serial", engine: "serial", workers: 1, f: func() (int, int, int) {
+		if mode == "imp" {
+			rs, st := core.DMCImp(m, th, opts)
+			return len(rs), st.PeakCounterBytes, st.TailBitmapBytes
+		}
+		rs, st := core.DMCSim(m, th, opts)
+		return len(rs), st.PeakCounterBytes, st.TailBitmapBytes
+	}}}
+	for _, w := range []int{1, 2, 4} {
+		w := w
+		runs = append(runs, mineRun{label: fmt.Sprintf("w%d", w), engine: "parallel", workers: w, f: func() (int, int, int) {
+			if mode == "imp" {
+				rs, st := core.DMCImpParallel(m, th, opts, w)
+				return len(rs), st.PeakCounterBytes, st.TailBitmapBytes
+			}
+			rs, st := core.DMCSimParallel(m, th, opts, w)
+			return len(rs), st.PeakCounterBytes, st.TailBitmapBytes
+		}})
+	}
+	return runs
+}
+
+// measure runs f for at least benchTime (and at least once) and reports
+// per-op figures. Allocation counts come from runtime.MemStats deltas
+// around the timed loop, the same accounting the testing package uses;
+// one GC beforehand keeps a previous point's garbage out of this one.
+func measure(f func() (rules, peak, tail int), benchTime time.Duration) BenchPoint {
+	f() // warm-up: page in the dataset, grow the heap once
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	var rules, peak, tail, iters int
+	start := time.Now()
+	for elapsed := time.Duration(0); elapsed < benchTime || iters == 0; elapsed = time.Since(start) {
+		rules, peak, tail = f()
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	p := BenchPoint{
+		Iters:            iters,
+		NsPerOp:          elapsed.Nanoseconds() / int64(iters),
+		BytesPerOp:       int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+		AllocsPerOp:      int64(after.Mallocs-before.Mallocs) / int64(iters),
+		Rules:            rules,
+		PeakCounterBytes: peak,
+		TailBitmapBytes:  tail,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		p.RulesPerSec = float64(rules*iters) / s
+	}
+	return p
+}

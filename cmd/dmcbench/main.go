@@ -8,6 +8,7 @@
 //	dmcbench -list
 //	dmcbench -exp fig6a -scale 0.05
 //	dmcbench -exp all -scale 0.05 -csv ./out
+//	dmcbench -bench-json BENCH_dmc.json -bench-time 1s
 package main
 
 import (
@@ -15,20 +16,30 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"dmc/internal/exp"
 )
 
 func main() {
 	var (
-		id    = flag.String("exp", "", "experiment id, or 'all'")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		scale = flag.Float64("scale", 0, "dataset scale (0 = default, 1/20 of the paper's sizes)")
-		seed  = flag.Int64("seed", 1, "generator seed")
-		quick = flag.Bool("quick", false, "trim threshold sweeps to their endpoints")
-		csv   = flag.String("csv", "", "also write each table as CSV into this directory")
+		id        = flag.String("exp", "", "experiment id, or 'all'")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		scale     = flag.Float64("scale", 0, "dataset scale (0 = default, 1/20 of the paper's sizes)")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		quick     = flag.Bool("quick", false, "trim threshold sweeps to their endpoints")
+		csv       = flag.String("csv", "", "also write each table as CSV into this directory")
+		benchJSON = flag.String("bench-json", "", "run the perf-trajectory grid and write machine-readable results to this path")
+		benchTime = flag.Duration("bench-time", time.Second, "minimum measuring time per bench-json point")
 	)
 	flag.Parse()
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *benchTime, *scale, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "dmcbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*id, *list, *scale, *seed, *quick, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "dmcbench:", err)
 		os.Exit(1)

@@ -33,7 +33,7 @@ func main() {
 		top       = flag.Int("top", 50, "print at most this many rules, strongest first (0 = all)")
 		stats     = flag.Bool("stats", true, "print run statistics")
 		streaming = flag.Bool("stream", false, "mine from disk in two passes without loading the matrix (dmc engine only)")
-		workers   = flag.Int("workers", 1, "parallel workers for the dmc engine (columns partitioned across them)")
+		workers   = flag.Int("workers", 1, "parallel workers for the dmc engine (columns partitioned across them); 0 = one per CPU, 1 = serial")
 		clusters  = flag.Bool("clusters", false, "in sim mode, also print the connected clusters of similar columns")
 		groups    = flag.Bool("groups", false, "in imp mode, also print equivalence groups (mutually implying columns)")
 		out       = flag.String("out", "", "also write the mined rules to this file (dmcrules reads it back)")
@@ -101,7 +101,7 @@ func run(cfg runConfig) error {
 		switch engine {
 		case "dmc":
 			var st core.Stats
-			if cfg.workers > 1 {
+			if cfg.workers != 1 {
 				rs, st = core.DMCImpParallel(m, th, opts, cfg.workers)
 			} else {
 				rs, st = core.DMCImp(m, th, opts)
@@ -146,7 +146,7 @@ func run(cfg runConfig) error {
 		switch engine {
 		case "dmc":
 			var st core.Stats
-			if cfg.workers > 1 {
+			if cfg.workers != 1 {
 				rs, st = core.DMCSimParallel(m, th, opts, cfg.workers)
 			} else {
 				rs, st = core.DMCSim(m, th, opts)

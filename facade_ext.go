@@ -29,10 +29,12 @@ func MineSimilaritiesFile(path string, minsim Threshold, opts Options) ([]Simila
 }
 
 // MineImplicationsParallel runs the DMC-imp pipeline with the columns
-// partitioned round-robin across the given number of workers — the
-// divide-and-conquer parallelization sketched in the paper's §7. The
-// rule set is identical to MineImplications'; the counter-array memory
-// is what gets divided across workers.
+// partitioned across the given number of workers (a snake walk over the
+// ones-sorted columns, so dense columns spread evenly) — the
+// divide-and-conquer parallelization sketched in the paper's §7.
+// workers ≤ 0 means one worker per CPU. The rule set is identical to
+// MineImplications'; the counter-array memory is what gets divided
+// across workers, while the scan and any DMC-bitmap tail are shared.
 func MineImplicationsParallel(m *Matrix, minconf Threshold, opts Options, workers int) ([]Implication, Stats) {
 	return core.DMCImpParallel(m, minconf, opts, workers)
 }

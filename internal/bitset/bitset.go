@@ -91,11 +91,89 @@ func (s *Set) AndCount(t *Set) int {
 // against t among the represented rows. The sets must have equal capacity.
 func (s *Set) AndNotCount(t *Set) int {
 	s.checkLen(t)
-	c := 0
-	for i, w := range s.words {
-		c += bits.OnesCount64(w &^ t.words[i])
+	return andNotCountWords(s.words, t.words)
+}
+
+// blockWords is the tile of the blocked many-target kernels: how many
+// 64-bit source words stay resident while every target streams through.
+// 512 words = 4KB, so a source block plus one target block fit in L1
+// with room to spare.
+const blockWords = 512
+
+// AndNotCountMany computes |s ∧ ¬t| for every t in ts in one blocked
+// sweep, writing the count for ts[k] into out[k] (out must have at
+// least len(ts) entries; counts are overwritten, not accumulated). A
+// nil target is treated as the empty set, so its count is |s|; non-nil
+// targets must have s's capacity.
+//
+// The DMC-bitmap phase 1 calls this with one source column bitmap
+// against that column's whole candidate list: walking s's words once
+// per cache-sized block across all targets makes the pair counting
+// bandwidth-bound on the targets alone, instead of re-streaming s per
+// pair as repeated AndNotCount calls would.
+func (s *Set) AndNotCountMany(ts []*Set, out []int) {
+	if len(out) < len(ts) {
+		panic(fmt.Sprintf("bitset: AndNotCountMany needs %d output slots, have %d", len(ts), len(out)))
 	}
-	return c
+	for k, t := range ts {
+		out[k] = 0
+		if t != nil {
+			s.checkLen(t)
+		}
+	}
+	n := len(s.words)
+	for lo := 0; lo < n; lo += blockWords {
+		hi := lo + blockWords
+		if hi > n {
+			hi = n
+		}
+		sb := s.words[lo:hi]
+		sCount := -1 // popcount of sb, computed at most once per block
+		for k, t := range ts {
+			if t == nil {
+				if sCount < 0 {
+					sCount = popCountWords(sb)
+				}
+				out[k] += sCount
+				continue
+			}
+			out[k] += andNotCountWords(sb, t.words[lo:hi])
+		}
+	}
+}
+
+// andNotCountWords is the 4-way unrolled popcount kernel over equal
+// length word slices.
+func andNotCountWords(a, b []uint64) int {
+	b = b[:len(a)] // bounds-check hint
+	var c0, c1, c2, c3 int
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		c0 += bits.OnesCount64(a[i] &^ b[i])
+		c1 += bits.OnesCount64(a[i+1] &^ b[i+1])
+		c2 += bits.OnesCount64(a[i+2] &^ b[i+2])
+		c3 += bits.OnesCount64(a[i+3] &^ b[i+3])
+	}
+	for ; i < len(a); i++ {
+		c0 += bits.OnesCount64(a[i] &^ b[i])
+	}
+	return c0 + c1 + c2 + c3
+}
+
+// popCountWords is the 4-way unrolled popcount of a word slice.
+func popCountWords(a []uint64) int {
+	var c0, c1, c2, c3 int
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		c0 += bits.OnesCount64(a[i])
+		c1 += bits.OnesCount64(a[i+1])
+		c2 += bits.OnesCount64(a[i+2])
+		c3 += bits.OnesCount64(a[i+3])
+	}
+	for ; i < len(a); i++ {
+		c0 += bits.OnesCount64(a[i])
+	}
+	return c0 + c1 + c2 + c3
 }
 
 // OrCount returns |s ∨ t|. The sets must have equal capacity.

@@ -47,3 +47,43 @@ func BenchmarkIndices(b *testing.B) {
 		x.Indices()
 	}
 }
+
+// benchTargets builds one source and many candidate bitmaps the way the
+// DMC-bitmap phase 1 sees them: one column against its candidate list.
+func benchTargets(n, k int) (*Set, []*Set, []int) {
+	rng := rand.New(rand.NewSource(2))
+	s := New(n)
+	for i := 0; i < n/4; i++ {
+		s.Set(rng.Intn(n))
+	}
+	ts := make([]*Set, k)
+	for j := range ts {
+		ts[j] = New(n)
+		for i := 0; i < n/4; i++ {
+			ts[j].Set(rng.Intn(n))
+		}
+	}
+	return s, ts, make([]int, k)
+}
+
+func BenchmarkAndNotCountMany(b *testing.B) {
+	s, ts, out := benchTargets(1<<16, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AndNotCountMany(ts, out)
+	}
+}
+
+// BenchmarkAndNotCountPairwise is the unfused baseline AndNotCountMany
+// replaces: one full sweep of s per target.
+func BenchmarkAndNotCountPairwise(b *testing.B) {
+	s, ts, out := benchTargets(1<<16, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, t := range ts {
+			out[j] = s.AndNotCount(t)
+		}
+	}
+}

@@ -195,3 +195,88 @@ func TestQuickCountIdentities(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAndNotCountMany(t *testing.T) {
+	f := func(seed int64, nt uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		s := New(n)
+		for i := 0; i < n/3; i++ {
+			s.Set(rng.Intn(n))
+		}
+		ts := make([]*Set, int(nt)%9)
+		for k := range ts {
+			if rng.Intn(4) == 0 {
+				continue // nil target = empty set
+			}
+			t := New(n)
+			for i := 0; i < rng.Intn(n+1); i++ {
+				t.Set(rng.Intn(n))
+			}
+			ts[k] = t
+		}
+		out := make([]int, len(ts)+2)
+		out[len(ts)] = -7 // sentinel: extra slots must not be touched
+		s.AndNotCountMany(ts, out)
+		for k, tgt := range ts {
+			want := s.Count()
+			if tgt != nil {
+				want = s.AndNotCount(tgt)
+			}
+			if out[k] != want {
+				return false
+			}
+		}
+		return out[len(ts)] == -7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAndNotCountManyBlocked(t *testing.T) {
+	// Cross the blockWords boundary so the tiled path is exercised.
+	n := (blockWords + 3) * wordBits
+	rng := rand.New(rand.NewSource(9))
+	s := New(n)
+	ts := make([]*Set, 5)
+	for i := 0; i < n/2; i++ {
+		s.Set(rng.Intn(n))
+	}
+	for k := range ts {
+		if k == 2 {
+			continue
+		}
+		ts[k] = New(n)
+		for i := 0; i < n/2; i++ {
+			ts[k].Set(rng.Intn(n))
+		}
+	}
+	out := make([]int, len(ts))
+	s.AndNotCountMany(ts, out)
+	for k, tgt := range ts {
+		want := s.Count()
+		if tgt != nil {
+			want = s.AndNotCount(tgt)
+		}
+		if out[k] != want {
+			t.Errorf("target %d: got %d, want %d", k, out[k], want)
+		}
+	}
+}
+
+func TestAndNotCountManyPanics(t *testing.T) {
+	s := New(64)
+	mustPanic(t, "short out", func() { s.AndNotCountMany(make([]*Set, 3), make([]int, 2)) })
+	mustPanic(t, "size mismatch", func() { s.AndNotCountMany([]*Set{New(65)}, make([]int, 1)) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,61 @@
+package core
+
+// arena carves append-ready slices (length 0, fixed capacity) out of
+// geometrically growing blocks, so the steady-state candidate-list
+// churn of a scan never reaches the allocator. Carves are never freed
+// individually: a scan owns one arena per entry type and the whole
+// arena becomes garbage when the scan returns. Blocks start small and
+// double up to the configured maximum, so a scan that only ever needs a
+// few hundred entries pays a few hundred entries — while big scans
+// converge on large blocks and an O(log) number of allocations.
+// Requests larger than half the maximum block get their own allocation
+// so one huge list cannot strand most of a block.
+//
+// Together with the amortized-doubling growth policy in mergeOpen /
+// simMergeOpen (a list's backing at least doubles whenever it must
+// move), total arena consumption stays linear in the peak list sizes.
+type arena[T any] struct {
+	block    []T // len = carved prefix, cap = block size
+	blockLen int // next block size, doubling up to maxBlock
+	maxBlock int
+}
+
+// newArena returns an arena whose blocks double from maxBlock/32 up to
+// maxBlock entries.
+func newArena[T any](maxBlock int) *arena[T] {
+	first := maxBlock / 32
+	if first < 1 {
+		first = 1
+	}
+	return &arena[T]{blockLen: first, maxBlock: maxBlock}
+}
+
+// arenaBlockEntries is the default maximum block size for
+// candidate-list arenas: 8K entries = 64KB blocks for counting
+// candidates.
+const arenaBlockEntries = 8 << 10
+
+// alloc returns a zero-length slice with capacity at least n. The
+// three-index carve caps the result so appends beyond n can never
+// bleed into a neighbouring carve.
+func (a *arena[T]) alloc(n int) []T {
+	if a == nil {
+		return make([]T, 0, n)
+	}
+	if n > a.maxBlock/2 {
+		return make([]T, 0, n)
+	}
+	if cap(a.block)-len(a.block) < n {
+		bl := a.blockLen
+		if bl < n {
+			bl = n
+		}
+		a.block = make([]T, 0, bl)
+		if a.blockLen*2 <= a.maxBlock {
+			a.blockLen *= 2
+		}
+	}
+	off := len(a.block)
+	a.block = a.block[:off+n]
+	return a.block[off : off : off+n]
+}

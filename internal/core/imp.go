@@ -79,7 +79,7 @@ func dmcImp(src Source, ones []int, minconf Threshold, opts Options, prescan tim
 	if opts.SingleScan {
 		// Ablation: plain DMC-base over every column, no 100% split.
 		t0 := time.Now()
-		impScan(src.Pass(), mcols, ones, supportAlive, nil, minconf, opts, memLT, &st, emit)
+		impScan(src.Pass(), mcols, ones, supportAlive, nil, minconf, opts, nil, memLT, &st, emit)
 		st.PhaseLT = time.Since(t0)
 		st.BitmapLT = st.Bitmap
 		st.ColumnsAfterCutoff = mcols
@@ -87,7 +87,7 @@ func dmcImp(src Source, ones []int, minconf Threshold, opts Options, prescan tim
 		opts.Hooks.emitSwitch("imp", "lt", st.SwitchPosLT)
 	} else {
 		t0 := time.Now()
-		imp100Scan(src.Pass(), mcols, ones, supportAlive, nil, opts, mem100, &st, emit)
+		imp100Scan(src.Pass(), mcols, ones, supportAlive, nil, opts, nil, mem100, &st, emit)
 		st.Phase100 = time.Since(t0)
 		st.Bitmap100 = st.Bitmap
 		opts.Hooks.emitPhase("imp", "100", st.Phase100)
@@ -103,7 +103,7 @@ func dmcImp(src Source, ones []int, minconf Threshold, opts Options, prescan tim
 					st.ColumnsAfterCutoff++
 				}
 			}
-			impScan(src.Pass(), mcols, ones, alive, nil, minconf, opts, memLT, &st, func(r rules.Implication) {
+			impScan(src.Pass(), mcols, ones, alive, nil, minconf, opts, nil, memLT, &st, func(r rules.Implication) {
 				if r.Hits < r.Ones { // 100%-confidence rules came from the first phase
 					emit(r)
 				}

@@ -16,13 +16,15 @@ import (
 // 100%-confidence rule. List entries are bare ids (4 bytes each in the
 // paper's memory model). alive, when non-nil, masks out support-pruned
 // columns; owned, when non-nil, restricts antecedents to the worker's
-// columns (parallel pipeline).
-func imp100Scan(rows Rows, mcols int, ones []int, alive, owned []bool, opts Options, mem *memMeter, st *Stats, emit func(rules.Implication)) {
+// columns (parallel pipeline); share, when non-nil, is the shared
+// tail-bitmap coordinator.
+func imp100Scan(rows Rows, mcols int, ones []int, alive, owned []bool, opts Options, share *tailShare, mem *memMeter, st *Stats, emit func(rules.Implication)) {
 	rk := ranker{ones}
 	cnt := make([]int, mcols)
 	cand := make([][]matrix.Col, mcols)
 	hasList := make([]bool, mcols)
 	released := make([]bool, mcols)
+	ar := newArena[matrix.Col](arenaBlockEntries)
 
 	bmMaxRows, bmMinBytes := opts.bitmapMaxRows(), opts.bitmapMinBytes()
 	rowBuf := make([]matrix.Col, 0, 256)
@@ -30,7 +32,7 @@ func imp100Scan(rows Rows, mcols int, ones []int, alive, owned []bool, opts Opti
 	for pos := 0; pos < n; pos++ {
 		if !opts.DisableBitmap && n-pos <= bmMaxRows && mem.bytes > bmMinBytes {
 			start := time.Now()
-			imp100Bitmap(rows, pos, mcols, ones, alive, owned, cnt, cand, hasList, released, rk, mem, st, emit)
+			imp100Bitmap(rows, pos, mcols, ones, alive, owned, cnt, cand, hasList, released, rk, share, mem, st, emit)
 			st.Bitmap += time.Since(start)
 			if st.SwitchPos100 < 0 {
 				st.SwitchPos100 = pos
@@ -42,7 +44,11 @@ func imp100Scan(rows Rows, mcols int, ones []int, alive, owned []bool, opts Opti
 			switch {
 			case released[cj] || (owned != nil && !owned[cj]):
 			case !hasList[cj]:
-				lst := make([]matrix.Col, 0, len(row))
+				// Pessimistic len(row) sizing (as a heap make would
+				// use): the 3-index carve strands at most the same
+				// capacity HEAD's make(0, len(row)) did, without the
+				// allocation.
+				lst := ar.alloc(len(row))
 				for _, ck := range row {
 					if rk.less(cj, ck) {
 						lst = append(lst, ck)
@@ -92,11 +98,14 @@ func intersectIDs(lst, row []matrix.Col, mem *memMeter, st *Stats) []matrix.Col 
 
 // imp100Bitmap is the simplified DMC-bitmap of §4.3. Phase 1: a listed
 // candidate survives iff the column's tail rows are a subset of the
-// candidate's (no tail miss). Phase 2 covers columns whose first 1 lies
-// in the tail: every one of their rows must contain the consequent.
-func imp100Bitmap(rows Rows, pos, mcols int, ones []int, alive, owned []bool, cnt []int, cand [][]matrix.Col, hasList, released []bool, rk ranker, mem *memMeter, st *Stats, emit func(rules.Implication)) {
-	tail, bms := tailBitmaps(rows, pos, mcols, alive)
+// candidate's (no tail miss), decided by one blocked AndNotCountMany
+// sweep per column. Phase 2 covers columns whose first 1 lies in the
+// tail: every one of their rows must contain the consequent.
+func imp100Bitmap(rows Rows, pos, mcols int, ones []int, alive, owned []bool, cnt []int, cand [][]matrix.Col, hasList, released []bool, rk ranker, share *tailShare, mem *memMeter, st *Stats, emit func(rules.Implication)) {
+	tail, bms := share.get(rows, pos, mcols, alive, st)
 	empty := bitset.New(len(tail))
+	var targets []*bitset.Set
+	var counts []int
 	for cj := 0; cj < mcols; cj++ {
 		if !hasList[cj] || released[cj] {
 			continue
@@ -105,12 +114,17 @@ func imp100Bitmap(rows Rows, pos, mcols int, ones []int, alive, owned []bool, cn
 		if bmj == nil {
 			bmj = empty
 		}
+		targets = targets[:0]
 		for _, ck := range cand[cj] {
-			bmk := bms[ck]
-			if bmk == nil {
-				bmk = empty
-			}
-			if bmj.AndNotCount(bmk) == 0 {
+			targets = append(targets, bms[ck])
+		}
+		if cap(counts) < len(targets) {
+			counts = make([]int, len(targets))
+		}
+		counts = counts[:len(targets)]
+		bmj.AndNotCountMany(targets, counts)
+		for k, ck := range cand[cj] {
+			if counts[k] == 0 {
 				emit(rules.Implication{From: matrix.Col(cj), To: ck, Hits: ones[cj], Ones: ones[cj]})
 			}
 		}

@@ -35,11 +35,12 @@ func (r ranker) less(a, b matrix.Col) bool {
 // masked columns neither open candidate lists nor appear as candidates.
 // owned, when non-nil, restricts which columns act as antecedents —
 // the column-partitioning hook used by the parallel pipeline; a
-// non-owned column can still appear as a consequent. Every rule with
-// confidence ≥ t whose antecedent is alive and owned is emitted exactly
-// once (including 100%-confidence ones; DMC-imp filters those out when
-// this scan runs as its second phase).
-func impScan(rows Rows, mcols int, ones []int, alive, owned []bool, t Threshold, opts Options, mem *memMeter, st *Stats, emit func(rules.Implication)) {
+// non-owned column can still appear as a consequent. share, when
+// non-nil, is the parallel pipelines' shared tail-bitmap coordinator.
+// Every rule with confidence ≥ t whose antecedent is alive and owned is
+// emitted exactly once (including 100%-confidence ones; DMC-imp filters
+// those out when this scan runs as its second phase).
+func impScan(rows Rows, mcols int, ones []int, alive, owned []bool, t Threshold, opts Options, share *tailShare, mem *memMeter, st *Stats, emit func(rules.Implication)) {
 	rk := ranker{ones}
 	maxmis := make([]int, mcols)
 	for c := 0; c < mcols; c++ {
@@ -49,6 +50,7 @@ func impScan(rows Rows, mcols int, ones []int, alive, owned []bool, t Threshold,
 	cand := make([][]candEntry, mcols)
 	hasList := make([]bool, mcols)
 	released := make([]bool, mcols)
+	ar := newArena[candEntry](arenaBlockEntries)
 
 	bmMaxRows, bmMinBytes := opts.bitmapMaxRows(), opts.bitmapMinBytes()
 	rowBuf := make([]matrix.Col, 0, 256)
@@ -56,7 +58,7 @@ func impScan(rows Rows, mcols int, ones []int, alive, owned []bool, t Threshold,
 	for pos := 0; pos < n; pos++ {
 		if !opts.DisableBitmap && n-pos <= bmMaxRows && mem.bytes > bmMinBytes {
 			start := time.Now()
-			impBitmap(rows, pos, mcols, ones, alive, owned, maxmis, cnt, cand, hasList, released, rk, mem, st, emit)
+			impBitmap(rows, pos, mcols, ones, alive, owned, maxmis, cnt, cand, hasList, released, rk, share, mem, st, emit)
 			st.Bitmap += time.Since(start)
 			if st.SwitchPosLT < 0 {
 				st.SwitchPosLT = pos
@@ -71,8 +73,10 @@ func impScan(rows Rows, mcols int, ones []int, alive, owned []bool, t Threshold,
 				// non-owned columns belong to another worker.
 			case !hasList[cj]:
 				// First 1 of cj (cnt is 0): every higher-rank column of
-				// this row becomes a candidate with zero misses.
-				lst := make([]candEntry, 0, len(row))
+				// this row becomes a candidate with zero misses. Sized
+				// pessimistically at len(row); the carve caps capacity
+				// so the strand cannot bleed into later lists.
+				lst := ar.alloc(len(row))
 				for _, ck := range row {
 					if rk.less(cj, ck) {
 						lst = append(lst, candEntry{ck, 0})
@@ -83,7 +87,7 @@ func impScan(rows Rows, mcols int, ones []int, alive, owned []bool, t Threshold,
 				st.CandidatesAdded += len(lst)
 				mem.add(len(lst), entryBytes)
 			case cnt[cj] <= maxmis[cj]:
-				cand[cj] = mergeOpen(cand[cj], row, cj, cnt[cj], maxmis[cj], rk, mem, st)
+				cand[cj] = mergeOpen(ar, cand[cj], row, cj, cnt[cj], maxmis[cj], rk, mem, st)
 			default:
 				cand[cj] = mergeClosed(cand[cj], row, maxmis[cj], mem, st)
 			}
@@ -120,31 +124,50 @@ func filterRow(row []matrix.Col, alive []bool, buf *[]matrix.Col) []matrix.Col {
 	return out
 }
 
+// shiftTail makes room for a merge that has compacted lst[:i] into out
+// (out aliases lst's front, len(out) ≤ i) and now must insert `added`
+// more entries among the unread suffix lst[i:]. The suffix is
+// relocated to the back of a buffer sized for the upper bound
+// len(out)+rem+added — lst itself when its capacity suffices, otherwise
+// an at-least-doubled arena carve (so a list's backing moves O(log)
+// times over its lifetime and the steady state never allocates). The
+// caller resumes writing at len(res) and reading src from its front;
+// the write position can never pass the unread entries: writes ≤
+// len(out) + added + suffix-consumed = src start + suffix-consumed.
+// copy is memmove-safe in the aliased case for either shift direction.
+func shiftTail(ar *arena[candEntry], lst, out []candEntry, i, added int) (res, src []candEntry) {
+	rem := len(lst) - i
+	need := len(out) + rem + added
+	var buf []candEntry
+	if cap(lst) < need {
+		grown := 2 * cap(lst)
+		if grown < need {
+			grown = need
+		}
+		buf = ar.alloc(grown)[:need]
+		copy(buf, out)
+	} else {
+		buf = lst[:need]
+	}
+	src = buf[need-rem:]
+	copy(src, lst[i:])
+	return buf[:len(out)], src
+}
+
 // mergeOpen handles the cnt ≤ maxmis case of Algorithm 3.1: walk the
 // candidate list and the row together; columns only in the row join the
 // list with cnt pre-counted misses, candidates absent from the row take
 // a miss (and are deleted if they overflow the budget — see DESIGN.md
 // §3 on why the delete also applies here).
-func mergeOpen(lst []candEntry, row []matrix.Col, cj matrix.Col, cntj, maxmisj int, rk ranker, mem *memMeter, st *Stats) []candEntry {
-	// Count the insertions first: most rows add nothing to an
-	// established list, and then the merge can compact in place with no
-	// allocation (insertions happen strictly left-to-right, and the
-	// write position can never overtake the read position when there
-	// are none).
-	added := 0
-	i := 0
-	for _, ck := range row {
-		for i < len(lst) && lst[i].col < ck {
-			i++
-		}
-		if (i == len(lst) || lst[i].col != ck) && rk.less(cj, ck) {
-			added++
-		}
-	}
+//
+// The merge compacts in place until the first insertion — deletions
+// only shrink, so writes cannot overtake reads — and only then counts
+// the remaining additions, makes room once via shiftTail, and finishes
+// on the slow path. Insertions are rare in steady state (a candidate
+// must be brand new for cj), so the common case is one allocation-free
+// pass.
+func mergeOpen(ar *arena[candEntry], lst []candEntry, row []matrix.Col, cj matrix.Col, cntj, maxmisj int, rk ranker, mem *memMeter, st *Stats) []candEntry {
 	out := lst[:0]
-	if added > 0 {
-		out = make([]candEntry, 0, len(lst)+added)
-	}
 	deleted := 0
 	i, j := 0, 0
 	for i < len(lst) || j < len(row) {
@@ -159,14 +182,57 @@ func mergeOpen(lst []candEntry, row []matrix.Col, cj matrix.Col, cntj, maxmisj i
 			}
 			out = append(out, e)
 		case i >= len(lst) || row[j] < lst[i].col:
+			if rk.less(cj, row[j]) {
+				return mergeOpenInsert(ar, lst, out, row, i, j, cj, cntj, maxmisj, rk, deleted, mem, st)
+			}
+			j++
+		default: // present on both sides: a hit, no counter change
+			out = append(out, lst[i])
+			i++
+			j++
+		}
+	}
+	st.CandidatesDeleted += deleted
+	mem.remove(deleted, entryBytes)
+	return out
+}
+
+// mergeOpenInsert finishes a mergeOpen from the first insertion point:
+// row[j] is a new candidate not yet consumed, lst[i:] is the unread
+// suffix, out the compacted prefix.
+func mergeOpenInsert(ar *arena[candEntry], lst, out []candEntry, row []matrix.Col, i, j int, cj matrix.Col, cntj, maxmisj int, rk ranker, deleted int, mem *memMeter, st *Stats) []candEntry {
+	added := 0
+	for ii, jj := i, j; jj < len(row); jj++ {
+		ck := row[jj]
+		for ii < len(lst) && lst[ii].col < ck {
+			ii++
+		}
+		if (ii == len(lst) || lst[ii].col != ck) && rk.less(cj, ck) {
+			added++
+		}
+	}
+	out, src := shiftTail(ar, lst, out, i, added)
+	si := 0
+	for si < len(src) || j < len(row) {
+		switch {
+		case j >= len(row) || (si < len(src) && src[si].col < row[j]):
+			e := src[si]
+			si++
+			e.miss++
+			if int(e.miss) > maxmisj {
+				deleted++
+				continue
+			}
+			out = append(out, e)
+		case si >= len(src) || row[j] < src[si].col:
 			ck := row[j]
 			j++
 			if rk.less(cj, ck) {
 				out = append(out, candEntry{ck, int32(cntj)})
 			}
-		default: // present on both sides: a hit, no counter change
-			out = append(out, lst[i])
-			i++
+		default:
+			out = append(out, src[si])
+			si++
 			j++
 		}
 	}
@@ -204,13 +270,38 @@ func mergeClosed(lst []candEntry, row []matrix.Col, maxmisj int, mem *memMeter, 
 	return out
 }
 
+// tailCounter batches the phase-1 AND-NOT counts of a bitmap phase
+// through the blocked bitset.AndNotCountMany kernel, reusing its
+// scratch across columns. nil bitmaps (columns absent from the tail)
+// are passed through — the kernel treats them as empty sets.
+type tailCounter struct {
+	targets []*bitset.Set
+	counts  []int
+}
+
+// misses returns, for each candidate on lst, |bmj ∧ ¬bm(cand)| over the
+// tail rows. The returned slice is valid until the next call.
+func (tc *tailCounter) misses(bmj *bitset.Set, lst []candEntry, bms []*bitset.Set) []int {
+	tc.targets = tc.targets[:0]
+	for _, e := range lst {
+		tc.targets = append(tc.targets, bms[e.col])
+	}
+	if cap(tc.counts) < len(tc.targets) {
+		tc.counts = make([]int, len(tc.targets))
+	}
+	tc.counts = tc.counts[:len(tc.targets)]
+	bmj.AndNotCountMany(tc.targets, tc.counts)
+	return tc.counts
+}
+
 // impBitmap is DMC-bitmap (Algorithm 4.1): materialize the remaining
 // rows as one bitmap per live column, then decide every still-open rule
 // with bitwise counting.
 //
 // Phase 1 covers columns that can no longer accept candidates
 // (cnt > maxmis): each listed candidate's total misses are its counter
-// plus the tail misses |bm(cj) ∧ ¬bm(ck)|.
+// plus the tail misses |bm(cj) ∧ ¬bm(ck)|, batched per column through
+// the blocked AndNotCountMany kernel.
 //
 // Phase 2 covers columns that still could (cnt ≤ maxmis): hit counters
 // seeded from the candidate list (hits so far = cnt − miss) plus
@@ -218,9 +309,10 @@ func mergeClosed(lst []candEntry, row []matrix.Col, maxmisj int, mem *memMeter, 
 // ones(cj) − maxmis(cj) hits is a rule. Columns not on the list have
 // zero pre-switch hits by the list-completeness invariant, so seeding
 // only from the list is exact.
-func impBitmap(rows Rows, pos, mcols int, ones []int, alive, owned []bool, maxmis, cnt []int, cand [][]candEntry, hasList, released []bool, rk ranker, mem *memMeter, st *Stats, emit func(rules.Implication)) {
-	tail, bms := tailBitmaps(rows, pos, mcols, alive)
+func impBitmap(rows Rows, pos, mcols int, ones []int, alive, owned []bool, maxmis, cnt []int, cand [][]candEntry, hasList, released []bool, rk ranker, share *tailShare, mem *memMeter, st *Stats, emit func(rules.Implication)) {
+	tail, bms := share.get(rows, pos, mcols, alive, st)
 	empty := bitset.New(len(tail))
+	var tc tailCounter
 
 	// Phase 1: closed columns.
 	for cj := 0; cj < mcols; cj++ {
@@ -231,12 +323,9 @@ func impBitmap(rows Rows, pos, mcols int, ones []int, alive, owned []bool, maxmi
 		if bmj == nil {
 			bmj = empty
 		}
-		for _, e := range cand[cj] {
-			bmk := bms[e.col]
-			if bmk == nil {
-				bmk = empty
-			}
-			total := int(e.miss) + bmj.AndNotCount(bmk)
+		tailMiss := tc.misses(bmj, cand[cj], bms)
+		for k, e := range cand[cj] {
+			total := int(e.miss) + tailMiss[k]
 			if total <= maxmis[cj] {
 				emit(rules.Implication{From: matrix.Col(cj), To: e.col, Hits: ones[cj] - total, Ones: ones[cj]})
 			}
@@ -277,22 +366,27 @@ func impBitmap(rows Rows, pos, mcols int, ones []int, alive, owned []bool, maxmi
 
 // tailBitmaps reads the remaining rows rows[pos:] (masked by alive) and
 // returns copies of them along with a lazily-allocated bitmap per
-// column that appears in them, indexed by tail offset. Rows are copied
-// because Rows implementations may reuse their row buffers.
-func tailBitmaps(rows Rows, pos, mcols int, alive []bool) ([][]matrix.Col, []*bitset.Set) {
+// column that appears in them, indexed by tail offset, plus the bytes
+// materialized (tail cells + bitmap payloads — the figure tailShare
+// de-duplicates across workers). Rows are copied because Rows
+// implementations may reuse their row buffers.
+func tailBitmaps(rows Rows, pos, mcols int, alive []bool) ([][]matrix.Col, []*bitset.Set, int) {
 	rem := rows.Len() - pos
 	tail := make([][]matrix.Col, rem)
 	bms := make([]*bitset.Set, mcols)
+	bytes := 0
 	var buf []matrix.Col
 	for o := 0; o < rem; o++ {
 		row := filterRow(rows.Row(pos+o), alive, &buf)
 		tail[o] = append([]matrix.Col(nil), row...)
+		bytes += 4 * len(row)
 		for _, c := range row {
 			if bms[c] == nil {
 				bms[c] = bitset.New(rem)
+				bytes += bms[c].Bytes()
 			}
 			bms[c].Set(o)
 		}
 	}
-	return tail, bms
+	return tail, bms, bytes
 }

@@ -98,7 +98,7 @@ func TestQuickMergeOpenModel(t *testing.T) {
 
 		var st Stats
 		mem := &memMeter{}
-		got := mergeOpen(lst, row, cj, cnt, maxMiss, rk, mem, &st)
+		got := mergeOpen(nil, lst, row, cj, cnt, maxMiss, rk, mem, &st)
 		return reflect.DeepEqual(append([]candEntry{}, got...), mapToList(model))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"dmc/internal/matrix"
+)
+
+// mergeBenchEnv builds a steady-state merge scenario: column 0 is the
+// lowest-rank antecedent with K listed candidates, and hitRow contains
+// the antecedent plus every candidate (all hits, nothing to add), while
+// missRow drops half of them (misses, still nothing to add). With a
+// generous miss budget the list composition never changes, which is
+// exactly the shape the hot loop sees between rare insertions.
+func mergeBenchEnv(k int) (lst []candEntry, hitRow, missRow []matrix.Col, rk ranker) {
+	ones := make([]int, k+1)
+	ones[0] = 10
+	for c := 1; c <= k; c++ {
+		ones[c] = 100
+	}
+	lst = make([]candEntry, k)
+	hitRow = make([]matrix.Col, 0, k+1)
+	hitRow = append(hitRow, 0)
+	missRow = append(missRow, 0)
+	for c := 1; c <= k; c++ {
+		lst[c-1] = candEntry{matrix.Col(c), 0}
+		hitRow = append(hitRow, matrix.Col(c))
+		if c%2 == 0 {
+			missRow = append(missRow, matrix.Col(c))
+		}
+	}
+	return lst, hitRow, missRow, ranker{ones}
+}
+
+const benchMaxMiss = 1 << 30 // never delete: keeps the list in steady state
+
+func BenchmarkMergeOpenHits(b *testing.B) {
+	lst, hitRow, _, rk := mergeBenchEnv(64)
+	ar := newArena[candEntry](arenaBlockEntries)
+	mem := &memMeter{}
+	var st Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lst = mergeOpen(ar, lst, hitRow, 0, 1, benchMaxMiss, rk, mem, &st)
+	}
+}
+
+func BenchmarkMergeOpenMisses(b *testing.B) {
+	lst, _, missRow, rk := mergeBenchEnv(64)
+	ar := newArena[candEntry](arenaBlockEntries)
+	mem := &memMeter{}
+	var st Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lst = mergeOpen(ar, lst, missRow, 0, 1, benchMaxMiss, rk, mem, &st)
+	}
+}
+
+func BenchmarkMergeClosed(b *testing.B) {
+	lst, _, missRow, _ := mergeBenchEnv(64)
+	mem := &memMeter{}
+	var st Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lst = mergeClosed(lst, missRow, benchMaxMiss, mem, &st)
+	}
+}
+
+// BenchmarkMergeOpenGrow measures the insertion path: each iteration
+// rebuilds a 64-entry list one candidate at a time through the
+// amortized-doubling arena carves, so allocs/op reports the whole
+// growth cost of a list's lifetime (a handful of carves, not one per
+// merge).
+func BenchmarkMergeOpenGrow(b *testing.B) {
+	_, hitRow, _, rk := mergeBenchEnv(64)
+	ar := newArena[candEntry](arenaBlockEntries)
+	mem := &memMeter{}
+	var st Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var lst []candEntry
+		for j := 2; j < len(hitRow); j++ {
+			lst = mergeOpen(ar, lst, hitRow[:j], 0, 1, benchMaxMiss, rk, mem, &st)
+		}
+	}
+}
+
+func BenchmarkSimMergeOpenHits(b *testing.B) {
+	lst, hitRow, _, rk := mergeBenchEnv(64)
+	ar := newArena[candEntry](arenaBlockEntries)
+	mem := &memMeter{}
+	var st Stats
+	budget := func(cj, ck matrix.Col) int { return benchMaxMiss }
+	okFn := func(cj, ck matrix.Col, miss int) bool { return true }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lst = simMergeOpen(ar, lst, hitRow, 0, 1, rk, budget, okFn, mem, &st)
+	}
+}
+
+// The steady state must not touch the allocator at all: a list whose
+// capacity has caught up with its size merges with zero allocations,
+// whether the row hits or misses its candidates.
+func TestMergeSteadyStateZeroAlloc(t *testing.T) {
+	lst, hitRow, missRow, rk := mergeBenchEnv(64)
+	ar := newArena[candEntry](arenaBlockEntries)
+	mem := &memMeter{}
+	var st Stats
+	if n := testing.AllocsPerRun(100, func() {
+		lst = mergeOpen(ar, lst, hitRow, 0, 1, benchMaxMiss, rk, mem, &st)
+	}); n != 0 {
+		t.Errorf("mergeOpen hits: %.1f allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		lst = mergeOpen(ar, lst, missRow, 0, 1, benchMaxMiss, rk, mem, &st)
+	}); n != 0 {
+		t.Errorf("mergeOpen misses: %.1f allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		lst = mergeClosed(lst, missRow, benchMaxMiss, mem, &st)
+	}); n != 0 {
+		t.Errorf("mergeClosed: %.1f allocs/op, want 0", n)
+	}
+	budget := func(cj, ck matrix.Col) int { return benchMaxMiss }
+	okFn := func(cj, ck matrix.Col, miss int) bool { return true }
+	if n := testing.AllocsPerRun(100, func() {
+		lst = simMergeOpen(ar, lst, hitRow, 0, 1, rk, budget, okFn, mem, &st)
+	}); n != 0 {
+		t.Errorf("simMergeOpen hits: %.1f allocs/op, want 0", n)
+	}
+}

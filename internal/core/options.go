@@ -187,6 +187,12 @@ type Stats struct {
 	// plot the counting phase's array (PeakLT), since the 100%-rule
 	// lists carry no counters.
 	PeakCounterBytes, Peak100, PeakLT int
+	// TailBitmapBytes is the memory materialized by DMC-bitmap switches
+	// (tail row copies + column bitmaps), summed over both phases. The
+	// parallel pipelines build each tail once and share it read-only
+	// across workers, so this figure stays flat as workers grow instead
+	// of scaling W-fold.
+	TailBitmapBytes int
 	// SwitchPos100 and SwitchPosLT are the scan positions at which the
 	// respective phases switched to DMC-bitmap, or -1.
 	SwitchPos100, SwitchPosLT int

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -8,13 +10,28 @@ import (
 	"dmc/internal/rules"
 )
 
+// ResolveWorkers maps the public "workers" knob to a concrete worker
+// count: values below 1 mean auto — one worker per schedulable CPU
+// (GOMAXPROCS). Callers that expose a -workers flag pass it through
+// unchanged so 0 uniformly means "use the whole machine".
+func ResolveWorkers(workers int) int {
+	if workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
 // DMCImpParallel is the divide-and-conquer parallelization the paper's
-// §7 proposes (after FDM): columns are partitioned round-robin across
-// workers, and each worker runs the full DMC-imp pipeline but maintains
-// candidate lists — and therefore emits rules — only for the
-// antecedent columns it owns. Every worker scans all the rows (the
-// scan is read-only and shared), so the result is exactly DMCImp's; the
-// counter-array memory is what gets divided.
+// §7 proposes (after FDM): columns are partitioned across workers (a
+// snake walk over the ones-sorted columns, so dense columns spread
+// evenly), and each worker runs the full DMC-imp pipeline but maintains
+// candidate lists — and therefore emits rules — only for the antecedent
+// columns it owns. The scan itself is shared, not duplicated: masked
+// row streams are prefiltered once per phase and read by all workers,
+// and the DMC-bitmap tail is built once per switch position
+// (tailShare) instead of per worker. workers ≤ 0 means one worker per
+// CPU. The result is exactly DMCImp's; the counter-array memory is
+// what gets divided.
 //
 // Stats are aggregated: phase durations are the wall-clock times of the
 // parallel phases, candidate counts are summed across workers, and the
@@ -22,9 +39,7 @@ import (
 // taken from the first worker that switched.
 func DMCImpParallel(m *matrix.Matrix, minconf Threshold, opts Options, workers int) ([]rules.Implication, Stats) {
 	minconf.check()
-	if workers < 1 {
-		workers = 1
-	}
+	workers = ResolveWorkers(workers)
 	var st Stats
 	st.SwitchPos100, st.SwitchPosLT = -1, -1
 	start := time.Now()
@@ -32,18 +47,27 @@ func DMCImpParallel(m *matrix.Matrix, minconf Threshold, opts Options, workers i
 	ones := m.Ones()
 	order := opts.Order.order(m)
 	mcols := m.NumCols()
-	owned := ownership(mcols, workers)
+	owned := ownership(ones, workers)
 	supportAlive := opts.supportMask(ones)
+	base := Rows(matrixRows{m, order})
+	rows100 := base
+	if supportAlive != nil {
+		// Shared scan: run the mask filter once, not once per worker
+		// per row; workers then scan the prefiltered stream unmasked.
+		rows100 = prefilterRows(base, supportAlive)
+	}
 	st.Prescan = time.Since(start)
 	opts.Hooks.emitPhase("imp-parallel", "prescan", st.Prescan)
 
 	perWorker := make([]workerState[rules.Implication], workers)
 
 	t0 := time.Now()
+	share100 := newTailShare()
 	runWorkers(workers, func(w int) {
 		ws := &perWorker[w]
 		ws.mem = &memMeter{}
-		imp100Scan(matrixRows{m, order}, mcols, ones, supportAlive, owned[w], opts, ws.mem, &ws.st, func(r rules.Implication) {
+		ws.st.SwitchPos100, ws.st.SwitchPosLT = -1, -1
+		imp100Scan(rows100, mcols, ones, nil, owned[w], opts, share100, ws.mem, &ws.st, func(r rules.Implication) {
 			ws.out = append(ws.out, r)
 		})
 	})
@@ -63,11 +87,14 @@ func DMCImpParallel(m *matrix.Matrix, minconf Threshold, opts Options, workers i
 				st.ColumnsAfterCutoff++
 			}
 		}
+		rowsLT := Rows(prefilterRows(base, alive))
+		shareLT := newTailShare()
 		perWorker = make([]workerState[rules.Implication], workers)
 		runWorkers(workers, func(w int) {
 			ws := &perWorker[w]
 			ws.mem = &memMeter{}
-			impScan(matrixRows{m, order}, mcols, ones, alive, owned[w], minconf, opts, ws.mem, &ws.st, func(r rules.Implication) {
+			ws.st.SwitchPos100, ws.st.SwitchPosLT = -1, -1
+			impScan(rowsLT, mcols, ones, nil, owned[w], minconf, opts, shareLT, ws.mem, &ws.st, func(r rules.Implication) {
 				if r.Hits < r.Ones {
 					ws.out = append(ws.out, r)
 				}
@@ -91,9 +118,7 @@ func DMCImpParallel(m *matrix.Matrix, minconf Threshold, opts Options, workers i
 // the smaller column of each candidate pair.
 func DMCSimParallel(m *matrix.Matrix, minsim Threshold, opts Options, workers int) ([]rules.Similarity, Stats) {
 	minsim.check()
-	if workers < 1 {
-		workers = 1
-	}
+	workers = ResolveWorkers(workers)
 	var st Stats
 	st.SwitchPos100, st.SwitchPosLT = -1, -1
 	start := time.Now()
@@ -101,18 +126,25 @@ func DMCSimParallel(m *matrix.Matrix, minsim Threshold, opts Options, workers in
 	ones := m.Ones()
 	order := opts.Order.order(m)
 	mcols := m.NumCols()
-	owned := ownership(mcols, workers)
+	owned := ownership(ones, workers)
 	supportAlive := opts.supportMask(ones)
+	base := Rows(matrixRows{m, order})
+	rows100 := base
+	if supportAlive != nil {
+		rows100 = prefilterRows(base, supportAlive)
+	}
 	st.Prescan = time.Since(start)
 	opts.Hooks.emitPhase("sim-parallel", "prescan", st.Prescan)
 
 	perWorker := make([]workerState[rules.Similarity], workers)
 
 	t0 := time.Now()
+	share100 := newTailShare()
 	runWorkers(workers, func(w int) {
 		ws := &perWorker[w]
 		ws.mem = &memMeter{}
-		sim100Scan(matrixRows{m, order}, mcols, ones, supportAlive, owned[w], opts, ws.mem, &ws.st, func(r rules.Similarity) {
+		ws.st.SwitchPos100, ws.st.SwitchPosLT = -1, -1
+		sim100Scan(rows100, mcols, ones, nil, owned[w], opts, share100, ws.mem, &ws.st, func(r rules.Similarity) {
 			ws.out = append(ws.out, r)
 		})
 	})
@@ -132,11 +164,14 @@ func DMCSimParallel(m *matrix.Matrix, minsim Threshold, opts Options, workers in
 				st.ColumnsAfterCutoff++
 			}
 		}
+		rowsLT := Rows(prefilterRows(base, alive))
+		shareLT := newTailShare()
 		perWorker = make([]workerState[rules.Similarity], workers)
 		runWorkers(workers, func(w int) {
 			ws := &perWorker[w]
 			ws.mem = &memMeter{}
-			simScan(matrixRows{m, order}, mcols, ones, alive, owned[w], minsim, opts, ws.mem, &ws.st, func(r rules.Similarity) {
+			ws.st.SwitchPos100, ws.st.SwitchPosLT = -1, -1
+			simScan(rowsLT, mcols, ones, nil, owned[w], minsim, opts, shareLT, ws.mem, &ws.st, func(r rules.Similarity) {
 				if !(r.Hits == r.OnesA && r.OnesA == r.OnesB) {
 					ws.out = append(ws.out, r)
 				}
@@ -162,19 +197,37 @@ type workerState[R any] struct {
 	mem *memMeter
 }
 
-// ownership assigns columns round-robin: worker w owns column c iff
-// c mod workers == w. Round-robin balances well because neighboring
-// column ids have no systematic density relationship.
-func ownership(mcols, workers int) [][]bool {
+// ownership partitions the columns across workers with a snake
+// (boustrophedon) walk over the columns sorted by descending 1-count:
+// density ranks 0..W-1 go to workers 0..W-1, ranks W..2W-1 come back
+// W-1..0, and so on. Every worker therefore holds an equal slice of
+// every density stratum — round-robin over raw column ids balances
+// counts but lets a run of dense columns land on one worker; the snake
+// bounds the per-worker ones-sum imbalance by a single column's count.
+func ownership(ones []int, workers int) [][]bool {
+	mcols := len(ones)
 	if workers == 1 {
 		return [][]bool{nil} // nil mask = own everything, no per-row check
 	}
+	idx := make([]int, mcols)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		oa, ob := ones[idx[a]], ones[idx[b]]
+		return oa > ob || (oa == ob && idx[a] < idx[b])
+	})
 	owned := make([][]bool, workers)
 	for w := range owned {
 		owned[w] = make([]bool, mcols)
 	}
-	for c := 0; c < mcols; c++ {
-		owned[c%workers][c] = true
+	for rank, c := range idx {
+		lap, off := rank/workers, rank%workers
+		w := off
+		if lap%2 == 1 {
+			w = workers - 1 - off
+		}
+		owned[w][c] = true
 	}
 	return owned
 }
@@ -191,22 +244,25 @@ func runWorkers(workers int, f func(w int)) {
 	wg.Wait()
 }
 
-// collect merges per-worker stats into the aggregate.
+// collect merges per-worker stats into the aggregate. TailBitmapBytes
+// sums to the bytes built exactly once per switch position: tailShare
+// charges only the building worker.
 func collect[R any](st *Stats, ws []workerState[R], phase100 bool) {
 	for i := range ws {
 		w := &ws[i]
 		st.CandidatesAdded += w.st.CandidatesAdded
 		st.CandidatesDeleted += w.st.CandidatesDeleted
+		st.TailBitmapBytes += w.st.TailBitmapBytes
 		if phase100 {
 			st.Peak100 += w.mem.peak
 			st.Bitmap100 += w.st.Bitmap
-			if st.SwitchPos100 < 0 {
+			if st.SwitchPos100 < 0 && w.st.SwitchPos100 >= 0 {
 				st.SwitchPos100 = w.st.SwitchPos100
 			}
 		} else {
 			st.PeakLT += w.mem.peak
 			st.BitmapLT += w.st.Bitmap
-			if st.SwitchPosLT < 0 {
+			if st.SwitchPosLT < 0 && w.st.SwitchPosLT >= 0 {
 				st.SwitchPosLT = w.st.SwitchPosLT
 			}
 		}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sync"
+
+	"dmc/internal/bitset"
+	"dmc/internal/matrix"
+)
+
+// This file is the shared-scan layer for the parallel pipelines. §7
+// divides the counter array across workers, but two structures must NOT
+// be divided: the filtered row stream and the DMC-bitmap tail. Before
+// this layer, every worker re-ran the alive-mask filter over every row
+// and built a private copy of the tail bitmaps — W-fold redundant work
+// and W-fold bitmap memory at W workers. Here both are materialized
+// once and shared read-only.
+
+// flatRows is a materialized row set in scan order with masked columns
+// already dropped, stored as one flat column array plus offsets. It is
+// immutable after prefilterRows returns, so any number of workers can
+// scan it concurrently, each at its own position.
+type flatRows struct {
+	offs []int
+	cols []matrix.Col
+}
+
+// prefilterRows runs the alive-mask filter once over a full pass of
+// rows. A nil mask still materializes (callers use it to avoid repeated
+// decode of non-trivial Rows implementations); rows are copied, never
+// aliased, so the source's buffer-reuse contract is respected.
+func prefilterRows(rows Rows, alive []bool) *flatRows {
+	n := rows.Len()
+	f := &flatRows{offs: make([]int, n+1)}
+	for i := 0; i < n; i++ {
+		for _, c := range rows.Row(i) {
+			if alive == nil || alive[c] {
+				f.cols = append(f.cols, c)
+			}
+		}
+		f.offs[i+1] = len(f.cols)
+	}
+	return f
+}
+
+func (f *flatRows) Len() int               { return len(f.offs) - 1 }
+func (f *flatRows) Row(i int) []matrix.Col { return f.cols[f.offs[i]:f.offs[i+1]] }
+
+// tailShare coordinates the Algorithm 4.1 tail build across workers:
+// the first worker to switch to DMC-bitmap at a given scan position
+// materializes the tail rows and bitmaps, every later worker switching
+// at the same position reuses them read-only. Workers whose counter
+// arrays cross the switch threshold at different positions get separate
+// (correct, still shared-by-position) builds; in practice the
+// rows-remaining trigger aligns them.
+//
+// A nil *tailShare is valid and means "build privately" — the serial
+// pipelines' path, where there is exactly one builder anyway.
+type tailShare struct {
+	mu      sync.Mutex
+	entries map[int]*tailEntry
+}
+
+type tailEntry struct {
+	once  sync.Once
+	tail  [][]matrix.Col
+	bms   []*bitset.Set
+	bytes int
+}
+
+func newTailShare() *tailShare {
+	return &tailShare{entries: make(map[int]*tailEntry)}
+}
+
+// get returns the tail rows and per-column bitmaps for rows[pos:],
+// building them at most once per position. The builder's Stats record
+// the materialized bytes (so a parallel run's summed TailBitmapBytes
+// counts each shared build exactly once).
+func (ts *tailShare) get(rows Rows, pos, mcols int, alive []bool, st *Stats) ([][]matrix.Col, []*bitset.Set) {
+	if ts == nil {
+		tail, bms, bytes := tailBitmaps(rows, pos, mcols, alive)
+		st.TailBitmapBytes += bytes
+		return tail, bms
+	}
+	ts.mu.Lock()
+	e := ts.entries[pos]
+	if e == nil {
+		e = &tailEntry{}
+		ts.entries[pos] = e
+	}
+	ts.mu.Unlock()
+	e.once.Do(func() {
+		e.tail, e.bms, e.bytes = tailBitmaps(rows, pos, mcols, alive)
+		st.TailBitmapBytes += e.bytes
+	})
+	return e.tail, e.bms
+}

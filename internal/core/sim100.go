@@ -15,12 +15,14 @@ import (
 // miss kills a candidate. Entries are bare ids (4 bytes). alive, when
 // non-nil, masks out support-pruned columns; owned, when non-nil,
 // restricts which columns act as the pair's smaller member (parallel
-// pipeline).
-func sim100Scan(rows Rows, mcols int, ones []int, alive, owned []bool, opts Options, mem *memMeter, st *Stats, emit func(rules.Similarity)) {
+// pipeline); share, when non-nil, is the shared tail-bitmap
+// coordinator.
+func sim100Scan(rows Rows, mcols int, ones []int, alive, owned []bool, opts Options, share *tailShare, mem *memMeter, st *Stats, emit func(rules.Similarity)) {
 	cnt := make([]int, mcols)
 	cand := make([][]matrix.Col, mcols)
 	hasList := make([]bool, mcols)
 	released := make([]bool, mcols)
+	ar := newArena[matrix.Col](arenaBlockEntries)
 
 	bmMaxRows, bmMinBytes := opts.bitmapMaxRows(), opts.bitmapMinBytes()
 	rowBuf := make([]matrix.Col, 0, 256)
@@ -28,7 +30,7 @@ func sim100Scan(rows Rows, mcols int, ones []int, alive, owned []bool, opts Opti
 	for pos := 0; pos < n; pos++ {
 		if !opts.DisableBitmap && n-pos <= bmMaxRows && mem.bytes > bmMinBytes {
 			start := time.Now()
-			sim100Bitmap(rows, pos, mcols, ones, alive, owned, cand, hasList, released, mem, st, emit)
+			sim100Bitmap(rows, pos, mcols, ones, alive, owned, cand, hasList, released, share, mem, st, emit)
 			st.Bitmap += time.Since(start)
 			if st.SwitchPos100 < 0 {
 				st.SwitchPos100 = pos
@@ -40,7 +42,7 @@ func sim100Scan(rows Rows, mcols int, ones []int, alive, owned []bool, opts Opti
 			switch {
 			case released[cj] || (owned != nil && !owned[cj]):
 			case !hasList[cj]:
-				lst := make([]matrix.Col, 0, 4)
+				lst := ar.alloc(len(row))
 				for _, ck := range row {
 					if ck > cj && ones[ck] == ones[cj] {
 						lst = append(lst, ck)
@@ -74,8 +76,8 @@ func sim100Scan(rows Rows, mcols int, ones []int, alive, owned []bool, opts Opti
 // (the paper's "extract those column pairs that have the same bitmap");
 // columns first appearing in the tail pair up when their tail
 // co-occurrence count equals their full count.
-func sim100Bitmap(rows Rows, pos, mcols int, ones []int, alive, owned []bool, cand [][]matrix.Col, hasList, released []bool, mem *memMeter, st *Stats, emit func(rules.Similarity)) {
-	tail, bms := tailBitmaps(rows, pos, mcols, alive)
+func sim100Bitmap(rows Rows, pos, mcols int, ones []int, alive, owned []bool, cand [][]matrix.Col, hasList, released []bool, share *tailShare, mem *memMeter, st *Stats, emit func(rules.Similarity)) {
+	tail, bms := share.get(rows, pos, mcols, alive, st)
 	empty := bitset.New(len(tail))
 	for cj := 0; cj < mcols; cj++ {
 		if !hasList[cj] || released[cj] {

@@ -105,7 +105,7 @@ func TestQuickSimMergeOpenModel(t *testing.T) {
 		want := e.modelSimMerge(append([]candEntry(nil), lst...), row, cj, true)
 		var st Stats
 		mem := &memMeter{}
-		got := simMergeOpen(lst, row, cj, e.cnt[cj], e.rk, e.budget, e.okFn, mem, &st)
+		got := simMergeOpen(nil, lst, row, cj, e.cnt[cj], e.rk, e.budget, e.okFn, mem, &st)
 		return reflect.DeepEqual(append([]candEntry{}, got...), want)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {

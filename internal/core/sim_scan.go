@@ -26,8 +26,9 @@ import (
 //
 // Every pair with Sim ≥ t whose smaller column is alive and owned is
 // emitted exactly once, including identical pairs (DMC-sim filters
-// those when this runs as its second phase).
-func simScan(rows Rows, mcols int, ones []int, alive, owned []bool, t Threshold, opts Options, mem *memMeter, st *Stats, emit func(rules.Similarity)) {
+// those when this runs as its second phase). share, when non-nil, is
+// the parallel pipelines' shared tail-bitmap coordinator.
+func simScan(rows Rows, mcols int, ones []int, alive, owned []bool, t Threshold, opts Options, share *tailShare, mem *memMeter, st *Stats, emit func(rules.Similarity)) {
 	rk := ranker{ones}
 	// colMax(c) is the largest budget any partner of c can offer (the
 	// partner with equal ones); past it the column stops admitting
@@ -40,6 +41,7 @@ func simScan(rows Rows, mcols int, ones []int, alive, owned []bool, t Threshold,
 	cand := make([][]candEntry, mcols)
 	hasList := make([]bool, mcols)
 	released := make([]bool, mcols)
+	ar := newArena[candEntry](arenaBlockEntries)
 
 	budget := func(cj, ck matrix.Col) int { return t.MaxMissesSim(ones[cj], ones[ck]) }
 	// maxHitsOK reports whether the pair can still reach its hit floor:
@@ -60,7 +62,7 @@ func simScan(rows Rows, mcols int, ones []int, alive, owned []bool, t Threshold,
 	for pos := 0; pos < n; pos++ {
 		if !opts.DisableBitmap && n-pos <= bmMaxRows && mem.bytes > bmMinBytes {
 			start := time.Now()
-			simBitmap(rows, pos, mcols, ones, alive, owned, t, colMax, cnt, cand, hasList, released, rk, mem, st, emit)
+			simBitmap(rows, pos, mcols, ones, alive, owned, t, colMax, cnt, cand, hasList, released, rk, share, mem, st, emit)
 			st.Bitmap += time.Since(start)
 			if st.SwitchPosLT < 0 {
 				st.SwitchPosLT = pos
@@ -72,7 +74,7 @@ func simScan(rows Rows, mcols int, ones []int, alive, owned []bool, t Threshold,
 			switch {
 			case released[cj] || (owned != nil && !owned[cj]):
 			case !hasList[cj]:
-				lst := make([]candEntry, 0, len(row))
+				lst := ar.alloc(len(row))
 				for _, ck := range row {
 					if rk.less(cj, ck) && budget(cj, ck) >= 0 && maxHitsOK(cj, ck, 0) {
 						lst = append(lst, candEntry{ck, 0})
@@ -83,7 +85,7 @@ func simScan(rows Rows, mcols int, ones []int, alive, owned []bool, t Threshold,
 				st.CandidatesAdded += len(lst)
 				mem.add(len(lst), entryBytes)
 			case cnt[cj] <= colMax[cj]:
-				cand[cj] = simMergeOpen(cand[cj], row, cj, cnt[cj], rk, budget, maxHitsOK, mem, st)
+				cand[cj] = simMergeOpen(ar, cand[cj], row, cj, cnt[cj], rk, budget, maxHitsOK, mem, st)
 			default:
 				cand[cj] = simMergeClosed(cand[cj], row, cj, budget, maxHitsOK, mem, st)
 			}
@@ -103,24 +105,13 @@ func simScan(rows Rows, mcols int, ones []int, alive, owned []bool, t Threshold,
 	}
 }
 
-func simMergeOpen(lst []candEntry, row []matrix.Col, cj matrix.Col, cntj int, rk ranker, budget func(matrix.Col, matrix.Col) int, maxHitsOK func(matrix.Col, matrix.Col, int) bool, mem *memMeter, st *Stats) []candEntry {
-	// As in mergeOpen: count insertions first so the no-insertion
-	// common case merges in place without allocating.
-	added := 0
-	i := 0
-	for _, ck := range row {
-		for i < len(lst) && lst[i].col < ck {
-			i++
-		}
-		if (i == len(lst) || lst[i].col != ck) &&
-			rk.less(cj, ck) && cntj <= budget(cj, ck) && maxHitsOK(cj, ck, cntj) {
-			added++
-		}
-	}
+// simMergeOpen is mergeOpen for similarity candidate lists: per-pair
+// miss budgets and the §5.2 maximum-hits deletion replace the single
+// column budget. Like mergeOpen it compacts in place until the first
+// insertion, then makes room once via shiftTail and finishes on the
+// slow path, so the steady state never allocates.
+func simMergeOpen(ar *arena[candEntry], lst []candEntry, row []matrix.Col, cj matrix.Col, cntj int, rk ranker, budget func(matrix.Col, matrix.Col) int, maxHitsOK func(matrix.Col, matrix.Col, int) bool, mem *memMeter, st *Stats) []candEntry {
 	out := lst[:0]
-	if added > 0 {
-		out = make([]candEntry, 0, len(lst)+added)
-	}
 	deleted := 0
 	i, j := 0, 0
 	for i < len(lst) || j < len(row) {
@@ -140,13 +131,67 @@ func simMergeOpen(lst []candEntry, row []matrix.Col, cj matrix.Col, cntj int, rk
 			out = append(out, e)
 		case i >= len(lst) || row[j] < lst[i].col:
 			ck := row[j]
+			if rk.less(cj, ck) && cntj <= budget(cj, ck) && maxHitsOK(cj, ck, cntj) {
+				return simMergeOpenInsert(ar, lst, out, row, i, j, cj, cntj, rk, budget, maxHitsOK, deleted, mem, st)
+			}
+			j++
+		default: // hit
+			e := lst[i]
+			i++
+			j++
+			if !maxHitsOK(cj, e.col, int(e.miss)) {
+				deleted++
+				continue
+			}
+			out = append(out, e)
+		}
+	}
+	st.CandidatesDeleted += deleted
+	mem.remove(deleted, entryBytes)
+	return out
+}
+
+// simMergeOpenInsert finishes a simMergeOpen from the first insertion
+// point: row[j] is a new candidate not yet consumed, lst[i:] the unread
+// suffix, out the compacted prefix.
+func simMergeOpenInsert(ar *arena[candEntry], lst, out []candEntry, row []matrix.Col, i, j int, cj matrix.Col, cntj int, rk ranker, budget func(matrix.Col, matrix.Col) int, maxHitsOK func(matrix.Col, matrix.Col, int) bool, deleted int, mem *memMeter, st *Stats) []candEntry {
+	added := 0
+	for ii, jj := i, j; jj < len(row); jj++ {
+		ck := row[jj]
+		for ii < len(lst) && lst[ii].col < ck {
+			ii++
+		}
+		if (ii == len(lst) || lst[ii].col != ck) &&
+			rk.less(cj, ck) && cntj <= budget(cj, ck) && maxHitsOK(cj, ck, cntj) {
+			added++
+		}
+	}
+	out, src := shiftTail(ar, lst, out, i, added)
+	si := 0
+	for si < len(src) || j < len(row) {
+		switch {
+		case j >= len(row) || (si < len(src) && src[si].col < row[j]):
+			e := src[si]
+			si++
+			if !maxHitsOK(cj, e.col, int(e.miss)) {
+				deleted++
+				continue
+			}
+			e.miss++
+			if int(e.miss) > budget(cj, e.col) {
+				deleted++
+				continue
+			}
+			out = append(out, e)
+		case si >= len(src) || row[j] < src[si].col:
+			ck := row[j]
 			j++
 			if rk.less(cj, ck) && cntj <= budget(cj, ck) && maxHitsOK(cj, ck, cntj) {
 				out = append(out, candEntry{ck, int32(cntj)})
 			}
 		default: // hit
-			e := lst[i]
-			i++
+			e := src[si]
+			si++
 			j++
 			if !maxHitsOK(cj, e.col, int(e.miss)) {
 				deleted++
@@ -191,12 +236,13 @@ func simMergeClosed(lst []candEntry, row []matrix.Col, cj matrix.Col, budget fun
 }
 
 // simBitmap is the DMC-bitmap variant for the similarity scan: tail
-// misses by AND-NOT counting for closed columns, tail hit counting for
-// columns that could still admit candidates; both decide with the exact
-// pair hit floor.
-func simBitmap(rows Rows, pos, mcols int, ones []int, alive, owned []bool, t Threshold, colMax, cnt []int, cand [][]candEntry, hasList, released []bool, rk ranker, mem *memMeter, st *Stats, emit func(rules.Similarity)) {
-	tail, bms := tailBitmaps(rows, pos, mcols, alive)
+// misses by blocked AND-NOT counting for closed columns, tail hit
+// counting for columns that could still admit candidates; both decide
+// with the exact pair hit floor.
+func simBitmap(rows Rows, pos, mcols int, ones []int, alive, owned []bool, t Threshold, colMax, cnt []int, cand [][]candEntry, hasList, released []bool, rk ranker, share *tailShare, mem *memMeter, st *Stats, emit func(rules.Similarity)) {
+	tail, bms := share.get(rows, pos, mcols, alive, st)
 	empty := bitset.New(len(tail))
+	var tc tailCounter
 
 	for cj := 0; cj < mcols; cj++ {
 		if !hasList[cj] || released[cj] || cnt[cj] <= colMax[cj] {
@@ -206,12 +252,9 @@ func simBitmap(rows Rows, pos, mcols int, ones []int, alive, owned []bool, t Thr
 		if bmj == nil {
 			bmj = empty
 		}
-		for _, e := range cand[cj] {
-			bmk := bms[e.col]
-			if bmk == nil {
-				bmk = empty
-			}
-			total := int(e.miss) + bmj.AndNotCount(bmk)
+		tailMiss := tc.misses(bmj, cand[cj], bms)
+		for k, e := range cand[cj] {
+			total := int(e.miss) + tailMiss[k]
 			h := ones[cj] - total
 			if h >= t.MinHitsSim(ones[cj], ones[e.col]) {
 				emit(rules.Similarity{A: matrix.Col(cj), B: e.col, Hits: h, OnesA: ones[cj], OnesB: ones[e.col]})

@@ -19,8 +19,8 @@
 //	GET  /v1/datasets
 //	PUT  /v1/datasets/{name}           body: basket lines (text/plain)
 //	GET  /v1/datasets/{name}
-//	GET  /v1/datasets/{name}/implications?threshold=85&minsupport=0&limit=100
-//	GET  /v1/datasets/{name}/similarities?threshold=70&minsupport=0&limit=100
+//	GET  /v1/datasets/{name}/implications?threshold=85&minsupport=0&limit=100&workers=1
+//	GET  /v1/datasets/{name}/similarities?threshold=70&minsupport=0&limit=100&workers=1
 //	GET  /v1/datasets/{name}/expand?keyword=polgar&threshold=85&depth=-1
 package server
 
@@ -167,9 +167,11 @@ type Server struct {
 	hooks   *core.Hooks
 	mineSem chan struct{} // nil = unlimited
 
-	// Mining entry points, swappable by tests.
-	mineImp func(*matrix.Matrix, core.Threshold, core.Options) ([]rules.Implication, core.Stats)
-	mineSim func(*matrix.Matrix, core.Threshold, core.Options) ([]rules.Similarity, core.Stats)
+	// Mining entry points, swappable by tests. workers routes between
+	// the serial and parallel pipelines: 1 is serial, anything else is
+	// the §7 column-partitioned engine (0 = one worker per CPU).
+	mineImp func(m *matrix.Matrix, t core.Threshold, o core.Options, workers int) ([]rules.Implication, core.Stats)
+	mineSim func(m *matrix.Matrix, t core.Threshold, o core.Options, workers int) ([]rules.Similarity, core.Stats)
 }
 
 // New returns an empty server with the default Config.
@@ -181,8 +183,18 @@ func NewWith(cfg Config) *Server {
 		datasets: make(map[string]*matrix.Matrix),
 		cfg:      cfg,
 		metrics:  newServerMetrics(cfg.registry()),
-		mineImp:  core.DMCImp,
-		mineSim:  core.DMCSim,
+		mineImp: func(m *matrix.Matrix, t core.Threshold, o core.Options, workers int) ([]rules.Implication, core.Stats) {
+			if workers == 1 {
+				return core.DMCImp(m, t, o)
+			}
+			return core.DMCImpParallel(m, t, o, workers)
+		},
+		mineSim: func(m *matrix.Matrix, t core.Threshold, o core.Options, workers int) ([]rules.Similarity, core.Stats) {
+			if workers == 1 {
+				return core.DMCSim(m, t, o)
+			}
+			return core.DMCSimParallel(m, t, o, workers)
+		},
 	}
 	if cfg.MaxConcurrentMines > 0 {
 		s.mineSem = make(chan struct{}, cfg.MaxConcurrentMines)
@@ -480,7 +492,7 @@ func (s *Server) handleImplications(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rs, st, ok := runMine(s, w, r, "imp", func() ([]rules.Implication, core.Stats) {
-		return s.mineImp(m, core.FromPercent(p.threshold), core.Options{MinSupport: p.minSupport, Hooks: s.hooks})
+		return s.mineImp(m, core.FromPercent(p.threshold), core.Options{MinSupport: p.minSupport, Hooks: s.hooks}, p.workers)
 	})
 	if !ok {
 		return
@@ -525,7 +537,7 @@ func (s *Server) handleSimilarities(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rs, st, ok := runMine(s, w, r, "sim", func() ([]rules.Similarity, core.Stats) {
-		return s.mineSim(m, core.FromPercent(p.threshold), core.Options{MinSupport: p.minSupport, Hooks: s.hooks})
+		return s.mineSim(m, core.FromPercent(p.threshold), core.Options{MinSupport: p.minSupport, Hooks: s.hooks}, p.workers)
 	})
 	if !ok {
 		return
@@ -580,7 +592,7 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rs, _, ok := runMine(s, w, r, "imp", func() ([]rules.Implication, core.Stats) {
-		return s.mineImp(m, core.FromPercent(p.threshold), core.Options{MinSupport: p.minSupport, Hooks: s.hooks})
+		return s.mineImp(m, core.FromPercent(p.threshold), core.Options{MinSupport: p.minSupport, Hooks: s.hooks}, p.workers)
 	})
 	if !ok {
 		return
@@ -608,7 +620,12 @@ type params struct {
 	threshold  int
 	minSupport int
 	limit      int
+	workers    int
 }
+
+// maxWorkers caps the workers query parameter: mining goroutines are
+// cheap but a request must not be able to ask for thousands of them.
+const maxWorkers = 128
 
 func mineParams(r *http.Request) (params, error) {
 	p := params{threshold: 85, limit: 100}
@@ -627,6 +644,12 @@ func mineParams(r *http.Request) (params, error) {
 	}
 	if p.limit <= 0 {
 		return p, fmt.Errorf("limit must be positive")
+	}
+	if p.workers, err = intParam(r, "workers", 1); err != nil {
+		return p, err
+	}
+	if p.workers < 0 || p.workers > maxWorkers {
+		return p, fmt.Errorf("workers %d outside [0,%d] (0 = one per CPU)", p.workers, maxWorkers)
 	}
 	return p, nil
 }

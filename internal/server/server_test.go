@@ -189,3 +189,27 @@ func TestLoadDir(t *testing.T) {
 		t.Fatal("corrupt file accepted")
 	}
 }
+
+// The workers parameter routes to the parallel pipeline, which must
+// return the same rules; 0 means one worker per CPU, out-of-range
+// values are rejected.
+func TestMineWorkersParam(t *testing.T) {
+	ts := testServer(t)
+	var serial MineResponse[ImplicationWire]
+	getJSON(t, ts.URL+"/v1/datasets/baskets/implications?threshold=80", http.StatusOK, &serial)
+	for _, w := range []string{"0", "2", "8"} {
+		var par MineResponse[ImplicationWire]
+		getJSON(t, ts.URL+"/v1/datasets/baskets/implications?threshold=80&workers="+w, http.StatusOK, &par)
+		if par.Total != serial.Total {
+			t.Fatalf("workers=%s: %d rules, serial %d", w, par.Total, serial.Total)
+		}
+	}
+	var sim MineResponse[SimilarityWire]
+	getJSON(t, ts.URL+"/v1/datasets/baskets/similarities?threshold=60&workers=2", http.StatusOK, &sim)
+	if sim.Total == 0 {
+		t.Fatal("parallel similarity mine returned no rules")
+	}
+	getJSON(t, ts.URL+"/v1/datasets/baskets/implications?workers=-1", http.StatusBadRequest, nil)
+	getJSON(t, ts.URL+"/v1/datasets/baskets/implications?workers=129", http.StatusBadRequest, nil)
+	getJSON(t, ts.URL+"/v1/datasets/baskets/implications?workers=x", http.StatusBadRequest, nil)
+}
