@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check fmt vet build test race bench bench-json
+.PHONY: ci fmt-check fmt vet build test race bench bench-json fuzz-smoke
 
-ci: fmt-check vet build test race bench
+ci: fmt-check vet build test race bench fuzz-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -34,3 +34,9 @@ bench:
 # command with -bench-time 100ms and uploads the result as an artifact.
 bench-json:
 	$(GO) run ./cmd/dmcbench -bench-json BENCH_dmc.json -bench-time 1s
+
+# A short fuzzing pass over the decoders; spill-codec corruption must
+# never panic the miners. Go allows one fuzz target per invocation.
+fuzz-smoke:
+	$(GO) test -run=NoTests -fuzz=FuzzBlockCodec -fuzztime=10s ./internal/matrix
+	$(GO) test -run=NoTests -fuzz=FuzzReadBinary -fuzztime=5s ./internal/matrix

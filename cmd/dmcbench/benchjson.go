@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"dmc/internal/core"
 	"dmc/internal/gen"
 	"dmc/internal/matrix"
+	"dmc/internal/stream"
 )
 
 // The bench-JSON mode is the machine-readable performance trajectory:
@@ -37,14 +39,19 @@ type BenchFile struct {
 
 // BenchPoint is one measured cell of the grid. Engine "serial" is the
 // single-threaded pipeline; "parallel" is the §7 column-partitioned one
-// at the given worker count. PeakCounterBytes and TailBitmapBytes
-// follow the paper's memory model (core.Stats), not the Go heap;
-// BytesPerOp/AllocsPerOp are real allocator traffic.
+// at the given worker count; "stream-serial" mines from disk with the
+// legacy row-at-a-time spill codec (the pre-block-codec configuration)
+// and "stream-parallel" with the framed codec, prefetch and worker
+// fan-out. PeakCounterBytes and TailBitmapBytes follow the paper's
+// memory model (core.Stats), not the Go heap; BytesPerOp/AllocsPerOp
+// are real allocator traffic. RowsPerSec/MBPerSec are set only for the
+// streaming engines: rows and input bytes counted once per pass over
+// the data (one partitioning pass plus two replay passes per mine).
 type BenchPoint struct {
 	Name             string  `json:"name"`
 	Mode             string  `json:"mode"`    // imp | sim
 	Variant          string  `json:"variant"` // default | bitmap
-	Engine           string  `json:"engine"`  // serial | parallel
+	Engine           string  `json:"engine"`  // serial | parallel | stream-serial | stream-parallel
 	Workers          int     `json:"workers"`
 	Iters            int     `json:"iters"`
 	NsPerOp          int64   `json:"ns_per_op"`
@@ -52,6 +59,8 @@ type BenchPoint struct {
 	AllocsPerOp      int64   `json:"allocs_per_op"`
 	Rules            int     `json:"rules"`
 	RulesPerSec      float64 `json:"rules_per_sec"`
+	RowsPerSec       float64 `json:"rows_per_sec,omitempty"`
+	MBPerSec         float64 `json:"mb_per_sec,omitempty"`
 	PeakCounterBytes int     `json:"peak_counter_bytes"`
 	TailBitmapBytes  int     `json:"tail_bitmap_bytes"`
 }
@@ -105,6 +114,41 @@ func runBenchJSON(path string, benchTime time.Duration, scale float64, seed int6
 		}
 	}
 
+	// The out-of-core grid: the same dataset written to disk and mined
+	// through the streaming engine, old spill path vs the framed
+	// parallel one. Default variant only — the disk path dominates here,
+	// not the bitmap switch.
+	tmp, err := os.MkdirTemp("", "dmcbench-stream-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	mpath := filepath.Join(tmp, ds.Name+matrix.ExtBinary)
+	if err := matrix.Save(mpath, m); err != nil {
+		return err
+	}
+	fi, err := os.Stat(mpath)
+	if err != nil {
+		return err
+	}
+	// Each mine streams the data three times: one partitioning pass over
+	// the input plus two replay passes over the spills.
+	rowsPerMine := 3 * m.NumRows()
+	mbPerMine := 3 * float64(fi.Size()) / 1e6
+	for _, mode := range []string{"imp", "sim"} {
+		for _, r := range streamRuns(mpath, th, mode) {
+			p := measure(r.f, benchTime)
+			p.Mode, p.Variant, p.Engine, p.Workers = mode, "default", r.engine, r.workers
+			p.Name = fmt.Sprintf("%s/default/%s", mode, r.label)
+			secPerOp := float64(p.NsPerOp) / 1e9
+			p.RowsPerSec = float64(rowsPerMine) / secPerOp
+			p.MBPerSec = mbPerMine / secPerOp
+			doc.Points = append(doc.Points, p)
+			fmt.Printf("%-28s %12d ns/op %10d B/op %8d allocs/op %10.0f rows/s %8.1f MB/s\n",
+				p.Name, p.NsPerOp, p.BytesPerOp, p.AllocsPerOp, p.RowsPerSec, p.MBPerSec)
+		}
+	}
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -145,6 +189,37 @@ func mineRuns(m *matrix.Matrix, th core.Threshold, opts core.Options, mode strin
 			}
 			rs, st := core.DMCSimParallel(m, th, opts, w)
 			return len(rs), st.PeakCounterBytes, st.TailBitmapBytes
+		}})
+	}
+	return runs
+}
+
+// streamRuns is the disk-path grid for one mode: "stream-serial" is the
+// pre-block-codec configuration (legacy unframed spill codec, no
+// prefetch overlap, one worker); "stream-parallel" is the framed codec
+// with double-buffered prefetch at increasing worker counts.
+func streamRuns(path string, th core.Threshold, mode string) []mineRun {
+	mine := func(cfg stream.Config) (int, int, int) {
+		if mode == "imp" {
+			rs, st, err := stream.MineImplicationsCfg(path, th, core.Options{}, cfg)
+			if err != nil {
+				panic(err)
+			}
+			return len(rs), st.PeakCounterBytes, st.TailBitmapBytes
+		}
+		rs, st, err := stream.MineSimilaritiesCfg(path, th, core.Options{}, cfg)
+		if err != nil {
+			panic(err)
+		}
+		return len(rs), st.PeakCounterBytes, st.TailBitmapBytes
+	}
+	runs := []mineRun{{label: "stream-serial", engine: "stream-serial", workers: 1, f: func() (int, int, int) {
+		return mine(stream.Config{Workers: 1, LegacyCodec: true, Prefetch: 1})
+	}}}
+	for _, w := range []int{1, 2, 4} {
+		w := w
+		runs = append(runs, mineRun{label: fmt.Sprintf("stream-w%d", w), engine: "stream-parallel", workers: w, f: func() (int, int, int) {
+			return mine(stream.Config{Workers: w})
 		}})
 	}
 	return runs

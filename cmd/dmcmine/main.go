@@ -208,11 +208,13 @@ func dmcStats(st core.Stats) string {
 
 // runStream mines straight from disk via the two-pass bucket spill
 // path; only rule counts and stats are printed (labels would need the
-// matrix in memory).
+// matrix in memory). -workers fans the replay passes out over the
+// broadcast reader, mirroring the in-memory parallel engine.
 func runStream(cfg runConfig, th core.Threshold) error {
+	scfg := stream.Config{Workers: cfg.workers}
 	switch cfg.mode {
 	case "imp":
-		rs, st, err := stream.MineImplications(cfg.in, th, core.Options{})
+		rs, st, err := stream.MineImplicationsCfg(cfg.in, th, core.Options{MinSupport: cfg.minSup}, scfg)
 		if err != nil {
 			return err
 		}
@@ -221,7 +223,7 @@ func runStream(cfg runConfig, th core.Threshold) error {
 			fmt.Println(dmcStats(st))
 		}
 	case "sim":
-		rs, st, err := stream.MineSimilarities(cfg.in, th, core.Options{})
+		rs, st, err := stream.MineSimilaritiesCfg(cfg.in, th, core.Options{MinSupport: cfg.minSup}, scfg)
 		if err != nil {
 			return err
 		}

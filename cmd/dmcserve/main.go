@@ -39,6 +39,7 @@ func main() {
 		maxMines   = flag.Int("max-concurrent-mines", runtime.GOMAXPROCS(0), "mining requests allowed to run at once (0 = unlimited)")
 		grace      = flag.Duration("shutdown-grace", 30*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
 		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		streamMin  = flag.Int64("stream-min-bytes", 0, "serve .dmt/.dmb files at or above this size file-backed, streaming them from disk per request (0 loads everything into memory)")
 	)
 	flag.Parse()
 
@@ -55,6 +56,7 @@ func main() {
 		RequestTimeout:     *reqTimeout,
 		MaxConcurrentMines: *maxMines,
 		ShutdownGrace:      *grace,
+		StreamMinBytes:     *streamMin,
 	}
 	s, ln, err := setup(cfg, *addr, *data)
 	if err != nil {

@@ -28,6 +28,27 @@ func MineSimilaritiesFile(path string, minsim Threshold, opts Options) ([]Simila
 	return stream.MineSimilarities(path, minsim, opts)
 }
 
+// StreamConfig tunes the out-of-core miners: worker fan-out for the
+// replay passes and the partitioning pass, spill codec block sizes,
+// prefetch depth for the double-buffered reader, and the temporary
+// directory the density buckets spill to. The zero value streams
+// serially with the framed block codec and default buffers.
+type StreamConfig = stream.Config
+
+// MineImplicationsFileCfg is MineImplicationsFile with explicit
+// streaming configuration — most importantly cfg.Workers, which mines
+// the spilled buckets with the §7 column-partitioned parallel pipeline
+// while a single broadcast reader performs each disk pass once.
+func MineImplicationsFileCfg(path string, minconf Threshold, opts Options, cfg StreamConfig) ([]Implication, Stats, error) {
+	return stream.MineImplicationsCfg(path, minconf, opts, cfg)
+}
+
+// MineSimilaritiesFileCfg is MineImplicationsFileCfg for similarity
+// rules.
+func MineSimilaritiesFileCfg(path string, minsim Threshold, opts Options, cfg StreamConfig) ([]Similarity, Stats, error) {
+	return stream.MineSimilaritiesCfg(path, minsim, opts, cfg)
+}
+
 // MineImplicationsParallel runs the DMC-imp pipeline with the columns
 // partitioned across the given number of workers (a snake walk over the
 // ones-sorted columns, so dense columns spread evenly) — the

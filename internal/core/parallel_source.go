@@ -1,0 +1,246 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dmc/internal/rules"
+)
+
+// This file is the §7 parallel pipeline over an abstract Source — the
+// disk-backed twin of parallel.go. The in-memory variant prefilters the
+// rows into a shared flat array; a streamed source cannot afford that
+// (materializing the pass is exactly what out-of-core mining avoids),
+// so here every worker scans its own view of a single broadcast pass
+// (ConcurrentSource) with the alive mask applied per row, and only the
+// counter arrays — the paper's memory bound — are divided. The
+// DMC-bitmap tail is still built once per switch position and shared
+// (tailShare), so tail memory stays flat in the worker count.
+
+// ErrSequentialSource is returned when a parallel source pipeline is
+// asked for workers > 1 on a Source that cannot broadcast a pass to
+// several consumers. Mine with workers = 1, or provide a
+// ConcurrentSource (stream.Partitioned is one).
+var ErrSequentialSource = errors.New(
+	"core: source supports only one sequential reader per pass; use workers=1 or a ConcurrentSource")
+
+// DMCImpParallelSource is DMCImpParallel over an abstract row source —
+// parallel disk-backed mining. ones must be the caller's first-pass
+// per-column 1-counts; the source's pass order is taken as given.
+// workers ≤ 0 means one worker per CPU; workers = 1 runs the exact
+// serial pipeline. The rule set is identical to DMCImpSource's (and
+// DMCImp's, modulo scan order). Pass failures signalled by a
+// SourceError panic come back as the error.
+func DMCImpParallelSource(src Source, ones []int, minconf Threshold, opts Options, workers int) ([]rules.Implication, Stats, error) {
+	minconf.check()
+	workers = ResolveWorkers(workers)
+	if workers == 1 {
+		var out []rules.Implication
+		var st Stats
+		err := capturePass(func() {
+			out, st = DMCImpSource(src, ones, minconf, opts)
+		})
+		if err != nil {
+			return nil, st, err
+		}
+		return out, st, nil
+	}
+	cs, ok := src.(ConcurrentSource)
+	if !ok {
+		return nil, Stats{}, fmt.Errorf("%w (source %T, workers %d)", ErrSequentialSource, src, workers)
+	}
+
+	var st Stats
+	st.SwitchPos100, st.SwitchPosLT = -1, -1
+	start := time.Now()
+	mcols := src.NumCols()
+	owned := ownership(ones, workers)
+	supportAlive := opts.supportMask(ones)
+	opts.Hooks.emitPhase("imp-parallel", "prescan", 0)
+
+	perWorker := make([]workerState[rules.Implication], workers)
+	t0 := time.Now()
+	share100 := newTailShare()
+	if err := runSourceWorkers(cs, workers, func(w int, rows Rows) {
+		ws := &perWorker[w]
+		ws.mem = &memMeter{}
+		ws.st.SwitchPos100, ws.st.SwitchPosLT = -1, -1
+		imp100Scan(rows, mcols, ones, supportAlive, owned[w], opts, share100, ws.mem, &ws.st, func(r rules.Implication) {
+			ws.out = append(ws.out, r)
+		})
+	}); err != nil {
+		return nil, st, err
+	}
+	st.Phase100 = time.Since(t0)
+	collect(&st, perWorker, true)
+	opts.Hooks.emitPhase("imp-parallel", "100", st.Phase100)
+	opts.Hooks.emitSwitch("imp-parallel", "100", st.SwitchPos100)
+	out := gather(perWorker)
+
+	if !minconf.IsOne() {
+		t1 := time.Now()
+		minOnes := minconf.MinOnesConf()
+		alive := make([]bool, mcols)
+		for c, k := range ones {
+			if k >= minOnes && (supportAlive == nil || supportAlive[c]) {
+				alive[c] = true
+				st.ColumnsAfterCutoff++
+			}
+		}
+		shareLT := newTailShare()
+		perWorker = make([]workerState[rules.Implication], workers)
+		if err := runSourceWorkers(cs, workers, func(w int, rows Rows) {
+			ws := &perWorker[w]
+			ws.mem = &memMeter{}
+			ws.st.SwitchPos100, ws.st.SwitchPosLT = -1, -1
+			impScan(rows, mcols, ones, alive, owned[w], minconf, opts, shareLT, ws.mem, &ws.st, func(r rules.Implication) {
+				if r.Hits < r.Ones {
+					ws.out = append(ws.out, r)
+				}
+			})
+		}); err != nil {
+			return nil, st, err
+		}
+		st.PhaseLT = time.Since(t1)
+		collect(&st, perWorker, false)
+		opts.Hooks.emitPhase("imp-parallel", "lt", st.PhaseLT)
+		opts.Hooks.emitSwitch("imp-parallel", "lt", st.SwitchPosLT)
+		out = append(out, gather(perWorker)...)
+	}
+
+	st.PeakCounterBytes = max(st.Peak100, st.PeakLT)
+	st.NumRules = len(out)
+	st.Total = time.Since(start)
+	opts.Hooks.emitStats("imp-parallel", st)
+	return out, st, nil
+}
+
+// DMCSimParallelSource is DMCImpParallelSource for similarity rules.
+func DMCSimParallelSource(src Source, ones []int, minsim Threshold, opts Options, workers int) ([]rules.Similarity, Stats, error) {
+	minsim.check()
+	workers = ResolveWorkers(workers)
+	if workers == 1 {
+		var out []rules.Similarity
+		var st Stats
+		err := capturePass(func() {
+			out, st = DMCSimSource(src, ones, minsim, opts)
+		})
+		if err != nil {
+			return nil, st, err
+		}
+		return out, st, nil
+	}
+	cs, ok := src.(ConcurrentSource)
+	if !ok {
+		return nil, Stats{}, fmt.Errorf("%w (source %T, workers %d)", ErrSequentialSource, src, workers)
+	}
+
+	var st Stats
+	st.SwitchPos100, st.SwitchPosLT = -1, -1
+	start := time.Now()
+	mcols := src.NumCols()
+	owned := ownership(ones, workers)
+	supportAlive := opts.supportMask(ones)
+	opts.Hooks.emitPhase("sim-parallel", "prescan", 0)
+
+	perWorker := make([]workerState[rules.Similarity], workers)
+	t0 := time.Now()
+	share100 := newTailShare()
+	if err := runSourceWorkers(cs, workers, func(w int, rows Rows) {
+		ws := &perWorker[w]
+		ws.mem = &memMeter{}
+		ws.st.SwitchPos100, ws.st.SwitchPosLT = -1, -1
+		sim100Scan(rows, mcols, ones, supportAlive, owned[w], opts, share100, ws.mem, &ws.st, func(r rules.Similarity) {
+			ws.out = append(ws.out, r)
+		})
+	}); err != nil {
+		return nil, st, err
+	}
+	st.Phase100 = time.Since(t0)
+	collect(&st, perWorker, true)
+	opts.Hooks.emitPhase("sim-parallel", "100", st.Phase100)
+	opts.Hooks.emitSwitch("sim-parallel", "100", st.SwitchPos100)
+	out := gather(perWorker)
+
+	if !minsim.IsOne() {
+		t1 := time.Now()
+		minOnes := minsim.MinOnesSim()
+		alive := make([]bool, mcols)
+		for c, k := range ones {
+			if k >= minOnes && (supportAlive == nil || supportAlive[c]) {
+				alive[c] = true
+				st.ColumnsAfterCutoff++
+			}
+		}
+		shareLT := newTailShare()
+		perWorker = make([]workerState[rules.Similarity], workers)
+		if err := runSourceWorkers(cs, workers, func(w int, rows Rows) {
+			ws := &perWorker[w]
+			ws.mem = &memMeter{}
+			ws.st.SwitchPos100, ws.st.SwitchPosLT = -1, -1
+			simScan(rows, mcols, ones, alive, owned[w], minsim, opts, shareLT, ws.mem, &ws.st, func(r rules.Similarity) {
+				if !(r.Hits == r.OnesA && r.OnesA == r.OnesB) {
+					ws.out = append(ws.out, r)
+				}
+			})
+		}); err != nil {
+			return nil, st, err
+		}
+		st.PhaseLT = time.Since(t1)
+		collect(&st, perWorker, false)
+		opts.Hooks.emitPhase("sim-parallel", "lt", st.PhaseLT)
+		opts.Hooks.emitSwitch("sim-parallel", "lt", st.SwitchPosLT)
+		out = append(out, gather(perWorker)...)
+	}
+
+	st.PeakCounterBytes = max(st.Peak100, st.PeakLT)
+	st.NumRules = len(out)
+	st.Total = time.Since(start)
+	opts.Hooks.emitStats("sim-parallel", st)
+	return out, st, nil
+}
+
+// runSourceWorkers starts one broadcast pass with a view per worker and
+// runs f(w, view) on each. Views are released even when f abandons its
+// view early (shared-tail reuse) or panics; SourceError panics are
+// captured per worker and joined into the returned error, so one failed
+// pass never takes the process down while sibling workers drain.
+func runSourceWorkers(cs ConcurrentSource, workers int, f func(w int, rows Rows)) error {
+	views := cs.ConcurrentPass(workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := range views {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer releaseRows(views[w])
+			errs[w] = capturePass(func() { f(w, views[w]) })
+		}(w)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// capturePass runs f, converting a SourceError panic (the Rows pass
+// failure protocol) into an ordinary error. Other panics propagate.
+func capturePass(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			se, ok := r.(SourceError)
+			if !ok {
+				panic(r)
+			}
+			err = se
+		}
+	}()
+	f()
+	return nil
+}
+
+func releaseRows(rows Rows) {
+	if rr, ok := rows.(ReleasableRows); ok {
+		rr.Release()
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"dmc/internal/matrix"
+	"dmc/internal/rules"
+)
+
+// seqSource is a truly sequential third-party Source: one reader per
+// pass, no ConcurrentPass. The parallel pipelines must reject it for
+// workers > 1 with a descriptive error — not the out-of-order PassError
+// panic that combination used to die with.
+type seqSource struct {
+	m *matrix.Matrix
+}
+
+func (s seqSource) NumCols() int { return s.m.NumCols() }
+func (s seqSource) NumRows() int { return s.m.NumRows() }
+func (s seqSource) Pass() Rows   { return seqRows{s.m, 0} }
+
+type seqRows struct {
+	m    *matrix.Matrix
+	next int
+}
+
+func (r seqRows) Len() int               { return r.m.NumRows() }
+func (r seqRows) Row(i int) []matrix.Col { return r.m.Row(i) }
+
+func seqTestMatrix() *matrix.Matrix {
+	return matrix.FromRows(4, [][]matrix.Col{
+		{0, 1},
+		{0, 1, 2},
+		{1, 3},
+		{0, 2},
+		{1},
+	})
+}
+
+func TestSequentialSourceRejected(t *testing.T) {
+	m := seqTestMatrix()
+	src := seqSource{m}
+	th := FromPercent(75)
+	if _, _, err := DMCImpParallelSource(src, m.Ones(), th, Options{}, 4); !errors.Is(err, ErrSequentialSource) {
+		t.Fatalf("imp workers=4 on sequential source: err = %v, want ErrSequentialSource", err)
+	}
+	if _, _, err := DMCSimParallelSource(src, m.Ones(), th, Options{}, 4); !errors.Is(err, ErrSequentialSource) {
+		t.Fatalf("sim workers=4 on sequential source: err = %v, want ErrSequentialSource", err)
+	}
+
+	// workers = 1 needs no broadcast: a sequential source mines fine.
+	got, _, err := DMCImpParallelSource(src, m.Ones(), th, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := DMCImp(m, th, Options{})
+	if d := rules.DiffImplications(got, want); d != "" {
+		t.Fatalf("workers=1 sequential source mismatch:\n%s", d)
+	}
+}
+
+// TestMatrixSourceConcurrent checks the in-memory ConcurrentSource:
+// DMCImpParallelSource/DMCSimParallelSource over a MatrixSource must
+// match the serial miners at any worker count.
+func TestMatrixSourceConcurrent(t *testing.T) {
+	m := seqTestMatrix()
+	src := MatrixSource(m, OrderSparsestFirst.order(m))
+	th := FromPercent(70)
+	wantImp, _ := DMCImp(m, th, Options{})
+	wantSim, _ := DMCSim(m, th, Options{})
+	for _, w := range []int{1, 2, 3, 8} {
+		gotImp, _, err := DMCImpParallelSource(src, m.Ones(), th, Options{}, w)
+		if err != nil {
+			t.Fatalf("w=%d imp: %v", w, err)
+		}
+		if d := rules.DiffImplications(gotImp, wantImp); d != "" {
+			t.Fatalf("w=%d imp mismatch:\n%s", w, d)
+		}
+		gotSim, _, err := DMCSimParallelSource(src, m.Ones(), th, Options{}, w)
+		if err != nil {
+			t.Fatalf("w=%d sim: %v", w, err)
+		}
+		if d := rules.DiffSimilarities(gotSim, wantSim); d != "" {
+			t.Fatalf("w=%d sim mismatch:\n%s", w, d)
+		}
+	}
+}

@@ -24,6 +24,40 @@ type Source interface {
 	Pass() Rows
 }
 
+// ConcurrentSource is a Source that can serve one pass to several
+// consumers at once: ConcurrentPass(n) starts a single pass and returns
+// n independent Rows views of it, each obeying the sequential Row(i)
+// contract on its own. A disk-backed source implements this by reading
+// and decoding the pass once and broadcasting row batches to all views,
+// so n workers cost one read, not n. The parallel source pipelines
+// (DMCImpParallelSource, DMCSimParallelSource) require this capability
+// for workers > 1 and reject plain Sources with ErrSequentialSource.
+type ConcurrentSource interface {
+	Source
+	ConcurrentPass(n int) []Rows
+}
+
+// SourceError is the panic protocol for pass failures: a Rows
+// implementation with no error channel (the engines' scan loops call
+// Row directly) aborts a pass by panicking with a value implementing
+// this interface — e.g. the stream package's *PassError. The parallel
+// source pipelines recover such values on each worker and return them
+// as ordinary errors; any other panic is a bug and propagates.
+type SourceError interface {
+	error
+	SourceError()
+}
+
+// ReleasableRows is implemented by Rows views that hold resources (a
+// slot in a broadcast fan-out, buffered row batches). The source
+// pipelines call Release once a worker is done with its view, including
+// when the view was abandoned before the final row (the DMC-bitmap
+// shared-tail reuse path); Release must be idempotent.
+type ReleasableRows interface {
+	Rows
+	Release()
+}
+
 // matrixSource adapts an in-memory matrix (with a scan order) to
 // Source.
 type matrixSource struct {
@@ -40,6 +74,16 @@ func MatrixSource(m *matrix.Matrix, order matrix.ScanOrder) Source {
 func (s matrixSource) NumCols() int { return s.m.NumCols() }
 func (s matrixSource) NumRows() int { return len(s.order) }
 func (s matrixSource) Pass() Rows   { return matrixRows(s) }
+
+// ConcurrentPass trivially satisfies ConcurrentSource: the matrix is
+// random-access, so every view is just an independent cursor.
+func (s matrixSource) ConcurrentPass(n int) []Rows {
+	views := make([]Rows, n)
+	for i := range views {
+		views[i] = matrixRows(s)
+	}
+	return views
+}
 
 type matrixRows struct {
 	m     *matrix.Matrix

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"dmc/internal/bitset"
 	"dmc/internal/matrix"
@@ -60,11 +61,18 @@ type tailShare struct {
 	entries map[int]*tailEntry
 }
 
+// tailEntry is claim/wait rather than sync.Once: the first worker to
+// arrive claims the build, later workers wait on ready. The split
+// matters for broadcast sources — a waiter must be able to release its
+// row view before blocking (see get), which a blocking Once.Do cannot
+// express.
 type tailEntry struct {
-	once  sync.Once
-	tail  [][]matrix.Col
-	bms   []*bitset.Set
-	bytes int
+	claimed atomic.Bool
+	ready   chan struct{}
+	tail    [][]matrix.Col
+	bms     []*bitset.Set
+	bytes   int
+	fail    any // panic value of a failed build (e.g. a SourceError)
 }
 
 func newTailShare() *tailShare {
@@ -84,13 +92,40 @@ func (ts *tailShare) get(rows Rows, pos, mcols int, alive []bool, st *Stats) ([]
 	ts.mu.Lock()
 	e := ts.entries[pos]
 	if e == nil {
-		e = &tailEntry{}
+		e = &tailEntry{ready: make(chan struct{})}
 		ts.entries[pos] = e
 	}
 	ts.mu.Unlock()
-	e.once.Do(func() {
+	if e.claimed.CompareAndSwap(false, true) {
+		// Builder. A disk-backed pass can abort the build (SourceError
+		// panic); record the value and re-panic it for every worker
+		// that would have reused the build — otherwise they would scan
+		// nil bitmaps.
+		built := false
+		defer func() {
+			if !built {
+				if r := recover(); r != nil {
+					e.fail = r
+					close(e.ready)
+					panic(r)
+				}
+			}
+		}()
 		e.tail, e.bms, e.bytes = tailBitmaps(rows, pos, mcols, alive)
 		st.TailBitmapBytes += e.bytes
-	})
+		built = true
+		close(e.ready)
+	} else {
+		// Reuser: no scan reads its pass again after the switch, so
+		// drop out of a broadcast stream before blocking. Otherwise a
+		// bounded ring full of undelivered rows would wedge the single
+		// reader — and with it the builder, which still needs the tail
+		// of its own view.
+		releaseRows(rows)
+		<-e.ready
+	}
+	if e.fail != nil {
+		panic(e.fail)
+	}
 	return e.tail, e.bms
 }

@@ -1,0 +1,231 @@
+package matrix
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// randomRows returns n sorted strictly-increasing rows over cols
+// columns, including some empty ones.
+func randomRows(rng *rand.Rand, n, cols int) [][]Col {
+	rows := make([][]Col, n)
+	for i := range rows {
+		var row []Col
+		for c := 0; c < cols; c++ {
+			if rng.Float64() < 0.2 {
+				row = append(row, Col(c))
+			}
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// readAllBlocks decodes every frame of a block stream.
+func readAllBlocks(t *testing.T, data []byte, cols int) [][]Col {
+	t.Helper()
+	br, err := NewBlockReader(bufio.NewReader(bytes.NewReader(data)), cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][]Col
+	var blk RowBlock
+	for {
+		err := br.ReadRowBlock(&blk)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < blk.Len(); i++ {
+			out = append(out, append([]Col(nil), blk.Row(i)...))
+		}
+	}
+}
+
+func rowsEqual(a, b [][]Col) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const cols = 40
+	rows := randomRows(rng, 233, cols)
+	for _, lim := range []struct{ maxRows, maxBytes int }{
+		{0, 0},   // defaults
+		{7, 0},   // row limit trips
+		{0, 64},  // byte limit trips
+		{1, 1},   // one row per frame
+		{512, 1}, // byte limit immediately
+	} {
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		bw, err := NewBlockWriter(w, lim.maxRows, lim.maxBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range rows {
+			if err := bw.WriteRow(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if bw.Rows() != int64(len(rows)) {
+			t.Fatalf("limits %+v: writer counted %d rows, want %d", lim, bw.Rows(), len(rows))
+		}
+		got := readAllBlocks(t, buf.Bytes(), cols)
+		if !rowsEqual(got, rows) {
+			t.Fatalf("limits %+v: round trip changed rows", lim)
+		}
+	}
+}
+
+func TestWriteRowBlockSingleFrame(t *testing.T) {
+	var blk RowBlock
+	blk.Reset()
+	rows := [][]Col{{0, 3, 9}, {}, {1}}
+	for _, r := range rows {
+		blk.Append(r)
+	}
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if _, err := NewBlockWriter(w, 0, 0); err != nil { // header only
+		t.Fatal(err)
+	}
+	if err := WriteRowBlock(w, &blk); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAllBlocks(t, buf.Bytes(), 10); !rowsEqual(got, rows) {
+		t.Fatal("WriteRowBlock frame did not round-trip")
+	}
+}
+
+// TestBlockLegacyRead covers the migration path: unframed raw-row
+// streams replay block-at-a-time, and the sniff tells them apart.
+func TestBlockLegacyRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const cols = 24
+	rows := randomRows(rng, 57, cols)
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	for _, row := range rows {
+		if err := WriteRawRow(w, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	br := bufio.NewReader(bytes.NewReader(buf.Bytes()))
+	if IsBlockStream(br) {
+		t.Fatal("legacy stream sniffed as framed")
+	}
+	var got [][]Col
+	var blk RowBlock
+	for {
+		err := ReadRowBlockLegacy(br, cols, 8, &blk)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blk.Len() > 8 {
+			t.Fatalf("legacy block holds %d rows, max 8", blk.Len())
+		}
+		for i := 0; i < blk.Len(); i++ {
+			got = append(got, append([]Col(nil), blk.Row(i)...))
+		}
+	}
+	if !rowsEqual(got, rows) {
+		t.Fatal("legacy replay changed rows")
+	}
+
+	var fb bytes.Buffer
+	fw := bufio.NewWriter(&fb)
+	bw, err := NewBlockWriter(fw, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.WriteRow(rows[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !IsBlockStream(bufio.NewReader(bytes.NewReader(fb.Bytes()))) {
+		t.Fatal("framed stream not sniffed")
+	}
+}
+
+func TestBlockCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	bw, err := NewBlockWriter(w, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range [][]Col{{0, 2}, {1}, {0, 1, 2}} {
+		if err := bw.WriteRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"bad magic":         []byte("DMCX\x01"),
+		"empty":             {},
+		"truncated payload": good[:len(good)-1],
+		"forged row count":  append(append([]byte{}, good[:5]...), 0xff, 0xff, 0xff, 0xff, 0xff, 0x07, 0x01, 0x00),
+		"zero payload":      append(append([]byte{}, good[:5]...), 0x01, 0x00),
+	}
+	for name, data := range cases {
+		br, err := NewBlockReader(bufio.NewReader(bytes.NewReader(data)), 3)
+		if err == nil {
+			var blk RowBlock
+			err = br.ReadRowBlock(&blk)
+		}
+		if err == nil || err == io.EOF {
+			t.Errorf("%s: accepted (err=%v)", name, err)
+		} else if !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: error %v does not wrap ErrFormat", name, err)
+		}
+	}
+
+	// Valid frame but wrong column bound: decode must reject.
+	br, err := NewBlockReader(bufio.NewReader(bytes.NewReader(good)), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blk RowBlock
+	if err := br.ReadRowBlock(&blk); !errors.Is(err, ErrFormat) {
+		t.Errorf("over-wide row accepted: %v", err)
+	}
+}

@@ -99,6 +99,30 @@ func (t *TextRowReader) Next() ([]Col, error) {
 	return t.buf, nil
 }
 
+// NextLine returns the next raw row line without parsing it, or
+// io.EOF. Callers that shard decoding across goroutines (the stream
+// package's parallel partitioner) read lines here and parse them on
+// workers with ParseTextRow; the returned string is a fresh copy.
+func (t *TextRowReader) NextLine() (string, error) {
+	if t.read == t.rows {
+		return "", io.EOF
+	}
+	if !t.sc.Scan() {
+		if err := t.sc.Err(); err != nil {
+			return "", err
+		}
+		return "", fmt.Errorf("%w: truncated: got %d of %d rows", ErrFormat, t.read, t.rows)
+	}
+	t.read++
+	return t.sc.Text(), nil
+}
+
+// ParseTextRow parses one row line of the text format (the counterpart
+// of TextRowReader.NextLine), validating column ids against cols.
+func ParseTextRow(line string, cols int) ([]Col, error) {
+	return parseRowLine(line, cols)
+}
+
 // BinaryRowReader streams the binary format.
 type BinaryRowReader struct {
 	br         *bufio.Reader

@@ -1,7 +1,9 @@
 // Package server exposes the miners over HTTP/JSON — the serving layer
-// behind cmd/dmcserve. Datasets are held in memory by name; every
-// mining endpoint runs the exact DMC pipelines, so the service inherits
-// the library's no-false-positives / no-false-negatives guarantee.
+// behind cmd/dmcserve. Datasets are registered by name, either resident
+// in memory or file-backed (Config.StreamMinBytes routes big matrix
+// files to the out-of-core streaming engine); every mining endpoint
+// runs the exact DMC pipelines, so the service inherits the library's
+// no-false-positives / no-false-negatives guarantee.
 //
 // The layer is hardened for production traffic: every request is traced
 // (request id, latency, status, bytes — obs.Trace), mining endpoints
@@ -46,10 +48,7 @@ import (
 	"dmc/internal/matrix"
 	"dmc/internal/obs"
 	"dmc/internal/rules"
-
-	// Registers the stream spill/pass counters on obs.Default so
-	// /v1/metrics always exposes them, even before any streamed mine.
-	_ "dmc/internal/stream"
+	"dmc/internal/stream"
 )
 
 // Config tunes the serving layer. The zero value is production-safe:
@@ -82,6 +81,11 @@ type Config struct {
 	// ShutdownGrace bounds the drain of in-flight requests once Run's
 	// context is canceled; zero means 30s.
 	ShutdownGrace time.Duration
+	// StreamMinBytes makes LoadDir register matrix files (.dmt/.dmb) at
+	// or above this size as file-backed: they stay on disk and mining
+	// requests stream them through the out-of-core engine instead of
+	// holding the matrix in memory. Zero disables (everything loads).
+	StreamMinBytes int64
 }
 
 func (c Config) registry() *obs.Registry {
@@ -156,11 +160,30 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 	}
 }
 
+// dataset is one served dataset: either resident in memory (m != nil)
+// or file-backed (path != ""), in which case mining requests stream it
+// from disk through the out-of-core engine.
+type dataset struct {
+	m    *matrix.Matrix
+	path string
+	info DatasetInfo
+}
+
+// label names column c: real labels for in-memory datasets that have
+// them, the matrix's "c<id>" placeholder otherwise. File-backed
+// datasets never carry labels (they are never parsed whole).
+func (d *dataset) label(c matrix.Col) string {
+	if d.m != nil {
+		return d.m.Label(c)
+	}
+	return fmt.Sprintf("c%d", c)
+}
+
 // Server is the HTTP handler. The zero value is not usable; construct
 // with New or NewWith.
 type Server struct {
 	mu       sync.RWMutex
-	datasets map[string]*matrix.Matrix
+	datasets map[string]*dataset
 
 	cfg     Config
 	metrics *serverMetrics
@@ -169,9 +192,13 @@ type Server struct {
 
 	// Mining entry points, swappable by tests. workers routes between
 	// the serial and parallel pipelines: 1 is serial, anything else is
-	// the §7 column-partitioned engine (0 = one worker per CPU).
-	mineImp func(m *matrix.Matrix, t core.Threshold, o core.Options, workers int) ([]rules.Implication, core.Stats)
-	mineSim func(m *matrix.Matrix, t core.Threshold, o core.Options, workers int) ([]rules.Similarity, core.Stats)
+	// the §7 column-partitioned engine (0 = one worker per CPU). The
+	// File variants stream a file-backed dataset from disk with the
+	// same worker fan-out.
+	mineImp     func(m *matrix.Matrix, t core.Threshold, o core.Options, workers int) ([]rules.Implication, core.Stats)
+	mineSim     func(m *matrix.Matrix, t core.Threshold, o core.Options, workers int) ([]rules.Similarity, core.Stats)
+	mineImpFile func(path string, t core.Threshold, o core.Options, cfg stream.Config) ([]rules.Implication, core.Stats, error)
+	mineSimFile func(path string, t core.Threshold, o core.Options, cfg stream.Config) ([]rules.Similarity, core.Stats, error)
 }
 
 // New returns an empty server with the default Config.
@@ -180,7 +207,7 @@ func New() *Server { return NewWith(Config{}) }
 // NewWith returns an empty server with the given Config.
 func NewWith(cfg Config) *Server {
 	s := &Server{
-		datasets: make(map[string]*matrix.Matrix),
+		datasets: make(map[string]*dataset),
 		cfg:      cfg,
 		metrics:  newServerMetrics(cfg.registry()),
 		mineImp: func(m *matrix.Matrix, t core.Threshold, o core.Options, workers int) ([]rules.Implication, core.Stats) {
@@ -195,6 +222,8 @@ func NewWith(cfg Config) *Server {
 			}
 			return core.DMCSimParallel(m, t, o, workers)
 		},
+		mineImpFile: stream.MineImplicationsCfg,
+		mineSimFile: stream.MineSimilaritiesCfg,
 	}
 	if cfg.MaxConcurrentMines > 0 {
 		s.mineSem = make(chan struct{}, cfg.MaxConcurrentMines)
@@ -211,20 +240,40 @@ func NewWith(cfg Config) *Server {
 	return s
 }
 
-// Add registers (or replaces) a dataset under the given name.
+// Add registers (or replaces) an in-memory dataset under the given
+// name.
 func (s *Server) Add(name string, m *matrix.Matrix) {
+	s.add(name, &dataset{m: m, info: info(name, m)})
+}
+
+// AddFile registers a file-backed dataset: only the header is read
+// here; mining requests stream the rows from disk through the
+// out-of-core engine. The file must outlive the server.
+func (s *Server) AddFile(name, path string) error {
+	rr, closer, err := matrix.OpenRowReader(path)
+	if err != nil {
+		return err
+	}
+	closer.Close()
+	s.add(name, &dataset{path: path, info: DatasetInfo{
+		Name: name, Rows: rr.NumRows(), Cols: rr.NumCols(), Streamed: true,
+	}})
+	return nil
+}
+
+func (s *Server) add(name string, d *dataset) {
 	s.mu.Lock()
-	s.datasets[name] = m
+	s.datasets[name] = d
 	s.metrics.datasets.Set(int64(len(s.datasets)))
 	s.mu.Unlock()
 }
 
 // get returns the named dataset.
-func (s *Server) get(name string) (*matrix.Matrix, bool) {
+func (s *Server) get(name string) (*dataset, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	m, ok := s.datasets[name]
-	return m, ok
+	d, ok := s.datasets[name]
+	return d, ok
 }
 
 // Handler returns the HTTP routing table wrapped in the tracing
@@ -312,20 +361,23 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	return err
 }
 
-// DatasetInfo is the wire form of a dataset summary.
+// DatasetInfo is the wire form of a dataset summary. Streamed datasets
+// report Ones as 0: only the file header is read at registration, and
+// the ones count would need a full scan.
 type DatasetInfo struct {
-	Name    string `json:"name"`
-	Rows    int    `json:"rows"`
-	Cols    int    `json:"cols"`
-	Ones    int    `json:"ones"`
-	Labeled bool   `json:"labeled"`
+	Name     string `json:"name"`
+	Rows     int    `json:"rows"`
+	Cols     int    `json:"cols"`
+	Ones     int    `json:"ones"`
+	Labeled  bool   `json:"labeled"`
+	Streamed bool   `json:"streamed,omitempty"`
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	out := make([]DatasetInfo, 0, len(s.datasets))
-	for name, m := range s.datasets {
-		out = append(out, info(name, m))
+	for _, d := range s.datasets {
+		out = append(out, d.info)
 	}
 	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -373,12 +425,12 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	m, ok := s.get(name)
+	d, ok := s.get(name)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "no dataset %q", name)
 		return
 	}
-	writeJSON(w, http.StatusOK, info(name, m))
+	writeJSON(w, http.StatusOK, d.info)
 }
 
 // acquireMine admits a mining request under the concurrency limiter,
@@ -416,7 +468,7 @@ func (s *Server) acquireMine(ctx context.Context) (release func(), ok bool) {
 // returns ok=false; an expired mine keeps running detached until done
 // (the core pipelines have no cancellation points) while its limiter
 // slot stays held, so the limiter keeps bounding actual CPU use.
-func runMine[R any](s *Server, w http.ResponseWriter, r *http.Request, pipeline string, mine func() ([]R, core.Stats)) ([]R, core.Stats, bool) {
+func runMine[R any](s *Server, w http.ResponseWriter, r *http.Request, pipeline string, mine func() ([]R, core.Stats, error)) ([]R, core.Stats, bool) {
 	ctx := r.Context()
 	if s.cfg.RequestTimeout > 0 {
 		var cancel context.CancelFunc
@@ -429,14 +481,15 @@ func runMine[R any](s *Server, w http.ResponseWriter, r *http.Request, pipeline 
 		return nil, core.Stats{}, false
 	}
 	type result struct {
-		rs []R
-		st core.Stats
+		rs  []R
+		st  core.Stats
+		err error
 	}
 	ch := make(chan result, 1)
 	go func() {
 		defer release()
-		rs, st := mine()
-		ch <- result{rs, st}
+		rs, st, err := mine()
+		ch <- result{rs, st, err}
 	}()
 	select {
 	case <-ctx.Done():
@@ -444,6 +497,13 @@ func runMine[R any](s *Server, w http.ResponseWriter, r *http.Request, pipeline 
 		writeErr(w, http.StatusServiceUnavailable, "mining did not finish before the request deadline; narrow the query or raise the limit")
 		return nil, core.Stats{}, false
 	case res := <-ch:
+		if res.err != nil {
+			// Only the streamed path can fail (disk I/O, spill setup);
+			// the in-memory pipelines always succeed.
+			s.cfg.logger().Error("streamed mine failed", slog.String("pipeline", pipeline), slog.Any("error", res.err))
+			writeErr(w, http.StatusInternalServerError, "mining failed: %v", res.err)
+			return nil, core.Stats{}, false
+		}
 		s.recordMine(pipeline, res.st)
 		return res.rs, res.st, true
 	}
@@ -481,7 +541,7 @@ type MineResponse[R any] struct {
 
 func (s *Server) handleImplications(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	m, ok := s.get(name)
+	d, ok := s.get(name)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "no dataset %q", name)
 		return
@@ -491,8 +551,13 @@ func (s *Server) handleImplications(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rs, st, ok := runMine(s, w, r, "imp", func() ([]rules.Implication, core.Stats) {
-		return s.mineImp(m, core.FromPercent(p.threshold), core.Options{MinSupport: p.minSupport, Hooks: s.hooks}, p.workers)
+	opts := core.Options{MinSupport: p.minSupport, Hooks: s.hooks}
+	rs, st, ok := runMine(s, w, r, "imp", func() ([]rules.Implication, core.Stats, error) {
+		if d.m == nil {
+			return s.mineImpFile(d.path, core.FromPercent(p.threshold), opts, stream.Config{Workers: p.workers})
+		}
+		rs, st := s.mineImp(d.m, core.FromPercent(p.threshold), opts, p.workers)
+		return rs, st, nil
 	})
 	if !ok {
 		return
@@ -507,7 +572,7 @@ func (s *Server) handleImplications(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		resp.Rules = append(resp.Rules, ImplicationWire{
-			From: m.Label(rule.From), To: m.Label(rule.To),
+			From: d.label(rule.From), To: d.label(rule.To),
 			Confidence: rule.Confidence(), Hits: rule.Hits, Ones: rule.Ones,
 		})
 	}
@@ -526,7 +591,7 @@ type SimilarityWire struct {
 
 func (s *Server) handleSimilarities(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	m, ok := s.get(name)
+	d, ok := s.get(name)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "no dataset %q", name)
 		return
@@ -536,8 +601,13 @@ func (s *Server) handleSimilarities(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rs, st, ok := runMine(s, w, r, "sim", func() ([]rules.Similarity, core.Stats) {
-		return s.mineSim(m, core.FromPercent(p.threshold), core.Options{MinSupport: p.minSupport, Hooks: s.hooks}, p.workers)
+	opts := core.Options{MinSupport: p.minSupport, Hooks: s.hooks}
+	rs, st, ok := runMine(s, w, r, "sim", func() ([]rules.Similarity, core.Stats, error) {
+		if d.m == nil {
+			return s.mineSimFile(d.path, core.FromPercent(p.threshold), opts, stream.Config{Workers: p.workers})
+		}
+		rs, st := s.mineSim(d.m, core.FromPercent(p.threshold), opts, p.workers)
+		return rs, st, nil
 	})
 	if !ok {
 		return
@@ -552,7 +622,7 @@ func (s *Server) handleSimilarities(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		resp.Rules = append(resp.Rules, SimilarityWire{
-			A: m.Label(rule.A), B: m.Label(rule.B),
+			A: d.label(rule.A), B: d.label(rule.B),
 			Similarity: rule.Value(), Hits: rule.Hits, OnesA: rule.OnesA, OnesB: rule.OnesB,
 		})
 	}
@@ -567,11 +637,16 @@ type ExpandGroupWire struct {
 
 func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	m, ok := s.get(name)
+	d, ok := s.get(name)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "no dataset %q", name)
 		return
 	}
+	if d.m == nil {
+		writeErr(w, http.StatusBadRequest, "dataset %q is file-backed (streamed) and has no labels; expansion needs a labeled in-memory dataset", name)
+		return
+	}
+	m := d.m
 	if m.Labels() == nil {
 		writeErr(w, http.StatusBadRequest, "dataset %q has no labels", name)
 		return
@@ -591,8 +666,9 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rs, _, ok := runMine(s, w, r, "imp", func() ([]rules.Implication, core.Stats) {
-		return s.mineImp(m, core.FromPercent(p.threshold), core.Options{MinSupport: p.minSupport, Hooks: s.hooks}, p.workers)
+	rs, _, ok := runMine(s, w, r, "imp", func() ([]rules.Implication, core.Stats, error) {
+		rs, st := s.mineImp(m, core.FromPercent(p.threshold), core.Options{MinSupport: p.minSupport, Hooks: s.hooks}, p.workers)
+		return rs, st, nil
 	})
 	if !ok {
 		return
@@ -683,6 +759,9 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 
 // LoadDir loads every matrix file in dir into the server, named by the
 // file's base name without extension. Unknown extensions are skipped.
+// When Config.StreamMinBytes is set, .dmt/.dmb files at or above that
+// size are registered file-backed instead of loaded: their rows stay on
+// disk and mining requests stream them through the out-of-core engine.
 func (s *Server) LoadDir(dir string) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -696,11 +775,25 @@ func (s *Server) LoadDir(dir string) error {
 		if ext != matrix.ExtText && ext != matrix.ExtBinary && ext != matrix.ExtBasket {
 			continue
 		}
-		m, err := matrix.Load(filepath.Join(dir, e.Name()))
+		name := strings.TrimSuffix(e.Name(), ext)
+		path := filepath.Join(dir, e.Name())
+		if s.cfg.StreamMinBytes > 0 && ext != matrix.ExtBasket {
+			fi, err := e.Info()
+			if err != nil {
+				return fmt.Errorf("loading %s: %w", e.Name(), err)
+			}
+			if fi.Size() >= s.cfg.StreamMinBytes {
+				if err := s.AddFile(name, path); err != nil {
+					return fmt.Errorf("registering %s as streamed: %w", e.Name(), err)
+				}
+				continue
+			}
+		}
+		m, err := matrix.Load(path)
 		if err != nil {
 			return fmt.Errorf("loading %s: %w", e.Name(), err)
 		}
-		s.Add(strings.TrimSuffix(e.Name(), ext), m)
+		s.Add(name, m)
 	}
 	return nil
 }

@@ -190,6 +190,54 @@ func TestLoadDir(t *testing.T) {
 	}
 }
 
+// TestStreamedDataset covers the file-backed serving path: LoadDir with
+// StreamMinBytes registers a big matrix file without loading it, mining
+// endpoints stream it from disk (any worker count) with the same rules
+// as an in-memory mine, and expansion — which needs labels — is
+// rejected with a 400.
+func TestStreamedDataset(t *testing.T) {
+	dir := t.TempDir()
+	m := matrix.FromRows(6, [][]matrix.Col{
+		{0, 1, 2}, {0, 1}, {0, 1, 4}, {2, 3}, {0, 1, 2}, {4, 5}, {0, 1},
+	})
+	if err := matrix.Save(filepath.Join(dir, "big.dmb"), m); err != nil {
+		t.Fatal(err)
+	}
+	s := NewWith(Config{StreamMinBytes: 1})
+	if err := s.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s.Add("mem", m)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	var list []DatasetInfo
+	getJSON(t, ts.URL+"/v1/datasets", http.StatusOK, &list)
+	if len(list) != 2 {
+		t.Fatalf("list = %+v", list)
+	}
+	var big DatasetInfo
+	getJSON(t, ts.URL+"/v1/datasets/big", http.StatusOK, &big)
+	if !big.Streamed || big.Rows != m.NumRows() || big.Cols != m.NumCols() {
+		t.Fatalf("big info = %+v", big)
+	}
+
+	var mem, streamed MineResponse[ImplicationWire]
+	getJSON(t, ts.URL+"/v1/datasets/mem/implications?threshold=75", http.StatusOK, &mem)
+	for _, w := range []string{"1", "2"} {
+		getJSON(t, ts.URL+"/v1/datasets/big/implications?threshold=75&workers="+w, http.StatusOK, &streamed)
+		if streamed.Total != mem.Total {
+			t.Fatalf("workers=%s: streamed %d rules, in-memory %d", w, streamed.Total, mem.Total)
+		}
+	}
+	var sim MineResponse[SimilarityWire]
+	getJSON(t, ts.URL+"/v1/datasets/big/similarities?threshold=60&workers=2", http.StatusOK, &sim)
+	if sim.Total == 0 {
+		t.Fatal("streamed similarity mine returned no rules")
+	}
+	getJSON(t, ts.URL+"/v1/datasets/big/expand?keyword=c0", http.StatusBadRequest, nil)
+}
+
 // The workers parameter routes to the parallel pipeline, which must
 // return the same rules; 0 means one worker per CPU, out-of-range
 // values are rejected.

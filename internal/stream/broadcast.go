@@ -1,0 +1,289 @@
+package stream
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"dmc/internal/core"
+	"dmc/internal/matrix"
+)
+
+// This file is the replay engine: one background reader goroutine per
+// pass opens the spill segments in density order, decodes them a frame
+// at a time, and broadcasts the decoded blocks to every consumer view
+// through a bounded ring channel. With one view that is the
+// double-buffered prefetch path (the reader decodes frame k+1 while the
+// miner consumes frame k); with n views it is the single-reader
+// broadcast that lets n §7 shard workers share one disk read per pass.
+//
+// Lifecycle rules that keep this deadlock- and leak-free:
+//   - the reader is the only sender and the only goroutine touching the
+//     spill files; it closes every view channel exactly once on exit
+//     (after storing its error), so consumers never block forever;
+//   - every send selects on the view's done channel and the reader's
+//     stop channel, so an abandoned view (a worker that switched to a
+//     shared DMC-bitmap tail mid-pass) or Partitioned.Close never
+//     wedges the reader;
+//   - blocks are refcounted across views and recycled through a pool;
+//     a block is never pooled while a consumer may still hold one of
+//     its row slices (the final row of a pass stays un-pooled).
+
+var errPassClosed = errors.New("partition closed mid-pass")
+
+// Pass starts a fresh prefetching pass over all rows, sparsest bucket
+// first. An I/O error mid-pass panics with a *PassError (the core
+// engines have no error channel), which the Mine entry points recover
+// into an ordinary error.
+func (p *Partitioned) Pass() core.Rows { return p.ConcurrentPass(1)[0] }
+
+// ConcurrentPass implements core.ConcurrentSource: one disk read of
+// the pass, broadcast to n independently-consumable views. Each view
+// obeys the sequential core.Rows contract on its own goroutine.
+func (p *Partitioned) ConcurrentPass(n int) []core.Rows {
+	if n < 1 {
+		n = 1
+	}
+	metricPasses.Inc()
+	r := &passReader{p: p, stop: make(chan struct{}), done: make(chan struct{})}
+	r.pool.New = func() any { return new(matrix.RowBlock) }
+	rows := make([]core.Rows, n)
+	r.views = make([]*view, n)
+	for i := range rows {
+		v := &view{r: r, total: p.rows, ch: make(chan *sharedBlock, p.cfg.prefetch()), done: make(chan struct{})}
+		r.views[i] = v
+		rows[i] = v
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		r.err = errPassClosed
+		for _, v := range r.views {
+			close(v.ch)
+		}
+		close(r.done)
+		return rows
+	}
+	p.readers[r] = struct{}{}
+	p.mu.Unlock()
+	go r.run()
+	return rows
+}
+
+// sharedBlock is one decoded frame with a reference per view it was
+// (or will be) delivered to; the last release returns it to the pool.
+type sharedBlock struct {
+	blk  *matrix.RowBlock
+	refs atomic.Int32
+}
+
+func (sb *sharedBlock) release(pool *sync.Pool) {
+	if sb.refs.Add(-1) == 0 {
+		pool.Put(sb.blk)
+	}
+}
+
+// passReader owns one pass: the spill file handles, the decode loop,
+// and the fan-out.
+type passReader struct {
+	p        *Partitioned
+	views    []*view
+	pool     sync.Pool // *matrix.RowBlock
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{} // closed when the goroutine has exited
+	err      error         // set before the view channels close
+}
+
+func (r *passReader) cancel() { r.stopOnce.Do(func() { close(r.stop) }) }
+
+func (r *passReader) run() {
+	delivered, err := r.readBuckets()
+	if err == nil && delivered != r.p.rows {
+		err = fmt.Errorf("pass delivered %d of %d rows", delivered, r.p.rows)
+	}
+	r.err = err
+	for _, v := range r.views {
+		close(v.ch)
+	}
+	// Recover queued blocks of views that were released before
+	// consuming them, so the depth gauge converges back.
+	for _, v := range r.views {
+		select {
+		case <-v.done:
+			for sb := range v.ch {
+				metricBroadcastDepth.Dec()
+				sb.release(&r.pool)
+			}
+		default:
+		}
+	}
+	r.p.mu.Lock()
+	delete(r.p.readers, r)
+	r.p.mu.Unlock()
+	close(r.done)
+}
+
+func (r *passReader) readBuckets() (int, error) {
+	delivered := 0
+	for _, b := range r.p.buckets {
+		select {
+		case <-r.stop:
+			return delivered, errPassClosed
+		default:
+		}
+		f, err := os.Open(b.path)
+		if err != nil {
+			return delivered, err
+		}
+		r.p.openFDs.Add(1)
+		n, err := r.readBucket(f, b)
+		f.Close()
+		r.p.openFDs.Add(-1)
+		delivered += n
+		if err != nil {
+			return delivered, err
+		}
+	}
+	return delivered, nil
+}
+
+func (r *passReader) readBucket(f *os.File, b bucket) (int, error) {
+	br := bufio.NewReaderSize(f, r.p.cfg.readBufBytes())
+	var brd *matrix.BlockReader
+	if !b.legacy {
+		var err error
+		if brd, err = matrix.NewBlockReader(br, r.p.cols); err != nil {
+			return 0, err
+		}
+	}
+	delivered := 0
+	for {
+		blk := r.pool.Get().(*matrix.RowBlock)
+		var err error
+		if brd != nil {
+			err = brd.ReadRowBlock(blk)
+		} else {
+			err = matrix.ReadRowBlockLegacy(br, r.p.cols, r.p.cfg.blockRowsVal(), blk)
+		}
+		if err == io.EOF {
+			r.pool.Put(blk)
+			return delivered, nil
+		}
+		if err != nil {
+			r.pool.Put(blk)
+			return delivered, err
+		}
+		metricFrames.Inc()
+		delivered += blk.Len()
+		if !r.deliver(blk) {
+			return delivered, errPassClosed
+		}
+	}
+}
+
+// deliver broadcasts one block to every still-attached view. Returns
+// false when the pass was cancelled under it.
+func (r *passReader) deliver(blk *matrix.RowBlock) bool {
+	sb := &sharedBlock{blk: blk}
+	sb.refs.Store(int32(len(r.views)))
+	for _, v := range r.views {
+		select {
+		case <-v.done:
+			sb.release(&r.pool)
+			continue
+		default:
+		}
+		select {
+		case v.ch <- sb:
+			metricBroadcastDepth.Inc()
+		case <-v.done:
+			sb.release(&r.pool)
+		case <-r.stop:
+			sb.release(&r.pool)
+			return false
+		}
+	}
+	return true
+}
+
+// view is one consumer's cursor over a broadcast pass. It implements
+// core.Rows (sequential Row(i)) and core.ReleasableRows.
+type view struct {
+	r     *passReader
+	total int
+	ch    chan *sharedBlock
+	done  chan struct{}
+	once  sync.Once
+	cur   *sharedBlock
+	idx   int // next row within cur
+	next  int // next absolute row index
+}
+
+func (v *view) Len() int { return v.total }
+
+func (v *view) Row(i int) []matrix.Col {
+	if i != v.next {
+		panic(&PassError{fmt.Errorf("out-of-order read: got %d, want %d", i, v.next)})
+	}
+	v.next++
+	for v.cur == nil || v.idx == v.cur.blk.Len() {
+		if v.cur != nil {
+			v.cur.release(&v.r.pool)
+			v.cur = nil
+		}
+		var sb *sharedBlock
+		var ok bool
+		select {
+		case sb, ok = <-v.ch:
+		default:
+			metricPrefetchStalls.Inc() // miner outran the prefetch reader
+			sb, ok = <-v.ch
+		}
+		if !ok {
+			err := v.r.err
+			if err == nil {
+				err = fmt.Errorf("pass ended at row %d of %d", v.next-1, v.total)
+			}
+			panic(&PassError{err})
+		}
+		metricBroadcastDepth.Dec()
+		v.cur = sb
+		v.idx = 0
+	}
+	row := v.cur.blk.Row(v.idx)
+	v.idx++
+	if v.next == v.total {
+		// Final row: detach from the reader so it can finish, but keep
+		// cur un-pooled — the caller may still hold this row's slice.
+		v.Release()
+	}
+	return row
+}
+
+// Release detaches the view from the broadcast: the reader skips it
+// from now on, and anything already queued is drained back to the pool
+// (by the reader at exit, or here once the channel is closed). The
+// current block is intentionally not pooled: the consumer's last row
+// may still alias it. Idempotent; safe after the pass completed.
+func (v *view) Release() {
+	v.once.Do(func() {
+		close(v.done)
+		for {
+			select {
+			case sb, ok := <-v.ch:
+				if !ok {
+					return
+				}
+				metricBroadcastDepth.Dec()
+				sb.release(&v.r.pool)
+			default:
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dmc/internal/core"
+	"dmc/internal/matrix"
+	"dmc/internal/rules"
+)
+
+// TestStreamParityAcrossWorkers is the parity property for the parallel
+// disk path: mining straight from a file — any worker fan-out, any
+// partition sharding, framed or legacy spill codec, with and without a
+// forced DMC-bitmap switch — must produce exactly the serial in-memory
+// miner's rule set. Run under -race in CI, this also exercises the
+// broadcast reader's concurrency.
+func TestStreamParityAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := randomMatrix(rng, 300, 36)
+	th := core.FromPercent(80)
+
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"default", core.Options{}},
+		// Forced switch on the first row: the whole run exercises the
+		// DMC-bitmap path, including the shared tail build and the
+		// early-abandoned broadcast views it causes.
+		{"bitmap", core.Options{BitmapMaxRows: m.NumRows() + 1, BitmapMinBytes: -1}},
+	}
+	configs := []Config{
+		{Workers: 1},
+		{Workers: 2, PartitionWorkers: 3},
+		{Workers: 8, Prefetch: 1, BlockRows: 16},
+		{Workers: 2, LegacyCodec: true},
+	}
+
+	for _, ext := range []string{matrix.ExtBinary, matrix.ExtText} {
+		path := writeTemp(t, m, ext)
+		for _, v := range variants {
+			wantImp, _ := core.DMCImp(m, th, v.opts)
+			wantSim, _ := core.DMCSim(m, th, v.opts)
+			for _, cfg := range configs {
+				name := fmt.Sprintf("%s/%s/w%d-pw%d-legacy%v", ext, v.name, cfg.Workers, cfg.PartitionWorkers, cfg.LegacyCodec)
+				t.Run(name, func(t *testing.T) {
+					gotImp, _, err := MineImplicationsCfg(path, th, v.opts, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if d := rules.DiffImplications(gotImp, wantImp); d != "" {
+						t.Fatalf("imp mismatch:\n%s", d)
+					}
+					gotSim, _, err := MineSimilaritiesCfg(path, th, v.opts, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if d := rules.DiffSimilarities(gotSim, wantSim); d != "" {
+						t.Fatalf("sim mismatch:\n%s", d)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestConcurrentPassViews checks the broadcast invariant directly:
+// every view of one ConcurrentPass sees the full row sequence, and the
+// pass costs one read (openFDs returns to zero, reader map drains).
+func TestConcurrentPassViews(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := randomMatrix(rng, 200, 24)
+	path := writeTemp(t, m, matrix.ExtBinary)
+	p, err := PartitionWith(path, Config{TmpDir: t.TempDir(), Prefetch: 2, BlockRows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	var want []string
+	serial := p.Pass()
+	for i := 0; i < serial.Len(); i++ {
+		want = append(want, key(serial.Row(i)))
+	}
+
+	const n = 4
+	views := p.ConcurrentPass(n)
+	got := make([][]string, n)
+	var wg sync.WaitGroup
+	for v := 0; v < n; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			rows := views[v]
+			for i := 0; i < rows.Len(); i++ {
+				got[v] = append(got[v], key(rows.Row(i)))
+			}
+		}(v)
+	}
+	wg.Wait()
+	for v := 0; v < n; v++ {
+		if len(got[v]) != len(want) {
+			t.Fatalf("view %d saw %d rows, want %d", v, len(got[v]), len(want))
+		}
+		for i := range want {
+			if got[v][i] != want[i] {
+				t.Fatalf("view %d row %d differs", v, i)
+			}
+		}
+	}
+	if fds := p.openFDs.Load(); fds != 0 {
+		t.Fatalf("%d spill fds still open after passes completed", fds)
+	}
+	p.mu.Lock()
+	live := len(p.readers)
+	p.mu.Unlock()
+	if live != 0 {
+		t.Fatalf("%d pass readers still registered", live)
+	}
+}
+
+// TestAbandonedPassReleasesFiles is the fd-leak regression test: a pass
+// abandoned before the final row (the DMC-bitmap switch-over ends a
+// replay early, or a consumer just stops) must not leave bucket files
+// open once the view is released or the partition closed.
+func TestAbandonedPassReleasesFiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := randomMatrix(rng, 150, 24)
+	path := writeTemp(t, m, matrix.ExtBinary)
+	p, err := PartitionWith(path, Config{TmpDir: t.TempDir(), BlockRows: 4, Prefetch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Abandon three passes mid-way: one released explicitly, one
+	// dropped on the floor, one never read at all.
+	rows := p.Pass().(*view)
+	for i := 0; i < 10; i++ {
+		rows.Row(i)
+	}
+	rows.Release()
+
+	dropped := p.Pass()
+	dropped.Row(0)
+	_ = p.Pass()
+
+	// Close must cancel the in-flight readers, wait for them, and
+	// leave zero spill file handles open.
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fds := p.openFDs.Load(); fds != 0 {
+		t.Fatalf("%d spill fds still open after Close", fds)
+	}
+	p.mu.Lock()
+	live := len(p.readers)
+	p.mu.Unlock()
+	if live != 0 {
+		t.Fatalf("%d pass readers still registered after Close", live)
+	}
+
+	// A pass started after Close fails as a PassError, not a deadlock.
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("pass after Close did not panic with PassError")
+		} else if _, ok := r.(*PassError); !ok {
+			t.Fatalf("panic value %T is not a PassError", r)
+		}
+	}()
+	p.Pass().Row(0)
+}
+
+// TestStreamCounters extends the metrics coverage to the new frame and
+// stall instruments.
+func TestStreamCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	m := randomMatrix(rng, 120, 16)
+	path := writeTemp(t, m, matrix.ExtBinary)
+
+	frames0 := metricFrames.Value()
+	depth0 := metricBroadcastDepth.Value()
+	if _, _, err := MineImplications(path, core.FromPercent(80), core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := metricFrames.Value() - frames0; got <= 0 {
+		t.Fatalf("frames delta = %d, want > 0", got)
+	}
+	// The depth gauge must converge back to its pre-mine level once
+	// all passes have drained (no queued frames leak from completed
+	// passes; only a view abandoned without Release can strand one).
+	if d := metricBroadcastDepth.Value() - depth0; d != 0 {
+		t.Fatalf("broadcast depth delta = %v after mining, want 0", d)
+	}
+}

@@ -1,0 +1,393 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"dmc/internal/matrix"
+)
+
+// Partitioned is the result of the first pass: per-column counts plus
+// the on-disk density buckets. It implements core.ConcurrentSource;
+// each Pass replays all rows sparsest-bucket-first through a
+// prefetching background reader, and ConcurrentPass broadcasts one
+// replay to several shard workers. Close cancels in-flight passes and
+// removes the spill files.
+type Partitioned struct {
+	dir     string
+	cols    int
+	rows    int
+	ones    []int
+	buckets []bucket // ascending density; parallel partitioning may
+	// write several segments per density bucket (one per partition
+	// worker), kept adjacent so replay order stays bucket-monotone
+	cfg Config
+
+	mu      sync.Mutex
+	readers map[*passReader]struct{} // in-flight pass readers
+	closed  bool
+	openFDs atomic.Int64 // spill file handles currently open (leak guard)
+}
+
+// bucket is one spill segment: a run of rows of a single density
+// bucket. legacy records the on-disk codec so replay never has to
+// sniff its own files.
+type bucket struct {
+	bkt    int
+	path   string
+	rows   int
+	legacy bool
+}
+
+func (c Config) blockRowsVal() int {
+	if c.BlockRows > 0 {
+		return c.BlockRows
+	}
+	return matrix.DefaultBlockRows
+}
+
+// Partition streams the matrix file at path once, producing the counts
+// and bucket spill files under a fresh directory inside tmpDir (""
+// means the system temp directory). This compatibility form partitions
+// on one goroutine; PartitionWith shards the pass.
+func Partition(path, tmpDir string) (*Partitioned, error) {
+	return PartitionWith(path, Config{TmpDir: tmpDir, Workers: 1})
+}
+
+// PartitionWith is Partition under Config control: cfg.PartitionWorkers
+// (or Workers) goroutines split decode + bucket classification + spill
+// encoding, each writing its own per-bucket segment files, with the
+// per-column ones counts merged at the end.
+func PartitionWith(path string, cfg Config) (*Partitioned, error) {
+	rr, closer, err := matrix.OpenRowReader(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closer.Close()
+
+	dir, err := os.MkdirTemp(cfg.TmpDir, "dmc-stream-")
+	if err != nil {
+		return nil, err
+	}
+	p := &Partitioned{
+		dir:     dir,
+		cols:    rr.NumCols(),
+		rows:    rr.NumRows(),
+		ones:    make([]int, rr.NumCols()),
+		cfg:     cfg,
+		readers: make(map[*passReader]struct{}),
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			p.Close()
+		}
+	}()
+
+	nb := matrix.NumBuckets(rr.NumCols())
+	var segs []bucket
+	var spilledBytes int64
+	if w := cfg.partitionWorkers(); w <= 1 {
+		segs, spilledBytes, err = partitionSerial(rr, dir, nb, cfg, p.ones)
+	} else {
+		segs, spilledBytes, err = partitionParallel(rr, dir, nb, w, cfg, p.ones)
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.buckets = segs
+
+	distinct := 0
+	last := -1
+	for _, s := range segs {
+		if s.bkt != last {
+			distinct++
+			last = s.bkt
+		}
+	}
+	metricPartitions.Inc()
+	metricSpilledRows.Add(int64(p.rows))
+	metricSpilledBytes.Add(spilledBytes)
+	metricSpillBuckets.Add(int64(distinct))
+	ok = true
+	return p, nil
+}
+
+func partitionSerial(rr matrix.RowReader, dir string, nb int, cfg Config, ones []int) ([]bucket, int64, error) {
+	ss := newSpillSet(dir, "", nb, cfg)
+	for {
+		row, err := rr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			ss.closeAll()
+			return nil, 0, err
+		}
+		for _, c := range row {
+			ones[c]++
+		}
+		if err := ss.write(matrix.BucketIndex(len(row)), row); err != nil {
+			ss.closeAll()
+			return nil, 0, err
+		}
+	}
+	return ss.finish()
+}
+
+// partChunk is one unit of partition work: either decoded rows (binary
+// input, decoded by the feeder) or raw text lines (text input, parsed
+// by the workers — for text the parse is the expensive part, so it is
+// what gets sharded).
+type partChunk struct {
+	blk   *matrix.RowBlock
+	lines []string
+}
+
+func partitionParallel(rr matrix.RowReader, dir string, nb, w int, cfg Config, ones []int) ([]bucket, int64, error) {
+	chunks := make(chan partChunk, 2*w)
+	pool := sync.Pool{New: func() any { return new(matrix.RowBlock) }}
+	cols := rr.NumCols()
+
+	type partWorker struct {
+		ss   *spillSet
+		ones []int
+		err  error
+	}
+	workers := make([]*partWorker, w)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		pw := &partWorker{
+			ss:   newSpillSet(dir, fmt.Sprintf("-w%02d", i), nb, cfg),
+			ones: make([]int, cols),
+		}
+		workers[i] = pw
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			handle := func(row []matrix.Col) error {
+				for _, c := range row {
+					pw.ones[c]++
+				}
+				return pw.ss.write(matrix.BucketIndex(len(row)), row)
+			}
+			for ch := range chunks { // drain even after an error so the feeder never blocks
+				if pw.err == nil {
+					if ch.lines != nil {
+						for _, ln := range ch.lines {
+							row, err := matrix.ParseTextRow(ln, cols)
+							if err == nil {
+								err = handle(row)
+							}
+							if err != nil {
+								pw.err = err
+								break
+							}
+						}
+					} else {
+						for i := 0; i < ch.blk.Len(); i++ {
+							if err := handle(ch.blk.Row(i)); err != nil {
+								pw.err = err
+								break
+							}
+						}
+					}
+				}
+				if ch.blk != nil {
+					pool.Put(ch.blk)
+				}
+			}
+		}()
+	}
+
+	chunkRows := cfg.blockRowsVal()
+	var feedErr error
+	if trr, ok := rr.(*matrix.TextRowReader); ok {
+		for feedErr == nil {
+			lines := make([]string, 0, chunkRows)
+			for len(lines) < chunkRows {
+				ln, err := trr.NextLine()
+				if err == io.EOF {
+					feedErr = io.EOF
+					break
+				}
+				if err != nil {
+					feedErr = err
+					break
+				}
+				lines = append(lines, ln)
+			}
+			if len(lines) > 0 {
+				chunks <- partChunk{lines: lines}
+			}
+		}
+	} else {
+		for feedErr == nil {
+			blk := pool.Get().(*matrix.RowBlock)
+			blk.Reset()
+			for blk.Len() < chunkRows {
+				row, err := rr.Next()
+				if err == io.EOF {
+					feedErr = io.EOF
+					break
+				}
+				if err != nil {
+					feedErr = err
+					break
+				}
+				blk.Append(row)
+			}
+			if blk.Len() > 0 {
+				chunks <- partChunk{blk: blk}
+			} else {
+				pool.Put(blk)
+			}
+		}
+	}
+	close(chunks)
+	wg.Wait()
+	if feedErr == io.EOF {
+		feedErr = nil
+	}
+	for _, pw := range workers {
+		if feedErr == nil && pw.err != nil {
+			feedErr = pw.err
+		}
+	}
+	if feedErr != nil {
+		for _, pw := range workers {
+			pw.ss.closeAll()
+		}
+		return nil, 0, feedErr
+	}
+
+	// Merge: sum the per-worker ones counts and interleave the spill
+	// segments bucket-major (worker-minor), so a replay still visits
+	// densities in non-decreasing order.
+	perWorker := make([]map[int]bucket, w)
+	var spilledBytes int64
+	for i, pw := range workers {
+		for c, n := range pw.ones {
+			ones[c] += n
+		}
+		segs, bytes, err := pw.ss.finish()
+		if err != nil {
+			for _, rest := range workers[i+1:] {
+				rest.ss.closeAll()
+			}
+			return nil, 0, err
+		}
+		spilledBytes += bytes
+		perWorker[i] = make(map[int]bucket, len(segs))
+		for _, s := range segs {
+			perWorker[i][s.bkt] = s
+		}
+	}
+	var segs []bucket
+	for b := 0; b < nb; b++ {
+		for i := 0; i < w; i++ {
+			if s, ok := perWorker[i][b]; ok {
+				segs = append(segs, s)
+			}
+		}
+	}
+	return segs, spilledBytes, nil
+}
+
+// spillSet is one writer's set of per-bucket spill files, created
+// lazily on the first row of each bucket.
+type spillSet struct {
+	dir    string
+	suffix string
+	cfg    Config
+	files  []*os.File
+	bws    []*bufio.Writer
+	blks   []*matrix.BlockWriter // nil per entry in legacy mode
+	rows   []int
+}
+
+func newSpillSet(dir, suffix string, nb int, cfg Config) *spillSet {
+	return &spillSet{
+		dir:    dir,
+		suffix: suffix,
+		cfg:    cfg,
+		files:  make([]*os.File, nb),
+		bws:    make([]*bufio.Writer, nb),
+		blks:   make([]*matrix.BlockWriter, nb),
+		rows:   make([]int, nb),
+	}
+}
+
+func (s *spillSet) write(b int, row []matrix.Col) error {
+	if s.files[b] == nil {
+		f, err := os.Create(filepath.Join(s.dir, fmt.Sprintf("bucket-%02d%s.rows", b, s.suffix)))
+		if err != nil {
+			return err
+		}
+		s.files[b] = f
+		s.bws[b] = bufio.NewWriterSize(f, 1<<16)
+		if !s.cfg.LegacyCodec {
+			bw, err := matrix.NewBlockWriter(s.bws[b], s.cfg.BlockRows, s.cfg.BlockBytes)
+			if err != nil {
+				return err
+			}
+			s.blks[b] = bw
+		}
+	}
+	s.rows[b]++
+	if s.blks[b] != nil {
+		return s.blks[b].WriteRow(row)
+	}
+	return matrix.WriteRawRow(s.bws[b], row)
+}
+
+// finish flushes and closes every file, returning the non-empty
+// segments in bucket order plus the total bytes spilled.
+func (s *spillSet) finish() ([]bucket, int64, error) {
+	var segs []bucket
+	var bytes int64
+	for b, f := range s.files {
+		if f == nil {
+			continue
+		}
+		var err error
+		if s.blks[b] != nil {
+			err = s.blks[b].Flush() // flushes the bufio.Writer too
+		} else {
+			err = s.bws[b].Flush()
+		}
+		if err != nil {
+			s.closeFrom(b)
+			return nil, 0, err
+		}
+		if fi, err := f.Stat(); err == nil {
+			bytes += fi.Size()
+		}
+		if err := f.Close(); err != nil {
+			s.closeFrom(b + 1)
+			return nil, 0, err
+		}
+		s.files[b] = nil
+		segs = append(segs, bucket{bkt: b, path: f.Name(), rows: s.rows[b], legacy: s.cfg.LegacyCodec})
+	}
+	return segs, bytes, nil
+}
+
+// closeAll closes every still-open file without flushing — the error
+// path, where the spill directory is about to be removed anyway. The
+// point is not leaking the descriptors.
+func (s *spillSet) closeAll() { s.closeFrom(0) }
+
+func (s *spillSet) closeFrom(b int) {
+	for ; b < len(s.files); b++ {
+		if s.files[b] != nil {
+			s.files[b].Close()
+			s.files[b] = nil
+		}
+	}
+}

@@ -5,29 +5,34 @@
 // The first pass (Partition) streams the file once: it counts ones(c)
 // per column and splits the rows into the density buckets of §4.1
 // ([2^i, 2^{i+1}) by row weight), writing each bucket to its own
-// temporary spill file. Every later pass replays the buckets
-// sparsest-first — which is exactly how the paper realizes row
-// re-ordering without sorting. The DMC pipelines then run unchanged on
-// top via core.Source.
+// temporary spill file in the block-framed raw-row codec. Every later
+// pass replays the buckets sparsest-first — which is exactly how the
+// paper realizes row re-ordering without sorting. The DMC pipelines
+// then run unchanged on top via core.Source.
+//
+// The replay path is concurrent end to end: a background reader
+// goroutine decodes frame k+1 while the miner consumes frame k
+// (double-buffered prefetch), and the same reader broadcasts each pass
+// once to any number of §7 shard workers through bounded ring channels
+// (core.ConcurrentSource), so parallel disk-backed mining reads each
+// pass exactly once. Partitioning itself can shard decode + bucket
+// classification across goroutines. All of it is tuned through Config.
 package stream
 
 import (
-	"bufio"
-	"fmt"
-	"io"
 	"os"
-	"path/filepath"
 
 	"dmc/internal/core"
-	"dmc/internal/matrix"
 	"dmc/internal/obs"
 	"dmc/internal/rules"
 )
 
-// Spill/pass counters on the process-wide registry: the serving
-// layer's /v1/metrics endpoint exposes these, which is how operators
-// see whether a deployment is spilling to disk and how many replay
-// passes the pipelines cost.
+// Spill/pass/prefetch counters on the process-wide registry: the
+// serving layer's /v1/metrics endpoint exposes these, which is how
+// operators see whether a deployment is spilling to disk, how many
+// replay passes the pipelines cost, and whether the miners are
+// outrunning the prefetch reader (stalls) or the reader is outrunning
+// the miners (queue depth pinned at the ring capacity).
 var (
 	metricPartitions = obs.Default.Counter("dmc_stream_partitions_total",
 		"Completed first-pass partitionings of a matrix file.")
@@ -39,99 +44,82 @@ var (
 		"Non-empty density buckets created by partitioning.")
 	metricPasses = obs.Default.Counter("dmc_stream_passes_total",
 		"Sequential passes replayed over the spill buckets.")
+	metricFrames = obs.Default.Counter("dmc_stream_frames_total",
+		"Row frames decoded and delivered by streaming replay passes.")
+	metricPrefetchStalls = obs.Default.Counter("dmc_stream_prefetch_stalls_total",
+		"Times a mining consumer blocked waiting on the prefetch reader.")
+	metricBroadcastDepth = obs.Default.Gauge("dmc_stream_broadcast_depth",
+		"Decoded row frames currently queued in broadcast ring buffers.")
 )
 
-// Partitioned is the result of the first pass: per-column counts plus
-// the on-disk density buckets. It implements core.Source; each Pass
-// replays all rows sparsest-bucket-first. Close removes the spill
-// files.
-type Partitioned struct {
-	dir     string
-	cols    int
-	rows    int
-	ones    []int
-	buckets []bucket // ascending density, only non-empty ones
+// Config tunes the streaming substrate. The zero value is a sensible
+// default everywhere: auto worker counts, block-framed spill codec,
+// double-buffered prefetch.
+type Config struct {
+	// TmpDir is where spill directories are created ("" = system temp).
+	TmpDir string
+
+	// Workers is the §7 shard fan-out for the mining passes: 1 runs
+	// the serial pipeline, ≤ 0 means one worker per CPU.
+	Workers int
+
+	// PartitionWorkers shards the first pass (decode + bucket
+	// classification + spill encode); ≤ 0 follows Workers.
+	PartitionWorkers int
+
+	// BlockRows / BlockBytes bound a spill frame (whichever trips
+	// first); ≤ 0 selects matrix.DefaultBlockRows / DefaultBlockBytes.
+	BlockRows  int
+	BlockBytes int
+
+	// Prefetch is the ring capacity per consumer, in decoded frames:
+	// how far the background reader may run ahead. ≤ 0 means 2 —
+	// classic double buffering (decode frame k+1 while frame k is
+	// consumed).
+	Prefetch int
+
+	// ReadBufBytes sizes the buffered reader over each spill file
+	// (≤ 0 = 256KB).
+	ReadBufBytes int
+
+	// LegacyCodec spills bare raw-row records instead of block frames
+	// — the pre-block on-disk format, kept as a migration/ablation
+	// knob. Replay auto-detects per bucket, so readers handle both.
+	LegacyCodec bool
 }
 
-type bucket struct {
-	path string
-	rows int
+func (c Config) prefetch() int {
+	if c.Prefetch > 0 {
+		return c.Prefetch
+	}
+	return 2
 }
 
-// Partition streams the matrix file at path once, producing the counts
-// and bucket spill files under a fresh directory inside tmpDir (""
-// means the system temp directory).
-func Partition(path, tmpDir string) (*Partitioned, error) {
-	rr, closer, err := matrix.OpenRowReader(path)
-	if err != nil {
-		return nil, err
+func (c Config) readBufBytes() int {
+	if c.ReadBufBytes > 0 {
+		return c.ReadBufBytes
 	}
-	defer closer.Close()
-
-	dir, err := os.MkdirTemp(tmpDir, "dmc-stream-")
-	if err != nil {
-		return nil, err
-	}
-	p := &Partitioned{dir: dir, cols: rr.NumCols(), rows: rr.NumRows(), ones: make([]int, rr.NumCols())}
-	ok := false
-	defer func() {
-		if !ok {
-			p.Close()
-		}
-	}()
-
-	nb := matrix.NumBuckets(rr.NumCols())
-	files := make([]*os.File, nb)
-	writers := make([]*bufio.Writer, nb)
-	counts := make([]int, nb)
-	for {
-		row, err := rr.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		for _, c := range row {
-			p.ones[c]++
-		}
-		b := matrix.BucketIndex(len(row))
-		if writers[b] == nil {
-			f, err := os.Create(filepath.Join(dir, fmt.Sprintf("bucket-%02d.rows", b)))
-			if err != nil {
-				return nil, err
-			}
-			files[b] = f
-			writers[b] = bufio.NewWriterSize(f, 1<<18)
-		}
-		if err := matrix.WriteRawRow(writers[b], row); err != nil {
-			return nil, err
-		}
-		counts[b]++
-	}
-	var spilledBytes int64
-	for b, w := range writers {
-		if w == nil {
-			continue
-		}
-		if err := w.Flush(); err != nil {
-			return nil, err
-		}
-		if fi, err := files[b].Stat(); err == nil {
-			spilledBytes += fi.Size()
-		}
-		if err := files[b].Close(); err != nil {
-			return nil, err
-		}
-		p.buckets = append(p.buckets, bucket{path: files[b].Name(), rows: counts[b]})
-	}
-	metricPartitions.Inc()
-	metricSpilledRows.Add(int64(p.rows))
-	metricSpilledBytes.Add(spilledBytes)
-	metricSpillBuckets.Add(int64(len(p.buckets)))
-	ok = true
-	return p, nil
+	return 1 << 18
 }
+
+func (c Config) partitionWorkers() int {
+	if c.PartitionWorkers > 0 {
+		return c.PartitionWorkers
+	}
+	return core.ResolveWorkers(c.Workers)
+}
+
+// PassError wraps an I/O failure during a streaming pass. It is the
+// panic payload of an aborted pass (the core engines have no error
+// channel); the Mine entry points return it as an ordinary error.
+type PassError struct{ Err error }
+
+func (e *PassError) Error() string { return "stream: pass failed: " + e.Err.Error() }
+func (e *PassError) Unwrap() error { return e.Err }
+
+// SourceError marks PassError as the core.SourceError pass-abort
+// protocol, so the parallel source pipelines recover it per worker.
+func (e *PassError) SourceError() {}
 
 // NumCols returns the column count.
 func (p *Partitioned) NumCols() int { return p.cols }
@@ -143,109 +131,58 @@ func (p *Partitioned) NumRows() int { return p.rows }
 // is owned by p; callers must not modify it.
 func (p *Partitioned) Ones() []int { return p.ones }
 
-// Pass starts a fresh sequential pass over all rows, sparsest bucket
-// first. The returned Rows reads lazily from the spill files; an I/O
-// error mid-pass panics with a *PassError (the core engines have no
-// error channel), which MineImplications and MineSimilarities recover
-// into an ordinary error.
-func (p *Partitioned) Pass() core.Rows {
-	metricPasses.Inc()
-	return &bucketRows{p: p}
-}
-
-// Close removes the spill directory.
-func (p *Partitioned) Close() error { return os.RemoveAll(p.dir) }
-
-// PassError wraps an I/O failure during a streaming pass.
-type PassError struct{ Err error }
-
-func (e *PassError) Error() string { return "stream: pass failed: " + e.Err.Error() }
-func (e *PassError) Unwrap() error { return e.Err }
-
-// bucketRows reads the buckets lazily; Row must be called with
-// consecutive indices (the core.Rows contract).
-type bucketRows struct {
-	p     *Partitioned
-	next  int
-	bkt   int
-	inBkt int
-	file  *os.File
-	br    *bufio.Reader
-	buf   []matrix.Col
-}
-
-func (r *bucketRows) Len() int { return r.p.rows }
-
-func (r *bucketRows) Row(i int) []matrix.Col {
-	if i != r.next {
-		panic(&PassError{fmt.Errorf("out-of-order read: got %d, want %d", i, r.next)})
+// Close cancels any in-flight passes, waits for their readers to
+// release the spill file handles, and removes the spill directory.
+func (p *Partitioned) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	readers := make([]*passReader, 0, len(p.readers))
+	for r := range p.readers {
+		readers = append(readers, r)
 	}
-	r.next++
-	for r.file == nil || r.inBkt == r.p.buckets[r.bkt].rows {
-		if r.file != nil {
-			r.file.Close()
-			r.file = nil
-			r.bkt++
-			r.inBkt = 0
-		}
-		if r.bkt >= len(r.p.buckets) {
-			panic(&PassError{fmt.Errorf("read past final bucket")})
-		}
-		if r.inBkt == 0 {
-			f, err := os.Open(r.p.buckets[r.bkt].path)
-			if err != nil {
-				panic(&PassError{err})
-			}
-			r.file = f
-			r.br = bufio.NewReaderSize(f, 1<<18)
-		}
+	p.mu.Unlock()
+	for _, r := range readers {
+		r.cancel()
 	}
-	row, err := matrix.ReadRawRow(r.br, r.p.cols, r.buf[:0])
-	if err != nil {
-		panic(&PassError{err})
+	for _, r := range readers {
+		<-r.done
 	}
-	r.buf = row
-	r.inBkt++
-	if r.next == r.p.rows { // final row: release the file handle
-		r.file.Close()
-		r.file = nil
-	}
-	return row
+	return os.RemoveAll(p.dir)
 }
 
 // MineImplications mines implication rules straight from a matrix file:
 // one partitioning pass, then the DMC-imp pipeline streaming the
 // buckets from disk (one extra pass per pipeline phase). Memory is
-// bounded by the counter array and the per-column count slices.
-func MineImplications(path string, minconf core.Threshold, opts core.Options) (rs []rules.Implication, st core.Stats, err error) {
-	p, err := Partition(path, "")
+// bounded by the counter array and the per-column count slices. This
+// compatibility form runs everything on one worker; use
+// MineImplicationsCfg for the parallel disk path.
+func MineImplications(path string, minconf core.Threshold, opts core.Options) ([]rules.Implication, core.Stats, error) {
+	return MineImplicationsCfg(path, minconf, opts, Config{Workers: 1})
+}
+
+// MineImplicationsCfg is MineImplications with the streaming substrate
+// under caller control: worker fan-out (the pass is read once and
+// broadcast to all shards), spill codec framing, prefetch depth.
+func MineImplicationsCfg(path string, minconf core.Threshold, opts core.Options, cfg Config) ([]rules.Implication, core.Stats, error) {
+	p, err := PartitionWith(path, cfg)
 	if err != nil {
 		return nil, core.Stats{}, err
 	}
 	defer p.Close()
-	defer recoverPass(&err)
-	rs, st = core.DMCImpSource(p, p.Ones(), minconf, opts)
-	return rs, st, nil
+	return core.DMCImpParallelSource(p, p.Ones(), minconf, opts, cfg.Workers)
 }
 
 // MineSimilarities is MineImplications for similarity rules.
-func MineSimilarities(path string, minsim core.Threshold, opts core.Options) (rs []rules.Similarity, st core.Stats, err error) {
-	p, err := Partition(path, "")
+func MineSimilarities(path string, minsim core.Threshold, opts core.Options) ([]rules.Similarity, core.Stats, error) {
+	return MineSimilaritiesCfg(path, minsim, opts, Config{Workers: 1})
+}
+
+// MineSimilaritiesCfg is MineImplicationsCfg for similarity rules.
+func MineSimilaritiesCfg(path string, minsim core.Threshold, opts core.Options, cfg Config) ([]rules.Similarity, core.Stats, error) {
+	p, err := PartitionWith(path, cfg)
 	if err != nil {
 		return nil, core.Stats{}, err
 	}
 	defer p.Close()
-	defer recoverPass(&err)
-	rs, st = core.DMCSimSource(p, p.Ones(), minsim, opts)
-	return rs, st, nil
-}
-
-func recoverPass(err *error) {
-	if r := recover(); r != nil {
-		pe, ok := r.(*PassError)
-		if !ok {
-			panic(r)
-		}
-		*err = pe
-	}
+	return core.DMCSimParallelSource(p, p.Ones(), minsim, opts, cfg.Workers)
 }
