@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check fmt vet build test race bench bench-json fuzz-smoke
+.PHONY: ci fmt-check fmt vet build test race bench bench-json fuzz-smoke fault-matrix
 
-ci: fmt-check vet build test race bench fuzz-smoke
+ci: fmt-check vet build test race bench fuzz-smoke fault-matrix
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -34,6 +34,15 @@ bench:
 # command with -bench-time 100ms and uploads the result as an artifact.
 bench-json:
 	$(GO) run ./cmd/dmcbench -bench-json BENCH_dmc.json -bench-time 1s
+
+# The robustness acceptance matrix under the race detector:
+# deterministic fault injection (failed/short reads, torn writes,
+# ENOSPC, CRC corruption), mid-pass cancellation, checkpoint/resume,
+# and the SIGKILL + -resume smoke — every cell must end in exact rules
+# or a typed error.
+fault-matrix:
+	$(GO) test -race -run 'Fault|Cancel|Corrupt|Checkpoint|Budget|Retry|Injector' ./internal/fault ./internal/stream ./internal/core ./internal/server .
+	$(GO) test -race -run 'KillResume' ./cmd/dmcmine
 
 # A short fuzzing pass over the decoders; spill-codec corruption must
 # never panic the miners. Go allows one fuzz target per invocation.

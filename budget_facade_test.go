@@ -1,0 +1,116 @@
+package dmc_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dmc"
+)
+
+// budgetMatrix is adversarial for the resident miner in original row
+// order: a dense block of ~90%-correlated columns up front allocates a
+// miss counter for every pair immediately (the rules hold, so the
+// counters survive the whole scan), while a long sparse tail keeps
+// "remaining rows" far above the bitmap switch at the interrupt
+// checks. The out-of-core engine replays the same rows in
+// density-bucket order — sparse tail first — so with denseRows small
+// enough the dense block lands past the final interrupt check and
+// inside the bitmap endgame, and the same budget holds.
+func budgetMatrix(denseRows int) *dmc.Matrix {
+	const denseCols, totalRows = 40, 1200
+	rng := rand.New(rand.NewSource(4))
+	rows := make([][]dmc.Col, 0, totalRows)
+	for i := 0; i < denseRows; i++ {
+		row := []dmc.Col{}
+		for c := 0; c < denseCols; c++ {
+			if rng.Intn(10) > 0 { // each column present ~90% of the block
+				row = append(row, dmc.Col(c))
+			}
+		}
+		rows = append(rows, row)
+	}
+	for i := denseRows; i < totalRows; i++ {
+		// Sprinkle each dense column thinly through the tail so its
+		// last 1 — which releases its candidate list — comes late: the
+		// counters opened by the dense block stay resident across the
+		// interrupt checks without dragging confidences below 75%.
+		row := []dmc.Col{denseCols}
+		if i%4 == 0 {
+			row = []dmc.Col{dmc.Col((i / 4) % denseCols), denseCols}
+		}
+		rows = append(rows, row)
+	}
+	return dmc.FromRows(denseCols+1, rows)
+}
+
+// TestBudgetFacadeDegradesToStream: the budget miner must ride out a
+// resident overflow by re-mining out of core, returning the exact rule
+// set instead of an error.
+func TestBudgetFacadeDegradesToStream(t *testing.T) {
+	m := budgetMatrix(150)
+	want, _ := dmc.MineImplications(m, dmc.Percent(75), dmc.Options{})
+	dmc.SortImplications(want)
+	if len(want) == 0 {
+		t.Fatal("budget matrix mines no rules; the test is vacuous")
+	}
+
+	opts := dmc.Options{Order: dmc.OrderOriginal, MemBudgetBytes: 4096}
+
+	// Precondition: the resident pipeline genuinely overflows this
+	// budget — otherwise the degrade path is never taken.
+	err := dmc.CapturePass(func() { dmc.MineImplications(m, dmc.Percent(75), opts) })
+	var be *dmc.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("resident mine did not overflow the budget (err=%v); counter model changed?", err)
+	}
+
+	got, _, err := dmc.MineImplicationsBudget(m, dmc.Percent(75), opts, dmc.StreamConfig{})
+	if err != nil {
+		t.Fatalf("budget miner failed instead of degrading: %v", err)
+	}
+	dmc.SortImplications(got)
+	if len(got) != len(want) {
+		t.Fatalf("degraded mine returned %d rules, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rule %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBudgetFacadeSurfacesTypedError: a dense block long enough to
+// cover an interrupt check in bucket order too overflows the budget in
+// both engines, so the caller gets the typed BudgetError — never
+// silence or wrong rules.
+func TestBudgetFacadeSurfacesTypedError(t *testing.T) {
+	m := budgetMatrix(300)
+	opts := dmc.Options{Order: dmc.OrderOriginal, MemBudgetBytes: 4096}
+	_, _, err := dmc.MineImplicationsBudget(m, dmc.Percent(75), opts, dmc.StreamConfig{})
+	var be *dmc.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BudgetError, got %v", err)
+	}
+	if be.Budget == 0 || be.Bytes <= be.Budget {
+		t.Fatalf("implausible BudgetError: %+v", be)
+	}
+}
+
+// TestBudgetFacadeSimilarity exercises the similarity-side budget
+// miner through the same degrade path.
+func TestBudgetFacadeSimilarity(t *testing.T) {
+	m := budgetMatrix(150)
+	want, _ := dmc.MineSimilarities(m, dmc.Percent(75), dmc.Options{})
+	dmc.SortSimilarities(want)
+
+	opts := dmc.Options{Order: dmc.OrderOriginal, MemBudgetBytes: 4096}
+	got, _, err := dmc.MineSimilaritiesBudget(m, dmc.Percent(75), opts, dmc.StreamConfig{})
+	if err != nil {
+		t.Fatalf("budget miner failed instead of degrading: %v", err)
+	}
+	dmc.SortSimilarities(got)
+	if len(got) != len(want) {
+		t.Fatalf("degraded mine returned %d rules, want %d", len(got), len(want))
+	}
+}

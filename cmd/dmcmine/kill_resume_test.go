@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"dmc/internal/core"
+	"dmc/internal/matrix"
+	"dmc/internal/rules"
+	"dmc/internal/stream"
+)
+
+const killHelperEnv = "DMCMINE_KILL_HELPER"
+
+// killTestMatrix builds a deterministic matrix dense enough to mine a
+// non-trivial rule set across several density buckets.
+func killTestMatrix(t *testing.T) *matrix.Matrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	var sb strings.Builder
+	for r := 0; r < 400; r++ {
+		sb.WriteString("anchor")
+		for c := 0; c < 24; c++ {
+			if rng.Intn(3) == 0 {
+				fmt.Fprintf(&sb, " c%02d", c)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	m, err := matrix.ReadBaskets(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestHelperKillMine is not a test: TestKillResumeReproducesRules
+// re-execs this binary to run it as the victim process. It starts a
+// checkpointed streamed mine and SIGKILLs itself the moment the
+// prescan pass completes — after the partition checkpoint is
+// committed, in the middle of mining.
+func TestHelperKillMine(t *testing.T) {
+	if os.Getenv(killHelperEnv) == "" {
+		t.Skip("helper process for TestKillResumeReproducesRules")
+	}
+	opts := core.Options{Hooks: &core.Hooks{
+		OnPhase: func(_, phase string, _ time.Duration) {
+			if phase == "prescan" {
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+		},
+	}}
+	cfg := stream.Config{CheckpointDir: os.Getenv("DMCMINE_KILL_CKPT")}
+	stream.MineImplicationsCfg(os.Getenv("DMCMINE_KILL_IN"), core.FromPercent(75), opts, cfg)
+	t.Fatal("mine survived the self-SIGKILL")
+}
+
+// TestKillResumeReproducesRules is the ISSUE acceptance scenario:
+// SIGKILL a checkpointed streamed mine mid-pass, re-run it with
+// -resume, and require the rule file to be byte-identical to an
+// uninterrupted run's.
+func TestKillResumeReproducesRules(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "m"+matrix.ExtBinary)
+	if err := matrix.Save(in, killTestMatrix(t)); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(dir, "ckpt")
+	if err := os.MkdirAll(ckpt, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(os.Args[0], "-test.run", "TestHelperKillMine$")
+	cmd.Env = append(os.Environ(),
+		killHelperEnv+"=1", "DMCMINE_KILL_IN="+in, "DMCMINE_KILL_CKPT="+ckpt)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("victim process exited cleanly:\n%s", out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ProcessState.ExitCode() != -1 {
+		t.Fatalf("victim was not killed by a signal: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(filepath.Join(ckpt, "MANIFEST.json")); err != nil {
+		t.Fatalf("no committed checkpoint survived the kill: %v", err)
+	}
+
+	// Resume through the real CLI path, writing the rule file.
+	resumed := filepath.Join(dir, "resumed.rules")
+	cfg := baseConfig(in)
+	cfg.threshold = 75
+	cfg.stream = true
+	cfg.workers = 2
+	cfg.ckptDir = ckpt
+	cfg.resume = true
+	cfg.out = resumed
+	if err := run(cfg); err != nil {
+		t.Fatalf("resume run: %v", err)
+	}
+
+	// An uninterrupted fresh run of the same mine.
+	fresh := filepath.Join(dir, "fresh.rules")
+	cfg = baseConfig(in)
+	cfg.threshold = 75
+	cfg.stream = true
+	cfg.out = fresh
+	if err := run(cfg); err != nil {
+		t.Fatalf("fresh run: %v", err)
+	}
+
+	a, err := os.ReadFile(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("resumed rules differ from fresh run:\n-- resumed --\n%s\n-- fresh --\n%s", a, b)
+	}
+	rs, err := rules.ReadImplications(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("kill-resume scenario mined zero rules; the comparison is vacuous")
+	}
+}

@@ -10,10 +10,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"dmc/internal/apriori"
 	"dmc/internal/core"
@@ -38,9 +42,19 @@ func main() {
 		groups    = flag.Bool("groups", false, "in imp mode, also print equivalence groups (mutually implying columns)")
 		out       = flag.String("out", "", "also write the mined rules to this file (dmcrules reads it back)")
 		minSup    = flag.Int("minsupport", 0, "also apply support pruning at this count (dmc and apriori engines)")
+		ckptDir   = flag.String("checkpoint-dir", "", "with -stream: spill the density buckets here durably so an interrupted mine can -resume")
+		resume    = flag.Bool("resume", false, "with -stream -checkpoint-dir: reuse a committed checkpoint instead of re-partitioning")
+		memBudget = flag.Int("mem-budget", 0, "counter-memory budget in bytes for the dmc engine; on overflow the mine degrades to out-of-core streaming (0 = unbounded)")
 	)
 	flag.Parse()
-	if err := run(runConfig{*in, *mode, *threshold, *engine, *order, *top, *stats, *streaming, *workers, *clusters, *groups, *out, *minSup}); err != nil {
+	// SIGINT/SIGTERM cancel the mine promptly through the pipelines'
+	// interrupt polling; with -checkpoint-dir a committed partition
+	// survives for -resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg := runConfig{*in, *mode, *threshold, *engine, *order, *top, *stats, *streaming, *workers,
+		*clusters, *groups, *out, *minSup, *ckptDir, *resume, *memBudget, ctx}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dmcmine:", err)
 		os.Exit(1)
 	}
@@ -60,6 +74,10 @@ type runConfig struct {
 	groups    bool
 	out       string
 	minSup    int
+	ckptDir   string
+	resume    bool
+	memBudget int
+	ctx       context.Context
 }
 
 func run(cfg runConfig) error {
@@ -69,6 +87,12 @@ func run(cfg runConfig) error {
 		return fmt.Errorf("missing -in")
 	}
 	th := core.FromPercent(threshold)
+	if cfg.ckptDir == "" && cfg.resume {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	if cfg.ckptDir != "" && !cfg.stream {
+		return fmt.Errorf("-checkpoint-dir requires -stream")
+	}
 	if cfg.stream {
 		if engine != "dmc" {
 			return fmt.Errorf("-stream supports only the dmc engine")
@@ -83,6 +107,8 @@ func run(cfg runConfig) error {
 
 	var opts core.Options
 	opts.MinSupport = cfg.minSup
+	opts.Ctx = cfg.ctx
+	opts.MemBudgetBytes = cfg.memBudget
 	switch order {
 	case "sparsest":
 		opts.Order = core.OrderSparsestFirst
@@ -101,10 +127,9 @@ func run(cfg runConfig) error {
 		switch engine {
 		case "dmc":
 			var st core.Stats
-			if cfg.workers != 1 {
-				rs, st = core.DMCImpParallel(m, th, opts, cfg.workers)
-			} else {
-				rs, st = core.DMCImp(m, th, opts)
+			rs, st, err = mineImpResident(m, th, opts, cfg)
+			if err != nil {
+				return err
 			}
 			report = dmcStats(st)
 		case "apriori":
@@ -146,10 +171,9 @@ func run(cfg runConfig) error {
 		switch engine {
 		case "dmc":
 			var st core.Stats
-			if cfg.workers != 1 {
-				rs, st = core.DMCSimParallel(m, th, opts, cfg.workers)
-			} else {
-				rs, st = core.DMCSim(m, th, opts)
+			rs, st, err = mineSimResident(m, th, opts, cfg)
+			if err != nil {
+				return err
 			}
 			report = dmcStats(st)
 		case "apriori":
@@ -195,6 +219,49 @@ func run(cfg runConfig) error {
 	return nil
 }
 
+// mineImpResident runs the in-memory dmc pipeline under the CLI's
+// context and memory budget. A budget overflow is not fatal: the input
+// is already a file on disk, so the mine degrades to the out-of-core
+// streaming engine against it and returns the identical rule set.
+func mineImpResident(m *matrix.Matrix, th core.Threshold, opts core.Options, cfg runConfig) ([]rules.Implication, core.Stats, error) {
+	var rs []rules.Implication
+	var st core.Stats
+	err := core.CapturePass(func() {
+		if cfg.workers != 1 {
+			rs, st = core.DMCImpParallel(m, th, opts, cfg.workers)
+		} else {
+			rs, st = core.DMCImp(m, th, opts)
+		}
+	})
+	var be *core.BudgetError
+	if err != nil && errors.As(err, &be) {
+		fmt.Fprintf(os.Stderr, "dmcmine: counter memory %d bytes exceeds -mem-budget %d; degrading to streamed mining\n",
+			be.Bytes, opts.MemBudgetBytes)
+		return stream.MineImplicationsCfg(cfg.in, th, opts, streamConfig(cfg))
+	}
+	return rs, st, err
+}
+
+// mineSimResident is mineImpResident for similarity rules.
+func mineSimResident(m *matrix.Matrix, th core.Threshold, opts core.Options, cfg runConfig) ([]rules.Similarity, core.Stats, error) {
+	var rs []rules.Similarity
+	var st core.Stats
+	err := core.CapturePass(func() {
+		if cfg.workers != 1 {
+			rs, st = core.DMCSimParallel(m, th, opts, cfg.workers)
+		} else {
+			rs, st = core.DMCSim(m, th, opts)
+		}
+	})
+	var be *core.BudgetError
+	if err != nil && errors.As(err, &be) {
+		fmt.Fprintf(os.Stderr, "dmcmine: counter memory %d bytes exceeds -mem-budget %d; degrading to streamed mining\n",
+			be.Bytes, opts.MemBudgetBytes)
+		return stream.MineSimilaritiesCfg(cfg.in, th, opts, streamConfig(cfg))
+	}
+	return rs, st, err
+}
+
 func dmcStats(st core.Stats) string {
 	s := fmt.Sprintf("total %v (prescan %v, 100%%-phase %v, <100%%-phase %v, bitmap %v)\n",
 		st.Total, st.Prescan, st.Phase100, st.PhaseLT, st.Bitmap)
@@ -206,15 +273,27 @@ func dmcStats(st core.Stats) string {
 	return s
 }
 
+// streamConfig builds the out-of-core engine configuration shared by
+// -stream runs and budget-degraded resident mines: worker fan-out,
+// cancellation context, and the durable checkpoint knobs.
+func streamConfig(cfg runConfig) stream.Config {
+	return stream.Config{
+		Workers:       cfg.workers,
+		Ctx:           cfg.ctx,
+		CheckpointDir: cfg.ckptDir,
+		Resume:        cfg.resume,
+	}
+}
+
 // runStream mines straight from disk via the two-pass bucket spill
 // path; only rule counts and stats are printed (labels would need the
 // matrix in memory). -workers fans the replay passes out over the
 // broadcast reader, mirroring the in-memory parallel engine.
 func runStream(cfg runConfig, th core.Threshold) error {
-	scfg := stream.Config{Workers: cfg.workers}
+	scfg := streamConfig(cfg)
 	switch cfg.mode {
 	case "imp":
-		rs, st, err := stream.MineImplicationsCfg(cfg.in, th, core.Options{MinSupport: cfg.minSup}, scfg)
+		rs, st, err := stream.MineImplicationsCfg(cfg.in, th, core.Options{MinSupport: cfg.minSup, Ctx: cfg.ctx}, scfg)
 		if err != nil {
 			return err
 		}
@@ -222,14 +301,26 @@ func runStream(cfg runConfig, th core.Threshold) error {
 		if cfg.stats {
 			fmt.Println(dmcStats(st))
 		}
+		if cfg.out != "" {
+			rules.SortImplications(rs)
+			if err := writeRuleFile(cfg.out, func(w *os.File) error { return rules.WriteImplications(w, rs) }); err != nil {
+				return err
+			}
+		}
 	case "sim":
-		rs, st, err := stream.MineSimilaritiesCfg(cfg.in, th, core.Options{MinSupport: cfg.minSup}, scfg)
+		rs, st, err := stream.MineSimilaritiesCfg(cfg.in, th, core.Options{MinSupport: cfg.minSup, Ctx: cfg.ctx}, scfg)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%d similarity rules at >= %d%% similarity (streamed)\n", len(rs), cfg.threshold)
 		if cfg.stats {
 			fmt.Println(dmcStats(st))
+		}
+		if cfg.out != "" {
+			rules.SortSimilarities(rs)
+			if err := writeRuleFile(cfg.out, func(w *os.File) error { return rules.WriteSimilarities(w, rs) }); err != nil {
+				return err
+			}
 		}
 	default:
 		return fmt.Errorf("unknown -mode %q (want imp or sim)", cfg.mode)

@@ -40,6 +40,7 @@ func main() {
 		grace      = flag.Duration("shutdown-grace", 30*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
 		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 		streamMin  = flag.Int64("stream-min-bytes", 0, "serve .dmt/.dmb files at or above this size file-backed, streaming them from disk per request (0 loads everything into memory)")
+		memBudget  = flag.Int("mem-budget", 0, "counter-memory budget in bytes per resident mine; on overflow the mine degrades to out-of-core streaming (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -57,6 +58,7 @@ func main() {
 		MaxConcurrentMines: *maxMines,
 		ShutdownGrace:      *grace,
 		StreamMinBytes:     *streamMin,
+		MemBudgetBytes:     *memBudget,
 	}
 	s, ln, err := setup(cfg, *addr, *data)
 	if err != nil {

@@ -1,8 +1,10 @@
 package dmc
 
 import (
+	"errors"
 	"io"
 	"os"
+	"path/filepath"
 
 	"dmc/internal/core"
 	"dmc/internal/rules"
@@ -122,6 +124,83 @@ func saveRules(path string, write func(io.Writer) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+// CapturePass runs f, converting the pipelines' SourceError panic
+// protocol (cancellation via Options.Ctx, memory-budget overflow, pass
+// failures) into an ordinary error — wrap MineImplications /
+// MineSimilarities calls that set Options.Ctx or MemBudgetBytes.
+func CapturePass(f func()) error { return core.CapturePass(f) }
+
+// CancelError is the error a mine returns when Options.Ctx is
+// cancelled; it unwraps to the context's error.
+type CancelError = core.CancelError
+
+// BudgetError is the error a mine returns when the modeled counter
+// memory exceeds Options.MemBudgetBytes and the DMC-bitmap endgame
+// cannot absorb the remaining rows.
+type BudgetError = core.BudgetError
+
+// MineImplicationsBudget is MineImplications under a hard memory
+// budget (opts.MemBudgetBytes) with graceful degradation: if the
+// resident pipeline overflows the budget and the DMC-bitmap endgame
+// cannot absorb the tail, the matrix is spilled to a temporary file and
+// re-mined through the partitioned out-of-core engine — the paper's
+// §4.1 density-bucket re-ordering plus disk-backed passes — instead of
+// failing. The rule set is identical either way.
+func MineImplicationsBudget(m *Matrix, minconf Threshold, opts Options, cfg StreamConfig) ([]Implication, Stats, error) {
+	var rs []Implication
+	var st Stats
+	err := core.CapturePass(func() { rs, st = core.DMCImp(m, minconf, opts) })
+	if err == nil {
+		return rs, st, nil
+	}
+	var be *core.BudgetError
+	if !errors.As(err, &be) {
+		return nil, st, err
+	}
+	path, cleanup, serr := spillForBudget(m)
+	if serr != nil {
+		return nil, st, serr
+	}
+	defer cleanup()
+	return stream.MineImplicationsCfg(path, minconf, opts, cfg)
+}
+
+// MineSimilaritiesBudget is MineImplicationsBudget for similarity
+// rules.
+func MineSimilaritiesBudget(m *Matrix, minsim Threshold, opts Options, cfg StreamConfig) ([]Similarity, Stats, error) {
+	var rs []Similarity
+	var st Stats
+	err := core.CapturePass(func() { rs, st = core.DMCSim(m, minsim, opts) })
+	if err == nil {
+		return rs, st, nil
+	}
+	var be *core.BudgetError
+	if !errors.As(err, &be) {
+		return nil, st, err
+	}
+	path, cleanup, serr := spillForBudget(m)
+	if serr != nil {
+		return nil, st, serr
+	}
+	defer cleanup()
+	return stream.MineSimilaritiesCfg(path, minsim, opts, cfg)
+}
+
+// spillForBudget saves m to a temporary binary file for the
+// degrade-to-disk path; cleanup removes it.
+func spillForBudget(m *Matrix) (string, func(), error) {
+	dir, err := os.MkdirTemp("", "dmc-budget-")
+	if err != nil {
+		return "", nil, err
+	}
+	path := filepath.Join(dir, "resident.dmb")
+	if err := Save(path, m); err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	return path, func() { os.RemoveAll(dir) }, nil
 }
 
 // MineImplicationsEach mines like MineImplications but streams each

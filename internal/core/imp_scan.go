@@ -52,10 +52,13 @@ func impScan(rows Rows, mcols int, ones []int, alive, owned []bool, t Threshold,
 	released := make([]bool, mcols)
 	ar := newArena[candEntry](arenaBlockEntries)
 
-	bmMaxRows, bmMinBytes := opts.bitmapMaxRows(), opts.bitmapMinBytes()
+	bmMaxRows, bmMinBytes := opts.effectiveBitmap()
 	rowBuf := make([]matrix.Col, 0, 256)
 	n := rows.Len()
 	for pos := 0; pos < n; pos++ {
+		if pos&interruptStride == 0 {
+			opts.checkInterrupt(mem, n-pos, bmMaxRows)
+		}
 		if !opts.DisableBitmap && n-pos <= bmMaxRows && mem.bytes > bmMinBytes {
 			start := time.Now()
 			impBitmap(rows, pos, mcols, ones, alive, owned, maxmis, cnt, cand, hasList, released, rk, share, mem, st, emit)

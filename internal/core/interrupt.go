@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+)
+
+// interruptStride is the scan-position mask for interrupt checks: every
+// scan loop polls cancellation and the memory budget when
+// pos&interruptStride == 0, i.e. every 512 rows — frequent enough that
+// a cancelled mine dies within microseconds of work, rare enough to be
+// invisible in the row loop's profile.
+const interruptStride = 511
+
+// CancelError is the SourceError a scan panics with when Options.Ctx is
+// cancelled or past its deadline. It unwraps to the context's error, so
+// errors.Is(err, context.Canceled) and errors.Is(err,
+// context.DeadlineExceeded) both work on the error the pipelines
+// return.
+type CancelError struct{ Cause error }
+
+func (e *CancelError) Error() string { return "core: mine cancelled: " + e.Cause.Error() }
+func (e *CancelError) Unwrap() error { return e.Cause }
+
+// SourceError marks CancelError for the pass-failure panic protocol, so
+// capturePass converts it into an ordinary error on every pipeline.
+func (e *CancelError) SourceError() {}
+
+// BudgetError is the SourceError a scan panics with when the modeled
+// mining memory exceeds Options.MemBudgetBytes and the DMC-bitmap
+// endgame cannot absorb the remaining rows (too many left, or the
+// bitmap disabled). Callers catch it (errors.As) and degrade to the
+// partitioned/spill path, which bounds memory by block size instead of
+// candidate count.
+type BudgetError struct {
+	// Bytes is the modeled counter-array size at the check.
+	Bytes int
+	// Budget is the configured Options.MemBudgetBytes.
+	Budget int
+	// RemainingRows is how many rows of the pass were still unscanned.
+	RemainingRows int
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("core: memory budget exceeded: counter model at %d bytes > budget %d with %d rows remaining",
+		e.Bytes, e.Budget, e.RemainingRows)
+}
+
+// SourceError marks BudgetError for the pass-failure panic protocol.
+func (e *BudgetError) SourceError() {}
+
+// effectiveBitmap returns the DMC-bitmap switch thresholds with the
+// memory budget folded in: a budget below the configured byte threshold
+// lowers it, so a budget-constrained mine degrades into the bitmap
+// endgame as early as the tail allows instead of growing the counter
+// array to the paper's default 50MB.
+func (o Options) effectiveBitmap() (maxRows, minBytes int) {
+	maxRows, minBytes = o.bitmapMaxRows(), o.bitmapMinBytes()
+	if b := o.MemBudgetBytes; b > 0 && minBytes >= 0 && b < minBytes {
+		minBytes = b
+	}
+	return maxRows, minBytes
+}
+
+// checkInterrupt is the scan loops' periodic poll: panic CancelError on
+// a dead context, panic BudgetError when over budget with no bitmap
+// escape hatch. remaining is the unscanned row count of the pass.
+func (o Options) checkInterrupt(mem *memMeter, remaining, bmMaxRows int) {
+	if o.Ctx != nil {
+		if err := o.Ctx.Err(); err != nil {
+			panic(&CancelError{Cause: err})
+		}
+	}
+	if b := o.MemBudgetBytes; b > 0 && mem.bytes > b && (o.DisableBitmap || remaining > bmMaxRows) {
+		panic(&BudgetError{Bytes: mem.bytes, Budget: b, RemainingRows: remaining})
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"dmc/internal/rules"
+)
+
+func TestCancelSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomMatrix(rng, 4000, 40)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // dead before the mine starts: first poll must abort
+	err := CapturePass(func() {
+		DMCImp(m, FromPercent(80), Options{Ctx: ctx})
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	var ce *CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CancelError, got %T", err)
+	}
+}
+
+func TestCancelParallelNoGoroutineLeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randomMatrix(rng, 6000, 48)
+	base := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		err := CapturePass(func() {
+			DMCImpParallel(m, FromPercent(75), Options{Ctx: ctx}, 4)
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: want context.Canceled, got %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > base {
+		t.Fatalf("goroutines leaked: %d > baseline %d", got, base)
+	}
+}
+
+func TestCancelDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomMatrix(rng, 4000, 40)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	err := CapturePass(func() {
+		DMCSim(m, FromPercent(70), Options{Ctx: ctx})
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+// TestBudgetDegradesToBitmap: a small budget with an absorbable tail
+// must not fail — it forces an early DMC-bitmap switch and the rule set
+// stays exact.
+func TestBudgetDegradesToBitmap(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := randomMatrix(rng, 60, 24)
+	want, _ := DMCImp(m, FromPercent(75), Options{})
+	var got []rules.Implication
+	var st Stats
+	err := CapturePass(func() {
+		// BitmapMaxRows covers the whole pass, so any budget overflow
+		// can switch immediately; 64 bytes = 8 candidate entries.
+		got, st = DMCImp(m, FromPercent(75), Options{MemBudgetBytes: 64, BitmapMaxRows: m.NumRows()})
+	})
+	if err != nil {
+		t.Fatalf("budget with absorbable tail must degrade, got %v", err)
+	}
+	if d := rules.DiffImplications(got, want); d != "" {
+		t.Fatalf("budget degradation changed the rule set:\n%s", d)
+	}
+	if st.SwitchPos100 < 0 && st.SwitchPosLT < 0 {
+		t.Fatal("budget never triggered a bitmap switch")
+	}
+}
+
+// TestBudgetErrorWhenTailTooLarge: bitmap disabled → nothing can absorb
+// the overflow, so the mine must abort with a typed BudgetError.
+func TestBudgetErrorWhenTailTooLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randomMatrix(rng, 4000, 40)
+	err := CapturePass(func() {
+		DMCImp(m, FromPercent(75), Options{MemBudgetBytes: 64, DisableBitmap: true})
+	})
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BudgetError, got %v", err)
+	}
+	if be.Bytes <= be.Budget || be.Budget != 64 {
+		t.Fatalf("implausible BudgetError: %+v", be)
+	}
+}
+
+// TestBudgetParallelSplits: the budget divides across workers and a
+// worker overflow surfaces through the coordinator's panic protocol.
+func TestBudgetParallelSplits(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := randomMatrix(rng, 4000, 40)
+	err := CapturePass(func() {
+		DMCImpParallel(m, FromPercent(75), Options{MemBudgetBytes: 256, DisableBitmap: true}, 4)
+	})
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BudgetError from a worker, got %v", err)
+	}
+	if be.Budget != 64 {
+		t.Fatalf("per-worker budget = %d, want 256/4", be.Budget)
+	}
+}
+
+// TestBudgetGenerousUnchanged: a budget that is never hit must not
+// change the result or trigger a switch that plain options would not.
+func TestBudgetGenerousUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomMatrix(rng, 500, 32)
+	want, wantSt := DMCImp(m, FromPercent(80), Options{})
+	got, gotSt := DMCImp(m, FromPercent(80), Options{MemBudgetBytes: 1 << 30})
+	if d := rules.DiffImplications(got, want); d != "" {
+		t.Fatalf("generous budget changed rules:\n%s", d)
+	}
+	if gotSt.SwitchPosLT != wantSt.SwitchPosLT || gotSt.SwitchPos100 != wantSt.SwitchPos100 {
+		t.Fatalf("generous budget changed switch positions: %+v vs %+v", gotSt, wantSt)
+	}
+}

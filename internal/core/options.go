@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"dmc/internal/matrix"
@@ -93,6 +94,24 @@ type Options struct {
 	// happen — the serving layer's metrics feed. Nil disables all
 	// instrumentation at zero cost.
 	Hooks *Hooks
+
+	// Ctx, when non-nil, is polled by every scan loop (each 512 rows):
+	// cancellation or deadline expiry aborts the mine promptly via the
+	// SourceError panic protocol. The error the pipelines return (or
+	// that CapturePass recovers) unwraps to the context's error, so
+	// errors.Is(err, context.Canceled) works. Nil means uncancellable.
+	Ctx context.Context
+
+	// MemBudgetBytes, when > 0, bounds the modeled mining memory — the
+	// paper's counter-array accounting (candidate entries at 8/4 bytes,
+	// per worker for the parallel pipelines). A budget below
+	// BitmapMinBytes lowers the DMC-bitmap switch threshold, degrading
+	// to the bitmap endgame as early as the tail allows; if the budget
+	// is exceeded while the tail is still too large for the bitmap (or
+	// the bitmap is disabled), the mine aborts with a BudgetError that
+	// callers catch to degrade to the partitioned/spill path. Zero means
+	// unbounded.
+	MemBudgetBytes int
 }
 
 // Hooks observes pipeline execution. Every field is optional, and a

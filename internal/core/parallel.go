@@ -48,6 +48,7 @@ func DMCImpParallel(m *matrix.Matrix, minconf Threshold, opts Options, workers i
 	order := opts.Order.order(m)
 	mcols := m.NumCols()
 	owned := ownership(ones, workers)
+	wopts := opts.perWorker(workers)
 	supportAlive := opts.supportMask(ones)
 	base := Rows(matrixRows{m, order})
 	rows100 := base
@@ -67,7 +68,7 @@ func DMCImpParallel(m *matrix.Matrix, minconf Threshold, opts Options, workers i
 		ws := &perWorker[w]
 		ws.mem = &memMeter{}
 		ws.st.SwitchPos100, ws.st.SwitchPosLT = -1, -1
-		imp100Scan(rows100, mcols, ones, nil, owned[w], opts, share100, ws.mem, &ws.st, func(r rules.Implication) {
+		imp100Scan(rows100, mcols, ones, nil, owned[w], wopts, share100, ws.mem, &ws.st, func(r rules.Implication) {
 			ws.out = append(ws.out, r)
 		})
 	})
@@ -94,7 +95,7 @@ func DMCImpParallel(m *matrix.Matrix, minconf Threshold, opts Options, workers i
 			ws := &perWorker[w]
 			ws.mem = &memMeter{}
 			ws.st.SwitchPos100, ws.st.SwitchPosLT = -1, -1
-			impScan(rowsLT, mcols, ones, nil, owned[w], minconf, opts, shareLT, ws.mem, &ws.st, func(r rules.Implication) {
+			impScan(rowsLT, mcols, ones, nil, owned[w], minconf, wopts, shareLT, ws.mem, &ws.st, func(r rules.Implication) {
 				if r.Hits < r.Ones {
 					ws.out = append(ws.out, r)
 				}
@@ -127,6 +128,7 @@ func DMCSimParallel(m *matrix.Matrix, minsim Threshold, opts Options, workers in
 	order := opts.Order.order(m)
 	mcols := m.NumCols()
 	owned := ownership(ones, workers)
+	wopts := opts.perWorker(workers)
 	supportAlive := opts.supportMask(ones)
 	base := Rows(matrixRows{m, order})
 	rows100 := base
@@ -144,7 +146,7 @@ func DMCSimParallel(m *matrix.Matrix, minsim Threshold, opts Options, workers in
 		ws := &perWorker[w]
 		ws.mem = &memMeter{}
 		ws.st.SwitchPos100, ws.st.SwitchPosLT = -1, -1
-		sim100Scan(rows100, mcols, ones, nil, owned[w], opts, share100, ws.mem, &ws.st, func(r rules.Similarity) {
+		sim100Scan(rows100, mcols, ones, nil, owned[w], wopts, share100, ws.mem, &ws.st, func(r rules.Similarity) {
 			ws.out = append(ws.out, r)
 		})
 	})
@@ -171,7 +173,7 @@ func DMCSimParallel(m *matrix.Matrix, minsim Threshold, opts Options, workers in
 			ws := &perWorker[w]
 			ws.mem = &memMeter{}
 			ws.st.SwitchPos100, ws.st.SwitchPosLT = -1, -1
-			simScan(rowsLT, mcols, ones, nil, owned[w], minsim, opts, shareLT, ws.mem, &ws.st, func(r rules.Similarity) {
+			simScan(rowsLT, mcols, ones, nil, owned[w], minsim, wopts, shareLT, ws.mem, &ws.st, func(r rules.Similarity) {
 				if !(r.Hits == r.OnesA && r.OnesA == r.OnesB) {
 					ws.out = append(ws.out, r)
 				}
@@ -232,16 +234,42 @@ func ownership(ones []int, workers int) [][]bool {
 	return owned
 }
 
+// runWorkers runs f(w) on one goroutine per worker. SourceError panics
+// (cancellation, memory budget, pass failures) are captured per worker
+// and the first is re-panicked from the coordinating goroutine after
+// every worker has stopped — so a cancelled parallel mine tears down
+// all workers and still follows the same panic protocol as a serial
+// one, instead of crashing the process from a worker goroutine (where
+// no caller can recover it).
 func runWorkers(workers int, f func(w int)) {
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			f(w)
+			errs[w] = capturePass(func() { f(w) })
 		}(w)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			panic(err)
+		}
+	}
+}
+
+// perWorker divides the memory budget across workers: each worker
+// meters its own counter arena and the peaks coexist, so every worker
+// gets an equal share of the allowance.
+func (o Options) perWorker(workers int) Options {
+	if o.MemBudgetBytes > 0 && workers > 1 {
+		o.MemBudgetBytes /= workers
+		if o.MemBudgetBytes == 0 {
+			o.MemBudgetBytes = 1
+		}
+	}
+	return o
 }
 
 // collect merges per-worker stats into the aggregate. TailBitmapBytes

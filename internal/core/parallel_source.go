@@ -57,6 +57,7 @@ func DMCImpParallelSource(src Source, ones []int, minconf Threshold, opts Option
 	start := time.Now()
 	mcols := src.NumCols()
 	owned := ownership(ones, workers)
+	wopts := opts.perWorker(workers)
 	supportAlive := opts.supportMask(ones)
 	opts.Hooks.emitPhase("imp-parallel", "prescan", 0)
 
@@ -67,7 +68,7 @@ func DMCImpParallelSource(src Source, ones []int, minconf Threshold, opts Option
 		ws := &perWorker[w]
 		ws.mem = &memMeter{}
 		ws.st.SwitchPos100, ws.st.SwitchPosLT = -1, -1
-		imp100Scan(rows, mcols, ones, supportAlive, owned[w], opts, share100, ws.mem, &ws.st, func(r rules.Implication) {
+		imp100Scan(rows, mcols, ones, supportAlive, owned[w], wopts, share100, ws.mem, &ws.st, func(r rules.Implication) {
 			ws.out = append(ws.out, r)
 		})
 	}); err != nil {
@@ -95,7 +96,7 @@ func DMCImpParallelSource(src Source, ones []int, minconf Threshold, opts Option
 			ws := &perWorker[w]
 			ws.mem = &memMeter{}
 			ws.st.SwitchPos100, ws.st.SwitchPosLT = -1, -1
-			impScan(rows, mcols, ones, alive, owned[w], minconf, opts, shareLT, ws.mem, &ws.st, func(r rules.Implication) {
+			impScan(rows, mcols, ones, alive, owned[w], minconf, wopts, shareLT, ws.mem, &ws.st, func(r rules.Implication) {
 				if r.Hits < r.Ones {
 					ws.out = append(ws.out, r)
 				}
@@ -142,6 +143,7 @@ func DMCSimParallelSource(src Source, ones []int, minsim Threshold, opts Options
 	start := time.Now()
 	mcols := src.NumCols()
 	owned := ownership(ones, workers)
+	wopts := opts.perWorker(workers)
 	supportAlive := opts.supportMask(ones)
 	opts.Hooks.emitPhase("sim-parallel", "prescan", 0)
 
@@ -152,7 +154,7 @@ func DMCSimParallelSource(src Source, ones []int, minsim Threshold, opts Options
 		ws := &perWorker[w]
 		ws.mem = &memMeter{}
 		ws.st.SwitchPos100, ws.st.SwitchPosLT = -1, -1
-		sim100Scan(rows, mcols, ones, supportAlive, owned[w], opts, share100, ws.mem, &ws.st, func(r rules.Similarity) {
+		sim100Scan(rows, mcols, ones, supportAlive, owned[w], wopts, share100, ws.mem, &ws.st, func(r rules.Similarity) {
 			ws.out = append(ws.out, r)
 		})
 	}); err != nil {
@@ -180,7 +182,7 @@ func DMCSimParallelSource(src Source, ones []int, minsim Threshold, opts Options
 			ws := &perWorker[w]
 			ws.mem = &memMeter{}
 			ws.st.SwitchPos100, ws.st.SwitchPosLT = -1, -1
-			simScan(rows, mcols, ones, alive, owned[w], minsim, opts, shareLT, ws.mem, &ws.st, func(r rules.Similarity) {
+			simScan(rows, mcols, ones, alive, owned[w], minsim, wopts, shareLT, ws.mem, &ws.st, func(r rules.Similarity) {
 				if !(r.Hits == r.OnesA && r.OnesA == r.OnesB) {
 					ws.out = append(ws.out, r)
 				}
@@ -222,6 +224,15 @@ func runSourceWorkers(cs ConcurrentSource, workers int, f func(w int, rows Rows)
 	wg.Wait()
 	return errors.Join(errs...)
 }
+
+// CapturePass runs f, converting a SourceError panic (the Rows pass
+// failure protocol, which also carries CancelError and BudgetError)
+// into an ordinary error. It is how callers of the panic-based
+// in-memory pipelines (DMCImp, DMCImpParallel, ...) observe
+// cancellation and budget exhaustion as errors: wrap the call, then
+// errors.Is(err, context.Canceled) / errors.As(&BudgetError) on the
+// result. Other panics propagate — they are bugs, not pass failures.
+func CapturePass(f func()) error { return capturePass(f) }
 
 // capturePass runs f, converting a SourceError panic (the Rows pass
 // failure protocol) into an ordinary error. Other panics propagate.

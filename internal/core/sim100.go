@@ -24,10 +24,13 @@ func sim100Scan(rows Rows, mcols int, ones []int, alive, owned []bool, opts Opti
 	released := make([]bool, mcols)
 	ar := newArena[matrix.Col](arenaBlockEntries)
 
-	bmMaxRows, bmMinBytes := opts.bitmapMaxRows(), opts.bitmapMinBytes()
+	bmMaxRows, bmMinBytes := opts.effectiveBitmap()
 	rowBuf := make([]matrix.Col, 0, 256)
 	n := rows.Len()
 	for pos := 0; pos < n; pos++ {
+		if pos&interruptStride == 0 {
+			opts.checkInterrupt(mem, n-pos, bmMaxRows)
+		}
 		if !opts.DisableBitmap && n-pos <= bmMaxRows && mem.bytes > bmMinBytes {
 			start := time.Now()
 			sim100Bitmap(rows, pos, mcols, ones, alive, owned, cand, hasList, released, share, mem, st, emit)

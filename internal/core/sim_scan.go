@@ -56,10 +56,13 @@ func simScan(rows Rows, mcols int, ones []int, alive, owned []bool, t Threshold,
 		return hits+rem >= t.MinHitsSim(ones[cj], ones[ck])
 	}
 
-	bmMaxRows, bmMinBytes := opts.bitmapMaxRows(), opts.bitmapMinBytes()
+	bmMaxRows, bmMinBytes := opts.effectiveBitmap()
 	rowBuf := make([]matrix.Col, 0, 256)
 	n := rows.Len()
 	for pos := 0; pos < n; pos++ {
+		if pos&interruptStride == 0 {
+			opts.checkInterrupt(mem, n-pos, bmMaxRows)
+		}
 		if !opts.DisableBitmap && n-pos <= bmMaxRows && mem.bytes > bmMinBytes {
 			start := time.Now()
 			simBitmap(rows, pos, mcols, ones, alive, owned, t, colMax, cnt, cand, hasList, released, rk, share, mem, st, emit)

@@ -1,0 +1,128 @@
+// Package fault is the deterministic fault-injection substrate behind
+// the robustness test matrix, plus the error taxonomy and retry
+// machinery the production I/O paths use.
+//
+// The DMC engines promise exactness — no false positives, no false
+// negatives — which makes silent data loss on an I/O hiccup worse here
+// than in approximate miners: a half-read spill bucket is not "a little
+// noise", it is a wrong answer. Every disk-touching path in package
+// stream therefore goes through the small FS/File interfaces below, so
+// tests can substitute an Injector that fails the Nth operation,
+// shortens reads, tears writes, runs out of disk, or adds latency —
+// replayed exactly from a Scenario spec — and assert that the mine
+// either returns the exact rule set or a typed error, never a wrong
+// answer.
+//
+// The taxonomy is two-valued: transient errors (marked with
+// MarkTransient, detected with IsTransient) are worth retrying with
+// backoff; everything else is permanent and must surface immediately,
+// wrapped with enough context to name the failing pass, segment and
+// frame.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+
+	"dmc/internal/obs"
+)
+
+// Faults and retries on the process-wide registry, so /v1/metrics shows
+// both the injected chaos (tests, game days) and the production retry
+// behavior of the spill I/O paths.
+var (
+	metricFaults = obs.Default.Counter("dmc_faults_injected_total",
+		"Failures injected by the fault-injection substrate.")
+	metricRetries = obs.Default.CounterVec("dmc_retries_total",
+		"Retry outcomes of fault-aware I/O operations.", "outcome")
+)
+
+// RecordRetry counts one retry outcome ("retried", "recovered",
+// "exhausted") on dmc_retries_total. Exported so higher-level retry
+// loops (e.g. the stream package's bucket re-read on a CRC failure)
+// feed the same series as Do.
+func RecordRetry(outcome string) { metricRetries.With(outcome).Inc() }
+
+// ErrInjected is the sentinel inside every error produced by an
+// Injector; errors.Is(err, fault.ErrInjected) distinguishes injected
+// failures from real ones in test assertions.
+var ErrInjected = errors.New("injected failure")
+
+// Error is one injected (or wrapped) I/O failure with its location: the
+// operation, the path it hit, and the 1-based operation count at which
+// it fired.
+type Error struct {
+	Op   string // "read", "write", "open", "sync", "rename"
+	Path string
+	N    int64 // the op counter value that tripped
+	Err  error
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: %s %s (op %d): %v", e.Op, e.Path, e.N, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// transientError marks an error as worth retrying. It satisfies the
+// interface{ Transient() bool } classification contract.
+type transientError struct{ err error }
+
+func (t *transientError) Error() string   { return "transient: " + t.err.Error() }
+func (t *transientError) Unwrap() error   { return t.err }
+func (t *transientError) Transient() bool { return true }
+
+// MarkTransient wraps err as transient (retryable). A nil err stays
+// nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err}
+}
+
+// IsTransient reports whether err is marked transient anywhere along
+// its chain. Permanent conditions — ENOSPC most importantly — are never
+// transient, even if a wrapper claims so: retrying a full disk only
+// delays the inevitable while burning the backoff budget.
+func IsTransient(err error) bool {
+	if err == nil || errors.Is(err, syscall.ENOSPC) {
+		return false
+	}
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// File is the subset of *os.File the spill and replay paths need.
+// ReadAt matters: the retrying reader re-issues failed reads by
+// absolute offset, which is idempotent in a way a stream Read is not.
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.Closer
+	Name() string
+	Sync() error
+	Stat() (os.FileInfo, error)
+}
+
+// FS is the open/create/rename hook the stream package routes all spill
+// file operations through. OS is the production implementation; an
+// Injector wraps it with scenario-driven failures.
+type FS interface {
+	Create(name string) (File, error)
+	Open(name string) (File, error)
+	Rename(oldpath, newpath string) error
+}
+
+// OS is the passthrough FS over the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error)     { return os.Create(name) }
+func (osFS) Open(name string) (File, error)       { return os.Open(name) }
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }

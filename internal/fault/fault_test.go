@@ -1,0 +1,211 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestTaxonomy(t *testing.T) {
+	base := errors.New("boom")
+	if IsTransient(base) {
+		t.Fatal("plain error must not be transient")
+	}
+	if !IsTransient(MarkTransient(base)) {
+		t.Fatal("marked error must be transient")
+	}
+	if IsTransient(nil) {
+		t.Fatal("nil must not be transient")
+	}
+	// ENOSPC is permanent even when a wrapper claims otherwise.
+	full := MarkTransient(&Error{Op: "write", Path: "x", N: 1,
+		Err: errors.Join(ErrInjected, syscall.ENOSPC)})
+	if IsTransient(full) {
+		t.Fatal("ENOSPC must never be transient")
+	}
+	if !errors.Is(full, ErrInjected) {
+		t.Fatal("sentinel lost through wrapping")
+	}
+}
+
+func TestErrorText(t *testing.T) {
+	e := &Error{Op: "read", Path: "/tmp/bucket-03.rows", N: 7, Err: ErrInjected}
+	got := e.Error()
+	for _, want := range []string{"read", "bucket-03", "7"} {
+		if !contains(got, want) {
+			t.Fatalf("error text %q missing %q", got, want)
+		}
+	}
+	if !errors.Is(e, ErrInjected) {
+		t.Fatal("Unwrap chain broken")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// writeFile creates a file with content under dir via the plain OS fs.
+func writeFile(t *testing.T, dir, name string, content []byte) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestInjectorFailNthRead(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "bucket-00.rows", []byte("abcdefgh"))
+	in := NewInjector(Scenario{FailReadAt: 2, Transient: true})
+	f, err := in.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	buf := make([]byte, 4)
+	if _, err := f.Read(buf); err != nil {
+		t.Fatalf("read 1: %v", err)
+	}
+	_, err = f.Read(buf)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("read 2: want injected failure, got %v", err)
+	}
+	if !IsTransient(err) {
+		t.Fatal("scenario marked transient, error is not")
+	}
+	// One-shot: the third read succeeds (file offset unmoved by the
+	// injected failure, so it picks up where read 1 left off).
+	if n, err := f.Read(buf); err != nil || n != 4 {
+		t.Fatalf("read 3: n=%d err=%v", n, err)
+	}
+}
+
+func TestInjectorFailForever(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "b.rows", []byte("abcdefgh"))
+	in := NewInjector(Scenario{FailReadAt: 1, FailForever: true})
+	f, err := in.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := f.Read(make([]byte, 2)); !errors.Is(err, ErrInjected) {
+			t.Fatalf("read %d: want injected failure, got %v", i+1, err)
+		}
+	}
+}
+
+func TestInjectorShortRead(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "b.rows", []byte("abcdefgh"))
+	in := NewInjector(Scenario{ShortReadEvery: 2})
+	f, err := in.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var got []byte
+	buf := make([]byte, 4)
+	for {
+		n, err := f.Read(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if string(got) != "abcdefgh" {
+		t.Fatalf("short reads corrupted data: %q", got)
+	}
+}
+
+func TestInjectorPartialWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Scenario{PartialWriteEvery: 1, Transient: true})
+	f, err := in.Create(filepath.Join(dir, "out.rows"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdefgh"))
+	if n != 4 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("want torn write n=4 + injected error, got n=%d err=%v", n, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "out.rows"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "abcd" {
+		t.Fatalf("torn write landed %q, want the first half", data)
+	}
+}
+
+func TestInjectorENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Scenario{FailWriteAt: 1, ENOSPC: true, Transient: true})
+	f, err := in.Create(filepath.Join(dir, "out.rows"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	_, err = f.Write([]byte("x"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+	if IsTransient(err) {
+		t.Fatal("ENOSPC must be permanent even with Transient scenario")
+	}
+}
+
+func TestInjectorPathFilter(t *testing.T) {
+	dir := t.TempDir()
+	a := writeFile(t, dir, "bucket-00.rows", []byte("aaaa"))
+	b := writeFile(t, dir, "other.dat", []byte("bbbb"))
+	in := NewInjector(Scenario{FailReadAt: 1, FailForever: true, PathContains: "bucket-"})
+
+	fb, err := in.Open(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	if _, err := fb.Read(make([]byte, 2)); err != nil {
+		t.Fatalf("non-matching path must not be injected: %v", err)
+	}
+
+	fa, err := in.Open(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fa.Close()
+	if _, err := fa.Read(make([]byte, 2)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching path must be injected, got %v", err)
+	}
+}
+
+func TestInjectorFailOpen(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "b.rows", []byte("x"))
+	in := NewInjector(Scenario{FailOpenAt: 2})
+	if _, err := in.Open(path); err != nil {
+		t.Fatalf("open 1: %v", err)
+	}
+	if _, err := in.Open(path); !errors.Is(err, ErrInjected) {
+		t.Fatalf("open 2: want injected failure, got %v", err)
+	}
+}

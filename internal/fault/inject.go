@@ -1,0 +1,231 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Scenario specifies one deterministic failure pattern. Op counters are
+// global across all files opened through the Injector and 1-based, so
+// "FailReadAt: 7" means the seventh read operation anywhere fails —
+// replaying the same scenario against the same workload reproduces the
+// same failure (modulo goroutine scheduling, which is exactly the
+// nondeterminism the fault matrix is meant to survive).
+//
+// The zero Scenario injects nothing: an Injector built from it is a
+// plain passthrough with op counting.
+type Scenario struct {
+	// Name labels the scenario in test output and error text.
+	Name string
+
+	// FailReadAt / FailWriteAt / FailOpenAt / FailSyncAt fail the Nth
+	// such operation (1-based); 0 never fails. Reads via ReadAt count
+	// as reads.
+	FailReadAt  int64
+	FailWriteAt int64
+	FailOpenAt  int64
+	FailSyncAt  int64
+
+	// FailForever keeps failing from the trip point on — a permanent
+	// outage. The default is a one-shot failure: the next attempt
+	// succeeds, which is what makes bounded retry testable.
+	FailForever bool
+
+	// Transient marks injected read/write/open/sync failures as
+	// retryable. ENOSPC failures are never transient regardless.
+	Transient bool
+
+	// ENOSPC makes injected write and sync failures carry
+	// syscall.ENOSPC — the classic full-disk, a permanent condition.
+	ENOSPC bool
+
+	// ShortReadEvery truncates every Nth read to a single byte. Short
+	// reads are legal per the io.Reader contract, so a correct consumer
+	// must produce identical results — this is a silent-corruption
+	// probe, not an error path.
+	ShortReadEvery int64
+
+	// PartialWriteEvery tears every Nth write: half the buffer is
+	// written, then the injected error is returned. A retrying writer
+	// must resume from the torn point, not re-write from the start.
+	PartialWriteEvery int64
+
+	// Latency is added to every read and write, modelling a slow or
+	// contended disk.
+	Latency time.Duration
+
+	// PathContains, when non-empty, restricts injection (and op
+	// counting) to files whose path contains the substring.
+	PathContains string
+}
+
+// Injector is a Scenario bound to op counters: an FS whose files fail
+// exactly as specified. Safe for concurrent use.
+type Injector struct {
+	sc    Scenario
+	under FS
+
+	reads  atomic.Int64
+	writes atomic.Int64
+	opens  atomic.Int64
+	syncs  atomic.Int64
+}
+
+// NewInjector returns an Injector over the real filesystem.
+func NewInjector(sc Scenario) *Injector { return &Injector{sc: sc, under: OS} }
+
+// Counts returns the operation counters (reads, writes, opens, syncs)
+// observed so far — test instrumentation.
+func (in *Injector) Counts() (reads, writes, opens, syncs int64) {
+	return in.reads.Load(), in.writes.Load(), in.opens.Load(), in.syncs.Load()
+}
+
+func (in *Injector) matches(path string) bool {
+	return in.sc.PathContains == "" || strings.Contains(path, in.sc.PathContains)
+}
+
+// trips reports whether the op that advanced counter to n should fail.
+func (in *Injector) trips(n, at int64) bool {
+	if at <= 0 {
+		return false
+	}
+	return n == at || (in.sc.FailForever && n >= at)
+}
+
+// fail constructs the injected error for one tripped operation.
+func (in *Injector) fail(op, path string, n int64) error {
+	metricFaults.Inc()
+	base := ErrInjected
+	if in.sc.ENOSPC && (op == "write" || op == "sync") {
+		base = fmt.Errorf("%w: %w", ErrInjected, syscall.ENOSPC)
+	}
+	err := error(&Error{Op: op, Path: path, N: n, Err: base})
+	if in.sc.Transient {
+		err = MarkTransient(err) // IsTransient still rejects ENOSPC
+	}
+	return err
+}
+
+// Create opens a new file through the scenario.
+func (in *Injector) Create(name string) (File, error) {
+	f, err := in.openOp("create", name, func() (File, error) { return in.under.Create(name) })
+	return f, err
+}
+
+// Open opens an existing file through the scenario.
+func (in *Injector) Open(name string) (File, error) {
+	return in.openOp("open", name, func() (File, error) { return in.under.Open(name) })
+}
+
+func (in *Injector) openOp(op, name string, open func() (File, error)) (File, error) {
+	if in.matches(name) {
+		n := in.opens.Add(1)
+		if in.trips(n, in.sc.FailOpenAt) {
+			return nil, in.fail(op, name, n)
+		}
+	}
+	f, err := open()
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{in: in, f: f}, nil
+}
+
+// Rename passes through (rename failures are modelled as sync failures
+// for now: both break the commit point of a spill segment).
+func (in *Injector) Rename(oldpath, newpath string) error {
+	return in.under.Rename(oldpath, newpath)
+}
+
+// faultFile applies the scenario to one file's operations.
+type faultFile struct {
+	in *Injector
+	f  File
+}
+
+func (ff *faultFile) Name() string               { return ff.f.Name() }
+func (ff *faultFile) Close() error               { return ff.f.Close() }
+func (ff *faultFile) Stat() (os.FileInfo, error) { return ff.f.Stat() }
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	n, inject := ff.readGate(len(p))
+	if inject != nil {
+		return 0, inject
+	}
+	return ff.f.Read(p[:n])
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	n, inject := ff.readGate(len(p))
+	if inject != nil {
+		return 0, inject
+	}
+	m, err := ff.f.ReadAt(p[:n], off)
+	if err == io.EOF && n < len(p) {
+		// A truncated probe that hit EOF early is indistinguishable
+		// from a real EOF to the caller; keep it.
+		return m, err
+	}
+	return m, err
+}
+
+// readGate applies latency, the fail-at-N check and the short-read
+// truncation to one read of size want, returning how many bytes to
+// actually request and, when the op trips, the injected error.
+func (ff *faultFile) readGate(want int) (int, error) {
+	in := ff.in
+	if !in.matches(ff.f.Name()) {
+		return want, nil
+	}
+	if in.sc.Latency > 0 {
+		time.Sleep(in.sc.Latency)
+	}
+	n := in.reads.Add(1)
+	if in.trips(n, in.sc.FailReadAt) {
+		return 0, in.fail("read", ff.f.Name(), n)
+	}
+	if in.sc.ShortReadEvery > 0 && n%in.sc.ShortReadEvery == 0 && want > 1 {
+		return 1, nil
+	}
+	return want, nil
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	in := ff.in
+	if !in.matches(ff.f.Name()) {
+		return ff.f.Write(p)
+	}
+	if in.sc.Latency > 0 {
+		time.Sleep(in.sc.Latency)
+	}
+	n := in.writes.Add(1)
+	if in.trips(n, in.sc.FailWriteAt) {
+		return 0, in.fail("write", ff.f.Name(), n)
+	}
+	if in.sc.PartialWriteEvery > 0 && n%in.sc.PartialWriteEvery == 0 && len(p) > 1 {
+		// Tear the write: half lands, then the error. The bytes that
+		// landed are real — a retrying writer must continue from them.
+		m, err := ff.f.Write(p[:len(p)/2])
+		if err != nil {
+			return m, err
+		}
+		return m, in.fail("write", ff.f.Name(), n)
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	in := ff.in
+	if in.matches(ff.f.Name()) {
+		n := in.syncs.Add(1)
+		if in.trips(n, in.sc.FailSyncAt) {
+			return in.fail("sync", ff.f.Name(), n)
+		}
+	}
+	return ff.f.Sync()
+}

@@ -1,0 +1,206 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy bounds the retry of transient I/O errors: exponential
+// backoff with full jitter, capped attempts and delay. The zero value
+// means 3 attempts starting at 2ms, capped at 250ms — small enough that
+// a doomed mine fails fast, large enough to ride out a blip.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt
+	// included); ≤ 0 means 3. 1 disables retry.
+	MaxAttempts int
+	// BaseDelay is the pre-jitter delay after the first failure; ≤ 0
+	// means 2ms. Each further failure doubles it.
+	BaseDelay time.Duration
+	// MaxDelay caps the pre-jitter delay; ≤ 0 means 250ms.
+	MaxDelay time.Duration
+}
+
+// Attempts returns the effective total attempt budget (defaults
+// applied) — for callers running their own retry loop under this
+// policy, like the stream layer's corrupt-frame segment re-read.
+func (p RetryPolicy) Attempts() int { return p.maxAttempts() }
+
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return 3
+}
+
+func (p RetryPolicy) baseDelay() time.Duration {
+	if p.BaseDelay > 0 {
+		return p.BaseDelay
+	}
+	return 2 * time.Millisecond
+}
+
+func (p RetryPolicy) maxDelay() time.Duration {
+	if p.MaxDelay > 0 {
+		return p.MaxDelay
+	}
+	return 250 * time.Millisecond
+}
+
+// Backoff returns the post-jitter sleep before attempt+1 (attempt is
+// 1-based: Backoff(1) follows the first failure). Full jitter: a
+// uniform draw from (0, d] where d doubles per attempt up to MaxDelay —
+// decorrelating the retries of concurrent workers hammering the same
+// disk.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	d := p.baseDelay() << (attempt - 1)
+	if max := p.maxDelay(); d > max || d <= 0 {
+		d = max
+	}
+	return time.Duration(rand.Int63n(int64(d))) + 1
+}
+
+// Sleep waits out the backoff for the given attempt, or returns the
+// context's error if it is cancelled first. A nil ctx means Background.
+func (p RetryPolicy) Sleep(ctx context.Context, attempt int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t := time.NewTimer(p.Backoff(attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do runs fn, retrying transient failures under the policy. Permanent
+// errors and exhausted budgets return the last error unchanged (typed
+// wrappers intact); a recovery after ≥ 1 retry and every give-up land
+// on dmc_retries_total.
+func Do(ctx context.Context, p RetryPolicy, fn func() error) error {
+	attempts := p.maxAttempts()
+	for attempt := 1; ; attempt++ {
+		err := fn()
+		if err == nil {
+			if attempt > 1 {
+				metricRetries.With("recovered").Inc()
+			}
+			return nil
+		}
+		if !IsTransient(err) {
+			return err
+		}
+		if attempt >= attempts {
+			metricRetries.With("exhausted").Inc()
+			return err
+		}
+		metricRetries.With("retried").Inc()
+		if serr := p.Sleep(ctx, attempt); serr != nil {
+			return fmt.Errorf("%w (while backing off from: %w)", serr, err)
+		}
+	}
+}
+
+// RetryReader is a sequential reader over a File that survives
+// transient read failures: every read goes through ReadAt at an
+// explicit offset, so a failed read is re-issued byte-identically —
+// something a plain stream Read cannot promise. Partial progress is
+// returned immediately (legal for io.Reader); only zero-progress
+// transient errors burn retry budget.
+type RetryReader struct {
+	ctx context.Context
+	f   File
+	pol RetryPolicy
+	off int64
+}
+
+// NewRetryReader returns a RetryReader over f starting at offset 0.
+func NewRetryReader(ctx context.Context, f File, pol RetryPolicy) *RetryReader {
+	return &RetryReader{ctx: ctx, f: f, pol: pol}
+}
+
+// Offset returns the number of bytes successfully delivered so far.
+func (r *RetryReader) Offset() int64 { return r.off }
+
+func (r *RetryReader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	attempts := r.pol.maxAttempts()
+	for attempt := 1; ; attempt++ {
+		n, err := r.f.ReadAt(p, r.off)
+		if n > 0 {
+			r.off += int64(n)
+			if err != nil && !errors.Is(err, io.EOF) {
+				// The bytes are good; the error will resurface on the
+				// next call if it persists (and be retried there).
+				err = nil
+			}
+			return n, err
+		}
+		if err == nil || errors.Is(err, io.EOF) || !IsTransient(err) {
+			return 0, err
+		}
+		if attempt >= attempts {
+			metricRetries.With("exhausted").Inc()
+			return 0, err
+		}
+		metricRetries.With("retried").Inc()
+		if serr := r.pol.Sleep(r.ctx, attempt); serr != nil {
+			return 0, fmt.Errorf("%w (while backing off from: %w)", serr, err)
+		}
+	}
+}
+
+// RetryWriter wraps a sequential writer (a spill file) with
+// transient-failure retry that honors partial progress: a torn write
+// resumes from the bytes that landed instead of re-writing the prefix —
+// append-only spill streams make that exact.
+type RetryWriter struct {
+	ctx context.Context
+	w   io.Writer
+	pol RetryPolicy
+}
+
+// NewRetryWriter returns a RetryWriter over w.
+func NewRetryWriter(ctx context.Context, w io.Writer, pol RetryPolicy) *RetryWriter {
+	return &RetryWriter{ctx: ctx, w: w, pol: pol}
+}
+
+func (rw *RetryWriter) Write(p []byte) (int, error) {
+	written := 0
+	attempts := rw.pol.maxAttempts()
+	attempt := 1
+	for written < len(p) {
+		n, err := rw.w.Write(p[written:])
+		written += n
+		if err == nil {
+			if n < len(p)-written+n { // short write without error
+				continue
+			}
+			break
+		}
+		if !IsTransient(err) {
+			return written, err
+		}
+		if attempt >= attempts {
+			metricRetries.With("exhausted").Inc()
+			return written, err
+		}
+		metricRetries.With("retried").Inc()
+		if serr := rw.pol.Sleep(rw.ctx, attempt); serr != nil {
+			return written, fmt.Errorf("%w (while backing off from: %w)", serr, err)
+		}
+		attempt++
+	}
+	if attempt > 1 && written == len(p) {
+		metricRetries.With("recovered").Inc()
+	}
+	return written, nil
+}

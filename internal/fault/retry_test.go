@@ -1,0 +1,178 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"io"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fastPolicy keeps test backoffs in the microseconds.
+var fastPolicy = RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}
+
+func TestDoRecoversTransient(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), fastPolicy, func() error {
+		calls++
+		if calls < 3 {
+			return MarkTransient(errors.New("blip"))
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("want recovery on call 3, got calls=%d err=%v", calls, err)
+	}
+}
+
+func TestDoPermanentImmediate(t *testing.T) {
+	calls := 0
+	perm := errors.New("permanent")
+	err := Do(context.Background(), fastPolicy, func() error {
+		calls++
+		return perm
+	})
+	if !errors.Is(err, perm) || calls != 1 {
+		t.Fatalf("permanent error must not retry: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestDoExhausted(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), fastPolicy, func() error {
+		calls++
+		return MarkTransient(errors.New("always"))
+	})
+	if err == nil || calls != 3 {
+		t.Fatalf("want exhaustion after 3 attempts, got calls=%d err=%v", calls, err)
+	}
+	if !IsTransient(err) {
+		t.Fatal("exhausted error must keep its classification")
+	}
+}
+
+func TestDoCancelledDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pol := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Hour, MaxDelay: time.Hour}
+	err := Do(ctx, pol, func() error { return MarkTransient(errors.New("blip")) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled surfaced, got %v", err)
+	}
+}
+
+func TestBackoffBounds(t *testing.T) {
+	p := RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond}
+	for attempt := 1; attempt <= 12; attempt++ {
+		d := p.Backoff(attempt)
+		if d <= 0 || d > 8*time.Millisecond {
+			t.Fatalf("attempt %d: backoff %v out of (0, max]", attempt, d)
+		}
+	}
+}
+
+func TestRetryReaderRidesOutBlips(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "b.rows", []byte("abcdefghij"))
+	// A one-shot mid-stream failure: the retry reader must re-issue at
+	// the same offset and deliver the exact byte stream.
+	in := NewInjector(Scenario{FailReadAt: 2, Transient: true})
+	f, err := in.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r := NewRetryReader(context.Background(), f, fastPolicy)
+	got, err := io.ReadAll(io.LimitReader(r, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abcdefghij" {
+		t.Fatalf("retry reader corrupted stream: %q", got)
+	}
+}
+
+func TestRetryReaderPermanentSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "b.rows", []byte("abcdefghij"))
+	in := NewInjector(Scenario{FailReadAt: 1, FailForever: true})
+	f, err := in.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r := NewRetryReader(context.Background(), f, fastPolicy)
+	if _, err := io.ReadAll(r); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want typed injected error, got %v", err)
+	}
+}
+
+func TestRetryReaderExhausts(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "b.rows", []byte("abcdefghij"))
+	in := NewInjector(Scenario{FailReadAt: 1, FailForever: true, Transient: true})
+	f, err := in.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r := NewRetryReader(context.Background(), f, fastPolicy)
+	if _, err := io.ReadAll(r); err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("want exhausted injected error, got %v", err)
+	}
+}
+
+func TestRetryWriterResumesTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Scenario{PartialWriteEvery: 2, Transient: true})
+	f, err := in.Create(filepath.Join(dir, "out.rows"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewRetryWriter(context.Background(), f, fastPolicy)
+	payload := []byte("abcdefghijklmnop")
+	n, err := w.Write(payload)
+	if err != nil || n != len(payload) {
+		t.Fatalf("retry writer: n=%d err=%v", n, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := readBack(t, filepath.Join(dir, "out.rows"))
+	if string(data) != string(payload) {
+		t.Fatalf("torn writes not resumed exactly: %q", data)
+	}
+}
+
+func TestRetryWriterENOSPCPermanent(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Scenario{FailWriteAt: 2, ENOSPC: true, FailForever: true, Transient: true})
+	f, err := in.Create(filepath.Join(dir, "out.rows"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := NewRetryWriter(context.Background(), f, fastPolicy)
+	if _, err := w.Write([]byte("aaaa")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	_, err = w.Write([]byte("bbbb"))
+	if err == nil || IsTransient(err) {
+		t.Fatalf("ENOSPC must surface permanently, got %v", err)
+	}
+}
+
+func readBack(t *testing.T, path string) []byte {
+	t.Helper()
+	f, err := OS.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

@@ -3,9 +3,21 @@ package matrix
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
+
+// ErrFrameCRC marks a frame whose payload failed its CRC-32C check.
+// It is always wrapped together with ErrFormat, so existing
+// errors.Is(err, ErrFormat) checks still see corruption; callers that
+// can re-read the bytes (the stream replay path) match ErrFrameCRC
+// specifically to retry the read before giving up.
+var ErrFrameCRC = errors.New("matrix: frame CRC mismatch")
+
+// castagnoli is the CRC-32C table; hardware-accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // The block codec frames the raw-row encoding (uvarint weight, then
 // delta-encoded uvarint column ids — WriteRawRow's record format) into
@@ -14,19 +26,25 @@ import (
 // call per varint. A stream is:
 //
 //	"DMCF" | uvarint version | frame*
-//	frame: uvarint rowCount | uvarint payloadBytes | payload
+//	frame (v1): uvarint rowCount | uvarint payloadBytes | payload
+//	frame (v2): uvarint rowCount | uvarint payloadBytes | crc32 (4B LE) | payload
 //
 // where payload is rowCount back-to-back raw-row records. The frame
 // header lets a reader size one io.ReadFull per frame and lets fuzzing
-// and corruption checks validate the payload length exactly. The
+// and corruption checks validate the payload length exactly. Version 2
+// adds a CRC-32C (Castagnoli) of the payload so a flipped bit in a
+// spill file is detected as ErrFrameCRC before any row is decoded —
+// the exactness guarantee requires that corruption never becomes a
+// plausible-but-wrong row. Writers emit v2; readers accept both. The
 // unframed stream of bare raw-row records (the spill format before this
 // codec) stays readable through ReadRowBlockLegacy and the
 // IsBlockStream sniff, so old spill files and external producers keep
 // working during migration.
 
 const (
-	blockMagic   = "DMCF"
-	blockVersion = 1
+	blockMagic     = "DMCF"
+	blockVersionV1 = 1
+	blockVersion   = 2
 
 	// DefaultBlockRows and DefaultBlockBytes bound a frame: a frame
 	// closes at whichever limit trips first. 512 rows keeps the
@@ -167,9 +185,11 @@ func (bw *BlockWriter) Flush() error {
 }
 
 func writeFrame(w *bufio.Writer, nrows int, payload []byte) error {
-	var buf [2 * binary.MaxVarintLen64]byte
+	var buf [2*binary.MaxVarintLen64 + crc32.Size]byte
 	n := binary.PutUvarint(buf[:], uint64(nrows))
 	n += binary.PutUvarint(buf[n:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(buf[n:], crc32.Checksum(payload, castagnoli))
+	n += crc32.Size
 	if _, err := w.Write(buf[:n]); err != nil {
 		return err
 	}
@@ -193,9 +213,13 @@ func WriteRowBlock(w *bufio.Writer, b *RowBlock) error {
 }
 
 // BlockReader decodes a block-framed row stream written by BlockWriter.
+// It reads both codec versions: v1 (no per-frame CRC) and v2 (CRC-32C
+// per frame).
 type BlockReader struct {
 	br      *bufio.Reader
 	cols    int
+	version uint64
+	frames  int64
 	payload []byte
 }
 
@@ -207,11 +231,17 @@ func NewBlockReader(br *bufio.Reader, cols int) (*BlockReader, error) {
 		return nil, fmt.Errorf("%w: bad block-stream magic", ErrFormat)
 	}
 	version, err := binary.ReadUvarint(br)
-	if err != nil || version != blockVersion {
+	if err != nil || version < blockVersionV1 || version > blockVersion {
 		return nil, fmt.Errorf("%w: unsupported block-stream version", ErrFormat)
 	}
-	return &BlockReader{br: br, cols: cols}, nil
+	return &BlockReader{br: br, cols: cols, version: version}, nil
 }
+
+// Frames returns the number of frames fully decoded so far — the index
+// of the next frame ReadRowBlock will attempt. The stream replay path
+// uses it to skip already-consumed frames when re-reading a bucket
+// after a CRC failure.
+func (r *BlockReader) Frames() int64 { return r.frames }
 
 // IsBlockStream reports whether the buffered reader is positioned at a
 // block-framed stream (vs. the legacy unframed raw-row format), without
@@ -246,6 +276,14 @@ func (r *BlockReader) ReadRowBlock(b *RowBlock) error {
 	if plen == 0 || plen > maxFramePayload {
 		return fmt.Errorf("%w: implausible frame payload %d bytes", ErrFormat, plen)
 	}
+	var wantCRC uint32
+	if r.version >= 2 {
+		var crcBuf [crc32.Size]byte
+		if _, err := io.ReadFull(r.br, crcBuf[:]); err != nil {
+			return fmt.Errorf("%w: truncated frame CRC: %v", ErrFormat, err)
+		}
+		wantCRC = binary.LittleEndian.Uint32(crcBuf[:])
+	}
 	if cap(r.payload) < int(plen) {
 		r.payload = make([]byte, plen)
 	}
@@ -253,7 +291,17 @@ func (r *BlockReader) ReadRowBlock(b *RowBlock) error {
 	if _, err := io.ReadFull(r.br, r.payload); err != nil {
 		return fmt.Errorf("%w: truncated frame payload: %v", ErrFormat, err)
 	}
-	return decodeFrame(r.payload, int(nrows), r.cols, b)
+	if r.version >= 2 {
+		if got := crc32.Checksum(r.payload, castagnoli); got != wantCRC {
+			return fmt.Errorf("%w: %w: frame %d (got %08x, want %08x)",
+				ErrFormat, ErrFrameCRC, r.frames, got, wantCRC)
+		}
+	}
+	if err := decodeFrame(r.payload, int(nrows), r.cols, b); err != nil {
+		return err
+	}
+	r.frames++
+	return nil
 }
 
 // decodeFrame decodes nrows raw-row records from buf into b, validating

@@ -64,6 +64,18 @@ func FuzzBlockCodec(f *testing.F) {
 	f.Add(seed.Bytes(), uint16(3))
 	f.Add([]byte("DMCF\x01"), uint16(8))
 	f.Add([]byte("DMCF\x01\x01\x01\x00"), uint16(1))
+	// v2 seeds: bare header, truncated CRC field, and a bit-flip corpus
+	// over the valid v2 seed so the fuzzer explores CRC-mismatch paths.
+	f.Add([]byte("DMCF\x02"), uint16(8))
+	f.Add([]byte("DMCF\x02\x01\x01\xde\xad"), uint16(1))
+	if s := seed.Bytes(); len(s) > 8 {
+		flipped := append([]byte(nil), s...)
+		flipped[6] ^= 0x01
+		f.Add(flipped, uint16(3))
+		flipped2 := append([]byte(nil), s...)
+		flipped2[len(s)-1] ^= 0x80
+		f.Add(flipped2, uint16(3))
+	}
 	f.Fuzz(func(t *testing.T, in []byte, cols uint16) {
 		br, err := NewBlockReader(bufio.NewReader(bytes.NewReader(in)), int(cols))
 		if err != nil {

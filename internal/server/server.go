@@ -86,6 +86,12 @@ type Config struct {
 	// requests stream them through the out-of-core engine instead of
 	// holding the matrix in memory. Zero disables (everything loads).
 	StreamMinBytes int64
+	// MemBudgetBytes bounds each mine's candidate-counter memory
+	// (core.Options.MemBudgetBytes). A resident mine that overflows the
+	// budget degrades gracefully: the matrix is spilled to a temp file
+	// and re-mined through the partitioned out-of-core engine instead of
+	// failing. Zero means unlimited.
+	MemBudgetBytes int
 }
 
 func (c Config) registry() *obs.Registry {
@@ -130,6 +136,8 @@ type serverMetrics struct {
 	inflight  obs.Gauge
 	rejected  obs.Counter
 	timeouts  obs.Counter
+	cancelled obs.Counter
+	degraded  obs.Counter
 	datasets  obs.Gauge
 }
 
@@ -155,6 +163,10 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Mining requests rejected by the concurrency limiter."),
 		timeouts: reg.Counter("dmc_mines_timeout_total",
 			"Mining requests that exceeded their deadline."),
+		cancelled: reg.Counter("dmc_mines_cancelled_total",
+			"Mining operations aborted by context cancellation or deadline."),
+		degraded: reg.Counter("dmc_mines_degraded_total",
+			"Resident mines that overflowed the memory budget and re-ran out of core."),
 		datasets: reg.Gauge("dmc_datasets_loaded",
 			"Datasets currently resident in memory."),
 	}
@@ -194,9 +206,11 @@ type Server struct {
 	// the serial and parallel pipelines: 1 is serial, anything else is
 	// the §7 column-partitioned engine (0 = one worker per CPU). The
 	// File variants stream a file-backed dataset from disk with the
-	// same worker fan-out.
-	mineImp     func(m *matrix.Matrix, t core.Threshold, o core.Options, workers int) ([]rules.Implication, core.Stats)
-	mineSim     func(m *matrix.Matrix, t core.Threshold, o core.Options, workers int) ([]rules.Similarity, core.Stats)
+	// same worker fan-out. The in-memory variants surface cancellation
+	// and budget overflow (SourceError panics) as errors via
+	// core.CapturePass.
+	mineImp     func(m *matrix.Matrix, t core.Threshold, o core.Options, workers int) ([]rules.Implication, core.Stats, error)
+	mineSim     func(m *matrix.Matrix, t core.Threshold, o core.Options, workers int) ([]rules.Similarity, core.Stats, error)
 	mineImpFile func(path string, t core.Threshold, o core.Options, cfg stream.Config) ([]rules.Implication, core.Stats, error)
 	mineSimFile func(path string, t core.Threshold, o core.Options, cfg stream.Config) ([]rules.Similarity, core.Stats, error)
 }
@@ -210,17 +224,29 @@ func NewWith(cfg Config) *Server {
 		datasets: make(map[string]*dataset),
 		cfg:      cfg,
 		metrics:  newServerMetrics(cfg.registry()),
-		mineImp: func(m *matrix.Matrix, t core.Threshold, o core.Options, workers int) ([]rules.Implication, core.Stats) {
-			if workers == 1 {
-				return core.DMCImp(m, t, o)
-			}
-			return core.DMCImpParallel(m, t, o, workers)
+		mineImp: func(m *matrix.Matrix, t core.Threshold, o core.Options, workers int) ([]rules.Implication, core.Stats, error) {
+			var rs []rules.Implication
+			var st core.Stats
+			err := core.CapturePass(func() {
+				if workers == 1 {
+					rs, st = core.DMCImp(m, t, o)
+				} else {
+					rs, st = core.DMCImpParallel(m, t, o, workers)
+				}
+			})
+			return rs, st, err
 		},
-		mineSim: func(m *matrix.Matrix, t core.Threshold, o core.Options, workers int) ([]rules.Similarity, core.Stats) {
-			if workers == 1 {
-				return core.DMCSim(m, t, o)
-			}
-			return core.DMCSimParallel(m, t, o, workers)
+		mineSim: func(m *matrix.Matrix, t core.Threshold, o core.Options, workers int) ([]rules.Similarity, core.Stats, error) {
+			var rs []rules.Similarity
+			var st core.Stats
+			err := core.CapturePass(func() {
+				if workers == 1 {
+					rs, st = core.DMCSim(m, t, o)
+				} else {
+					rs, st = core.DMCSimParallel(m, t, o, workers)
+				}
+			})
+			return rs, st, err
 		},
 		mineImpFile: stream.MineImplicationsCfg,
 		mineSimFile: stream.MineSimilaritiesCfg,
@@ -401,7 +427,7 @@ func validDatasetName(name string) bool {
 func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if !validDatasetName(name) {
-		writeErr(w, http.StatusBadRequest, "invalid dataset name %q: want a leading alphanumeric, then alphanumerics, '.', '_' or '-' (max 128 chars, no '..')", name)
+		writeErr(w, r, http.StatusBadRequest, "invalid dataset name %q: want a leading alphanumeric, then alphanumerics, '.', '_' or '-' (max 128 chars, no '..')", name)
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.maxUploadBytes())
@@ -409,14 +435,14 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeErr(w, http.StatusRequestEntityTooLarge, "body exceeds the %d-byte upload limit", tooBig.Limit)
+			writeErr(w, r, http.StatusRequestEntityTooLarge, "body exceeds the %d-byte upload limit", tooBig.Limit)
 			return
 		}
-		writeErr(w, http.StatusBadRequest, "parsing baskets: %v", err)
+		writeErr(w, r, http.StatusBadRequest, "parsing baskets: %v", err)
 		return
 	}
 	if m.NumRows() == 0 || m.NumOnes() == 0 {
-		writeErr(w, http.StatusBadRequest, "dataset has no transactions")
+		writeErr(w, r, http.StatusBadRequest, "dataset has no transactions")
 		return
 	}
 	s.Add(name, m)
@@ -427,7 +453,7 @@ func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	d, ok := s.get(name)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no dataset %q", name)
+		writeErr(w, r, http.StatusNotFound, "no dataset %q", name)
 		return
 	}
 	writeJSON(w, http.StatusOK, d.info)
@@ -463,12 +489,16 @@ func (s *Server) acquireMine(ctx context.Context) (release func(), ok bool) {
 }
 
 // runMine executes mine under the concurrency limiter and the
-// per-request deadline, recording run metrics on success. On limiter
-// rejection or deadline expiry it writes the error response and
-// returns ok=false; an expired mine keeps running detached until done
-// (the core pipelines have no cancellation points) while its limiter
-// slot stays held, so the limiter keeps bounding actual CPU use.
-func runMine[R any](s *Server, w http.ResponseWriter, r *http.Request, pipeline string, mine func() ([]R, core.Stats, error)) ([]R, core.Stats, bool) {
+// per-request deadline, recording run metrics on success. The context
+// handed to mine is the request's own (so a client disconnect cancels
+// an abandoned mine) bounded by RequestTimeout; the pipelines observe
+// it via core.Options.Ctx and abort at their next interrupt poll, which
+// is what frees the limiter slot promptly instead of burning CPU for a
+// caller that is gone. On limiter rejection or deadline expiry the
+// error response is written here and ok=false returned; typed mining
+// failures map to stable statuses (503 cancelled/deadline, 507 memory
+// budget, 500 otherwise).
+func runMine[R any](s *Server, w http.ResponseWriter, r *http.Request, pipeline string, mine func(ctx context.Context) ([]R, core.Stats, error)) ([]R, core.Stats, bool) {
 	ctx := r.Context()
 	if s.cfg.RequestTimeout > 0 {
 		var cancel context.CancelFunc
@@ -477,7 +507,7 @@ func runMine[R any](s *Server, w http.ResponseWriter, r *http.Request, pipeline 
 	}
 	release, ok := s.acquireMine(ctx)
 	if !ok {
-		writeErr(w, http.StatusTooManyRequests, "mining concurrency limit reached; retry later")
+		writeErr(w, r, http.StatusTooManyRequests, "mining concurrency limit reached; retry later")
 		return nil, core.Stats{}, false
 	}
 	type result struct {
@@ -488,25 +518,103 @@ func runMine[R any](s *Server, w http.ResponseWriter, r *http.Request, pipeline 
 	ch := make(chan result, 1)
 	go func() {
 		defer release()
-		rs, st, err := mine()
+		rs, st, err := mine(ctx)
 		ch <- result{rs, st, err}
 	}()
 	select {
 	case <-ctx.Done():
 		s.metrics.timeouts.Inc()
-		writeErr(w, http.StatusServiceUnavailable, "mining did not finish before the request deadline; narrow the query or raise the limit")
+		writeErr(w, r, http.StatusServiceUnavailable, "mining did not finish before the request deadline; narrow the query or raise the limit")
 		return nil, core.Stats{}, false
 	case res := <-ch:
 		if res.err != nil {
-			// Only the streamed path can fail (disk I/O, spill setup);
-			// the in-memory pipelines always succeed.
-			s.cfg.logger().Error("streamed mine failed", slog.String("pipeline", pipeline), slog.Any("error", res.err))
-			writeErr(w, http.StatusInternalServerError, "mining failed: %v", res.err)
+			switch {
+			case errors.Is(res.err, context.Canceled) || errors.Is(res.err, context.DeadlineExceeded):
+				s.metrics.timeouts.Inc()
+				writeErr(w, r, http.StatusServiceUnavailable, "mining was cancelled: %v", res.err)
+			case isBudgetErr(res.err):
+				writeErr(w, r, http.StatusInsufficientStorage, "mining exceeded the memory budget: %v", res.err)
+			default:
+				s.cfg.logger().Error("mine failed", slog.String("pipeline", pipeline),
+					slog.String("request_id", obs.RequestID(r.Context())), slog.Any("error", res.err))
+				writeErr(w, r, http.StatusInternalServerError, "mining failed: %v", res.err)
+			}
 			return nil, core.Stats{}, false
 		}
 		s.recordMine(pipeline, res.st)
 		return res.rs, res.st, true
 	}
+}
+
+func isBudgetErr(err error) bool {
+	var be *core.BudgetError
+	return errors.As(err, &be)
+}
+
+// noteCancelled counts a context-aborted resident mine on
+// dmc_mines_cancelled_total (the streamed path counts its own aborts in
+// the stream package — same series, shared by name), passing err
+// through.
+func (s *Server) noteCancelled(err error) error {
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		s.metrics.cancelled.Inc()
+	}
+	return err
+}
+
+// mineImpMem mines a resident dataset with budget degradation: a
+// *core.BudgetError does not fail the request — the matrix is spilled
+// to a temp file and re-mined through the partitioned out-of-core
+// engine, whose density-bucket re-ordering and disk-backed passes are
+// exactly the paper's answer to counter arrays that outgrow memory.
+func (s *Server) mineImpMem(m *matrix.Matrix, t core.Threshold, o core.Options, workers int) ([]rules.Implication, core.Stats, error) {
+	rs, st, err := s.mineImp(m, t, o, workers)
+	if err == nil {
+		return rs, st, nil
+	}
+	if !isBudgetErr(err) {
+		return nil, st, s.noteCancelled(err)
+	}
+	path, cleanup, serr := spillResident(m)
+	if serr != nil {
+		return nil, st, errors.Join(err, serr)
+	}
+	defer cleanup()
+	s.metrics.degraded.Inc()
+	return s.mineImpFile(path, t, o, stream.Config{Workers: workers, Ctx: o.Ctx})
+}
+
+// mineSimMem is mineImpMem for similarity rules.
+func (s *Server) mineSimMem(m *matrix.Matrix, t core.Threshold, o core.Options, workers int) ([]rules.Similarity, core.Stats, error) {
+	rs, st, err := s.mineSim(m, t, o, workers)
+	if err == nil {
+		return rs, st, nil
+	}
+	if !isBudgetErr(err) {
+		return nil, st, s.noteCancelled(err)
+	}
+	path, cleanup, serr := spillResident(m)
+	if serr != nil {
+		return nil, st, errors.Join(err, serr)
+	}
+	defer cleanup()
+	s.metrics.degraded.Inc()
+	return s.mineSimFile(path, t, o, stream.Config{Workers: workers, Ctx: o.Ctx})
+}
+
+// spillResident saves a resident matrix to a temp binary file for the
+// degrade-to-disk path; cleanup removes it.
+func spillResident(m *matrix.Matrix) (string, func(), error) {
+	dir, err := os.MkdirTemp("", "dmc-degrade-")
+	if err != nil {
+		return "", nil, err
+	}
+	path := filepath.Join(dir, "resident"+matrix.ExtBinary)
+	if err := matrix.Save(path, m); err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	return path, func() { os.RemoveAll(dir) }, nil
 }
 
 // recordMine feeds one run's core.Stats into the registry; phase
@@ -543,21 +651,22 @@ func (s *Server) handleImplications(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	d, ok := s.get(name)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no dataset %q", name)
+		writeErr(w, r, http.StatusNotFound, "no dataset %q", name)
 		return
 	}
 	p, err := mineParams(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
-	opts := core.Options{MinSupport: p.minSupport, Hooks: s.hooks}
-	rs, st, ok := runMine(s, w, r, "imp", func() ([]rules.Implication, core.Stats, error) {
+	opts := core.Options{MinSupport: p.minSupport, Hooks: s.hooks, MemBudgetBytes: s.cfg.MemBudgetBytes}
+	rs, st, ok := runMine(s, w, r, "imp", func(ctx context.Context) ([]rules.Implication, core.Stats, error) {
+		opts := opts
+		opts.Ctx = ctx
 		if d.m == nil {
-			return s.mineImpFile(d.path, core.FromPercent(p.threshold), opts, stream.Config{Workers: p.workers})
+			return s.mineImpFile(d.path, core.FromPercent(p.threshold), opts, stream.Config{Workers: p.workers, Ctx: ctx})
 		}
-		rs, st := s.mineImp(d.m, core.FromPercent(p.threshold), opts, p.workers)
-		return rs, st, nil
+		return s.mineImpMem(d.m, core.FromPercent(p.threshold), opts, p.workers)
 	})
 	if !ok {
 		return
@@ -593,21 +702,22 @@ func (s *Server) handleSimilarities(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	d, ok := s.get(name)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no dataset %q", name)
+		writeErr(w, r, http.StatusNotFound, "no dataset %q", name)
 		return
 	}
 	p, err := mineParams(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
-	opts := core.Options{MinSupport: p.minSupport, Hooks: s.hooks}
-	rs, st, ok := runMine(s, w, r, "sim", func() ([]rules.Similarity, core.Stats, error) {
+	opts := core.Options{MinSupport: p.minSupport, Hooks: s.hooks, MemBudgetBytes: s.cfg.MemBudgetBytes}
+	rs, st, ok := runMine(s, w, r, "sim", func(ctx context.Context) ([]rules.Similarity, core.Stats, error) {
+		opts := opts
+		opts.Ctx = ctx
 		if d.m == nil {
-			return s.mineSimFile(d.path, core.FromPercent(p.threshold), opts, stream.Config{Workers: p.workers})
+			return s.mineSimFile(d.path, core.FromPercent(p.threshold), opts, stream.Config{Workers: p.workers, Ctx: ctx})
 		}
-		rs, st := s.mineSim(d.m, core.FromPercent(p.threshold), opts, p.workers)
-		return rs, st, nil
+		return s.mineSimMem(d.m, core.FromPercent(p.threshold), opts, p.workers)
 	})
 	if !ok {
 		return
@@ -639,43 +749,43 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	d, ok := s.get(name)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no dataset %q", name)
+		writeErr(w, r, http.StatusNotFound, "no dataset %q", name)
 		return
 	}
 	if d.m == nil {
-		writeErr(w, http.StatusBadRequest, "dataset %q is file-backed (streamed) and has no labels; expansion needs a labeled in-memory dataset", name)
+		writeErr(w, r, http.StatusBadRequest, "dataset %q is file-backed (streamed) and has no labels; expansion needs a labeled in-memory dataset", name)
 		return
 	}
 	m := d.m
 	if m.Labels() == nil {
-		writeErr(w, http.StatusBadRequest, "dataset %q has no labels", name)
+		writeErr(w, r, http.StatusBadRequest, "dataset %q has no labels", name)
 		return
 	}
 	keyword := r.URL.Query().Get("keyword")
 	if keyword == "" {
-		writeErr(w, http.StatusBadRequest, "missing keyword parameter")
+		writeErr(w, r, http.StatusBadRequest, "missing keyword parameter")
 		return
 	}
 	p, err := mineParams(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	depth, err := intParam(r, "depth", -1)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rs, _, ok := runMine(s, w, r, "imp", func() ([]rules.Implication, core.Stats, error) {
-		rs, st := s.mineImp(m, core.FromPercent(p.threshold), core.Options{MinSupport: p.minSupport, Hooks: s.hooks}, p.workers)
-		return rs, st, nil
+	rs, _, ok := runMine(s, w, r, "imp", func(ctx context.Context) ([]rules.Implication, core.Stats, error) {
+		opts := core.Options{MinSupport: p.minSupport, Hooks: s.hooks, MemBudgetBytes: s.cfg.MemBudgetBytes, Ctx: ctx}
+		return s.mineImpMem(m, core.FromPercent(p.threshold), opts, p.workers)
 	})
 	if !ok {
 		return
 	}
 	groups, ok := rules.ExpandByLabel(rs, m, keyword, depth)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "keyword %q is not a column label", keyword)
+		writeErr(w, r, http.StatusNotFound, "keyword %q is not a column label", keyword)
 		return
 	}
 	out := make([]ExpandGroupWire, 0, len(groups))
@@ -753,8 +863,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// writeErr emits the structured error body {"error", "request_id"}:
+// machine-readable, and the id lets a client report a failure the
+// operator can match to the trace logs.
+func writeErr(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
+	body := map[string]string{"error": fmt.Sprintf(format, args...)}
+	if id := obs.RequestID(r.Context()); id != "" {
+		body["request_id"] = id
+	}
+	writeJSON(w, status, body)
 }
 
 // LoadDir loads every matrix file in dir into the server, named by the

@@ -5,11 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
 	"dmc/internal/core"
+	"dmc/internal/fault"
 	"dmc/internal/matrix"
 )
 
@@ -71,6 +72,18 @@ func (p *Partitioned) ConcurrentPass(n int) []core.Rows {
 	p.readers[r] = struct{}{}
 	p.mu.Unlock()
 	go r.run()
+	if ctx := p.cfg.Ctx; ctx != nil {
+		// Context watcher: a cancelled mine cancels the pass with the
+		// context's own error, so consumers see context.Canceled (not a
+		// generic closed-pass error) and the reader tears down promptly.
+		go func() {
+			select {
+			case <-ctx.Done():
+				r.cancelWith(ctx.Err())
+			case <-r.done:
+			}
+		}()
+	}
 	return rows
 }
 
@@ -95,11 +108,29 @@ type passReader struct {
 	pool     sync.Pool // *matrix.RowBlock
 	stop     chan struct{}
 	stopOnce sync.Once
+	cause    error         // why the pass was cancelled; set before stop closes
 	done     chan struct{} // closed when the goroutine has exited
 	err      error         // set before the view channels close
 }
 
-func (r *passReader) cancel() { r.stopOnce.Do(func() { close(r.stop) }) }
+func (r *passReader) cancel() { r.cancelWith(errPassClosed) }
+
+// cancelWith stops the pass, recording why. The first caller wins; the
+// cause is published before stop closes, so any goroutine that observed
+// <-r.stop reads it race-free via causeErr.
+func (r *passReader) cancelWith(err error) {
+	r.stopOnce.Do(func() {
+		r.cause = err
+		close(r.stop)
+	})
+}
+
+func (r *passReader) causeErr() error {
+	if r.cause != nil {
+		return r.cause
+	}
+	return errPassClosed
+}
 
 func (r *passReader) run() {
 	delivered, err := r.readBuckets()
@@ -133,17 +164,10 @@ func (r *passReader) readBuckets() (int, error) {
 	for _, b := range r.p.buckets {
 		select {
 		case <-r.stop:
-			return delivered, errPassClosed
+			return delivered, r.causeErr()
 		default:
 		}
-		f, err := os.Open(b.path)
-		if err != nil {
-			return delivered, err
-		}
-		r.p.openFDs.Add(1)
-		n, err := r.readBucket(f, b)
-		f.Close()
-		r.p.openFDs.Add(-1)
+		n, err := r.readBucket(b)
 		delivered += n
 		if err != nil {
 			return delivered, err
@@ -152,38 +176,112 @@ func (r *passReader) readBuckets() (int, error) {
 	return delivered, nil
 }
 
-func (r *passReader) readBucket(f *os.File, b bucket) (int, error) {
-	br := bufio.NewReaderSize(f, r.p.cfg.readBufBytes())
-	var brd *matrix.BlockReader
-	if !b.legacy {
-		var err error
-		if brd, err = matrix.NewBlockReader(br, r.p.cols); err != nil {
-			return 0, err
+// readBucket streams one spill segment to the views, surviving two
+// failure classes: transient byte-level I/O (retried inside
+// fault.RetryReader, byte-identical re-issue via ReadAt) and detected
+// frame corruption (CRC mismatch in the framed codec). The latter gets
+// a bounded whole-segment re-read that decodes-and-discards the frames
+// already delivered — consumers never see a duplicate, reordered, or
+// corrupt row; if the corruption persists the typed error names the
+// bucket, segment, and frame. Legacy segments carry no CRC, so only
+// the byte-level retry applies there.
+func (r *passReader) readBucket(b bucket) (int, error) {
+	attempts := r.p.cfg.Retry.Attempts()
+	delivered := 0
+	var skip int64 // frames verified and delivered by earlier attempts
+	for attempt := 1; ; attempt++ {
+		n, frames, err := r.readSegment(b, skip)
+		delivered += n
+		skip += frames
+		if err == nil {
+			if attempt > 1 {
+				fault.RecordRetry("recovered")
+			}
+			return delivered, nil
+		}
+		if b.legacy || !errors.Is(err, matrix.ErrFrameCRC) || attempt >= attempts {
+			if errors.Is(err, matrix.ErrFrameCRC) {
+				fault.RecordRetry("exhausted")
+			}
+			return delivered, err
+		}
+		fault.RecordRetry("retried")
+		if serr := r.p.cfg.Retry.Sleep(r.p.cfg.Ctx, attempt); serr != nil {
+			return delivered, serr
 		}
 	}
+}
+
+// readSegment is one attempt over a segment: open, skip the first
+// `skip` frames (re-verifying their CRCs as it decodes past them),
+// then deliver the rest. Returns the rows and frames delivered by this
+// attempt. I/O and decode errors come back located as *PassError;
+// cancellation comes back as the bare cancel cause.
+func (r *passReader) readSegment(b bucket, skip int64) (int, int64, error) {
+	f, err := r.p.cfg.fs().Open(b.path)
+	if err != nil {
+		return 0, 0, r.locate(b, -1, err)
+	}
+	r.p.openFDs.Add(1)
+	defer func() {
+		f.Close()
+		r.p.openFDs.Add(-1)
+	}()
+	br := bufio.NewReaderSize(fault.NewRetryReader(r.p.cfg.Ctx, f, r.p.cfg.Retry), r.p.cfg.readBufBytes())
+	var brd *matrix.BlockReader
+	if !b.legacy {
+		if brd, err = matrix.NewBlockReader(br, r.p.cols); err != nil {
+			return 0, 0, r.locate(b, -1, err)
+		}
+	}
+	if skip > 0 {
+		scratch := r.pool.Get().(*matrix.RowBlock)
+		for i := int64(0); i < skip; i++ {
+			if err := brd.ReadRowBlock(scratch); err != nil {
+				r.pool.Put(scratch)
+				return 0, 0, r.locate(b, brd.Frames(), err)
+			}
+		}
+		r.pool.Put(scratch)
+	}
 	delivered := 0
+	var frames int64
 	for {
 		blk := r.pool.Get().(*matrix.RowBlock)
-		var err error
+		var frameIdx int64
 		if brd != nil {
+			frameIdx = brd.Frames()
 			err = brd.ReadRowBlock(blk)
 		} else {
+			frameIdx = frames
 			err = matrix.ReadRowBlockLegacy(br, r.p.cols, r.p.cfg.blockRowsVal(), blk)
 		}
 		if err == io.EOF {
 			r.pool.Put(blk)
-			return delivered, nil
+			return delivered, frames, nil
 		}
 		if err != nil {
 			r.pool.Put(blk)
-			return delivered, err
+			return delivered, frames, r.locate(b, frameIdx, err)
 		}
 		metricFrames.Inc()
 		delivered += blk.Len()
+		frames++
 		if !r.deliver(blk) {
-			return delivered, errPassClosed
+			return delivered, frames, r.causeErr()
 		}
 	}
+}
+
+// locate wraps err as a *PassError naming the bucket, segment, and
+// frame where a pass died (frame -1 when the failure precedes any
+// frame). Errors already located keep their original position.
+func (r *passReader) locate(b bucket, frame int64, err error) error {
+	var pe *PassError
+	if errors.As(err, &pe) {
+		return err
+	}
+	return &PassError{Bucket: b.bkt, Segment: filepath.Base(b.path), Frame: frame, Err: err}
 }
 
 // deliver broadcasts one block to every still-attached view. Returns
@@ -228,7 +326,7 @@ func (v *view) Len() int { return v.total }
 
 func (v *view) Row(i int) []matrix.Col {
 	if i != v.next {
-		panic(&PassError{fmt.Errorf("out-of-order read: got %d, want %d", i, v.next)})
+		panic(newPassError(fmt.Errorf("out-of-order read: got %d, want %d", i, v.next)))
 	}
 	v.next++
 	for v.cur == nil || v.idx == v.cur.blk.Len() {
@@ -249,7 +347,7 @@ func (v *view) Row(i int) []matrix.Col {
 			if err == nil {
 				err = fmt.Errorf("pass ended at row %d of %d", v.next-1, v.total)
 			}
-			panic(&PassError{err})
+			panic(asPassError(err))
 		}
 		metricBroadcastDepth.Dec()
 		v.cur = sb

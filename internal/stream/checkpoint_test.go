@@ -1,0 +1,169 @@
+package stream
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dmc/internal/core"
+	"dmc/internal/fault"
+	"dmc/internal/matrix"
+	"dmc/internal/rules"
+)
+
+// TestCheckpointResumeParity: a checkpointed mine followed by a resumed
+// mine of the same input yields the identical rule set, skips the
+// partition pass entirely (no new manifest commit), and works across
+// codecs and worker counts.
+func TestCheckpointResumeParity(t *testing.T) {
+	m := streamRandomMatrix(21, 400, 24)
+	path := writeTemp(t, m, matrix.ExtBinary)
+	want, _ := core.DMCImp(m, core.FromPercent(75), core.Options{})
+
+	for _, legacy := range []bool{false, true} {
+		ckpt := t.TempDir()
+		cfg := Config{CheckpointDir: ckpt, LegacyCodec: legacy, Workers: 2}
+		first, _, err := MineImplicationsCfg(path, core.FromPercent(75), core.Options{}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := rules.DiffImplications(first, want); d != "" {
+			t.Fatalf("checkpointed mine diverged:\n%s", d)
+		}
+		if _, err := os.Stat(filepath.Join(ckpt, manifestName)); err != nil {
+			t.Fatalf("no manifest after checkpointed mine: %v", err)
+		}
+
+		commits := metricCheckpointWrites.Value()
+		cfg.Resume = true
+		cfg.Workers = 8
+		resumed, _, err := MineImplicationsCfg(path, core.FromPercent(75), core.Options{}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := rules.DiffImplications(resumed, want); d != "" {
+			t.Fatalf("resumed mine diverged:\n%s", d)
+		}
+		if got := metricCheckpointWrites.Value(); got != commits {
+			t.Fatalf("resume re-partitioned: %d new manifest commits", got-commits)
+		}
+	}
+}
+
+// TestCheckpointInvalidatedByInputChange: a resume against a modified
+// input must refuse the stale checkpoint and re-partition.
+func TestCheckpointInvalidatedByInputChange(t *testing.T) {
+	m1 := streamRandomMatrix(22, 300, 24)
+	m2 := streamRandomMatrix(23, 280, 24)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m"+matrix.ExtBinary)
+	if err := matrix.Save(path, m1); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := t.TempDir()
+	if _, _, err := MineImplicationsCfg(path, core.FromPercent(75), core.Options{}, Config{CheckpointDir: ckpt}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := matrix.Save(path, m2); err != nil {
+		t.Fatal(err)
+	}
+	// Defeat modtime granularity: make the rewrite unambiguous.
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	want, _ := core.DMCImp(m2, core.FromPercent(75), core.Options{})
+	commits := metricCheckpointWrites.Value()
+	got, _, err := MineImplicationsCfg(path, core.FromPercent(75), core.Options{}, Config{CheckpointDir: ckpt, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := rules.DiffImplications(got, want); d != "" {
+		t.Fatalf("stale checkpoint leaked into the result:\n%s", d)
+	}
+	if metricCheckpointWrites.Value() != commits+1 {
+		t.Fatal("changed input did not force a re-partition")
+	}
+}
+
+// TestCheckpointCrashLeavesNoManifest: killing the manifest commit
+// leaves the directory without a trusted checkpoint; the next resume
+// run partitions afresh and still mines correctly.
+func TestCheckpointCrashLeavesNoManifest(t *testing.T) {
+	m := streamRandomMatrix(24, 300, 24)
+	path := writeTemp(t, m, matrix.ExtBinary)
+	ckpt := t.TempDir()
+
+	inj := fault.NewInjector(fault.Scenario{Name: "kill-manifest", FailSyncAt: 1, PathContains: manifestName})
+	_, _, err := MineImplicationsCfg(path, core.FromPercent(75), core.Options{}, Config{CheckpointDir: ckpt, FS: inj})
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("manifest commit should have failed, got %v", err)
+	}
+	if _, serr := os.Stat(filepath.Join(ckpt, manifestName)); !os.IsNotExist(serr) {
+		t.Fatal("a failed commit left a manifest behind")
+	}
+
+	want, _ := core.DMCImp(m, core.FromPercent(75), core.Options{})
+	got, _, err := MineImplicationsCfg(path, core.FromPercent(75), core.Options{}, Config{CheckpointDir: ckpt, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := rules.DiffImplications(got, want); d != "" {
+		t.Fatalf("post-crash re-partition diverged:\n%s", d)
+	}
+}
+
+// TestCheckpointSweepsStaleTmp: a crashed writer's *.tmp litter is
+// removed when the next partition reuses the directory.
+func TestCheckpointSweepsStaleTmp(t *testing.T) {
+	m := streamRandomMatrix(25, 120, 16)
+	path := writeTemp(t, m, matrix.ExtBinary)
+	ckpt := t.TempDir()
+	stale := filepath.Join(ckpt, "bucket-99.rows.tmp")
+	if err := os.WriteFile(stale, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := PartitionWith(path, Config{CheckpointDir: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, serr := os.Stat(stale); !os.IsNotExist(serr) {
+		t.Fatal("stale tmp survived a fresh partition")
+	}
+}
+
+// TestCheckpointSegmentDamageForcesRepartition: a segment truncated
+// after commit fails manifest validation, so resume re-partitions
+// instead of mining short.
+func TestCheckpointSegmentDamageForcesRepartition(t *testing.T) {
+	m := streamRandomMatrix(26, 300, 24)
+	path := writeTemp(t, m, matrix.ExtBinary)
+	ckpt := t.TempDir()
+	p, err := PartitionWith(path, Config{CheckpointDir: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := p.buckets[0].path
+	p.Close()
+	if err := os.Truncate(seg, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	want, _ := core.DMCImp(m, core.FromPercent(75), core.Options{})
+	commits := metricCheckpointWrites.Value()
+	got, _, err := MineImplicationsCfg(path, core.FromPercent(75), core.Options{}, Config{CheckpointDir: ckpt, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := rules.DiffImplications(got, want); d != "" {
+		t.Fatalf("damaged checkpoint leaked into the result:\n%s", d)
+	}
+	if metricCheckpointWrites.Value() != commits+1 {
+		t.Fatal("damaged segment did not force a re-partition")
+	}
+}

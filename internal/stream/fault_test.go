@@ -1,0 +1,280 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"dmc/internal/core"
+	"dmc/internal/fault"
+	"dmc/internal/matrix"
+	"dmc/internal/rules"
+)
+
+// fastRetry keeps the fault matrix quick: real backoff shapes, µs scale.
+var fastRetry = fault.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}
+
+// waitGoroutines waits for the goroutine count to drain back to the
+// baseline (readers and workers exit asynchronously after a mine).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > base {
+		t.Errorf("goroutines leaked: %d > baseline %d", got, base)
+	}
+}
+
+// TestFaultMatrix is the acceptance matrix of ISSUE: deterministic
+// failure scenarios × worker counts × spill codecs. Every cell must end
+// in exactly one of two states — the exact rule set of an in-memory
+// mine (transient faults ridden out), or a typed error (*PassError /
+// *SpillError / context error) — and never wrong rules, leaked
+// goroutines, or a hung mine.
+func TestFaultMatrix(t *testing.T) {
+	m := streamRandomMatrix(42, 400, 24)
+	path := writeTemp(t, m, matrix.ExtBinary)
+	want, _ := core.DMCImp(m, core.FromPercent(75), core.Options{})
+
+	scenarios := []fault.Scenario{
+		{Name: "fail-3rd-read-transient", FailReadAt: 3, Transient: true},
+		{Name: "fail-read-forever", FailReadAt: 2, FailForever: true},
+		{Name: "partial-write-transient", PartialWriteEvery: 3, Transient: true},
+		{Name: "fail-write-permanent", FailWriteAt: 2},
+		{Name: "enospc", FailWriteAt: 1, FailForever: true, ENOSPC: true},
+		{Name: "fail-2nd-open", FailOpenAt: 2},
+		{Name: "short-reads", ShortReadEvery: 2},
+	}
+	for _, sc := range scenarios {
+		for _, workers := range []int{1, 2, 8} {
+			for _, legacy := range []bool{false, true} {
+				name := fmt.Sprintf("%s/w%d/legacy=%v", sc.Name, workers, legacy)
+				t.Run(name, func(t *testing.T) {
+					base := runtime.NumGoroutine()
+					cfg := Config{
+						TmpDir:      t.TempDir(),
+						Workers:     workers,
+						LegacyCodec: legacy,
+						FS:          fault.NewInjector(sc),
+						Retry:       fastRetry,
+					}
+					got, _, err := MineImplicationsCfg(path, core.FromPercent(75), core.Options{}, cfg)
+					if err != nil {
+						var pe *PassError
+						var se *SpillError
+						if !errors.As(err, &pe) && !errors.As(err, &se) {
+							t.Fatalf("untyped failure: %v", err)
+						}
+						if sc.ENOSPC && !errors.Is(err, syscall.ENOSPC) {
+							t.Fatalf("ENOSPC scenario lost the errno: %v", err)
+						}
+					} else if d := rules.DiffImplications(got, want); d != "" {
+						t.Fatalf("fault scenario changed the rule set:\n%s", d)
+					}
+					waitGoroutines(t, base)
+				})
+			}
+		}
+	}
+}
+
+// streamRandomMatrix is randomMatrix with its own deterministic seed,
+// for tests that share the package-level helper.
+func streamRandomMatrix(seed int64, n, mcols int) *matrix.Matrix {
+	return randomMatrix(rand.New(rand.NewSource(seed)), n, mcols)
+}
+
+// TestFaultMatrixCancel is the mid-pass-cancel row of the matrix: a
+// latency-injected disk plus a short deadline cancels the mine while a
+// replay pass is in flight. The run must end in a context error (or, if
+// it squeaked through, exact rules) with every goroutine gone.
+func TestFaultMatrixCancel(t *testing.T) {
+	m := streamRandomMatrix(7, 1500, 32)
+	path := writeTemp(t, m, matrix.ExtBinary)
+	want, _ := core.DMCImp(m, core.FromPercent(75), core.Options{})
+
+	for _, workers := range []int{1, 2, 8} {
+		for _, legacy := range []bool{false, true} {
+			t.Run(fmt.Sprintf("w%d/legacy=%v", workers, legacy), func(t *testing.T) {
+				base := runtime.NumGoroutine()
+				before := metricMinesCancelled.Value()
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+				defer cancel()
+				cfg := Config{
+					TmpDir:      t.TempDir(),
+					Workers:     workers,
+					LegacyCodec: legacy,
+					Ctx:         ctx,
+					FS:          fault.NewInjector(fault.Scenario{Latency: 200 * time.Microsecond}),
+					Retry:       fastRetry,
+				}
+				got, _, err := MineImplicationsCfg(path, core.FromPercent(75), core.Options{}, cfg)
+				if err != nil {
+					if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+						t.Fatalf("cancelled mine returned non-context error: %v", err)
+					}
+					if metricMinesCancelled.Value() <= before {
+						t.Error("dmc_mines_cancelled_total did not move")
+					}
+				} else if d := rules.DiffImplications(got, want); d != "" {
+					t.Fatalf("rules diverged:\n%s", d)
+				}
+				waitGoroutines(t, base)
+			})
+		}
+	}
+}
+
+// TestCancelledPassReleasesFDs drives the cancellation path below the
+// Mine wrappers: views must observe the context's own error and the
+// partition must end with zero open spill fds.
+func TestCancelledPassReleasesFDs(t *testing.T) {
+	m := streamRandomMatrix(11, 600, 24)
+	path := writeTemp(t, m, matrix.ExtBinary)
+	ctx, cancel := context.WithCancel(context.Background())
+	p, err := PartitionWith(path, Config{TmpDir: t.TempDir(), Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	views := p.ConcurrentPass(2)
+	views[0].Row(0) // pass underway, reader live
+	cancel()
+
+	var wg sync.WaitGroup
+	for i, v := range views {
+		wg.Add(1)
+		go func(i int, v core.Rows) {
+			defer wg.Done()
+			start := 0
+			if i == 0 {
+				start = 1
+			}
+			err := core.CapturePass(func() {
+				for r := start; r < v.Len(); r++ {
+					v.Row(r)
+				}
+			})
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Errorf("view %d: want context.Canceled through the pass, got %v", i, err)
+			}
+		}(i, v)
+	}
+	wg.Wait()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fds := p.openFDs.Load(); fds != 0 {
+		t.Fatalf("spill fds leaked: %d", fds)
+	}
+}
+
+// corruptOnceFS flips the final byte of the first segment read that
+// reaches end-of-file, exactly once across the FS — transient
+// corruption. The framed codec must detect it (CRC), re-read the
+// segment, and deliver the exact rule set.
+type corruptOnceFS struct {
+	mu   sync.Mutex
+	done bool
+}
+
+func (c *corruptOnceFS) Create(name string) (fault.File, error) { return fault.OS.Create(name) }
+func (c *corruptOnceFS) Rename(o, n string) error               { return fault.OS.Rename(o, n) }
+func (c *corruptOnceFS) Open(name string) (fault.File, error) {
+	f, err := fault.OS.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &corruptOnceFile{File: f, fs: c, size: fi.Size()}, nil
+}
+
+type corruptOnceFile struct {
+	fault.File
+	fs   *corruptOnceFS
+	size int64
+}
+
+func (cf *corruptOnceFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := cf.File.ReadAt(p, off)
+	last := cf.size - 1
+	if n > 0 && off <= last && off+int64(n) > last {
+		cf.fs.mu.Lock()
+		if !cf.fs.done && cf.size > 8 {
+			cf.fs.done = true
+			p[last-off] ^= 0x40
+		}
+		cf.fs.mu.Unlock()
+	}
+	return n, err
+}
+
+func TestCorruptFrameRereadRecovers(t *testing.T) {
+	m := streamRandomMatrix(13, 500, 24)
+	path := writeTemp(t, m, matrix.ExtBinary)
+	want, _ := core.DMCImp(m, core.FromPercent(75), core.Options{})
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("w%d", workers), func(t *testing.T) {
+			cfg := Config{TmpDir: t.TempDir(), Workers: workers, FS: &corruptOnceFS{}, Retry: fastRetry}
+			got, _, err := MineImplicationsCfg(path, core.FromPercent(75), core.Options{}, cfg)
+			if err != nil {
+				t.Fatalf("transient corruption must be ridden out, got %v", err)
+			}
+			if d := rules.DiffImplications(got, want); d != "" {
+				t.Fatalf("recovery changed the rule set:\n%s", d)
+			}
+		})
+	}
+}
+
+// TestCorruptSegmentOnDiskSurfacesTyped: persistent on-disk corruption
+// must exhaust the re-read budget and surface a located typed error —
+// never wrong rows.
+func TestCorruptSegmentOnDiskSurfacesTyped(t *testing.T) {
+	m := streamRandomMatrix(17, 500, 24)
+	path := writeTemp(t, m, matrix.ExtBinary)
+	p, err := PartitionWith(path, Config{TmpDir: t.TempDir(), Retry: fastRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	seg := p.buckets[len(p.buckets)-1].path
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x40
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err = core.DMCImpParallelSource(p, p.Ones(), core.FromPercent(75), core.Options{}, 2)
+	if err == nil {
+		t.Fatal("corrupt segment mined without error")
+	}
+	var pe *PassError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PassError, got %v", err)
+	}
+	if !errors.Is(err, matrix.ErrFormat) {
+		t.Fatalf("corruption not classified as a format error: %v", err)
+	}
+	if pe.Bucket < 0 || pe.Segment == "" || pe.Frame < 0 {
+		t.Fatalf("error does not locate the corruption: %+v", pe)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dmc/internal/fault"
 	"dmc/internal/matrix"
 )
 
@@ -27,6 +28,8 @@ type Partitioned struct {
 	// write several segments per density bucket (one per partition
 	// worker), kept adjacent so replay order stays bucket-monotone
 	cfg Config
+
+	keep bool // checkpoint mode: Close leaves the spill on disk
 
 	mu      sync.Mutex
 	readers map[*passReader]struct{} // in-flight pass readers
@@ -64,15 +67,41 @@ func Partition(path, tmpDir string) (*Partitioned, error) {
 // encoding, each writing its own per-bucket segment files, with the
 // per-column ones counts merged at the end.
 func PartitionWith(path string, cfg Config) (*Partitioned, error) {
+	if err := cfg.ctxErr(); err != nil {
+		return nil, err
+	}
+	if cfg.CheckpointDir != "" && cfg.Resume {
+		if p, err := tryResume(path, cfg); err == nil {
+			return p, nil
+		}
+		// An invalid or missing checkpoint is not an error: fall
+		// through and partition afresh, overwriting it.
+	}
 	rr, closer, err := matrix.OpenRowReader(path)
 	if err != nil {
 		return nil, err
 	}
 	defer closer.Close()
 
-	dir, err := os.MkdirTemp(cfg.TmpDir, "dmc-stream-")
-	if err != nil {
-		return nil, err
+	var dir string
+	keep := false
+	if cfg.CheckpointDir != "" {
+		// Checkpoint mode: a stable directory, stale tmp files and any
+		// previous manifest cleared first, so a crash mid-partition can
+		// never leave a manifest describing half-written segments.
+		dir = cfg.CheckpointDir
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		if err := clearCheckpoint(dir); err != nil {
+			return nil, err
+		}
+		keep = true
+	} else {
+		dir, err = os.MkdirTemp(cfg.TmpDir, "dmc-stream-")
+		if err != nil {
+			return nil, err
+		}
 	}
 	p := &Partitioned{
 		dir:     dir,
@@ -80,6 +109,7 @@ func PartitionWith(path string, cfg Config) (*Partitioned, error) {
 		rows:    rr.NumRows(),
 		ones:    make([]int, rr.NumCols()),
 		cfg:     cfg,
+		keep:    keep,
 		readers: make(map[*passReader]struct{}),
 	}
 	ok := false
@@ -114,13 +144,24 @@ func PartitionWith(path string, cfg Config) (*Partitioned, error) {
 	metricSpilledRows.Add(int64(p.rows))
 	metricSpilledBytes.Add(spilledBytes)
 	metricSpillBuckets.Add(int64(distinct))
+	if keep {
+		if err := writeManifest(path, p); err != nil {
+			return nil, err
+		}
+	}
 	ok = true
 	return p, nil
 }
 
 func partitionSerial(rr matrix.RowReader, dir string, nb int, cfg Config, ones []int) ([]bucket, int64, error) {
 	ss := newSpillSet(dir, "", nb, cfg)
-	for {
+	for i := 0; ; i++ {
+		if i&511 == 0 {
+			if err := cfg.ctxErr(); err != nil {
+				ss.closeAll()
+				return nil, 0, err
+			}
+		}
 		row, err := rr.Next()
 		if err == io.EOF {
 			break
@@ -209,6 +250,9 @@ func partitionParallel(rr matrix.RowReader, dir string, nb, w int, cfg Config, o
 	var feedErr error
 	if trr, ok := rr.(*matrix.TextRowReader); ok {
 		for feedErr == nil {
+			if feedErr = cfg.ctxErr(); feedErr != nil {
+				break
+			}
 			lines := make([]string, 0, chunkRows)
 			for len(lines) < chunkRows {
 				ln, err := trr.NextLine()
@@ -228,6 +272,9 @@ func partitionParallel(rr matrix.RowReader, dir string, nb, w int, cfg Config, o
 		}
 	} else {
 		for feedErr == nil {
+			if feedErr = cfg.ctxErr(); feedErr != nil {
+				break
+			}
 			blk := pool.Get().(*matrix.RowBlock)
 			blk.Reset()
 			for blk.Len() < chunkRows {
@@ -300,12 +347,19 @@ func partitionParallel(rr matrix.RowReader, dir string, nb, w int, cfg Config, o
 }
 
 // spillSet is one writer's set of per-bucket spill files, created
-// lazily on the first row of each bucket.
+// lazily on the first row of each bucket. Every file is written to a
+// ".tmp" name and committed by finish with an atomic rename (after an
+// fsync in checkpoint mode), so a crash mid-partition never leaves a
+// final-named segment with torn contents. Writes go through the
+// fault-aware retry writer, so a transient blip costs a backoff, not
+// the partition.
 type spillSet struct {
 	dir    string
 	suffix string
 	cfg    Config
-	files  []*os.File
+	sync   bool // fsync before rename (checkpoint durability)
+	files  []fault.File
+	finals []string // committed path per open file
 	bws    []*bufio.Writer
 	blks   []*matrix.BlockWriter // nil per entry in legacy mode
 	rows   []int
@@ -316,7 +370,9 @@ func newSpillSet(dir, suffix string, nb int, cfg Config) *spillSet {
 		dir:    dir,
 		suffix: suffix,
 		cfg:    cfg,
-		files:  make([]*os.File, nb),
+		sync:   cfg.CheckpointDir != "",
+		files:  make([]fault.File, nb),
+		finals: make([]string, nb),
 		bws:    make([]*bufio.Writer, nb),
 		blks:   make([]*matrix.BlockWriter, nb),
 		rows:   make([]int, nb),
@@ -325,29 +381,38 @@ func newSpillSet(dir, suffix string, nb int, cfg Config) *spillSet {
 
 func (s *spillSet) write(b int, row []matrix.Col) error {
 	if s.files[b] == nil {
-		f, err := os.Create(filepath.Join(s.dir, fmt.Sprintf("bucket-%02d%s.rows", b, s.suffix)))
+		final := filepath.Join(s.dir, fmt.Sprintf("bucket-%02d%s.rows", b, s.suffix))
+		f, err := s.cfg.fs().Create(final + ".tmp")
 		if err != nil {
-			return err
+			return &SpillError{Bucket: b, Path: final, Err: err}
 		}
 		s.files[b] = f
-		s.bws[b] = bufio.NewWriterSize(f, 1<<16)
+		s.finals[b] = final
+		s.bws[b] = bufio.NewWriterSize(fault.NewRetryWriter(s.cfg.Ctx, f, s.cfg.Retry), 1<<16)
 		if !s.cfg.LegacyCodec {
 			bw, err := matrix.NewBlockWriter(s.bws[b], s.cfg.BlockRows, s.cfg.BlockBytes)
 			if err != nil {
-				return err
+				return &SpillError{Bucket: b, Path: final, Err: err}
 			}
 			s.blks[b] = bw
 		}
 	}
 	s.rows[b]++
+	var err error
 	if s.blks[b] != nil {
-		return s.blks[b].WriteRow(row)
+		err = s.blks[b].WriteRow(row)
+	} else {
+		err = matrix.WriteRawRow(s.bws[b], row)
 	}
-	return matrix.WriteRawRow(s.bws[b], row)
+	if err != nil {
+		return &SpillError{Bucket: b, Path: s.finals[b], Err: err}
+	}
+	return nil
 }
 
-// finish flushes and closes every file, returning the non-empty
-// segments in bucket order plus the total bytes spilled.
+// finish flushes, optionally fsyncs, closes and atomically renames
+// every segment into place, returning the non-empty segments in bucket
+// order plus the total bytes spilled.
 func (s *spillSet) finish() ([]bucket, int64, error) {
 	var segs []bucket
 	var bytes int64
@@ -355,38 +420,48 @@ func (s *spillSet) finish() ([]bucket, int64, error) {
 		if f == nil {
 			continue
 		}
+		final := s.finals[b]
 		var err error
 		if s.blks[b] != nil {
 			err = s.blks[b].Flush() // flushes the bufio.Writer too
 		} else {
 			err = s.bws[b].Flush()
 		}
+		if err == nil && s.sync {
+			err = f.Sync()
+		}
 		if err != nil {
 			s.closeFrom(b)
-			return nil, 0, err
+			return nil, 0, &SpillError{Bucket: b, Path: final, Err: err}
 		}
 		if fi, err := f.Stat(); err == nil {
 			bytes += fi.Size()
 		}
 		if err := f.Close(); err != nil {
 			s.closeFrom(b + 1)
-			return nil, 0, err
+			return nil, 0, &SpillError{Bucket: b, Path: final, Err: err}
 		}
 		s.files[b] = nil
-		segs = append(segs, bucket{bkt: b, path: f.Name(), rows: s.rows[b], legacy: s.cfg.LegacyCodec})
+		if err := s.cfg.fs().Rename(final+".tmp", final); err != nil {
+			s.closeFrom(b + 1)
+			return nil, 0, &SpillError{Bucket: b, Path: final, Err: err}
+		}
+		segs = append(segs, bucket{bkt: b, path: final, rows: s.rows[b], legacy: s.cfg.LegacyCodec})
 	}
 	return segs, bytes, nil
 }
 
 // closeAll closes every still-open file without flushing — the error
-// path, where the spill directory is about to be removed anyway. The
-// point is not leaking the descriptors.
+// path, where the spill directory (or the stale-tmp sweep of the next
+// checkpoint run) cleans up the bytes. The point is not leaking the
+// descriptors.
 func (s *spillSet) closeAll() { s.closeFrom(0) }
 
 func (s *spillSet) closeFrom(b int) {
 	for ; b < len(s.files); b++ {
 		if s.files[b] != nil {
 			s.files[b].Close()
+			os.Remove(s.finals[b] + ".tmp")
 			s.files[b] = nil
 		}
 	}

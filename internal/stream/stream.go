@@ -20,9 +20,14 @@
 package stream
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"os"
+	"path/filepath"
 
 	"dmc/internal/core"
+	"dmc/internal/fault"
 	"dmc/internal/obs"
 	"dmc/internal/rules"
 )
@@ -50,6 +55,8 @@ var (
 		"Times a mining consumer blocked waiting on the prefetch reader.")
 	metricBroadcastDepth = obs.Default.Gauge("dmc_stream_broadcast_depth",
 		"Decoded row frames currently queued in broadcast ring buffers.")
+	metricMinesCancelled = obs.Default.Counter("dmc_mines_cancelled_total",
+		"Mining operations aborted by context cancellation or deadline.")
 )
 
 // Config tunes the streaming substrate. The zero value is a sensible
@@ -86,6 +93,38 @@ type Config struct {
 	// — the pre-block on-disk format, kept as a migration/ablation
 	// knob. Replay auto-detects per bucket, so readers handle both.
 	LegacyCodec bool
+
+	// Ctx, when non-nil, cancels the streaming substrate: the partition
+	// feeder and every replay pass observe it and tear down promptly
+	// (no leaked goroutines or spill fds). The Mine entry points also
+	// thread it into core.Options.Ctx when that is unset, so one knob
+	// cancels both the I/O and the scan loops.
+	Ctx context.Context
+
+	// FS routes every spill-file operation (create, open, rename); nil
+	// means the real filesystem. Tests install a fault.Injector here to
+	// drive the failure matrix.
+	FS fault.FS
+
+	// Retry bounds the transient-failure retry of spill reads and
+	// writes (exponential backoff + jitter). The zero value is the
+	// fault package default: 3 attempts, 2ms base delay.
+	Retry fault.RetryPolicy
+
+	// CheckpointDir, when non-empty, makes the spill persistent and
+	// crash-safe instead of a throwaway temp directory: segments are
+	// committed via temp-file + fsync + atomic rename, a MANIFEST.json
+	// (written the same way, last) records the input identity and
+	// segment list, and Close keeps everything on disk. A later run
+	// with Resume set picks the partition up without re-reading the
+	// input.
+	CheckpointDir string
+
+	// Resume, with CheckpointDir set, reuses a valid checkpoint in
+	// CheckpointDir when its manifest matches the input file
+	// (size+modtime) and every segment is intact; otherwise the
+	// partition runs afresh and overwrites the checkpoint.
+	Resume bool
 }
 
 func (c Config) prefetch() int {
@@ -109,13 +148,69 @@ func (c Config) partitionWorkers() int {
 	return core.ResolveWorkers(c.Workers)
 }
 
-// PassError wraps an I/O failure during a streaming pass. It is the
-// panic payload of an aborted pass (the core engines have no error
-// channel); the Mine entry points return it as an ordinary error.
-type PassError struct{ Err error }
+func (c Config) fs() fault.FS {
+	if c.FS != nil {
+		return c.FS
+	}
+	return fault.OS
+}
 
-func (e *PassError) Error() string { return "stream: pass failed: " + e.Err.Error() }
+func (c Config) ctxErr() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Err()
+}
+
+// PassError wraps a failure during a streaming pass, locating it when
+// known: the density bucket, the spill segment file, and the frame
+// index within it (-1 when unknown). It is the panic payload of an
+// aborted pass (the core engines have no error channel); the Mine
+// entry points return it as an ordinary error.
+type PassError struct {
+	Bucket  int    // density bucket index, -1 when unknown
+	Segment string // spill segment base name, "" when unknown
+	Frame   int64  // frame index within the segment, -1 when unknown
+	Err     error
+}
+
+func (e *PassError) Error() string {
+	msg := "stream: pass failed"
+	if e.Segment != "" {
+		msg += fmt.Sprintf(" (bucket %d, segment %s", e.Bucket, e.Segment)
+		if e.Frame >= 0 {
+			msg += fmt.Sprintf(", frame %d", e.Frame)
+		}
+		msg += ")"
+	}
+	return msg + ": " + e.Err.Error()
+}
 func (e *PassError) Unwrap() error { return e.Err }
+
+// newPassError wraps err without location info; asPassError avoids
+// double-wrapping errors the replay path already located.
+func newPassError(err error) *PassError { return &PassError{Bucket: -1, Frame: -1, Err: err} }
+
+func asPassError(err error) *PassError {
+	var pe *PassError
+	if errors.As(err, &pe) {
+		return pe
+	}
+	return newPassError(err)
+}
+
+// SpillError wraps a failure while writing a spill segment during
+// partitioning, naming the density bucket and file.
+type SpillError struct {
+	Bucket int
+	Path   string
+	Err    error
+}
+
+func (e *SpillError) Error() string {
+	return fmt.Sprintf("stream: spill bucket %d (%s): %v", e.Bucket, filepath.Base(e.Path), e.Err)
+}
+func (e *SpillError) Unwrap() error { return e.Err }
 
 // SourceError marks PassError as the core.SourceError pass-abort
 // protocol, so the parallel source pipelines recover it per worker.
@@ -132,7 +227,9 @@ func (p *Partitioned) NumRows() int { return p.rows }
 func (p *Partitioned) Ones() []int { return p.ones }
 
 // Close cancels any in-flight passes, waits for their readers to
-// release the spill file handles, and removes the spill directory.
+// release the spill file handles, and removes the spill directory —
+// unless the partition is a checkpoint (CheckpointDir), which stays on
+// disk for a later Resume.
 func (p *Partitioned) Close() error {
 	p.mu.Lock()
 	p.closed = true
@@ -146,6 +243,9 @@ func (p *Partitioned) Close() error {
 	}
 	for _, r := range readers {
 		<-r.done
+	}
+	if p.keep {
+		return nil
 	}
 	return os.RemoveAll(p.dir)
 }
@@ -162,14 +262,28 @@ func MineImplications(path string, minconf core.Threshold, opts core.Options) ([
 
 // MineImplicationsCfg is MineImplications with the streaming substrate
 // under caller control: worker fan-out (the pass is read once and
-// broadcast to all shards), spill codec framing, prefetch depth.
+// broadcast to all shards), spill codec framing, prefetch depth,
+// cancellation, fault injection, and checkpoint/resume.
 func MineImplicationsCfg(path string, minconf core.Threshold, opts core.Options, cfg Config) ([]rules.Implication, core.Stats, error) {
+	if opts.Ctx == nil {
+		opts.Ctx = cfg.Ctx
+	}
 	p, err := PartitionWith(path, cfg)
 	if err != nil {
-		return nil, core.Stats{}, err
+		return nil, core.Stats{}, noteCancelled(err)
 	}
 	defer p.Close()
-	return core.DMCImpParallelSource(p, p.Ones(), minconf, opts, cfg.Workers)
+	out, st, err := core.DMCImpParallelSource(p, p.Ones(), minconf, opts, cfg.Workers)
+	return out, st, noteCancelled(err)
+}
+
+// noteCancelled counts a cancellation/deadline abort on
+// dmc_mines_cancelled_total, passing the error through.
+func noteCancelled(err error) error {
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		metricMinesCancelled.Inc()
+	}
+	return err
 }
 
 // MineSimilarities is MineImplications for similarity rules.
@@ -179,10 +293,14 @@ func MineSimilarities(path string, minsim core.Threshold, opts core.Options) ([]
 
 // MineSimilaritiesCfg is MineImplicationsCfg for similarity rules.
 func MineSimilaritiesCfg(path string, minsim core.Threshold, opts core.Options, cfg Config) ([]rules.Similarity, core.Stats, error) {
+	if opts.Ctx == nil {
+		opts.Ctx = cfg.Ctx
+	}
 	p, err := PartitionWith(path, cfg)
 	if err != nil {
-		return nil, core.Stats{}, err
+		return nil, core.Stats{}, noteCancelled(err)
 	}
 	defer p.Close()
-	return core.DMCSimParallelSource(p, p.Ones(), minsim, opts, cfg.Workers)
+	out, st, err := core.DMCSimParallelSource(p, p.Ones(), minsim, opts, cfg.Workers)
+	return out, st, noteCancelled(err)
 }
