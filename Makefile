@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check fmt vet build test race bench bench-json fuzz-smoke fault-matrix
+.PHONY: ci fmt-check fmt vet build test race bench bench-json fuzz-smoke fault-matrix store-crash
 
-ci: fmt-check vet build test race bench fuzz-smoke fault-matrix
+ci: fmt-check vet build test race bench fuzz-smoke fault-matrix store-crash
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -43,6 +43,14 @@ bench-json:
 fault-matrix:
 	$(GO) test -race -run 'Fault|Cancel|Corrupt|Checkpoint|Budget|Retry|Injector' ./internal/fault ./internal/stream ./internal/core ./internal/server .
 	$(GO) test -race -run 'KillResume' ./cmd/dmcmine
+
+# The durability acceptance matrix for the dataset store and the
+# serving layer on top of it: the store fault matrix (torn journal
+# writes, ENOSPC mid-commit, failed fsync), the SIGKILL re-exec
+# kill/recover test (mid-blob, mid-journal, mid-compaction), admission
+# control shedding, and the restart soak with goroutine/fd leak checks.
+store-crash:
+	$(GO) test -race -run 'Store|KillRecover|Admission|Readyz|Drain|Brownout|DataDirRecovery|Soak' ./internal/store ./internal/server ./cmd/dmcserve
 
 # A short fuzzing pass over the decoders; spill-codec corruption must
 # never panic the miners. Go allows one fuzz target per invocation.

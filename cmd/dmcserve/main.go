@@ -2,12 +2,20 @@
 // datasets, then mine implication/similarity rules and browse them by
 // keyword, all through the exact DMC pipelines. The server traces every
 // request, exports Prometheus-style metrics at /v1/metrics, can mount
-// net/http/pprof, bounds mining work with a deadline and a concurrency
-// limiter, and drains in-flight requests on SIGINT/SIGTERM.
+// net/http/pprof, bounds mining work with a deadline and overload-aware
+// admission control (bounded queue, deadline shedding, brownout to the
+// out-of-core engine), and drains in-flight requests on SIGINT/SIGTERM
+// with /v1/readyz flipping to 503 first.
+//
+// With -data-dir, uploads are committed to a durable, crash-recoverable
+// dataset store before they are served: a restart (or SIGKILL) with the
+// same directory replays the catalog journal and recovers every
+// committed dataset exactly. /v1/readyz reports 503 until that replay
+// and catalog load complete.
 //
 // Usage:
 //
-//	dmcserve -addr :8080 -data ./data -pprof -request-timeout 1m -max-concurrent-mines 8
+//	dmcserve -addr :8080 -data-dir ./dmcdata -pprof -request-timeout 1m -max-concurrent-mines 8
 //
 //	curl localhost:8080/v1/datasets
 //	curl -X PUT --data-binary @baskets.txt localhost:8080/v1/datasets/mine
@@ -28,18 +36,23 @@ import (
 	"time"
 
 	"dmc/internal/server"
+	"dmc/internal/store"
 )
 
 func main() {
 	var (
 		addr       = flag.String("addr", "localhost:8080", "listen address")
 		data       = flag.String("data", "", "directory of matrix files to load at startup")
+		dataDir    = flag.String("data-dir", "", "durable dataset store directory: uploads are committed here before they are served and the catalog is recovered on restart (empty = memory-only)")
 		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		reqTimeout = flag.Duration("request-timeout", 2*time.Minute, "deadline for one mining request, queue wait included (0 disables)")
 		maxMines   = flag.Int("max-concurrent-mines", runtime.GOMAXPROCS(0), "mining requests allowed to run at once (0 = unlimited)")
+		maxQueue   = flag.Int("max-queue-depth", 0, "mining requests allowed to wait behind the concurrency slots; beyond it new arrivals get 429 + Retry-After (0 = 4x max-concurrent-mines, negative = unbounded)")
+		brownout   = flag.Int64("brownout-bytes", 0, "resident-mine memory ceiling; above it new resident mines degrade to the out-of-core engine instead of being rejected (0 disables)")
+		drainDelay = flag.Duration("drain-delay", 0, "how long /v1/readyz reports 503 while still serving before the listener closes on shutdown (for load-balancer drain)")
 		grace      = flag.Duration("shutdown-grace", 30*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
 		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
-		streamMin  = flag.Int64("stream-min-bytes", 0, "serve .dmt/.dmb files at or above this size file-backed, streaming them from disk per request (0 loads everything into memory)")
+		streamMin  = flag.Int64("stream-min-bytes", 0, "serve matrix blobs/files at or above this size file-backed, streaming them from disk per request (0 loads everything into memory)")
 		memBudget  = flag.Int("mem-budget", 0, "counter-memory budget in bytes per resident mine; on overflow the mine degrades to out-of-core streaming (0 = unbounded)")
 	)
 	flag.Parse()
@@ -56,20 +69,27 @@ func main() {
 		EnablePprof:        *pprofOn,
 		RequestTimeout:     *reqTimeout,
 		MaxConcurrentMines: *maxMines,
+		MaxQueueDepth:      *maxQueue,
+		BrownoutBytes:      *brownout,
+		DrainDelay:         *drainDelay,
 		ShutdownGrace:      *grace,
 		StreamMinBytes:     *streamMin,
 		MemBudgetBytes:     *memBudget,
 	}
-	s, ln, err := setup(cfg, *addr, *data)
+	s, ln, st, err := setup(cfg, *addr, *data, *dataDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmcserve:", err)
 		os.Exit(1)
+	}
+	if st != nil {
+		defer st.Close()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	logger.Info("dmcserve listening",
 		slog.String("addr", ln.Addr().String()),
+		slog.String("data_dir", *dataDir),
 		slog.Bool("pprof", *pprofOn),
 		slog.Duration("request_timeout", *reqTimeout),
 		slog.Int("max_concurrent_mines", *maxMines),
@@ -82,17 +102,40 @@ func main() {
 }
 
 // setup builds the server and binds the listener; split from main for
-// testability.
-func setup(cfg server.Config, addr, dataDir string) (*server.Server, net.Listener, error) {
+// testability. The readiness sequence matters: the server reports
+// not-ready until the store's journal replay and the catalog load have
+// both completed, so a replica never serves an empty catalog. The
+// returned store (nil without storeDir) must be closed by the caller.
+func setup(cfg server.Config, addr, dataDir, storeDir string) (*server.Server, net.Listener, *store.Store, error) {
+	var st *store.Store
+	if storeDir != "" {
+		var err error
+		st, err = store.Open(storeDir, store.Options{})
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("opening dataset store: %w", err)
+		}
+		cfg.Store = st
+	}
 	s := server.NewWith(cfg)
+	s.SetReady(false)
+	fail := func(err error) (*server.Server, net.Listener, *store.Store, error) {
+		if st != nil {
+			st.Close()
+		}
+		return nil, nil, nil, err
+	}
+	if err := s.LoadStore(); err != nil {
+		return fail(err)
+	}
 	if dataDir != "" {
 		if err := s.LoadDir(dataDir); err != nil {
-			return nil, nil, err
+			return fail(err)
 		}
 	}
+	s.SetReady(true)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
-	return s, ln, nil
+	return s, ln, st, nil
 }

@@ -20,7 +20,7 @@ func TestSetupAndServe(t *testing.T) {
 	if err := matrix.Save(filepath.Join(dir, "tiny.dmb"), m); err != nil {
 		t.Fatal(err)
 	}
-	s, ln, err := setup(server.Config{EnablePprof: true}, "localhost:0", dir)
+	s, ln, _, err := setup(server.Config{EnablePprof: true}, "localhost:0", dir, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,10 +73,85 @@ func TestSetupAndServe(t *testing.T) {
 }
 
 func TestSetupErrors(t *testing.T) {
-	if _, _, err := setup(server.Config{}, "localhost:0", filepath.Join(t.TempDir(), "missing")); err == nil {
+	if _, _, _, err := setup(server.Config{}, "localhost:0", filepath.Join(t.TempDir(), "missing"), ""); err == nil {
 		t.Error("missing data dir accepted")
 	}
-	if _, _, err := setup(server.Config{}, "256.0.0.1:99999", ""); err == nil {
+	if _, _, _, err := setup(server.Config{}, "256.0.0.1:99999", "", ""); err == nil {
 		t.Error("bad address accepted")
+	}
+}
+
+// TestDataDirRecovery is the binary-level durability check: a dataset
+// uploaded to a -data-dir server is served again, with identical mining
+// output, after the whole server (and store) is torn down and set up
+// fresh over the same directory.
+func TestDataDirRecovery(t *testing.T) {
+	storeDir := filepath.Join(t.TempDir(), "dmcdata")
+
+	runServer := func() (base string, shutdown func()) {
+		s, ln, st, err := setup(server.Config{}, "localhost:0", "", storeDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		runErr := make(chan error, 1)
+		go func() { runErr <- s.Run(ctx, ln) }()
+		return "http://" + ln.Addr().String(), func() {
+			cancel()
+			select {
+			case err := <-runErr:
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("Run did not stop")
+			}
+			st.Close()
+		}
+	}
+
+	mine := func(base string) string {
+		resp, err := http.Get(base + "/v1/datasets/groceries/implications?threshold=60")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mine: status %d", resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	base, shutdown := runServer()
+	req, _ := http.NewRequest(http.MethodPut, base+"/v1/datasets/groceries",
+		strings.NewReader("bread butter jam\nbread butter\nbread butter coffee\n"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT: status %d", resp.StatusCode)
+	}
+	before := mine(base)
+	shutdown()
+
+	base2, shutdown2 := runServer()
+	defer shutdown2()
+	// Readiness came up only after the catalog was recovered.
+	rresp, err := http.Get(base2 + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after recovery: %d", rresp.StatusCode)
+	}
+	if after := mine(base2); after != before {
+		t.Fatalf("recovered mine differs:\n-- before --\n%s\n-- after --\n%s", before, after)
 	}
 }

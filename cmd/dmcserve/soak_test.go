@@ -1,0 +1,151 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dmc/internal/server"
+)
+
+// countFDs returns the process's open file descriptor count via
+// /proc/self/fd, or -1 where that isn't readable (non-Linux).
+func countFDs() int {
+	des, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(des)
+}
+
+// TestSoakPutMineRestart drives a store-backed server through several
+// restart cycles with concurrent uploads and mines hammering it the
+// whole time, then asserts the process didn't leak: goroutine and fd
+// counts return to baseline, and every dataset committed before the
+// final restart is still served. This is the cheap CI stand-in for a
+// long-running soak.
+func TestSoakPutMineRestart(t *testing.T) {
+	storeDir := filepath.Join(t.TempDir(), "dmcdata")
+
+	// Baseline after a warm-up cycle, so lazily-started runtime helpers
+	// (http transports, test plumbing) don't read as leaks.
+	warm, _, wst, err := setup(server.Config{}, "localhost:0", "", storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = warm
+	wst.Close()
+	runtime.GC()
+	baseGoroutines := runtime.NumGoroutine()
+	baseFDs := countFDs()
+
+	const cycles = 3
+	for cycle := 0; cycle < cycles; cycle++ {
+		s, ln, st, err := setup(server.Config{MaxConcurrentMines: 4, RequestTimeout: 5 * time.Second}, "localhost:0", "", storeDir)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		runErr := make(chan error, 1)
+		go func() { runErr <- s.Run(ctx, ln) }()
+		base := "http://" + ln.Addr().String()
+
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				name := fmt.Sprintf("soak-%d-%d", cycle, w)
+				body := "bread butter jam\nbread butter\nbread coffee\n"
+				req, _ := http.NewRequest(http.MethodPut, base+"/v1/datasets/"+name, strings.NewReader(body))
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Errorf("PUT %s: %v", name, err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusCreated {
+					t.Errorf("PUT %s: status %d", name, resp.StatusCode)
+					return
+				}
+				for i := 0; i < 3; i++ {
+					mresp, err := http.Get(base + "/v1/datasets/" + name + "/implications?threshold=60")
+					if err != nil {
+						t.Errorf("mine %s: %v", name, err)
+						return
+					}
+					mresp.Body.Close()
+					if mresp.StatusCode != http.StatusOK {
+						t.Errorf("mine %s: status %d", name, mresp.StatusCode)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		cancel()
+		select {
+		case err := <-runErr:
+			if err != nil {
+				t.Fatalf("cycle %d Run: %v", cycle, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("cycle %d: Run did not stop", cycle)
+		}
+		st.Close()
+	}
+
+	// Every committed dataset survived all the restarts.
+	s, ln, st, err := setup(server.Config{}, "localhost:0", "", storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- s.Run(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+	for cycle := 0; cycle < cycles; cycle++ {
+		for w := 0; w < 4; w++ {
+			name := fmt.Sprintf("soak-%d-%d", cycle, w)
+			resp, err := http.Get(base + "/v1/datasets/" + name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("dataset %s lost across restarts: status %d", name, resp.StatusCode)
+			}
+		}
+	}
+	cancel()
+	<-runErr
+	st.Close()
+
+	// Leak checks. Idle HTTP keep-alive conns pin goroutines and fds;
+	// close them and give exiting goroutines a moment to unwind.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseGoroutines {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > baseGoroutines+3 {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutine leak across restarts: %d -> %d\n%s",
+			baseGoroutines, got, buf[:runtime.Stack(buf, true)])
+	}
+	if baseFDs >= 0 {
+		if got := countFDs(); got > baseFDs+3 {
+			t.Fatalf("fd leak across restarts: %d -> %d", baseFDs, got)
+		}
+	}
+}

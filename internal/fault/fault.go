@@ -109,12 +109,16 @@ type File interface {
 	Stat() (os.FileInfo, error)
 }
 
-// FS is the open/create/rename hook the stream package routes all spill
-// file operations through. OS is the production implementation; an
-// Injector wraps it with scenario-driven failures.
+// FS is the open/create/rename hook the stream and store packages route
+// all durable file operations through. OS is the production
+// implementation; an Injector wraps it with scenario-driven failures.
+// Append opens (creating if needed) a file for append-only writes — the
+// dataset store's journal discipline, where every committed record is a
+// Write followed by a Sync on such a handle.
 type FS interface {
 	Create(name string) (File, error)
 	Open(name string) (File, error)
+	Append(name string) (File, error)
 	Rename(oldpath, newpath string) error
 }
 
@@ -123,6 +127,9 @@ var OS FS = osFS{}
 
 type osFS struct{}
 
-func (osFS) Create(name string) (File, error)     { return os.Create(name) }
-func (osFS) Open(name string) (File, error)       { return os.Open(name) }
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+func (osFS) Open(name string) (File, error)   { return os.Open(name) }
+func (osFS) Append(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
 func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }

@@ -173,6 +173,53 @@ func TestInjectorENOSPC(t *testing.T) {
 	}
 }
 
+// TestInjectorFailSync covers the sync path, one-shot and FailForever:
+// a commit protocol built on tmp+fsync+rename must treat a failed Sync
+// as an uncommitted write, and a permanently failing Sync (dying disk)
+// must fail every subsequent commit, not just one.
+func TestInjectorFailSync(t *testing.T) {
+	t.Run("one-shot", func(t *testing.T) {
+		dir := t.TempDir()
+		in := NewInjector(Scenario{FailSyncAt: 2})
+		f, err := in.Create(filepath.Join(dir, "seg.rows"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync 1: %v", err)
+		}
+		if err := f.Sync(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("sync 2: want injected failure, got %v", err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync 3 after one-shot failure: %v", err)
+		}
+	})
+	t.Run("fail-forever", func(t *testing.T) {
+		dir := t.TempDir()
+		in := NewInjector(Scenario{FailSyncAt: 1, FailForever: true})
+		f, err := in.Create(filepath.Join(dir, "seg.rows"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		// Writes still land — only the durability barrier is dead.
+		if _, err := f.Write([]byte("abcd")); err != nil {
+			t.Fatalf("write under sync outage: %v", err)
+		}
+		for i := 0; i < 3; i++ {
+			if err := f.Sync(); !errors.Is(err, ErrInjected) {
+				t.Fatalf("sync %d: want injected failure forever, got %v", i+1, err)
+			}
+		}
+		_, _, _, syncs := in.Counts()
+		if syncs != 3 {
+			t.Fatalf("sync op count = %d, want 3", syncs)
+		}
+	})
+}
+
 func TestInjectorPathFilter(t *testing.T) {
 	dir := t.TempDir()
 	a := writeFile(t, dir, "bucket-00.rows", []byte("aaaa"))

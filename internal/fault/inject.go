@@ -122,6 +122,13 @@ func (in *Injector) Open(name string) (File, error) {
 	return in.openOp("open", name, func() (File, error) { return in.under.Open(name) })
 }
 
+// Append opens a file for append-only writes through the scenario; the
+// open counts against FailOpenAt, and writes/syncs on the handle count
+// like any other.
+func (in *Injector) Append(name string) (File, error) {
+	return in.openOp("append", name, func() (File, error) { return in.under.Append(name) })
+}
+
 func (in *Injector) openOp(op, name string, open func() (File, error)) (File, error) {
 	if in.matches(name) {
 		n := in.opens.Add(1)

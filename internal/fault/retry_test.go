@@ -163,6 +163,42 @@ func TestRetryWriterENOSPCPermanent(t *testing.T) {
 	}
 }
 
+// TestRetryWriterENOSPCThenRecover: a one-shot ENOSPC (the operator
+// frees disk space) must surface immediately — no retry budget burned
+// on a full disk — and a fresh Write on the same handle must then
+// succeed, leaving exactly the successful payloads on disk.
+func TestRetryWriterENOSPCThenRecover(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Scenario{FailWriteAt: 2, ENOSPC: true, Transient: true})
+	f, err := in.Create(filepath.Join(dir, "out.rows"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewRetryWriter(context.Background(), f, fastPolicy)
+	if _, err := w.Write([]byte("aaaa")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	_, err = w.Write([]byte("bbbb"))
+	if err == nil || !errors.Is(err, ErrInjected) || IsTransient(err) {
+		t.Fatalf("want permanent injected ENOSPC, got %v", err)
+	}
+	_, writes, _, _ := in.Counts()
+	if writes != 2 {
+		t.Fatalf("ENOSPC burned retries: %d write ops, want 2 (no retry on a full disk)", writes)
+	}
+	// The disk "recovered" (one-shot scenario): the caller's next write
+	// goes through and the file holds exactly the successful payloads.
+	if n, err := w.Write([]byte("cccc")); err != nil || n != 4 {
+		t.Fatalf("write after recovery: n=%d err=%v", n, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readBack(t, filepath.Join(dir, "out.rows")); string(got) != "aaaacccc" {
+		t.Fatalf("post-recovery contents %q, want %q", got, "aaaacccc")
+	}
+}
+
 func readBack(t *testing.T, path string) []byte {
 	t.Helper()
 	f, err := OS.Open(path)

@@ -2,6 +2,7 @@ package matrix
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -155,6 +156,26 @@ func WriteBinary(w io.Writer, m *Matrix) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// EncodeBinary returns m in the binary format as a byte slice — the
+// content-addressed blob form used by the dataset store, where the
+// bytes are hashed before they are committed.
+func EncodeBinary(m *Matrix) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// EncodeLabels returns the labels file contents as a byte slice.
+func EncodeLabels(labels []string) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteLabels(&buf, labels); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // ReadBinary parses the binary format.

@@ -1,0 +1,202 @@
+// Overload-aware admission control for the mining endpoints. The old
+// fixed concurrency limiter answered every burst the same way — queue
+// until the deadline dies, then 429 — which wastes the client's
+// patience and the server's queue slots on requests that were doomed
+// the moment they arrived. The admission controller instead:
+//
+//   - bounds the queue: once MaxQueueDepth requests are already
+//     waiting, new arrivals are shed immediately (429 + Retry-After)
+//     instead of deepening the convoy;
+//   - sheds on hopeless deadlines: an EWMA of recent mine durations
+//     estimates this request's queue wait, and a client whose deadline
+//     cannot be met is told now, with a Retry-After naming when the
+//     backlog should have cleared;
+//   - browns out memory pressure: when the resident-mine ledger says
+//     admitting another in-memory mine would exceed BrownoutBytes, the
+//     mine degrades to the out-of-core engine (disk passes, bounded
+//     counters) instead of being rejected — slower answers beat no
+//     answers;
+//   - refuses work while draining, so shutdown never strands a mine.
+//
+// Every shed lands on dmc_shed_total{reason} and carries Retry-After.
+package server
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Shed reasons, the label values of dmc_shed_total.
+const (
+	shedQueueFull = "queue_full"
+	shedDeadline  = "deadline"
+	shedDraining  = "draining"
+)
+
+// shedInfo describes one load-shedding decision on its way to the
+// client.
+type shedInfo struct {
+	status     int
+	reason     string
+	retryAfter time.Duration
+	msg        string
+}
+
+// admission is the bounded, deadline-aware mining queue. A nil
+// admission admits everything (no limiter configured).
+type admission struct {
+	slots    chan struct{}
+	maxQueue int
+
+	waiters atomic.Int64
+	ewmaUS  atomic.Int64 // EWMA of mine wall time, microseconds
+}
+
+func newAdmission(slots, maxQueue int) *admission {
+	if slots <= 0 {
+		return nil
+	}
+	if maxQueue == 0 {
+		maxQueue = 4 * slots
+	}
+	return &admission{slots: make(chan struct{}, slots), maxQueue: maxQueue}
+}
+
+// estWait estimates the queue wait for a request arriving with pos
+// waiters already ahead of it: each mine slot turns over once per EWMA
+// duration, so the backlog drains at slots/EWMA requests per unit time.
+func (a *admission) estWait(pos int64) time.Duration {
+	ewma := time.Duration(a.ewmaUS.Load()) * time.Microsecond
+	if ewma <= 0 {
+		return 0
+	}
+	return ewma * time.Duration(pos+1) / time.Duration(cap(a.slots))
+}
+
+// retryAfter rounds a wait estimate up to whole seconds for the
+// Retry-After header, with a 1s floor (0 reads as "retry immediately",
+// which is exactly the thundering herd the shed is trying to stop).
+func retryAfter(wait time.Duration) time.Duration {
+	secs := (wait + time.Second - 1) / time.Second
+	if secs < 1 {
+		secs = 1
+	}
+	return secs * time.Second
+}
+
+// acquire admits a mining request, blocking in the bounded queue until
+// a slot frees or ctx dies. It returns a non-nil shedInfo when the
+// request is refused: queue full, or a deadline that the backlog
+// estimate already proves unmeetable.
+func (a *admission) acquire(ctx context.Context) (release func(), shed *shedInfo) {
+	if a == nil {
+		return func() {}, nil
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return a.releaser(), nil
+	default:
+	}
+	// No free slot: join the queue, if there is room and a point.
+	pos := a.waiters.Load()
+	if a.maxQueue > 0 && pos >= int64(a.maxQueue) {
+		return nil, &shedInfo{
+			status: http.StatusTooManyRequests, reason: shedQueueFull,
+			retryAfter: retryAfter(a.estWait(pos)),
+			msg:        "mining queue is full; retry later",
+		}
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if est := a.estWait(pos); est > 0 && est > time.Until(dl) {
+			return nil, &shedInfo{
+				status: http.StatusTooManyRequests, reason: shedDeadline,
+				retryAfter: retryAfter(est),
+				msg:        "estimated queue wait exceeds the request deadline; retry later",
+			}
+		}
+	}
+	a.waiters.Add(1)
+	defer a.waiters.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return a.releaser(), nil
+	case <-ctx.Done():
+		return nil, &shedInfo{
+			status: http.StatusTooManyRequests, reason: shedDeadline,
+			retryAfter: retryAfter(a.estWait(a.waiters.Load())),
+			msg:        "request deadline expired while queued for a mining slot; retry later",
+		}
+	}
+}
+
+// queueDepth reports how many requests are waiting for a slot.
+func (a *admission) queueDepth() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.waiters.Load()
+}
+
+func (a *admission) releaser() func() {
+	var once sync.Once
+	return func() { once.Do(func() { <-a.slots }) }
+}
+
+// observe feeds one completed mine's wall time into the EWMA
+// (α = 0.25: a few big mines shift the estimate, one outlier does not).
+func (a *admission) observe(d time.Duration) {
+	if a == nil {
+		return
+	}
+	us := d.Microseconds()
+	for {
+		old := a.ewmaUS.Load()
+		next := us
+		if old > 0 {
+			next = old + (us-old)/4
+		}
+		if a.ewmaUS.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// admitResident rules on running one more resident (in-memory) mine of
+// estimated footprint est bytes under the Config.BrownoutBytes ceiling
+// (zero = no ceiling). When the ledger says no, the caller degrades the
+// mine to the out-of-core engine instead of rejecting; release returns
+// the admitted bytes. An otherwise-idle server always admits — the
+// ceiling sheds load, it never makes a lone oversized mine impossible.
+func (s *Server) admitResident(est int64) (release func(), brownout bool) {
+	ceiling := s.cfg.BrownoutBytes
+	if ceiling <= 0 {
+		return func() {}, false
+	}
+	for {
+		cur := s.resident.Load()
+		if cur > 0 && cur+est > ceiling {
+			return nil, true
+		}
+		if s.resident.CompareAndSwap(cur, cur+est) {
+			break
+		}
+	}
+	var once sync.Once
+	return func() { once.Do(func() { s.resident.Add(-est) }) }, false
+}
+
+// writeShed emits one load-shedding response: Retry-After, the
+// structured error body, and the dmc_shed_total / legacy rejection
+// counters.
+func (s *Server) writeShed(w http.ResponseWriter, r *http.Request, shed *shedInfo) {
+	s.metrics.shed.With(shed.reason).Inc()
+	if shed.status == http.StatusTooManyRequests {
+		s.metrics.rejected.Inc()
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(int64(shed.retryAfter/time.Second), 10))
+	writeErr(w, r, shed.status, "%s", shed.msg)
+}

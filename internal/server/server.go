@@ -16,7 +16,9 @@
 //
 // Endpoints (all JSON unless noted):
 //
-//	GET  /v1/healthz
+//	GET  /v1/healthz                   liveness: 200 while the process runs
+//	GET  /v1/readyz                    readiness: 503 until the catalog is
+//	                                   loaded and again while draining
 //	GET  /v1/metrics                   Prometheus text (or ?format=json)
 //	GET  /v1/datasets
 //	PUT  /v1/datasets/{name}           body: basket lines (text/plain)
@@ -42,12 +44,15 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"dmc/internal/core"
 	"dmc/internal/matrix"
 	"dmc/internal/obs"
 	"dmc/internal/rules"
+	"dmc/internal/store"
 	"dmc/internal/stream"
 )
 
@@ -70,6 +75,27 @@ type Config struct {
 	// requests queue until a slot frees or their deadline expires
 	// (then 429). Zero means unlimited.
 	MaxConcurrentMines int
+	// MaxQueueDepth bounds how many mining requests may wait behind the
+	// MaxConcurrentMines slots before new arrivals are shed outright
+	// (429 + Retry-After, dmc_shed_total{reason="queue_full"}). Zero
+	// means 4x MaxConcurrentMines; negative means unbounded queueing.
+	// Ignored when MaxConcurrentMines is 0.
+	MaxQueueDepth int
+	// BrownoutBytes caps the estimated bytes of resident mines running
+	// at once. Above the cap a resident mine is not rejected: it browns
+	// out to the out-of-core engine (spill + streamed passes), counted
+	// on dmc_mines_degraded_total. Zero disables.
+	BrownoutBytes int64
+	// DrainDelay is how long Run keeps serving after shutdown is
+	// requested with /v1/readyz already reporting 503 — the window a
+	// load balancer needs to stop routing here before the listener
+	// closes. Zero means no delay.
+	DrainDelay time.Duration
+	// Store, when set, is the durable dataset store: uploads are
+	// committed to it before they are served (ENOSPC surfaces as 507),
+	// LoadStore restores its catalog at boot, and the mining engines'
+	// spill/degrade files live in its scratch directory.
+	Store *store.Store
 	// MaxUploadBytes caps PUT bodies; zero means 64MB.
 	MaxUploadBytes int64
 	// ReadHeaderTimeout, ReadTimeout, WriteTimeout and IdleTimeout are
@@ -134,6 +160,8 @@ type serverMetrics struct {
 	candDel   obs.Counter
 	peakBytes obs.Gauge
 	inflight  obs.Gauge
+	queued    obs.Gauge
+	shed      *obs.CounterVec // reason
 	rejected  obs.Counter
 	timeouts  obs.Counter
 	cancelled obs.Counter
@@ -159,6 +187,10 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Largest counter-array size seen by any mining run."),
 		inflight: reg.Gauge("dmc_mines_inflight",
 			"Mining requests currently executing."),
+		queued: reg.Gauge("dmc_mine_queue_depth",
+			"Mining requests waiting for an admission slot."),
+		shed: reg.CounterVec("dmc_shed_total",
+			"Mining requests shed by admission control.", "reason"),
 		rejected: reg.Counter("dmc_mines_rejected_total",
 			"Mining requests rejected by the concurrency limiter."),
 		timeouts: reg.Counter("dmc_mines_timeout_total",
@@ -166,7 +198,7 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		cancelled: reg.Counter("dmc_mines_cancelled_total",
 			"Mining operations aborted by context cancellation or deadline."),
 		degraded: reg.Counter("dmc_mines_degraded_total",
-			"Resident mines that overflowed the memory budget and re-ran out of core."),
+			"Resident mines that overflowed the memory budget or brownout ceiling and re-ran out of core."),
 		datasets: reg.Gauge("dmc_datasets_loaded",
 			"Datasets currently resident in memory."),
 	}
@@ -200,7 +232,15 @@ type Server struct {
 	cfg     Config
 	metrics *serverMetrics
 	hooks   *core.Hooks
-	mineSem chan struct{} // nil = unlimited
+	adm     *admission   // nil = unlimited
+	st      *store.Store // nil = memory-only serving
+
+	// ready gates /v1/readyz: false until the catalog is loaded (set by
+	// the embedding binary around LoadStore/LoadDir) and irrelevant once
+	// draining is set, which also sheds new mining requests.
+	ready    atomic.Bool
+	draining atomic.Bool
+	resident atomic.Int64 // brownout ledger: bytes of resident mines running
 
 	// Mining entry points, swappable by tests. workers routes between
 	// the serial and parallel pipelines: 1 is serial, anything else is
@@ -251,9 +291,11 @@ func NewWith(cfg Config) *Server {
 		mineImpFile: stream.MineImplicationsCfg,
 		mineSimFile: stream.MineSimilaritiesCfg,
 	}
-	if cfg.MaxConcurrentMines > 0 {
-		s.mineSem = make(chan struct{}, cfg.MaxConcurrentMines)
-	}
+	s.adm = newAdmission(cfg.MaxConcurrentMines, cfg.MaxQueueDepth)
+	s.st = cfg.Store
+	// Library users get a ready server out of the box; binaries that
+	// load a catalog first call SetReady(false) before listening.
+	s.ready.Store(true)
 	m := s.metrics
 	s.hooks = &core.Hooks{
 		OnPhase: func(pipeline, phase string, d time.Duration) {
@@ -265,6 +307,15 @@ func NewWith(cfg Config) *Server {
 	}
 	return s
 }
+
+// SetReady flips what /v1/readyz reports. Binaries that restore a
+// catalog at boot call SetReady(false) before listening and
+// SetReady(true) once the catalog is served, so a load balancer never
+// routes to a replica that would 404 every dataset.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports whether /v1/readyz currently returns 200.
+func (s *Server) Ready() bool { return s.ready.Load() && !s.draining.Load() }
 
 // Add registers (or replaces) an in-memory dataset under the given
 // name.
@@ -309,6 +360,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case s.draining.Load():
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		case !s.ready.Load():
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "loading"})
+		default:
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		}
+	})
 	mux.Handle("GET /v1/metrics", s.cfg.registry().Handler())
 	mux.HandleFunc("GET /v1/datasets", s.handleList)
 	mux.HandleFunc("PUT /v1/datasets/{name}", s.handlePut)
@@ -350,16 +411,18 @@ func endpointLabel(r *http.Request) string {
 		return "/v1/datasets/{name}/other"
 	}
 	switch p {
-	case "/v1/healthz", "/v1/metrics", "/v1/datasets":
+	case "/v1/healthz", "/v1/readyz", "/v1/metrics", "/v1/datasets":
 		return p
 	}
 	return "other"
 }
 
 // Run serves the handler on ln until ctx is canceled, then shuts down
-// gracefully: the listener closes immediately, in-flight requests get
-// up to Config.ShutdownGrace to finish. Returns nil on a clean
-// drained shutdown.
+// gracefully: /v1/readyz flips to 503 and new mining requests are shed
+// immediately, the listener stays open for Config.DrainDelay so load
+// balancers notice, then it closes and in-flight requests get up to
+// Config.ShutdownGrace to finish. Returns nil on a clean drained
+// shutdown.
 func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	srv := &http.Server{
 		Handler:           s.Handler(),
@@ -375,6 +438,16 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	case err := <-errc:
 		return err // listener failed before shutdown was requested
 	case <-ctx.Done():
+	}
+	s.draining.Store(true)
+	if d := s.cfg.DrainDelay; d > 0 {
+		// Readiness already reports 503; keep accepting until the load
+		// balancer has had time to stop sending traffic here.
+		select {
+		case err := <-errc:
+			return err
+		case <-time.After(d):
+		}
 	}
 	grace := durOr(s.cfg.ShutdownGrace, 30*time.Second)
 	s.cfg.logger().Info("shutting down", slog.Duration("grace", grace))
@@ -397,6 +470,7 @@ type DatasetInfo struct {
 	Ones     int    `json:"ones"`
 	Labeled  bool   `json:"labeled"`
 	Streamed bool   `json:"streamed,omitempty"`
+	Durable  bool   `json:"durable,omitempty"`
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -445,8 +519,26 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusBadRequest, "dataset has no transactions")
 		return
 	}
-	s.Add(name, m)
-	writeJSON(w, http.StatusCreated, info(name, m))
+	inf := info(name, m)
+	if s.st != nil {
+		// Durability before visibility: the upload is committed to the
+		// store first, so a dataset a client was told about can never
+		// vanish in a restart.
+		if _, err := s.st.Put(name, m); err != nil {
+			switch {
+			case errors.Is(err, syscall.ENOSPC):
+				writeErr(w, r, http.StatusInsufficientStorage, "persisting dataset: %v", err)
+			case errors.Is(err, store.ErrCorrupt):
+				writeErr(w, r, http.StatusServiceUnavailable, "persisting dataset: %v", err)
+			default:
+				writeErr(w, r, http.StatusInternalServerError, "persisting dataset: %v", err)
+			}
+			return
+		}
+		inf.Durable = true
+	}
+	s.add(name, &dataset{m: m, info: inf})
+	writeJSON(w, http.StatusCreated, inf)
 }
 
 func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
@@ -459,45 +551,18 @@ func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, d.info)
 }
 
-// acquireMine admits a mining request under the concurrency limiter,
-// blocking until a slot frees or ctx expires. The returned release must
-// be called when the mine finishes (not when the handler returns — an
-// abandoned mine still occupies its slot).
-func (s *Server) acquireMine(ctx context.Context) (release func(), ok bool) {
-	if s.mineSem != nil {
-		select {
-		case s.mineSem <- struct{}{}:
-		default:
-			select {
-			case s.mineSem <- struct{}{}:
-			case <-ctx.Done():
-				s.metrics.rejected.Inc()
-				return nil, false
-			}
-		}
-	}
-	s.metrics.inflight.Inc()
-	var once sync.Once
-	return func() {
-		once.Do(func() {
-			s.metrics.inflight.Dec()
-			if s.mineSem != nil {
-				<-s.mineSem
-			}
-		})
-	}, true
-}
-
-// runMine executes mine under the concurrency limiter and the
-// per-request deadline, recording run metrics on success. The context
-// handed to mine is the request's own (so a client disconnect cancels
-// an abandoned mine) bounded by RequestTimeout; the pipelines observe
-// it via core.Options.Ctx and abort at their next interrupt poll, which
-// is what frees the limiter slot promptly instead of burning CPU for a
-// caller that is gone. On limiter rejection or deadline expiry the
-// error response is written here and ok=false returned; typed mining
-// failures map to stable statuses (503 cancelled/deadline, 507 memory
-// budget, 500 otherwise).
+// runMine executes mine under admission control and the per-request
+// deadline, recording run metrics on success. Admission may shed the
+// request outright — draining server, full queue, or a deadline the
+// queue-wait estimate already proves unmeetable — with 429/503 plus
+// Retry-After. The context handed to mine is the request's own (so a
+// client disconnect cancels an abandoned mine) bounded by
+// RequestTimeout; the pipelines observe it via core.Options.Ctx and
+// abort at their next interrupt poll, which is what frees the
+// admission slot promptly instead of burning CPU for a caller that is
+// gone. On shed or deadline expiry the error response is written here
+// and ok=false returned; typed mining failures map to stable statuses
+// (503 cancelled/deadline, 507 memory budget, 500 otherwise).
 func runMine[R any](s *Server, w http.ResponseWriter, r *http.Request, pipeline string, mine func(ctx context.Context) ([]R, core.Stats, error)) ([]R, core.Stats, bool) {
 	ctx := r.Context()
 	if s.cfg.RequestTimeout > 0 {
@@ -505,10 +570,27 @@ func runMine[R any](s *Server, w http.ResponseWriter, r *http.Request, pipeline 
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 		defer cancel()
 	}
-	release, ok := s.acquireMine(ctx)
-	if !ok {
-		writeErr(w, r, http.StatusTooManyRequests, "mining concurrency limit reached; retry later")
+	if s.draining.Load() {
+		s.writeShed(w, r, &shedInfo{
+			status: http.StatusServiceUnavailable, reason: shedDraining,
+			retryAfter: retryAfter(durOr(s.cfg.ShutdownGrace, 30*time.Second)),
+			msg:        "server is draining for shutdown; retry against another replica",
+		})
 		return nil, core.Stats{}, false
+	}
+	s.metrics.queued.Set(s.adm.queueDepth())
+	release, shed := s.adm.acquire(ctx)
+	s.metrics.queued.Set(s.adm.queueDepth())
+	if shed != nil {
+		s.writeShed(w, r, shed)
+		return nil, core.Stats{}, false
+	}
+	s.metrics.inflight.Inc()
+	start := time.Now()
+	done := func() {
+		s.metrics.inflight.Dec()
+		s.adm.observe(time.Since(start))
+		release()
 	}
 	type result struct {
 		rs  []R
@@ -517,7 +599,7 @@ func runMine[R any](s *Server, w http.ResponseWriter, r *http.Request, pipeline 
 	}
 	ch := make(chan result, 1)
 	go func() {
-		defer release()
+		defer done()
 		rs, st, err := mine(ctx)
 		ch <- result{rs, st, err}
 	}()
@@ -562,59 +644,98 @@ func (s *Server) noteCancelled(err error) error {
 	return err
 }
 
-// mineImpMem mines a resident dataset with budget degradation: a
-// *core.BudgetError does not fail the request — the matrix is spilled
-// to a temp file and re-mined through the partitioned out-of-core
-// engine, whose density-bucket re-ordering and disk-backed passes are
-// exactly the paper's answer to counter arrays that outgrow memory.
+// residentFootprint estimates the memory a resident mine of m holds —
+// the matrix rows plus the O(cols) counter arrays — for the brownout
+// ledger. A rough proxy is fine: the ledger shapes load, it does not
+// enforce a hard limit (core.Options.MemBudgetBytes does that).
+func residentFootprint(m *matrix.Matrix) int64 {
+	return int64(m.NumOnes())*8 + int64(m.NumCols())*16
+}
+
+// scratchDir is where spill and degrade files land: the durable
+// store's scratch directory when one is configured (swept at every
+// boot, so a SIGKILLed mine leaves no debris), the OS temp dir
+// otherwise.
+func (s *Server) scratchDir() string {
+	if s.st != nil {
+		return s.st.ScratchDir()
+	}
+	return ""
+}
+
+// streamCfg is the out-of-core engine configuration for one mine.
+func (s *Server) streamCfg(workers int, ctx context.Context) stream.Config {
+	return stream.Config{Workers: workers, Ctx: ctx, TmpDir: s.scratchDir()}
+}
+
+// mineImpMem mines a resident dataset with two degrade paths into the
+// partitioned out-of-core engine, whose density-bucket re-ordering and
+// disk-backed passes are exactly the paper's answer to counter arrays
+// that outgrow memory:
+//
+//   - brownout: when the admission ledger says this mine would push the
+//     resident-mine footprint past Config.BrownoutBytes, it runs out of
+//     core from the start instead of being rejected;
+//   - budget overflow: a *core.BudgetError from the resident pipeline
+//     spills the matrix and re-mines it out of core.
+//
+// Both paths count on dmc_mines_degraded_total.
 func (s *Server) mineImpMem(m *matrix.Matrix, t core.Threshold, o core.Options, workers int) ([]rules.Implication, core.Stats, error) {
-	rs, st, err := s.mineImp(m, t, o, workers)
-	if err == nil {
-		return rs, st, nil
+	relMem, brownout := s.admitResident(residentFootprint(m))
+	if !brownout {
+		defer relMem()
+		rs, st, err := s.mineImp(m, t, o, workers)
+		if err == nil {
+			return rs, st, nil
+		}
+		if !isBudgetErr(err) {
+			return nil, st, s.noteCancelled(err)
+		}
 	}
-	if !isBudgetErr(err) {
-		return nil, st, s.noteCancelled(err)
-	}
-	path, cleanup, serr := spillResident(m)
+	path, cleanup, serr := spillResident(m, s.scratchDir())
 	if serr != nil {
-		return nil, st, errors.Join(err, serr)
+		return nil, core.Stats{}, serr
 	}
 	defer cleanup()
 	s.metrics.degraded.Inc()
-	return s.mineImpFile(path, t, o, stream.Config{Workers: workers, Ctx: o.Ctx})
+	return s.mineImpFile(path, t, o, s.streamCfg(workers, o.Ctx))
 }
 
 // mineSimMem is mineImpMem for similarity rules.
 func (s *Server) mineSimMem(m *matrix.Matrix, t core.Threshold, o core.Options, workers int) ([]rules.Similarity, core.Stats, error) {
-	rs, st, err := s.mineSim(m, t, o, workers)
-	if err == nil {
-		return rs, st, nil
+	relMem, brownout := s.admitResident(residentFootprint(m))
+	if !brownout {
+		defer relMem()
+		rs, st, err := s.mineSim(m, t, o, workers)
+		if err == nil {
+			return rs, st, nil
+		}
+		if !isBudgetErr(err) {
+			return nil, st, s.noteCancelled(err)
+		}
 	}
-	if !isBudgetErr(err) {
-		return nil, st, s.noteCancelled(err)
-	}
-	path, cleanup, serr := spillResident(m)
+	path, cleanup, serr := spillResident(m, s.scratchDir())
 	if serr != nil {
-		return nil, st, errors.Join(err, serr)
+		return nil, core.Stats{}, serr
 	}
 	defer cleanup()
 	s.metrics.degraded.Inc()
-	return s.mineSimFile(path, t, o, stream.Config{Workers: workers, Ctx: o.Ctx})
+	return s.mineSimFile(path, t, o, s.streamCfg(workers, o.Ctx))
 }
 
-// spillResident saves a resident matrix to a temp binary file for the
-// degrade-to-disk path; cleanup removes it.
-func spillResident(m *matrix.Matrix) (string, func(), error) {
-	dir, err := os.MkdirTemp("", "dmc-degrade-")
+// spillResident saves a resident matrix to a temp binary file under
+// dir ("" = OS temp) for the degrade-to-disk path; cleanup removes it.
+func spillResident(m *matrix.Matrix, dir string) (string, func(), error) {
+	tmp, err := os.MkdirTemp(dir, "dmc-degrade-")
 	if err != nil {
 		return "", nil, err
 	}
-	path := filepath.Join(dir, "resident"+matrix.ExtBinary)
+	path := filepath.Join(tmp, "resident"+matrix.ExtBinary)
 	if err := matrix.Save(path, m); err != nil {
-		os.RemoveAll(dir)
+		os.RemoveAll(tmp)
 		return "", nil, err
 	}
-	return path, func() { os.RemoveAll(dir) }, nil
+	return path, func() { os.RemoveAll(tmp) }, nil
 }
 
 // recordMine feeds one run's core.Stats into the registry; phase
@@ -664,7 +785,7 @@ func (s *Server) handleImplications(w http.ResponseWriter, r *http.Request) {
 		opts := opts
 		opts.Ctx = ctx
 		if d.m == nil {
-			return s.mineImpFile(d.path, core.FromPercent(p.threshold), opts, stream.Config{Workers: p.workers, Ctx: ctx})
+			return s.mineImpFile(d.path, core.FromPercent(p.threshold), opts, s.streamCfg(p.workers, ctx))
 		}
 		return s.mineImpMem(d.m, core.FromPercent(p.threshold), opts, p.workers)
 	})
@@ -715,7 +836,7 @@ func (s *Server) handleSimilarities(w http.ResponseWriter, r *http.Request) {
 		opts := opts
 		opts.Ctx = ctx
 		if d.m == nil {
-			return s.mineSimFile(d.path, core.FromPercent(p.threshold), opts, stream.Config{Workers: p.workers, Ctx: ctx})
+			return s.mineSimFile(d.path, core.FromPercent(p.threshold), opts, s.streamCfg(p.workers, ctx))
 		}
 		return s.mineSimMem(d.m, core.FromPercent(p.threshold), opts, p.workers)
 	})
@@ -776,6 +897,10 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if depth < -1 {
+		writeErr(w, r, http.StatusBadRequest, "depth must be -1 (unlimited) or >= 0")
+		return
+	}
 	rs, _, ok := runMine(s, w, r, "imp", func(ctx context.Context) ([]rules.Implication, core.Stats, error) {
 		opts := core.Options{MinSupport: p.minSupport, Hooks: s.hooks, MemBudgetBytes: s.cfg.MemBudgetBytes, Ctx: ctx}
 		return s.mineImpMem(m, core.FromPercent(p.threshold), opts, p.workers)
@@ -825,6 +950,9 @@ func mineParams(r *http.Request) (params, error) {
 	if p.minSupport, err = intParam(r, "minsupport", 0); err != nil {
 		return p, err
 	}
+	if p.minSupport < 0 {
+		return p, fmt.Errorf("minsupport must be >= 0")
+	}
 	if p.limit, err = intParam(r, "limit", 100); err != nil {
 		return p, err
 	}
@@ -872,6 +1000,36 @@ func writeErr(w http.ResponseWriter, r *http.Request, status int, format string,
 		body["request_id"] = id
 	}
 	writeJSON(w, status, body)
+}
+
+// LoadStore registers every dataset in Config.Store's recovered
+// catalog: blobs at or above Config.StreamMinBytes stay on disk and
+// mine through the out-of-core engine; the rest load into memory with
+// their labels. Call after Open has replayed the journal and before
+// SetReady(true).
+func (s *Server) LoadStore() error {
+	if s.st == nil {
+		return nil
+	}
+	for _, e := range s.st.List() {
+		if s.cfg.StreamMinBytes > 0 && e.Size >= s.cfg.StreamMinBytes {
+			if err := s.AddFile(e.Name, e.Path); err != nil {
+				return fmt.Errorf("registering stored dataset %q as streamed: %w", e.Name, err)
+			}
+			s.mu.Lock()
+			s.datasets[e.Name].info.Durable = true
+			s.mu.Unlock()
+			continue
+		}
+		m, err := s.st.Load(e.Name)
+		if err != nil {
+			return fmt.Errorf("loading stored dataset %q: %w", e.Name, err)
+		}
+		inf := info(e.Name, m)
+		inf.Durable = true
+		s.add(e.Name, &dataset{m: m, info: inf})
+	}
+	return nil
 }
 
 // LoadDir loads every matrix file in dir into the server, named by the

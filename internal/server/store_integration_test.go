@@ -1,0 +1,214 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dmc/internal/fault"
+	"dmc/internal/matrix"
+	"dmc/internal/store"
+)
+
+func mustParseBaskets(t *testing.T, text string) *matrix.Matrix {
+	t.Helper()
+	m, err := matrix.ReadBaskets(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func openTestStore(t *testing.T, dir string, opts store.Options) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// TestPutPersistsAcrossRestart: a dataset uploaded to a store-backed
+// server survives a full restart — new store handle, new server,
+// LoadStore — and serves identical mines from the recovered blob.
+func TestPutPersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir, store.Options{})
+	s := NewWith(Config{Store: st})
+	ts := httptest.NewServer(s.Handler())
+
+	var inf DatasetInfo
+	resp := doPut(t, ts.URL, "groceries", "bread butter jam\nbread butter\nbread butter coffee\n")
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT: status %d, want 201", resp.StatusCode)
+	}
+	getJSON(t, ts.URL+"/v1/datasets/groceries", http.StatusOK, &inf)
+	if !inf.Durable {
+		t.Fatalf("store-backed upload not marked durable: %+v", inf)
+	}
+	var before MineResponse[ImplicationWire]
+	getJSON(t, ts.URL+"/v1/datasets/groceries/implications?threshold=60", http.StatusOK, &before)
+	if before.Total == 0 {
+		t.Fatal("pre-restart mine found no rules; the identity check below is vacuous")
+	}
+	ts.Close()
+	st.Close()
+
+	// "Restart": fresh store over the same directory, fresh server.
+	st2 := openTestStore(t, dir, store.Options{})
+	s2 := NewWith(Config{Store: st2})
+	s2.SetReady(false)
+	if err := s2.LoadStore(); err != nil {
+		t.Fatal(err)
+	}
+	s2.SetReady(true)
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+
+	getJSON(t, ts2.URL+"/v1/datasets/groceries", http.StatusOK, &inf)
+	if !inf.Durable || inf.Rows != 3 || !inf.Labeled {
+		t.Fatalf("recovered dataset info = %+v", inf)
+	}
+	var after MineResponse[ImplicationWire]
+	getJSON(t, ts2.URL+"/v1/datasets/groceries/implications?threshold=60", http.StatusOK, &after)
+	if after.Total != before.Total {
+		t.Fatalf("mine over recovered dataset: %d rules, want %d", after.Total, before.Total)
+	}
+	// Labels survived the blob round-trip: rules name real columns.
+	for _, rule := range after.Rules {
+		if strings.HasPrefix(rule.From, "c") && rule.From != "coffee" {
+			t.Fatalf("recovered rule lost its label: %+v", rule)
+		}
+	}
+}
+
+// TestLoadStoreStreamsBigBlobs: catalog entries at or above
+// StreamMinBytes come back file-backed (streamed from the blob), not
+// resident.
+func TestLoadStoreStreamsBigBlobs(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir, store.Options{})
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		sb.WriteString("alpha beta gamma delta\n")
+	}
+	s := NewWith(Config{Store: st})
+	ts := httptest.NewServer(s.Handler())
+	if resp := doPut(t, ts.URL, "big", sb.String()); resp.StatusCode != http.StatusCreated {
+		t.Fatal("PUT big failed")
+	}
+	if resp := doPut(t, ts.URL, "small", "x y\nx y\n"); resp.StatusCode != http.StatusCreated {
+		t.Fatal("PUT small failed")
+	}
+	ts.Close()
+	st.Close()
+
+	st2 := openTestStore(t, dir, store.Options{})
+	e, ok := st2.Get("big")
+	if !ok {
+		t.Fatal("big lost")
+	}
+	s2 := NewWith(Config{Store: st2, StreamMinBytes: e.Size}) // big streams, small loads
+	if err := s2.LoadStore(); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+
+	var big, small DatasetInfo // separate vars: omitempty fields would leak across a reused decode target
+	getJSON(t, ts2.URL+"/v1/datasets/big", http.StatusOK, &big)
+	if !big.Streamed || !big.Durable {
+		t.Fatalf("big = %+v, want streamed+durable", big)
+	}
+	getJSON(t, ts2.URL+"/v1/datasets/small", http.StatusOK, &small)
+	if small.Streamed || !small.Durable || !small.Labeled {
+		t.Fatalf("small = %+v, want resident+durable", small)
+	}
+	// The streamed dataset still mines (through the out-of-core engine).
+	var mr MineResponse[ImplicationWire]
+	getJSON(t, ts2.URL+"/v1/datasets/big/implications?threshold=90", http.StatusOK, &mr)
+	if mr.Total == 0 {
+		t.Fatal("streamed recovered dataset mined no rules")
+	}
+}
+
+// TestPutENOSPCIs507: a full disk during the durable commit surfaces as
+// 507 Insufficient Storage with the structured error body — and the
+// dataset is not served, because a dataset the store could not commit
+// would vanish on restart.
+func TestPutENOSPCIs507(t *testing.T) {
+	dir := t.TempDir()
+	in := fault.NewInjector(fault.Scenario{FailWriteAt: 1, ENOSPC: true, FailForever: true, PathContains: "blobs"})
+	st := openTestStore(t, dir, store.Options{FS: in})
+	s := NewWith(Config{Store: st})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	resp := doPut(t, ts.URL, "doomed", "x y\nx y\n")
+	if resp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("PUT on full disk: status %d, want 507", resp.StatusCode)
+	}
+	getJSON(t, ts.URL+"/v1/datasets/doomed", http.StatusNotFound, nil)
+}
+
+// TestStoreScratchRoutesSpills: with a store configured, degrade spills
+// land in the store's scratch directory (swept at boot), not the OS
+// temp dir.
+func TestStoreScratchRoutesSpills(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir, store.Options{})
+	s := NewWith(Config{Store: st})
+	if got := s.scratchDir(); got != st.ScratchDir() {
+		t.Fatalf("scratchDir = %q, want %q", got, st.ScratchDir())
+	}
+	m := mustParseBaskets(t, "a b\na b\n")
+	path, cleanup, err := spillResident(m, s.scratchDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	rel, err := filepath.Rel(st.ScratchDir(), path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		t.Fatalf("spill %q escaped the store scratch dir %q", path, st.ScratchDir())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPutCorruptStoreIs503: a poisoned journal (unrepairable append
+// failure) maps to 503 — the replica needs a restart, the client
+// should go elsewhere — not a 500.
+func TestPutCorruptStoreIs503(t *testing.T) {
+	dir := t.TempDir()
+	// Create the journal on a healthy disk first: the scenario tears
+	// every CATALOG write, which would otherwise kill the header write
+	// at Open before any request runs.
+	pre := openTestStore(t, dir, store.Options{})
+	pre.Close()
+	in := fault.NewInjector(fault.Scenario{PartialWriteEvery: 1, PathContains: "CATALOG"})
+	st := openTestStore(t, dir, store.Options{FS: in})
+	s := NewWith(Config{Store: st})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// First PUT tears the journal append and the inline repair: the
+	// store poisons itself.
+	resp := doPut(t, ts.URL, "first", "x y\nx y\n")
+	if resp.StatusCode != http.StatusInternalServerError && resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("PUT under torn journal: status %d, want 5xx", resp.StatusCode)
+	}
+	// Every later PUT sees the poisoned store: 503, go elsewhere.
+	resp = doPut(t, ts.URL, "second", "p q\np q\n")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("PUT on poisoned store: status %d, want 503", resp.StatusCode)
+	}
+	if _, err := st.Put("direct", mustParseBaskets(t, "a b\n")); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("store not actually poisoned: %v", err)
+	}
+}

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestMineParamValidation sweeps every mining endpoint with every
+// malformed query parameter and asserts a structured 400 — the same
+// {"error", "request_id"} body everywhere, never a 500 and never a
+// silently-defaulted value.
+func TestMineParamValidation(t *testing.T) {
+	ts := testServer(t)
+	endpoints := []string{
+		"/v1/datasets/baskets/implications",
+		"/v1/datasets/baskets/similarities",
+		"/v1/datasets/baskets/expand?keyword=bread",
+	}
+	bad := []string{
+		"threshold=0", "threshold=101", "threshold=-5", "threshold=abc", "threshold=1e3",
+		"minsupport=-1", "minsupport=xyz",
+		"limit=0", "limit=-10", "limit=garbage",
+		"workers=-1", "workers=129", "workers=nope",
+	}
+	for _, ep := range endpoints {
+		sep := "?"
+		if len(ep) > 0 && ep[len(ep)-1] != '?' {
+			for _, c := range ep {
+				if c == '?' {
+					sep = "&"
+				}
+			}
+		}
+		for _, q := range bad {
+			url := ts.URL + ep + sep + q
+			var body map[string]string
+			getJSON(t, url, http.StatusBadRequest, &body)
+			if body["error"] == "" || body["request_id"] == "" {
+				t.Errorf("%s: 400 body not structured: %v", ep+sep+q, body)
+			}
+		}
+	}
+
+	// Expand-only parameters.
+	for _, q := range []string{"depth=-2", "depth=abc", ""} { // "" = missing keyword
+		url := ts.URL + "/v1/datasets/baskets/expand?keyword=bread&" + q
+		if q == "" {
+			url = ts.URL + "/v1/datasets/baskets/expand"
+		}
+		var body map[string]string
+		getJSON(t, url, http.StatusBadRequest, &body)
+		if body["error"] == "" || body["request_id"] == "" {
+			t.Errorf("expand %q: 400 body not structured: %v", q, body)
+		}
+	}
+
+	// The boundaries themselves are valid: no off-by-one rejections.
+	for _, q := range []string{
+		"threshold=1", "threshold=100", "minsupport=0", "limit=1", "workers=0", "workers=128",
+	} {
+		getJSON(t, ts.URL+"/v1/datasets/baskets/implications?"+q, http.StatusOK, nil)
+	}
+	getJSON(t, ts.URL+"/v1/datasets/baskets/expand?keyword=bread&depth=-1", http.StatusOK, nil)
+	getJSON(t, ts.URL+"/v1/datasets/baskets/expand?keyword=bread&depth=0", http.StatusOK, nil)
+}

@@ -1,0 +1,177 @@
+package store
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+
+	"dmc/internal/fault"
+)
+
+// TestStoreFaultMatrix drives the store through injected failures at
+// every stage of the commit protocol — blob write, blob fsync, journal
+// append, journal fsync — and asserts the contract the serving layer
+// depends on: a failed Put returns an error and changes nothing; a
+// reopened store (healthy disk) recovers exactly the committed
+// datasets with no tmp debris; and when the scenario is one-shot, the
+// very next Put succeeds (for journal failures, via the inline repair
+// that rewrites the journal from the live set).
+func TestStoreFaultMatrix(t *testing.T) {
+	cases := []struct {
+		name      string
+		sc        fault.Scenario
+		wantNOSPC bool // the surfaced error must carry ENOSPC
+		permanent bool // the store stays unwritable until reopened
+	}{
+		{name: "blob-write-enospc",
+			sc:        fault.Scenario{FailWriteAt: 1, ENOSPC: true, PathContains: "blobs"},
+			wantNOSPC: true},
+		{name: "blob-write-enospc-forever",
+			sc:        fault.Scenario{FailWriteAt: 1, ENOSPC: true, FailForever: true, PathContains: "blobs"},
+			wantNOSPC: true, permanent: true},
+		{name: "blob-sync-fails",
+			sc: fault.Scenario{FailSyncAt: 1, PathContains: "blobs"}},
+		{name: "blob-sync-fails-forever",
+			sc:        fault.Scenario{FailSyncAt: 1, FailForever: true, PathContains: "blobs"},
+			permanent: true},
+		{name: "journal-write-fails",
+			sc: fault.Scenario{FailWriteAt: 1, PathContains: "CATALOG"}},
+		{name: "journal-sync-fails",
+			sc: fault.Scenario{FailSyncAt: 1, PathContains: "CATALOG"}},
+		{name: "journal-enospc",
+			sc:        fault.Scenario{FailWriteAt: 1, ENOSPC: true, PathContains: "CATALOG"},
+			wantNOSPC: true},
+		// Every CATALOG write tears: the append tears AND the inline
+		// repair tears, so the store must poison itself (ErrCorrupt on
+		// later mutations) rather than risk a journal that lies.
+		{name: "torn-journal-writes-forever",
+			sc:        fault.Scenario{PartialWriteEvery: 1, PathContains: "CATALOG"},
+			permanent: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			// Commit a baseline dataset on a healthy disk.
+			s := openStore(t, dir, Options{})
+			if _, err := s.Put("stable", mustBaskets(t, "a b\na c\n")); err != nil {
+				t.Fatal(err)
+			}
+			s.Close()
+
+			// Reopen with the scenario armed and attempt a Put. The
+			// injector counters start now, so the failure lands inside
+			// this Put's commit protocol.
+			in := fault.NewInjector(tc.sc)
+			f, err := Open(dir, Options{FS: in})
+			if err != nil {
+				t.Fatalf("open under scenario (replay is read-only): %v", err)
+			}
+			_, perr := f.Put("victim", mustBaskets(t, "x y\nx z\n"))
+			if perr == nil {
+				t.Fatal("Put under injected failure reported success")
+			}
+			if !errors.Is(perr, fault.ErrInjected) {
+				t.Fatalf("error lost the injection sentinel: %v", perr)
+			}
+			if tc.wantNOSPC && !errors.Is(perr, syscall.ENOSPC) {
+				t.Fatalf("want ENOSPC surfaced, got %v", perr)
+			}
+			if _, ok := f.Get("victim"); ok {
+				t.Fatal("failed Put is visible in the catalog")
+			}
+
+			// One-shot scenarios: the disk recovered, the next Put must
+			// go through on the same handle (journal failures exercise
+			// the inline torn-tail repair here).
+			if !tc.permanent {
+				if _, err := f.Put("retry", mustBaskets(t, "p q\n")); err != nil {
+					t.Fatalf("Put after one-shot fault: %v", err)
+				}
+			}
+			f.Close()
+
+			// A restart on a healthy disk recovers exactly the
+			// committed set, with no tmp debris anywhere.
+			r := openStore(t, dir, Options{})
+			if _, ok := r.Get("stable"); !ok {
+				t.Fatal("committed dataset lost")
+			}
+			if _, ok := r.Get("victim"); ok {
+				t.Fatal("uncommitted dataset survived recovery")
+			}
+			if !tc.permanent {
+				if _, ok := r.Get("retry"); !ok {
+					t.Fatal("post-fault Put lost after recovery")
+				}
+			}
+			if m, err := r.Load("stable"); err != nil || m.NumRows() != 2 {
+				t.Fatalf("recovered stable: m=%v err=%v", m, err)
+			}
+			assertNoTmpDebris(t, dir)
+		})
+	}
+}
+
+// TestStorePoisonedRefusesMutations: once an append failure cannot be
+// repaired, the store must refuse further mutations with ErrCorrupt
+// instead of appending after a torn frame — reads stay available.
+func TestStorePoisonedRefusesMutations(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, Options{})
+	if _, err := s.Put("stable", mustBaskets(t, "a b\n")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	in := fault.NewInjector(fault.Scenario{PartialWriteEvery: 1, PathContains: "CATALOG"})
+	f, err := Open(dir, Options{FS: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Put("victim", mustBaskets(t, "x y\n")); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unrepairable append: err = %v, want ErrCorrupt in chain", err)
+	}
+	if _, err := f.Put("again", mustBaskets(t, "p q\n")); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("poisoned store accepted a Put: %v", err)
+	}
+	if err := f.Delete("stable"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("poisoned store accepted a Delete: %v", err)
+	}
+	// Reads still serve the last good catalog.
+	if _, ok := f.Get("stable"); !ok {
+		t.Fatal("poisoned store lost read access to committed data")
+	}
+}
+
+// TestStoreFaultCompaction kills the snapshot write itself: compaction
+// is an optimization, so a Put whose journal record already committed
+// must report success despite the compaction failure, and recovery
+// must still see every committed dataset.
+func TestStoreFaultCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// CATALOG.tmp is only written by compaction, so the scenario fires
+	// there and nowhere else.
+	in := fault.NewInjector(fault.Scenario{FailSyncAt: 1, FailForever: true, PathContains: "CATALOG.tmp"})
+	s, err := Open(dir, Options{FS: in, CompactEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := s.Put("churn", mustBaskets(t, "a b\n")); err != nil {
+			t.Fatalf("put %d: %v (compaction failure must not fail a committed Put)", i, err)
+		}
+		if _, err := s.Put("other", mustBaskets(t, "x y\n")); err != nil {
+			t.Fatalf("put other %d: %v", i, err)
+		}
+	}
+	s.Close()
+	r := openStore(t, dir, Options{})
+	if _, ok := r.Get("churn"); !ok {
+		t.Fatal("churn lost")
+	}
+	if _, ok := r.Get("other"); !ok {
+		t.Fatal("other lost")
+	}
+	assertNoTmpDebris(t, dir)
+}

@@ -1,0 +1,124 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"dmc/internal/fault"
+)
+
+// The CATALOG journal is the store's commit log: one CRC-framed JSON
+// record per catalog mutation, appended and fsynced before the caller
+// sees success. Replay at boot folds the records in order; the last
+// record for a name wins. The frame CRC (Castagnoli, like the spill
+// block codec) makes a torn tail — the signature of a crash mid-append
+// — detectable instead of silently corrupting every later record:
+// replay stops at the first bad frame, trusts everything before it,
+// and the store rewrites the journal from the live set.
+//
+// Layout:
+//
+//	8-byte magic "DMCCAT01"
+//	repeat: uint32 LE payload length | uint32 LE crc32c(payload) | payload
+
+var journalMagic = []byte("DMCCAT01")
+
+// maxRecordBytes bounds one journal record; a length field beyond it is
+// corruption (or an incompatible format), not a huge record.
+const maxRecordBytes = 1 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// record is one catalog mutation. Op "put" upserts a dataset; "del"
+// removes it. Blob paths are relative to the store root so the data
+// directory can be moved wholesale.
+type record struct {
+	Op      string `json:"op"`
+	Name    string `json:"name"`
+	Blob    string `json:"blob,omitempty"`
+	Rows    int    `json:"rows,omitempty"`
+	Cols    int    `json:"cols,omitempty"`
+	Ones    int    `json:"ones,omitempty"`
+	Labeled bool   `json:"labeled,omitempty"`
+	Size    int64  `json:"size,omitempty"`
+}
+
+// frameRecord encodes rec as one CRC-framed journal frame.
+func frameRecord(rec record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	copy(frame[8:], payload)
+	return frame, nil
+}
+
+// writeJournalHeader emits the magic at the start of a fresh journal.
+func writeJournalHeader(w io.Writer) error {
+	_, err := w.Write(journalMagic)
+	return err
+}
+
+// replayJournal reads the journal at path and folds its records into
+// the live catalog. torn reports a detected torn/corrupt tail (the
+// records before it are trusted and returned); a missing file is an
+// empty journal. total counts the records read, so the caller can
+// decide whether compaction is due.
+func replayJournal(fs fault.FS, path string) (live map[string]record, total int, torn bool, err error) {
+	live = make(map[string]record)
+	f, err := fs.Open(path)
+	if err != nil {
+		if isNotExist(err) {
+			return live, 0, false, nil
+		}
+		return nil, 0, false, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(fault.NewRetryReader(nil, f, fault.RetryPolicy{}))
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("store: reading journal: %w", err)
+	}
+	if len(data) == 0 {
+		return live, 0, false, nil
+	}
+	if len(data) < len(journalMagic) || !bytes.Equal(data[:len(journalMagic)], journalMagic) {
+		// A torn header from a crash during journal creation: nothing
+		// trustworthy follows.
+		return live, 0, true, nil
+	}
+	off := len(journalMagic)
+	for off < len(data) {
+		if len(data)-off < 8 {
+			return live, total, true, nil // torn frame header
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n > maxRecordBytes || len(data)-off-8 < n {
+			return live, total, true, nil // torn or garbage length
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return live, total, true, nil // torn payload
+		}
+		var rec record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return live, total, true, nil // framed garbage: same treatment
+		}
+		total++
+		switch rec.Op {
+		case "put":
+			live[rec.Name] = rec
+		case "del":
+			delete(live, rec.Name)
+		}
+		off += 8 + n
+	}
+	return live, total, false, nil
+}

@@ -1,0 +1,534 @@
+// Package store is the durable dataset store behind dmcserve: every
+// uploaded dataset survives a crash, a SIGKILL or a redeploy, and a
+// restart with the same data directory recovers the exact catalog.
+//
+// The design is the same ordering-based crash-safety protocol as the
+// stream checkpoint layer (no write-ahead of intent, just commit
+// points):
+//
+//   - dataset bytes land as immutable, content-addressed blob files
+//     under blobs/ — written to "<name>.tmp", fsynced, then atomically
+//     renamed; two names with identical content share one blob;
+//   - the catalog itself is an append-only CRC-framed journal
+//     (CATALOG): a dataset exists exactly when its "put" record is
+//     durably in the journal, so the journal append is the single
+//     commit point of an upload;
+//   - replay at boot folds the journal; a torn tail (crash mid-append)
+//     is detected by the frame CRC, trusted up to the tear, and
+//     repaired by rewriting the journal from the live set;
+//   - past a churn threshold the journal is compacted to a snapshot of
+//     the live records via the same tmp+fsync+rename dance, and blobs
+//     no live record references are garbage-collected;
+//   - boot also sweeps *.tmp debris and the scratch directory (spill
+//     and degrade workspace for the mining engines), so a kill at any
+//     point leaves nothing half-written behind.
+//
+// All file operations route through a fault.FS seam, so the fault
+// matrix can tear journal writes, run out of disk mid-commit, or kill
+// fsync, and assert the catalog never lies.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"dmc/internal/fault"
+	"dmc/internal/matrix"
+	"dmc/internal/obs"
+)
+
+// Store-level series on the process registry, mirroring the style of
+// the fault and stream packages.
+var (
+	metricPuts = obs.Default.Counter("dmc_store_puts_total",
+		"Datasets durably committed to the store.")
+	metricDeletes = obs.Default.Counter("dmc_store_deletes_total",
+		"Datasets deleted from the store.")
+	metricCompactions = obs.Default.Counter("dmc_store_compactions_total",
+		"Journal compactions (snapshot rewrites of CATALOG).")
+	metricReplays = obs.Default.Counter("dmc_store_replays_total",
+		"Journal replays at store open.")
+	metricTornTails = obs.Default.Counter("dmc_store_torn_tails_total",
+		"Torn or corrupt journal tails detected and repaired at replay.")
+	metricDatasets = obs.Default.Gauge("dmc_store_datasets",
+		"Datasets currently live in the store catalog.")
+	metricJournalRecords = obs.Default.Gauge("dmc_store_journal_records",
+		"Records in the CATALOG journal (compaction resets to the live count).")
+)
+
+const (
+	catalogName = "CATALOG"
+	blobDirName = "blobs"
+	scratchName = "scratch"
+)
+
+// ErrCorrupt poisons a store whose journal could not be repaired after
+// a failed append: further mutations are refused until the store is
+// reopened (which replays and rewrites the journal).
+var ErrCorrupt = errors.New("store: journal corrupt; reopen the store")
+
+// ErrNotFound is returned by Get/Load/Delete for an unknown dataset.
+var ErrNotFound = errors.New("store: no such dataset")
+
+// Options tunes a Store. The zero value is production-safe.
+type Options struct {
+	// FS routes every durable file operation; nil means the real
+	// filesystem. Tests install a fault.Injector here.
+	FS fault.FS
+	// CompactEvery triggers a journal compaction once the journal holds
+	// this many records beyond the live set (replaced uploads, deletes).
+	// ≤ 0 means 64.
+	CompactEvery int
+}
+
+func (o Options) fs() fault.FS {
+	if o.FS != nil {
+		return o.FS
+	}
+	return fault.OS
+}
+
+func (o Options) compactEvery() int {
+	if o.CompactEvery > 0 {
+		return o.CompactEvery
+	}
+	return 64
+}
+
+// Entry is one live dataset in the catalog.
+type Entry struct {
+	Name    string
+	Path    string // absolute blob path, loadable via matrix.Load
+	Rows    int
+	Cols    int
+	Ones    int
+	Labeled bool
+	Size    int64 // blob size in bytes (streaming-threshold routing)
+}
+
+// Store is a durable dataset catalog over one data directory. Safe for
+// concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	entries  map[string]record
+	journal  fault.File // open append handle; nil after Close
+	total    int        // records in the journal
+	poisoned bool       // a failed append could not be repaired
+}
+
+// Open opens (creating if needed) the store at dir: sweeps crash
+// debris, replays the CATALOG journal, repairs a torn tail, compacts
+// past the churn threshold, and garbage-collects unreferenced blobs.
+func Open(dir string, opts Options) (*Store, error) {
+	s := &Store{dir: dir, opts: opts}
+	for _, d := range []string{dir, s.blobDir(), s.ScratchDir()} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	// Scratch is wholly store-owned workspace (spill directories,
+	// degrade temp files): anything in it after a restart is debris
+	// from a killed mine.
+	if err := sweepDir(s.ScratchDir()); err != nil {
+		return nil, err
+	}
+	sweepTmp(dir)
+	sweepTmp(s.blobDir())
+
+	live, total, torn, err := replayJournal(opts.fs(), s.catalogPath())
+	if err != nil {
+		return nil, err
+	}
+	metricReplays.Inc()
+	s.entries, s.total = live, total
+	if torn {
+		metricTornTails.Inc()
+	}
+	if torn || total-len(live) >= opts.compactEvery() {
+		if err := s.compactLocked(); err != nil {
+			return nil, err
+		}
+	} else if err := s.openJournalLocked(); err != nil {
+		return nil, err
+	}
+	if err := s.gcBlobsLocked(); err != nil {
+		return nil, err
+	}
+	s.gauges()
+	return s, nil
+}
+
+func (s *Store) catalogPath() string { return filepath.Join(s.dir, catalogName) }
+func (s *Store) blobDir() string     { return filepath.Join(s.dir, blobDirName) }
+
+// Dir returns the store's data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// ScratchDir is store-owned scratch space for the mining engines'
+// spill directories and degrade temp files. It is swept at every Open,
+// so spill debris from a SIGKILLed mine never outlives the restart.
+func (s *Store) ScratchDir() string { return filepath.Join(s.dir, scratchName) }
+
+// Close releases the journal handle. The store must not be used after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return nil
+	}
+	err := s.journal.Close()
+	s.journal = nil
+	return err
+}
+
+// Len returns the number of live datasets.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// List returns the live catalog sorted by name.
+func (s *Store) List() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, 0, len(s.entries))
+	for _, rec := range s.entries {
+		out = append(out, s.entryLocked(rec))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Get returns the live entry for name.
+func (s *Store) Get(name string) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.entries[name]
+	if !ok {
+		return Entry{}, false
+	}
+	return s.entryLocked(rec), true
+}
+
+func (s *Store) entryLocked(rec record) Entry {
+	return Entry{
+		Name: rec.Name, Path: filepath.Join(s.dir, filepath.FromSlash(rec.Blob)),
+		Rows: rec.Rows, Cols: rec.Cols, Ones: rec.Ones, Labeled: rec.Labeled, Size: rec.Size,
+	}
+}
+
+// Load reads the named dataset's matrix back from its blob.
+func (s *Store) Load(name string) (*matrix.Matrix, error) {
+	e, ok := s.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return matrix.Load(e.Path)
+}
+
+// Put durably stores m under name, replacing any previous dataset of
+// that name. On return the dataset survives SIGKILL: the blob (and its
+// labels companion, when labeled) is committed via tmp+fsync+rename
+// before the journal record — the single commit point — is appended
+// and fsynced. On error the catalog is unchanged.
+func (s *Store) Put(name string, m *matrix.Matrix) (Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.poisoned {
+		return Entry{}, ErrCorrupt
+	}
+	rec, err := s.writeBlobLocked(name, m)
+	if err != nil {
+		return Entry{}, fmt.Errorf("store: put %q: %w", name, err)
+	}
+	if err := s.appendLocked(rec); err != nil {
+		return Entry{}, fmt.Errorf("store: put %q: %w", name, err)
+	}
+	s.entries[name] = rec
+	metricPuts.Inc()
+	if s.total-len(s.entries) >= s.opts.compactEvery() {
+		// Compaction is an optimization: its failure must not fail the
+		// already-committed Put. A sick disk will resurface on the next
+		// mutation anyway.
+		if err := s.compactLocked(); err == nil {
+			_ = s.gcBlobsLocked()
+		}
+	}
+	s.gauges()
+	return s.entryLocked(rec), nil
+}
+
+// Delete removes name from the catalog. The blob stays until the next
+// compaction garbage-collects it (another name may share it).
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.poisoned {
+		return ErrCorrupt
+	}
+	if _, ok := s.entries[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if err := s.appendLocked(record{Op: "del", Name: name}); err != nil {
+		return fmt.Errorf("store: delete %q: %w", name, err)
+	}
+	delete(s.entries, name)
+	metricDeletes.Inc()
+	s.gauges()
+	return nil
+}
+
+// writeBlobLocked commits m's bytes as a content-addressed blob,
+// returning the journal record that would make it live. Blobs are
+// immutable: if the hash already exists on disk the write is skipped
+// (dedupe). The labels companion is committed before the data file so
+// a committed journal record never names a blob matrix.Load cannot
+// fully reconstruct.
+func (s *Store) writeBlobLocked(name string, m *matrix.Matrix) (record, error) {
+	data, err := matrix.EncodeBinary(m)
+	if err != nil {
+		return record{}, err
+	}
+	h := sha256.New()
+	h.Write(data)
+	var labels []byte
+	if m.Labels() != nil {
+		labels, err = matrix.EncodeLabels(m.Labels())
+		if err != nil {
+			return record{}, err
+		}
+		h.Write([]byte{0})
+		h.Write(labels)
+	}
+	sum := hex.EncodeToString(h.Sum(nil))[:32]
+	blobRel := blobDirName + "/" + "sha256-" + sum + matrix.ExtBinary
+	blobAbs := filepath.Join(s.dir, filepath.FromSlash(blobRel))
+	if _, err := os.Stat(blobAbs); err != nil {
+		if labels != nil {
+			if err := s.commitFile(blobAbs+".labels", labels); err != nil {
+				return record{}, err
+			}
+		}
+		if err := s.commitFile(blobAbs, data); err != nil {
+			return record{}, err
+		}
+	}
+	return record{
+		Op: "put", Name: name, Blob: blobRel,
+		Rows: m.NumRows(), Cols: m.NumCols(), Ones: m.NumOnes(),
+		Labeled: m.Labels() != nil, Size: int64(len(data)),
+	}, nil
+}
+
+// commitFile writes data to path via tmp+fsync+rename through the
+// fault seam, removing the tmp on any failure.
+func (s *Store) commitFile(path string, data []byte) error {
+	fs := s.opts.fs()
+	tmp := path + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// appendLocked durably appends one record to the journal. On failure
+// the file may hold a torn frame, which would poison every later
+// append — so the journal is immediately rewritten from the live set
+// (which does not include rec); if even that fails the store is
+// poisoned until reopened.
+func (s *Store) appendLocked(rec record) error {
+	if s.journal == nil {
+		if err := s.openJournalLocked(); err != nil {
+			return err
+		}
+	}
+	frame, err := frameRecord(rec)
+	if err != nil {
+		return err
+	}
+	werr := func() error {
+		if _, err := s.journal.Write(frame); err != nil {
+			return err
+		}
+		return s.journal.Sync()
+	}()
+	if werr == nil {
+		s.total++
+		return nil
+	}
+	if cerr := s.compactLocked(); cerr != nil {
+		s.poisoned = true
+		return errors.Join(werr, cerr, ErrCorrupt)
+	}
+	return werr
+}
+
+// openJournalLocked opens the append handle, creating the journal with
+// its magic header if it does not exist yet.
+func (s *Store) openJournalLocked() error {
+	fs := s.opts.fs()
+	fi, statErr := os.Stat(s.catalogPath())
+	fresh := statErr != nil || fi.Size() == 0
+	f, err := fs.Append(s.catalogPath())
+	if err != nil {
+		return err
+	}
+	if fresh {
+		if err := writeJournalHeader(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if s.journal != nil {
+		s.journal.Close()
+	}
+	s.journal = f
+	return nil
+}
+
+// compactLocked snapshots the live set into a fresh journal and
+// atomically replaces CATALOG with it, then reopens the append handle
+// (the old handle points at the unlinked inode).
+func (s *Store) compactLocked() error {
+	fs := s.opts.fs()
+	tmp := s.catalogPath() + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	werr := func() error {
+		if err := writeJournalHeader(f); err != nil {
+			return err
+		}
+		names := make([]string, 0, len(s.entries))
+		for n := range s.entries {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			frame, err := frameRecord(s.entries[n])
+			if err != nil {
+				return err
+			}
+			if _, err := f.Write(frame); err != nil {
+				return err
+			}
+		}
+		return f.Sync()
+	}()
+	if werr != nil {
+		f.Close()
+		os.Remove(tmp)
+		return werr
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := fs.Rename(tmp, s.catalogPath()); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if s.journal != nil {
+		s.journal.Close()
+		s.journal = nil
+	}
+	if err := s.openJournalLocked(); err != nil {
+		return err
+	}
+	s.total = len(s.entries)
+	metricCompactions.Inc()
+	return nil
+}
+
+// gcBlobsLocked removes blob files (and labels companions) no live
+// record references — superseded uploads and blobs orphaned by a crash
+// between blob commit and journal append. Removal failures are
+// ignored: an unreferenced blob is invisible and harmless.
+func (s *Store) gcBlobsLocked() error {
+	refs := make(map[string]bool, len(s.entries))
+	for _, rec := range s.entries {
+		refs[filepath.Base(filepath.FromSlash(rec.Blob))] = true
+	}
+	des, err := os.ReadDir(s.blobDir())
+	if err != nil {
+		return err
+	}
+	for _, de := range des {
+		name := de.Name()
+		base := name
+		if filepath.Ext(base) == ".labels" {
+			base = base[:len(base)-len(".labels")]
+		}
+		if !refs[base] {
+			os.Remove(filepath.Join(s.blobDir(), name))
+		}
+	}
+	return nil
+}
+
+func (s *Store) gauges() {
+	metricDatasets.Set(int64(len(s.entries)))
+	metricJournalRecords.Set(int64(s.total))
+}
+
+// sweepDir empties dir without removing it.
+func sweepDir(dir string) error {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, de := range des {
+		if err := os.RemoveAll(filepath.Join(dir, de.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepTmp removes *.tmp debris (a crashed commit's half-written file)
+// directly under dir.
+func sweepTmp(dir string) {
+	stale, err := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if err != nil {
+		return
+	}
+	for _, f := range stale {
+		os.Remove(f)
+	}
+}
+
+func isNotExist(err error) bool { return errors.Is(err, os.ErrNotExist) }

@@ -190,6 +190,7 @@ type corruptOnceFS struct {
 }
 
 func (c *corruptOnceFS) Create(name string) (fault.File, error) { return fault.OS.Create(name) }
+func (c *corruptOnceFS) Append(name string) (fault.File, error) { return fault.OS.Append(name) }
 func (c *corruptOnceFS) Rename(o, n string) error               { return fault.OS.Rename(o, n) }
 func (c *corruptOnceFS) Open(name string) (fault.File, error) {
 	f, err := fault.OS.Open(name)

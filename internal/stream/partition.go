@@ -98,7 +98,7 @@ func PartitionWith(path string, cfg Config) (*Partitioned, error) {
 		}
 		keep = true
 	} else {
-		dir, err = os.MkdirTemp(cfg.TmpDir, "dmc-stream-")
+		dir, err = os.MkdirTemp(cfg.TmpDir, SpillDirPrefix)
 		if err != nil {
 			return nil, err
 		}

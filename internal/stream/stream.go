@@ -59,6 +59,12 @@ var (
 		"Mining operations aborted by context cancellation or deadline.")
 )
 
+// SpillDirPrefix names the temp directories the partitioner creates
+// under Config.TmpDir. Exported so a supervising layer (the dataset
+// store's scratch sweep) can recognize spill debris left by a killed
+// mine.
+const SpillDirPrefix = "dmc-stream-"
+
 // Config tunes the streaming substrate. The zero value is a sensible
 // default everywhere: auto worker counts, block-framed spill codec,
 // double-buffered prefetch.
