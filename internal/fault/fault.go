@@ -122,6 +122,34 @@ type FS interface {
 	Rename(oldpath, newpath string) error
 }
 
+// DirSyncer is an optional FS extension: fsync a directory so the
+// entries a preceding rename or create added to it are durable. A
+// rename is only crash-safe once its directory is synced — the file
+// bytes surviving a power cut is worthless if the name pointing at
+// them does not.
+type DirSyncer interface {
+	SyncDir(dir string) error
+}
+
+// SyncDir makes dir's entries durable through fs when it implements
+// DirSyncer, directly against the real filesystem otherwise (so FS
+// test doubles that predate the extension keep working).
+func SyncDir(fs FS, dir string) error {
+	if ds, ok := fs.(DirSyncer); ok {
+		return ds.SyncDir(dir)
+	}
+	return syncOSDir(dir)
+}
+
+func syncOSDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
 // OS is the passthrough FS over the real filesystem.
 var OS FS = osFS{}
 
@@ -133,3 +161,4 @@ func (osFS) Append(name string) (File, error) {
 	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 }
 func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) SyncDir(dir string) error             { return syncOSDir(dir) }

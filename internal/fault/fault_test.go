@@ -220,6 +220,35 @@ func TestInjectorFailSync(t *testing.T) {
 	})
 }
 
+// TestInjectorSyncDir: directory fsyncs — the barrier that makes a
+// rename durable — route through the scenario's sync counter, so the
+// fault matrix can land a failure on them specifically; an FS without
+// the DirSyncer extension falls back to a real directory fsync.
+func TestInjectorSyncDir(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Scenario{FailSyncAt: 1})
+	if err := in.SyncDir(dir); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dir sync 1: want injected failure, got %v", err)
+	}
+	if err := in.SyncDir(dir); err != nil {
+		t.Fatalf("dir sync 2 after one-shot failure: %v", err)
+	}
+	_, _, _, syncs := in.Counts()
+	if syncs != 2 {
+		t.Fatalf("sync op count = %d, want 2 (dir syncs must be counted)", syncs)
+	}
+	if err := SyncDir(bareFS{}, dir); err != nil {
+		t.Fatalf("fallback dir sync for a DirSyncer-less FS: %v", err)
+	}
+	if err := SyncDir(bareFS{}, filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("dir sync of a missing directory must error")
+	}
+}
+
+// bareFS implements FS but not DirSyncer; its embedded nil FS would
+// panic if any file op were called, which the fallback never does.
+type bareFS struct{ FS }
+
 func TestInjectorPathFilter(t *testing.T) {
 	dir := t.TempDir()
 	a := writeFile(t, dir, "bucket-00.rows", []byte("aaaa"))

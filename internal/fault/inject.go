@@ -149,6 +149,19 @@ func (in *Injector) Rename(oldpath, newpath string) error {
 	return in.under.Rename(oldpath, newpath)
 }
 
+// SyncDir fsyncs dir through the scenario: directory syncs count
+// against FailSyncAt like file syncs, so the fault matrix can land a
+// failure on the rename-durability fsync specifically.
+func (in *Injector) SyncDir(dir string) error {
+	if in.matches(dir) {
+		n := in.syncs.Add(1)
+		if in.trips(n, in.sc.FailSyncAt) {
+			return in.fail("sync", dir, n)
+		}
+	}
+	return SyncDir(in.under, dir)
+}
+
 // faultFile applies the scenario to one file's operations.
 type faultFile struct {
 	in *Injector

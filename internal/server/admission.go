@@ -101,9 +101,14 @@ func (a *admission) acquire(ctx context.Context) (release func(), shed *shedInfo
 		return a.releaser(), nil
 	default:
 	}
-	// No free slot: join the queue, if there is room and a point.
-	pos := a.waiters.Load()
-	if a.maxQueue > 0 && pos >= int64(a.maxQueue) {
+	// No free slot: reserve a queue slot first, then check the bound.
+	// Reserving before checking makes the bound race-free — N arrivals
+	// racing a check-then-reserve would all see room and overshoot
+	// MaxQueueDepth, which is exactly the convoy the bound caps.
+	n := a.waiters.Add(1)
+	pos := n - 1 // waiters ahead of this request
+	if a.maxQueue > 0 && n > int64(a.maxQueue) {
+		a.waiters.Add(-1)
 		return nil, &shedInfo{
 			status: http.StatusTooManyRequests, reason: shedQueueFull,
 			retryAfter: retryAfter(a.estWait(pos)),
@@ -112,6 +117,7 @@ func (a *admission) acquire(ctx context.Context) (release func(), shed *shedInfo
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		if est := a.estWait(pos); est > 0 && est > time.Until(dl) {
+			a.waiters.Add(-1)
 			return nil, &shedInfo{
 				status: http.StatusTooManyRequests, reason: shedDeadline,
 				retryAfter: retryAfter(est),
@@ -119,7 +125,6 @@ func (a *admission) acquire(ctx context.Context) (release func(), shed *shedInfo
 			}
 		}
 	}
-	a.waiters.Add(1)
 	defer a.waiters.Add(-1)
 	select {
 	case a.slots <- struct{}{}:

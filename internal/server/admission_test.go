@@ -52,6 +52,42 @@ func TestAdmissionQueueFull(t *testing.T) {
 	}
 }
 
+// TestAdmissionQueueBoundReserveThenCheck pins the bound's atomicity:
+// the queue slot is reserved before the bound is checked, so racing
+// arrivals cannot overshoot MaxQueueDepth, and a shed arrival rolls its
+// reservation back.
+func TestAdmissionQueueBoundReserveThenCheck(t *testing.T) {
+	a := newAdmission(1, 1)
+	a.slots <- struct{}{} // slot taken
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan *shedInfo, 1)
+	go func() {
+		_, shed := a.acquire(ctx)
+		done <- shed
+	}()
+	for i := 0; a.queueDepth() != 1; i++ {
+		if i > 5000 {
+			t.Fatal("waiter never joined the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, shed := a.acquire(context.Background())
+	if shed == nil || shed.reason != shedQueueFull {
+		t.Fatalf("arrival over the bound: shed = %+v, want queue_full", shed)
+	}
+	if got := a.queueDepth(); got != 1 {
+		t.Fatalf("queue depth after shed = %d, want 1 (reservation rolled back)", got)
+	}
+	cancel()
+	if shed := <-done; shed == nil || shed.reason != shedDeadline {
+		t.Fatalf("queued waiter after cancel: shed = %+v, want deadline", shed)
+	}
+	if got := a.queueDepth(); got != 0 {
+		t.Fatalf("queue depth after drain = %d, want 0", got)
+	}
+}
+
 // TestAdmissionDeadlineShed exercises the estimator directly: with the
 // slot taken and the EWMA saying mines run ~10s, a request that has
 // only 50ms left is refused up front with a Retry-After telling the

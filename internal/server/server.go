@@ -524,7 +524,8 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		// Durability before visibility: the upload is committed to the
 		// store first, so a dataset a client was told about can never
 		// vanish in a restart.
-		if _, err := s.st.Put(name, m); err != nil {
+		e, err := s.st.Put(name, m)
+		if err != nil {
 			switch {
 			case errors.Is(err, syscall.ENOSPC):
 				writeErr(w, r, http.StatusInsufficientStorage, "persisting dataset: %v", err)
@@ -536,6 +537,22 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		inf.Durable = true
+		if s.cfg.StreamMinBytes > 0 && e.Size >= s.cfg.StreamMinBytes {
+			// Mirror LoadStore's routing at upload time: a blob this big
+			// is served file-backed from its committed blob immediately,
+			// not held resident until the next restart happens to route
+			// it correctly.
+			if err := s.AddFile(name, e.Path); err != nil {
+				writeErr(w, r, http.StatusInternalServerError, "registering dataset as streamed: %v", err)
+				return
+			}
+			s.mu.Lock()
+			s.datasets[name].info.Durable = true
+			inf = s.datasets[name].info
+			s.mu.Unlock()
+			writeJSON(w, http.StatusCreated, inf)
+			return
+		}
 	}
 	s.add(name, &dataset{m: m, info: inf})
 	writeJSON(w, http.StatusCreated, inf)
@@ -681,6 +698,7 @@ func (s *Server) streamCfg(workers int, ctx context.Context) stream.Config {
 //
 // Both paths count on dmc_mines_degraded_total.
 func (s *Server) mineImpMem(m *matrix.Matrix, t core.Threshold, o core.Options, workers int) ([]rules.Implication, core.Stats, error) {
+	var berr error // the budget overflow that triggered the degrade, if any
 	relMem, brownout := s.admitResident(residentFootprint(m))
 	if !brownout {
 		defer relMem()
@@ -691,10 +709,14 @@ func (s *Server) mineImpMem(m *matrix.Matrix, t core.Threshold, o core.Options, 
 		if !isBudgetErr(err) {
 			return nil, st, s.noteCancelled(err)
 		}
+		berr = err
 	}
 	path, cleanup, serr := spillResident(m, s.scratchDir())
 	if serr != nil {
-		return nil, core.Stats{}, serr
+		// Keep the triggering budget error in the chain (nil on the
+		// brownout path): the client must see that the mine overflowed
+		// its budget, not just that the fallback's spill failed.
+		return nil, core.Stats{}, errors.Join(berr, serr)
 	}
 	defer cleanup()
 	s.metrics.degraded.Inc()
@@ -703,6 +725,7 @@ func (s *Server) mineImpMem(m *matrix.Matrix, t core.Threshold, o core.Options, 
 
 // mineSimMem is mineImpMem for similarity rules.
 func (s *Server) mineSimMem(m *matrix.Matrix, t core.Threshold, o core.Options, workers int) ([]rules.Similarity, core.Stats, error) {
+	var berr error
 	relMem, brownout := s.admitResident(residentFootprint(m))
 	if !brownout {
 		defer relMem()
@@ -713,10 +736,11 @@ func (s *Server) mineSimMem(m *matrix.Matrix, t core.Threshold, o core.Options, 
 		if !isBudgetErr(err) {
 			return nil, st, s.noteCancelled(err)
 		}
+		berr = err
 	}
 	path, cleanup, serr := spillResident(m, s.scratchDir())
 	if serr != nil {
-		return nil, core.Stats{}, serr
+		return nil, core.Stats{}, errors.Join(berr, serr)
 	}
 	defer cleanup()
 	s.metrics.degraded.Inc()

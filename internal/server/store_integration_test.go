@@ -9,8 +9,10 @@ import (
 	"strings"
 	"testing"
 
+	"dmc/internal/core"
 	"dmc/internal/fault"
 	"dmc/internal/matrix"
+	"dmc/internal/rules"
 	"dmc/internal/store"
 )
 
@@ -134,6 +136,66 @@ func TestLoadStoreStreamsBigBlobs(t *testing.T) {
 	getJSON(t, ts2.URL+"/v1/datasets/big/implications?threshold=90", http.StatusOK, &mr)
 	if mr.Total == 0 {
 		t.Fatal("streamed recovered dataset mined no rules")
+	}
+}
+
+// TestPutStreamsBigBlobs: a store-backed upload at or above
+// StreamMinBytes is registered file-backed from its committed blob at
+// PUT time — the same routing LoadStore applies at boot — instead of
+// sitting resident (an OOM risk) until the next restart re-routes it.
+func TestPutStreamsBigBlobs(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir, store.Options{})
+	s := NewWith(Config{Store: st, StreamMinBytes: 1}) // everything streams
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	if resp := doPut(t, ts.URL, "big", "alpha beta\nalpha beta\nalpha gamma\n"); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT: status %d, want 201", resp.StatusCode)
+	}
+	var inf DatasetInfo
+	getJSON(t, ts.URL+"/v1/datasets/big", http.StatusOK, &inf)
+	if !inf.Streamed || !inf.Durable {
+		t.Fatalf("PUT-time info = %+v, want streamed+durable", inf)
+	}
+	d, ok := s.get("big")
+	if !ok || d.m != nil || d.path == "" {
+		t.Fatal("upload at StreamMinBytes was registered resident, want file-backed")
+	}
+	// The file-backed upload mines through the out-of-core engine.
+	var mr MineResponse[ImplicationWire]
+	getJSON(t, ts.URL+"/v1/datasets/big/implications?threshold=60", http.StatusOK, &mr)
+	if mr.Total == 0 {
+		t.Fatal("streamed upload mined no rules")
+	}
+}
+
+// TestBudgetErrorSurvivesFailedSpill: when a budget-overflow degrade
+// cannot even spill the matrix, the surfaced error must still carry the
+// triggering *core.BudgetError (so the client learns the mine
+// overflowed its budget), joined with the spill failure.
+func TestBudgetErrorSurvivesFailedSpill(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir, store.Options{})
+	s := NewWith(Config{Store: st})
+	s.mineImp = func(*matrix.Matrix, core.Threshold, core.Options, int) ([]rules.Implication, core.Stats, error) {
+		return nil, core.Stats{}, &core.BudgetError{Bytes: 2, Budget: 1}
+	}
+	// Kill the spill: the scratch directory is gone, so MkdirTemp fails.
+	if err := os.RemoveAll(st.ScratchDir()); err != nil {
+		t.Fatal(err)
+	}
+	m := mustParseBaskets(t, "a b\na b\n")
+	_, _, err := s.mineImpMem(m, core.FromPercent(80), core.Options{}, 1)
+	if err == nil {
+		t.Fatal("failed spill reported success")
+	}
+	var be *core.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("triggering budget error lost from the chain: %v", err)
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("spill failure lost from the chain: %v", err)
 	}
 }
 

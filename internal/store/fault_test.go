@@ -31,6 +31,10 @@ func TestStoreFaultMatrix(t *testing.T) {
 			wantNOSPC: true, permanent: true},
 		{name: "blob-sync-fails",
 			sc: fault.Scenario{FailSyncAt: 1, PathContains: "blobs"}},
+		// Sync #2 under blobs/ is the directory fsync that makes the
+		// labels rename durable: its failure must fail the Put cleanly.
+		{name: "blob-dirsync-fails",
+			sc: fault.Scenario{FailSyncAt: 2, PathContains: "blobs"}},
 		{name: "blob-sync-fails-forever",
 			sc:        fault.Scenario{FailSyncAt: 1, FailForever: true, PathContains: "blobs"},
 			permanent: true},

@@ -18,7 +18,10 @@ import (
 // block codec) makes a torn tail — the signature of a crash mid-append
 // — detectable instead of silently corrupting every later record:
 // replay stops at the first bad frame, trusts everything before it,
-// and the store rewrites the journal from the live set.
+// and the store rewrites the journal from the live set. Repair is
+// reserved for genuine tail tears; damage a tear cannot explain (bad
+// magic, a bad frame followed by valid ones, checksummed garbage)
+// fails Open with ErrCorrupt rather than discarding committed records.
 //
 // Layout:
 //
@@ -67,10 +70,16 @@ func writeJournalHeader(w io.Writer) error {
 }
 
 // replayJournal reads the journal at path and folds its records into
-// the live catalog. torn reports a detected torn/corrupt tail (the
-// records before it are trusted and returned); a missing file is an
-// empty journal. total counts the records read, so the caller can
-// decide whether compaction is due.
+// the live catalog. torn reports a detected torn TAIL — a crash
+// mid-append, the only damage repair is allowed to discard (the records
+// before it are trusted and returned). Anything a tear cannot produce —
+// a wrong magic on a non-empty journal, a bad frame with structurally
+// valid frames after it, a CRC-valid frame holding garbage — is
+// mid-file corruption or a foreign/incompatible store, and replay fails
+// with ErrCorrupt so Open never "repairs" away committed records (and
+// never GCs the blobs they reference). A missing file is an empty
+// journal. total counts the records read, so the caller can decide
+// whether compaction is due.
 func replayJournal(fs fault.FS, path string) (live map[string]record, total int, torn bool, err error) {
 	live = make(map[string]record)
 	f, err := fs.Open(path)
@@ -89,27 +98,56 @@ func replayJournal(fs fault.FS, path string) (live map[string]record, total int,
 		return live, 0, false, nil
 	}
 	if len(data) < len(journalMagic) || !bytes.Equal(data[:len(journalMagic)], journalMagic) {
-		// A torn header from a crash during journal creation: nothing
-		// trustworthy follows.
-		return live, 0, true, nil
+		if len(data) < len(journalMagic) && bytes.Equal(data, journalMagic[:len(data)]) {
+			// A torn header from a crash during journal creation:
+			// nothing trustworthy follows, and nothing was lost.
+			return live, 0, true, nil
+		}
+		// A full-length header that is not ours (or a short prefix that
+		// never was ours): a foreign or incompatible journal, not a
+		// tear. Repairing would destroy whatever this file really is.
+		return nil, 0, false, fmt.Errorf("store: journal %s: bad magic: %w", path, ErrCorrupt)
 	}
 	off := len(journalMagic)
 	for off < len(data) {
+		bad := func(what string) (map[string]record, int, bool, error) {
+			if nextValidFrame(data, off+1) {
+				// Valid frames continue past the damage, which a crash
+				// mid-append cannot produce: this is mid-file corruption
+				// and the records after it are committed data that
+				// truncate-and-repair would destroy.
+				return nil, 0, false, fmt.Errorf(
+					"store: journal %s: %s at offset %d with valid frames after it: %w",
+					path, what, off, ErrCorrupt)
+			}
+			return live, total, true, nil
+		}
 		if len(data)-off < 8 {
-			return live, total, true, nil // torn frame header
+			return bad("torn frame header")
 		}
 		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
 		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n == 0 {
+			// frameRecord never writes an empty payload, but an all-zeros
+			// header would pass the CRC check below (crc32c("") == 0).
+			// Zeros here are the zero-filled tail some filesystems leave
+			// after a crash — a tear, unless real frames follow.
+			return bad("zero-length frame")
+		}
 		if n > maxRecordBytes || len(data)-off-8 < n {
-			return live, total, true, nil // torn or garbage length
+			return bad("torn or garbage length")
 		}
 		payload := data[off+8 : off+8+n]
 		if crc32.Checksum(payload, crcTable) != sum {
-			return live, total, true, nil // torn payload
+			return bad("bad frame checksum")
 		}
 		var rec record
 		if err := json.Unmarshal(payload, &rec); err != nil {
-			return live, total, true, nil // framed garbage: same treatment
+			// The CRC matched, so these bytes were written whole — a tear
+			// cannot leave a checksummed frame of garbage. A frame we
+			// cannot parse is a newer format or foreign data.
+			return nil, 0, false, fmt.Errorf(
+				"store: journal %s: unparseable record at offset %d: %w", path, off, ErrCorrupt)
 		}
 		total++
 		switch rec.Op {
@@ -121,4 +159,26 @@ func replayJournal(fs fault.FS, path string) (live map[string]record, total int,
 		off += 8 + n
 	}
 	return live, total, false, nil
+}
+
+// nextValidFrame reports whether a structurally valid frame (sane
+// length, matching CRC, parseable record) starts anywhere at or after
+// off. A crash tears the journal once, at the end — so a valid frame
+// after a bad one is proof of mid-file corruption, not a tail tear.
+func nextValidFrame(data []byte, off int) bool {
+	for i := off; i+8 <= len(data); i++ {
+		n := int(binary.LittleEndian.Uint32(data[i : i+4]))
+		if n > maxRecordBytes || i+8+n > len(data) {
+			continue
+		}
+		payload := data[i+8 : i+8+n]
+		if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(data[i+4:i+8]) {
+			continue
+		}
+		var rec record
+		if json.Unmarshal(payload, &rec) == nil && (rec.Op == "put" || rec.Op == "del") {
+			return true
+		}
+	}
+	return false
 }

@@ -15,7 +15,13 @@
 //     commit point of an upload;
 //   - replay at boot folds the journal; a torn tail (crash mid-append)
 //     is detected by the frame CRC, trusted up to the tear, and
-//     repaired by rewriting the journal from the live set;
+//     repaired by rewriting the journal from the live set — while
+//     damage a tear cannot produce (bad magic, mid-file corruption
+//     with valid frames after it) fails Open with ErrCorrupt so
+//     committed records are never repaired away;
+//   - renames and the journal's creation are followed by an fsync of
+//     the containing directory, so every commit point survives power
+//     loss, not just process death;
 //   - past a churn threshold the journal is compacted to a snapshot of
 //     the live records via the same tmp+fsync+rename dance, and blobs
 //     no live record references are garbage-collected;
@@ -68,9 +74,12 @@ const (
 	scratchName = "scratch"
 )
 
-// ErrCorrupt poisons a store whose journal could not be repaired after
-// a failed append: further mutations are refused until the store is
-// reopened (which replays and rewrites the journal).
+// ErrCorrupt marks a journal the store refuses to touch: Open returns
+// it when replay finds damage a crash tear cannot explain (bad magic,
+// mid-file corruption with committed records after it) — repair would
+// destroy committed data, so the operator must intervene. It also
+// poisons a store whose journal could not be repaired after a failed
+// append: further mutations are refused until the store is reopened.
 var ErrCorrupt = errors.New("store: journal corrupt; reopen the store")
 
 // ErrNotFound is returned by Get/Load/Delete for an unknown dataset.
@@ -357,7 +366,10 @@ func (s *Store) commitFile(path string, data []byte) error {
 		os.Remove(tmp)
 		return err
 	}
-	return nil
+	// The rename is only durable once the directory entry is: without
+	// this fsync a power cut can durably journal a record whose blob
+	// name was lost, and the catalog would lie at the next boot.
+	return fault.SyncDir(fs, filepath.Dir(path))
 }
 
 // appendLocked durably appends one record to the journal. On failure
@@ -411,6 +423,13 @@ func (s *Store) openJournalLocked() error {
 			f.Close()
 			return err
 		}
+		// Make the journal's own directory entry durable before any
+		// record is appended: a power cut must not be able to lose the
+		// file that holds the commit log.
+		if err := fault.SyncDir(fs, filepath.Dir(s.catalogPath())); err != nil {
+			f.Close()
+			return err
+		}
 	}
 	if s.journal != nil {
 		s.journal.Close()
@@ -460,6 +479,11 @@ func (s *Store) compactLocked() error {
 	}
 	if err := fs.Rename(tmp, s.catalogPath()); err != nil {
 		os.Remove(tmp)
+		return err
+	}
+	// Same discipline as commitFile: the snapshot replaces CATALOG only
+	// once the rename itself is durable.
+	if err := fault.SyncDir(fs, filepath.Dir(s.catalogPath())); err != nil {
 		return err
 	}
 	if s.journal != nil {

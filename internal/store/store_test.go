@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -198,6 +199,120 @@ func TestStoreTornTailRepair(t *testing.T) {
 	r2 := openStore(t, dir, Options{})
 	if r2.Len() != 2 {
 		t.Fatalf("after tear repair + put: %d datasets, want 2", r2.Len())
+	}
+}
+
+// Mid-file corruption — a bad frame with valid frames after it, which a
+// single crash tear cannot produce — must fail Open with ErrCorrupt.
+// Truncate-and-repair here would silently discard committed records and
+// then GC the blobs they reference; refusing keeps both intact for the
+// operator (a restored journal byte recovers the full catalog).
+func TestStoreMidJournalCorruptionFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, Options{})
+	if _, err := s.Put("one", mustBaskets(t, "a b\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("two", mustBaskets(t, "c d\n")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	blobsBefore, err := os.ReadDir(filepath.Join(dir, blobDirName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte inside the first record's payload: offset 20 is past
+	// the 8-byte magic and the first frame's 8-byte header, and the
+	// second record's frame is still valid after it.
+	path := filepath.Join(dir, catalogName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[20] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over mid-journal corruption: err = %v, want ErrCorrupt", err)
+	}
+	// The refused Open must not have "repaired" anything: every blob is
+	// still on disk and the journal bytes are untouched, so restoring
+	// the flipped byte recovers the complete catalog.
+	blobsAfter, err := os.ReadDir(filepath.Join(dir, blobDirName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobsAfter) != len(blobsBefore) {
+		t.Fatalf("corrupt-journal Open GCed blobs: %d -> %d files", len(blobsBefore), len(blobsAfter))
+	}
+	data[20] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := openStore(t, dir, Options{})
+	if r.Len() != 2 {
+		t.Fatalf("restored journal recovered %d datasets, want 2", r.Len())
+	}
+}
+
+// A journal whose magic is not ours (pointing -data-dir at a foreign or
+// incompatible store) must refuse to open, not be "repaired" into an
+// empty catalog that GCs whatever the directory held.
+func TestStoreForeignJournalFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, catalogName), []byte("NOTDMC00 something else entirely"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over foreign journal: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// A strict prefix of the magic is the one header state a crash during
+// journal creation can leave: nothing was committed yet, so repair (a
+// fresh empty journal) is correct.
+func TestStoreTornHeaderRepairs(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, catalogName), journalMagic[:4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := openStore(t, dir, Options{})
+	if s.Len() != 0 {
+		t.Fatalf("torn-header store recovered %d datasets, want 0", s.Len())
+	}
+	if _, err := s.Put("fresh", mustBaskets(t, "a b\n")); err != nil {
+		t.Fatalf("Put after torn-header repair: %v", err)
+	}
+}
+
+// Some filesystems surface a crash as a tail of zero blocks. An
+// all-zeros frame header passes the CRC check (crc32c of an empty
+// payload is 0), so it needs explicit handling: still a repairable
+// tear, never ErrCorrupt.
+func TestStoreZeroFilledTailRepairs(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, Options{})
+	if _, err := s.Put("keep", mustBaskets(t, "a b\n")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	f, err := os.OpenFile(filepath.Join(dir, catalogName), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	r := openStore(t, dir, Options{})
+	if r.Len() != 1 {
+		t.Fatalf("zero-filled tail recovered %d datasets, want 1", r.Len())
+	}
+	if _, err := r.Load("keep"); err != nil {
+		t.Fatal(err)
 	}
 }
 
