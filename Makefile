@@ -2,10 +2,16 @@
 # gate locally: `make ci`.
 
 GO ?= go
+# Pinned to the version CI runs; bump both together.
+STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: ci fmt-check fmt vet build test race bench bench-json fuzz-smoke fault-matrix store-crash
+.PHONY: ci lint fmt-check fmt vet build test race bench bench-json bench-compare fuzz-smoke fault-matrix store-crash
 
-ci: fmt-check vet build test race bench fuzz-smoke fault-matrix store-crash
+ci: fmt-check vet lint build test race bench bench-compare fuzz-smoke fault-matrix store-crash
+
+# The same pinned staticcheck CI runs (downloads it on first use).
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -30,10 +36,18 @@ race:
 bench:
 	$(GO) test -run=NoTests -bench=. -benchtime=1x ./...
 
-# Regenerate the checked-in performance trajectory. CI runs the same
-# command with -bench-time 100ms and uploads the result as an artifact.
+# Regenerate the checked-in performance trajectory baseline — run this
+# deliberately when a perf change is intentional, and commit the result.
 bench-json:
 	$(GO) run ./cmd/dmcbench -bench-json BENCH_dmc.json -bench-time 1s
+
+# The CI regression gate: a fresh grid must hold rules/s and MB/s
+# within 15% of the checked-in baseline. The fresh run uses the same
+# bench-time as `bench-json` so both sides of the comparison get the
+# same min-of-rounds estimator — mismatched measuring windows read as
+# phantom regressions.
+bench-compare:
+	$(GO) run ./cmd/dmcbench -bench-json bench-current.json -bench-time 1s -compare BENCH_dmc.json -tolerance 0.15
 
 # The robustness acceptance matrix under the race detector:
 # deterministic fault injection (failed/short reads, torn writes,
@@ -44,13 +58,15 @@ fault-matrix:
 	$(GO) test -race -run 'Fault|Cancel|Corrupt|Checkpoint|Budget|Retry|Injector' ./internal/fault ./internal/stream ./internal/core ./internal/server .
 	$(GO) test -race -run 'KillResume' ./cmd/dmcmine
 
-# The durability acceptance matrix for the dataset store and the
-# serving layer on top of it: the store fault matrix (torn journal
-# writes, ENOSPC mid-commit, failed fsync), the SIGKILL re-exec
-# kill/recover test (mid-blob, mid-journal, mid-compaction), admission
-# control shedding, and the restart soak with goroutine/fd leak checks.
+# The durability acceptance matrix for the dataset store, the mine
+# cache, and the serving layer on top of them: the store fault matrix
+# (torn journal writes, ENOSPC mid-commit, failed fsync), the SIGKILL
+# re-exec kill/recover tests for both store (mid-blob, mid-journal,
+# mid-compaction) and cache (mid-object, mid-journal, mid-compaction),
+# cache freshness across overwrite/delete/rollback, admission control
+# shedding, and the restart soak with goroutine/fd leak checks.
 store-crash:
-	$(GO) test -race -run 'Store|KillRecover|Admission|Readyz|Drain|Brownout|DataDirRecovery|Soak' ./internal/store ./internal/server ./cmd/dmcserve
+	$(GO) test -race -run 'Store|KillRecover|Admission|Readyz|Drain|Brownout|DataDirRecovery|Soak|Cache|Append|Delete|PutOverwrite|Rollback' ./internal/store ./internal/cache ./internal/server ./cmd/dmcserve
 
 # A short fuzzing pass over the decoders; spill-codec corruption must
 # never panic the miners. Go allows one fuzz target per invocation.

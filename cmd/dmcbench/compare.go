@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The bench-regression gate: compare a fresh bench-JSON run against a
+// checked-in baseline and fail (non-zero exit) when throughput regressed
+// beyond the tolerance. The gate watches the two rates that summarize
+// the system — rules/s for every engine point and MB/s for the
+// streaming points — and ignores absolute ns/op, which shifts with the
+// grid shape. Points are matched by name; a baseline point missing from
+// the current run is itself a failure (silent coverage loss reads as
+// "no regression" otherwise).
+
+func loadBenchFile(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc BenchFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Points) == 0 {
+		return nil, fmt.Errorf("%s: no bench points", path)
+	}
+	return &doc, nil
+}
+
+// compareBench checks current against baseline at the given relative
+// tolerance (0.15 = a point may be up to 15%% slower than the baseline
+// before the gate trips). Every checked metric is printed; the error
+// summarizes the failures.
+func compareBench(baselinePath, currentPath string, tolerance float64) error {
+	if tolerance < 0 || tolerance >= 1 {
+		return fmt.Errorf("-tolerance %v out of range [0, 1)", tolerance)
+	}
+	base, err := loadBenchFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	cur, err := loadBenchFile(currentPath)
+	if err != nil {
+		return err
+	}
+	if base.NumCPU != 0 && cur.NumCPU != 0 && base.NumCPU != cur.NumCPU {
+		fmt.Printf("note: baseline measured on %d CPUs, current on %d — the tolerance absorbs machine drift, not a hardware change\n",
+			base.NumCPU, cur.NumCPU)
+	}
+	curByName := make(map[string]BenchPoint, len(cur.Points))
+	for _, p := range cur.Points {
+		curByName[p.Name] = p
+	}
+
+	var failures []string
+	check := func(name, metric string, baseV, curV float64) {
+		floor := baseV * (1 - tolerance)
+		verdict := "ok"
+		if curV < floor {
+			verdict = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s %s: %.0f -> %.0f (floor %.0f)", name, metric, baseV, curV, floor))
+		}
+		fmt.Printf("%-32s %-10s %12.0f -> %12.0f  (%+5.1f%%)  %s\n",
+			name, metric, baseV, curV, 100*(curV-baseV)/baseV, verdict)
+	}
+	for _, bp := range base.Points {
+		cp, ok := curByName[bp.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from current run", bp.Name))
+			fmt.Printf("%-32s MISSING from current run\n", bp.Name)
+			continue
+		}
+		if bp.RulesPerSec > 0 {
+			check(bp.Name, "rules/s", bp.RulesPerSec, cp.RulesPerSec)
+		}
+		if bp.MBPerSec > 0 {
+			check(bp.Name, "MB/s", bp.MBPerSec, cp.MBPerSec)
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "regression:", f)
+		}
+		return fmt.Errorf("%d of %d baseline points regressed beyond %.0f%% tolerance", len(failures), len(base.Points), tolerance*100)
+	}
+	fmt.Printf("all %d baseline points within %.0f%% tolerance\n", len(base.Points), tolerance*100)
+	return nil
+}

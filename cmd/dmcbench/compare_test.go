@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBenchFile(t *testing.T, path string, doc BenchFile) {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func benchDoc(points ...BenchPoint) BenchFile {
+	return BenchFile{GoVersion: "go1.22", NumCPU: 4, Points: points}
+}
+
+func TestCompareBench(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	writeBenchFile(t, base, benchDoc(
+		BenchPoint{Name: "imp/default/serial", RulesPerSec: 1000},
+		BenchPoint{Name: "imp/default/stream-w2", RulesPerSec: 800, MBPerSec: 50},
+	))
+
+	cases := map[string]struct {
+		doc     BenchFile
+		tol     float64
+		wantErr bool
+	}{
+		"identical": {benchDoc(
+			BenchPoint{Name: "imp/default/serial", RulesPerSec: 1000},
+			BenchPoint{Name: "imp/default/stream-w2", RulesPerSec: 800, MBPerSec: 50},
+		), 0.15, false},
+		"within tolerance": {benchDoc(
+			BenchPoint{Name: "imp/default/serial", RulesPerSec: 900},
+			BenchPoint{Name: "imp/default/stream-w2", RulesPerSec: 700, MBPerSec: 44},
+		), 0.15, false},
+		"rules regressed": {benchDoc(
+			BenchPoint{Name: "imp/default/serial", RulesPerSec: 500},
+			BenchPoint{Name: "imp/default/stream-w2", RulesPerSec: 800, MBPerSec: 50},
+		), 0.15, true},
+		"mb regressed": {benchDoc(
+			BenchPoint{Name: "imp/default/serial", RulesPerSec: 1000},
+			BenchPoint{Name: "imp/default/stream-w2", RulesPerSec: 800, MBPerSec: 20},
+		), 0.15, true},
+		"missing point": {benchDoc(
+			BenchPoint{Name: "imp/default/serial", RulesPerSec: 1000},
+		), 0.15, true},
+		"faster is fine": {benchDoc(
+			BenchPoint{Name: "imp/default/serial", RulesPerSec: 5000},
+			BenchPoint{Name: "imp/default/stream-w2", RulesPerSec: 4000, MBPerSec: 300},
+		), 0.15, false},
+		"zero tolerance exact": {benchDoc(
+			BenchPoint{Name: "imp/default/serial", RulesPerSec: 1000},
+			BenchPoint{Name: "imp/default/stream-w2", RulesPerSec: 800, MBPerSec: 50},
+		), 0, false},
+	}
+	for name, tc := range cases {
+		cur := filepath.Join(dir, "cur.json")
+		writeBenchFile(t, cur, tc.doc)
+		err := compareBench(base, cur, tc.tol)
+		if tc.wantErr && err == nil {
+			t.Errorf("%s: gate did not trip", name)
+		}
+		if !tc.wantErr && err != nil {
+			t.Errorf("%s: gate tripped: %v", name, err)
+		}
+	}
+}
+
+func TestCompareBenchErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	writeBenchFile(t, good, benchDoc(BenchPoint{Name: "p", RulesPerSec: 1}))
+
+	if err := compareBench(filepath.Join(dir, "missing.json"), good, 0.15); err == nil {
+		t.Error("missing baseline accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := compareBench(bad, good, 0.15); err == nil {
+		t.Error("unparseable baseline accepted")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	writeBenchFile(t, empty, BenchFile{})
+	if err := compareBench(empty, good, 0.15); err == nil {
+		t.Error("empty baseline accepted")
+	}
+	if err := compareBench(good, good, 1.5); err == nil {
+		t.Error("out-of-range tolerance accepted")
+	}
+	if err := compareBench(good, good, -0.1); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+}
+
+// TestCompareAgainstCheckedInBaseline ensures the repo's BENCH_dmc.json
+// parses and self-compares cleanly — the shape the CI gate relies on.
+func TestCompareAgainstCheckedInBaseline(t *testing.T) {
+	baseline := filepath.Join("..", "..", "BENCH_dmc.json")
+	if _, err := os.Stat(baseline); err != nil {
+		t.Skipf("no checked-in baseline: %v", err)
+	}
+	if err := compareBench(baseline, baseline, 0.15); err != nil {
+		t.Fatalf("baseline does not self-compare: %v", err)
+	}
+}

@@ -31,6 +31,9 @@ func main() {
 		csv       = flag.String("csv", "", "also write each table as CSV into this directory")
 		benchJSON = flag.String("bench-json", "", "run the perf-trajectory grid and write machine-readable results to this path")
 		benchTime = flag.Duration("bench-time", time.Second, "minimum measuring time per bench-json point")
+		compare   = flag.String("compare", "", "baseline bench-JSON file: fail (exit 1) when the current run's rules/s or MB/s regress beyond -tolerance; pairs with -bench-json (fresh run) or -current (existing file)")
+		current   = flag.String("current", "", "with -compare: compare this existing bench-JSON file instead of running the grid")
+		tolerance = flag.Float64("tolerance", 0.15, "with -compare: allowed relative throughput loss before the gate trips")
 	)
 	flag.Parse()
 	if *benchJSON != "" {
@@ -38,6 +41,22 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dmcbench:", err)
 			os.Exit(1)
 		}
+	}
+	if *compare != "" {
+		cur := *current
+		if cur == "" {
+			cur = *benchJSON
+		}
+		if cur == "" {
+			fmt.Fprintln(os.Stderr, "dmcbench: -compare needs -bench-json (fresh run) or -current (existing file)")
+			os.Exit(1)
+		}
+		if err := compareBench(*compare, cur, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "dmcbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *benchJSON != "" || *compare != "" {
 		return
 	}
 	if err := run(*id, *list, *scale, *seed, *quick, *csv); err != nil {

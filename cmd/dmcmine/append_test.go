@@ -1,0 +1,148 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dmc/internal/matrix"
+	"dmc/internal/rules"
+)
+
+func basketsPath(t *testing.T, dir, text string) string {
+	t.Helper()
+	m, err := matrix.ReadBaskets(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "data.dmb")
+	if err := matrix.Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunAppendSnapshotParity: -append grows the on-disk matrix and the
+// incremental derivation (via -snapshot) writes the same rule file as a
+// plain full mine of the grown data.
+func TestRunAppendSnapshotParity(t *testing.T) {
+	dir := t.TempDir()
+	path := basketsPath(t, dir, "a b c\na b\na c\nb c\na b c\n")
+	appendFile := filepath.Join(dir, "more.txt")
+	if err := os.WriteFile(appendFile, []byte("a b d\nd c\na b c d\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(dir, "state.snap")
+	incOut := filepath.Join(dir, "inc.rules")
+
+	cfg := baseConfig(path)
+	cfg.appendFile = appendFile
+	cfg.snapshot = snap
+	cfg.out = incOut
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := matrix.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRows() != 8 {
+		t.Fatalf("grown matrix has %d rows, want 8", m.NumRows())
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+
+	fullOut := filepath.Join(dir, "full.rules")
+	cfg = baseConfig(path)
+	cfg.out = fullOut
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualRuleFiles(t, incOut, fullOut)
+
+	// A snapshot-only rerun resumes the saved state and still matches.
+	resumeOut := filepath.Join(dir, "resume.rules")
+	cfg = baseConfig(path)
+	cfg.snapshot = snap
+	cfg.out = resumeOut
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualRuleFiles(t, resumeOut, fullOut)
+
+	// Similarity mode rides the same snapshot.
+	cfg = baseConfig(path)
+	cfg.mode = "sim"
+	cfg.threshold = 50
+	cfg.snapshot = snap
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustEqualRuleFiles(t *testing.T, gotPath, wantPath string) {
+	t.Helper()
+	read := func(p string) []rules.Implication {
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		rs, err := rules.ReadImplications(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	if d := rules.DiffImplications(read(gotPath), read(wantPath)); d != "" {
+		t.Fatalf("rule files differ:\n%s", d)
+	}
+}
+
+func TestRunAppendErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := basketsPath(t, dir, "a b\nb c\n")
+	appendFile := filepath.Join(dir, "more.txt")
+	if err := os.WriteFile(appendFile, []byte("a c\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]runConfig{
+		"append with stream": func() runConfig {
+			c := baseConfig(path)
+			c.appendFile, c.stream = appendFile, true
+			return c
+		}(),
+		"append non-dmc": func() runConfig {
+			c := baseConfig(path)
+			c.appendFile, c.engine = appendFile, "apriori"
+			return c
+		}(),
+		"missing append file": func() runConfig {
+			c := baseConfig(path)
+			c.appendFile = filepath.Join(dir, "nope.txt")
+			return c
+		}(),
+		"empty append": func() runConfig {
+			empty := filepath.Join(dir, "empty.txt")
+			if err := os.WriteFile(empty, []byte("# nothing\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			c := baseConfig(path)
+			c.appendFile = empty
+			return c
+		}(),
+		"unwritable snapshot": func() runConfig {
+			c := baseConfig(path)
+			c.snapshot = filepath.Join(dir, "no", "such", "dir", "s.snap")
+			return c
+		}(),
+	}
+	for name, cfg := range cases {
+		if err := run(cfg); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}

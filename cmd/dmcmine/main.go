@@ -45,6 +45,8 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "with -stream: spill the density buckets here durably so an interrupted mine can -resume")
 		resume    = flag.Bool("resume", false, "with -stream -checkpoint-dir: reuse a committed checkpoint instead of re-partitioning")
 		memBudget = flag.Int("mem-budget", 0, "counter-memory budget in bytes for the dmc engine; on overflow the mine degrades to out-of-core streaming (0 = unbounded)")
+		appendF   = flag.String("append", "", "basket file whose transactions are appended to -in before mining; the grown matrix is saved back to -in (dmc engine, resident mode)")
+		snapshot  = flag.String("snapshot", "", "resumable counter-snapshot file: loaded when it matches the dataset (so only -append rows are counted and rules derive without a scan) and refreshed afterwards")
 	)
 	flag.Parse()
 	// SIGINT/SIGTERM cancel the mine promptly through the pipelines'
@@ -52,8 +54,13 @@ func main() {
 	// survives for -resume.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	cfg := runConfig{*in, *mode, *threshold, *engine, *order, *top, *stats, *streaming, *workers,
-		*clusters, *groups, *out, *minSup, *ckptDir, *resume, *memBudget, ctx}
+	cfg := runConfig{
+		in: *in, mode: *mode, threshold: *threshold, engine: *engine, order: *order,
+		top: *top, stats: *stats, stream: *streaming, workers: *workers,
+		clusters: *clusters, groups: *groups, out: *out, minSup: *minSup,
+		ckptDir: *ckptDir, resume: *resume, memBudget: *memBudget,
+		appendFile: *appendF, snapshot: *snapshot, ctx: ctx,
+	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dmcmine:", err)
 		os.Exit(1)
@@ -61,23 +68,25 @@ func main() {
 }
 
 type runConfig struct {
-	in        string
-	mode      string
-	threshold int
-	engine    string
-	order     string
-	top       int
-	stats     bool
-	stream    bool
-	workers   int
-	clusters  bool
-	groups    bool
-	out       string
-	minSup    int
-	ckptDir   string
-	resume    bool
-	memBudget int
-	ctx       context.Context
+	in         string
+	mode       string
+	threshold  int
+	engine     string
+	order      string
+	top        int
+	stats      bool
+	stream     bool
+	workers    int
+	clusters   bool
+	groups     bool
+	out        string
+	minSup     int
+	ckptDir    string
+	resume     bool
+	memBudget  int
+	appendFile string
+	snapshot   string
+	ctx        context.Context
 }
 
 func run(cfg runConfig) error {
@@ -93,6 +102,14 @@ func run(cfg runConfig) error {
 	if cfg.ckptDir != "" && !cfg.stream {
 		return fmt.Errorf("-checkpoint-dir requires -stream")
 	}
+	if cfg.appendFile != "" || cfg.snapshot != "" {
+		if cfg.stream {
+			return fmt.Errorf("-append and -snapshot need the resident path, not -stream")
+		}
+		if engine != "dmc" {
+			return fmt.Errorf("-append and -snapshot support only the dmc engine")
+		}
+	}
 	if cfg.stream {
 		if engine != "dmc" {
 			return fmt.Errorf("-stream supports only the dmc engine")
@@ -102,6 +119,12 @@ func run(cfg runConfig) error {
 	m, err := matrix.Load(in)
 	if err != nil {
 		return err
+	}
+	var inc *core.Incremental
+	if cfg.appendFile != "" || cfg.snapshot != "" {
+		if m, inc, err = applyIncremental(m, cfg); err != nil {
+			return err
+		}
 	}
 	fmt.Println(matrix.Describe(in, m))
 
@@ -126,6 +149,11 @@ func run(cfg runConfig) error {
 		var report string
 		switch engine {
 		case "dmc":
+			if inc != nil {
+				rs = inc.Implications(th, core.Options{MinSupport: cfg.minSup})
+				report = incStats(inc)
+				break
+			}
 			var st core.Stats
 			rs, st, err = mineImpResident(m, th, opts, cfg)
 			if err != nil {
@@ -170,6 +198,11 @@ func run(cfg runConfig) error {
 		var report string
 		switch engine {
 		case "dmc":
+			if inc != nil {
+				rs = inc.Similarities(th, core.Options{MinSupport: cfg.minSup})
+				report = incStats(inc)
+				break
+			}
 			var st core.Stats
 			rs, st, err = mineSimResident(m, th, opts, cfg)
 			if err != nil {
@@ -217,6 +250,71 @@ func run(cfg runConfig) error {
 		return fmt.Errorf("unknown -mode %q (want imp or sim)", mode)
 	}
 	return nil
+}
+
+// applyIncremental implements -append and -snapshot: resume the
+// counter snapshot when it matches the dataset (or pay the one-time
+// rebuild), fold in the appended rows, persist the grown matrix back to
+// -in, and refresh the snapshot. The returned state derives exact rule
+// sets for any threshold without another scan.
+func applyIncremental(m *matrix.Matrix, cfg runConfig) (*matrix.Matrix, *core.Incremental, error) {
+	var inc *core.Incremental
+	resumed := false
+	if cfg.snapshot != "" {
+		if f, err := os.Open(cfg.snapshot); err == nil {
+			if s, derr := core.DecodeIncremental(f); derr == nil && s.Rows() == m.NumRows() {
+				inc, resumed = s, true
+			}
+			f.Close()
+		}
+	}
+	if inc == nil {
+		inc = core.BuildIncremental(m)
+	}
+	if cfg.appendFile != "" {
+		f, err := os.Open(cfg.appendFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		grown, err := matrix.ExtendBaskets(m, f)
+		f.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		added := grown.NumRows() - m.NumRows()
+		if added == 0 {
+			return nil, nil, fmt.Errorf("%s holds no transactions to append", cfg.appendFile)
+		}
+		inc.AddMatrixRows(grown, m.NumRows())
+		if err := matrix.Save(cfg.in, grown); err != nil {
+			return nil, nil, err
+		}
+		verb := "rebuilt counters over"
+		if resumed {
+			verb = "resumed snapshot, counted only"
+		}
+		fmt.Printf("appended %d rows to %s (%s %d rows)\n", added, cfg.in, verb, added)
+		m = grown
+	}
+	if cfg.snapshot != "" {
+		f, err := os.Create(cfg.snapshot)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := inc.EncodeTo(f); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return m, inc, nil
+}
+
+func incStats(inc *core.Incremental) string {
+	return fmt.Sprintf("incremental derivation from %d pair counters (%d bytes), no scan",
+		inc.Pairs(), inc.CounterBytes())
 }
 
 // mineImpResident runs the in-memory dmc pipeline under the CLI's

@@ -25,8 +25,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"os"
@@ -35,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"dmc/internal/cache"
 	"dmc/internal/server"
 	"dmc/internal/store"
 )
@@ -54,6 +57,8 @@ func main() {
 		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 		streamMin  = flag.Int64("stream-min-bytes", 0, "serve matrix blobs/files at or above this size file-backed, streaming them from disk per request (0 loads everything into memory)")
 		memBudget  = flag.Int("mem-budget", 0, "counter-memory budget in bytes per resident mine; on overflow the mine degrades to out-of-core streaming (0 = unbounded)")
+		cacheDir   = flag.String("cache-dir", "", "mine-result cache directory: rule sets and append snapshots are cached by dataset content + mining parameters and journaled, so repeat mines — even across restarts — return without a scan (empty disables caching)")
+		cacheMax   = flag.Int64("cache-max-bytes", 0, "cache size bound; least-recently-used entries are evicted beyond it (0 = 256 MiB)")
 	)
 	flag.Parse()
 
@@ -76,14 +81,15 @@ func main() {
 		StreamMinBytes:     *streamMin,
 		MemBudgetBytes:     *memBudget,
 	}
-	s, ln, st, err := setup(cfg, *addr, *data, *dataDir)
+	s, ln, closer, err := setup(cfg, setupConfig{
+		addr: *addr, dataDir: *data, storeDir: *dataDir,
+		cacheDir: *cacheDir, cacheMaxBytes: *cacheMax,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmcserve:", err)
 		os.Exit(1)
 	}
-	if st != nil {
-		defer st.Close()
-	}
+	defer closer.Close()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -101,41 +107,75 @@ func main() {
 	logger.Info("dmcserve stopped")
 }
 
+// setupConfig collects dmcserve's filesystem and listener knobs.
+type setupConfig struct {
+	addr          string
+	dataDir       string // -data: matrix files loaded at startup
+	storeDir      string // -data-dir: durable dataset store
+	cacheDir      string // -cache-dir: journaled mine-result cache
+	cacheMaxBytes int64  // -cache-max-bytes (0 = cache default)
+}
+
+// closerFunc adapts a function to io.Closer for setup's cleanup value.
+type closerFunc func() error
+
+func (f closerFunc) Close() error { return f() }
+
 // setup builds the server and binds the listener; split from main for
 // testability. The readiness sequence matters: the server reports
 // not-ready until the store's journal replay and the catalog load have
 // both completed, so a replica never serves an empty catalog. The
-// returned store (nil without storeDir) must be closed by the caller.
-func setup(cfg server.Config, addr, dataDir, storeDir string) (*server.Server, net.Listener, *store.Store, error) {
+// returned closer (never nil) releases the store and cache and must be
+// called by the caller — closing the cache compacts its journal, though
+// a skipped close only costs replay work, never cached data
+// correctness.
+func setup(cfg server.Config, sc setupConfig) (*server.Server, net.Listener, io.Closer, error) {
 	var st *store.Store
-	if storeDir != "" {
+	var ca *cache.Cache
+	closer := closerFunc(func() error {
 		var err error
-		st, err = store.Open(storeDir, store.Options{})
+		if ca != nil {
+			err = errors.Join(err, ca.Close())
+		}
+		if st != nil {
+			err = errors.Join(err, st.Close())
+		}
+		return err
+	})
+	fail := func(err error) (*server.Server, net.Listener, io.Closer, error) {
+		closer.Close()
+		return nil, nil, nil, err
+	}
+	if sc.storeDir != "" {
+		var err error
+		st, err = store.Open(sc.storeDir, store.Options{})
 		if err != nil {
-			return nil, nil, nil, fmt.Errorf("opening dataset store: %w", err)
+			return fail(fmt.Errorf("opening dataset store: %w", err))
 		}
 		cfg.Store = st
 	}
+	if sc.cacheDir != "" {
+		var err error
+		ca, err = cache.Open(sc.cacheDir, cache.Options{MaxBytes: sc.cacheMaxBytes})
+		if err != nil {
+			return fail(fmt.Errorf("opening mine-result cache: %w", err))
+		}
+		cfg.Cache = ca
+	}
 	s := server.NewWith(cfg)
 	s.SetReady(false)
-	fail := func(err error) (*server.Server, net.Listener, *store.Store, error) {
-		if st != nil {
-			st.Close()
-		}
-		return nil, nil, nil, err
-	}
 	if err := s.LoadStore(); err != nil {
 		return fail(err)
 	}
-	if dataDir != "" {
-		if err := s.LoadDir(dataDir); err != nil {
+	if sc.dataDir != "" {
+		if err := s.LoadDir(sc.dataDir); err != nil {
 			return fail(err)
 		}
 	}
 	s.SetReady(true)
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", sc.addr)
 	if err != nil {
 		return fail(err)
 	}
-	return s, ln, st, nil
+	return s, ln, closer, nil
 }

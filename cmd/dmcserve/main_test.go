@@ -20,7 +20,7 @@ func TestSetupAndServe(t *testing.T) {
 	if err := matrix.Save(filepath.Join(dir, "tiny.dmb"), m); err != nil {
 		t.Fatal(err)
 	}
-	s, ln, _, err := setup(server.Config{EnablePprof: true}, "localhost:0", dir, "")
+	s, ln, _, err := setup(server.Config{EnablePprof: true}, setupConfig{addr: "localhost:0", dataDir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,10 +73,10 @@ func TestSetupAndServe(t *testing.T) {
 }
 
 func TestSetupErrors(t *testing.T) {
-	if _, _, _, err := setup(server.Config{}, "localhost:0", filepath.Join(t.TempDir(), "missing"), ""); err == nil {
+	if _, _, _, err := setup(server.Config{}, setupConfig{addr: "localhost:0", dataDir: filepath.Join(t.TempDir(), "missing")}); err == nil {
 		t.Error("missing data dir accepted")
 	}
-	if _, _, _, err := setup(server.Config{}, "256.0.0.1:99999", "", ""); err == nil {
+	if _, _, _, err := setup(server.Config{}, setupConfig{addr: "256.0.0.1:99999"}); err == nil {
 		t.Error("bad address accepted")
 	}
 }
@@ -89,7 +89,7 @@ func TestDataDirRecovery(t *testing.T) {
 	storeDir := filepath.Join(t.TempDir(), "dmcdata")
 
 	runServer := func() (base string, shutdown func()) {
-		s, ln, st, err := setup(server.Config{}, "localhost:0", "", storeDir)
+		s, ln, closer, err := setup(server.Config{}, setupConfig{addr: "localhost:0", storeDir: storeDir})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -106,7 +106,7 @@ func TestDataDirRecovery(t *testing.T) {
 			case <-time.After(5 * time.Second):
 				t.Fatal("Run did not stop")
 			}
-			st.Close()
+			closer.Close()
 		}
 	}
 

@@ -36,19 +36,19 @@ func TestSoakPutMineRestart(t *testing.T) {
 
 	// Baseline after a warm-up cycle, so lazily-started runtime helpers
 	// (http transports, test plumbing) don't read as leaks.
-	warm, _, wst, err := setup(server.Config{}, "localhost:0", "", storeDir)
+	warm, _, wcloser, err := setup(server.Config{}, setupConfig{addr: "localhost:0", storeDir: storeDir})
 	if err != nil {
 		t.Fatal(err)
 	}
 	_ = warm
-	wst.Close()
+	wcloser.Close()
 	runtime.GC()
 	baseGoroutines := runtime.NumGoroutine()
 	baseFDs := countFDs()
 
 	const cycles = 3
 	for cycle := 0; cycle < cycles; cycle++ {
-		s, ln, st, err := setup(server.Config{MaxConcurrentMines: 4, RequestTimeout: 5 * time.Second}, "localhost:0", "", storeDir)
+		s, ln, closer, err := setup(server.Config{MaxConcurrentMines: 4, RequestTimeout: 5 * time.Second}, setupConfig{addr: "localhost:0", storeDir: storeDir})
 		if err != nil {
 			t.Fatalf("cycle %d: %v", cycle, err)
 		}
@@ -98,11 +98,11 @@ func TestSoakPutMineRestart(t *testing.T) {
 		case <-time.After(10 * time.Second):
 			t.Fatalf("cycle %d: Run did not stop", cycle)
 		}
-		st.Close()
+		closer.Close()
 	}
 
 	// Every committed dataset survived all the restarts.
-	s, ln, st, err := setup(server.Config{}, "localhost:0", "", storeDir)
+	s, ln, closer, err := setup(server.Config{}, setupConfig{addr: "localhost:0", storeDir: storeDir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestSoakPutMineRestart(t *testing.T) {
 	}
 	cancel()
 	<-runErr
-	st.Close()
+	closer.Close()
 
 	// Leak checks. Idle HTTP keep-alive conns pin goroutines and fds;
 	// close them and give exiting goroutines a moment to unwind.

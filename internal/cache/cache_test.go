@@ -1,0 +1,336 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dmc/internal/obs"
+)
+
+func openT(t *testing.T, dir string, opts Options) *Cache {
+	t.Helper()
+	c, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return c
+}
+
+func TestKeyInjective(t *testing.T) {
+	// The length prefixes must keep shifted boundaries apart.
+	a := Key("ab", "c", "d")
+	b := Key("a", "bc", "d")
+	if a == b {
+		t.Fatalf("Key collision: %q", a)
+	}
+	if Key("h", "imp", "t=1/2") == Key("h", "imp", "t=1/3") {
+		t.Fatal("params ignored")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := openT(t, dir, Options{})
+	defer c.Close()
+
+	hits0 := obs.Default.Counter("dmc_cache_hits_total", "").Value()
+	misses0 := obs.Default.Counter("dmc_cache_misses_total", "").Value()
+
+	k := Key("sha256-abc", "imp", "t=1/2 ms=0")
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	payload := []byte("implications v1\n0 -> 1\n")
+	if err := c.Put(k, payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := c.Get(k)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want payload, true", got, ok)
+	}
+	if d := obs.Default.Counter("dmc_cache_hits_total", "").Value() - hits0; d != 1 {
+		t.Fatalf("hits delta = %d, want 1", d)
+	}
+	if d := obs.Default.Counter("dmc_cache_misses_total", "").Value() - misses0; d != 1 {
+		t.Fatalf("misses delta = %d, want 1", d)
+	}
+	// Replacing a key swaps the payload and keeps Len stable.
+	if err := c.Put(k, []byte("v2")); err != nil {
+		t.Fatalf("Put v2: %v", err)
+	}
+	if got, _ := c.Get(k); string(got) != "v2" {
+		t.Fatalf("after replace: %q", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	evict0 := obs.Default.Counter("dmc_cache_evictions_total", "").Value()
+	c := openT(t, dir, Options{MaxBytes: 100})
+	defer c.Close()
+
+	pay := bytes.Repeat([]byte("x"), 40)
+	for i := 0; i < 2; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i), pay); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	// Touch k0 so k1 is the LRU victim.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	if err := c.Put("k2", pay); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 survived eviction")
+	}
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 evicted out of LRU order")
+	}
+	if _, ok := c.Get("k2"); !ok {
+		t.Fatal("k2 missing")
+	}
+	if d := obs.Default.Counter("dmc_cache_evictions_total", "").Value() - evict0; d != 1 {
+		t.Fatalf("evictions delta = %d, want 1", d)
+	}
+	if c.Bytes() > 100 {
+		t.Fatalf("Bytes = %d, exceeds bound", c.Bytes())
+	}
+	// An oversized payload is declined, not an error, and evicts nothing.
+	if err := c.Put("huge", bytes.Repeat([]byte("y"), 200)); err != nil {
+		t.Fatalf("oversized Put: %v", err)
+	}
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("oversized payload was cached")
+	}
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("oversized Put evicted k0")
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	c := openT(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	c = openT(t, dir, Options{})
+	defer c.Close()
+	if c.Len() != 5 {
+		t.Fatalf("after reopen Len = %d, want 5", c.Len())
+	}
+	for i := 0; i < 5; i++ {
+		got, ok := c.Get(fmt.Sprintf("k%d", i))
+		if !ok || string(got) != fmt.Sprintf("payload-%d", i) {
+			t.Fatalf("k%d after reopen: %q, %v", i, got, ok)
+		}
+	}
+}
+
+// TestPersistenceWithoutClose reopens without the compacting Close —
+// the SIGKILL shape: the append-only journal alone must rebuild the
+// cache.
+func TestPersistenceWithoutClose(t *testing.T) {
+	dir := t.TempDir()
+	c := openT(t, dir, Options{})
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Simulate a kill: drop the handle without Close's compaction.
+	c.mu.Lock()
+	c.journal.Close()
+	c.journal = nil
+	c.closed = true
+	c.mu.Unlock()
+
+	c = openT(t, dir, Options{})
+	defer c.Close()
+	if got, ok := c.Get("k"); !ok || string(got) != "v" {
+		t.Fatalf("after kill: %q, %v", got, ok)
+	}
+}
+
+func TestLRUOrderSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	c := openT(t, dir, Options{MaxBytes: 100})
+	pay := bytes.Repeat([]byte("x"), 40)
+	c.Put("a", pay)
+	c.Put("b", pay)
+	c.Get("a") // a is now hottest
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	c = openT(t, dir, Options{MaxBytes: 100})
+	defer c.Close()
+	c.Put("c", pay) // must evict b, not a
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived; LRU order lost across reopen")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted; LRU order lost across reopen")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	dir := t.TempDir()
+	c := openT(t, dir, Options{})
+	defer c.Close()
+	c.Put("k", []byte("v"))
+	c.Remove("k")
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("Remove left the entry")
+	}
+	c.Remove("k") // idempotent
+}
+
+func TestTornJournalTruncates(t *testing.T) {
+	dir := t.TempDir()
+	c := openT(t, dir, Options{})
+	c.Put("k0", []byte("v0"))
+	c.Put("k1", []byte("v1"))
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Tear the tail mid-frame.
+	path := filepath.Join(dir, journalName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c = openT(t, dir, Options{})
+	defer c.Close()
+	if got, ok := c.Get("k0"); !ok || string(got) != "v0" {
+		t.Fatalf("k0 lost to tail tear: %q, %v", got, ok)
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 served from a torn record")
+	}
+}
+
+func TestGarbageJournalResets(t *testing.T) {
+	dir := t.TempDir()
+	c := openT(t, dir, Options{})
+	c.Put("k", []byte("v"))
+	c.Close()
+	path := filepath.Join(dir, journalName)
+	if err := os.WriteFile(path, []byte("not a journal at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unlike the store, garbage never fails the open: the cache resets.
+	c = openT(t, dir, Options{})
+	defer c.Close()
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after reset, want 0", c.Len())
+	}
+	// The orphaned object file was collected.
+	des, err := os.ReadDir(filepath.Join(dir, objDirName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(des) != 0 {
+		t.Fatalf("%d orphan objects left after reset", len(des))
+	}
+	// And the cache is usable again.
+	if err := c.Put("k", []byte("v2")); err != nil {
+		t.Fatalf("Put after reset: %v", err)
+	}
+	if got, ok := c.Get("k"); !ok || string(got) != "v2" {
+		t.Fatalf("Get after reset: %q, %v", got, ok)
+	}
+}
+
+func TestDamagedObjectIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c := openT(t, dir, Options{})
+	defer c.Close()
+	c.Put("k", []byte("v"))
+	// Corrupt the object payload behind the cache's back.
+	objs, err := os.ReadDir(filepath.Join(dir, objDirName))
+	if err != nil || len(objs) != 1 {
+		t.Fatalf("objects: %v, %v", objs, err)
+	}
+	obj := filepath.Join(dir, objDirName, objs[0].Name())
+	if err := os.WriteFile(obj, []byte("\x00\x00\x00\x00garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("damaged object served")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("damaged entry not dropped: Len = %d", c.Len())
+	}
+}
+
+func TestMissingObjectDroppedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	c := openT(t, dir, Options{})
+	c.Put("k0", []byte("v0"))
+	c.Put("k1", []byte("v1"))
+	c.Close()
+	// Lose k0's object file (crash between journal append and a later
+	// tear, or manual meddling).
+	os.Remove(filepath.Join(dir, objDirName, fileName("k0")))
+
+	c = openT(t, dir, Options{})
+	defer c.Close()
+	if _, ok := c.Get("k0"); ok {
+		t.Fatal("entry with missing object served")
+	}
+	if got, ok := c.Get("k1"); !ok || string(got) != "v1" {
+		t.Fatalf("k1: %q, %v", got, ok)
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	c := openT(t, dir, Options{CompactEvery: 4})
+	defer c.Close()
+	for i := 0; i < 40; i++ {
+		if err := c.Put("k", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	c.mu.Lock()
+	total := c.total
+	c.mu.Unlock()
+	if total > 8 {
+		t.Fatalf("journal holds %d records after churn; compaction not firing", total)
+	}
+	if got, ok := c.Get("k"); !ok || string(got) != "v39" {
+		t.Fatalf("after churn: %q, %v", got, ok)
+	}
+}
+
+func TestClosedCacheRefuses(t *testing.T) {
+	c := openT(t, t.TempDir(), Options{})
+	c.Put("k", []byte("v"))
+	c.Close()
+	if err := c.Put("k2", []byte("v")); err == nil {
+		t.Fatal("Put on closed cache succeeded")
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("Get on closed cache hit")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}

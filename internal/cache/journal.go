@@ -1,0 +1,120 @@
+package cache
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"dmc/internal/fault"
+)
+
+// The CACHE journal reuses the store's CRC-framed commit-log layout
+// (magic, then uint32 LE length | uint32 LE crc32c | JSON payload per
+// record) with one deliberate difference in replay policy: every kind
+// of damage — torn tail, bad magic, mid-file corruption, checksummed
+// garbage — truncates rather than fails. A cache holds nothing that
+// cannot be re-derived from the store, so "discard and rebuild" is
+// always the right repair, where the store's journal must refuse to
+// guess (store.ErrCorrupt).
+
+var journalMagic = []byte("DMCCCH01")
+
+// maxRecordBytes bounds one journal record; records are small (a key,
+// a file name, a size), so anything past this is damage.
+const maxRecordBytes = 1 << 20
+
+// record is one cache mutation. Op "put" upserts an entry; "del"
+// removes it. File names are relative to obj/.
+type record struct {
+	Op   string `json:"op"`
+	Key  string `json:"key"`
+	File string `json:"file,omitempty"`
+	Size int64  `json:"size,omitempty"`
+}
+
+// frameRecord encodes rec as one CRC-framed journal frame.
+func frameRecord(rec record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	copy(frame[8:], payload)
+	return frame, nil
+}
+
+// replayJournal reads the journal at path and folds its records in
+// order (last record per key wins; the fold order is the LRU order,
+// coldest first). dirty reports that the journal held anything other
+// than a clean magic-plus-valid-frames sequence, telling Open to
+// rewrite it. live preserves fold order. A missing file is an empty
+// journal. Never fails: damage truncates.
+func replayJournal(fs fault.FS, path string) (live []record, total int, dirty bool) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, 0, !os.IsNotExist(err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(fault.NewRetryReader(nil, f, fault.RetryPolicy{}))
+	if err != nil || len(data) == 0 {
+		return nil, 0, err != nil
+	}
+	if len(data) < len(journalMagic) || !bytes.Equal(data[:len(journalMagic)], journalMagic) {
+		return nil, 0, true
+	}
+	byKey := make(map[string]int) // key -> index in live, for order-preserving upsert
+	off := len(journalMagic)
+	for off < len(data) {
+		if len(data)-off < 8 {
+			return compactLive(live), total, true
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n == 0 || n > maxRecordBytes || len(data)-off-8 < n {
+			return compactLive(live), total, true
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return compactLive(live), total, true
+		}
+		var rec record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return compactLive(live), total, true
+		}
+		total++
+		switch rec.Op {
+		case "put":
+			if i, ok := byKey[rec.Key]; ok {
+				live[i].Op = "" // superseded; squeezed out below
+			}
+			byKey[rec.Key] = len(live)
+			live = append(live, rec)
+		case "del":
+			if i, ok := byKey[rec.Key]; ok {
+				live[i].Op = ""
+				delete(byKey, rec.Key)
+			}
+		default:
+			return compactLive(live), total, true
+		}
+		off += 8 + n
+	}
+	return compactLive(live), total, dirty
+}
+
+// compactLive squeezes superseded and deleted slots out of the fold,
+// preserving order.
+func compactLive(live []record) []record {
+	out := live[:0]
+	for _, rec := range live {
+		if rec.Op == "put" {
+			out = append(out, rec)
+		}
+	}
+	return out
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+
+	"dmc/internal/matrix"
+	"dmc/internal/rules"
+)
+
+// Incremental is the resumable miss-counting state behind append-only
+// dataset growth: per-column 1-counts plus one miss counter per
+// candidate pair, kept for every pair that ever co-occurred instead of
+// being deleted when it overflows its miss budget.
+//
+// Deletion is what makes plain DMC non-resumable. A candidate is
+// dropped the moment its misses exceed maxmis(c) = ⌊(1−θ)·ones(c)⌋ —
+// but appending rows grows ones(c), which grows the budget, and a pair
+// pruned against the old budget can qualify under the new one. The
+// information lost at deletion (the counter's final value) cannot be
+// reconstructed without rescanning, so the resumable form of DMC-base
+// runs with the deletion rule suspended: every pair that co-occurs at
+// least once keeps its counter. Stored as hits = |S_a ∩ S_b| (misses
+// for either orientation follow as ones − hits), one counter serves
+// both rule families and every threshold, so a single snapshot per
+// dataset answers all (threshold, minsupport, imp|sim) queries.
+//
+// The trade is memory: the state costs one 8-byte entry per
+// co-occurring pair (the counter-array model of Options), i.e. the
+// a-priori pair-counter bill that DMC's pruning avoids — paid here to
+// buy O(Δ·w²) appends and O(pairs) re-mines instead of O(n·w²) full
+// scans. Appending Δ rows touches only those rows; deriving a rule set
+// walks the counters once. Both are exact: the derived rules are
+// identical to a full DMC (or naive) re-mine of the grown matrix.
+//
+// An Incremental is not safe for concurrent mutation; concurrent
+// Implications/Similarities/EncodeTo calls on a state that is not being
+// appended to are safe.
+type Incremental struct {
+	cols  int
+	rows  int
+	ones  []int
+	pairs map[uint64]int32 // lo<<32|hi (lo < hi by id) -> |S_lo ∩ S_hi|
+}
+
+// NewIncremental returns empty state over cols columns; AddRow grows
+// the column space on demand, so 0 is a fine starting width.
+func NewIncremental(cols int) *Incremental {
+	if cols < 0 {
+		panic("core: negative column count")
+	}
+	return &Incremental{
+		cols:  cols,
+		ones:  make([]int, cols),
+		pairs: make(map[uint64]int32),
+	}
+}
+
+// BuildIncremental scans m once and returns its resumable state — the
+// cold-start cost an append-only workload pays exactly once per
+// dataset lineage.
+func BuildIncremental(m *matrix.Matrix) *Incremental {
+	inc := NewIncremental(m.NumCols())
+	for i := 0; i < m.NumRows(); i++ {
+		inc.AddRow(m.Row(i))
+	}
+	return inc
+}
+
+func pairKey(a, b matrix.Col) uint64 { return uint64(a)<<32 | uint64(b) }
+
+// Grow widens the column space to at least cols.
+func (inc *Incremental) Grow(cols int) {
+	if cols <= inc.cols {
+		return
+	}
+	grown := make([]int, cols)
+	copy(grown, inc.ones)
+	inc.ones = grown
+	inc.cols = cols
+}
+
+// AddRow folds one appended transaction into the state: w counter
+// bumps for the row's 1s plus w·(w−1)/2 pair-hit bumps. The row must
+// be strictly increasing (the matrix invariant); the column space
+// grows to fit it.
+func (inc *Incremental) AddRow(row []matrix.Col) {
+	for i, c := range row {
+		if i > 0 && row[i-1] >= c {
+			panic(fmt.Sprintf("core: incremental row not strictly increasing at index %d", i))
+		}
+		if int(c) >= inc.cols {
+			inc.Grow(int(c) + 1)
+		}
+		inc.ones[c]++
+	}
+	inc.rows++
+	for i, a := range row {
+		for _, b := range row[i+1:] {
+			inc.pairs[pairKey(a, b)]++
+		}
+	}
+}
+
+// AddMatrixRows folds rows [from, m.NumRows()) of m into the state —
+// the append entry point when the grown matrix is already materialized.
+func (inc *Incremental) AddMatrixRows(m *matrix.Matrix, from int) {
+	inc.Grow(m.NumCols())
+	for i := from; i < m.NumRows(); i++ {
+		inc.AddRow(m.Row(i))
+	}
+}
+
+// Rows returns the number of transactions folded in so far.
+func (inc *Incremental) Rows() int { return inc.rows }
+
+// Cols returns the current column-space width.
+func (inc *Incremental) Cols() int { return inc.cols }
+
+// Pairs returns the number of live pair counters.
+func (inc *Incremental) Pairs() int { return len(inc.pairs) }
+
+// CounterBytes reports the state's size in the paper's counter-array
+// model: one counting candidate (id + counter) per co-occurring pair.
+func (inc *Incremental) CounterBytes() int { return len(inc.pairs) * entryBytes }
+
+// Implications derives every implication rule meeting minconf from the
+// counters — no scan, O(pairs) work. Honors Options.MinSupport exactly
+// as the scanning pipelines do (columns below the support floor are
+// masked out of both rule sides); all other Options fields are scan
+// mechanics and do not apply. Rules come back in the canonical
+// (From, To) order of rules.SortImplications.
+func (inc *Incremental) Implications(minconf Threshold, opts Options) []rules.Implication {
+	minconf.check()
+	alive := opts.supportMask(inc.ones)
+	rk := ranker{inc.ones}
+	var out []rules.Implication
+	for k, h := range inc.pairs {
+		a, b := matrix.Col(k>>32), matrix.Col(k&0xffffffff)
+		if alive != nil && (!alive[a] || !alive[b]) {
+			continue
+		}
+		lo, hi := a, b
+		if !rk.less(lo, hi) {
+			lo, hi = hi, lo
+		}
+		if minconf.Meets(int(h), inc.ones[lo]) {
+			out = append(out, rules.Implication{From: lo, To: hi, Hits: int(h), Ones: inc.ones[lo]})
+		}
+	}
+	rules.SortImplications(out)
+	return out
+}
+
+// Similarities derives every similarity rule meeting minsim from the
+// counters; see Implications for the Options contract. Rules come back
+// canonicalized (A < B) in rules.SortSimilarities order.
+func (inc *Incremental) Similarities(minsim Threshold, opts Options) []rules.Similarity {
+	minsim.check()
+	alive := opts.supportMask(inc.ones)
+	var out []rules.Similarity
+	for k, h := range inc.pairs {
+		a, b := matrix.Col(k>>32), matrix.Col(k&0xffffffff)
+		if alive != nil && (!alive[a] || !alive[b]) {
+			continue
+		}
+		if minsim.MeetsSim(int(h), inc.ones[a], inc.ones[b]) {
+			out = append(out, rules.Similarity{A: a, B: b, Hits: int(h), OnesA: inc.ones[a], OnesB: inc.ones[b]})
+		}
+	}
+	rules.SortSimilarities(out)
+	return out
+}
+
+// Snapshot codec: a compact binary form for the cache layer —
+//
+//	8-byte magic "DMCINC01"
+//	uvarint cols | uvarint rows
+//	cols × uvarint ones
+//	uvarint npairs, then per pair (key-sorted): uvarint key delta,
+//	uvarint hits
+//	uint32 LE crc32c over everything after the magic
+//
+// Delta-coding the sorted keys keeps a snapshot near the journal-frame
+// sizes the store works with; the trailing CRC rejects torn or
+// truncated payloads at decode time instead of resuming from garbage.
+
+var incMagic = []byte("DMCINC01")
+
+// ErrIncSnapshot is wrapped by all snapshot decode failures.
+var ErrIncSnapshot = fmt.Errorf("core: bad incremental snapshot")
+
+// EncodeTo writes the state in the snapshot codec.
+func (inc *Incremental) EncodeTo(w io.Writer) error {
+	crc := crc32.New(crcTableInc)
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+	if _, err := w.Write(incMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := put(uint64(inc.cols)); err != nil {
+		return err
+	}
+	if err := put(uint64(inc.rows)); err != nil {
+		return err
+	}
+	for _, o := range inc.ones {
+		if err := put(uint64(o)); err != nil {
+			return err
+		}
+	}
+	if err := put(uint64(len(inc.pairs))); err != nil {
+		return err
+	}
+	keys := make([]uint64, 0, len(inc.pairs))
+	for k := range inc.pairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	prev := uint64(0)
+	for _, k := range keys {
+		if err := put(k - prev); err != nil {
+			return err
+		}
+		if err := put(uint64(inc.pairs[k])); err != nil {
+			return err
+		}
+		prev = k
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	_, err := w.Write(sum[:])
+	return err
+}
+
+var crcTableInc = crc32.MakeTable(crc32.Castagnoli)
+
+// DecodeIncremental reads a snapshot written by EncodeTo, verifying
+// the magic and the trailing CRC.
+func DecodeIncremental(r io.Reader) (*Incremental, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(incMagic)+4 || string(data[:len(incMagic)]) != string(incMagic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrIncSnapshot)
+	}
+	body := data[len(incMagic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, crcTableInc) != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrIncSnapshot)
+	}
+	br := &sliceReader{data: body}
+	get := func() (uint64, error) { return binary.ReadUvarint(br) }
+	cols64, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrIncSnapshot, err)
+	}
+	rows64, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrIncSnapshot, err)
+	}
+	// The CRC already vouches for integrity; the bounds below only keep
+	// a corrupted-but-checksummed (i.e. foreign) payload from forcing a
+	// huge allocation.
+	const maxCols = 1 << 31
+	if cols64 > maxCols {
+		return nil, fmt.Errorf("%w: column count %d", ErrIncSnapshot, cols64)
+	}
+	inc := NewIncremental(int(cols64))
+	inc.rows = int(rows64)
+	for c := range inc.ones {
+		o, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrIncSnapshot, err)
+		}
+		inc.ones[c] = int(o)
+	}
+	npairs, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrIncSnapshot, err)
+	}
+	if npairs > uint64(len(body)) { // ≥ 2 bytes per encoded pair
+		return nil, fmt.Errorf("%w: pair count %d", ErrIncSnapshot, npairs)
+	}
+	inc.pairs = make(map[uint64]int32, npairs)
+	key := uint64(0)
+	for i := uint64(0); i < npairs; i++ {
+		d, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrIncSnapshot, err)
+		}
+		h, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrIncSnapshot, err)
+		}
+		key += d
+		inc.pairs[key] = int32(h)
+	}
+	if br.off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrIncSnapshot, len(body)-br.off)
+	}
+	return inc, nil
+}
+
+// sliceReader is the minimal io.ByteReader binary.ReadUvarint needs.
+type sliceReader struct {
+	data []byte
+	off  int
+}
+
+func (r *sliceReader) ReadByte() (byte, error) {
+	if r.off >= len(r.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := r.data[r.off]
+	r.off++
+	return b, nil
+}

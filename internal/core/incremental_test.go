@@ -1,0 +1,283 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"dmc/internal/matrix"
+	"dmc/internal/rules"
+)
+
+// impText renders implications in the canonical wire format so parity
+// checks compare the exact bytes a cache or client would see.
+func impText(t *testing.T, imps []rules.Implication) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := rules.WriteImplications(&b, imps); err != nil {
+		t.Fatalf("WriteImplications: %v", err)
+	}
+	return b.String()
+}
+
+func simText(t *testing.T, sims []rules.Similarity) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := rules.WriteSimilarities(&b, sims); err != nil {
+		t.Fatalf("WriteSimilarities: %v", err)
+	}
+	return b.String()
+}
+
+// canonicalImps runs a full mine and returns the canonical text. The
+// scan engines already emit in SortImplications order.
+func canonicalImps(t *testing.T, m *matrix.Matrix, th Threshold, opts Options, workers int) string {
+	t.Helper()
+	var imps []rules.Implication
+	if workers <= 1 {
+		imps, _ = DMCImp(m, th, opts)
+	} else {
+		imps, _ = DMCImpParallel(m, th, opts, workers)
+	}
+	out := append([]rules.Implication(nil), imps...)
+	rules.SortImplications(out)
+	return impText(t, out)
+}
+
+// canonicalSims canonicalizes pair orientation too: the scan engines
+// emit A = rank-lower column, while the snapshot derivation emits
+// A < B by id. SortSimilarities normalizes both.
+func canonicalSims(t *testing.T, m *matrix.Matrix, th Threshold, opts Options, workers int) string {
+	t.Helper()
+	var sims []rules.Similarity
+	if workers <= 1 {
+		sims, _ = DMCSim(m, th, opts)
+	} else {
+		sims, _ = DMCSimParallel(m, th, opts, workers)
+	}
+	out := append([]rules.Similarity(nil), sims...)
+	rules.SortSimilarities(out)
+	return simText(t, out)
+}
+
+// prefixMatrix returns the first n rows of m as an independent matrix
+// over the same column space.
+func prefixMatrix(m *matrix.Matrix, n int) *matrix.Matrix {
+	rows := make([][]matrix.Col, n)
+	for i := 0; i < n; i++ {
+		rows[i] = m.Row(i)
+	}
+	return matrix.FromRows(m.NumCols(), rows)
+}
+
+func TestIncrementalEmpty(t *testing.T) {
+	inc := NewIncremental(0)
+	if got := inc.Implications(FromPercent(50), Options{}); len(got) != 0 {
+		t.Fatalf("empty state yielded %d implications", len(got))
+	}
+	if got := inc.Similarities(FromPercent(50), Options{}); len(got) != 0 {
+		t.Fatalf("empty state yielded %d similarities", len(got))
+	}
+	if inc.Rows() != 0 || inc.Cols() != 0 || inc.Pairs() != 0 {
+		t.Fatalf("empty state not empty: rows=%d cols=%d pairs=%d", inc.Rows(), inc.Cols(), inc.Pairs())
+	}
+}
+
+func TestIncrementalRejectsUnsortedRow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddRow accepted a non-increasing row")
+		}
+	}()
+	NewIncremental(4).AddRow([]matrix.Col{2, 1})
+}
+
+// TestIncrementalParityFull builds the state from whole random
+// matrices and checks rule-for-rule, byte-for-byte agreement with the
+// scanning engines and the naive reference across thresholds (including
+// 100%), minsupport settings, and worker counts {1, 2, 8}.
+func TestIncrementalParityFull(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		mx := randomMatrix(rng, 15+rng.Intn(60), 6+rng.Intn(16))
+		th := FromPercent(1 + rng.Intn(100))
+		opts := Options{MinSupport: rng.Intn(4)}
+		inc := BuildIncremental(mx)
+
+		gotImp := impText(t, inc.Implications(th, opts))
+		gotSim := simText(t, inc.Similarities(th, opts))
+		for _, workers := range []int{1, 2, 8} {
+			if want := canonicalImps(t, mx, th, opts, workers); gotImp != want {
+				t.Fatalf("seed %d workers %d: implication mismatch\nincremental:\n%s\nfull:\n%s",
+					seed, workers, gotImp, want)
+			}
+			if want := canonicalSims(t, mx, th, opts, workers); gotSim != want {
+				t.Fatalf("seed %d workers %d: similarity mismatch\nincremental:\n%s\nfull:\n%s",
+					seed, workers, gotSim, want)
+			}
+		}
+		if opts.MinSupport <= 1 {
+			naiveImp := append([]rules.Implication(nil), NaiveImplications(mx, th)...)
+			rules.SortImplications(naiveImp)
+			if want := impText(t, naiveImp); gotImp != want {
+				t.Fatalf("seed %d: implication mismatch vs naive\nincremental:\n%s\nnaive:\n%s",
+					seed, gotImp, want)
+			}
+			naiveSim := append([]rules.Similarity(nil), NaiveSimilarities(mx, th)...)
+			rules.SortSimilarities(naiveSim)
+			if want := simText(t, naiveSim); gotSim != want {
+				t.Fatalf("seed %d: similarity mismatch vs naive\nincremental:\n%s\nnaive:\n%s",
+					seed, gotSim, want)
+			}
+		}
+	}
+}
+
+// TestIncrementalParityAppend is the core append guarantee: building
+// from a prefix and folding in the remaining rows chunk by chunk (and
+// round-tripping the snapshot codec between chunks, as the cache layer
+// does) yields results byte-identical to a full re-mine of the grown
+// matrix at every step.
+func TestIncrementalParityAppend(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		mx := randomMatrix(rng, 30+rng.Intn(60), 6+rng.Intn(16))
+		th := FromPercent(1 + rng.Intn(100))
+		opts := Options{MinSupport: rng.Intn(3)}
+
+		base := 1 + rng.Intn(mx.NumRows()-2)
+		inc := BuildIncremental(prefixMatrix(mx, base))
+		for n := base; n < mx.NumRows(); {
+			next := n + 1 + rng.Intn(10)
+			if next > mx.NumRows() {
+				next = mx.NumRows()
+			}
+			for i := n; i < next; i++ {
+				inc.AddRow(mx.Row(i))
+			}
+			n = next
+
+			// Snapshot round-trip between chunks, like the cache does.
+			var buf bytes.Buffer
+			if err := inc.EncodeTo(&buf); err != nil {
+				t.Fatalf("seed %d: EncodeTo: %v", seed, err)
+			}
+			var err error
+			if inc, err = DecodeIncremental(&buf); err != nil {
+				t.Fatalf("seed %d: DecodeIncremental: %v", seed, err)
+			}
+
+			grown := prefixMatrix(mx, n)
+			if inc.Rows() != n {
+				t.Fatalf("seed %d: rows = %d, want %d", seed, inc.Rows(), n)
+			}
+			gotImp := impText(t, inc.Implications(th, opts))
+			gotSim := simText(t, inc.Similarities(th, opts))
+			for _, workers := range []int{1, 2, 8} {
+				if want := canonicalImps(t, grown, th, opts, workers); gotImp != want {
+					t.Fatalf("seed %d rows %d workers %d: implication mismatch\nincremental:\n%s\nfull:\n%s",
+						seed, n, workers, gotImp, want)
+				}
+				if want := canonicalSims(t, grown, th, opts, workers); gotSim != want {
+					t.Fatalf("seed %d rows %d workers %d: similarity mismatch\nincremental:\n%s\nfull:\n%s",
+						seed, n, workers, gotSim, want)
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalColumnGrowth appends rows introducing columns the base
+// matrix never saw — the labeled-dataset append case where new tokens
+// mint new ids.
+func TestIncrementalColumnGrowth(t *testing.T) {
+	base := matrix.FromRows(3, [][]matrix.Col{{0, 1}, {0, 1, 2}, {1, 2}})
+	inc := BuildIncremental(base)
+	inc.AddRow([]matrix.Col{0, 3, 5})
+	inc.AddRow([]matrix.Col{3, 5})
+	if inc.Cols() != 6 {
+		t.Fatalf("cols = %d, want 6", inc.Cols())
+	}
+	grown := matrix.FromRows(6, [][]matrix.Col{
+		{0, 1}, {0, 1, 2}, {1, 2}, {0, 3, 5}, {3, 5},
+	})
+	for _, pct := range []int{40, 75, 100} {
+		th := FromPercent(pct)
+		if got, want := impText(t, inc.Implications(th, Options{})), canonicalImps(t, grown, th, Options{}, 1); got != want {
+			t.Fatalf("pct %d: implication mismatch\nincremental:\n%s\nfull:\n%s", pct, got, want)
+		}
+		if got, want := simText(t, inc.Similarities(th, Options{})), canonicalSims(t, grown, th, Options{}, 1); got != want {
+			t.Fatalf("pct %d: similarity mismatch\nincremental:\n%s\nfull:\n%s", pct, got, want)
+		}
+	}
+}
+
+func TestIncrementalCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mx := randomMatrix(rng, 80, 20)
+	inc := BuildIncremental(mx)
+	var buf bytes.Buffer
+	if err := inc.EncodeTo(&buf); err != nil {
+		t.Fatalf("EncodeTo: %v", err)
+	}
+	dec, err := DecodeIncremental(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("DecodeIncremental: %v", err)
+	}
+	if dec.Rows() != inc.Rows() || dec.Cols() != inc.Cols() || dec.Pairs() != inc.Pairs() {
+		t.Fatalf("round trip changed shape: got (%d,%d,%d) want (%d,%d,%d)",
+			dec.Rows(), dec.Cols(), dec.Pairs(), inc.Rows(), inc.Cols(), inc.Pairs())
+	}
+	th := FromPercent(60)
+	if got, want := impText(t, dec.Implications(th, Options{})), impText(t, inc.Implications(th, Options{})); got != want {
+		t.Fatalf("round trip changed implications:\n%s\nvs\n%s", got, want)
+	}
+	// Empty state round-trips too.
+	buf.Reset()
+	if err := NewIncremental(0).EncodeTo(&buf); err != nil {
+		t.Fatalf("EncodeTo(empty): %v", err)
+	}
+	if dec, err = DecodeIncremental(&buf); err != nil {
+		t.Fatalf("DecodeIncremental(empty): %v", err)
+	}
+	if dec.Rows() != 0 || dec.Cols() != 0 || dec.Pairs() != 0 {
+		t.Fatalf("empty round trip not empty: (%d,%d,%d)", dec.Rows(), dec.Cols(), dec.Pairs())
+	}
+}
+
+// TestIncrementalDecodeRejectsDamage flips/truncates bytes and checks
+// the codec refuses to resume from a damaged snapshot.
+func TestIncrementalDecodeRejectsDamage(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	inc := BuildIncremental(randomMatrix(rng, 40, 12))
+	var buf bytes.Buffer
+	if err := inc.EncodeTo(&buf); err != nil {
+		t.Fatalf("EncodeTo: %v", err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":      {},
+		"bad magic":  append([]byte("DMCINC99"), good[8:]...),
+		"truncated":  good[:len(good)-5],
+		"short":      good[:6],
+		"extra byte": append(append([]byte(nil), good...), 0x00),
+	}
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/2] ^= 0x40
+	cases["bit flip"] = flipped
+
+	for name, data := range cases {
+		if _, err := DecodeIncremental(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: decode succeeded on damaged snapshot", name)
+		}
+	}
+}
+
+func TestIncrementalCounterBytes(t *testing.T) {
+	inc := NewIncremental(4)
+	inc.AddRow([]matrix.Col{0, 1, 2})
+	if got, want := inc.CounterBytes(), 3*entryBytes; got != want {
+		t.Fatalf("CounterBytes = %d, want %d", got, want)
+	}
+}

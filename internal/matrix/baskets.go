@@ -53,6 +53,99 @@ func ReadBaskets(r io.Reader) (*Matrix, error) {
 	return m, nil
 }
 
+// ExtendBaskets parses basket lines from r and returns a new matrix of
+// m's rows followed by the parsed rows — the append-only growth path.
+// For a labeled matrix, tokens map through the existing labels and
+// unseen tokens mint new columns past the current width, so old column
+// ids (and every rule ever mined from them) stay stable. For an
+// unlabeled matrix the tokens must be non-negative integer column ids,
+// mirroring the text format's convention. m itself is not modified; the
+// result shares m's row storage.
+func ExtendBaskets(m *Matrix, r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	labeled := m.Labels() != nil
+	var ids map[string]Col
+	var labels []string
+	if labeled {
+		labels = append([]string(nil), m.Labels()...)
+		ids = make(map[string]Col, len(labels))
+		for i, l := range labels {
+			ids[l] = Col(i)
+		}
+	}
+	cols := m.NumCols()
+	b := NewBuilder(cols)
+	var row []Col
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		row = row[:0]
+		for _, tok := range strings.Fields(line) {
+			var id Col
+			if labeled {
+				seen := false
+				if id, seen = ids[tok]; !seen {
+					id = Col(len(labels))
+					ids[tok] = id
+					labels = append(labels, tok)
+				}
+			} else {
+				n, err := parseCol(tok)
+				if err != nil {
+					return nil, fmt.Errorf("matrix: appending to an unlabeled dataset: %w", err)
+				}
+				id = n
+			}
+			row = append(row, id)
+		}
+		b.AddRow(row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	appended := b.Build()
+	if appended.NumCols() > cols {
+		cols = appended.NumCols()
+	}
+	if labeled && len(labels) > cols {
+		cols = len(labels)
+	}
+	rows := make([][]Col, 0, m.NumRows()+appended.NumRows())
+	rows = append(rows, m.rows...)
+	rows = append(rows, appended.rows...)
+	out := FromRows(cols, rows)
+	if labeled {
+		// Every minted id came from a label, so the two always agree;
+		// padding covers an unlabeled-width quirk defensively.
+		for len(labels) < cols {
+			labels = append(labels, fmt.Sprintf("c%d", len(labels)))
+		}
+		out.SetLabels(labels)
+	}
+	return out, nil
+}
+
+// parseCol parses a decimal column id token.
+func parseCol(tok string) (Col, error) {
+	var n uint64
+	if len(tok) == 0 {
+		return 0, fmt.Errorf("empty item token")
+	}
+	for _, c := range []byte(tok) {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("item %q is not a column id", tok)
+		}
+		n = n*10 + uint64(c-'0')
+		if n > 1<<31 {
+			return 0, fmt.Errorf("column id %q out of range", tok)
+		}
+	}
+	return Col(n), nil
+}
+
 // WriteBaskets writes m in the basket format. The matrix must have
 // labels, none of which may contain whitespace or start with '#'.
 func WriteBaskets(w io.Writer, m *Matrix) error {

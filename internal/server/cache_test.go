@@ -1,0 +1,496 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dmc/internal/cache"
+	"dmc/internal/obs"
+	"dmc/internal/store"
+)
+
+func openTestCache(t *testing.T, dir string) *cache.Cache {
+	t.Helper()
+	c, err := cache.Open(dir, cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func doReq(t *testing.T, method, url, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func doAppend(t *testing.T, base, name, body string) *http.Response {
+	t.Helper()
+	return doReq(t, http.MethodPost, base+"/v1/datasets/"+url.PathEscape(name)+"/rows", body)
+}
+
+func cacheHits() int64 { return obs.Default.Counter("dmc_cache_hits_total", "").Value() }
+
+// cachedTestServer is a store+cache server over fresh temp dirs.
+func cachedTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	st := openTestStore(t, t.TempDir(), store.Options{})
+	c := openTestCache(t, t.TempDir())
+	s := NewWith(Config{Store: st, Cache: c})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+const basketBody = "bread butter jam\nbread butter\nbread butter coffee\nbread butter jam\nbread coffee\ncoffee tea\nbread butter tea\njam bread butter\ncoffee\nbread butter jam coffee\n"
+
+// TestRepeatMineServedFromCache is the tentpole acceptance check: the
+// second identical mine comes back source=cache with the hit counter
+// incremented and the rule set byte-identical.
+func TestRepeatMineServedFromCache(t *testing.T) {
+	_, ts := cachedTestServer(t)
+	if resp := doPut(t, ts.URL, "baskets", basketBody); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT: %d", resp.StatusCode)
+	}
+	var cold MineResponse[ImplicationWire]
+	getJSON(t, ts.URL+"/v1/datasets/baskets/implications?threshold=80", http.StatusOK, &cold)
+	if cold.Source != "" {
+		t.Fatalf("cold mine source = %q, want \"\"", cold.Source)
+	}
+	if cold.Total == 0 {
+		t.Fatal("cold mine found no rules")
+	}
+
+	hits0 := cacheHits()
+	var warm MineResponse[ImplicationWire]
+	getJSON(t, ts.URL+"/v1/datasets/baskets/implications?threshold=80", http.StatusOK, &warm)
+	if warm.Source != "cache" {
+		t.Fatalf("repeat mine source = %q, want cache", warm.Source)
+	}
+	if cacheHits()-hits0 < 1 {
+		t.Fatal("dmc_cache_hits_total not incremented by a repeat mine")
+	}
+	if warm.Total != cold.Total || len(warm.Rules) != len(cold.Rules) {
+		t.Fatalf("cached mine differs: %d/%d rules vs %d/%d", warm.Total, len(warm.Rules), cold.Total, len(cold.Rules))
+	}
+	for i := range warm.Rules {
+		if warm.Rules[i] != cold.Rules[i] {
+			t.Fatalf("cached rule %d differs: %+v vs %+v", i, warm.Rules[i], cold.Rules[i])
+		}
+	}
+
+	// Different params are a different key: no stale crossover.
+	var other MineResponse[ImplicationWire]
+	getJSON(t, ts.URL+"/v1/datasets/baskets/implications?threshold=95", http.StatusOK, &other)
+	if other.Source == "cache" {
+		t.Fatal("different threshold served from the 80% cache entry")
+	}
+	// But workers and limit do not change the rule set, so they share
+	// the entry.
+	var lim MineResponse[ImplicationWire]
+	getJSON(t, ts.URL+"/v1/datasets/baskets/implications?threshold=80&limit=1&workers=2", http.StatusOK, &lim)
+	if lim.Source != "cache" || len(lim.Rules) != 1 || !lim.Truncated {
+		t.Fatalf("limit over cached entry: %+v", lim)
+	}
+}
+
+func TestRepeatSimMineServedFromCache(t *testing.T) {
+	_, ts := cachedTestServer(t)
+	doPut(t, ts.URL, "baskets", basketBody)
+	var cold, warm MineResponse[SimilarityWire]
+	getJSON(t, ts.URL+"/v1/datasets/baskets/similarities?threshold=60", http.StatusOK, &cold)
+	getJSON(t, ts.URL+"/v1/datasets/baskets/similarities?threshold=60", http.StatusOK, &warm)
+	if warm.Source != "cache" {
+		t.Fatalf("repeat sim source = %q", warm.Source)
+	}
+	if fmt.Sprint(warm.Rules) != fmt.Sprint(cold.Rules) {
+		t.Fatalf("cached sim rules differ:\n%v\n%v", warm.Rules, cold.Rules)
+	}
+}
+
+// TestCacheSurvivesRestart: a repeat mine after a full restart (new
+// store, new cache over the same dirs, LoadStore) is still served from
+// cache — journaled persistence end to end.
+func TestCacheSurvivesRestart(t *testing.T) {
+	storeDir, cacheDir := t.TempDir(), t.TempDir()
+	st := openTestStore(t, storeDir, store.Options{})
+	c := openTestCache(t, cacheDir)
+	s := NewWith(Config{Store: st, Cache: c})
+	ts := httptest.NewServer(s.Handler())
+	doPut(t, ts.URL, "baskets", basketBody)
+	var cold MineResponse[ImplicationWire]
+	getJSON(t, ts.URL+"/v1/datasets/baskets/implications?threshold=80", http.StatusOK, &cold)
+	ts.Close()
+	st.Close()
+	c.Close()
+
+	st2 := openTestStore(t, storeDir, store.Options{})
+	c2 := openTestCache(t, cacheDir)
+	s2 := NewWith(Config{Store: st2, Cache: c2})
+	if err := s2.LoadStore(); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+	var warm MineResponse[ImplicationWire]
+	getJSON(t, ts2.URL+"/v1/datasets/baskets/implications?threshold=80", http.StatusOK, &warm)
+	if warm.Source != "cache" {
+		t.Fatalf("post-restart mine source = %q, want cache", warm.Source)
+	}
+	if fmt.Sprint(warm.Rules) != fmt.Sprint(cold.Rules) {
+		t.Fatalf("post-restart cached rules differ")
+	}
+}
+
+// TestPutOverwriteNeverServesStale: overwriting a dataset with
+// different content must mine the new content, even though the old
+// (dataset, params) pair is sitting in the cache.
+func TestPutOverwriteNeverServesStale(t *testing.T) {
+	_, ts := cachedTestServer(t)
+	doPut(t, ts.URL, "d", "a b\na b\na b\n")
+	var v1 MineResponse[ImplicationWire]
+	getJSON(t, ts.URL+"/v1/datasets/d/implications?threshold=80", http.StatusOK, &v1)
+	getJSON(t, ts.URL+"/v1/datasets/d/implications?threshold=80", http.StatusOK, &v1)
+	if v1.Source != "cache" {
+		t.Fatalf("priming mine source = %q", v1.Source)
+	}
+
+	// Overwrite with disjoint content under the same name and params.
+	doPut(t, ts.URL, "d", "x y\nx z\ny z\n")
+	var v2 MineResponse[ImplicationWire]
+	getJSON(t, ts.URL+"/v1/datasets/d/implications?threshold=80", http.StatusOK, &v2)
+	if v2.Source == "cache" {
+		t.Fatal("overwritten dataset served from the old cache entry")
+	}
+	for _, r := range v2.Rules {
+		if r.From == "a" || r.From == "b" || r.To == "a" || r.To == "b" {
+			t.Fatalf("stale rule from the old content: %+v", r)
+		}
+	}
+	// And re-uploading the original content gets the original cache
+	// entry back — content addressing, not name addressing.
+	doPut(t, ts.URL, "d", "a b\na b\na b\n")
+	var v3 MineResponse[ImplicationWire]
+	getJSON(t, ts.URL+"/v1/datasets/d/implications?threshold=80", http.StatusOK, &v3)
+	if v3.Source != "cache" {
+		t.Fatalf("re-uploaded original content not served from cache (source %q)", v3.Source)
+	}
+}
+
+// TestDeleteEndpoint: DELETE removes the dataset from serving and the
+// store; re-uploading different content under the same name mines
+// fresh.
+func TestDeleteEndpoint(t *testing.T) {
+	s, ts := cachedTestServer(t)
+	doPut(t, ts.URL, "d", "a b\na b\n")
+	var mr MineResponse[ImplicationWire]
+	getJSON(t, ts.URL+"/v1/datasets/d/implications?threshold=80", http.StatusOK, &mr)
+
+	if resp := doReq(t, http.MethodDelete, ts.URL+"/v1/datasets/d", ""); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE: %d, want 204", resp.StatusCode)
+	}
+	getJSON(t, ts.URL+"/v1/datasets/d", http.StatusNotFound, nil)
+	getJSON(t, ts.URL+"/v1/datasets/d/implications?threshold=80", http.StatusNotFound, nil)
+	if _, ok := s.st.Get("d"); ok {
+		t.Fatal("DELETE left the dataset in the store")
+	}
+	if resp := doReq(t, http.MethodDelete, ts.URL+"/v1/datasets/d", ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double DELETE: %d, want 404", resp.StatusCode)
+	}
+
+	// Same name, different content: must not resurrect old rules.
+	doPut(t, ts.URL, "d", "p q\np q\n")
+	var fresh MineResponse[ImplicationWire]
+	getJSON(t, ts.URL+"/v1/datasets/d/implications?threshold=80", http.StatusOK, &fresh)
+	for _, r := range fresh.Rules {
+		if r.From == "a" || r.To == "a" {
+			t.Fatalf("deleted dataset's rule resurrected: %+v", r)
+		}
+	}
+}
+
+// TestAppendIncrementalParity: POST rows grows the dataset; the next
+// mine derives from the resumed snapshot (source=incremental) and must
+// equal a from-scratch mine of the same grown content on a cacheless
+// server.
+func TestAppendIncrementalParity(t *testing.T) {
+	_, ts := cachedTestServer(t)
+	doPut(t, ts.URL, "d", basketBody)
+	// Prime the snapshot path: the first mine caches rules; the append
+	// handler will build the snapshot from the resident matrix since no
+	// snapshot exists yet for the original content.
+	var cold MineResponse[ImplicationWire]
+	getJSON(t, ts.URL+"/v1/datasets/d/implications?threshold=80", http.StatusOK, &cold)
+
+	appendBody := "bread butter jam\nbread tea\nscone butter\nscone jam butter\n"
+	resp := doAppend(t, ts.URL, "d", appendBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST rows: %d, want 200", resp.StatusCode)
+	}
+	var inf DatasetInfo
+	getJSON(t, ts.URL+"/v1/datasets/d", http.StatusOK, &inf)
+	if inf.Rows != 14 {
+		t.Fatalf("rows after append = %d, want 14", inf.Rows)
+	}
+
+	inc0 := obs.Default.CounterVec("dmc_incremental_mines_total", "", "pipeline").With("imp").Value()
+	var grown MineResponse[ImplicationWire]
+	getJSON(t, ts.URL+"/v1/datasets/d/implications?threshold=80", http.StatusOK, &grown)
+	if grown.Source != "incremental" {
+		t.Fatalf("post-append mine source = %q, want incremental", grown.Source)
+	}
+	if d := obs.Default.CounterVec("dmc_incremental_mines_total", "", "pipeline").With("imp").Value() - inc0; d != 1 {
+		t.Fatalf("dmc_incremental_mines_total delta = %d, want 1", d)
+	}
+	// And the repeat comes from cache.
+	var again MineResponse[ImplicationWire]
+	getJSON(t, ts.URL+"/v1/datasets/d/implications?threshold=80", http.StatusOK, &again)
+	if again.Source != "cache" {
+		t.Fatalf("repeat post-append mine source = %q, want cache", again.Source)
+	}
+
+	// Parity: a cacheless server mining the same grown content from
+	// scratch must produce the identical rule set.
+	ref := New()
+	ref.Add("d", mustParseBaskets(t, basketBody+appendBody))
+	tsRef := httptest.NewServer(ref.Handler())
+	t.Cleanup(tsRef.Close)
+	var want MineResponse[ImplicationWire]
+	getJSON(t, tsRef.URL+"/v1/datasets/d/implications?threshold=80", http.StatusOK, &want)
+	if grown.Total != want.Total {
+		t.Fatalf("incremental mine: %d rules, full re-mine: %d", grown.Total, want.Total)
+	}
+	rulesOf := func(rs []ImplicationWire) map[string]ImplicationWire {
+		out := make(map[string]ImplicationWire, len(rs))
+		for _, r := range rs {
+			out[r.From+"=>"+r.To] = r
+		}
+		return out
+	}
+	g, w := rulesOf(grown.Rules), rulesOf(want.Rules)
+	for k, wr := range w {
+		if gr, ok := g[k]; !ok || gr != wr {
+			t.Fatalf("rule %s: incremental %+v, full %+v", k, g[k], wr)
+		}
+	}
+
+	// Similarities ride the same snapshot.
+	var gs MineResponse[SimilarityWire]
+	getJSON(t, ts.URL+"/v1/datasets/d/similarities?threshold=60", http.StatusOK, &gs)
+	if gs.Source != "incremental" {
+		t.Fatalf("post-append sim source = %q, want incremental", gs.Source)
+	}
+	var ws MineResponse[SimilarityWire]
+	getJSON(t, tsRef.URL+"/v1/datasets/d/similarities?threshold=60", http.StatusOK, &ws)
+	if fmt.Sprint(gs.Rules) != fmt.Sprint(ws.Rules) {
+		t.Fatalf("sim parity:\nincremental %v\nfull        %v", gs.Rules, ws.Rules)
+	}
+}
+
+// TestAppendChainResumesSnapshot: the second append resumes the
+// snapshot the first one cached (incremental=true on the wire) instead
+// of rebuilding from scratch.
+func TestAppendChainResumesSnapshot(t *testing.T) {
+	_, ts := cachedTestServer(t)
+	doPut(t, ts.URL, "d", "a b\na b\n")
+	r1 := doAppendJSON(t, ts.URL, "d", "a c\n")
+	if r1.Incremental {
+		t.Fatal("first append claims a resumed snapshot; none existed")
+	}
+	r2 := doAppendJSON(t, ts.URL, "d", "b c\na b c\n")
+	if !r2.Incremental {
+		t.Fatal("second append rebuilt instead of resuming the snapshot")
+	}
+	if r2.Rows != 5 || r2.Appended != 2 {
+		t.Fatalf("append response = %+v", r2)
+	}
+}
+
+// doAppendJSON posts basket lines and decodes the AppendResponse.
+func doAppendJSON(t *testing.T, base, name, body string) AppendResponse {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/datasets/"+url.PathEscape(name)+"/rows", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST rows: %d, want 200", resp.StatusCode)
+	}
+	var v AppendResponse
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestAppendValidation: appends to unknown, file-backed, or empty
+// bodies fail cleanly.
+func TestAppendValidation(t *testing.T) {
+	st := openTestStore(t, t.TempDir(), store.Options{})
+	c := openTestCache(t, t.TempDir())
+	s := NewWith(Config{Store: st, Cache: c, StreamMinBytes: 1}) // everything streams
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	if resp := doAppend(t, ts.URL, "nope", "a b\n"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("append to unknown dataset: %d, want 404", resp.StatusCode)
+	}
+	doPut(t, ts.URL, "streamed", "a b\na b\n")
+	if resp := doAppend(t, ts.URL, "streamed", "a b\n"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("append to file-backed dataset: %d, want 400", resp.StatusCode)
+	}
+
+	s2, ts2 := cachedTestServer(t)
+	_ = s2
+	doPut(t, ts2.URL, "d", "a b\n")
+	if resp := doAppend(t, ts2.URL, "d", "# only a comment\n"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty append: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestAppendDurable: appended rows survive a restart — the grown blob
+// was committed before the append was acknowledged.
+func TestAppendDurable(t *testing.T) {
+	storeDir, cacheDir := t.TempDir(), t.TempDir()
+	st := openTestStore(t, storeDir, store.Options{})
+	c := openTestCache(t, cacheDir)
+	s := NewWith(Config{Store: st, Cache: c})
+	ts := httptest.NewServer(s.Handler())
+	doPut(t, ts.URL, "d", "a b\na b\n")
+	if resp := doAppend(t, ts.URL, "d", "a b c\nc b\n"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("append: %d", resp.StatusCode)
+	}
+	ts.Close()
+	st.Close()
+	c.Close()
+
+	st2 := openTestStore(t, storeDir, store.Options{})
+	s2 := NewWith(Config{Store: st2})
+	if err := s2.LoadStore(); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+	var inf DatasetInfo
+	getJSON(t, ts2.URL+"/v1/datasets/d", http.StatusOK, &inf)
+	if inf.Rows != 4 {
+		t.Fatalf("recovered rows = %d, want 4", inf.Rows)
+	}
+}
+
+// TestStoreRollbackNeverServesStaleRules: if a crash rolls the store
+// back to an older version of a dataset (the newer PUT's commit was
+// lost) while the cache — a separate directory, possibly on separate
+// storage — still holds the newer content's rule sets, recovery must
+// serve the OLD content's rules. Content addressing makes this
+// structural: the recovered dataset re-keys every lookup to the old
+// hash.
+func TestStoreRollbackNeverServesStaleRules(t *testing.T) {
+	storeDir, cacheDir := t.TempDir(), t.TempDir()
+	backup := t.TempDir()
+
+	open := func() (*store.Store, *cache.Cache, *httptest.Server) {
+		st := openTestStore(t, storeDir, store.Options{})
+		c := openTestCache(t, cacheDir)
+		s := NewWith(Config{Store: st, Cache: c})
+		if err := s.LoadStore(); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		return st, c, ts
+	}
+	st, c, ts := open()
+	doPut(t, ts.URL, "d", "a b\na b\na b\n")
+	var v1 MineResponse[ImplicationWire]
+	getJSON(t, ts.URL+"/v1/datasets/d/implications?threshold=80", http.StatusOK, &v1)
+	ts.Close()
+	st.Close()
+	c.Close()
+	copyDir(t, storeDir, backup)
+
+	// Overwrite with v2, mine it (caching v2's rules), then roll the
+	// store directory back to the v1 state — the crash-lost-commit
+	// shape — while keeping the cache as-is.
+	st, c, ts = open()
+	doPut(t, ts.URL, "d", "x y\nx y\nx z\n")
+	var v2 MineResponse[ImplicationWire]
+	getJSON(t, ts.URL+"/v1/datasets/d/implications?threshold=80", http.StatusOK, &v2)
+	ts.Close()
+	st.Close()
+	c.Close()
+	if err := os.RemoveAll(storeDir); err != nil {
+		t.Fatal(err)
+	}
+	copyDir(t, backup, storeDir)
+
+	_, _, ts = open()
+	t.Cleanup(ts.Close)
+	var got MineResponse[ImplicationWire]
+	getJSON(t, ts.URL+"/v1/datasets/d/implications?threshold=80", http.StatusOK, &got)
+	if fmt.Sprint(got.Rules) != fmt.Sprint(v1.Rules) {
+		t.Fatalf("rolled-back mine = %v, want v1 rules %v", got.Rules, v1.Rules)
+	}
+	for _, r := range got.Rules {
+		if r.From == "x" || r.To == "x" {
+			t.Fatalf("stale rule from the lost v2 content: %+v", r)
+		}
+	}
+}
+
+// copyDir recursively copies src into dst (which must exist).
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCachelessServerUnchanged: with no cache configured the server
+// mines every request and never sets source.
+func TestCachelessServerUnchanged(t *testing.T) {
+	ts := testServer(t)
+	var a, b MineResponse[ImplicationWire]
+	getJSON(t, ts.URL+"/v1/datasets/baskets/implications?threshold=80", http.StatusOK, &a)
+	getJSON(t, ts.URL+"/v1/datasets/baskets/implications?threshold=80", http.StatusOK, &b)
+	if a.Source != "" || b.Source != "" {
+		t.Fatalf("cacheless mines set source: %q, %q", a.Source, b.Source)
+	}
+	if resp := doAppend(t, ts.URL, "baskets", "bread tea\n"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cacheless append: %d, want 200 (append works without cache or store)", resp.StatusCode)
+	}
+}

@@ -23,6 +23,9 @@
 //	GET  /v1/datasets
 //	PUT  /v1/datasets/{name}           body: basket lines (text/plain)
 //	GET  /v1/datasets/{name}
+//	DEL  /v1/datasets/{name}
+//	POST /v1/datasets/{name}/rows      body: basket lines appended to a
+//	                                   resident dataset (incremental growth)
 //	GET  /v1/datasets/{name}/implications?threshold=85&minsupport=0&limit=100&workers=1
 //	GET  /v1/datasets/{name}/similarities?threshold=70&minsupport=0&limit=100&workers=1
 //	GET  /v1/datasets/{name}/expand?keyword=polgar&threshold=85&depth=-1
@@ -48,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"dmc/internal/cache"
 	"dmc/internal/core"
 	"dmc/internal/matrix"
 	"dmc/internal/obs"
@@ -96,6 +100,11 @@ type Config struct {
 	// LoadStore restores its catalog at boot, and the mining engines'
 	// spill/degrade files live in its scratch directory.
 	Store *store.Store
+	// Cache, when set, is the content-addressed mine-result cache:
+	// repeat mines of an unchanged (dataset, params) pair are served
+	// from it in O(1), and append-only growth keeps its resumable
+	// mining snapshots there. Nil disables caching.
+	Cache *cache.Cache
 	// MaxUploadBytes caps PUT bodies; zero means 64MB.
 	MaxUploadBytes int64
 	// ReadHeaderTimeout, ReadTimeout, WriteTimeout and IdleTimeout are
@@ -167,6 +176,8 @@ type serverMetrics struct {
 	cancelled obs.Counter
 	degraded  obs.Counter
 	datasets  obs.Gauge
+	incMines  *obs.CounterVec // pipeline
+	appends   obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -201,15 +212,23 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Resident mines that overflowed the memory budget or brownout ceiling and re-ran out of core."),
 		datasets: reg.Gauge("dmc_datasets_loaded",
 			"Datasets currently resident in memory."),
+		incMines: reg.CounterVec("dmc_incremental_mines_total",
+			"Mines answered by deriving rules from a resumable snapshot instead of scanning.", "pipeline"),
+		appends: reg.Counter("dmc_dataset_appends_total",
+			"Row-append requests applied to datasets."),
 	}
 }
 
 // dataset is one served dataset: either resident in memory (m != nil)
 // or file-backed (path != ""), in which case mining requests stream it
-// from disk through the out-of-core engine.
+// from disk through the out-of-core engine. hash is the content
+// address ("sha256-<hex>", the store's blob identity) used to key the
+// mine-result cache; empty means this dataset's results are not
+// cacheable (a file-backed dataset that never went through the store).
 type dataset struct {
 	m    *matrix.Matrix
 	path string
+	hash string
 	info DatasetInfo
 }
 
@@ -234,6 +253,12 @@ type Server struct {
 	hooks   *core.Hooks
 	adm     *admission   // nil = unlimited
 	st      *store.Store // nil = memory-only serving
+	rc      *cache.Cache // nil = no result caching
+
+	// appendMu serializes POST rows requests: an append reads the
+	// current registration, grows it, and swaps it, and two interleaved
+	// appends would lose one's rows.
+	appendMu sync.Mutex
 
 	// ready gates /v1/readyz: false until the catalog is loaded (set by
 	// the embedding binary around LoadStore/LoadDir) and irrelevant once
@@ -293,6 +318,7 @@ func NewWith(cfg Config) *Server {
 	}
 	s.adm = newAdmission(cfg.MaxConcurrentMines, cfg.MaxQueueDepth)
 	s.st = cfg.Store
+	s.rc = cfg.Cache
 	// Library users get a ready server out of the box; binaries that
 	// load a catalog first call SetReady(false) before listening.
 	s.ready.Store(true)
@@ -320,7 +346,15 @@ func (s *Server) Ready() bool { return s.ready.Load() && !s.draining.Load() }
 // Add registers (or replaces) an in-memory dataset under the given
 // name.
 func (s *Server) Add(name string, m *matrix.Matrix) {
-	s.add(name, &dataset{m: m, info: info(name, m)})
+	d := &dataset{m: m, info: info(name, m)}
+	if s.rc != nil {
+		// Content-address the dataset so its mine results are cacheable
+		// even without a durable store behind it.
+		if h, err := store.ContentHash(m); err == nil {
+			d.hash = h
+		}
+	}
+	s.add(name, d)
 }
 
 // AddFile registers a file-backed dataset: only the header is read
@@ -374,6 +408,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/datasets", s.handleList)
 	mux.HandleFunc("PUT /v1/datasets/{name}", s.handlePut)
 	mux.HandleFunc("GET /v1/datasets/{name}", s.handleDescribe)
+	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDelete)
+	mux.HandleFunc("POST /v1/datasets/{name}/rows", s.handleAppend)
 	mux.HandleFunc("GET /v1/datasets/{name}/implications", s.handleImplications)
 	mux.HandleFunc("GET /v1/datasets/{name}/similarities", s.handleSimilarities)
 	mux.HandleFunc("GET /v1/datasets/{name}/expand", s.handleExpand)
@@ -405,7 +441,7 @@ func endpointLabel(r *http.Request) string {
 			return "/v1/datasets/{name}"
 		}
 		switch seg[3] {
-		case "implications", "similarities", "expand":
+		case "implications", "similarities", "expand", "rows":
 			return "/v1/datasets/{name}/" + seg[3]
 		}
 		return "/v1/datasets/{name}/other"
@@ -520,6 +556,7 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	inf := info(name, m)
+	var hash string
 	if s.st != nil {
 		// Durability before visibility: the upload is committed to the
 		// store first, so a dataset a client was told about can never
@@ -537,6 +574,7 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		inf.Durable = true
+		hash = e.Hash
 		if s.cfg.StreamMinBytes > 0 && e.Size >= s.cfg.StreamMinBytes {
 			// Mirror LoadStore's routing at upload time: a blob this big
 			// is served file-backed from its committed blob immediately,
@@ -548,13 +586,18 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 			}
 			s.mu.Lock()
 			s.datasets[name].info.Durable = true
+			s.datasets[name].hash = hash
 			inf = s.datasets[name].info
 			s.mu.Unlock()
 			writeJSON(w, http.StatusCreated, inf)
 			return
 		}
+	} else if s.rc != nil {
+		if h, err := store.ContentHash(m); err == nil {
+			hash = h
+		}
 	}
-	s.add(name, &dataset{m: m, info: inf})
+	s.add(name, &dataset{m: m, info: inf, hash: hash})
 	writeJSON(w, http.StatusCreated, inf)
 }
 
@@ -782,13 +825,17 @@ type ImplicationWire struct {
 	Ones       int     `json:"ones"`
 }
 
-// MineResponse wraps a mined rule list with run metadata.
+// MineResponse wraps a mined rule list with run metadata. Source
+// reports how the rules were obtained: "" for a full scan, "cache" for
+// an O(1) cached result, "incremental" for a derivation from the
+// resumable snapshot.
 type MineResponse[R any] struct {
 	Dataset   string `json:"dataset"`
 	Threshold int    `json:"threshold_percent"`
 	Total     int    `json:"total_rules"`
 	Truncated bool   `json:"truncated"`
 	ElapsedMS int64  `json:"elapsed_ms"`
+	Source    string `json:"source,omitempty"`
 	Rules     []R    `json:"rules"`
 }
 
@@ -804,21 +851,57 @@ func (s *Server) handleImplications(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
-	opts := core.Options{MinSupport: p.minSupport, Hooks: s.hooks, MemBudgetBytes: s.cfg.MemBudgetBytes}
-	rs, st, ok := runMine(s, w, r, "imp", func(ctx context.Context) ([]rules.Implication, core.Stats, error) {
-		opts := opts
-		opts.Ctx = ctx
-		if d.m == nil {
-			return s.mineImpFile(d.path, core.FromPercent(p.threshold), opts, s.streamCfg(p.workers, ctx))
+	start := time.Now()
+	var source string
+	rs, cached := s.cachedImps(d, p)
+	if !cached {
+		if inc, ok := s.snapshot(d); ok {
+			// Derive from the resumable counters — O(pairs), no scan, no
+			// admission slot — then cache the result for O(1) repeats.
+			rs = inc.Implications(core.FromPercent(p.threshold), core.Options{MinSupport: p.minSupport})
+			source = "incremental"
+			s.metrics.incMines.With("imp").Inc()
+			s.storeImps(d, p, rs)
 		}
-		return s.mineImpMem(d.m, core.FromPercent(p.threshold), opts, p.workers)
-	})
-	if !ok {
-		return
+	} else {
+		source = "cache"
 	}
-	sort.Slice(rs, func(i, j int) bool { return rs[i].Confidence() > rs[j].Confidence() })
+	var st core.Stats
+	if source == "" {
+		opts := core.Options{MinSupport: p.minSupport, Hooks: s.hooks, MemBudgetBytes: s.cfg.MemBudgetBytes}
+		var ok bool
+		rs, st, ok = runMine(s, w, r, "imp", func(ctx context.Context) ([]rules.Implication, core.Stats, error) {
+			opts := opts
+			opts.Ctx = ctx
+			if d.m == nil {
+				return s.mineImpFile(d.path, core.FromPercent(p.threshold), opts, s.streamCfg(p.workers, ctx))
+			}
+			return s.mineImpMem(d.m, core.FromPercent(p.threshold), opts, p.workers)
+		})
+		if !ok {
+			return
+		}
+		s.storeImps(d, p, rs)
+	}
+	elapsed := st.Total
+	if source != "" {
+		elapsed = time.Since(start)
+	}
+	// Deterministic wire order: confidence descending, then column ids —
+	// a cached or incremental replay must render byte-identically to the
+	// full scan it stands in for.
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Confidence() != rs[j].Confidence() {
+			return rs[i].Confidence() > rs[j].Confidence()
+		}
+		if rs[i].From != rs[j].From {
+			return rs[i].From < rs[j].From
+		}
+		return rs[i].To < rs[j].To
+	})
 	resp := MineResponse[ImplicationWire]{
-		Dataset: name, Threshold: p.threshold, Total: len(rs), ElapsedMS: st.Total.Milliseconds(),
+		Dataset: name, Threshold: p.threshold, Total: len(rs), ElapsedMS: elapsed.Milliseconds(),
+		Source: source,
 	}
 	for i, rule := range rs {
 		if i == p.limit {
@@ -855,21 +938,64 @@ func (s *Server) handleSimilarities(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
-	opts := core.Options{MinSupport: p.minSupport, Hooks: s.hooks, MemBudgetBytes: s.cfg.MemBudgetBytes}
-	rs, st, ok := runMine(s, w, r, "sim", func(ctx context.Context) ([]rules.Similarity, core.Stats, error) {
-		opts := opts
-		opts.Ctx = ctx
-		if d.m == nil {
-			return s.mineSimFile(d.path, core.FromPercent(p.threshold), opts, s.streamCfg(p.workers, ctx))
+	start := time.Now()
+	var source string
+	rs, cached := s.cachedSims(d, p)
+	if !cached {
+		if inc, ok := s.snapshot(d); ok {
+			rs = inc.Similarities(core.FromPercent(p.threshold), core.Options{MinSupport: p.minSupport})
+			source = "incremental"
+			s.metrics.incMines.With("sim").Inc()
+			s.storeSims(d, p, rs)
 		}
-		return s.mineSimMem(d.m, core.FromPercent(p.threshold), opts, p.workers)
-	})
-	if !ok {
-		return
+	} else {
+		source = "cache"
 	}
-	sort.Slice(rs, func(i, j int) bool { return rs[i].Value() > rs[j].Value() })
+	var st core.Stats
+	if source == "" {
+		opts := core.Options{MinSupport: p.minSupport, Hooks: s.hooks, MemBudgetBytes: s.cfg.MemBudgetBytes}
+		var ok bool
+		rs, st, ok = runMine(s, w, r, "sim", func(ctx context.Context) ([]rules.Similarity, core.Stats, error) {
+			opts := opts
+			opts.Ctx = ctx
+			if d.m == nil {
+				return s.mineSimFile(d.path, core.FromPercent(p.threshold), opts, s.streamCfg(p.workers, ctx))
+			}
+			return s.mineSimMem(d.m, core.FromPercent(p.threshold), opts, p.workers)
+		})
+		if !ok {
+			return
+		}
+		s.storeSims(d, p, rs)
+	}
+	elapsed := st.Total
+	if source != "" {
+		elapsed = time.Since(start)
+	}
+	// The wire contract pairs come back rank-ordered — the rarer column
+	// first, ids breaking ties — regardless of which engine produced the
+	// rules: scan engines emit that orientation natively, but cached
+	// payloads and snapshot derivations are canonicalized by column id,
+	// so re-orient here. Then sort deterministically so a replayed
+	// result renders byte-identically to the scan it stands in for.
+	for i := range rs {
+		if rs[i].OnesB < rs[i].OnesA || (rs[i].OnesB == rs[i].OnesA && rs[i].B < rs[i].A) {
+			rs[i].A, rs[i].B = rs[i].B, rs[i].A
+			rs[i].OnesA, rs[i].OnesB = rs[i].OnesB, rs[i].OnesA
+		}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Value() != rs[j].Value() {
+			return rs[i].Value() > rs[j].Value()
+		}
+		if rs[i].A != rs[j].A {
+			return rs[i].A < rs[j].A
+		}
+		return rs[i].B < rs[j].B
+	})
 	resp := MineResponse[SimilarityWire]{
-		Dataset: name, Threshold: p.threshold, Total: len(rs), ElapsedMS: st.Total.Milliseconds(),
+		Dataset: name, Threshold: p.threshold, Total: len(rs), ElapsedMS: elapsed.Milliseconds(),
+		Source: source,
 	}
 	for i, rule := range rs {
 		if i == p.limit {
@@ -1042,6 +1168,7 @@ func (s *Server) LoadStore() error {
 			}
 			s.mu.Lock()
 			s.datasets[e.Name].info.Durable = true
+			s.datasets[e.Name].hash = e.Hash
 			s.mu.Unlock()
 			continue
 		}
@@ -1051,7 +1178,7 @@ func (s *Server) LoadStore() error {
 		}
 		inf := info(e.Name, m)
 		inf.Durable = true
-		s.add(e.Name, &dataset{m: m, info: inf})
+		s.add(e.Name, &dataset{m: m, info: inf, hash: e.Hash})
 	}
 	return nil
 }

@@ -114,6 +114,7 @@ func (o Options) compactEvery() int {
 type Entry struct {
 	Name    string
 	Path    string // absolute blob path, loadable via matrix.Load
+	Hash    string // content address ("sha256-<hex>"), the blob's identity
 	Rows    int
 	Cols    int
 	Ones    int
@@ -230,8 +231,13 @@ func (s *Store) Get(name string) (Entry, bool) {
 }
 
 func (s *Store) entryLocked(rec record) Entry {
+	// The content address is the blob's base name minus its extension —
+	// derived, not journaled, so old journals stay readable.
+	base := filepath.Base(filepath.FromSlash(rec.Blob))
+	hash := base[:len(base)-len(filepath.Ext(base))]
 	return Entry{
 		Name: rec.Name, Path: filepath.Join(s.dir, filepath.FromSlash(rec.Blob)),
+		Hash: hash,
 		Rows: rec.Rows, Cols: rec.Cols, Ones: rec.Ones, Labeled: rec.Labeled, Size: rec.Size,
 	}
 }
@@ -308,19 +314,14 @@ func (s *Store) writeBlobLocked(name string, m *matrix.Matrix) (record, error) {
 	if err != nil {
 		return record{}, err
 	}
-	h := sha256.New()
-	h.Write(data)
 	var labels []byte
 	if m.Labels() != nil {
 		labels, err = matrix.EncodeLabels(m.Labels())
 		if err != nil {
 			return record{}, err
 		}
-		h.Write([]byte{0})
-		h.Write(labels)
 	}
-	sum := hex.EncodeToString(h.Sum(nil))[:32]
-	blobRel := blobDirName + "/" + "sha256-" + sum + matrix.ExtBinary
+	blobRel := blobDirName + "/" + hashBytes(data, labels) + matrix.ExtBinary
 	blobAbs := filepath.Join(s.dir, filepath.FromSlash(blobRel))
 	if _, err := os.Stat(blobAbs); err != nil {
 		if labels != nil {
@@ -337,6 +338,37 @@ func (s *Store) writeBlobLocked(name string, m *matrix.Matrix) (record, error) {
 		Rows: m.NumRows(), Cols: m.NumCols(), Ones: m.NumOnes(),
 		Labeled: m.Labels() != nil, Size: int64(len(data)),
 	}, nil
+}
+
+// ContentHash returns m's content address — the same "sha256-<hex>"
+// identity the store names blobs by and reports in Entry.Hash, so
+// layers above (the mine-result cache) can derive keys for matrices
+// that never touched a store. Two matrices hash equal exactly when
+// their encoded bytes and labels are identical.
+func ContentHash(m *matrix.Matrix) (string, error) {
+	data, err := matrix.EncodeBinary(m)
+	if err != nil {
+		return "", err
+	}
+	var labels []byte
+	if m.Labels() != nil {
+		if labels, err = matrix.EncodeLabels(m.Labels()); err != nil {
+			return "", err
+		}
+	}
+	return hashBytes(data, labels), nil
+}
+
+// hashBytes is the blob naming scheme: sha256 over the encoded matrix,
+// then a zero byte and the encoded labels when present.
+func hashBytes(data, labels []byte) string {
+	h := sha256.New()
+	h.Write(data)
+	if labels != nil {
+		h.Write([]byte{0})
+		h.Write(labels)
+	}
+	return "sha256-" + hex.EncodeToString(h.Sum(nil))[:32]
 }
 
 // commitFile writes data to path via tmp+fsync+rename through the
