@@ -38,25 +38,29 @@ bench:
 
 # Regenerate the checked-in performance trajectory baseline — run this
 # deliberately when a perf change is intentional, and commit the result.
+# The grid sweeps the parallel engines at 1, 2 and 4 workers with
+# GOMAXPROCS pinned to each point's width, so the file records honest
+# per-width numbers whatever machine it was made on.
 bench-json:
-	$(GO) run ./cmd/dmcbench -bench-json BENCH_dmc.json -bench-time 1s
+	$(GO) run ./cmd/dmcbench -bench-json BENCH_dmc.json -bench-time 1s -bench-workers 1,2,4
 
 # The CI regression gate: a fresh grid must hold rules/s and MB/s
 # within 15% of the checked-in baseline. The fresh run uses the same
-# bench-time as `bench-json` so both sides of the comparison get the
-# same min-of-rounds estimator — mismatched measuring windows read as
-# phantom regressions.
+# bench-time and worker sweep as `bench-json` so both sides of the
+# comparison get the same min-of-rounds estimator and the same widths —
+# -compare refuses outright if the CPU count or any point's GOMAXPROCS
+# differs from the baseline.
 bench-compare:
-	$(GO) run ./cmd/dmcbench -bench-json bench-current.json -bench-time 1s -compare BENCH_dmc.json -tolerance 0.15
+	$(GO) run ./cmd/dmcbench -bench-json bench-current.json -bench-time 1s -bench-workers 1,2,4 -compare BENCH_dmc.json -tolerance 0.15
 
 # The robustness acceptance matrix under the race detector:
 # deterministic fault injection (failed/short reads, torn writes,
 # ENOSPC, CRC corruption), mid-pass cancellation, checkpoint/resume,
-# and the SIGKILL + -resume smoke — every cell must end in exact rules
-# or a typed error.
+# the prefilter exact-parity property tests, and the SIGKILL + -resume
+# smoke — every cell must end in exact rules or a typed error.
 fault-matrix:
-	$(GO) test -race -run 'Fault|Cancel|Corrupt|Checkpoint|Budget|Retry|Injector' ./internal/fault ./internal/stream ./internal/core ./internal/server .
-	$(GO) test -race -run 'KillResume' ./cmd/dmcmine
+	$(GO) test -race -run 'Fault|Cancel|Corrupt|Checkpoint|Budget|Retry|Injector|Prefilter' ./internal/fault ./internal/stream ./internal/core ./internal/server .
+	$(GO) test -race -run 'KillResume|Prefilter' ./cmd/dmcmine
 
 # The durability acceptance matrix for the dataset store, the mine
 # cache, and the serving layer on top of them: the store fault matrix
@@ -68,8 +72,11 @@ fault-matrix:
 store-crash:
 	$(GO) test -race -run 'Store|KillRecover|Admission|Readyz|Drain|Brownout|DataDirRecovery|Soak|Cache|Append|Delete|PutOverwrite|Rollback' ./internal/store ./internal/cache ./internal/server ./cmd/dmcserve
 
-# A short fuzzing pass over the decoders; spill-codec corruption must
-# never panic the miners. Go allows one fuzz target per invocation.
+# A short fuzzing pass over the decoders and the popcount kernels:
+# spill-codec corruption must never panic the miners, and the word
+# kernels must agree with the naive reference loops on arbitrary bit
+# patterns. Go allows one fuzz target per invocation.
 fuzz-smoke:
 	$(GO) test -run=NoTests -fuzz=FuzzBlockCodec -fuzztime=10s ./internal/matrix
 	$(GO) test -run=NoTests -fuzz=FuzzReadBinary -fuzztime=5s ./internal/matrix
+	$(GO) test -run=NoTests -fuzz=FuzzCountKernels -fuzztime=10s ./internal/bitset

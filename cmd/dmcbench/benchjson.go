@@ -43,17 +43,26 @@ type BenchFile struct {
 // at the given worker count; "stream-serial" mines from disk with the
 // legacy row-at-a-time spill codec (the pre-block-codec configuration)
 // and "stream-parallel" with the framed codec, prefetch and worker
-// fan-out. PeakCounterBytes and TailBitmapBytes follow the paper's
-// memory model (core.Stats), not the Go heap; BytesPerOp/AllocsPerOp
-// are real allocator traffic. RowsPerSec/MBPerSec are set only for the
-// streaming engines: rows and input bytes counted once per pass over
-// the data (one partitioning pass plus two replay passes per mine).
+// fan-out. Variant "bitmap" forces the DMC-bitmap switch for the last
+// 4,096 rows regardless of counter memory (whole-run on smaller sets);
+// "prefilter" (sim only) runs the exact scan behind the conservative
+// LSH candidate sketch. GOMAXPROCS is the scheduler width the point ran
+// under — set to the worker count for parallel engines, 1 for serial
+// ones — and is part of the point's identity: -compare refuses to
+// compare points measured at different widths, because a w4 number from
+// a 1-core box and one from a 16-core box are different experiments.
+// PeakCounterBytes and TailBitmapBytes follow the paper's memory model
+// (core.Stats), not the Go heap; BytesPerOp/AllocsPerOp are real
+// allocator traffic. RowsPerSec/MBPerSec are set only for the streaming
+// engines: rows and input bytes counted once per pass over the data
+// (one partitioning pass plus two replay passes per mine).
 type BenchPoint struct {
 	Name             string  `json:"name"`
 	Mode             string  `json:"mode"`    // imp | sim
-	Variant          string  `json:"variant"` // default | bitmap
+	Variant          string  `json:"variant"` // default | bitmap | prefilter
 	Engine           string  `json:"engine"`  // serial | parallel | stream-serial | stream-parallel
 	Workers          int     `json:"workers"`
+	GOMAXPROCS       int     `json:"gomaxprocs,omitempty"`
 	Iters            int     `json:"iters"`
 	NsPerOp          int64   `json:"ns_per_op"`
 	BytesPerOp       int64   `json:"bytes_per_op"`
@@ -66,26 +75,40 @@ type BenchPoint struct {
 	TailBitmapBytes  int     `json:"tail_bitmap_bytes"`
 }
 
-// runBenchJSON measures the full grid and writes the document to path.
-func runBenchJSON(path string, benchTime time.Duration, scale float64, seed int64) error {
+// runBenchJSON measures the full grid over the named generator dataset
+// and writes the document to path. workers is the parallel sweep (each
+// count is measured under GOMAXPROCS equal to it); the default grid is
+// NewsP with workers 1,2,4, and the ≥10⁶-row truth run is
+// -bench-dataset Bench -scale 1.
+func runBenchJSON(path string, benchTime time.Duration, scale float64, seed int64, dataset string, workers []int) error {
 	cfg := gen.Config{Scale: scale, Seed: seed}
 	if scale <= 0 {
 		scale = 0.05 // the generator default, recorded explicitly
 	}
-	ds, ok := gen.ByName("NewsP", cfg)
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4}
+	}
+	ds, ok := gen.ByName(dataset, cfg)
 	if !ok {
-		return fmt.Errorf("NewsP generator missing")
+		return fmt.Errorf("unknown -bench-dataset %q", dataset)
 	}
 	m := ds.M
 	th := core.FromPercent(85)
 	variants := []struct {
-		name string
-		opts core.Options
+		name  string
+		opts  core.Options
+		modes []string
 	}{
-		{"default", core.Options{}},
-		// Forced switch on the first row: the whole run exercises the
-		// DMC-bitmap path and the shared tail build.
-		{"bitmap", core.Options{BitmapMaxRows: m.NumRows() + 1, BitmapMinBytes: -1}},
+		{"default", core.Options{}, []string{"imp", "sim"}},
+		// Forced switch for the last 4,096 rows regardless of counter
+		// memory: the run exercises the DMC-bitmap endgame and the shared
+		// tail build without materializing a whole-dataset bitmap (on a
+		// 2^20-row set that would be ~512 bytes per live column per
+		// worker-phase — a memory benchmark, not a kernel one).
+		{"bitmap", core.Options{BitmapMaxRows: 4096, BitmapMinBytes: -1}, []string{"imp", "sim"}},
+		// The conservative LSH sketch ahead of the exact scan; sim only
+		// (confidence rules are not Jaccard-bounded).
+		{"prefilter", core.Options{Prefilter: &core.PrefilterOptions{}}, []string{"sim"}},
 	}
 
 	doc := BenchFile{
@@ -103,15 +126,15 @@ func runBenchJSON(path string, benchTime time.Duration, scale float64, seed int6
 	}
 
 	for _, v := range variants {
-		for _, mode := range []string{"imp", "sim"} {
-			runs := mineRuns(m, th, v.opts, mode)
+		for _, mode := range v.modes {
+			runs := mineRuns(m, th, v.opts, mode, workers)
 			for _, r := range runs {
-				p := measure(r.f, benchTime)
-				p.Mode, p.Variant, p.Engine, p.Workers = mode, v.name, r.engine, r.workers
+				p := measureAt(r, benchTime)
+				p.Mode, p.Variant = mode, v.name
 				p.Name = fmt.Sprintf("%s/%s/%s", mode, v.name, r.label)
 				doc.Points = append(doc.Points, p)
-				fmt.Printf("%-28s %12d ns/op %10d B/op %8d allocs/op %10.0f rules/s\n",
-					p.Name, p.NsPerOp, p.BytesPerOp, p.AllocsPerOp, p.RulesPerSec)
+				fmt.Printf("%-28s %12d ns/op %10d B/op %8d allocs/op %10.0f rules/s  procs=%d\n",
+					p.Name, p.NsPerOp, p.BytesPerOp, p.AllocsPerOp, p.RulesPerSec, p.GOMAXPROCS)
 			}
 		}
 	}
@@ -138,16 +161,16 @@ func runBenchJSON(path string, benchTime time.Duration, scale float64, seed int6
 	rowsPerMine := 3 * m.NumRows()
 	mbPerMine := 3 * float64(fi.Size()) / 1e6
 	for _, mode := range []string{"imp", "sim"} {
-		for _, r := range streamRuns(mpath, th, mode) {
-			p := measure(r.f, benchTime)
-			p.Mode, p.Variant, p.Engine, p.Workers = mode, "default", r.engine, r.workers
+		for _, r := range streamRuns(mpath, th, mode, workers) {
+			p := measureAt(r, benchTime)
+			p.Mode, p.Variant = mode, "default"
 			p.Name = fmt.Sprintf("%s/default/%s", mode, r.label)
 			secPerOp := float64(p.NsPerOp) / 1e9
 			p.RowsPerSec = float64(rowsPerMine) / secPerOp
 			p.MBPerSec = mbPerMine / secPerOp
 			doc.Points = append(doc.Points, p)
-			fmt.Printf("%-28s %12d ns/op %10d B/op %8d allocs/op %10.0f rows/s %8.1f MB/s\n",
-				p.Name, p.NsPerOp, p.BytesPerOp, p.AllocsPerOp, p.RowsPerSec, p.MBPerSec)
+			fmt.Printf("%-28s %12d ns/op %10d B/op %8d allocs/op %10.0f rows/s %8.1f MB/s  procs=%d\n",
+				p.Name, p.NsPerOp, p.BytesPerOp, p.AllocsPerOp, p.RowsPerSec, p.MBPerSec, p.GOMAXPROCS)
 		}
 	}
 
@@ -165,16 +188,30 @@ func runBenchJSON(path string, benchTime time.Duration, scale float64, seed int6
 }
 
 // mineRun is one engine point: f runs a full mine and reports the rule
-// count plus the model-memory stats.
+// count plus the model-memory stats. procs is the GOMAXPROCS width the
+// point is measured under — the worker count for parallel engines, 1
+// for serial ones, so "serial" is truly serial even on a big machine
+// and "w4" means four schedulable procs wherever the grid runs.
 type mineRun struct {
 	label   string
 	engine  string
 	workers int
+	procs   int
 	f       func() (rules, peak, tail int)
 }
 
-func mineRuns(m *matrix.Matrix, th core.Threshold, opts core.Options, mode string) []mineRun {
-	runs := []mineRun{{label: "serial", engine: "serial", workers: 1, f: func() (int, int, int) {
+// measureAt pins GOMAXPROCS to the run's width for the duration of the
+// measurement, restores it, and stamps the width into the point.
+func measureAt(r mineRun, benchTime time.Duration) BenchPoint {
+	prev := runtime.GOMAXPROCS(r.procs)
+	p := measure(r.f, benchTime)
+	runtime.GOMAXPROCS(prev)
+	p.Engine, p.Workers, p.GOMAXPROCS = r.engine, r.workers, r.procs
+	return p
+}
+
+func mineRuns(m *matrix.Matrix, th core.Threshold, opts core.Options, mode string, workers []int) []mineRun {
+	runs := []mineRun{{label: "serial", engine: "serial", workers: 1, procs: 1, f: func() (int, int, int) {
 		if mode == "imp" {
 			rs, st := core.DMCImp(m, th, opts)
 			return len(rs), st.PeakCounterBytes, st.TailBitmapBytes
@@ -182,9 +219,9 @@ func mineRuns(m *matrix.Matrix, th core.Threshold, opts core.Options, mode strin
 		rs, st := core.DMCSim(m, th, opts)
 		return len(rs), st.PeakCounterBytes, st.TailBitmapBytes
 	}}}
-	for _, w := range []int{1, 2, 4} {
+	for _, w := range workers {
 		w := w
-		runs = append(runs, mineRun{label: fmt.Sprintf("w%d", w), engine: "parallel", workers: w, f: func() (int, int, int) {
+		runs = append(runs, mineRun{label: fmt.Sprintf("w%d", w), engine: "parallel", workers: w, procs: w, f: func() (int, int, int) {
 			if mode == "imp" {
 				rs, st := core.DMCImpParallel(m, th, opts, w)
 				return len(rs), st.PeakCounterBytes, st.TailBitmapBytes
@@ -200,7 +237,7 @@ func mineRuns(m *matrix.Matrix, th core.Threshold, opts core.Options, mode strin
 // pre-block-codec configuration (legacy unframed spill codec, no
 // prefetch overlap, one worker); "stream-parallel" is the framed codec
 // with double-buffered prefetch at increasing worker counts.
-func streamRuns(path string, th core.Threshold, mode string) []mineRun {
+func streamRuns(path string, th core.Threshold, mode string, workers []int) []mineRun {
 	mine := func(cfg stream.Config) (int, int, int) {
 		if mode == "imp" {
 			rs, st, err := stream.MineImplicationsCfg(path, th, core.Options{}, cfg)
@@ -215,12 +252,12 @@ func streamRuns(path string, th core.Threshold, mode string) []mineRun {
 		}
 		return len(rs), st.PeakCounterBytes, st.TailBitmapBytes
 	}
-	runs := []mineRun{{label: "stream-serial", engine: "stream-serial", workers: 1, f: func() (int, int, int) {
+	runs := []mineRun{{label: "stream-serial", engine: "stream-serial", workers: 1, procs: 1, f: func() (int, int, int) {
 		return mine(stream.Config{Workers: 1, LegacyCodec: true, Prefetch: 1})
 	}}}
-	for _, w := range []int{1, 2, 4} {
+	for _, w := range workers {
 		w := w
-		runs = append(runs, mineRun{label: fmt.Sprintf("stream-w%d", w), engine: "stream-parallel", workers: w, f: func() (int, int, int) {
+		runs = append(runs, mineRun{label: fmt.Sprintf("stream-w%d", w), engine: "stream-parallel", workers: w, procs: w, f: func() (int, int, int) {
 			return mine(stream.Config{Workers: w})
 		}})
 	}

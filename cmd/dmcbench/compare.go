@@ -2,9 +2,17 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 )
+
+// errRefused marks comparisons that are invalid rather than regressed:
+// baseline and current describe different experiments (different
+// machine, or points measured at different GOMAXPROCS). dmcbench exits
+// 3 for a refusal instead of 1, so CI can tell "this gate does not
+// apply on this hardware" apart from "throughput regressed".
+var errRefused = errors.New("refusing to compare")
 
 // The bench-regression gate: compare a fresh bench-JSON run against a
 // checked-in baseline and fail (non-zero exit) when throughput regressed
@@ -46,13 +54,31 @@ func compareBench(baselinePath, currentPath string, tolerance float64) error {
 	if err != nil {
 		return err
 	}
+	// Hardware and scheduler width are part of a measurement's identity:
+	// the tolerance absorbs machine drift, not a different machine or a
+	// different GOMAXPROCS. Refuse outright rather than "compare" numbers
+	// that describe different experiments. Legacy files without per-point
+	// widths (GOMAXPROCS 0) are exempt from the per-point check.
 	if base.NumCPU != 0 && cur.NumCPU != 0 && base.NumCPU != cur.NumCPU {
-		fmt.Printf("note: baseline measured on %d CPUs, current on %d — the tolerance absorbs machine drift, not a hardware change\n",
-			base.NumCPU, cur.NumCPU)
+		return fmt.Errorf("%w: baseline measured on %d CPUs, current on %d — regenerate the baseline on this machine",
+			errRefused, base.NumCPU, cur.NumCPU)
 	}
 	curByName := make(map[string]BenchPoint, len(cur.Points))
 	for _, p := range cur.Points {
 		curByName[p.Name] = p
+	}
+	var mismatched []string
+	for _, bp := range base.Points {
+		cp, ok := curByName[bp.Name]
+		if ok && bp.GOMAXPROCS != 0 && cp.GOMAXPROCS != 0 && bp.GOMAXPROCS != cp.GOMAXPROCS {
+			mismatched = append(mismatched, fmt.Sprintf("%s: baseline gomaxprocs %d, current %d", bp.Name, bp.GOMAXPROCS, cp.GOMAXPROCS))
+		}
+	}
+	if len(mismatched) > 0 {
+		for _, m := range mismatched {
+			fmt.Fprintln(os.Stderr, "mismatch:", m)
+		}
+		return fmt.Errorf("%w: %d points measured at different GOMAXPROCS", errRefused, len(mismatched))
 	}
 
 	var failures []string

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -101,6 +102,48 @@ func TestCompareBenchErrors(t *testing.T) {
 	}
 	if err := compareBench(good, good, -0.1); err == nil {
 		t.Error("negative tolerance accepted")
+	}
+}
+
+// Measurements from a different machine or a different scheduler width
+// are different experiments: the gate must refuse them outright, not
+// absorb them into the tolerance. Legacy points without a recorded
+// width still compare.
+func TestCompareBenchRefusals(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	writeBenchFile(t, base, benchDoc(
+		BenchPoint{Name: "sim/default/w4", RulesPerSec: 1000, GOMAXPROCS: 4},
+		BenchPoint{Name: "imp/default/serial", RulesPerSec: 1000, GOMAXPROCS: 1},
+	))
+
+	otherCPU := filepath.Join(dir, "cpu.json")
+	doc := benchDoc(
+		BenchPoint{Name: "sim/default/w4", RulesPerSec: 1000, GOMAXPROCS: 4},
+		BenchPoint{Name: "imp/default/serial", RulesPerSec: 1000, GOMAXPROCS: 1},
+	)
+	doc.NumCPU = 16
+	writeBenchFile(t, otherCPU, doc)
+	if err := compareBench(base, otherCPU, 0.15); !errors.Is(err, errRefused) {
+		t.Errorf("NumCPU mismatch not refused: %v", err)
+	}
+
+	otherProcs := filepath.Join(dir, "procs.json")
+	writeBenchFile(t, otherProcs, benchDoc(
+		BenchPoint{Name: "sim/default/w4", RulesPerSec: 1000, GOMAXPROCS: 2},
+		BenchPoint{Name: "imp/default/serial", RulesPerSec: 1000, GOMAXPROCS: 1},
+	))
+	if err := compareBench(base, otherProcs, 0.15); !errors.Is(err, errRefused) {
+		t.Errorf("per-point GOMAXPROCS mismatch not refused: %v", err)
+	}
+
+	legacy := filepath.Join(dir, "legacy.json")
+	writeBenchFile(t, legacy, benchDoc(
+		BenchPoint{Name: "sim/default/w4", RulesPerSec: 1000},
+		BenchPoint{Name: "imp/default/serial", RulesPerSec: 1000},
+	))
+	if err := compareBench(base, legacy, 0.15); err != nil {
+		t.Errorf("legacy points without widths refused: %v", err)
 	}
 }
 

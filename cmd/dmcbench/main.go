@@ -12,10 +12,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"dmc/internal/exp"
@@ -31,13 +34,20 @@ func main() {
 		csv       = flag.String("csv", "", "also write each table as CSV into this directory")
 		benchJSON = flag.String("bench-json", "", "run the perf-trajectory grid and write machine-readable results to this path")
 		benchTime = flag.Duration("bench-time", time.Second, "minimum measuring time per bench-json point")
+		benchData = flag.String("bench-dataset", "NewsP", "generator dataset for the bench-json grid; 'Bench' at -scale 1 is the >=2^20-row throughput set")
+		benchWork = flag.String("bench-workers", "1,2,4", "comma-separated parallel worker counts for the bench-json grid; each is measured under GOMAXPROCS equal to it")
 		compare   = flag.String("compare", "", "baseline bench-JSON file: fail (exit 1) when the current run's rules/s or MB/s regress beyond -tolerance; pairs with -bench-json (fresh run) or -current (existing file)")
 		current   = flag.String("current", "", "with -compare: compare this existing bench-JSON file instead of running the grid")
 		tolerance = flag.Float64("tolerance", 0.15, "with -compare: allowed relative throughput loss before the gate trips")
 	)
 	flag.Parse()
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *benchTime, *scale, *seed); err != nil {
+		workers, err := parseWorkerList(*benchWork)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmcbench:", err)
+			os.Exit(1)
+		}
+		if err := runBenchJSON(*benchJSON, *benchTime, *scale, *seed, *benchData, workers); err != nil {
 			fmt.Fprintln(os.Stderr, "dmcbench:", err)
 			os.Exit(1)
 		}
@@ -53,6 +63,9 @@ func main() {
 		}
 		if err := compareBench(*compare, cur, *tolerance); err != nil {
 			fmt.Fprintln(os.Stderr, "dmcbench:", err)
+			if errors.Is(err, errRefused) {
+				os.Exit(3)
+			}
 			os.Exit(1)
 		}
 	}
@@ -63,6 +76,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dmcbench:", err)
 		os.Exit(1)
 	}
+}
+
+// parseWorkerList parses the -bench-workers sweep ("1,2,4").
+func parseWorkerList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		w, err := strconv.Atoi(part)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -bench-workers entry %q (want positive integers)", part)
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-bench-workers lists no worker counts")
+	}
+	return out, nil
 }
 
 func run(id string, list bool, scale float64, seed int64, quick bool, csvDir string) error {

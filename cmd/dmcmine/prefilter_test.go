@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// -prefilter runs the sim pipeline with the sketch (exercised end to
+// end over the Fig. 2 dataset) and is rejected everywhere the sketch
+// cannot honestly apply.
+func TestRunPrefilter(t *testing.T) {
+	path := fig2Path(t)
+	cfg := baseConfig(path)
+	cfg.mode = "sim"
+	cfg.prefilter = true
+	if err := run(cfg); err != nil {
+		t.Fatalf("sim -prefilter: %v", err)
+	}
+
+	for name, bad := range map[string]func(*runConfig){
+		"imp mode":      func(c *runConfig) { c.mode = "imp" },
+		"stream":        func(c *runConfig) { c.stream = true },
+		"naive engine":  func(c *runConfig) { c.engine = "naive" },
+		"with snapshot": func(c *runConfig) { c.snapshot = path + ".snap" },
+	} {
+		cfg := baseConfig(path)
+		cfg.mode = "sim"
+		cfg.prefilter = true
+		bad(&cfg)
+		err := run(cfg)
+		if err == nil || !strings.Contains(err.Error(), "-prefilter") {
+			t.Errorf("%s: err = %v, want a -prefilter rejection", name, err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package bitset
 
 import (
+	"math/bits"
 	"math/rand"
 	"testing"
 )
@@ -28,6 +29,45 @@ func BenchmarkAndCount(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		x.AndCount(y)
+	}
+}
+
+// scalar*Count mirror the word kernels' shape — one OnesCount64 per
+// word into a single accumulator. Benchmarking them against manually
+// unrolled variants is how the kernels ended up scalar (see the kernel
+// comment in bitset.go); these stay as the reference the kernel
+// benchmarks must match. (The naive* loops in kernels_test.go are
+// deliberately slower bit-by-bit references; they pin correctness, not
+// speed.)
+func scalarAndNotCount(a, b []uint64) int {
+	c := 0
+	for i := range a {
+		c += bits.OnesCount64(a[i] &^ b[i])
+	}
+	return c
+}
+
+func scalarAndCount(a, b []uint64) int {
+	c := 0
+	for i := range a {
+		c += bits.OnesCount64(a[i] & b[i])
+	}
+	return c
+}
+
+func BenchmarkAndNotCountScalarLoop(b *testing.B) {
+	x, y := benchPair(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		scalarAndNotCount(x.words, y.words)
+	}
+}
+
+func BenchmarkAndCountScalarLoop(b *testing.B) {
+	x, y := benchPair(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		scalarAndCount(x.words, y.words)
 	}
 }
 
@@ -85,5 +125,46 @@ func BenchmarkAndNotCountPairwise(b *testing.B) {
 		for j, t := range ts {
 			out[j] = s.AndNotCount(t)
 		}
+	}
+}
+
+func BenchmarkAndCountMany(b *testing.B) {
+	s, ts, out := benchTargets(1<<16, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AndCountMany(ts, out)
+	}
+}
+
+// BenchmarkAndCountPairwise is the unfused baseline AndCountMany
+// replaces: one full sweep of s per target.
+func BenchmarkAndCountPairwise(b *testing.B) {
+	s, ts, out := benchTargets(1<<16, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, t := range ts {
+			out[j] = s.AndCount(t)
+		}
+	}
+}
+
+func BenchmarkAndAndNotCount(b *testing.B) {
+	x, y := benchPair(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.AndAndNotCount(y)
+	}
+}
+
+// BenchmarkAndThenAndNotCount is the two-pass baseline the fused
+// AndAndNotCount kernel replaces.
+func BenchmarkAndThenAndNotCount(b *testing.B) {
+	x, y := benchPair(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.AndCount(y)
+		x.AndNotCount(y)
 	}
 }

@@ -234,9 +234,10 @@ func TestAndNotCountMany(t *testing.T) {
 	}
 }
 
-func TestAndNotCountManyBlocked(t *testing.T) {
-	// Cross the blockWords boundary so the tiled path is exercised.
-	n := (blockWords + 3) * wordBits
+func TestAndNotCountManyLarge(t *testing.T) {
+	// Larger than a 4KB cache tile, so a blocked implementation would
+	// have its seams exercised too.
+	n := (sweepWords + 3) * wordBits
 	rng := rand.New(rand.NewSource(9))
 	s := New(n)
 	ts := make([]*Set, 5)

@@ -1,0 +1,262 @@
+package bitset
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Every kernel rewrite — scalar, unrolled, or blocked — risks
+// miscounting at a seam. These tests pin the kernels against the
+// one-word-at-a-time reference loops below, sweeping every length class
+// a rewrite could distinguish: empty, each tail length 0..9, one around
+// common unroll widths (4, 8), and slices straddling cache-tile-sized
+// boundaries, so an optimized replacement can't silently drop a tail or
+// a tile edge.
+
+// sweepWords is the largest length class the table sweep and fuzzer
+// target: sized like the 512-word (4KB) tile a blocked kernel would
+// use, so tile-seam bugs stay covered if blocking is ever reintroduced.
+const sweepWords = 512
+
+func naiveAndNotCount(a, b []uint64) int {
+	c := 0
+	for i := range a {
+		w := a[i] &^ b[i]
+		for w != 0 {
+			c++
+			w &= w - 1
+		}
+	}
+	return c
+}
+
+func naiveAndCount(a, b []uint64) int {
+	c := 0
+	for i := range a {
+		w := a[i] & b[i]
+		for w != 0 {
+			c++
+			w &= w - 1
+		}
+	}
+	return c
+}
+
+func naivePopCount(a []uint64) int {
+	c := 0
+	for _, w := range a {
+		for w != 0 {
+			c++
+			w &= w - 1
+		}
+	}
+	return c
+}
+
+// kernelLens is every word-slice length class a kernel rewrite could
+// distinguish: tails 0..9 (shorter than any unroll), one around common
+// unroll widths (4, 8), and lengths straddling tile-sized boundaries.
+func kernelLens() []int {
+	lens := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 23, 24, 25, 31, 32, 33, 100}
+	for _, d := range []int{-1, 0, 1, 7} {
+		lens = append(lens, sweepWords+d, 2*sweepWords+d)
+	}
+	return lens
+}
+
+func randWords(rng *rand.Rand, n int) []uint64 {
+	w := make([]uint64, n)
+	for i := range w {
+		switch rng.Intn(4) {
+		case 0:
+			w[i] = 0
+		case 1:
+			w[i] = ^uint64(0)
+		default:
+			w[i] = rng.Uint64()
+		}
+	}
+	return w
+}
+
+func TestWordKernelsVsNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range kernelLens() {
+		for trial := 0; trial < 4; trial++ {
+			a, b := randWords(rng, n), randWords(rng, n)
+			if got, want := andNotCountWords(a, b), naiveAndNotCount(a, b); got != want {
+				t.Fatalf("andNotCountWords len=%d: got %d, want %d", n, got, want)
+			}
+			if got, want := andCountWords(a, b), naiveAndCount(a, b); got != want {
+				t.Fatalf("andCountWords len=%d: got %d, want %d", n, got, want)
+			}
+			if got, want := popCountWords(a), naivePopCount(a); got != want {
+				t.Fatalf("popCountWords len=%d: got %d, want %d", n, got, want)
+			}
+			and, andNot := andAndNotCountWords(a, b)
+			if wa, wm := naiveAndCount(a, b), naiveAndNotCount(a, b); and != wa || andNot != wm {
+				t.Fatalf("andAndNotCountWords len=%d: got (%d,%d), want (%d,%d)", n, and, andNot, wa, wm)
+			}
+		}
+	}
+}
+
+func TestAndAndNotCount(t *testing.T) {
+	f := func(seed int64, na, nb uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(900)
+		a, b := New(n), New(n)
+		for i := 0; i < int(na); i++ {
+			a.Set(rng.Intn(n))
+		}
+		for i := 0; i < int(nb); i++ {
+			b.Set(rng.Intn(n))
+		}
+		and, andNot := a.AndAndNotCount(b)
+		// The fused pass must agree with the single-purpose kernels and
+		// with the partition identity |a∧b| + |a∧¬b| = |a|.
+		return and == a.AndCount(b) &&
+			andNot == a.AndNotCount(b) &&
+			and+andNot == a.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAndAndNotCountMismatchPanics(t *testing.T) {
+	mustPanic(t, "size mismatch", func() { New(64).AndAndNotCount(New(65)) })
+}
+
+func TestAndCountMany(t *testing.T) {
+	f := func(seed int64, nt uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		s := New(n)
+		for i := 0; i < n/3; i++ {
+			s.Set(rng.Intn(n))
+		}
+		ts := make([]*Set, int(nt)%9)
+		for k := range ts {
+			if rng.Intn(4) == 0 {
+				continue // nil target = empty set: count 0
+			}
+			t := New(n)
+			for i := 0; i < rng.Intn(n+1); i++ {
+				t.Set(rng.Intn(n))
+			}
+			ts[k] = t
+		}
+		out := make([]int, len(ts)+2)
+		out[len(ts)] = -7 // sentinel: extra slots must not be touched
+		s.AndCountMany(ts, out)
+		for k, tgt := range ts {
+			want := 0
+			if tgt != nil {
+				want = s.AndCount(tgt)
+			}
+			if out[k] != want {
+				return false
+			}
+		}
+		return out[len(ts)] == -7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAndCountManyLarge(t *testing.T) {
+	// Larger than a 4KB cache tile, so a blocked implementation would
+	// have its seams exercised too.
+	n := (sweepWords + 3) * wordBits
+	rng := rand.New(rand.NewSource(9))
+	s := New(n)
+	ts := make([]*Set, 5)
+	for i := 0; i < n/2; i++ {
+		s.Set(rng.Intn(n))
+	}
+	for k := range ts {
+		if k == 2 {
+			continue
+		}
+		ts[k] = New(n)
+		for i := 0; i < n/2; i++ {
+			ts[k].Set(rng.Intn(n))
+		}
+	}
+	out := make([]int, len(ts))
+	s.AndCountMany(ts, out)
+	for k, tgt := range ts {
+		want := 0
+		if tgt != nil {
+			want = s.AndCount(tgt)
+		}
+		if out[k] != want {
+			t.Errorf("target %d: got %d, want %d", k, out[k], want)
+		}
+	}
+}
+
+func TestAndCountManyPanics(t *testing.T) {
+	s := New(64)
+	mustPanic(t, "short out", func() { s.AndCountMany(make([]*Set, 3), make([]int, 2)) })
+	mustPanic(t, "size mismatch", func() { s.AndCountMany([]*Set{New(65)}, make([]int, 1)) })
+}
+
+// Steady-state contract of the counting kernels: with preallocated
+// output slots they allocate nothing, matching the merge kernels'
+// TestMergeSteadyStateZeroAlloc guarantee in internal/core.
+func TestCountKernelsSteadyStateZeroAlloc(t *testing.T) {
+	s, ts, out := benchTargets(1<<12, 16)
+	if allocs := testing.AllocsPerRun(20, func() {
+		s.AndCountMany(ts, out)
+		s.AndNotCountMany(ts, out)
+		s.AndAndNotCount(ts[0])
+	}); allocs != 0 {
+		t.Fatalf("counting kernels allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// FuzzCountKernels feeds arbitrary byte strings into all four word
+// kernels as (a, b) word pairs and cross-checks them against the naive
+// reference loops, so the fuzzer explores unroll seams and bit patterns
+// the table-driven cases miss.
+func FuzzCountKernels(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0xff}, []byte{0x0f})
+	f.Add(make([]byte, 8*9), make([]byte, 8*9))
+	f.Fuzz(func(t *testing.T, ab, bb []byte) {
+		n := len(ab) / 8
+		if len(bb)/8 < n {
+			n = len(bb) / 8
+		}
+		if n > 4*sweepWords {
+			n = 4 * sweepWords
+		}
+		a := make([]uint64, n)
+		b := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			a[i] = binary.LittleEndian.Uint64(ab[8*i:])
+			b[i] = binary.LittleEndian.Uint64(bb[8*i:])
+		}
+		if got, want := andNotCountWords(a, b), naiveAndNotCount(a, b); got != want {
+			t.Fatalf("andNotCountWords: got %d, want %d", got, want)
+		}
+		if got, want := andCountWords(a, b), naiveAndCount(a, b); got != want {
+			t.Fatalf("andCountWords: got %d, want %d", got, want)
+		}
+		if got, want := popCountWords(a), naivePopCount(a); got != want {
+			t.Fatalf("popCountWords: got %d, want %d", got, want)
+		}
+		and, andNot := andAndNotCountWords(a, b)
+		if wa, wm := naiveAndCount(a, b), naiveAndNotCount(a, b); and != wa || andNot != wm {
+			t.Fatalf("andAndNotCountWords: got (%d,%d), want (%d,%d)", and, andNot, wa, wm)
+		}
+		if and+andNot != naivePopCount(a) {
+			t.Fatalf("partition identity broken: %d + %d != |a| %d", and, andNot, naivePopCount(a))
+		}
+	})
+}

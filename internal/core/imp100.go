@@ -107,8 +107,7 @@ func intersectIDs(lst, row []matrix.Col, mem *memMeter, st *Stats) []matrix.Col 
 func imp100Bitmap(rows Rows, pos, mcols int, ones []int, alive, owned []bool, cnt []int, cand [][]matrix.Col, hasList, released []bool, rk ranker, share *tailShare, mem *memMeter, st *Stats, emit func(rules.Implication)) {
 	tail, bms := share.get(rows, pos, mcols, alive, st)
 	empty := bitset.New(len(tail))
-	var targets []*bitset.Set
-	var counts []int
+	var tc tailCounter
 	for cj := 0; cj < mcols; cj++ {
 		if !hasList[cj] || released[cj] {
 			continue
@@ -117,15 +116,7 @@ func imp100Bitmap(rows Rows, pos, mcols int, ones []int, alive, owned []bool, cn
 		if bmj == nil {
 			bmj = empty
 		}
-		targets = targets[:0]
-		for _, ck := range cand[cj] {
-			targets = append(targets, bms[ck])
-		}
-		if cap(counts) < len(targets) {
-			counts = make([]int, len(targets))
-		}
-		counts = counts[:len(targets)]
-		bmj.AndNotCountMany(targets, counts)
+		counts := tc.missesIDs(bmj, cand[cj], bms)
 		for k, ck := range cand[cj] {
 			if counts[k] == 0 {
 				emit(rules.Implication{From: matrix.Col(cj), To: ck, Hits: ones[cj], Ones: ones[cj]})

@@ -273,13 +273,21 @@ func mergeClosed(lst []candEntry, row []matrix.Col, maxmisj int, mem *memMeter, 
 	return out
 }
 
-// tailCounter batches the phase-1 AND-NOT counts of a bitmap phase
-// through the blocked bitset.AndNotCountMany kernel, reusing its
+// tailCounter batches the phase-1 counts of a bitmap phase through the
+// blocked bitset.AndNotCountMany / AndCountMany kernels, reusing its
 // scratch across columns. nil bitmaps (columns absent from the tail)
-// are passed through — the kernel treats them as empty sets.
+// are passed through — the kernels treat them as empty sets.
 type tailCounter struct {
 	targets []*bitset.Set
 	counts  []int
+}
+
+// scratch sizes the count buffer for n staged targets.
+func (tc *tailCounter) scratch(n int) {
+	if cap(tc.counts) < n {
+		tc.counts = make([]int, n)
+	}
+	tc.counts = tc.counts[:n]
 }
 
 // misses returns, for each candidate on lst, |bmj ∧ ¬bm(cand)| over the
@@ -289,10 +297,33 @@ func (tc *tailCounter) misses(bmj *bitset.Set, lst []candEntry, bms []*bitset.Se
 	for _, e := range lst {
 		tc.targets = append(tc.targets, bms[e.col])
 	}
-	if cap(tc.counts) < len(tc.targets) {
-		tc.counts = make([]int, len(tc.targets))
+	tc.scratch(len(tc.targets))
+	bmj.AndNotCountMany(tc.targets, tc.counts)
+	return tc.counts
+}
+
+// hits returns, for each candidate on lst, |bmj ∧ bm(cand)| over the
+// tail rows — the direct hit count the sim bitmap phase needs, from the
+// same single blocked sweep. The returned slice is valid until the next
+// call.
+func (tc *tailCounter) hits(bmj *bitset.Set, lst []candEntry, bms []*bitset.Set) []int {
+	tc.targets = tc.targets[:0]
+	for _, e := range lst {
+		tc.targets = append(tc.targets, bms[e.col])
 	}
-	tc.counts = tc.counts[:len(tc.targets)]
+	tc.scratch(len(tc.targets))
+	bmj.AndCountMany(tc.targets, tc.counts)
+	return tc.counts
+}
+
+// missesIDs is misses for the bare-id candidate lists of the 100%-rule
+// phases.
+func (tc *tailCounter) missesIDs(bmj *bitset.Set, lst []matrix.Col, bms []*bitset.Set) []int {
+	tc.targets = tc.targets[:0]
+	for _, ck := range lst {
+		tc.targets = append(tc.targets, bms[ck])
+	}
+	tc.scratch(len(tc.targets))
 	bmj.AndNotCountMany(tc.targets, tc.counts)
 	return tc.counts
 }

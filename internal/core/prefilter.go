@@ -1,0 +1,167 @@
+package core
+
+import (
+	"sort"
+
+	"dmc/internal/matrix"
+)
+
+// PrefilterOptions configure the opt-in LSH candidate prefilter for the
+// similarity pipelines — the banded MinHash scheme (Gionis, Indyk,
+// Motwani [10]) run over columns before the exact DMC scan, following
+// the streaming similarity-sketch idea of "On Finding Similar Items in
+// a Stream of Transactions": on very wide matrices most column pairs
+// share almost nothing, and dropping them up front keeps them out of
+// candidate lists entirely instead of waiting for miss counting to kill
+// them.
+//
+// Each column gets Bands·RowsPerBand min-hash values; two columns
+// become a candidate pair iff they agree on every value of at least one
+// band. A pair with similarity s survives with probability
+// 1 − (1 − s^RowsPerBand)^Bands, so the default 32 bands of 1 row are
+// deliberately conservative: a pair at s = 0.5 is missed with
+// probability 2⁻³², and identical columns always survive (equal
+// columns have equal signatures). The filter trades exactness for
+// speed only in the tail of that curve — Stats.PrefilterCandidates and
+// Stats.PrefilterPruned report the cut.
+//
+// The prefilter applies to the matrix-backed similarity pipelines
+// (DMCSim, DMCSimEach, DMCSimParallel); implication mining cannot use
+// it (a high-confidence rule can have arbitrarily low Jaccard
+// similarity, so no similarity sketch bounds confidence), and the
+// Source/streaming paths ignore it (signatures need a resident
+// matrix).
+type PrefilterOptions struct {
+	// Bands is b, the number of bands; 0 means 32.
+	Bands int
+	// RowsPerBand is r, the min-hash values per band; 0 means 1.
+	// Larger r makes the filter sharper and more aggressive.
+	RowsPerBand int
+	// Seed makes the signatures reproducible; the default 0 is fine.
+	Seed uint64
+	// MinCols skips the filter on matrices with fewer columns — below
+	// the floor the exact scan is already cheap and the sketch pass
+	// would be pure overhead. 0 means no floor (always filter).
+	MinCols int
+}
+
+func (o PrefilterOptions) bands() int {
+	if o.Bands <= 0 {
+		return 32
+	}
+	return o.Bands
+}
+
+func (o PrefilterOptions) rowsPerBand() int {
+	if o.RowsPerBand <= 0 {
+		return 1
+	}
+	return o.RowsPerBand
+}
+
+// pairFilter is the built filter: the set of column pairs allowed into
+// the similarity scans. It is immutable after construction, so the
+// parallel pipeline's workers share one instance without locking. A nil
+// *pairFilter allows every pair (filter off).
+type pairFilter struct {
+	allowed map[uint64]struct{}
+	// candidates is the number of pairs the banding admitted; pruned is
+	// the number of unordered non-empty-column pairs it dropped.
+	candidates, pruned int
+}
+
+// allow reports whether the pair {a, b} may be mined. Nil receiver
+// means no filtering.
+func (pf *pairFilter) allow(a, b matrix.Col) bool {
+	if pf == nil {
+		return true
+	}
+	if a > b {
+		a, b = b, a
+	}
+	_, ok := pf.allowed[uint64(a)<<32|uint64(b)]
+	return ok
+}
+
+// prefilterMix is the signature hash (splitmix64); independent from the
+// minhash package so core stays import-cycle-free.
+func prefilterMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// buildSimPrefilter computes the banded candidate set for m, or nil
+// when the filter is off (no Prefilter option) or skipped (matrix
+// narrower than MinCols).
+func buildSimPrefilter(m *matrix.Matrix, opts Options) *pairFilter {
+	o := opts.Prefilter
+	if o == nil || m.NumCols() < o.MinCols {
+		return nil
+	}
+	b, r := o.bands(), o.rowsPerBand()
+	k := b * r
+	mcols := m.NumCols()
+
+	// One scan, O(k·nnz): the min over a column's rows of the per-(pass,
+	// row) hash; the sentinel marks columns with no 1s.
+	sig := make([]uint64, mcols*k)
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	for row := 0; row < m.NumRows(); row++ {
+		for h := 0; h < k; h++ {
+			hv := prefilterMix(o.Seed ^ uint64(h)<<32 ^ uint64(row))
+			for _, c := range m.Row(row) {
+				if p := int(c)*k + h; hv < sig[p] {
+					sig[p] = hv
+				}
+			}
+		}
+	}
+
+	pf := &pairFilter{allowed: make(map[uint64]struct{})}
+	nonEmpty := 0
+	type entry struct {
+		key uint64
+		c   matrix.Col
+	}
+	bucket := make([]entry, 0, mcols)
+	for band := 0; band < b; band++ {
+		bucket = bucket[:0]
+		for c := 0; c < mcols; c++ {
+			if sig[c*k+band*r] == ^uint64(0) {
+				continue // no 1s: nothing to pair
+			}
+			if band == 0 {
+				nonEmpty++
+			}
+			h := uint64(0x9e3779b97f4a7c15)
+			for i := 0; i < r; i++ {
+				h = prefilterMix(h ^ sig[c*k+band*r+i])
+			}
+			bucket = append(bucket, entry{h, matrix.Col(c)})
+		}
+		sort.Slice(bucket, func(i, j int) bool { return bucket[i].key < bucket[j].key })
+		for lo := 0; lo < len(bucket); {
+			hi := lo + 1
+			for hi < len(bucket) && bucket[hi].key == bucket[lo].key {
+				hi++
+			}
+			for x := lo; x < hi; x++ {
+				for y := x + 1; y < hi; y++ {
+					ca, cb := bucket[x].c, bucket[y].c
+					if ca > cb {
+						ca, cb = cb, ca
+					}
+					pf.allowed[uint64(ca)<<32|uint64(cb)] = struct{}{}
+				}
+			}
+			lo = hi
+		}
+	}
+	pf.candidates = len(pf.allowed)
+	pf.pruned = nonEmpty*(nonEmpty-1)/2 - pf.candidates
+	return pf
+}

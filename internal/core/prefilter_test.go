@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmc/internal/rules"
+)
+
+// At conservative band settings (many bands of one row) a qualifying
+// pair is missed with probability (1−s)^bands ≤ 2⁻³² — effectively
+// never on fixed seeds — so prefiltered mining must be exactly the
+// unfiltered rule set, across engines, worker counts and bitmap
+// configurations. This is the acceptance property of the prefilter: it
+// may only cut work, not rules.
+func TestPrefilterParityConservative(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 40+rng.Intn(60), 12+rng.Intn(24)
+		mx := randomMatrix(rng, n, m)
+		for _, pct := range []int{100, 85, 70} {
+			th := FromPercent(pct)
+			for name, opts := range map[string]Options{
+				"default":      {},
+				"force bitmap": forceBitmap(n),
+			} {
+				want, _ := DMCSim(mx, th, opts)
+				for _, pf := range []*PrefilterOptions{
+					{}, // defaults: 32 bands × 1 row
+					{Bands: 48, RowsPerBand: 1, Seed: 7},
+				} {
+					popts := opts
+					popts.Prefilter = pf
+					got, st := DMCSim(mx, th, popts)
+					if d := rules.DiffSimilarities(got, want); d != "" {
+						t.Fatalf("serial seed %d %d%% %s bands=%d:\n%s", seed, pct, name, pf.bands(), d)
+					}
+					if st.PrefilterCandidates == 0 && st.PrefilterPruned == 0 && m > 1 {
+						t.Fatalf("seed %d: prefilter ran but reported no candidates and no pruning", seed)
+					}
+					for _, workers := range []int{2, 3} {
+						got, _ := DMCSimParallel(mx, th, popts, workers)
+						if d := rules.DiffSimilarities(got, want); d != "" {
+							t.Fatalf("parallel w%d seed %d %d%% %s:\n%s", workers, seed, pct, name, d)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Aggressive banding may drop rules but must never invent or distort
+// one: every reported rule appears in the exact set with identical
+// figures, and the stats record a real cut.
+func TestPrefilterAggressiveSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	mx := randomMatrix(rng, 120, 40)
+	th := FromPercent(70)
+	exact, _ := DMCSim(mx, th, Options{})
+	inExact := make(map[rules.Similarity]bool, len(exact))
+	for _, r := range exact {
+		inExact[r] = true
+	}
+	opts := Options{Prefilter: &PrefilterOptions{Bands: 2, RowsPerBand: 4, Seed: 3}}
+	got, st := DMCSim(mx, th, opts)
+	for _, r := range got {
+		if !inExact[r] {
+			t.Fatalf("prefiltered mine invented rule %+v", r)
+		}
+	}
+	if st.PrefilterPruned <= 0 {
+		t.Fatalf("aggressive banding pruned nothing (candidates=%d pruned=%d)", st.PrefilterCandidates, st.PrefilterPruned)
+	}
+	// The forced-bitmap variant must agree with the scan variant under
+	// the same filter: phase-2 emissions are gated, so a filtered pair
+	// cannot sneak back in through tail co-occurrence.
+	gotBM, _ := DMCSim(mx, th, Options{
+		Prefilter:     opts.Prefilter,
+		BitmapMaxRows: mx.NumRows() + 1, BitmapMinBytes: -1,
+	})
+	if d := rules.DiffSimilarities(gotBM, got); d != "" {
+		t.Fatalf("bitmap vs scan under one filter:\n%s", d)
+	}
+	for _, workers := range []int{2, 4} {
+		gotP, _ := DMCSimParallel(mx, th, opts, workers)
+		if d := rules.DiffSimilarities(gotP, got); d != "" {
+			t.Fatalf("parallel w%d under one filter:\n%s", workers, d)
+		}
+	}
+}
+
+// The MinCols floor skips the sketch on narrow matrices: result and
+// stats must look exactly like a filterless run.
+func TestPrefilterMinColsSkip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mx := randomMatrix(rng, 60, 16)
+	th := FromPercent(85)
+	want, _ := DMCSim(mx, th, Options{})
+	got, st := DMCSim(mx, th, Options{Prefilter: &PrefilterOptions{MinCols: mx.NumCols() + 1}})
+	if d := rules.DiffSimilarities(got, want); d != "" {
+		t.Fatalf("MinCols skip changed rules:\n%s", d)
+	}
+	if st.PrefilterCandidates != 0 || st.PrefilterPruned != 0 {
+		t.Fatalf("skipped filter reported stats: candidates=%d pruned=%d", st.PrefilterCandidates, st.PrefilterPruned)
+	}
+}
+
+// Source-based mining has no resident matrix to sketch; the option is
+// documented to be ignored there.
+func TestPrefilterSourceIgnored(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	mx := randomMatrix(rng, 60, 16)
+	th := FromPercent(85)
+	want, _ := DMCSim(mx, th, Options{})
+	src := MatrixSource(mx, OrderSparsestFirst.order(mx))
+	got, st := DMCSimSource(src, mx.Ones(), th, Options{Prefilter: &PrefilterOptions{Bands: 1, RowsPerBand: 8}})
+	if d := rules.DiffSimilarities(got, want); d != "" {
+		t.Fatalf("source path applied the prefilter:\n%s", d)
+	}
+	if st.PrefilterCandidates != 0 || st.PrefilterPruned != 0 {
+		t.Fatalf("source path reported prefilter stats")
+	}
+}

@@ -18,6 +18,7 @@ import (
 // pipeline); share, when non-nil, is the shared tail-bitmap
 // coordinator.
 func sim100Scan(rows Rows, mcols int, ones []int, alive, owned []bool, opts Options, share *tailShare, mem *memMeter, st *Stats, emit func(rules.Similarity)) {
+	pf := opts.pairAllow
 	cnt := make([]int, mcols)
 	cand := make([][]matrix.Col, mcols)
 	hasList := make([]bool, mcols)
@@ -33,7 +34,7 @@ func sim100Scan(rows Rows, mcols int, ones []int, alive, owned []bool, opts Opti
 		}
 		if !opts.DisableBitmap && n-pos <= bmMaxRows && mem.bytes > bmMinBytes {
 			start := time.Now()
-			sim100Bitmap(rows, pos, mcols, ones, alive, owned, cand, hasList, released, share, mem, st, emit)
+			sim100Bitmap(rows, pos, mcols, ones, alive, owned, cnt, cand, hasList, released, pf, share, mem, st, emit)
 			st.Bitmap += time.Since(start)
 			if st.SwitchPos100 < 0 {
 				st.SwitchPos100 = pos
@@ -47,7 +48,7 @@ func sim100Scan(rows Rows, mcols int, ones []int, alive, owned []bool, opts Opti
 			case !hasList[cj]:
 				lst := ar.alloc(len(row))
 				for _, ck := range row {
-					if ck > cj && ones[ck] == ones[cj] {
+					if ck > cj && ones[ck] == ones[cj] && pf.allow(cj, ck) {
 						lst = append(lst, ck)
 					}
 				}
@@ -79,9 +80,21 @@ func sim100Scan(rows Rows, mcols int, ones []int, alive, owned []bool, opts Opti
 // (the paper's "extract those column pairs that have the same bitmap");
 // columns first appearing in the tail pair up when their tail
 // co-occurrence count equals their full count.
-func sim100Bitmap(rows Rows, pos, mcols int, ones []int, alive, owned []bool, cand [][]matrix.Col, hasList, released []bool, share *tailShare, mem *memMeter, st *Stats, emit func(rules.Similarity)) {
+//
+// Bitmap equality is decided without per-pair Equal sweeps: one blocked
+// AndNotCountMany pass per column gives |bm(cj) ∧ ¬bm(ck)| for the
+// whole candidate list, and zero tail misses means bm(cj) ⊆ bm(ck);
+// adding equal tail popcounts — ones(c) − cnt(c) for both, already on
+// hand from the scan — upgrades the subset to equality. That turns the
+// phase from two full re-streams of bm(cj) per candidate pair into a
+// single streamed sweep per column.
+// pf, when non-nil, gates phase-2 pairings like simBitmap's phase 2:
+// filtered pairs never made a candidate list, so they must not be
+// rediscovered from tail co-occurrence.
+func sim100Bitmap(rows Rows, pos, mcols int, ones []int, alive, owned []bool, cnt []int, cand [][]matrix.Col, hasList, released []bool, pf *pairFilter, share *tailShare, mem *memMeter, st *Stats, emit func(rules.Similarity)) {
 	tail, bms := share.get(rows, pos, mcols, alive, st)
 	empty := bitset.New(len(tail))
+	var tc tailCounter
 	for cj := 0; cj < mcols; cj++ {
 		if !hasList[cj] || released[cj] {
 			continue
@@ -90,12 +103,9 @@ func sim100Bitmap(rows Rows, pos, mcols int, ones []int, alive, owned []bool, ca
 		if bmj == nil {
 			bmj = empty
 		}
-		for _, ck := range cand[cj] {
-			bmk := bms[ck]
-			if bmk == nil {
-				bmk = empty
-			}
-			if bmj.Equal(bmk) {
+		tailMiss := tc.missesIDs(bmj, cand[cj], bms)
+		for k, ck := range cand[cj] {
+			if tailMiss[k] == 0 && ones[cj]-cnt[cj] == ones[ck]-cnt[ck] {
 				emit(rules.Similarity{A: matrix.Col(cj), B: ck, Hits: ones[cj], OnesA: ones[cj], OnesB: ones[ck]})
 			}
 		}
@@ -118,7 +128,7 @@ func sim100Bitmap(rows Rows, pos, mcols int, ones []int, alive, owned []bool, ca
 			}
 		}
 		for ck, h := range hits {
-			if ck > matrix.Col(cj) && ones[ck] == ones[cj] && h == ones[cj] {
+			if ck > matrix.Col(cj) && ones[ck] == ones[cj] && h == ones[cj] && pf.allow(matrix.Col(cj), ck) {
 				emit(rules.Similarity{A: matrix.Col(cj), B: ck, Hits: h, OnesA: ones[cj], OnesB: ones[ck]})
 			}
 		}

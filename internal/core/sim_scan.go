@@ -43,7 +43,16 @@ func simScan(rows Rows, mcols int, ones []int, alive, owned []bool, t Threshold,
 	released := make([]bool, mcols)
 	ar := newArena[candEntry](arenaBlockEntries)
 
-	budget := func(cj, ck matrix.Col) int { return t.MaxMissesSim(ones[cj], ones[ck]) }
+	// The LSH prefilter folds into the budget: a disallowed pair gets a
+	// negative budget, which is exactly the §5.1 "never created" state —
+	// no creation site admits it and no merge inserts it.
+	pf := opts.pairAllow
+	budget := func(cj, ck matrix.Col) int {
+		if !pf.allow(cj, ck) {
+			return -1
+		}
+		return t.MaxMissesSim(ones[cj], ones[ck])
+	}
 	// maxHitsOK reports whether the pair can still reach its hit floor:
 	// the §5.2 bound with pre-row counts, as in Example 5.1.
 	maxHitsOK := func(cj, ck matrix.Col, miss int) bool {
@@ -65,7 +74,7 @@ func simScan(rows Rows, mcols int, ones []int, alive, owned []bool, t Threshold,
 		}
 		if !opts.DisableBitmap && n-pos <= bmMaxRows && mem.bytes > bmMinBytes {
 			start := time.Now()
-			simBitmap(rows, pos, mcols, ones, alive, owned, t, colMax, cnt, cand, hasList, released, rk, share, mem, st, emit)
+			simBitmap(rows, pos, mcols, ones, alive, owned, t, colMax, cnt, cand, hasList, released, rk, pf, share, mem, st, emit)
 			st.Bitmap += time.Since(start)
 			if st.SwitchPosLT < 0 {
 				st.SwitchPosLT = pos
@@ -238,11 +247,17 @@ func simMergeClosed(lst []candEntry, row []matrix.Col, cj matrix.Col, budget fun
 	return out
 }
 
-// simBitmap is the DMC-bitmap variant for the similarity scan: tail
-// misses by blocked AND-NOT counting for closed columns, tail hit
-// counting for columns that could still admit candidates; both decide
-// with the exact pair hit floor.
-func simBitmap(rows Rows, pos, mcols int, ones []int, alive, owned []bool, t Threshold, colMax, cnt []int, cand [][]candEntry, hasList, released []bool, rk ranker, share *tailShare, mem *memMeter, st *Stats, emit func(rules.Similarity)) {
+// simBitmap is the DMC-bitmap variant for the similarity scan: direct
+// tail-hit counting through the blocked AndCountMany kernel for closed
+// columns (hits = pre-switch hits cnt − miss plus tail co-occurrences —
+// one fused sweep instead of deriving hits from a separate miss count),
+// tail hit counting for columns that could still admit candidates; both
+// decide with the exact pair hit floor.
+// pf, when non-nil, is the LSH prefilter: phase 2 must gate its
+// emissions on it, because a filtered pair is absent from the candidate
+// lists — its pre-switch hits were never seeded, so the hits map
+// undercounts it and emitting would report wrong figures.
+func simBitmap(rows Rows, pos, mcols int, ones []int, alive, owned []bool, t Threshold, colMax, cnt []int, cand [][]candEntry, hasList, released []bool, rk ranker, pf *pairFilter, share *tailShare, mem *memMeter, st *Stats, emit func(rules.Similarity)) {
 	tail, bms := share.get(rows, pos, mcols, alive, st)
 	empty := bitset.New(len(tail))
 	var tc tailCounter
@@ -255,10 +270,9 @@ func simBitmap(rows Rows, pos, mcols int, ones []int, alive, owned []bool, t Thr
 		if bmj == nil {
 			bmj = empty
 		}
-		tailMiss := tc.misses(bmj, cand[cj], bms)
+		tailHit := tc.hits(bmj, cand[cj], bms)
 		for k, e := range cand[cj] {
-			total := int(e.miss) + tailMiss[k]
-			h := ones[cj] - total
+			h := cnt[cj] - int(e.miss) + tailHit[k]
 			if h >= t.MinHitsSim(ones[cj], ones[e.col]) {
 				emit(rules.Similarity{A: matrix.Col(cj), B: e.col, Hits: h, OnesA: ones[cj], OnesB: ones[e.col]})
 			}
@@ -286,7 +300,7 @@ func simBitmap(rows Rows, pos, mcols int, ones []int, alive, owned []bool, t Thr
 			}
 		}
 		for ck, h := range hits {
-			if rk.less(matrix.Col(cj), ck) && h >= t.MinHitsSim(ones[cj], ones[ck]) {
+			if rk.less(matrix.Col(cj), ck) && h >= t.MinHitsSim(ones[cj], ones[ck]) && pf.allow(matrix.Col(cj), ck) {
 				emit(rules.Similarity{A: matrix.Col(cj), B: ck, Hits: h, OnesA: ones[cj], OnesB: ones[ck]})
 			}
 		}

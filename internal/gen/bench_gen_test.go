@@ -1,0 +1,63 @@
+package gen
+
+import (
+	"testing"
+
+	"dmc/internal/core"
+)
+
+// Bench must be deterministic (equal configs, equal matrices), carry
+// minable plants at the paper's 85% threshold, and reach the ≥2^20-row
+// contract at Scale 1 without generating the full set here (the row
+// count is pure arithmetic on the scale).
+func TestBenchDataset(t *testing.T) {
+	cfg := Config{Seed: 9}
+	a, b := Bench(cfg), Bench(cfg)
+	if a.NumRows() != b.NumRows() || a.NumCols() != b.NumCols() {
+		t.Fatalf("nondeterministic dims: %dx%d vs %dx%d", a.NumRows(), a.NumCols(), b.NumRows(), b.NumCols())
+	}
+	for i := 0; i < a.NumRows(); i += 997 {
+		ra, rb := a.Row(i), b.Row(i)
+		if len(ra) != len(rb) {
+			t.Fatalf("row %d differs in length", i)
+		}
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("row %d differs at %d", i, j)
+			}
+		}
+	}
+	if a.NumRows() < 4000 {
+		t.Fatalf("default scale: %d rows, want >= 4000", a.NumRows())
+	}
+
+	th := core.FromPercent(85)
+	sims, _ := core.DMCSim(a, th, core.Options{})
+	var planted int
+	for _, r := range sims {
+		if int(r.A) < 32 && int(r.B) < 32 && r.A/4 == r.B/4 {
+			planted++
+		}
+	}
+	if planted == 0 {
+		t.Fatalf("no planted similarity rules among %d sims", len(sims))
+	}
+	imps, _ := core.DMCImp(a, th, core.Options{})
+	var entity int
+	for _, r := range imps {
+		if int(r.From) >= 32 && int(r.From) < 40 && int(r.To) < 32 {
+			entity++
+		}
+	}
+	if entity == 0 {
+		t.Fatalf("no planted entity implications among %d imps", len(imps))
+	}
+
+	if got := scaled(1<<20, 1.0, 4000); got < 1_000_000 {
+		t.Fatalf("Scale 1 rows = %d, want >= 1e6", got)
+	}
+	ds, ok := ByName("Bench", cfg)
+	if !ok || ds.M.NumRows() != a.NumRows() {
+		t.Fatalf("ByName(Bench): ok=%v", ok)
+	}
+}

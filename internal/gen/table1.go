@@ -49,6 +49,10 @@ func ByName(name string, cfg Config) (Dataset, bool) {
 		return Dataset{Name: name, M: NewsPruned(cfg), PaperRows: 16392, PaperCols: 9518}, true
 	case "dicD":
 		return Dataset{Name: name, M: Dictionary(cfg), PaperRows: 45418, PaperCols: 96540}, true
+	case "Bench":
+		// Not a Table-1 set: the raw-throughput grid's dataset. The
+		// "paper" dimensions are its own Scale-1 size.
+		return Dataset{Name: name, M: Bench(cfg), PaperRows: 1 << 20, PaperCols: 4096}, true
 	}
 	return Dataset{}, false
 }

@@ -57,9 +57,8 @@ func LSHSimilarities(m *matrix.Matrix, minsim core.Threshold, opts LSHOptions) (
 	st.Sketch = time.Since(t0)
 
 	t1 := time.Now()
-	type cand struct{ a, b matrix.Col }
 	seen := make(map[uint64]bool)
-	var cands []cand
+	var cands []candPair
 	type entry struct {
 		key uint64
 		c   matrix.Col
@@ -93,7 +92,7 @@ func LSHSimilarities(m *matrix.Matrix, minsim core.Threshold, opts LSHOptions) (
 					pk := uint64(ca)<<32 | uint64(cb)
 					if !seen[pk] {
 						seen[pk] = true
-						cands = append(cands, cand{ca, cb})
+						cands = append(cands, candPair{ca, cb})
 					}
 				}
 			}
@@ -105,15 +104,7 @@ func LSHSimilarities(m *matrix.Matrix, minsim core.Threshold, opts LSHOptions) (
 	st.PeakCounterBytes = len(sig)*8 + len(seen)*9
 
 	t2 := time.Now()
-	bms := core.ColumnBitmaps(m)
-	ones := m.Ones()
-	var out []rules.Similarity
-	for _, cd := range cands {
-		hits := bms[cd.a].AndCount(bms[cd.b])
-		if minsim.MeetsSim(hits, ones[cd.a], ones[cd.b]) {
-			out = append(out, rules.Similarity{A: cd.a, B: cd.b, Hits: hits, OnesA: ones[cd.a], OnesB: ones[cd.b]})
-		}
-	}
+	out := verifySims(m, minsim, cands)
 	st.Verify = time.Since(t2)
 	st.NumRules = len(out)
 	st.Total = time.Since(start)

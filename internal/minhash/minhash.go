@@ -15,6 +15,7 @@ import (
 	"sort"
 	"time"
 
+	"dmc/internal/bitset"
 	"dmc/internal/core"
 	"dmc/internal/matrix"
 	"dmc/internal/rules"
@@ -125,6 +126,49 @@ func collisionCounts(m *matrix.Matrix, sig []uint64, k int) map[uint64]int32 {
 	return counts
 }
 
+// candPair is one candidate column pair awaiting exact verification,
+// with a < b.
+type candPair struct{ a, b matrix.Col }
+
+// verifySims verifies candidate pairs exactly against column bitmaps.
+// Pairs are grouped by their first column so each group costs one
+// blocked bitset.AndCountMany sweep — the source bitmap stays
+// cache-resident per tile while its partners stream through — instead
+// of a full re-stream of both bitmaps per pair.
+func verifySims(m *matrix.Matrix, minsim core.Threshold, cands []candPair) []rules.Similarity {
+	sort.Slice(cands, func(i, j int) bool {
+		return cands[i].a < cands[j].a || (cands[i].a == cands[j].a && cands[i].b < cands[j].b)
+	})
+	bms := core.ColumnBitmaps(m)
+	ones := m.Ones()
+	var out []rules.Similarity
+	var targets []*bitset.Set
+	var hits []int
+	for lo := 0; lo < len(cands); {
+		hi := lo + 1
+		for hi < len(cands) && cands[hi].a == cands[lo].a {
+			hi++
+		}
+		group := cands[lo:hi]
+		targets = targets[:0]
+		for _, cd := range group {
+			targets = append(targets, bms[cd.b])
+		}
+		if cap(hits) < len(group) {
+			hits = make([]int, len(group))
+		}
+		hits = hits[:len(group)]
+		bms[group[0].a].AndCountMany(targets, hits)
+		for i, cd := range group {
+			if minsim.MeetsSim(hits[i], ones[cd.a], ones[cd.b]) {
+				out = append(out, rules.Similarity{A: cd.a, B: cd.b, Hits: hits[i], OnesA: ones[cd.a], OnesB: ones[cd.b]})
+			}
+		}
+		lo = hi
+	}
+	return out
+}
+
 // Similarities runs Min-Hash for similarity rules: sketch, collect
 // collision candidates with estimate ≥ minsim − margin, verify exactly.
 // All reported rules truly meet minsim; rules whose similarity the
@@ -141,11 +185,10 @@ func Similarities(m *matrix.Matrix, minsim core.Threshold, opts Options) ([]rule
 	t1 := time.Now()
 	counts := collisionCounts(m, sig, k)
 	cutoff := (minsim.Float() - opts.margin()) * float64(k)
-	type cand struct{ a, b matrix.Col }
-	var cands []cand
+	var cands []candPair
 	for key, c := range counts {
 		if float64(c) >= cutoff {
-			cands = append(cands, cand{matrix.Col(key >> 32), matrix.Col(uint32(key))})
+			cands = append(cands, candPair{matrix.Col(key >> 32), matrix.Col(uint32(key))})
 		}
 	}
 	st.Candidates = time.Since(t1)
@@ -153,15 +196,7 @@ func Similarities(m *matrix.Matrix, minsim core.Threshold, opts Options) ([]rule
 	st.PeakCounterBytes = len(sig)*8 + len(counts)*12
 
 	t2 := time.Now()
-	bms := core.ColumnBitmaps(m)
-	ones := m.Ones()
-	var out []rules.Similarity
-	for _, cd := range cands {
-		hits := bms[cd.a].AndCount(bms[cd.b])
-		if minsim.MeetsSim(hits, ones[cd.a], ones[cd.b]) {
-			out = append(out, rules.Similarity{A: cd.a, B: cd.b, Hits: hits, OnesA: ones[cd.a], OnesB: ones[cd.b]})
-		}
-	}
+	out := verifySims(m, minsim, cands)
 	st.Verify = time.Since(t2)
 	st.NumRules = len(out)
 	st.Total = time.Since(start)
@@ -209,9 +244,12 @@ func KMinImplications(m *matrix.Matrix, minconf core.Threshold, opts Options) ([
 	bms := core.ColumnBitmaps(m)
 	var out []rules.Implication
 	for _, cd := range cands {
-		hits := bms[cd.from].AndCount(bms[cd.to])
-		if minconf.Meets(hits, ones[cd.from]) {
-			out = append(out, rules.Implication{From: cd.from, To: cd.to, Hits: hits, Ones: ones[cd.from]})
+		// The fused kernel gives hits and misses in one pass over the
+		// pair; their sum is ones(from), so the confidence check needs
+		// no second sweep.
+		hits, misses := bms[cd.from].AndAndNotCount(bms[cd.to])
+		if minconf.Meets(hits, hits+misses) {
+			out = append(out, rules.Implication{From: cd.from, To: cd.to, Hits: hits, Ones: hits + misses})
 		}
 	}
 	st.Verify = time.Since(t2)

@@ -30,9 +30,17 @@ import (
 
 // paramsKey canonicalizes the parameters that determine a rule set.
 // workers only changes the schedule and limit only truncates the
-// response, so neither belongs in the key.
+// response, so neither belongs in the key. The prefilter flag does: an
+// aggressive future default could legitimately drop rules, so a
+// prefiltered result must never be served for an exact request (or vice
+// versa). The suffix appears only when set, keeping exact-mine keys —
+// and any cache entries persisted under them — unchanged.
 func (p params) paramsKey() string {
-	return fmt.Sprintf("t=%d ms=%d", p.threshold, p.minSupport)
+	k := fmt.Sprintf("t=%d ms=%d", p.threshold, p.minSupport)
+	if p.prefilter {
+		k += " pf=1"
+	}
+	return k
 }
 
 // cacheable reports whether d's mine results can be cached, and under

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"dmc/internal/matrix"
+	"dmc/internal/obs"
+)
+
+// The prefilter parameter must not change the mined rules at its
+// conservative default, must light up the prefilter counters, and is a
+// client error everywhere the sketch cannot run: implication mining and
+// streamed datasets.
+func TestSimPrefilterParam(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewWith(Config{Registry: reg})
+	m := matrix.FromRows(6, [][]matrix.Col{
+		{0, 1, 2}, {0, 1}, {0, 1, 4}, {2, 3}, {0, 1, 2}, {4, 5}, {0, 1},
+	})
+	s.Add("mem", m)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	var exact, pruned MineResponse[SimilarityWire]
+	getJSON(t, ts.URL+"/v1/datasets/mem/similarities?threshold=60", http.StatusOK, &exact)
+	getJSON(t, ts.URL+"/v1/datasets/mem/similarities?threshold=60&prefilter=1", http.StatusOK, &pruned)
+	if exact.Total == 0 || pruned.Total != exact.Total {
+		t.Fatalf("prefiltered mine: %d rules, exact %d", pruned.Total, exact.Total)
+	}
+	for i := range exact.Rules {
+		if exact.Rules[i] != pruned.Rules[i] {
+			t.Fatalf("rule %d differs: %+v vs %+v", i, exact.Rules[i], pruned.Rules[i])
+		}
+	}
+	if got := s.metrics.prefCand.Value(); got == 0 {
+		t.Fatal("dmc_prefilter_candidates_total not advanced by the prefiltered mine")
+	}
+	// The parallel engine shares the same immutable filter.
+	var par MineResponse[SimilarityWire]
+	getJSON(t, ts.URL+"/v1/datasets/mem/similarities?threshold=60&prefilter=true&workers=2", http.StatusOK, &par)
+	if par.Total != exact.Total {
+		t.Fatalf("parallel prefiltered mine: %d rules, exact %d", par.Total, exact.Total)
+	}
+
+	// Client errors: implications never prefilter, and the value must be
+	// a recognizable boolean.
+	getJSON(t, ts.URL+"/v1/datasets/mem/implications?threshold=80&prefilter=1", http.StatusBadRequest, nil)
+	getJSON(t, ts.URL+"/v1/datasets/mem/similarities?threshold=60&prefilter=maybe", http.StatusBadRequest, nil)
+}
+
+func TestSimPrefilterStreamedRejected(t *testing.T) {
+	dir := t.TempDir()
+	m := matrix.FromRows(4, [][]matrix.Col{{0, 1}, {0, 1, 2}, {2, 3}, {0, 1}})
+	if err := matrix.Save(filepath.Join(dir, "big.dmb"), m); err != nil {
+		t.Fatal(err)
+	}
+	s := NewWith(Config{StreamMinBytes: 1, Registry: obs.NewRegistry()})
+	if err := s.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	getJSON(t, ts.URL+"/v1/datasets/big/similarities?threshold=60&prefilter=1", http.StatusBadRequest, nil)
+	// Without the flag the streamed mine still works.
+	getJSON(t, ts.URL+"/v1/datasets/big/similarities?threshold=60", http.StatusOK, nil)
+}
+
+// Prefiltered results get their own cache identity and never ride the
+// snapshot derivation: after an append primes the resumable counters, a
+// plain sim mine answers incrementally but a prefiltered one runs the
+// pruned pipeline, and each repeat hits its own cache entry.
+func TestSimPrefilterCacheAndSnapshot(t *testing.T) {
+	_, ts := cachedTestServer(t)
+	doReq(t, http.MethodPut, ts.URL+"/v1/datasets/d", "a b\na b c\nc d\na b\n")
+	doAppend(t, ts.URL, "d", "a b\nc d\n")
+
+	var plain, pruned MineResponse[SimilarityWire]
+	getJSON(t, ts.URL+"/v1/datasets/d/similarities?threshold=60", http.StatusOK, &plain)
+	if plain.Source != "incremental" {
+		t.Fatalf("plain mine after append: source %q, want incremental", plain.Source)
+	}
+	getJSON(t, ts.URL+"/v1/datasets/d/similarities?threshold=60&prefilter=1", http.StatusOK, &pruned)
+	if pruned.Source != "" {
+		t.Fatalf("prefiltered mine: source %q, want a full run", pruned.Source)
+	}
+	if pruned.Total != plain.Total {
+		t.Fatalf("prefiltered %d rules, incremental %d", pruned.Total, plain.Total)
+	}
+	getJSON(t, ts.URL+"/v1/datasets/d/similarities?threshold=60&prefilter=1", http.StatusOK, &pruned)
+	if pruned.Source != "cache" {
+		t.Fatalf("repeat prefiltered mine: source %q, want cache", pruned.Source)
+	}
+}
+
+func TestParamsKeyPrefilter(t *testing.T) {
+	base := params{threshold: 85}.paramsKey()
+	pf := params{threshold: 85, prefilter: true}.paramsKey()
+	if base == pf {
+		t.Fatalf("paramsKey ignores prefilter: %q", base)
+	}
+}

@@ -178,6 +178,8 @@ type serverMetrics struct {
 	datasets  obs.Gauge
 	incMines  *obs.CounterVec // pipeline
 	appends   obs.Counter
+	prefCand  obs.Counter
+	prefPrune obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -216,6 +218,10 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Mines answered by deriving rules from a resumable snapshot instead of scanning.", "pipeline"),
 		appends: reg.Counter("dmc_dataset_appends_total",
 			"Row-append requests applied to datasets."),
+		prefCand: reg.Counter("dmc_prefilter_candidates_total",
+			"Column pairs kept by the LSH prefilter across prefiltered mines."),
+		prefPrune: reg.Counter("dmc_prefilter_pruned_total",
+			"Column pairs dropped by the LSH prefilter across prefiltered mines."),
 	}
 }
 
@@ -767,6 +773,11 @@ func (s *Server) mineImpMem(m *matrix.Matrix, t core.Threshold, o core.Options, 
 }
 
 // mineSimMem is mineImpMem for similarity rules.
+// mineSimMem runs a resident similarity mine, degrading to the
+// out-of-core engine on budget overflow. The degraded path streams from
+// disk and therefore ignores o.Prefilter — it returns the full exact
+// rule set, a superset of the prefiltered one, which the prefilter
+// contract permits (the sketch may only cut work, never promise cuts).
 func (s *Server) mineSimMem(m *matrix.Matrix, t core.Threshold, o core.Options, workers int) ([]rules.Similarity, core.Stats, error) {
 	var berr error
 	relMem, brownout := s.admitResident(residentFootprint(m))
@@ -814,6 +825,8 @@ func (s *Server) recordMine(pipeline string, st core.Stats) {
 	m.candAdd.Add(int64(st.CandidatesAdded))
 	m.candDel.Add(int64(st.CandidatesDeleted))
 	m.peakBytes.Max(int64(st.PeakCounterBytes))
+	m.prefCand.Add(int64(st.PrefilterCandidates))
+	m.prefPrune.Add(int64(st.PrefilterPruned))
 }
 
 // ImplicationWire is the wire form of an implication rule.
@@ -849,6 +862,13 @@ func (s *Server) handleImplications(w http.ResponseWriter, r *http.Request) {
 	p, err := mineParams(r)
 	if err != nil {
 		writeErr(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if p.prefilter {
+		// Confidence is not bounded by Jaccard similarity: a 100%-confident
+		// rule can pair columns with arbitrarily low resemblance, so an LSH
+		// sketch has no license to drop pairs here.
+		writeErr(w, r, http.StatusBadRequest, "prefilter applies to similarity mining only")
 		return
 	}
 	start := time.Now()
@@ -938,22 +958,34 @@ func (s *Server) handleSimilarities(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if p.prefilter && d.m == nil {
+		// The sketch pass signs columns of a resident matrix; the streamed
+		// engine never materializes one.
+		writeErr(w, r, http.StatusBadRequest, "dataset %q is file-backed (streamed); prefilter needs a resident dataset", name)
+		return
+	}
 	start := time.Now()
 	var source string
 	rs, cached := s.cachedSims(d, p)
-	if !cached {
+	if !cached && !p.prefilter {
+		// The snapshot derivation replays the exact counters; a prefiltered
+		// request asks for the sketch-pruned pipeline, so it must actually
+		// run it (the cache rung above is fine: its key carries the flag).
 		if inc, ok := s.snapshot(d); ok {
 			rs = inc.Similarities(core.FromPercent(p.threshold), core.Options{MinSupport: p.minSupport})
 			source = "incremental"
 			s.metrics.incMines.With("sim").Inc()
 			s.storeSims(d, p, rs)
 		}
-	} else {
+	} else if cached {
 		source = "cache"
 	}
 	var st core.Stats
 	if source == "" {
 		opts := core.Options{MinSupport: p.minSupport, Hooks: s.hooks, MemBudgetBytes: s.cfg.MemBudgetBytes}
+		if p.prefilter {
+			opts.Prefilter = &core.PrefilterOptions{}
+		}
 		var ok bool
 		rs, st, ok = runMine(s, w, r, "sim", func(ctx context.Context) ([]rules.Similarity, core.Stats, error) {
 			opts := opts
@@ -1082,6 +1114,7 @@ type params struct {
 	minSupport int
 	limit      int
 	workers    int
+	prefilter  bool
 }
 
 // maxWorkers caps the workers query parameter: mining goroutines are
@@ -1115,7 +1148,23 @@ func mineParams(r *http.Request) (params, error) {
 	if p.workers < 0 || p.workers > maxWorkers {
 		return p, fmt.Errorf("workers %d outside [0,%d] (0 = one per CPU)", p.workers, maxWorkers)
 	}
+	if p.prefilter, err = boolParam(r, "prefilter"); err != nil {
+		return p, err
+	}
 	return p, nil
+}
+
+// boolParam parses an optional boolean query parameter; absent means
+// false, anything other than 0/1/true/false is a client error.
+func boolParam(r *http.Request, name string) (bool, error) {
+	switch v := r.URL.Query().Get(name); v {
+	case "", "0", "false":
+		return false, nil
+	case "1", "true":
+		return true, nil
+	default:
+		return false, fmt.Errorf("bad %s parameter %q (want 0/1/true/false)", name, v)
+	}
 }
 
 func intParam(r *http.Request, name string, def int) (int, error) {
