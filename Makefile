@@ -5,9 +5,9 @@ GO ?= go
 # Pinned to the version CI runs; bump both together.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: ci lint fmt-check fmt vet build test race bench bench-json bench-compare fuzz-smoke fault-matrix store-crash
+.PHONY: ci lint fmt-check fmt vet build test race bench bench-json bench-compare fuzz-smoke fault-matrix store-crash fleet-smoke
 
-ci: fmt-check vet lint build test race bench bench-compare fuzz-smoke fault-matrix store-crash
+ci: fmt-check vet lint build test race bench bench-compare fuzz-smoke fault-matrix store-crash fleet-smoke
 
 # The same pinned staticcheck CI runs (downloads it on first use).
 lint:
@@ -71,6 +71,17 @@ fault-matrix:
 # shedding, and the restart soak with goroutine/fd leak checks.
 store-crash:
 	$(GO) test -race -run 'Store|KillRecover|Admission|Readyz|Drain|Brownout|DataDirRecovery|Soak|Cache|Append|Delete|PutOverwrite|Rollback' ./internal/store ./internal/cache ./internal/server ./cmd/dmcserve
+
+# The distributed-mining acceptance matrix under the race detector: a
+# coordinator over two loopback workers (real TCP, real replica pushes)
+# must render ?fleet=1 mines byte-identically to a single node, the
+# sharded core/stream decompositions must union back to the exact rule
+# set, and the fault cells — worker killed mid-pass, node gone before
+# scatter, cold replicas — must requeue and still merge exactly, with
+# no goroutine or fd leaks after coordinator shutdown.
+fleet-smoke:
+	$(GO) test -race -run 'Fleet|Shard|Coordinator|Registry|Plan' ./internal/fleet ./internal/server ./internal/stream ./internal/core
+	$(GO) test -race -run 'FleetSmoke' ./cmd/dmcserve
 
 # A short fuzzing pass over the decoders and the popcount kernels:
 # spill-codec corruption must never panic the miners, and the word

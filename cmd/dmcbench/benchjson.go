@@ -1,16 +1,25 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
 	"time"
 
 	"dmc/internal/core"
+	"dmc/internal/fleet"
 	"dmc/internal/gen"
 	"dmc/internal/matrix"
+	"dmc/internal/obs"
+	"dmc/internal/server"
+	"dmc/internal/store"
 	"dmc/internal/stream"
 )
 
@@ -174,6 +183,30 @@ func runBenchJSON(path string, benchTime time.Duration, scale float64, seed int6
 		}
 	}
 
+	// The fleet grid: the same mine scattered over N in-process worker
+	// nodes on loopback TCP — real HTTP, real replica pushes, real
+	// scatter-gather merge. On a single-CPU host every "node" shares the
+	// same core, so these points measure the coordination overhead the
+	// fleet adds (task fan-out, payload parse, canonical re-sort), not a
+	// scale-out speedup; GOMAXPROCS is still pinned to the node count so
+	// a multi-core run of the same grid reads as the real thing.
+	for _, mode := range []string{"imp", "sim"} {
+		for _, w := range workers {
+			bf, err := startBenchFleet(m, w)
+			if err != nil {
+				return fmt.Errorf("fleet grid: %w", err)
+			}
+			r := fleetRun(bf, th, mode, w)
+			p := measureAt(r, benchTime)
+			bf.close()
+			p.Mode, p.Variant = mode, "default"
+			p.Name = fmt.Sprintf("%s/default/%s", mode, r.label)
+			doc.Points = append(doc.Points, p)
+			fmt.Printf("%-28s %12d ns/op %10d B/op %8d allocs/op %10.0f rules/s  procs=%d\n",
+				p.Name, p.NsPerOp, p.BytesPerOp, p.AllocsPerOp, p.RulesPerSec, p.GOMAXPROCS)
+		}
+	}
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -185,6 +218,88 @@ func runBenchJSON(path string, benchTime time.Duration, scale float64, seed int6
 		return err
 	}
 	return f.Close()
+}
+
+// benchFleet is one measured fleet topology: n worker servers on
+// loopback listeners behind a coordinator, with the dataset
+// content-addressed for replica pushes.
+type benchFleet struct {
+	c    *fleet.Coordinator
+	reg  *fleet.Registry
+	ref  fleet.DatasetRef
+	lns  []net.Listener
+	srvs []*http.Server
+}
+
+func startBenchFleet(m *matrix.Matrix, n int) (*benchFleet, error) {
+	bf := &benchFleet{}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			bf.close()
+			return nil, err
+		}
+		ws := server.NewWith(server.Config{
+			FleetWorker: true,
+			Logger:      slog.New(slog.NewTextHandler(io.Discard, nil)),
+		})
+		srv := &http.Server{Handler: ws.Handler()}
+		go srv.Serve(ln)
+		bf.lns = append(bf.lns, ln)
+		bf.srvs = append(bf.srvs, srv)
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	reg, err := fleet.NewRegistry(urls, obs.NewRegistry())
+	if err != nil {
+		bf.close()
+		return nil, err
+	}
+	bf.reg = reg
+	bf.c = fleet.NewCoordinator(reg, fleet.Options{})
+	hash, err := store.ContentHash(m)
+	if err != nil {
+		bf.close()
+		return nil, err
+	}
+	bf.ref = fleet.DatasetRef{Name: "bench", Hash: hash, M: m}
+	return bf, nil
+}
+
+func (bf *benchFleet) close() {
+	if bf.reg != nil {
+		bf.reg.Close()
+	}
+	for _, srv := range bf.srvs {
+		srv.Close()
+	}
+	for _, ln := range bf.lns {
+		ln.Close()
+	}
+}
+
+// fleetRun builds the mineRun for one fleet point: every op is a full
+// scatter-gather mine (each worker node re-mines its shard — no result
+// caching is configured, so iterations measure work, not cache hits).
+// Workers: 1 keeps each node single-threaded; the node count is the
+// parallelism.
+func fleetRun(bf *benchFleet, th core.Threshold, mode string, nodes int) mineRun {
+	ctx := context.Background()
+	p := fleet.Params{ThresholdPercent: 85, Workers: 1}
+	return mineRun{label: fmt.Sprintf("fleet-w%d", nodes), engine: "fleet", workers: nodes, procs: nodes, f: func() (int, int, int) {
+		if mode == "imp" {
+			rs, _, err := bf.c.MineImplications(ctx, bf.ref, p)
+			if err != nil {
+				panic(err)
+			}
+			return len(rs), 0, 0
+		}
+		rs, _, err := bf.c.MineSimilarities(ctx, bf.ref, p)
+		if err != nil {
+			panic(err)
+		}
+		return len(rs), 0, 0
+	}}
 }
 
 // mineRun is one engine point: f runs a full mine and reports the rule

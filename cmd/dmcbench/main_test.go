@@ -79,7 +79,7 @@ func TestRunBenchJSONGrid(t *testing.T) {
 			if p.GOMAXPROCS != 1 {
 				t.Errorf("%s: gomaxprocs %d, want 1", p.Name, p.GOMAXPROCS)
 			}
-		case "parallel", "stream-parallel":
+		case "parallel", "stream-parallel", "fleet":
 			if p.GOMAXPROCS != p.Workers {
 				t.Errorf("%s: gomaxprocs %d, want workers %d", p.Name, p.GOMAXPROCS, p.Workers)
 			}
@@ -87,7 +87,7 @@ func TestRunBenchJSONGrid(t *testing.T) {
 			t.Errorf("%s: unknown engine %q", p.Name, p.Engine)
 		}
 	}
-	for _, want := range []string{"imp/default/serial", "imp/bitmap/w2", "sim/prefilter/serial", "sim/prefilter/w2", "sim/default/stream-w2"} {
+	for _, want := range []string{"imp/default/serial", "imp/bitmap/w2", "sim/prefilter/serial", "sim/prefilter/w2", "sim/default/stream-w2", "imp/default/fleet-w2", "sim/default/fleet-w2"} {
 		if _, ok := byName[want]; !ok {
 			t.Errorf("grid missing point %s", want)
 		}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"dmc/internal/server"
+)
+
+// TestFleetSmoke boots the real topology `make fleet-smoke` exercises:
+// two worker processes (in-process here, real TCP listeners) behind a
+// coordinator built exactly as main() builds one from -fleet-worker /
+// -fleet-nodes, then mines through ?fleet=1 and checks the payload
+// matches the coordinator's own serial mine. Run under -race in CI.
+func TestFleetSmoke(t *testing.T) {
+	type inst struct {
+		s    *server.Server
+		base string
+		stop func()
+	}
+	boot := func(cfg server.Config, sc setupConfig) inst {
+		t.Helper()
+		s, ln, closer, err := setup(cfg, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		runErr := make(chan error, 1)
+		go func() { runErr <- s.Run(ctx, ln) }()
+		stop := func() {
+			cancel()
+			select {
+			case <-runErr:
+			case <-time.After(10 * time.Second):
+				t.Error("server did not stop")
+			}
+			closer.Close()
+		}
+		return inst{s: s, base: "http://" + ln.Addr().String(), stop: stop}
+	}
+
+	w1 := boot(server.Config{FleetWorker: true}, setupConfig{addr: "localhost:0"})
+	defer w1.stop()
+	w2 := boot(server.Config{FleetWorker: true}, setupConfig{addr: "localhost:0"})
+	defer w2.stop()
+	coord := boot(server.Config{}, setupConfig{
+		addr:               "localhost:0",
+		fleetNodes:         []string{w1.base, w2.base},
+		fleetProbeInterval: 50 * time.Millisecond,
+	})
+	defer coord.stop()
+	ref := boot(server.Config{}, setupConfig{addr: "localhost:0"})
+	defer ref.stop()
+
+	body := "bread butter jam\nbread butter\nbread butter coffee\nbread butter jam\nbread coffee\ncoffee tea\nbread butter tea\njam bread butter\ncoffee\nbread butter jam coffee\n"
+	for _, base := range []string{coord.base, ref.base} {
+		req, _ := http.NewRequest(http.MethodPut, base+"/v1/datasets/baskets", strings.NewReader(body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("PUT: status %d", resp.StatusCode)
+		}
+	}
+
+	rulesOf := func(base, q string) ([]byte, string) {
+		t.Helper()
+		resp, err := http.Get(base + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", q, resp.StatusCode)
+		}
+		var mr struct {
+			Total  int             `json:"total_rules"`
+			Source string          `json:"source"`
+			Rules  json.RawMessage `json:"rules"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+			t.Fatal(err)
+		}
+		return mr.Rules, mr.Source
+	}
+
+	for _, family := range []string{"implications", "similarities"} {
+		for _, th := range []int{100, 80, 60} {
+			q := fmt.Sprintf("/v1/datasets/baskets/%s?threshold=%d", family, th)
+			got, source := rulesOf(coord.base, q+"&fleet=1")
+			if source != "fleet" {
+				t.Fatalf("%s@%d: source %q, want fleet (cache short-circuited the scatter?)", family, th, source)
+			}
+			want, _ := rulesOf(ref.base, q)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s@%d: fleet/serial divergence\nfleet:  %s\nserial: %s", family, th, got, want)
+			}
+		}
+	}
+
+	// The probe loop is live: workers report ready, metrics exported.
+	resp, err := http.Get(coord.base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), "dmc_fleet_mines_total") {
+		t.Fatalf("coordinator metrics missing dmc_fleet_* series:\n%.400s", buf.String())
+	}
+}

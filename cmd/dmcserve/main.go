@@ -34,10 +34,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"dmc/internal/cache"
+	"dmc/internal/fleet"
 	"dmc/internal/server"
 	"dmc/internal/store"
 )
@@ -59,6 +61,9 @@ func main() {
 		memBudget  = flag.Int("mem-budget", 0, "counter-memory budget in bytes per resident mine; on overflow the mine degrades to out-of-core streaming (0 = unbounded)")
 		cacheDir   = flag.String("cache-dir", "", "mine-result cache directory: rule sets and append snapshots are cached by dataset content + mining parameters and journaled, so repeat mines — even across restarts — return without a scan (empty disables caching)")
 		cacheMax   = flag.Int64("cache-max-bytes", 0, "cache size bound; least-recently-used entries are evicted beyond it (0 = 256 MiB)")
+		fleetWork  = flag.Bool("fleet-worker", false, "serve the fleet worker endpoints: accept column-shard mining tasks and dataset replicas from a coordinator")
+		fleetNodes = flag.String("fleet-nodes", "", "comma-separated worker base URLs (http://host:port); makes this replica a fleet coordinator so ?fleet=1 mines scatter across the workers")
+		fleetProbe = flag.Duration("fleet-probe-interval", 5*time.Second, "how often the coordinator health-probes its workers")
 	)
 	flag.Parse()
 
@@ -80,10 +85,16 @@ func main() {
 		ShutdownGrace:      *grace,
 		StreamMinBytes:     *streamMin,
 		MemBudgetBytes:     *memBudget,
+		FleetWorker:        *fleetWork,
+	}
+	var nodes []string
+	if *fleetNodes != "" {
+		nodes = strings.Split(*fleetNodes, ",")
 	}
 	s, ln, closer, err := setup(cfg, setupConfig{
 		addr: *addr, dataDir: *data, storeDir: *dataDir,
 		cacheDir: *cacheDir, cacheMaxBytes: *cacheMax,
+		fleetNodes: nodes, fleetProbeInterval: *fleetProbe,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmcserve:", err)
@@ -114,6 +125,9 @@ type setupConfig struct {
 	storeDir      string // -data-dir: durable dataset store
 	cacheDir      string // -cache-dir: journaled mine-result cache
 	cacheMaxBytes int64  // -cache-max-bytes (0 = cache default)
+
+	fleetNodes         []string      // -fleet-nodes: worker base URLs
+	fleetProbeInterval time.Duration // -fleet-probe-interval
 }
 
 // closerFunc adapts a function to io.Closer for setup's cleanup value.
@@ -132,8 +146,12 @@ func (f closerFunc) Close() error { return f() }
 func setup(cfg server.Config, sc setupConfig) (*server.Server, net.Listener, io.Closer, error) {
 	var st *store.Store
 	var ca *cache.Cache
+	var freg *fleet.Registry
 	closer := closerFunc(func() error {
 		var err error
+		if freg != nil {
+			freg.Close()
+		}
 		if ca != nil {
 			err = errors.Join(err, ca.Close())
 		}
@@ -161,6 +179,15 @@ func setup(cfg server.Config, sc setupConfig) (*server.Server, net.Listener, io.
 			return fail(fmt.Errorf("opening mine-result cache: %w", err))
 		}
 		cfg.Cache = ca
+	}
+	if len(sc.fleetNodes) > 0 {
+		var err error
+		freg, err = fleet.NewRegistry(sc.fleetNodes, nil)
+		if err != nil {
+			return fail(fmt.Errorf("building fleet registry: %w", err))
+		}
+		freg.Start(sc.fleetProbeInterval)
+		cfg.Fleet = fleet.NewCoordinator(freg, fleet.Options{})
 	}
 	s := server.NewWith(cfg)
 	s.SetReady(false)

@@ -71,6 +71,7 @@ func dmcImp(src Source, ones []int, minconf Threshold, opts Options, prescan tim
 	memLT := &memMeter{sample: opts.SampleMemory}
 	mcols := src.NumCols()
 	supportAlive := opts.supportMask(ones)
+	shardOwned := opts.Shard.mask(mcols)
 	emit := func(r rules.Implication) {
 		st.NumRules++
 		fn(r)
@@ -79,7 +80,7 @@ func dmcImp(src Source, ones []int, minconf Threshold, opts Options, prescan tim
 	if opts.SingleScan {
 		// Ablation: plain DMC-base over every column, no 100% split.
 		t0 := time.Now()
-		impScan(src.Pass(), mcols, ones, supportAlive, nil, minconf, opts, nil, memLT, &st, emit)
+		impScan(src.Pass(), mcols, ones, supportAlive, shardOwned, minconf, opts, nil, memLT, &st, emit)
 		st.PhaseLT = time.Since(t0)
 		st.BitmapLT = st.Bitmap
 		st.ColumnsAfterCutoff = mcols
@@ -87,7 +88,7 @@ func dmcImp(src Source, ones []int, minconf Threshold, opts Options, prescan tim
 		opts.Hooks.emitSwitch("imp", "lt", st.SwitchPosLT)
 	} else {
 		t0 := time.Now()
-		imp100Scan(src.Pass(), mcols, ones, supportAlive, nil, opts, nil, mem100, &st, emit)
+		imp100Scan(src.Pass(), mcols, ones, supportAlive, shardOwned, opts, nil, mem100, &st, emit)
 		st.Phase100 = time.Since(t0)
 		st.Bitmap100 = st.Bitmap
 		opts.Hooks.emitPhase("imp", "100", st.Phase100)
@@ -103,7 +104,7 @@ func dmcImp(src Source, ones []int, minconf Threshold, opts Options, prescan tim
 					st.ColumnsAfterCutoff++
 				}
 			}
-			impScan(src.Pass(), mcols, ones, alive, nil, minconf, opts, nil, memLT, &st, func(r rules.Implication) {
+			impScan(src.Pass(), mcols, ones, alive, shardOwned, minconf, opts, nil, memLT, &st, func(r rules.Implication) {
 				if r.Hits < r.Ones { // 100%-confidence rules came from the first phase
 					emit(r)
 				}

@@ -109,6 +109,14 @@ type Options struct {
 	// and the Source/streaming paths ignore this option.
 	Prefilter *PrefilterOptions
 
+	// Shard, when non-nil, restricts rule ownership to the column range
+	// [Shard.Lo, Shard.Hi): only in-range columns act as implication
+	// antecedents or as a similarity pair's rank-lesser member, so the
+	// mine emits exactly the rules this shard owns. Disjoint covering
+	// shards partition the full rule set — the distributed fleet's
+	// correctness contract (package fleet). Nil mines everything.
+	Shard *ShardRange
+
 	// pairAllow is the built prefilter, stashed by the matrix-backed
 	// entry points for the scans to consult. Immutable once built, so
 	// parallel workers share it without locking.

@@ -47,7 +47,7 @@ func DMCImpParallel(m *matrix.Matrix, minconf Threshold, opts Options, workers i
 	ones := m.Ones()
 	order := opts.Order.order(m)
 	mcols := m.NumCols()
-	owned := ownership(ones, workers)
+	owned := shardOwnership(ones, workers, opts.Shard)
 	wopts := opts.perWorker(workers)
 	supportAlive := opts.supportMask(ones)
 	base := Rows(matrixRows{m, order})
@@ -127,7 +127,7 @@ func DMCSimParallel(m *matrix.Matrix, minsim Threshold, opts Options, workers in
 	ones := m.Ones()
 	order := opts.Order.order(m)
 	mcols := m.NumCols()
-	owned := ownership(ones, workers)
+	owned := shardOwnership(ones, workers, opts.Shard)
 	wopts := opts.perWorker(workers)
 	// Build the LSH prefilter once; the immutable result is shared
 	// read-only by every worker through its Options copy.
@@ -221,6 +221,15 @@ func ownership(ones []int, workers int) [][]bool {
 	for i := range idx {
 		idx[i] = i
 	}
+	return snakeOwnership(ones, idx, workers)
+}
+
+// snakeOwnership assigns the candidate columns idx to workers with the
+// snake walk (idx need not be every column — shardOwnership passes the
+// in-shard subset); columns outside idx belong to no worker.
+func snakeOwnership(ones, idx []int, workers int) [][]bool {
+	mcols := len(ones)
+	idx = append([]int(nil), idx...)
 	sort.Slice(idx, func(a, b int) bool {
 		oa, ob := ones[idx[a]], ones[idx[b]]
 		return oa > ob || (oa == ob && idx[a] < idx[b])

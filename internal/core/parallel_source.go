@@ -56,7 +56,7 @@ func DMCImpParallelSource(src Source, ones []int, minconf Threshold, opts Option
 	st.SwitchPos100, st.SwitchPosLT = -1, -1
 	start := time.Now()
 	mcols := src.NumCols()
-	owned := ownership(ones, workers)
+	owned := shardOwnership(ones, workers, opts.Shard)
 	wopts := opts.perWorker(workers)
 	supportAlive := opts.supportMask(ones)
 	opts.Hooks.emitPhase("imp-parallel", "prescan", 0)
@@ -142,7 +142,7 @@ func DMCSimParallelSource(src Source, ones []int, minsim Threshold, opts Options
 	st.SwitchPos100, st.SwitchPosLT = -1, -1
 	start := time.Now()
 	mcols := src.NumCols()
-	owned := ownership(ones, workers)
+	owned := shardOwnership(ones, workers, opts.Shard)
 	wopts := opts.perWorker(workers)
 	supportAlive := opts.supportMask(ones)
 	opts.Hooks.emitPhase("sim-parallel", "prescan", 0)

@@ -1,0 +1,75 @@
+package core
+
+import "fmt"
+
+// ShardRange restricts rule ownership to the half-open column range
+// [Lo, Hi) — the distributed twin of the §7 worker partition. A shard
+// owns an implication rule through its antecedent column and a
+// similarity rule through the pair's rank-lesser member, exactly the
+// ownership relation the parallel pipelines already use, so disjoint
+// covering ranges partition the rule set: the union of the shards'
+// outputs is the unsharded rule set, with each rule emitted by exactly
+// one shard. Non-owned columns still participate as consequents and as
+// the larger pair member, which is why every shard scans the full row
+// stream — only the candidate lists (the memory and the emission) are
+// divided.
+type ShardRange struct {
+	Lo, Hi int
+}
+
+// Validate checks the range against a column count. The empty range is
+// invalid: a shard that can own nothing is a planning bug, not a mine.
+func (r ShardRange) Validate(mcols int) error {
+	if r.Lo < 0 || r.Hi > mcols || r.Lo >= r.Hi {
+		return fmt.Errorf("core: shard range [%d,%d) invalid for %d columns", r.Lo, r.Hi, mcols)
+	}
+	return nil
+}
+
+// full reports whether the range (nil = unsharded) covers every column.
+func (r *ShardRange) full(mcols int) bool {
+	return r == nil || (r.Lo <= 0 && r.Hi >= mcols)
+}
+
+// mask materializes the owned mask the scans consume: nil when the
+// range covers everything, so the unsharded hot path keeps its
+// no-per-row-ownership-check property.
+func (r *ShardRange) mask(mcols int) []bool {
+	if r.full(mcols) {
+		return nil
+	}
+	lo, hi := r.Lo, r.Hi
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > mcols {
+		hi = mcols
+	}
+	owned := make([]bool, mcols)
+	for c := lo; c < hi; c++ {
+		owned[c] = true
+	}
+	return owned
+}
+
+// shardOwnership is ownership intersected with a shard: the snake walk
+// runs over the in-shard columns only, so the per-worker ones-sum
+// balance holds within the shard, and out-of-shard columns belong to
+// no worker.
+func shardOwnership(ones []int, workers int, shard *ShardRange) [][]bool {
+	mcols := len(ones)
+	if shard.full(mcols) {
+		return ownership(ones, workers)
+	}
+	allow := shard.mask(mcols)
+	if workers == 1 {
+		return [][]bool{allow}
+	}
+	idx := make([]int, 0, shard.Hi-shard.Lo)
+	for c, in := range allow {
+		if in {
+			idx = append(idx, c)
+		}
+	}
+	return snakeOwnership(ones, idx, workers)
+}

@@ -68,6 +68,7 @@ func dmcSim(src Source, ones []int, minsim Threshold, opts Options, prescan time
 	memLT := &memMeter{sample: opts.SampleMemory}
 	mcols := src.NumCols()
 	supportAlive := opts.supportMask(ones)
+	shardOwned := opts.Shard.mask(mcols)
 	emit := func(r rules.Similarity) {
 		st.NumRules++
 		fn(r)
@@ -75,7 +76,7 @@ func dmcSim(src Source, ones []int, minsim Threshold, opts Options, prescan time
 
 	if opts.SingleScan {
 		t0 := time.Now()
-		simScan(src.Pass(), mcols, ones, supportAlive, nil, minsim, opts, nil, memLT, &st, emit)
+		simScan(src.Pass(), mcols, ones, supportAlive, shardOwned, minsim, opts, nil, memLT, &st, emit)
 		st.PhaseLT = time.Since(t0)
 		st.BitmapLT = st.Bitmap
 		st.ColumnsAfterCutoff = mcols
@@ -83,7 +84,7 @@ func dmcSim(src Source, ones []int, minsim Threshold, opts Options, prescan time
 		opts.Hooks.emitSwitch("sim", "lt", st.SwitchPosLT)
 	} else {
 		t0 := time.Now()
-		sim100Scan(src.Pass(), mcols, ones, supportAlive, nil, opts, nil, mem100, &st, emit)
+		sim100Scan(src.Pass(), mcols, ones, supportAlive, shardOwned, opts, nil, mem100, &st, emit)
 		st.Phase100 = time.Since(t0)
 		st.Bitmap100 = st.Bitmap
 		opts.Hooks.emitPhase("sim", "100", st.Phase100)
@@ -99,7 +100,7 @@ func dmcSim(src Source, ones []int, minsim Threshold, opts Options, prescan time
 					st.ColumnsAfterCutoff++
 				}
 			}
-			simScan(src.Pass(), mcols, ones, alive, nil, minsim, opts, nil, memLT, &st, func(r rules.Similarity) {
+			simScan(src.Pass(), mcols, ones, alive, shardOwned, minsim, opts, nil, memLT, &st, func(r rules.Similarity) {
 				// Identical pairs (sim = 1) came from the first phase.
 				if !(r.Hits == r.OnesA && r.OnesA == r.OnesB) {
 					emit(r)

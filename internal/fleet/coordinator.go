@@ -1,0 +1,222 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmc/internal/matrix"
+	"dmc/internal/rules"
+)
+
+// DatasetRef names the dataset a fleet mine runs over. M is the
+// coordinator's resident copy: the planner needs its per-column ones
+// counts and a stale worker gets its replica pushed from it. Hash is
+// its content address — the identity every worker's replica must
+// match for the merge to be meaningful.
+type DatasetRef struct {
+	Name string
+	Hash string
+	M    *matrix.Matrix
+}
+
+// Params are the mine parameters fanned out with every shard.
+type Params struct {
+	ThresholdPercent int
+	MinSupport       int
+	Prefilter        bool
+	// Workers is the per-node pipeline fan-out (the workers= mine
+	// parameter each node runs its shard with); 0 = one per node CPU.
+	Workers int
+}
+
+// Stats reports what one fleet mine did.
+type Stats struct {
+	// Nodes is how many healthy workers the mine was planned over;
+	// Shards how many shard tasks that produced (== Nodes today).
+	Nodes, Shards int
+	// Attempts counts shard dispatches including retries; Requeues the
+	// attempts that moved a shard to a different node after a failure;
+	// Pushes the dataset replicas shipped to stale workers.
+	Attempts, Requeues, Pushes int
+	// Merge is the gather cost: payload parse + canonical sort.
+	Merge time.Duration
+}
+
+// Options tune the coordinator.
+type Options struct {
+	// MaxAttempts bounds how often one shard may be dispatched before
+	// the mine fails (dataset pushes do not consume attempts); 0 means
+	// twice the node count.
+	MaxAttempts int
+}
+
+// Coordinator scatters one mine over the registry's healthy nodes and
+// gathers the shard outputs into the exact unsharded rule set.
+type Coordinator struct {
+	reg *Registry
+	opt Options
+}
+
+// NewCoordinator builds a coordinator over reg.
+func NewCoordinator(reg *Registry, opt Options) *Coordinator {
+	return &Coordinator{reg: reg, opt: opt}
+}
+
+// Registry exposes the coordinator's node table (for probes/shutdown).
+func (c *Coordinator) Registry() *Registry { return c.reg }
+
+// MineImplications runs a fleet implication mine. The result is the
+// exact rule set a single-node mine of ds.M would produce, in the
+// canonical (From, To) order.
+func (c *Coordinator) MineImplications(ctx context.Context, ds DatasetRef, p Params) ([]rules.Implication, Stats, error) {
+	payloads, st, err := c.scatter(ctx, ds, p, "imp")
+	if err != nil {
+		return nil, st, err
+	}
+	t0 := time.Now()
+	var out []rules.Implication
+	for _, pl := range payloads {
+		rs, err := rules.ReadImplications(bytes.NewReader(pl))
+		if err != nil {
+			return nil, st, fmt.Errorf("fleet: parsing shard payload: %w", err)
+		}
+		out = append(out, rs...)
+	}
+	rules.SortImplications(out)
+	st.Merge = time.Since(t0)
+	c.reg.met.mergeSec.Observe(st.Merge.Seconds())
+	c.reg.met.mines.With("imp").Inc()
+	return out, st, nil
+}
+
+// MineSimilarities is MineImplications for similarity rules, merged
+// into the canonical (A, B) order.
+func (c *Coordinator) MineSimilarities(ctx context.Context, ds DatasetRef, p Params) ([]rules.Similarity, Stats, error) {
+	payloads, st, err := c.scatter(ctx, ds, p, "sim")
+	if err != nil {
+		return nil, st, err
+	}
+	t0 := time.Now()
+	var out []rules.Similarity
+	for _, pl := range payloads {
+		rs, err := rules.ReadSimilarities(bytes.NewReader(pl))
+		if err != nil {
+			return nil, st, fmt.Errorf("fleet: parsing shard payload: %w", err)
+		}
+		out = append(out, rs...)
+	}
+	rules.SortSimilarities(out)
+	st.Merge = time.Since(t0)
+	c.reg.met.mergeSec.Observe(st.Merge.Seconds())
+	c.reg.met.mines.With("sim").Inc()
+	return out, st, nil
+}
+
+// scatter plans the shards over the healthy nodes and runs them
+// concurrently, retrying each failed shard on the next node (round
+// robin from its home node) until it succeeds or MaxAttempts is spent.
+func (c *Coordinator) scatter(ctx context.Context, ds DatasetRef, p Params, mode string) ([][]byte, Stats, error) {
+	var st Stats
+	if ds.M == nil {
+		return nil, st, errors.New("fleet: dataset has no resident matrix (fleet mines plan over the coordinator's copy)")
+	}
+	if ds.Hash == "" {
+		return nil, st, errors.New("fleet: dataset has no content hash")
+	}
+	nodes := c.reg.Healthy()
+	if len(nodes) == 0 {
+		return nil, st, ErrNoNodes
+	}
+	shards := Plan(ds.M.Ones(), len(nodes))
+	st.Nodes, st.Shards = len(nodes), len(shards)
+	maxAttempts := c.opt.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 2 * len(nodes)
+	}
+
+	met := c.reg.met
+	payloads := make([][]byte, len(shards))
+	errs := make([]error, len(shards))
+	var attempts, requeues, pushes atomic.Int64
+	var frameOnce sync.Once
+	var frame []byte
+	var frameErr error
+	replica := func() ([]byte, error) {
+		frameOnce.Do(func() { frame, frameErr = EncodeDataset(ds.M) })
+		return frame, frameErr
+	}
+
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			task := Task{
+				Dataset: ds.Name, Hash: ds.Hash, Mode: mode,
+				Threshold: p.ThresholdPercent, MinSupport: p.MinSupport,
+				Prefilter: p.Prefilter,
+				ColLo:     shards[i].Lo, ColHi: shards[i].Hi,
+				Workers: p.Workers,
+			}
+			home := i % len(nodes)
+			var lastErr error
+			for attempt := 0; attempt < maxAttempts; attempt++ {
+				if ctx.Err() != nil {
+					errs[i] = ctx.Err()
+					return
+				}
+				n := nodes[(home+attempt)%len(nodes)]
+				if attempt > 0 {
+					requeues.Add(1)
+					met.requeues.Inc()
+					if !n.Healthy() && attempt < maxAttempts-1 {
+						// Skip known-down nodes while alternatives remain;
+						// the last attempt tries anyway — a stale health
+						// bit must not fail a mine a live node could serve.
+						continue
+					}
+				}
+				attempts.Add(1)
+				met.shards.Inc()
+				payload, err := n.runShard(ctx, task)
+				if errors.Is(err, ErrStaleReplica) {
+					fr, ferr := replica()
+					if ferr != nil {
+						errs[i] = ferr
+						return
+					}
+					pushes.Add(1)
+					met.pushes.Inc()
+					if err = n.pushDataset(ctx, ds.Name, fr); err == nil {
+						payload, err = n.runShard(ctx, task)
+					}
+				}
+				if err == nil {
+					payloads[i] = payload
+					return
+				}
+				lastErr = err
+				var se *ShardError
+				if errors.As(err, &se) {
+					errs[i] = err // final rejection: no node will answer differently
+					return
+				}
+			}
+			errs[i] = fmt.Errorf("fleet: shard [%d,%d) failed after %d attempts: %w",
+				task.ColLo, task.ColHi, maxAttempts, lastErr)
+		}(i)
+	}
+	wg.Wait()
+	st.Attempts = int(attempts.Load())
+	st.Requeues = int(requeues.Load())
+	st.Pushes = int(pushes.Load())
+	if err := errors.Join(errs...); err != nil {
+		return nil, st, err
+	}
+	return payloads, st, nil
+}

@@ -1,0 +1,75 @@
+package fleet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dmc/internal/matrix"
+	"dmc/internal/store"
+)
+
+func TestTaskValidate(t *testing.T) {
+	good := Task{Dataset: "d", Hash: "h", Mode: "imp", Threshold: 85, ColLo: 0, ColHi: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid task rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name string
+		mut  func(*Task)
+	}{
+		{"no dataset", func(t *Task) { t.Dataset = "" }},
+		{"bad mode", func(t *Task) { t.Mode = "both" }},
+		{"threshold low", func(t *Task) { t.Threshold = 0 }},
+		{"threshold high", func(t *Task) { t.Threshold = 101 }},
+		{"negative minsupport", func(t *Task) { t.MinSupport = -1 }},
+		{"negative lo", func(t *Task) { t.ColLo = -1 }},
+		{"empty range", func(t *Task) { t.ColHi = t.ColLo }},
+	} {
+		bad := good
+		tc.mut(&bad)
+		if bad.Validate() == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, bad)
+		}
+	}
+}
+
+// The replica frame must round-trip the full content identity: same
+// store.ContentHash on both ends, labels included.
+func TestDatasetFrameRoundTrip(t *testing.T) {
+	labeled, err := matrix.ReadBaskets(strings.NewReader("a b c\nb c\na c d\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := matrix.FromRows(3, [][]matrix.Col{{0, 1}, {2}, {0, 2}})
+	for _, m := range []*matrix.Matrix{labeled, bare} {
+		frame, err := EncodeDataset(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeDataset(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantHash, err := store.ContentHash(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotHash, err := store.ContentHash(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotHash != wantHash {
+			t.Fatalf("replica hash %s != original %s (labels=%v)", gotHash, wantHash, m.Labels() != nil)
+		}
+	}
+}
+
+func TestDecodeDatasetGarbage(t *testing.T) {
+	if _, err := DecodeDataset(bytes.NewReader([]byte("not a frame"))); err == nil {
+		t.Fatal("garbage frame decoded")
+	}
+	if _, err := DecodeDataset(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty frame decoded")
+	}
+}

@@ -1,0 +1,170 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+)
+
+// ErrStaleReplica is returned by a shard attempt when the worker does
+// not hold the task's dataset bytes — either no dataset under the name
+// (404) or different content (409). The coordinator answers it by
+// pushing the replica and retrying the same node.
+var ErrStaleReplica = errors.New("fleet: worker replica missing or stale")
+
+// errRetryable marks shard failures worth requeueing to another node:
+// transport errors (the node died mid-pass) and overload sheds.
+var errRetryable = errors.New("fleet: retryable shard failure")
+
+// ShardError is a worker's non-retryable rejection of a shard task —
+// a bad request or an internal failure that another node would repeat.
+type ShardError struct {
+	Node   string
+	Status int
+	Msg    string
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("fleet: node %s rejected shard: %d %s", e.Node, e.Status, e.Msg)
+}
+
+// Node is one worker endpoint. Health flips down on failed probes or
+// failed shard attempts and back up on the next successful probe; the
+// HTTP client is shared across the registry so connections pool.
+type Node struct {
+	name   string
+	base   string
+	client *http.Client
+
+	healthy atomic.Bool
+	cpus    atomic.Int64
+}
+
+func newNode(raw string, client *http.Client) (*Node, error) {
+	u, err := url.Parse(raw)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("fleet: bad node URL %q (want http://host:port)", raw)
+	}
+	return &Node{
+		name:   u.Host,
+		base:   strings.TrimRight(u.String(), "/"),
+		client: client,
+	}, nil
+}
+
+// Name identifies the node in metrics and errors (its host:port).
+func (n *Node) Name() string { return n.name }
+
+// Healthy reports the node's last known probe/attempt outcome.
+func (n *Node) Healthy() bool { return n.healthy.Load() }
+
+// CPUs is the capacity the node reported on its last good probe.
+func (n *Node) CPUs() int { return int(n.cpus.Load()) }
+
+// probe refreshes the node's health from its Info endpoint.
+func (n *Node) probe(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.base+InfoPath, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		n.healthy.Store(false)
+		return err
+	}
+	defer drain(resp.Body)
+	var info Info
+	if resp.StatusCode != http.StatusOK {
+		n.healthy.Store(false)
+		return fmt.Errorf("fleet: probe %s: status %d", n.name, resp.StatusCode)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&info); err != nil {
+		n.healthy.Store(false)
+		return fmt.Errorf("fleet: probe %s: %w", n.name, err)
+	}
+	n.cpus.Store(int64(info.CPUs))
+	up := info.Status == "ready"
+	n.healthy.Store(up)
+	if !up {
+		return fmt.Errorf("fleet: probe %s: worker %s", n.name, info.Status)
+	}
+	return nil
+}
+
+// runShard executes one shard task on the node and returns the raw
+// dmcrules payload. Failures are classified: ErrStaleReplica wants a
+// dataset push, errRetryable wants a requeue, *ShardError is final.
+func (n *Node) runShard(ctx context.Context, t Task) ([]byte, error) {
+	body, err := json.Marshal(t)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.base+ShardPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		n.healthy.Store(false)
+		return nil, fmt.Errorf("%w: node %s: %v", errRetryable, n.name, err)
+	}
+	defer drain(resp.Body)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		payload, err := io.ReadAll(resp.Body)
+		if err != nil {
+			// The node died mid-response; the partial payload is useless.
+			n.healthy.Store(false)
+			return nil, fmt.Errorf("%w: node %s: reading shard payload: %v", errRetryable, n.name, err)
+		}
+		return payload, nil
+	case http.StatusNotFound, http.StatusConflict:
+		return nil, fmt.Errorf("%w (node %s, dataset %s)", ErrStaleReplica, n.name, t.Dataset)
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		// Overload shed or drain: the node is alive but unwilling; try a
+		// sibling and let the probe loop decide when to come back.
+		n.healthy.Store(false)
+		return nil, fmt.Errorf("%w: node %s shed the shard (status %d)", errRetryable, n.name, resp.StatusCode)
+	default:
+		return nil, &ShardError{Node: n.name, Status: resp.StatusCode, Msg: readErrBody(resp.Body)}
+	}
+}
+
+// pushDataset ships a replica of the dataset to the node.
+func (n *Node) pushDataset(ctx context.Context, name string, frame []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, n.base+DatasetsPath+url.PathEscape(name), bytes.NewReader(frame))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		n.healthy.Store(false)
+		return fmt.Errorf("%w: node %s: push: %v", errRetryable, n.name, err)
+	}
+	defer drain(resp.Body)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("fleet: node %s refused dataset push: %d %s", n.name, resp.StatusCode, readErrBody(resp.Body))
+	}
+	return nil
+}
+
+// drain discards the rest of a response body and closes it, so the
+// pooled connection is reusable.
+func drain(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 1<<20))
+	body.Close()
+}
+
+func readErrBody(body io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(body, 4<<10))
+	return strings.TrimSpace(string(b))
+}

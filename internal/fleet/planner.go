@@ -1,0 +1,50 @@
+package fleet
+
+import "dmc/internal/core"
+
+// Plan splits the column space [0, len(ones)) into at most n disjoint,
+// covering, contiguous shard ranges, weighted by estimated work: a
+// column's candidate list grows with its 1-count, so each range
+// targets an equal share of the total ones rather than an equal width
+// (a handful of dense columns would otherwise swamp one worker while
+// its siblings idle). Every column carries one extra unit of weight so
+// all-zero stretches still spread and every returned range is
+// non-empty. The split is deterministic: same ones, same plan — which
+// keeps fleet output reproducible and lets a retried mine reuse a
+// worker's shard-keyed cache entries.
+func Plan(ones []int, n int) []core.ShardRange {
+	mcols := len(ones)
+	if mcols == 0 || n < 1 {
+		return nil
+	}
+	if n > mcols {
+		n = mcols
+	}
+	total := int64(0)
+	for _, k := range ones {
+		total += int64(k) + 1
+	}
+	out := make([]core.ShardRange, 0, n)
+	lo, acc := 0, int64(0)
+	remaining := total
+	for c, k := range ones {
+		shardsLeft := n - len(out)
+		if shardsLeft <= 1 {
+			break // the last range takes everything left
+		}
+		acc += int64(k) + 1
+		// Cut when this range holds its fair share of the remaining
+		// weight — but never so late that the columns left behind cannot
+		// fill the remaining ranges one column each.
+		colsLeft := mcols - (c + 1)
+		mustCut := colsLeft == shardsLeft-1
+		if mustCut || acc >= remaining/int64(shardsLeft) {
+			out = append(out, core.ShardRange{Lo: lo, Hi: c + 1})
+			lo = c + 1
+			remaining -= acc
+			acc = 0
+		}
+	}
+	out = append(out, core.ShardRange{Lo: lo, Hi: mcols})
+	return out
+}

@@ -1,0 +1,98 @@
+package fleet
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dmc/internal/core"
+)
+
+func checkPlan(t *testing.T, ones []int, n int, got []core.ShardRange) {
+	t.Helper()
+	if len(got) == 0 {
+		t.Fatalf("Plan(%v, %d) = empty", ones, n)
+	}
+	if len(got) > n {
+		t.Fatalf("Plan(%v, %d) = %d shards, want <= %d", ones, n, len(got), n)
+	}
+	// Disjoint, covering, contiguous, non-empty.
+	if got[0].Lo != 0 || got[len(got)-1].Hi != len(ones) {
+		t.Fatalf("Plan(%v, %d) = %v does not cover [0,%d)", ones, n, got, len(ones))
+	}
+	for i, r := range got {
+		if r.Hi <= r.Lo {
+			t.Fatalf("shard %d of %v is empty", i, got)
+		}
+		if i > 0 && got[i-1].Hi != r.Lo {
+			t.Fatalf("shards %d,%d of %v are not contiguous", i-1, i, got)
+		}
+	}
+}
+
+func TestPlanProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		mcols := 1 + rng.Intn(64)
+		ones := make([]int, mcols)
+		for c := range ones {
+			ones[c] = rng.Intn(50)
+		}
+		for _, n := range []int{1, 2, 3, 4, 7, mcols, mcols + 3} {
+			checkPlan(t, ones, n, Plan(ones, n))
+		}
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	ones := []int{9, 0, 4, 4, 1, 12, 0, 0, 3, 7}
+	a := Plan(ones, 4)
+	b := Plan(ones, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Plan not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestPlanDegenerate(t *testing.T) {
+	if got := Plan(nil, 3); got != nil {
+		t.Fatalf("Plan(nil, 3) = %v, want nil", got)
+	}
+	if got := Plan([]int{5}, 0); got != nil {
+		t.Fatalf("Plan(_, 0) = %v, want nil", got)
+	}
+	// n = 1: everything in one range.
+	if got := Plan([]int{1, 2, 3}, 1); len(got) != 1 || got[0] != (core.ShardRange{Lo: 0, Hi: 3}) {
+		t.Fatalf("Plan(_, 1) = %v", got)
+	}
+	// n >= mcols: one column per shard.
+	got := Plan([]int{4, 4, 4}, 5)
+	want := []core.ShardRange{{Lo: 0, Hi: 1}, {Lo: 1, Hi: 2}, {Lo: 2, Hi: 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Plan over-split: %v, want %v", got, want)
+	}
+}
+
+// TestPlanBalance: with one dominant column, the planner should
+// isolate it rather than lump half the light columns behind it.
+func TestPlanBalance(t *testing.T) {
+	ones := make([]int, 16)
+	ones[0] = 1000
+	for c := 1; c < 16; c++ {
+		ones[c] = 1
+	}
+	got := Plan(ones, 4)
+	checkPlan(t, ones, 4, got)
+	if got[0].Hi != 1 {
+		t.Fatalf("dominant column not isolated: %v", got)
+	}
+	// Uniform weights split near-evenly.
+	uni := make([]int, 40)
+	for c := range uni {
+		uni[c] = 10
+	}
+	for _, r := range Plan(uni, 4) {
+		if w := r.Hi - r.Lo; w < 8 || w > 12 {
+			t.Fatalf("uniform split uneven: %v", Plan(uni, 4))
+		}
+	}
+}

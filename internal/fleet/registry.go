@@ -1,0 +1,182 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmc/internal/obs"
+)
+
+// ErrNoNodes is returned when a mine is requested and no healthy
+// worker is available.
+var ErrNoNodes = errors.New("fleet: no healthy worker nodes")
+
+// metrics are the dmc_fleet_* series; all constructors are
+// get-or-create, so a registry and coordinator sharing an obs.Registry
+// share series.
+type metrics struct {
+	shards   obs.Counter
+	requeues obs.Counter
+	pushes   obs.Counter
+	mines    *obs.CounterVec // mode
+	mergeSec obs.Histogram
+	nodeUp   *obs.GaugeVec // node
+	probeErr *obs.CounterVec
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		shards: reg.Counter("dmc_fleet_shards_total",
+			"Shard tasks dispatched to fleet workers (retries included)."),
+		requeues: reg.Counter("dmc_fleet_requeues_total",
+			"Shard tasks requeued to another node after a worker failed mid-pass."),
+		pushes: reg.Counter("dmc_fleet_dataset_pushes_total",
+			"Dataset replicas pushed to workers whose copy was missing or stale."),
+		mines: reg.CounterVec("dmc_fleet_mines_total",
+			"Completed fleet-coordinated mines.", "mode"),
+		mergeSec: reg.Histogram("dmc_fleet_merge_seconds",
+			"Scatter-gather merge latency (parse + canonical sort).", nil),
+		nodeUp: reg.GaugeVec("dmc_fleet_node_up",
+			"Per-node health from the last probe or shard attempt (1 = up).", "node"),
+		probeErr: reg.CounterVec("dmc_fleet_probe_failures_total",
+			"Failed health probes.", "node"),
+	}
+}
+
+// Registry is the fleet's node table. It owns the pooled HTTP
+// transport every node shares and, once Start is called, a background
+// probe loop that keeps per-node health fresh.
+type Registry struct {
+	nodes []*Node
+	tr    *http.Transport
+	met   *metrics
+
+	probeTimeout time.Duration
+
+	started  atomic.Bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewRegistry builds a registry over the given worker base URLs
+// ("http://host:port"). Nodes start healthy — the first probe or shard
+// attempt corrects optimism — so a fleet is usable before Start.
+// Metrics land on reg (nil = obs.Default).
+func NewRegistry(urls []string, reg *obs.Registry) (*Registry, error) {
+	if reg == nil {
+		reg = obs.Default
+	}
+	if len(urls) == 0 {
+		return nil, ErrNoNodes
+	}
+	tr := &http.Transport{
+		MaxIdleConnsPerHost: 16,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	client := &http.Client{Transport: tr}
+	r := &Registry{
+		tr:           tr,
+		met:          newMetrics(reg),
+		probeTimeout: 5 * time.Second,
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+	for _, raw := range urls {
+		n, err := newNode(raw, client)
+		if err != nil {
+			return nil, err
+		}
+		n.healthy.Store(true)
+		r.nodes = append(r.nodes, n)
+	}
+	return r, nil
+}
+
+// Nodes returns every registered node, healthy or not.
+func (r *Registry) Nodes() []*Node { return r.nodes }
+
+// Healthy returns the nodes currently believed up, in registration
+// order (deterministic shard assignment).
+func (r *Registry) Healthy() []*Node {
+	out := make([]*Node, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		if n.Healthy() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ProbeAll probes every node once, concurrently, and refreshes the
+// health gauges. The first error is returned (all nodes are still
+// probed).
+func (r *Registry) ProbeAll(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, r.probeTimeout)
+	defer cancel()
+	errs := make([]error, len(r.nodes))
+	var wg sync.WaitGroup
+	for i, n := range r.nodes {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			errs[i] = n.probe(ctx)
+			if errs[i] != nil {
+				r.met.probeErr.With(n.Name()).Inc()
+			}
+			r.met.nodeUp.With(n.Name()).Set(b2i(n.Healthy()))
+		}(i, n)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Start launches the background probe loop at the given interval
+// (0 means 5s). Close stops it.
+func (r *Registry) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	if !r.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer close(r.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-ticker.C:
+				_ = r.ProbeAll(context.Background())
+			}
+		}
+	}()
+}
+
+// Close stops the probe loop (if started) and releases the pooled
+// connections. Safe to call more than once.
+func (r *Registry) Close() {
+	r.stopOnce.Do(func() {
+		close(r.stop)
+		if r.started.Load() {
+			select {
+			case <-r.done:
+			case <-time.After(r.probeTimeout + time.Second):
+			}
+		}
+		r.tr.CloseIdleConnections()
+	})
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -77,6 +77,17 @@ func (a *admission) estWait(pos int64) time.Duration {
 	return ewma * time.Duration(pos+1) / time.Duration(cap(a.slots))
 }
 
+// estRetryAfter is the nil-safe Retry-After value for a 503 issued
+// outside acquire (deadline, cancellation, drain): the wait a request
+// joining the queue right now should expect. With no limiter there is
+// no backlog signal, so the 1s floor stands alone.
+func (a *admission) estRetryAfter() time.Duration {
+	if a == nil {
+		return retryAfter(0)
+	}
+	return retryAfter(a.estWait(a.waiters.Load()))
+}
+
 // retryAfter rounds a wait estimate up to whole seconds for the
 // Retry-After header, with a 1s floor (0 reads as "retry immediately",
 // which is exactly the thundering herd the shed is trying to stop).

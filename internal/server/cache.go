@@ -33,12 +33,18 @@ import (
 // response, so neither belongs in the key. The prefilter flag does: an
 // aggressive future default could legitimately drop rules, so a
 // prefiltered result must never be served for an exact request (or vice
-// versa). The suffix appears only when set, keeping exact-mine keys —
-// and any cache entries persisted under them — unchanged.
+// versa). The column shard does too: a fleet worker's partial result
+// holds only the rules its range owns and must never alias the
+// full-mine entry under the same (hash, params). Each suffix appears
+// only when set, keeping exact-mine keys — and any cache entries
+// persisted under them — unchanged.
 func (p params) paramsKey() string {
 	k := fmt.Sprintf("t=%d ms=%d", p.threshold, p.minSupport)
 	if p.prefilter {
 		k += " pf=1"
+	}
+	if p.shard != nil {
+		k += fmt.Sprintf(" cols=%d-%d", p.shard.Lo, p.shard.Hi)
 	}
 	return k
 }

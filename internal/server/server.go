@@ -53,6 +53,7 @@ import (
 
 	"dmc/internal/cache"
 	"dmc/internal/core"
+	"dmc/internal/fleet"
 	"dmc/internal/matrix"
 	"dmc/internal/obs"
 	"dmc/internal/rules"
@@ -116,6 +117,16 @@ type Config struct {
 	// ShutdownGrace bounds the drain of in-flight requests once Run's
 	// context is canceled; zero means 30s.
 	ShutdownGrace time.Duration
+	// FleetWorker mounts the fleet worker endpoints (POST
+	// /v1/fleet/shard, PUT /v1/fleet/datasets/{name}): this replica
+	// accepts column-shard mine tasks and dataset replica pushes from a
+	// fleet coordinator. The probe endpoint GET /v1/fleet/info is
+	// mounted unconditionally.
+	FleetWorker bool
+	// Fleet, when set, makes this replica a fleet coordinator: mine
+	// requests with ?fleet=1 scatter across the coordinator's worker
+	// nodes and gather byte-identically to a local mine.
+	Fleet *fleet.Coordinator
 	// StreamMinBytes makes LoadDir register matrix files (.dmt/.dmb) at
 	// or above this size as file-backed: they stay on disk and mining
 	// requests stream them through the out-of-core engine instead of
@@ -353,14 +364,20 @@ func (s *Server) Ready() bool { return s.ready.Load() && !s.draining.Load() }
 // name.
 func (s *Server) Add(name string, m *matrix.Matrix) {
 	d := &dataset{m: m, info: info(name, m)}
-	if s.rc != nil {
-		// Content-address the dataset so its mine results are cacheable
-		// even without a durable store behind it.
+	if s.wantHash() {
 		if h, err := store.ContentHash(m); err == nil {
 			d.hash = h
 		}
 	}
 	s.add(name, d)
+}
+
+// wantHash reports whether resident datasets should be content-
+// addressed even without a durable store behind them: the mine-result
+// cache keys by hash, and fleet coordination uses it as the replica
+// identity (coordinator and worker sides both).
+func (s *Server) wantHash() bool {
+	return s.rc != nil || s.cfg.Fleet != nil || s.cfg.FleetWorker
 }
 
 // AddFile registers a file-backed dataset: only the header is read
@@ -403,8 +420,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case s.draining.Load():
+			// Retry-After on every 503 (not just admission sheds): fleet
+			// coordinators and external clients back off uniformly.
+			setRetryAfter(w, retryAfter(durOr(s.cfg.ShutdownGrace, 30*time.Second)))
 			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		case !s.ready.Load():
+			setRetryAfter(w, retryAfter(time.Second))
 			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "loading"})
 		default:
 			writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
@@ -419,6 +440,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/datasets/{name}/implications", s.handleImplications)
 	mux.HandleFunc("GET /v1/datasets/{name}/similarities", s.handleSimilarities)
 	mux.HandleFunc("GET /v1/datasets/{name}/expand", s.handleExpand)
+	mux.HandleFunc("GET "+fleet.InfoPath, s.handleFleetInfo)
+	if s.cfg.FleetWorker {
+		mux.HandleFunc("POST "+fleet.ShardPath, s.handleFleetShard)
+		mux.HandleFunc("PUT "+fleet.DatasetsPath+"{name}", s.handleFleetDataset)
+	}
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -442,6 +468,9 @@ func endpointLabel(r *http.Request) string {
 		return "/debug/pprof"
 	}
 	seg := strings.Split(strings.Trim(p, "/"), "/")
+	if len(seg) >= 3 && seg[0] == "v1" && seg[1] == "fleet" && seg[2] == "datasets" {
+		return "/v1/fleet/datasets/{name}"
+	}
 	if len(seg) >= 3 && seg[0] == "v1" && seg[1] == "datasets" {
 		if len(seg) == 3 {
 			return "/v1/datasets/{name}"
@@ -453,7 +482,8 @@ func endpointLabel(r *http.Request) string {
 		return "/v1/datasets/{name}/other"
 	}
 	switch p {
-	case "/v1/healthz", "/v1/readyz", "/v1/metrics", "/v1/datasets":
+	case "/v1/healthz", "/v1/readyz", "/v1/metrics", "/v1/datasets",
+		fleet.InfoPath, fleet.ShardPath:
 		return p
 	}
 	return "other"
@@ -598,7 +628,7 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusCreated, inf)
 			return
 		}
-	} else if s.rc != nil {
+	} else if s.wantHash() {
 		if h, err := store.ContentHash(m); err == nil {
 			hash = h
 		}
@@ -672,6 +702,7 @@ func runMine[R any](s *Server, w http.ResponseWriter, r *http.Request, pipeline 
 	select {
 	case <-ctx.Done():
 		s.metrics.timeouts.Inc()
+		setRetryAfter(w, s.adm.estRetryAfter())
 		writeErr(w, r, http.StatusServiceUnavailable, "mining did not finish before the request deadline; narrow the query or raise the limit")
 		return nil, core.Stats{}, false
 	case res := <-ch:
@@ -679,6 +710,7 @@ func runMine[R any](s *Server, w http.ResponseWriter, r *http.Request, pipeline 
 			switch {
 			case errors.Is(res.err, context.Canceled) || errors.Is(res.err, context.DeadlineExceeded):
 				s.metrics.timeouts.Inc()
+				setRetryAfter(w, s.adm.estRetryAfter())
 				writeErr(w, r, http.StatusServiceUnavailable, "mining was cancelled: %v", res.err)
 			case isBudgetErr(res.err):
 				writeErr(w, r, http.StatusInsufficientStorage, "mining exceeded the memory budget: %v", res.err)
@@ -887,7 +919,20 @@ func (s *Server) handleImplications(w http.ResponseWriter, r *http.Request) {
 		source = "cache"
 	}
 	var st core.Stats
-	if source == "" {
+	if source == "" && p.fleet {
+		if !s.fleetReady(w, r, d) {
+			return
+		}
+		var ok bool
+		rs, st, ok = runMine(s, w, r, "imp-fleet", func(ctx context.Context) ([]rules.Implication, core.Stats, error) {
+			return s.mineImpFleet(ctx, d, p)
+		})
+		if !ok {
+			return
+		}
+		source = "fleet"
+		s.storeImps(d, p, rs)
+	} else if source == "" {
 		opts := core.Options{MinSupport: p.minSupport, Hooks: s.hooks, MemBudgetBytes: s.cfg.MemBudgetBytes}
 		var ok bool
 		rs, st, ok = runMine(s, w, r, "imp", func(ctx context.Context) ([]rules.Implication, core.Stats, error) {
@@ -981,7 +1026,20 @@ func (s *Server) handleSimilarities(w http.ResponseWriter, r *http.Request) {
 		source = "cache"
 	}
 	var st core.Stats
-	if source == "" {
+	if source == "" && p.fleet {
+		if !s.fleetReady(w, r, d) {
+			return
+		}
+		var ok bool
+		rs, st, ok = runMine(s, w, r, "sim-fleet", func(ctx context.Context) ([]rules.Similarity, core.Stats, error) {
+			return s.mineSimFleet(ctx, d, p)
+		})
+		if !ok {
+			return
+		}
+		source = "fleet"
+		s.storeSims(d, p, rs)
+	} else if source == "" {
 		opts := core.Options{MinSupport: p.minSupport, Hooks: s.hooks, MemBudgetBytes: s.cfg.MemBudgetBytes}
 		if p.prefilter {
 			opts.Prefilter = &core.PrefilterOptions{}
@@ -1115,6 +1173,11 @@ type params struct {
 	limit      int
 	workers    int
 	prefilter  bool
+	fleet      bool
+	// shard is set only by the fleet shard handler: it restricts rule
+	// ownership to a column range and — via paramsKey — keys the cache
+	// so a partial result can never alias a full-mine entry.
+	shard *core.ShardRange
 }
 
 // maxWorkers caps the workers query parameter: mining goroutines are
@@ -1149,6 +1212,9 @@ func mineParams(r *http.Request) (params, error) {
 		return p, fmt.Errorf("workers %d outside [0,%d] (0 = one per CPU)", p.workers, maxWorkers)
 	}
 	if p.prefilter, err = boolParam(r, "prefilter"); err != nil {
+		return p, err
+	}
+	if p.fleet, err = boolParam(r, "fleet"); err != nil {
 		return p, err
 	}
 	return p, nil
@@ -1188,6 +1254,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 		// The header is gone; nothing more to do than drop the conn.
 		_ = err
 	}
+}
+
+// setRetryAfter stamps the whole-seconds Retry-After header: every 503
+// this server writes carries one, so fleet coordinators and external
+// clients back off uniformly instead of special-casing admission sheds.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	w.Header().Set("Retry-After", strconv.FormatInt(int64(d/time.Second), 10))
 }
 
 // writeErr emits the structured error body {"error", "request_id"}:
