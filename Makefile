@@ -5,9 +5,9 @@ GO ?= go
 # Pinned to the version CI runs; bump both together.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: ci lint fmt-check fmt vet build test race bench bench-json bench-compare fuzz-smoke fault-matrix store-crash fleet-smoke
+.PHONY: ci lint fmt-check fmt vet build test race bench bench-json bench-compare fuzz-smoke fault-matrix store-crash fleet-smoke jobs-crash
 
-ci: fmt-check vet lint build test race bench bench-compare fuzz-smoke fault-matrix store-crash fleet-smoke
+ci: fmt-check vet lint build test race bench bench-compare fuzz-smoke fault-matrix store-crash fleet-smoke jobs-crash
 
 # The same pinned staticcheck CI runs (downloads it on first use).
 lint:
@@ -71,6 +71,20 @@ fault-matrix:
 # shedding, and the restart soak with goroutine/fd leak checks.
 store-crash:
 	$(GO) test -race -run 'Store|KillRecover|Admission|Readyz|Drain|Brownout|DataDirRecovery|Soak|Cache|Append|Delete|PutOverwrite|Rollback' ./internal/store ./internal/cache ./internal/server ./cmd/dmcserve
+
+# The async job subsystem's crash-safety matrix under the race
+# detector: the JOBS journal property tests (torn tails repaired,
+# mid-file corruption refused, last-record-wins replay, compaction),
+# the weighted-fair queue share/work-conservation properties, SSE
+# misbehaving-client cells (slow reader dropped, mid-stream disconnect
+# leaks nothing), tenant quota sheds with Retry-After, and the re-exec
+# SIGKILL drill: kill dmcserve mid-job after the streaming checkpoint
+# commits, reboot over the same directories, and require the resumed
+# job's result byte-identical to an uninterrupted mine.
+jobs-crash:
+	$(GO) test -race ./internal/jobs
+	$(GO) test -race -run 'Job|SSE|Tenant|Shed|Admission|FairQueue' ./internal/server
+	$(GO) test -race -run 'JobsCrashResume' ./cmd/dmcserve
 
 # The distributed-mining acceptance matrix under the race detector: a
 # coordinator over two loopback workers (real TCP, real replica pushes)

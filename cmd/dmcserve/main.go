@@ -34,6 +34,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -63,9 +64,21 @@ func main() {
 		cacheMax   = flag.Int64("cache-max-bytes", 0, "cache size bound; least-recently-used entries are evicted beyond it (0 = 256 MiB)")
 		fleetWork  = flag.Bool("fleet-worker", false, "serve the fleet worker endpoints: accept column-shard mining tasks and dataset replicas from a coordinator")
 		fleetNodes = flag.String("fleet-nodes", "", "comma-separated worker base URLs (http://host:port); makes this replica a fleet coordinator so ?fleet=1 mines scatter across the workers")
-		fleetProbe = flag.Duration("fleet-probe-interval", 5*time.Second, "how often the coordinator health-probes its workers")
+		fleetProbe = flag.Duration("fleet-probe-interval", 5*time.Second, "how often the coordinator health-probes its workers (each cycle jittered ±25%)")
+		jobsDir    = flag.String("jobs-dir", "", "async job directory: enables POST /v1/jobs with a crash-safe journal here — a SIGKILL'd server re-admits incomplete jobs at the next boot and resumes them from their streaming checkpoints (empty disables async jobs)")
+		jobWorkers = flag.Int("job-workers", 2, "async job worker pool size")
+		quotaData  = flag.Int("tenant-quota-datasets", 0, "datasets one tenant may hold (0 = unlimited)")
+		quotaBytes = flag.Int64("tenant-quota-bytes", 0, "resident bytes one tenant's datasets may occupy (0 = unlimited)")
+		quotaJobs  = flag.Int("tenant-quota-jobs", 0, "queued+running async jobs one tenant may hold (0 = unlimited)")
+		weights    = flag.String("tenant-weights", "", "comma-separated name=weight fair-share scheduling weights (default weight 1); heavier tenants drain proportionally more queued work under contention")
 	)
 	flag.Parse()
+
+	tenantWeights, err := parseWeights(*weights)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmcserve:", err)
+		os.Exit(1)
+	}
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
 	if *logJSON {
@@ -86,6 +99,13 @@ func main() {
 		StreamMinBytes:     *streamMin,
 		MemBudgetBytes:     *memBudget,
 		FleetWorker:        *fleetWork,
+		JobWorkers:         *jobWorkers,
+		TenantQuota: server.TenantQuota{
+			MaxDatasets: *quotaData,
+			MaxBytes:    *quotaBytes,
+			MaxJobs:     *quotaJobs,
+		},
+		TenantWeights: tenantWeights,
 	}
 	var nodes []string
 	if *fleetNodes != "" {
@@ -95,6 +115,7 @@ func main() {
 		addr: *addr, dataDir: *data, storeDir: *dataDir,
 		cacheDir: *cacheDir, cacheMaxBytes: *cacheMax,
 		fleetNodes: nodes, fleetProbeInterval: *fleetProbe,
+		jobsDir: *jobsDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmcserve:", err)
@@ -107,6 +128,7 @@ func main() {
 	logger.Info("dmcserve listening",
 		slog.String("addr", ln.Addr().String()),
 		slog.String("data_dir", *dataDir),
+		slog.String("jobs_dir", *jobsDir),
 		slog.Bool("pprof", *pprofOn),
 		slog.Duration("request_timeout", *reqTimeout),
 		slog.Int("max_concurrent_mines", *maxMines),
@@ -128,6 +150,28 @@ type setupConfig struct {
 
 	fleetNodes         []string      // -fleet-nodes: worker base URLs
 	fleetProbeInterval time.Duration // -fleet-probe-interval
+
+	jobsDir string // -jobs-dir: crash-safe async job journal + scratch
+}
+
+// parseWeights parses the -tenant-weights "name=w,name=w" list.
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, kv := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -tenant-weights entry %q (want name=weight)", kv)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -tenant-weights weight in %q (want integer >= 1)", kv)
+		}
+		out[name] = w
+	}
+	return out, nil
 }
 
 // closerFunc adapts a function to io.Closer for setup's cleanup value.
@@ -147,8 +191,13 @@ func setup(cfg server.Config, sc setupConfig) (*server.Server, net.Listener, io.
 	var st *store.Store
 	var ca *cache.Cache
 	var freg *fleet.Registry
+	var srv *server.Server
 	closer := closerFunc(func() error {
 		var err error
+		if srv != nil {
+			// First: stops the job workers so nothing below is mid-write.
+			err = errors.Join(err, srv.CloseJobs())
+		}
 		if freg != nil {
 			freg.Close()
 		}
@@ -190,6 +239,7 @@ func setup(cfg server.Config, sc setupConfig) (*server.Server, net.Listener, io.
 		cfg.Fleet = fleet.NewCoordinator(freg, fleet.Options{})
 	}
 	s := server.NewWith(cfg)
+	srv = s
 	s.SetReady(false)
 	if err := s.LoadStore(); err != nil {
 		return fail(err)
@@ -197,6 +247,13 @@ func setup(cfg server.Config, sc setupConfig) (*server.Server, net.Listener, io.
 	if sc.dataDir != "" {
 		if err := s.LoadDir(sc.dataDir); err != nil {
 			return fail(err)
+		}
+	}
+	// Jobs open after the catalog loads (re-admitted jobs must find
+	// their datasets) and before readiness flips.
+	if sc.jobsDir != "" {
+		if err := s.OpenJobs(sc.jobsDir); err != nil {
+			return fail(fmt.Errorf("opening job subsystem: %w", err))
 		}
 	}
 	s.SetReady(true)

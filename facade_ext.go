@@ -35,6 +35,14 @@ func MineSimilaritiesFile(path string, minsim Threshold, opts Options) ([]Simila
 // prefetch depth for the double-buffered reader, and the temporary
 // directory the density buckets spill to. The zero value streams
 // serially with the framed block codec and default buffers.
+//
+// Setting CheckpointDir makes the partitioning pass durable: the
+// density buckets and their manifest survive the process, and a later
+// run over the same input with Resume set skips the partitioning scan
+// and goes straight to counting (OnResume fires when that happens).
+// This is the crash-safety primitive dmcserve's async job subsystem
+// builds on — a SIGKILL'd job resumes from its checkpoint instead of
+// restarting, with byte-identical results.
 type StreamConfig = stream.Config
 
 // MineImplicationsFileCfg is MineImplicationsFile with explicit

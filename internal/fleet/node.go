@@ -68,32 +68,68 @@ func (n *Node) Healthy() bool { return n.healthy.Load() }
 // CPUs is the capacity the node reported on its last good probe.
 func (n *Node) CPUs() int { return int(n.cpus.Load()) }
 
+// Probe failure reasons, the label values of
+// dmc_fleet_probe_failures_total. "connect" is a transport-level
+// failure (refused, reset, timed out), "status" a non-200 answer,
+// "decode" an unparseable Info body, "not_ready" a worker that answered
+// but reported itself loading or draining.
+const (
+	probeConnect  = "connect"
+	probeStatus   = "status"
+	probeDecode   = "decode"
+	probeNotReady = "not_ready"
+)
+
+// probeFailure classifies why a probe failed, so operators can tell a
+// dead worker (connect) from a draining one (not_ready) on the metric
+// alone.
+type probeFailure struct {
+	reason string
+	err    error
+}
+
+func (e *probeFailure) Error() string { return e.err.Error() }
+func (e *probeFailure) Unwrap() error { return e.err }
+
+// probeReason extracts the failure classification; errors from outside
+// the probe path read as "unknown".
+func probeReason(err error) string {
+	var pf *probeFailure
+	if errors.As(err, &pf) {
+		return pf.reason
+	}
+	return "unknown"
+}
+
 // probe refreshes the node's health from its Info endpoint.
 func (n *Node) probe(ctx context.Context) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.base+InfoPath, nil)
 	if err != nil {
-		return err
+		return &probeFailure{reason: probeConnect, err: err}
 	}
 	resp, err := n.client.Do(req)
 	if err != nil {
 		n.healthy.Store(false)
-		return err
+		return &probeFailure{reason: probeConnect, err: err}
 	}
 	defer drain(resp.Body)
 	var info Info
 	if resp.StatusCode != http.StatusOK {
 		n.healthy.Store(false)
-		return fmt.Errorf("fleet: probe %s: status %d", n.name, resp.StatusCode)
+		return &probeFailure{reason: probeStatus,
+			err: fmt.Errorf("fleet: probe %s: status %d", n.name, resp.StatusCode)}
 	}
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&info); err != nil {
 		n.healthy.Store(false)
-		return fmt.Errorf("fleet: probe %s: %w", n.name, err)
+		return &probeFailure{reason: probeDecode,
+			err: fmt.Errorf("fleet: probe %s: %w", n.name, err)}
 	}
 	n.cpus.Store(int64(info.CPUs))
 	up := info.Status == "ready"
 	n.healthy.Store(up)
 	if !up {
-		return fmt.Errorf("fleet: probe %s: worker %s", n.name, info.Status)
+		return &probeFailure{reason: probeNotReady,
+			err: fmt.Errorf("fleet: probe %s: worker %s", n.name, info.Status)}
 	}
 	return nil
 }

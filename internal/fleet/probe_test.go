@@ -1,0 +1,82 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dmc/internal/obs"
+)
+
+// TestProbeFailureReasons: every way a probe can fail lands on its own
+// dmc_fleet_probe_failures_total{node,reason} label, so a dashboard
+// can tell dead workers from draining ones.
+func TestProbeFailureReasons(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		handler http.HandlerFunc
+		reason  string
+	}{
+		{"status", func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}, probeStatus},
+		{"decode", func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte("{not json"))
+		}, probeDecode},
+		{"not_ready", func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte(`{"status":"draining","cpus":4}`))
+		}, probeNotReady},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(tc.handler)
+			defer ts.Close()
+			reg, err := NewRegistry([]string{ts.URL}, obs.NewRegistry())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer reg.Close()
+			if err := reg.ProbeAll(context.Background()); err == nil {
+				t.Fatal("probe succeeded against a broken worker")
+			}
+			node := ts.Listener.Addr().String()
+			if got := reg.met.probeErr.With(node, tc.reason).Value(); got != 1 {
+				t.Fatalf("probe_failures{%s,%s} = %d, want 1", node, tc.reason, got)
+			}
+			if reg.Nodes()[0].Healthy() {
+				t.Fatal("failed probe left the node healthy")
+			}
+		})
+	}
+
+	// Transport-level failure: nothing listening.
+	reg, err := NewRegistry([]string{"http://127.0.0.1:1"}, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	_ = reg.ProbeAll(context.Background())
+	if got := reg.met.probeErr.With("127.0.0.1:1", probeConnect).Value(); got != 1 {
+		t.Fatalf("probe_failures{connect} = %d, want 1", got)
+	}
+}
+
+// TestProbeJitterBounds: the probe cycle delay stays within
+// [0.75, 1.25] x interval and actually varies, so coordinators that
+// started together drift apart instead of probing in lockstep.
+func TestProbeJitterBounds(t *testing.T) {
+	const interval = 4 * time.Second
+	lo, hi := 3*time.Second, 5*time.Second
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 1000; i++ {
+		d := probeJitter(interval)
+		if d < lo || d >= hi {
+			t.Fatalf("probeJitter(%v) = %v, outside [%v, %v)", interval, d, lo, hi)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("probeJitter produced only %d distinct delays in 1000 draws", len(seen))
+	}
+}

@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"errors"
+	"math/rand/v2"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -43,7 +44,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 		nodeUp: reg.GaugeVec("dmc_fleet_node_up",
 			"Per-node health from the last probe or shard attempt (1 = up).", "node"),
 		probeErr: reg.CounterVec("dmc_fleet_probe_failures_total",
-			"Failed health probes.", "node"),
+			"Failed health probes, classified: connect, status, decode, not_ready.",
+			"node", "reason"),
 	}
 }
 
@@ -126,7 +128,7 @@ func (r *Registry) ProbeAll(ctx context.Context) error {
 			defer wg.Done()
 			errs[i] = n.probe(ctx)
 			if errs[i] != nil {
-				r.met.probeErr.With(n.Name()).Inc()
+				r.met.probeErr.With(n.Name(), probeReason(errs[i])).Inc()
 			}
 			r.met.nodeUp.With(n.Name()).Set(b2i(n.Healthy()))
 		}(i, n)
@@ -136,7 +138,10 @@ func (r *Registry) ProbeAll(ctx context.Context) error {
 }
 
 // Start launches the background probe loop at the given interval
-// (0 means 5s). Close stops it.
+// (0 means 5s). Each cycle is jittered uniformly over
+// [0.75, 1.25] x interval so N coordinators that restarted together —
+// a deploy, a recovered partition — spread their probes out instead of
+// hammering every worker in lockstep forever. Close stops the loop.
 func (r *Registry) Start(interval time.Duration) {
 	if interval <= 0 {
 		interval = 5 * time.Second
@@ -146,17 +151,25 @@ func (r *Registry) Start(interval time.Duration) {
 	}
 	go func() {
 		defer close(r.done)
-		ticker := time.NewTicker(interval)
-		defer ticker.Stop()
+		timer := time.NewTimer(probeJitter(interval))
+		defer timer.Stop()
 		for {
 			select {
 			case <-r.stop:
 				return
-			case <-ticker.C:
+			case <-timer.C:
 				_ = r.ProbeAll(context.Background())
+				timer.Reset(probeJitter(interval))
 			}
 		}
 	}()
+}
+
+// probeJitter draws one probe cycle's delay: uniform in
+// [0.75, 1.25] x interval.
+func probeJitter(interval time.Duration) time.Duration {
+	half := int64(interval) / 2
+	return time.Duration(3*half/2 + rand.Int64N(half))
 }
 
 // Close stops the probe loop (if started) and releases the pooled

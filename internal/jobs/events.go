@@ -1,0 +1,201 @@
+package jobs
+
+import (
+	"sync"
+)
+
+// The event hub fans job progress out to SSE subscribers. The contract
+// the serving layer needs from it:
+//
+//   - publishing never blocks the mining goroutine: a subscriber whose
+//     bounded buffer is full is a slow or stuck client, and it is
+//     dropped (channel closed with Dropped set) rather than allowed to
+//     backpressure the job;
+//   - a subscription to a job that is already terminal replays the
+//     final state immediately and closes, so late pollers don't hang;
+//   - Unsubscribe is idempotent and safe against concurrent publishes,
+//     so an SSE handler can always `defer cancel()` and leak nothing.
+
+// EventType classifies one progress event.
+type EventType string
+
+const (
+	// EventState marks a lifecycle transition; Event.State holds the
+	// new state (and Error/Result are populated on terminal states).
+	EventState EventType = "state"
+	// EventPhase reports a completed pipeline phase (from the core
+	// OnPhase hook) with its duration.
+	EventPhase EventType = "phase"
+	// EventStats carries the end-of-run mining statistics summary.
+	EventStats EventType = "stats"
+)
+
+// Event is one progress report for a job, shaped for the SSE wire.
+type Event struct {
+	Seq      int       `json:"seq"`
+	Job      string    `json:"job"`
+	Type     EventType `json:"type"`
+	State    State     `json:"state,omitempty"`
+	Error    string    `json:"error,omitempty"`
+	Result   string    `json:"result,omitempty"`
+	Phase    string    `json:"phase,omitempty"`
+	Pipeline string    `json:"pipeline,omitempty"`
+	// ElapsedMS is the phase duration (EventPhase) or total run time
+	// (EventStats), in milliseconds.
+	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
+	// Rules is the rule count (EventStats and terminal EventState).
+	Rules int `json:"rules,omitempty"`
+	// Attempt is the 1-based execution attempt that emitted the event.
+	Attempt int `json:"attempt,omitempty"`
+}
+
+// Subscription is one subscriber's bounded event feed. Events delivers
+// in publish order and is closed when the job reaches a terminal state
+// or the subscriber is dropped for not keeping up.
+type Subscription struct {
+	// C delivers the events. Closed on job completion or drop.
+	C <-chan Event
+
+	hub *eventHub
+	job string
+	ch  chan Event
+
+	mu      sync.Mutex
+	dropped bool
+	closed  bool
+}
+
+// Dropped reports whether the hub dropped this subscriber because its
+// buffer was full (a slow reader). Meaningful once C is closed.
+func (s *Subscription) Dropped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Cancel detaches the subscription. Idempotent; safe concurrently with
+// publishes. After Cancel returns no further events are delivered, and
+// C has been closed.
+func (s *Subscription) Cancel() { s.hub.unsubscribe(s) }
+
+// eventHub is the per-manager registry of subscriptions, keyed by job.
+type eventHub struct {
+	mu     sync.Mutex
+	subs   map[string][]*Subscription
+	seq    map[string]int
+	buffer int
+	onDrop func()
+}
+
+func newEventHub(buffer int, onDrop func()) *eventHub {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	return &eventHub{
+		subs:   make(map[string][]*Subscription),
+		seq:    make(map[string]int),
+		buffer: buffer,
+		onDrop: onDrop,
+	}
+}
+
+// subscribe attaches a new bounded subscription for job id. snapshot,
+// when non-nil, is the job's current state, delivered immediately so a
+// new SSE client sees a frame at connect time instead of silence until
+// the next transition. final marks the snapshot as the job's last word
+// (the job is already terminal): it is replayed and the subscription
+// closed, so the SSE handler for a done job streams one state event and
+// ends.
+func (h *eventHub) subscribe(id string, snapshot *Event, final bool) *Subscription {
+	s := &Subscription{hub: h, job: id, ch: make(chan Event, h.buffer)}
+	s.C = s.ch
+	if final && snapshot != nil {
+		s.ch <- *snapshot
+		close(s.ch)
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		return s
+	}
+	h.mu.Lock()
+	if snapshot != nil {
+		// Sequenced under the hub lock so the snapshot's id and every
+		// later event's stay unique and increasing per job. The channel
+		// is fresh and the buffer at least 1: this send cannot block.
+		ev := *snapshot
+		ev.Seq = h.seq[id]
+		h.seq[id] = ev.Seq + 1
+		s.ch <- ev
+	}
+	h.subs[id] = append(h.subs[id], s)
+	h.mu.Unlock()
+	return s
+}
+
+// publish delivers ev to every subscriber of its job, dropping any
+// whose buffer is full, and closes the feeds when the event is a
+// terminal state transition.
+func (h *eventHub) publish(ev Event, terminal bool) {
+	h.mu.Lock()
+	ev.Seq = h.seq[ev.Job]
+	h.seq[ev.Job] = ev.Seq + 1
+	subs := h.subs[ev.Job]
+	var dropped []*Subscription
+	kept := subs[:0]
+	for _, s := range subs {
+		select {
+		case s.ch <- ev:
+			kept = append(kept, s)
+		default:
+			// Full buffer: the client is not reading. Cutting it loose
+			// here is what keeps publish non-blocking for the miner.
+			dropped = append(dropped, s)
+		}
+	}
+	if terminal {
+		for _, s := range kept {
+			s.markClosedAndClose(false)
+		}
+		delete(h.subs, ev.Job)
+		delete(h.seq, ev.Job)
+	} else {
+		h.subs[ev.Job] = kept
+	}
+	h.mu.Unlock()
+	for _, s := range dropped {
+		s.markClosedAndClose(true)
+		if h.onDrop != nil {
+			h.onDrop()
+		}
+	}
+}
+
+func (s *Subscription) markClosedAndClose(dropped bool) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.dropped = dropped
+	s.mu.Unlock()
+	close(s.ch)
+}
+
+// unsubscribe detaches s from the hub and closes its channel if the
+// hub hadn't already.
+func (h *eventHub) unsubscribe(s *Subscription) {
+	h.mu.Lock()
+	subs := h.subs[s.job]
+	for i, cand := range subs {
+		if cand == s {
+			h.subs[s.job] = append(subs[:i], subs[i+1:]...)
+			break
+		}
+	}
+	if len(h.subs[s.job]) == 0 {
+		delete(h.subs, s.job)
+	}
+	h.mu.Unlock()
+	s.markClosedAndClose(false)
+}

@@ -1,0 +1,145 @@
+package jobs
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHubDeliversInOrder(t *testing.T) {
+	h := newEventHub(8, nil)
+	s := h.subscribe("j1", nil, false)
+	for i := 0; i < 3; i++ {
+		h.publish(Event{Job: "j1", Type: EventPhase}, false)
+	}
+	h.publish(Event{Job: "j1", Type: EventState, State: StateDone}, true)
+	var seqs []int
+	for ev := range s.C {
+		seqs = append(seqs, ev.Seq)
+	}
+	if len(seqs) != 4 {
+		t.Fatalf("got %d events, want 4", len(seqs))
+	}
+	for i, seq := range seqs {
+		if seq != i {
+			t.Fatalf("event %d has seq %d", i, seq)
+		}
+	}
+	if s.Dropped() {
+		t.Fatal("well-behaved subscriber marked dropped")
+	}
+}
+
+func TestHubDropsSlowReader(t *testing.T) {
+	var drops atomic.Int32
+	h := newEventHub(2, func() { drops.Add(1) })
+	slow := h.subscribe("j1", nil, false)
+	// The slow subscriber never reads: buffer (2) fills, the third
+	// publish drops it. Publishing must never block.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 5; i++ {
+			h.publish(Event{Job: "j1", Type: EventPhase}, false)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publish blocked on a slow subscriber")
+	}
+	// Its channel is closed with Dropped set.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, open := <-slow.C; !open {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slow subscriber's channel never closed")
+		}
+	}
+	if !slow.Dropped() {
+		t.Fatal("slow subscriber not marked dropped")
+	}
+	if drops.Load() != 1 {
+		t.Fatalf("drop callback fired %d times, want 1", drops.Load())
+	}
+}
+
+func TestHubTerminalReplay(t *testing.T) {
+	h := newEventHub(4, nil)
+	final := Event{Job: "j1", Type: EventState, State: StateDone, Result: "sha256-aa", Rules: 7}
+	s := h.subscribe("j1", &final, true)
+	ev, open := <-s.C
+	if !open || ev.State != StateDone || ev.Rules != 7 {
+		t.Fatalf("terminal replay event = %+v open=%v", ev, open)
+	}
+	if _, open := <-s.C; open {
+		t.Fatal("terminal subscription not closed after replay")
+	}
+}
+
+func TestHubCancelIdempotentAndLeakFree(t *testing.T) {
+	h := newEventHub(4, nil)
+	s := h.subscribe("j1", nil, false)
+	s.Cancel()
+	s.Cancel() // second cancel must not panic or double-close
+	if _, open := <-s.C; open {
+		t.Fatal("cancelled subscription channel still open")
+	}
+	// Cancelling after a terminal publish already closed it is also fine.
+	s2 := h.subscribe("j2", nil, false)
+	h.publish(Event{Job: "j2", Type: EventState, State: StateFailed}, true)
+	s2.Cancel()
+
+	h.mu.Lock()
+	nsubs := len(h.subs)
+	h.mu.Unlock()
+	if nsubs != 0 {
+		t.Fatalf("hub retains %d subscription lists", nsubs)
+	}
+}
+
+// TestSubscribeCompletionRace: subscribing while the job finishes must
+// yield either the live terminal event or the replayed one — never a
+// hang, never a miss. Exercised through a real Manager since the
+// race-freedom comes from publishing under Manager.mu.
+func TestSubscribeCompletionRace(t *testing.T) {
+	m, err := Open(t.TempDir(), Options{Run: nopRunner, Workers: 4})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer m.Close()
+	m.Start()
+	for i := 0; i < 30; i++ {
+		j, err := m.Submit("t", Params{Dataset: "d", Pipeline: "imp", Threshold: 90})
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		runtime.Gosched()
+		sub, err := m.Subscribe("t", j.ID)
+		if err != nil {
+			t.Fatalf("subscribe: %v", err)
+		}
+		sawTerminal := false
+		timeout := time.After(10 * time.Second)
+	drain:
+		for {
+			select {
+			case ev, open := <-sub.C:
+				if !open {
+					break drain
+				}
+				if ev.Type == EventState && ev.State.Terminal() {
+					sawTerminal = true
+				}
+			case <-timeout:
+				t.Fatal("subscription neither terminated nor closed")
+			}
+		}
+		if !sawTerminal && !sub.Dropped() {
+			t.Fatalf("iteration %d: closed without a terminal event", i)
+		}
+	}
+}

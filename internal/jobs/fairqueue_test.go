@@ -1,0 +1,176 @@
+package jobs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFairQueueFIFOWithinTenant(t *testing.T) {
+	q := NewFairQueue(nil)
+	for i := 0; i < 5; i++ {
+		q.Push("t", 10, i)
+	}
+	for i := 0; i < 5; i++ {
+		it := q.Pop()
+		if it == nil || it.Value.(int) != i {
+			t.Fatalf("pop %d: got %v", i, it)
+		}
+	}
+	if q.Pop() != nil {
+		t.Fatal("pop from empty queue")
+	}
+}
+
+func TestFairQueueInterleavesEqualTenants(t *testing.T) {
+	q := NewFairQueue(nil)
+	// Tenant a floods first; b's single item must not wait behind the
+	// whole flood.
+	for i := 0; i < 10; i++ {
+		q.Push("a", 10, "a")
+	}
+	q.Push("b", 10, "b")
+	seenB := -1
+	for i := 0; ; i++ {
+		it := q.Pop()
+		if it == nil {
+			break
+		}
+		if it.Value.(string) == "b" {
+			seenB = i
+		}
+	}
+	if seenB < 0 || seenB > 2 {
+		t.Fatalf("tenant b popped at position %d, want near the front", seenB)
+	}
+}
+
+// TestFairQueueWeightedShare is the WFQ fairness property: under a
+// sustained backlog, pops are divided in proportion to weight — the
+// 1-weight tenant receives within tolerance of its entitled share even
+// while a 4-weight tenant floods.
+func TestFairQueueWeightedShare(t *testing.T) {
+	q := NewFairQueue(map[string]int{"heavy": 4, "light": 1})
+	const n = 500
+	for i := 0; i < n; i++ {
+		q.Push("heavy", 10, "heavy")
+		q.Push("light", 10, "light")
+	}
+	// Sample the first window of pops, while both tenants stay
+	// backlogged: the share there is the steady-state share.
+	const window = 200
+	counts := map[string]int{}
+	for i := 0; i < window; i++ {
+		counts[q.Pop().Value.(string)]++
+	}
+	gotLight := float64(counts["light"]) / window
+	wantLight := 1.0 / 5.0
+	if math.Abs(gotLight-wantLight) > 0.05 {
+		t.Fatalf("light share %.3f, want %.3f ± 0.05 (counts %v)", gotLight, wantLight, counts)
+	}
+}
+
+// TestFairQueueCostAwareShare: equal weights but unequal costs — the
+// expensive tenant receives fewer pops, equalizing virtual *time*.
+func TestFairQueueCostAwareShare(t *testing.T) {
+	q := NewFairQueue(nil)
+	const n = 400
+	for i := 0; i < n; i++ {
+		q.Push("cheap", 10, "cheap")
+		q.Push("costly", 30, "costly")
+	}
+	const window = 200
+	counts := map[string]int{}
+	for i := 0; i < window; i++ {
+		counts[q.Pop().Value.(string)]++
+	}
+	// Equal time shares → pops split 3:1 toward the cheap tenant.
+	gotCheap := float64(counts["cheap"]) / window
+	if math.Abs(gotCheap-0.75) > 0.06 {
+		t.Fatalf("cheap share %.3f, want 0.75 ± 0.06 (counts %v)", gotCheap, counts)
+	}
+}
+
+// TestFairQueueWorkConserving: the queue never withholds work — every
+// Pop on a non-empty queue returns an item, and all pushed items come
+// out exactly once across any pop/remove interleaving.
+func TestFairQueueWorkConserving(t *testing.T) {
+	q := NewFairQueue(map[string]int{"a": 3})
+	items := make([]*FairItem, 0, 90)
+	for i := 0; i < 30; i++ {
+		items = append(items, q.Push("a", 5, i))
+		items = append(items, q.Push("b", 17, 100+i))
+		items = append(items, q.Push("c", 2, 200+i))
+	}
+	// Remove a scattering mid-stream, like waiters whose contexts died.
+	removed := map[int]bool{}
+	for i := 0; i < len(items); i += 7 {
+		if q.Remove(items[i]) {
+			removed[items[i].Value.(int)] = true
+		}
+	}
+	seen := map[int]bool{}
+	for {
+		it := q.Pop()
+		if it == nil {
+			break
+		}
+		v := it.Value.(int)
+		if seen[v] || removed[v] {
+			t.Fatalf("item %d delivered twice or after removal", v)
+		}
+		seen[v] = true
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: len=%d", q.Len())
+	}
+	if len(seen)+len(removed) != len(items) {
+		t.Fatalf("items lost: seen=%d removed=%d pushed=%d", len(seen), len(removed), len(items))
+	}
+	// Double-remove and remove-after-pop must report false.
+	if q.Remove(items[0]) {
+		t.Fatal("Remove returned true for an already-gone item")
+	}
+}
+
+func TestFairQueueIdleTenantNotPenalized(t *testing.T) {
+	q := NewFairQueue(nil)
+	// Drive virtual time forward with a busy tenant.
+	for i := 0; i < 50; i++ {
+		q.Push("busy", 100, "busy")
+	}
+	for i := 0; i < 50; i++ {
+		q.Pop()
+	}
+	// A newcomer enters at the current virtual time, not at zero — its
+	// first item should pop ahead of a fresh flood's deep backlog.
+	for i := 0; i < 20; i++ {
+		q.Push("busy", 100, "busy")
+	}
+	q.Push("new", 100, "new")
+	pos := -1
+	for i := 0; i < 21; i++ {
+		if q.Pop().Value.(string) == "new" {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 || pos > 2 {
+		t.Fatalf("idle tenant's item popped at %d, want near front", pos)
+	}
+}
+
+func TestFairQueueWeightDefaults(t *testing.T) {
+	q := NewFairQueue(map[string]int{"zero": 0, "neg": -3, "five": 5})
+	if w := q.Weight("zero"); w != 1 {
+		t.Fatalf("weight(zero)=%d", w)
+	}
+	if w := q.Weight("neg"); w != 1 {
+		t.Fatalf("weight(neg)=%d", w)
+	}
+	if w := q.Weight("absent"); w != 1 {
+		t.Fatalf("weight(absent)=%d", w)
+	}
+	if w := q.Weight("five"); w != 5 {
+		t.Fatalf("weight(five)=%d", w)
+	}
+}

@@ -1,0 +1,274 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"dmc/internal/fault"
+)
+
+// The JOBS journal is the job table's commit log, in the exact framing
+// and crash-safety discipline of the dataset store's CATALOG: one
+// CRC-framed JSON record per state transition, appended and fsynced
+// before the transition is acknowledged. A job exists — and a result
+// is committed — exactly when its record is durably in the journal.
+//
+// Replay at boot folds the records in order (the last record for an id
+// wins). A torn tail is the signature of a crash mid-append: it is
+// detected by the frame CRC, trusted up to the tear, and repaired by
+// compaction. Damage a tear cannot produce — bad magic, a bad frame
+// with valid frames after it, checksummed garbage — fails Open with
+// ErrCorrupt so committed job records are never repaired away.
+//
+// Layout:
+//
+//	8-byte magic "DMCJOB01"
+//	repeat: uint32 LE payload length | uint32 LE crc32c(payload) | payload
+
+var jobsMagic = []byte("DMCJOB01")
+
+// maxJobRecordBytes bounds one journal record; a length beyond it is
+// corruption or a foreign format, not a huge job.
+const maxJobRecordBytes = 1 << 20
+
+var jobsCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt marks a JOBS journal Open refuses to repair: the damage is
+// not a tail tear, so truncating would destroy committed job records.
+var ErrCorrupt = errors.New("jobs: journal corrupt; operator intervention required")
+
+// frameJob encodes one job snapshot as a CRC-framed journal frame.
+func frameJob(j *Job) ([]byte, error) {
+	payload, err := json.Marshal(j)
+	if err != nil {
+		return nil, err
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, jobsCRC))
+	copy(frame[8:], payload)
+	return frame, nil
+}
+
+// replayJobs reads the journal at path and folds its records into the
+// job table. torn reports a detected tail tear (repaired by the
+// caller's compaction); anything a tear cannot explain fails with
+// ErrCorrupt. A missing file is an empty journal. total counts records
+// read so the caller can decide whether compaction is due.
+func replayJobs(fs fault.FS, path string) (live map[string]*Job, total int, torn bool, err error) {
+	live = make(map[string]*Job)
+	f, err := fs.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return live, 0, false, nil
+		}
+		return nil, 0, false, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(fault.NewRetryReader(nil, f, fault.RetryPolicy{}))
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("jobs: reading journal: %w", err)
+	}
+	if len(data) == 0 {
+		return live, 0, false, nil
+	}
+	if len(data) < len(jobsMagic) || !bytes.Equal(data[:len(jobsMagic)], jobsMagic) {
+		if len(data) < len(jobsMagic) && bytes.Equal(data, jobsMagic[:len(data)]) {
+			// Torn header from a crash during journal creation: nothing
+			// trustworthy follows, and nothing was lost.
+			return live, 0, true, nil
+		}
+		return nil, 0, false, fmt.Errorf("jobs: journal %s: bad magic: %w", path, ErrCorrupt)
+	}
+	off := len(jobsMagic)
+	for off < len(data) {
+		bad := func(what string) (map[string]*Job, int, bool, error) {
+			if nextValidJobFrame(data, off+1) {
+				return nil, 0, false, fmt.Errorf(
+					"jobs: journal %s: %s at offset %d with valid frames after it: %w",
+					path, what, off, ErrCorrupt)
+			}
+			return live, total, true, nil
+		}
+		if len(data)-off < 8 {
+			return bad("torn frame header")
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n == 0 {
+			// crc32c("") == 0, so an all-zeros header self-validates: the
+			// zero-filled tail some filesystems leave after a crash. A
+			// tear, unless real frames follow.
+			return bad("zero-length frame")
+		}
+		if n > maxJobRecordBytes || len(data)-off-8 < n {
+			return bad("torn or garbage length")
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.Checksum(payload, jobsCRC) != sum {
+			return bad("bad frame checksum")
+		}
+		var j Job
+		if err := json.Unmarshal(payload, &j); err != nil || j.ID == "" {
+			// The CRC matched, so these bytes were written whole — a
+			// frame we cannot parse is a newer format or foreign data,
+			// not a tear.
+			return nil, 0, false, fmt.Errorf(
+				"jobs: journal %s: unparseable record at offset %d: %w", path, off, ErrCorrupt)
+		}
+		total++
+		live[j.ID] = &j
+		off += 8 + n
+	}
+	return live, total, false, nil
+}
+
+// nextValidJobFrame reports whether a structurally valid frame starts
+// anywhere at or after off — proof that damage before it is mid-file
+// corruption, not a tail tear.
+func nextValidJobFrame(data []byte, off int) bool {
+	for i := off; i+8 <= len(data); i++ {
+		n := int(binary.LittleEndian.Uint32(data[i : i+4]))
+		if n == 0 || n > maxJobRecordBytes || i+8+n > len(data) {
+			continue
+		}
+		payload := data[i+8 : i+8+n]
+		if crc32.Checksum(payload, jobsCRC) != binary.LittleEndian.Uint32(data[i+4:i+8]) {
+			continue
+		}
+		var j Job
+		if json.Unmarshal(payload, &j) == nil && j.ID != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// appendJobLocked durably appends one job snapshot. On a failed append
+// the journal may hold a torn frame that would poison later records, so
+// it is immediately compacted from the live table; if even that fails
+// the manager is poisoned until reopened — the same protocol as the
+// dataset store.
+func (m *Manager) appendJobLocked(j *Job) error {
+	if m.journal == nil {
+		if err := m.openJournalLocked(); err != nil {
+			return err
+		}
+	}
+	frame, err := frameJob(j)
+	if err != nil {
+		return err
+	}
+	werr := func() error {
+		if _, err := m.journal.Write(frame); err != nil {
+			return err
+		}
+		return m.journal.Sync()
+	}()
+	if werr == nil {
+		m.total++
+		return nil
+	}
+	if cerr := m.compactLocked(); cerr != nil {
+		m.poisoned = true
+		return errors.Join(werr, cerr, ErrCorrupt)
+	}
+	return werr
+}
+
+func (m *Manager) openJournalLocked() error {
+	fs := m.opts.fs()
+	fi, statErr := os.Stat(m.journalPath())
+	fresh := statErr != nil || fi.Size() == 0
+	f, err := fs.Append(m.journalPath())
+	if err != nil {
+		return err
+	}
+	if fresh {
+		if _, err := f.Write(jobsMagic); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		// The journal's own directory entry must be durable before any
+		// record lands in it.
+		if err := fault.SyncDir(fs, filepath.Dir(m.journalPath())); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if m.journal != nil {
+		m.journal.Close()
+	}
+	m.journal = f
+	return nil
+}
+
+// compactLocked snapshots the live job table into a fresh journal and
+// atomically replaces JOBS with it (tmp + fsync + rename + dir fsync),
+// then reopens the append handle.
+func (m *Manager) compactLocked() error {
+	fs := m.opts.fs()
+	tmp := m.journalPath() + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	werr := func() error {
+		if _, err := f.Write(jobsMagic); err != nil {
+			return err
+		}
+		ids := make([]string, 0, len(m.jobs))
+		for id := range m.jobs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			frame, err := frameJob(m.jobs[id])
+			if err != nil {
+				return err
+			}
+			if _, err := f.Write(frame); err != nil {
+				return err
+			}
+		}
+		return f.Sync()
+	}()
+	if werr != nil {
+		f.Close()
+		os.Remove(tmp)
+		return werr
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := fs.Rename(tmp, m.journalPath()); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := fault.SyncDir(fs, filepath.Dir(m.journalPath())); err != nil {
+		return err
+	}
+	if m.journal != nil {
+		m.journal.Close()
+		m.journal = nil
+	}
+	if err := m.openJournalLocked(); err != nil {
+		return err
+	}
+	m.total = len(m.jobs)
+	m.met.compactions.Inc()
+	return nil
+}

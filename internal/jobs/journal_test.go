@@ -1,0 +1,259 @@
+package jobs
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dmc/internal/fault"
+)
+
+func readJournal(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	return data
+}
+
+func writeJournal(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write journal: %v", err)
+	}
+}
+
+// journalWith builds a valid journal containing the given jobs.
+func journalWith(t *testing.T, jobs ...*Job) []byte {
+	t.Helper()
+	data := append([]byte(nil), jobsMagic...)
+	for _, j := range jobs {
+		frame, err := frameJob(j)
+		if err != nil {
+			t.Fatalf("frame: %v", err)
+		}
+		data = append(data, frame...)
+	}
+	return data
+}
+
+func TestReplayJobsMissingFile(t *testing.T) {
+	live, total, torn, err := replayJobs(fault.OS, filepath.Join(t.TempDir(), "JOBS"))
+	if err != nil || torn || total != 0 || len(live) != 0 {
+		t.Fatalf("missing file: live=%v total=%d torn=%v err=%v", live, total, torn, err)
+	}
+}
+
+func TestReplayJobsLastRecordWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "JOBS")
+	writeJournal(t, path, journalWith(t,
+		&Job{ID: "a", State: StateQueued},
+		&Job{ID: "b", State: StateQueued},
+		&Job{ID: "a", State: StateRunning, Attempts: 1},
+		&Job{ID: "a", State: StateDone, Result: "sha256-ff", Rules: 3},
+	))
+	live, total, torn, err := replayJobs(fault.OS, path)
+	if err != nil || torn {
+		t.Fatalf("replay: torn=%v err=%v", torn, err)
+	}
+	if total != 4 || len(live) != 2 {
+		t.Fatalf("total=%d live=%d, want 4/2", total, len(live))
+	}
+	if a := live["a"]; a.State != StateDone || a.Result != "sha256-ff" || a.Rules != 3 {
+		t.Fatalf("job a = %+v", a)
+	}
+	if live["b"].State != StateQueued {
+		t.Fatalf("job b = %+v", live["b"])
+	}
+}
+
+func TestReplayJobsTornTailVariants(t *testing.T) {
+	base := journalWith(t,
+		&Job{ID: "a", State: StateQueued},
+		&Job{ID: "b", State: StateRunning},
+	)
+	frame, _ := frameJob(&Job{ID: "c", State: StateQueued})
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"torn header", append(append([]byte(nil), base...), frame[:5]...)},
+		{"torn payload", append(append([]byte(nil), base...), frame[:len(frame)-3]...)},
+		{"zero tail", append(append([]byte(nil), base...), make([]byte, 24)...)},
+		{"flipped payload bit", func() []byte {
+			d := append(append([]byte(nil), base...), frame...)
+			d[len(d)-1] ^= 0x40
+			return d
+		}()},
+		{"torn magic", jobsMagic[:4]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "JOBS")
+			writeJournal(t, path, tc.data)
+			live, _, torn, err := replayJobs(fault.OS, path)
+			if err != nil {
+				t.Fatalf("torn tail should repair, got %v", err)
+			}
+			if !torn {
+				t.Fatal("torn not reported")
+			}
+			if tc.name == "torn magic" {
+				if len(live) != 0 {
+					t.Fatalf("live=%v, want empty", live)
+				}
+				return
+			}
+			if len(live) != 2 || live["a"] == nil || live["b"] == nil {
+				t.Fatalf("prefix records lost: %v", live)
+			}
+		})
+	}
+}
+
+func TestReplayJobsMidFileCorruptionRefused(t *testing.T) {
+	good := journalWith(t,
+		&Job{ID: "a", State: StateQueued},
+		&Job{ID: "b", State: StateQueued},
+	)
+
+	t.Run("flipped bit with valid frames after", func(t *testing.T) {
+		data := append([]byte(nil), good...)
+		// Corrupt the first record's payload; the second record remains
+		// a valid frame, so this cannot be a tail tear.
+		data[len(jobsMagic)+10] ^= 0x01
+		path := filepath.Join(t.TempDir(), "JOBS")
+		writeJournal(t, path, data)
+		if _, _, _, err := replayJobs(fault.OS, path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("want ErrCorrupt, got %v", err)
+		}
+	})
+
+	t.Run("bad magic", func(t *testing.T) {
+		data := append([]byte(nil), good...)
+		copy(data, "NOTMAGIC")
+		path := filepath.Join(t.TempDir(), "JOBS")
+		writeJournal(t, path, data)
+		if _, _, _, err := replayJobs(fault.OS, path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("want ErrCorrupt, got %v", err)
+		}
+	})
+
+	t.Run("checksummed garbage", func(t *testing.T) {
+		// A frame whose CRC matches but whose payload is not a job: the
+		// bytes were durably written, so this is a foreign format, not a
+		// tear — refuse rather than repair.
+		payload := []byte(`{"not":"a job"}`)
+		frame := make([]byte, 8+len(payload))
+		binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, jobsCRC))
+		copy(frame[8:], payload)
+		path := filepath.Join(t.TempDir(), "JOBS")
+		writeJournal(t, path, append(append([]byte(nil), jobsMagic...), frame...))
+		if _, _, _, err := replayJobs(fault.OS, path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("want ErrCorrupt, got %v", err)
+		}
+	})
+}
+
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, Options{CompactEvery: 4, Run: nopRunner})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer m.Close()
+
+	// Submit + cancel churns two records per job; CompactEvery=4 dead
+	// records forces compaction quickly.
+	for i := 0; i < 8; i++ {
+		j, err := m.Submit("t", Params{Dataset: "d", Pipeline: "imp", Threshold: 90})
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		if _, err := m.Cancel("t", j.ID); err != nil {
+			t.Fatalf("cancel: %v", err)
+		}
+	}
+	m.mu.Lock()
+	total, liveN := m.total, len(m.jobs)
+	m.mu.Unlock()
+	if total >= 16 {
+		t.Fatalf("journal never compacted: total=%d live=%d", total, liveN)
+	}
+
+	// The compacted journal must replay to the same live set.
+	live, _, torn, err := replayJobs(fault.OS, m.journalPath())
+	if err != nil || torn {
+		t.Fatalf("replay after compaction: torn=%v err=%v", torn, err)
+	}
+	if len(live) != liveN {
+		t.Fatalf("replay live=%d, want %d", len(live), liveN)
+	}
+	for id, j := range live {
+		if j.State != StateCancelled {
+			t.Fatalf("job %s state %s, want cancelled", id, j.State)
+		}
+	}
+}
+
+func TestJournalTornTailRepairedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, Options{Run: nopRunner})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	j, err := m.Submit("t", Params{Dataset: "d", Pipeline: "imp", Threshold: 90})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	m.Close()
+
+	// Tear the tail as a crash mid-append would.
+	path := filepath.Join(dir, "JOBS")
+	data := readJournal(t, path)
+	writeJournal(t, path, append(data, 0x07, 0x00))
+
+	m2, err := Open(dir, Options{Run: nopRunner})
+	if err != nil {
+		t.Fatalf("reopen over torn tail: %v", err)
+	}
+	defer m2.Close()
+	got, err := m2.Get("t", j.ID)
+	if err != nil || got.State != StateQueued {
+		t.Fatalf("job after repair: %+v err=%v", got, err)
+	}
+	// Compaction must have rewritten the journal cleanly.
+	if _, _, torn, err := replayJobs(fault.OS, path); err != nil || torn {
+		t.Fatalf("journal still damaged after repair: torn=%v err=%v", torn, err)
+	}
+}
+
+func TestJournalMidFileCorruptionFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, Options{Run: nopRunner})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := m.Submit("t", Params{Dataset: "d", Pipeline: "imp", Threshold: 90}); err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	if _, err := m.Submit("t", Params{Dataset: "d", Pipeline: "sim", Threshold: 80}); err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	m.Close()
+
+	path := filepath.Join(dir, "JOBS")
+	data := readJournal(t, path)
+	data[len(jobsMagic)+12] ^= 0x08
+	writeJournal(t, path, data)
+
+	if _, err := Open(dir, Options{Run: nopRunner}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}

@@ -7,6 +7,11 @@
 //   - bounds the queue: once MaxQueueDepth requests are already
 //     waiting, new arrivals are shed immediately (429 + Retry-After)
 //     instead of deepening the convoy;
+//   - schedules fairly: waiters are ordered by the jobs package's
+//     cost-aware weighted-fair queue (start-time fair queueing over
+//     per-tenant virtual time), not FIFO — one tenant flooding the
+//     queue no longer convoys every other tenant behind its backlog,
+//     and each slot that frees goes to the most underserved tenant;
 //   - sheds on hopeless deadlines: an EWMA of recent mine durations
 //     estimates this request's queue wait, and a client whose deadline
 //     cannot be met is told now, with a Retry-After naming when the
@@ -28,13 +33,16 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dmc/internal/jobs"
 )
 
 // Shed reasons, the label values of dmc_shed_total.
 const (
-	shedQueueFull = "queue_full"
-	shedDeadline  = "deadline"
-	shedDraining  = "draining"
+	shedQueueFull   = "queue_full"
+	shedDeadline    = "deadline"
+	shedDraining    = "draining"
+	shedTenantQuota = "tenant_quota"
 )
 
 // shedInfo describes one load-shedding decision on its way to the
@@ -46,24 +54,38 @@ type shedInfo struct {
 	msg        string
 }
 
-// admission is the bounded, deadline-aware mining queue. A nil
-// admission admits everything (no limiter configured).
+// waiter is one parked request: granted by closing ready with the slot
+// already transferred to it.
+type waiter struct {
+	ready chan struct{}
+}
+
+// admission is the bounded, deadline-aware, weighted-fair mining
+// queue. A nil admission admits everything (no limiter configured).
 type admission struct {
-	slots    chan struct{}
+	capacity int
 	maxQueue int
+
+	mu    sync.Mutex
+	inUse int
+	queue *jobs.FairQueue
 
 	waiters atomic.Int64
 	ewmaUS  atomic.Int64 // EWMA of mine wall time, microseconds
 }
 
-func newAdmission(slots, maxQueue int) *admission {
+func newAdmission(slots, maxQueue int, weights map[string]int) *admission {
 	if slots <= 0 {
 		return nil
 	}
 	if maxQueue == 0 {
 		maxQueue = 4 * slots
 	}
-	return &admission{slots: make(chan struct{}, slots), maxQueue: maxQueue}
+	return &admission{
+		capacity: slots,
+		maxQueue: maxQueue,
+		queue:    jobs.NewFairQueue(weights),
+	}
 }
 
 // estWait estimates the queue wait for a request arriving with pos
@@ -74,7 +96,7 @@ func (a *admission) estWait(pos int64) time.Duration {
 	if ewma <= 0 {
 		return 0
 	}
-	return ewma * time.Duration(pos+1) / time.Duration(cap(a.slots))
+	return ewma * time.Duration(pos+1) / time.Duration(a.capacity)
 }
 
 // estRetryAfter is the nil-safe Retry-After value for a 503 issued
@@ -99,27 +121,26 @@ func retryAfter(wait time.Duration) time.Duration {
 	return secs * time.Second
 }
 
-// acquire admits a mining request, blocking in the bounded queue until
-// a slot frees or ctx dies. It returns a non-nil shedInfo when the
-// request is refused: queue full, or a deadline that the backlog
-// estimate already proves unmeetable.
-func (a *admission) acquire(ctx context.Context) (release func(), shed *shedInfo) {
+// acquire admits a mining request for tenant, parking it in the
+// weighted-fair queue until a slot frees or ctx dies. It returns a
+// non-nil shedInfo when the request is refused: queue full, or a
+// deadline that the backlog estimate already proves unmeetable.
+func (a *admission) acquire(ctx context.Context, tenant string) (release func(), shed *shedInfo) {
 	if a == nil {
 		return func() {}, nil
 	}
-	select {
-	case a.slots <- struct{}{}:
+	a.mu.Lock()
+	if a.inUse < a.capacity && a.queue.Len() == 0 {
+		a.inUse++
+		a.mu.Unlock()
 		return a.releaser(), nil
-	default:
 	}
-	// No free slot: reserve a queue slot first, then check the bound.
-	// Reserving before checking makes the bound race-free — N arrivals
-	// racing a check-then-reserve would all see room and overshoot
-	// MaxQueueDepth, which is exactly the convoy the bound caps.
-	n := a.waiters.Add(1)
-	pos := n - 1 // waiters ahead of this request
-	if a.maxQueue > 0 && n > int64(a.maxQueue) {
-		a.waiters.Add(-1)
+	// The queue bound and the deadline check both happen under the
+	// lock, before the waiter is enqueued — N racing arrivals cannot
+	// all see room and overshoot MaxQueueDepth.
+	pos := int64(a.queue.Len())
+	if a.maxQueue > 0 && pos >= int64(a.maxQueue) {
+		a.mu.Unlock()
 		return nil, &shedInfo{
 			status: http.StatusTooManyRequests, reason: shedQueueFull,
 			retryAfter: retryAfter(a.estWait(pos)),
@@ -128,7 +149,7 @@ func (a *admission) acquire(ctx context.Context) (release func(), shed *shedInfo
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		if est := a.estWait(pos); est > 0 && est > time.Until(dl) {
-			a.waiters.Add(-1)
+			a.mu.Unlock()
 			return nil, &shedInfo{
 				status: http.StatusTooManyRequests, reason: shedDeadline,
 				retryAfter: retryAfter(est),
@@ -136,11 +157,23 @@ func (a *admission) acquire(ctx context.Context) (release func(), shed *shedInfo
 			}
 		}
 	}
-	defer a.waiters.Add(-1)
+	w := &waiter{ready: make(chan struct{})}
+	it := a.queue.Push(tenant, float64(a.ewmaUS.Load()), w)
+	a.waiters.Add(1)
+	a.mu.Unlock()
+
 	select {
-	case a.slots <- struct{}{}:
+	case <-w.ready:
+		a.waiters.Add(-1)
 		return a.releaser(), nil
 	case <-ctx.Done():
+		a.waiters.Add(-1)
+		if !a.queue.Remove(it) {
+			// Lost the race: a releasing request already granted this
+			// waiter the slot. Pass it on rather than strand it.
+			<-w.ready
+			a.releaser()()
+		}
 		return nil, &shedInfo{
 			status: http.StatusTooManyRequests, reason: shedDeadline,
 			retryAfter: retryAfter(a.estWait(a.waiters.Load())),
@@ -157,9 +190,23 @@ func (a *admission) queueDepth() int64 {
 	return a.waiters.Load()
 }
 
+// releaser hands the finished request's slot to the most underserved
+// waiter (minimum virtual finish tag — the WFQ pick), or returns it to
+// the pool when nobody waits. Work-conserving by construction: a slot
+// is never idle while the queue is non-empty.
 func (a *admission) releaser() func() {
 	var once sync.Once
-	return func() { once.Do(func() { <-a.slots }) }
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			if it := a.queue.Pop(); it != nil {
+				close(it.Value.(*waiter).ready)
+			} else {
+				a.inUse--
+			}
+			a.mu.Unlock()
+		})
+	}
 }
 
 // observe feeds one completed mine's wall time into the EWMA

@@ -57,13 +57,16 @@ func TestAdmissionQueueFull(t *testing.T) {
 // arrivals cannot overshoot MaxQueueDepth, and a shed arrival rolls its
 // reservation back.
 func TestAdmissionQueueBoundReserveThenCheck(t *testing.T) {
-	a := newAdmission(1, 1)
-	a.slots <- struct{}{} // slot taken
+	a := newAdmission(1, 1, nil)
+	holder, shed := a.acquire(context.Background(), "t") // slot taken
+	if shed != nil {
+		t.Fatalf("idle acquire shed: %+v", shed)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	done := make(chan *shedInfo, 1)
 	go func() {
-		_, shed := a.acquire(ctx)
+		_, shed := a.acquire(ctx, "t")
 		done <- shed
 	}()
 	for i := 0; a.queueDepth() != 1; i++ {
@@ -72,12 +75,12 @@ func TestAdmissionQueueBoundReserveThenCheck(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	_, shed := a.acquire(context.Background())
+	_, shed = a.acquire(context.Background(), "t")
 	if shed == nil || shed.reason != shedQueueFull {
 		t.Fatalf("arrival over the bound: shed = %+v, want queue_full", shed)
 	}
 	if got := a.queueDepth(); got != 1 {
-		t.Fatalf("queue depth after shed = %d, want 1 (reservation rolled back)", got)
+		t.Fatalf("queue depth after shed = %d, want 1 (bound held)", got)
 	}
 	cancel()
 	if shed := <-done; shed == nil || shed.reason != shedDeadline {
@@ -86,6 +89,7 @@ func TestAdmissionQueueBoundReserveThenCheck(t *testing.T) {
 	if got := a.queueDepth(); got != 0 {
 		t.Fatalf("queue depth after drain = %d, want 0", got)
 	}
+	holder()
 }
 
 // TestAdmissionDeadlineShed exercises the estimator directly: with the
@@ -93,12 +97,15 @@ func TestAdmissionQueueBoundReserveThenCheck(t *testing.T) {
 // only 50ms left is refused up front with a Retry-After telling the
 // client when the backlog should have cleared.
 func TestAdmissionDeadlineShed(t *testing.T) {
-	a := newAdmission(1, 4)
-	a.slots <- struct{}{}            // slot taken
+	a := newAdmission(1, 4, nil)
+	holder, shed := a.acquire(context.Background(), "t") // slot taken
+	if shed != nil {
+		t.Fatalf("idle acquire shed: %+v", shed)
+	}
 	a.ewmaUS.Store(10 * 1000 * 1000) // mines take ~10s
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	release, shed := a.acquire(ctx)
+	release, shed := a.acquire(ctx, "t")
 	if release != nil || shed == nil {
 		t.Fatal("hopeless deadline was admitted")
 	}
@@ -110,8 +117,8 @@ func TestAdmissionDeadlineShed(t *testing.T) {
 	}
 	// With no deadline, the same request queues and gets the slot when
 	// it frees.
-	go func() { <-a.slots }()
-	release, shed = a.acquire(context.Background())
+	go holder()
+	release, shed = a.acquire(context.Background(), "t")
 	if shed != nil {
 		t.Fatalf("deadline-free request shed: %+v", shed)
 	}
@@ -121,7 +128,7 @@ func TestAdmissionDeadlineShed(t *testing.T) {
 // TestAdmissionEWMAObserve: the estimator converges toward observed
 // durations and a single outlier moves it by only a quarter step.
 func TestAdmissionEWMAObserve(t *testing.T) {
-	a := newAdmission(2, 0)
+	a := newAdmission(2, 0, nil)
 	if a.maxQueue != 8 {
 		t.Fatalf("default maxQueue = %d, want 4x slots", a.maxQueue)
 	}

@@ -174,7 +174,11 @@ type AppendResponse struct {
 // and the refreshed snapshot is cached under the grown content address.
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	d, ok := s.get(name)
+	tenant, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	d, ok := s.getFor(tenant, name)
 	if !ok {
 		writeErr(w, r, http.StatusNotFound, "no dataset %q", name)
 		return
@@ -242,7 +246,8 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		hash = h
 	}
 	s.storeSnapshot(hash, inc)
-	s.add(name, &dataset{m: grown, info: inf, hash: hash})
+	s.add(name, &dataset{m: grown, info: inf, hash: hash, tenant: d.tenant, bytes: residentFootprint(grown)})
+	s.noteTenantUsage(tenant)
 	s.metrics.appends.Inc()
 	writeJSON(w, http.StatusOK, AppendResponse{DatasetInfo: inf, Appended: added, Incremental: resumed})
 }
@@ -253,7 +258,11 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 // by content, and the content is gone from the lookup path.
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	d, ok := s.get(name)
+	tenant, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	d, ok := s.getFor(tenant, name)
 	if !ok {
 		writeErr(w, r, http.StatusNotFound, "no dataset %q", name)
 		return
@@ -272,5 +281,6 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	delete(s.datasets, name)
 	s.metrics.datasets.Set(int64(len(s.datasets)))
 	s.mu.Unlock()
+	s.noteTenantUsage(tenant)
 	w.WriteHeader(http.StatusNoContent)
 }

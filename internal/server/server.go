@@ -54,6 +54,7 @@ import (
 	"dmc/internal/cache"
 	"dmc/internal/core"
 	"dmc/internal/fleet"
+	"dmc/internal/jobs"
 	"dmc/internal/matrix"
 	"dmc/internal/obs"
 	"dmc/internal/rules"
@@ -138,6 +139,29 @@ type Config struct {
 	// and re-mined through the partitioned out-of-core engine instead of
 	// failing. Zero means unlimited.
 	MemBudgetBytes int
+	// JobWorkers is the async job pool size behind /v1/jobs (zero means
+	// the jobs package default). Effective once OpenJobs is called.
+	JobWorkers int
+	// TenantQuota bounds each tenant's resource consumption; the zero
+	// value disables all quotas. Breaches answer 429 with a Retry-After
+	// derived from the tenant's own EWMA job cost.
+	TenantQuota TenantQuota
+	// TenantWeights are the fair-share scheduling weights used by both
+	// the synchronous admission queue and the async job pool (missing
+	// or < 1 means weight 1).
+	TenantWeights map[string]int
+}
+
+// TenantQuota is one tenant's resource ceiling. Zero fields are
+// unlimited.
+type TenantQuota struct {
+	// MaxDatasets caps datasets a tenant may own at once.
+	MaxDatasets int
+	// MaxBytes caps the total estimated bytes of a tenant's datasets.
+	MaxBytes int64
+	// MaxJobs caps a tenant's concurrently active (queued or running)
+	// async jobs.
+	MaxJobs int
 }
 
 func (c Config) registry() *obs.Registry {
@@ -191,6 +215,10 @@ type serverMetrics struct {
 	appends   obs.Counter
 	prefCand  obs.Counter
 	prefPrune obs.Counter
+
+	tenantDatasets *obs.GaugeVec   // tenant
+	tenantBytes    *obs.GaugeVec   // tenant
+	tenantRejects  *obs.CounterVec // tenant, resource
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -233,6 +261,12 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Column pairs kept by the LSH prefilter across prefiltered mines."),
 		prefPrune: reg.Counter("dmc_prefilter_pruned_total",
 			"Column pairs dropped by the LSH prefilter across prefiltered mines."),
+		tenantDatasets: reg.GaugeVec("dmc_tenant_datasets",
+			"Datasets owned per tenant namespace.", "tenant"),
+		tenantBytes: reg.GaugeVec("dmc_tenant_bytes",
+			"Estimated dataset bytes owned per tenant namespace.", "tenant"),
+		tenantRejects: reg.CounterVec("dmc_tenant_quota_rejections_total",
+			"Requests refused by a tenant quota.", "tenant", "resource"),
 	}
 }
 
@@ -247,6 +281,15 @@ type dataset struct {
 	path string
 	hash string
 	info DatasetInfo
+	// tenant is the owning namespace; "" means the default tenant
+	// (datasets recovered from the store or loaded from disk at boot
+	// land there — the store catalog predates tenancy and carries no
+	// owner).
+	tenant string
+	// bytes is the dataset's estimated storage footprint for the
+	// per-tenant byte quota: the committed blob size for durable
+	// datasets, the resident-footprint estimate otherwise.
+	bytes int64
 }
 
 // label names column c: real labels for in-memory datasets that have
@@ -268,9 +311,10 @@ type Server struct {
 	cfg     Config
 	metrics *serverMetrics
 	hooks   *core.Hooks
-	adm     *admission   // nil = unlimited
-	st      *store.Store // nil = memory-only serving
-	rc      *cache.Cache // nil = no result caching
+	adm     *admission    // nil = unlimited
+	st      *store.Store  // nil = memory-only serving
+	rc      *cache.Cache  // nil = no result caching
+	jm      *jobs.Manager // nil = async jobs not enabled
 
 	// appendMu serializes POST rows requests: an append reads the
 	// current registration, grows it, and swaps it, and two interleaved
@@ -333,7 +377,7 @@ func NewWith(cfg Config) *Server {
 		mineImpFile: stream.MineImplicationsCfg,
 		mineSimFile: stream.MineSimilaritiesCfg,
 	}
-	s.adm = newAdmission(cfg.MaxConcurrentMines, cfg.MaxQueueDepth)
+	s.adm = newAdmission(cfg.MaxConcurrentMines, cfg.MaxQueueDepth, cfg.TenantWeights)
 	s.st = cfg.Store
 	s.rc = cfg.Cache
 	// Library users get a ready server out of the box; binaries that
@@ -410,6 +454,84 @@ func (s *Server) get(name string) (*dataset, bool) {
 	return d, ok
 }
 
+// defaultTenant is the namespace of requests without an X-DMC-Tenant
+// header — and of every dataset that predates tenancy (store recovery,
+// LoadDir, fleet replica pushes).
+const defaultTenant = "default"
+
+// tenantHeader names the request's tenant namespace.
+const tenantHeader = "X-DMC-Tenant"
+
+// owner is the dataset's effective tenant ("" normalizes to the
+// default namespace).
+func (d *dataset) owner() string {
+	if d.tenant == "" {
+		return defaultTenant
+	}
+	return d.tenant
+}
+
+// requestTenant is the request's tenant namespace: the validated
+// X-DMC-Tenant header, defaultTenant when absent, "" when malformed
+// (handlers answer 400 via tenantOf; the admission path treats "" as
+// its own bucket, which is harmless for a request that will 400).
+func requestTenant(r *http.Request) string {
+	t := r.Header.Get(tenantHeader)
+	if t == "" {
+		return defaultTenant
+	}
+	if !jobs.ValidTenant(t) {
+		return ""
+	}
+	return t
+}
+
+// tenantOf validates the request's tenant, answering 400 on a
+// malformed header.
+func (s *Server) tenantOf(w http.ResponseWriter, r *http.Request) (string, bool) {
+	t := requestTenant(r)
+	if t == "" {
+		writeErr(w, r, http.StatusBadRequest,
+			"invalid %s header %q: want a leading alphanumeric, then alphanumerics, '.', '_' or '-' (max 64 chars)",
+			tenantHeader, r.Header.Get(tenantHeader))
+		return "", false
+	}
+	return t, true
+}
+
+// getFor returns the named dataset if tenant owns it. Other tenants'
+// datasets are indistinguishable from absent ones — namespaces do not
+// leak existence.
+func (s *Server) getFor(tenant, name string) (*dataset, bool) {
+	d, ok := s.get(name)
+	if !ok || d.owner() != tenant {
+		return nil, false
+	}
+	return d, true
+}
+
+// tenantUsage sums tenant's owned datasets and bytes for quota checks
+// and the dmc_tenant_* gauges.
+func (s *Server) tenantUsage(tenant string) (n int, bytes int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, d := range s.datasets {
+		if d.owner() == tenant {
+			n++
+			bytes += d.bytes
+		}
+	}
+	return n, bytes
+}
+
+// noteTenantUsage refreshes the tenant's dataset gauges after an add,
+// replace or delete.
+func (s *Server) noteTenantUsage(tenant string) {
+	n, b := s.tenantUsage(tenant)
+	s.metrics.tenantDatasets.With(tenant).Set(int64(n))
+	s.metrics.tenantBytes.With(tenant).Set(b)
+}
+
 // Handler returns the HTTP routing table wrapped in the tracing
 // middleware.
 func (s *Server) Handler() http.Handler {
@@ -440,6 +562,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/datasets/{name}/implications", s.handleImplications)
 	mux.HandleFunc("GET /v1/datasets/{name}/similarities", s.handleSimilarities)
 	mux.HandleFunc("GET /v1/datasets/{name}/expand", s.handleExpand)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET "+fleet.InfoPath, s.handleFleetInfo)
 	if s.cfg.FleetWorker {
 		mux.HandleFunc("POST "+fleet.ShardPath, s.handleFleetShard)
@@ -470,6 +598,16 @@ func endpointLabel(r *http.Request) string {
 	seg := strings.Split(strings.Trim(p, "/"), "/")
 	if len(seg) >= 3 && seg[0] == "v1" && seg[1] == "fleet" && seg[2] == "datasets" {
 		return "/v1/fleet/datasets/{name}"
+	}
+	if len(seg) >= 2 && seg[0] == "v1" && seg[1] == "jobs" {
+		switch {
+		case len(seg) == 2:
+			return "/v1/jobs"
+		case len(seg) == 4 && (seg[3] == "events" || seg[3] == "result"):
+			return "/v1/jobs/{id}/" + seg[3]
+		default:
+			return "/v1/jobs/{id}"
+		}
 	}
 	if len(seg) >= 3 && seg[0] == "v1" && seg[1] == "datasets" {
 		if len(seg) == 3 {
@@ -546,10 +684,16 @@ type DatasetInfo struct {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	tenant, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
 	s.mu.RLock()
 	out := make([]DatasetInfo, 0, len(s.datasets))
 	for _, d := range s.datasets {
-		out = append(out, d.info)
+		if d.owner() == tenant {
+			out = append(out, d.info)
+		}
 	}
 	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -576,6 +720,17 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusBadRequest, "invalid dataset name %q: want a leading alphanumeric, then alphanumerics, '.', '_' or '-' (max 128 chars, no '..')", name)
 		return
 	}
+	tenant, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	if existing, ok := s.get(name); ok && existing.owner() != tenant {
+		// Dataset names are global (the store catalog is flat); the
+		// namespace guards ownership, not naming. A name taken by another
+		// tenant cannot be replaced or probed further.
+		writeErr(w, r, http.StatusConflict, "dataset name %q is taken", name)
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.maxUploadBytes())
 	m, err := matrix.ReadBaskets(body)
 	if err != nil {
@@ -591,8 +746,14 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusBadRequest, "dataset has no transactions")
 		return
 	}
+	est := residentFootprint(m)
+	if shed := s.checkDatasetQuota(tenant, name, est); shed != nil {
+		s.writeShed(w, r, shed)
+		return
+	}
 	inf := info(name, m)
 	var hash string
+	size := est
 	if s.st != nil {
 		// Durability before visibility: the upload is committed to the
 		// store first, so a dataset a client was told about can never
@@ -611,6 +772,7 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		}
 		inf.Durable = true
 		hash = e.Hash
+		size = e.Size
 		if s.cfg.StreamMinBytes > 0 && e.Size >= s.cfg.StreamMinBytes {
 			// Mirror LoadStore's routing at upload time: a blob this big
 			// is served file-backed from its committed blob immediately,
@@ -623,8 +785,11 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 			s.mu.Lock()
 			s.datasets[name].info.Durable = true
 			s.datasets[name].hash = hash
+			s.datasets[name].tenant = tenant
+			s.datasets[name].bytes = size
 			inf = s.datasets[name].info
 			s.mu.Unlock()
+			s.noteTenantUsage(tenant)
 			writeJSON(w, http.StatusCreated, inf)
 			return
 		}
@@ -633,13 +798,18 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 			hash = h
 		}
 	}
-	s.add(name, &dataset{m: m, info: inf, hash: hash})
+	s.add(name, &dataset{m: m, info: inf, hash: hash, tenant: tenant, bytes: size})
+	s.noteTenantUsage(tenant)
 	writeJSON(w, http.StatusCreated, inf)
 }
 
 func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	d, ok := s.get(name)
+	tenant, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	d, ok := s.getFor(tenant, name)
 	if !ok {
 		writeErr(w, r, http.StatusNotFound, "no dataset %q", name)
 		return
@@ -675,7 +845,7 @@ func runMine[R any](s *Server, w http.ResponseWriter, r *http.Request, pipeline 
 		return nil, core.Stats{}, false
 	}
 	s.metrics.queued.Set(s.adm.queueDepth())
-	release, shed := s.adm.acquire(ctx)
+	release, shed := s.adm.acquire(ctx, requestTenant(r))
 	s.metrics.queued.Set(s.adm.queueDepth())
 	if shed != nil {
 		s.writeShed(w, r, shed)
@@ -886,7 +1056,11 @@ type MineResponse[R any] struct {
 
 func (s *Server) handleImplications(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	d, ok := s.get(name)
+	tenant, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	d, ok := s.getFor(tenant, name)
 	if !ok {
 		writeErr(w, r, http.StatusNotFound, "no dataset %q", name)
 		return
@@ -993,7 +1167,11 @@ type SimilarityWire struct {
 
 func (s *Server) handleSimilarities(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	d, ok := s.get(name)
+	tenant, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	d, ok := s.getFor(tenant, name)
 	if !ok {
 		writeErr(w, r, http.StatusNotFound, "no dataset %q", name)
 		return
@@ -1108,7 +1286,11 @@ type ExpandGroupWire struct {
 
 func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	d, ok := s.get(name)
+	tenant, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	d, ok := s.getFor(tenant, name)
 	if !ok {
 		writeErr(w, r, http.StatusNotFound, "no dataset %q", name)
 		return

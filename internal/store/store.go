@@ -43,6 +43,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dmc/internal/fault"
 	"dmc/internal/matrix"
@@ -374,8 +375,26 @@ func hashBytes(data, labels []byte) string {
 // commitFile writes data to path via tmp+fsync+rename through the
 // fault seam, removing the tmp on any failure.
 func (s *Store) commitFile(path string, data []byte) error {
-	fs := s.opts.fs()
-	tmp := path + ".tmp"
+	return CommitBlob(s.opts.fs(), path, data)
+}
+
+// CommitBlob writes data to path with the store's full durability
+// discipline — "<path>.tmp", fsync, atomic rename, then an fsync of the
+// containing directory — removing the tmp on any failure. Exported so
+// sibling durable layers (the job subsystem's result blobs) commit
+// their files under the exact same crash-safety protocol instead of
+// reinventing it. A nil fs means the real filesystem.
+var blobTmpSeq atomic.Uint64
+
+func CommitBlob(fs fault.FS, path string, data []byte) error {
+	if fs == nil {
+		fs = fault.OS
+	}
+	// The tmp name carries a per-process sequence so concurrent commits
+	// of the same content address (two jobs producing identical results)
+	// never clobber each other's staging file. Either rename wins; the
+	// bytes are the same.
+	tmp := fmt.Sprintf("%s.%d.tmp", path, blobTmpSeq.Add(1))
 	f, err := fs.Create(tmp)
 	if err != nil {
 		return err
@@ -403,6 +422,11 @@ func (s *Store) commitFile(path string, data []byte) error {
 	// name was lost, and the catalog would lie at the next boot.
 	return fault.SyncDir(fs, filepath.Dir(path))
 }
+
+// BlobHash returns the content address ("sha256-<hex>") of a raw
+// payload, in the same naming scheme the store uses for dataset blobs —
+// the identity the job subsystem journals for committed mine results.
+func BlobHash(payload []byte) string { return hashBytes(payload, nil) }
 
 // appendLocked durably appends one record to the journal. On failure
 // the file may hold a torn frame, which would poison every later

@@ -72,6 +72,9 @@ func PartitionWith(path string, cfg Config) (*Partitioned, error) {
 	}
 	if cfg.CheckpointDir != "" && cfg.Resume {
 		if p, err := tryResume(path, cfg); err == nil {
+			if cfg.OnResume != nil {
+				cfg.OnResume()
+			}
 			return p, nil
 		}
 		// An invalid or missing checkpoint is not an error: fall

@@ -131,6 +131,11 @@ type Config struct {
 	// (size+modtime) and every segment is intact; otherwise the
 	// partition runs afresh and overwrites the checkpoint.
 	Resume bool
+
+	// OnResume, when non-nil, is called once if Resume actually picked
+	// up a valid checkpoint instead of partitioning afresh — the signal
+	// the job subsystem uses to count and journal resumed sessions.
+	OnResume func()
 }
 
 func (c Config) prefetch() int {
