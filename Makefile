@@ -5,9 +5,9 @@ GO ?= go
 # Pinned to the version CI runs; bump both together.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: ci lint fmt-check fmt vet build test race bench bench-json bench-compare fuzz-smoke fault-matrix store-crash fleet-smoke jobs-crash
+.PHONY: ci lint fmt-check fmt vet build test race bench bench-json bench-compare fuzz-smoke fault-matrix store-crash fleet-smoke chaos-smoke jobs-crash
 
-ci: fmt-check vet lint build test race bench bench-compare fuzz-smoke fault-matrix store-crash fleet-smoke jobs-crash
+ci: fmt-check vet lint build test race bench bench-compare fuzz-smoke fault-matrix store-crash fleet-smoke chaos-smoke jobs-crash
 
 # The same pinned staticcheck CI runs (downloads it on first use).
 lint:
@@ -96,6 +96,19 @@ jobs-crash:
 fleet-smoke:
 	$(GO) test -race -run 'Fleet|Shard|Coordinator|Registry|Plan' ./internal/fleet ./internal/server ./internal/stream ./internal/core
 	$(GO) test -race -run 'FleetSmoke' ./cmd/dmcserve
+
+# The network-chaos acceptance matrix under the race detector: the
+# fault.Transport scenario suite (refused dials, partitions, mid-body
+# resets, silent truncation, payload corruption, sheds, latency/jitter,
+# slow-loris), then the fleet driven through those scenarios — every
+# cell must merge byte-identically to a single node or end in a typed
+# error, the per-node breakers must gate dispatch until a half-open
+# probe succeeds, Retry-After embargoes must be honored before
+# re-dispatch, a slow-loris straggler must resolve via a hedge win,
+# and every cell checks for goroutine/fd leaks.
+chaos-smoke:
+	$(GO) test -race -run 'Transport|Backoff' ./internal/fault
+	$(GO) test -race -run 'Chaos|Breaker|Hedge' ./internal/fleet
 
 # A short fuzzing pass over the decoders and the popcount kernels:
 # spill-codec corruption must never panic the miners, and the word

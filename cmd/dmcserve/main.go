@@ -65,6 +65,9 @@ func main() {
 		fleetWork  = flag.Bool("fleet-worker", false, "serve the fleet worker endpoints: accept column-shard mining tasks and dataset replicas from a coordinator")
 		fleetNodes = flag.String("fleet-nodes", "", "comma-separated worker base URLs (http://host:port); makes this replica a fleet coordinator so ?fleet=1 mines scatter across the workers")
 		fleetProbe = flag.Duration("fleet-probe-interval", 5*time.Second, "how often the coordinator health-probes its workers (each cycle jittered ±25%)")
+		fleetBreak = flag.Int("fleet-breaker-threshold", 3, "consecutive transport failures that open a worker's circuit breaker — an open node takes no shards until a half-open health probe succeeds (negative disables the breakers)")
+		fleetCool  = flag.Duration("fleet-breaker-cooldown", 10*time.Second, "how long an open breaker quarantines its worker before a half-open probe may close it")
+		fleetHedge = flag.Duration("fleet-hedge-after", 0, "how long a shard dispatch waits on a straggling worker before hedging the same shard to a sibling (first success wins); 0 adapts to 2x the observed latency EWMA, negative disables hedging")
 		jobsDir    = flag.String("jobs-dir", "", "async job directory: enables POST /v1/jobs with a crash-safe journal here — a SIGKILL'd server re-admits incomplete jobs at the next boot and resumes them from their streaming checkpoints (empty disables async jobs)")
 		jobWorkers = flag.Int("job-workers", 2, "async job worker pool size")
 		quotaData  = flag.Int("tenant-quota-datasets", 0, "datasets one tenant may hold (0 = unlimited)")
@@ -115,7 +118,9 @@ func main() {
 		addr: *addr, dataDir: *data, storeDir: *dataDir,
 		cacheDir: *cacheDir, cacheMaxBytes: *cacheMax,
 		fleetNodes: nodes, fleetProbeInterval: *fleetProbe,
-		jobsDir: *jobsDir,
+		fleetBreakerThreshold: *fleetBreak, fleetBreakerCooldown: *fleetCool,
+		fleetHedgeAfter: *fleetHedge,
+		jobsDir:         *jobsDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmcserve:", err)
@@ -148,8 +153,11 @@ type setupConfig struct {
 	cacheDir      string // -cache-dir: journaled mine-result cache
 	cacheMaxBytes int64  // -cache-max-bytes (0 = cache default)
 
-	fleetNodes         []string      // -fleet-nodes: worker base URLs
-	fleetProbeInterval time.Duration // -fleet-probe-interval
+	fleetNodes            []string      // -fleet-nodes: worker base URLs
+	fleetProbeInterval    time.Duration // -fleet-probe-interval
+	fleetBreakerThreshold int           // -fleet-breaker-threshold
+	fleetBreakerCooldown  time.Duration // -fleet-breaker-cooldown
+	fleetHedgeAfter       time.Duration // -fleet-hedge-after
 
 	jobsDir string // -jobs-dir: crash-safe async job journal + scratch
 }
@@ -231,12 +239,15 @@ func setup(cfg server.Config, sc setupConfig) (*server.Server, net.Listener, io.
 	}
 	if len(sc.fleetNodes) > 0 {
 		var err error
-		freg, err = fleet.NewRegistry(sc.fleetNodes, nil)
+		freg, err = fleet.NewRegistryOpts(sc.fleetNodes, nil, fleet.RegistryOptions{
+			BreakerThreshold: sc.fleetBreakerThreshold,
+			BreakerCooldown:  sc.fleetBreakerCooldown,
+		})
 		if err != nil {
 			return fail(fmt.Errorf("building fleet registry: %w", err))
 		}
 		freg.Start(sc.fleetProbeInterval)
-		cfg.Fleet = fleet.NewCoordinator(freg, fleet.Options{})
+		cfg.Fleet = fleet.NewCoordinator(freg, fleet.Options{HedgeAfter: sc.fleetHedgeAfter})
 	}
 	s := server.NewWith(cfg)
 	srv = s

@@ -1,0 +1,361 @@
+package fault
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// NetScenario specifies one deterministic network failure pattern for a
+// Transport, the http.RoundTripper face of the fault harness. Request
+// counters are global across the Transport and 1-based, exactly like
+// the disk Scenario's op counters: "RefuseAt: 3" means the third
+// matching request is refused, replaying the same scenario against the
+// same exchange sequence reproduces the same failure.
+//
+// The zero NetScenario injects nothing: a Transport built from it is a
+// plain passthrough with request counting.
+type NetScenario struct {
+	// Name labels the scenario in test output and error text.
+	Name string
+
+	// HostContains / PathContains restrict injection (and request
+	// counting) to requests whose URL host / path contains the
+	// substring. Empty matches everything — combined, they isolate one
+	// node or one endpoint of a fleet.
+	HostContains string
+	PathContains string
+
+	// RefuseAt fails the Nth matching request before any bytes move —
+	// the classic connection refused of a dead or restarting worker.
+	RefuseAt int64
+
+	// PartitionFrom makes every matching request numbered >= it fail
+	// with an unreachable-host error: a full network partition of the
+	// matched node. Unlike RefuseAt it never recovers on its own; call
+	// Transport.Heal to lift it (the heal is the test's explicit act,
+	// keeping the scenario itself deterministic).
+	PartitionFrom int64
+
+	// ResetBodyAt delivers the Nth matching response's headers intact,
+	// then resets the connection partway through the body — the caller
+	// sees a read error after consuming roughly half the payload.
+	ResetBodyAt int64
+
+	// TruncateBodyAt ends the Nth matching response body early while
+	// its Content-Length promises more: the silent-truncation probe. A
+	// correct client must detect the short body (length or checksum),
+	// never treat the prefix as a complete payload.
+	TruncateBodyAt int64
+
+	// CorruptBodyAt flips one byte in the middle of the Nth matching
+	// response body, framing intact — the payload-integrity probe; only
+	// an end-to-end checksum catches it.
+	CorruptBodyAt int64
+
+	// SlowBodyAt turns the Nth matching response into a slow loris: the
+	// body trickles out SlowBodyChunk bytes (default 1) per
+	// SlowBodyDelay. The headers arrive promptly, so only a straggler
+	// defense (hedging, body deadlines) resolves it.
+	SlowBodyAt    int64
+	SlowBodyDelay time.Duration
+	SlowBodyChunk int
+
+	// ShedAt answers matching requests [ShedAt, ShedAt+ShedCount) with
+	// ShedStatus (default 503) and a Retry-After of ShedRetryAfter
+	// (rounded up to whole seconds, minimum 1s, per the header's
+	// granularity) without touching the wire — overload-then-recover.
+	// ShedCount 0 means a single shed.
+	ShedAt         int64
+	ShedCount      int64
+	ShedStatus     int
+	ShedRetryAfter time.Duration
+
+	// Latency delays every matching request before dispatch; Jitter
+	// adds a uniform draw from [0, Jitter) on top, from a PRNG seeded
+	// with Seed so the sequence replays.
+	Latency time.Duration
+	Jitter  time.Duration
+	Seed    int64
+}
+
+// NetCounts is a snapshot of what a Transport has injected so far.
+type NetCounts struct {
+	// Requests counts matching requests (1-based trip points index it).
+	Requests int64
+	// One counter per injection kind.
+	Refused, Partitioned, Resets, Truncations, Corruptions, Slowed, Shed int64
+}
+
+// Transport is a NetScenario bound to request counters: an
+// http.RoundTripper that fails exactly as specified and passes
+// everything else to the underlying transport. It is the network seam
+// of the fault harness — wire it under a fleet registry's pooled client
+// and every coordinator <-> worker exchange can be chaos-tested. Safe
+// for concurrent use.
+type Transport struct {
+	sc    NetScenario
+	under http.RoundTripper
+
+	healed atomic.Bool
+	reqs   atomic.Int64
+
+	refused     atomic.Int64
+	partitioned atomic.Int64
+	resets      atomic.Int64
+	truncations atomic.Int64
+	corruptions atomic.Int64
+	slowed      atomic.Int64
+	shed        atomic.Int64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewTransport builds a Transport injecting sc over under (nil =
+// http.DefaultTransport).
+func NewTransport(sc NetScenario, under http.RoundTripper) *Transport {
+	if under == nil {
+		under = http.DefaultTransport
+	}
+	return &Transport{sc: sc, under: under, rng: rand.New(rand.NewSource(sc.Seed))}
+}
+
+// Counts returns the injection counters observed so far.
+func (t *Transport) Counts() NetCounts {
+	return NetCounts{
+		Requests:    t.reqs.Load(),
+		Refused:     t.refused.Load(),
+		Partitioned: t.partitioned.Load(),
+		Resets:      t.resets.Load(),
+		Truncations: t.truncations.Load(),
+		Corruptions: t.corruptions.Load(),
+		Slowed:      t.slowed.Load(),
+		Shed:        t.shed.Load(),
+	}
+}
+
+// Heal disables all further injection (requests still count). It is
+// the test's explicit recovery act — a partitioned node coming back,
+// an overloaded one catching up — kept out of the scenario spec so the
+// failure window itself stays deterministic.
+func (t *Transport) Heal() { t.healed.Store(true) }
+
+func (t *Transport) matches(req *http.Request) bool {
+	if t.sc.HostContains != "" && !strings.Contains(req.URL.Host, t.sc.HostContains) {
+		return false
+	}
+	return t.sc.PathContains == "" || strings.Contains(req.URL.Path, t.sc.PathContains)
+}
+
+// netErr builds one injected network failure: transient (the transport
+// may come back), carrying ErrInjected and the mimicked syscall errno
+// so callers classify it exactly like the real thing.
+func (t *Transport) netErr(op string, req *http.Request, n int64, errno syscall.Errno) error {
+	metricFaults.Inc()
+	return MarkTransient(&Error{
+		Op: op, Path: req.URL.Host + req.URL.Path, N: n,
+		Err: fmt.Errorf("%w: %w", ErrInjected, errno),
+	})
+}
+
+// RoundTrip applies the scenario to one request.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if !t.matches(req) {
+		return t.under.RoundTrip(req)
+	}
+	n := t.reqs.Add(1)
+	if t.healed.Load() {
+		return t.under.RoundTrip(req)
+	}
+	if err := t.delay(req.Context()); err != nil {
+		return nil, err
+	}
+	if t.sc.PartitionFrom > 0 && n >= t.sc.PartitionFrom {
+		t.partitioned.Add(1)
+		return nil, t.netErr("dial", req, n, syscall.EHOSTUNREACH)
+	}
+	if n == t.sc.RefuseAt {
+		t.refused.Add(1)
+		return nil, t.netErr("dial", req, n, syscall.ECONNREFUSED)
+	}
+	if t.sc.ShedAt > 0 && n >= t.sc.ShedAt && n < t.sc.ShedAt+max(t.sc.ShedCount, 1) {
+		t.shed.Add(1)
+		metricFaults.Inc()
+		return t.shedResponse(req), nil
+	}
+	resp, err := t.under.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	switch n {
+	case t.sc.ResetBodyAt:
+		t.resets.Add(1)
+		metricFaults.Inc()
+		limit := resp.ContentLength / 2
+		if limit <= 0 {
+			limit = 1
+		}
+		resp.Body = &breakingBody{
+			body: resp.Body, limit: limit,
+			err: t.netErr("read", req, n, syscall.ECONNRESET),
+		}
+	case t.sc.TruncateBodyAt:
+		t.truncations.Add(1)
+		metricFaults.Inc()
+		limit := resp.ContentLength - 1
+		if limit < 0 {
+			limit = 0
+		}
+		// Clean early EOF with the original Content-Length intact: the
+		// client's only defenses are the length check and the checksum.
+		resp.Body = &breakingBody{body: resp.Body, limit: limit, err: io.EOF}
+	case t.sc.CorruptBodyAt:
+		t.corruptions.Add(1)
+		metricFaults.Inc()
+		if err := corruptBody(resp); err != nil {
+			return nil, err
+		}
+	case t.sc.SlowBodyAt:
+		t.slowed.Add(1)
+		metricFaults.Inc()
+		chunk := t.sc.SlowBodyChunk
+		if chunk <= 0 {
+			chunk = 1
+		}
+		resp.Body = &slowBody{
+			body: resp.Body, ctx: req.Context(),
+			delay: t.sc.SlowBodyDelay, chunk: chunk,
+		}
+	}
+	return resp, nil
+}
+
+// delay applies the scenario's latency + jitter, honoring cancellation.
+func (t *Transport) delay(ctx context.Context) error {
+	d := t.sc.Latency
+	if t.sc.Jitter > 0 {
+		t.mu.Lock()
+		d += time.Duration(t.rng.Int63n(int64(t.sc.Jitter)))
+		t.mu.Unlock()
+	}
+	if d <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// shedResponse synthesizes one overload shed without touching the wire.
+func (t *Transport) shedResponse(req *http.Request) *http.Response {
+	status := t.sc.ShedStatus
+	if status == 0 {
+		status = http.StatusServiceUnavailable
+	}
+	secs := int64((t.sc.ShedRetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	body := "injected overload shed\n"
+	h := make(http.Header)
+	h.Set("Retry-After", strconv.FormatInt(secs, 10))
+	h.Set("Content-Type", "text/plain; charset=utf-8")
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// corruptBody buffers the response body and flips one bit in its middle
+// byte, leaving length and framing intact.
+func corruptBody(resp *http.Response) error {
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if len(b) > 0 {
+		b[len(b)/2] ^= 0x01
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(b))
+	return nil
+}
+
+// breakingBody delivers limit bytes of the real body, then returns err
+// forever after (a mid-body reset, or a clean-EOF truncation).
+type breakingBody struct {
+	body  io.ReadCloser
+	limit int64
+	read  int64
+	err   error
+}
+
+func (b *breakingBody) Read(p []byte) (int, error) {
+	if b.read >= b.limit {
+		return 0, b.err
+	}
+	if rem := b.limit - b.read; int64(len(p)) > rem {
+		p = p[:rem]
+	}
+	n, err := b.body.Read(p)
+	b.read += int64(n)
+	if err != nil {
+		return n, err
+	}
+	if b.read >= b.limit {
+		return n, b.err
+	}
+	return n, nil
+}
+
+func (b *breakingBody) Close() error { return b.body.Close() }
+
+// slowBody trickles the real body out chunk bytes per delay — a slow
+// loris. It honors the request context so a hedging caller that cancels
+// the losing attempt unblocks immediately.
+type slowBody struct {
+	body  io.ReadCloser
+	ctx   context.Context
+	delay time.Duration
+	chunk int
+}
+
+func (s *slowBody) Read(p []byte) (int, error) {
+	if s.delay > 0 {
+		timer := time.NewTimer(s.delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-s.ctx.Done():
+			return 0, s.ctx.Err()
+		}
+	}
+	if len(p) > s.chunk {
+		p = p[:s.chunk]
+	}
+	return s.body.Read(p)
+}
+
+func (s *slowBody) Close() error { return s.body.Close() }

@@ -1,0 +1,269 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// transportFixture serves a fixed payload and returns a client routed
+// through a Transport injecting sc.
+func transportFixture(t *testing.T, sc NetScenario, payload string) (*http.Client, *Transport, *httptest.Server) {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Length", itoa(len(payload)))
+		io.WriteString(w, payload)
+	}))
+	t.Cleanup(ts.Close)
+	tr := NewTransport(sc, nil)
+	return &http.Client{Transport: tr}, tr, ts
+}
+
+func itoa(n int) string {
+	b := [20]byte{}
+	i := len(b)
+	if n == 0 {
+		return "0"
+	}
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func get(t *testing.T, c *http.Client, url string) (string, error) {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func TestTransportRefusesNthRequest(t *testing.T) {
+	c, tr, ts := transportFixture(t, NetScenario{Name: "refuse-2", RefuseAt: 2}, "ok")
+	if _, err := get(t, c, ts.URL); err != nil {
+		t.Fatalf("request 1: %v", err)
+	}
+	_, err := get(t, c, ts.URL)
+	if err == nil {
+		t.Fatal("request 2 was not refused")
+	}
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("refused error lost its identity: %v", err)
+	}
+	if !IsTransient(err) {
+		t.Fatalf("refused connection not transient: %v", err)
+	}
+	if _, err := get(t, c, ts.URL); err != nil {
+		t.Fatalf("request 3 (one-shot refuse must recover): %v", err)
+	}
+	if n := tr.Counts(); n.Requests != 3 || n.Refused != 1 {
+		t.Fatalf("counts = %+v", n)
+	}
+}
+
+func TestTransportPartitionUntilHealed(t *testing.T) {
+	c, tr, ts := transportFixture(t, NetScenario{Name: "partition", PartitionFrom: 2}, "ok")
+	if _, err := get(t, c, ts.URL); err != nil {
+		t.Fatalf("pre-partition request: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := get(t, c, ts.URL); !errors.Is(err, syscall.EHOSTUNREACH) {
+			t.Fatalf("partitioned request %d: %v", i, err)
+		}
+	}
+	tr.Heal()
+	if _, err := get(t, c, ts.URL); err != nil {
+		t.Fatalf("healed request: %v", err)
+	}
+	if n := tr.Counts(); n.Partitioned != 3 {
+		t.Fatalf("counts = %+v", n)
+	}
+}
+
+func TestTransportResetMidBody(t *testing.T) {
+	payload := strings.Repeat("x", 4096)
+	c, tr, ts := transportFixture(t, NetScenario{Name: "reset", ResetBodyAt: 1}, payload)
+	body, err := get(t, c, ts.URL)
+	if err == nil {
+		t.Fatal("reset-mid-body read did not fail")
+	}
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("want ECONNRESET, got %v", err)
+	}
+	if len(body) >= len(payload) {
+		t.Fatalf("full payload delivered despite reset (%d bytes)", len(body))
+	}
+	if n := tr.Counts(); n.Resets != 1 {
+		t.Fatalf("counts = %+v", n)
+	}
+}
+
+// Truncation is silent by construction: the body EOFs early with no
+// error, and only the Content-Length mismatch betrays it — exactly the
+// check a robust client must make.
+func TestTransportTruncatesSilently(t *testing.T) {
+	payload := strings.Repeat("y", 1000)
+	c, tr, ts := transportFixture(t, NetScenario{Name: "truncate", TruncateBodyAt: 1}, payload)
+	resp, err := c.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("truncation must read as clean EOF, got %v", err)
+	}
+	if int64(len(b)) >= resp.ContentLength {
+		t.Fatalf("body not truncated: %d bytes vs Content-Length %d", len(b), resp.ContentLength)
+	}
+	if n := tr.Counts(); n.Truncations != 1 {
+		t.Fatalf("counts = %+v", n)
+	}
+}
+
+func TestTransportCorruptsOneByte(t *testing.T) {
+	payload := strings.Repeat("z", 64)
+	c, tr, ts := transportFixture(t, NetScenario{Name: "corrupt", CorruptBodyAt: 1}, payload)
+	body, err := get(t, c, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != len(payload) {
+		t.Fatalf("corruption changed the length: %d vs %d", len(body), len(payload))
+	}
+	diff := 0
+	for i := range body {
+		if body[i] != payload[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("want exactly one corrupted byte, got %d", diff)
+	}
+	if n := tr.Counts(); n.Corruptions != 1 {
+		t.Fatalf("counts = %+v", n)
+	}
+}
+
+// A slow-loris body must honor the request context: a caller that gives
+// up (hedging, deadline) unblocks immediately instead of waiting out
+// the trickle.
+func TestTransportSlowBodyHonorsCancel(t *testing.T) {
+	payload := strings.Repeat("s", 1<<16)
+	c, tr, ts := transportFixture(t, NetScenario{
+		Name: "slow", SlowBodyAt: 1, SlowBodyDelay: time.Hour,
+	}, payload)
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.ReadAll(resp.Body)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("slow body read finished without error after cancel")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("slow body read did not unblock on context cancel")
+	}
+	if n := tr.Counts(); n.Slowed != 1 {
+		t.Fatalf("counts = %+v", n)
+	}
+}
+
+func TestTransportShedsWithRetryAfter(t *testing.T) {
+	c, tr, ts := transportFixture(t, NetScenario{
+		Name: "shed", ShedAt: 1, ShedCount: 2, ShedRetryAfter: 1500 * time.Millisecond,
+	}, "ok")
+	for i := 0; i < 2; i++ {
+		resp, err := c.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("shed %d: status %d", i, resp.StatusCode)
+		}
+		// 1.5s rounds up to the header's whole-second granularity.
+		if ra := resp.Header.Get("Retry-After"); ra != "2" {
+			t.Fatalf("shed %d: Retry-After %q, want \"2\"", i, ra)
+		}
+	}
+	if body, err := get(t, c, ts.URL); err != nil || body != "ok" {
+		t.Fatalf("post-shed recovery: %q, %v", body, err)
+	}
+	if n := tr.Counts(); n.Shed != 2 {
+		t.Fatalf("counts = %+v", n)
+	}
+}
+
+// Path/host filters bound the blast radius: only matching requests
+// count and trip.
+func TestTransportScopedInjection(t *testing.T) {
+	sc := NetScenario{Name: "scoped", PathContains: "/target", RefuseAt: 1}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	t.Cleanup(ts.Close)
+	tr := NewTransport(sc, nil)
+	c := &http.Client{Transport: tr}
+	if _, err := get(t, c, ts.URL+"/other"); err != nil {
+		t.Fatalf("non-matching path was injected: %v", err)
+	}
+	if _, err := get(t, c, ts.URL+"/target"); err == nil {
+		t.Fatal("matching path was not refused")
+	}
+	if n := tr.Counts(); n.Requests != 1 || n.Refused != 1 {
+		t.Fatalf("counts = %+v (non-matching requests must not count)", n)
+	}
+}
+
+// The zero scenario is a pure passthrough, and jitter sequences replay
+// from their seed.
+func TestTransportZeroScenarioAndJitterDeterminism(t *testing.T) {
+	c, tr, ts := transportFixture(t, NetScenario{}, "ok")
+	if body, err := get(t, c, ts.URL); err != nil || body != "ok" {
+		t.Fatalf("passthrough: %q, %v", body, err)
+	}
+	if n := tr.Counts(); n.Requests != 1 || n.Refused+n.Resets+n.Shed != 0 {
+		t.Fatalf("zero scenario injected something: %+v", n)
+	}
+
+	draw := func(seed int64) []time.Duration {
+		tr := NewTransport(NetScenario{Jitter: time.Millisecond, Seed: seed}, nil)
+		var out []time.Duration
+		for i := 0; i < 8; i++ {
+			tr.mu.Lock()
+			out = append(out, time.Duration(tr.rng.Int63n(int64(tr.sc.Jitter))))
+			tr.mu.Unlock()
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jitter sequence not reproducible at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

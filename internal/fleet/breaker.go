@@ -1,0 +1,158 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is one circuit breaker position. The gauge
+// dmc_fleet_breaker_state exports the numeric value per node.
+type BreakerState int32
+
+const (
+	// BreakerClosed: the node takes shards normally.
+	BreakerClosed BreakerState = 0
+	// BreakerHalfOpen: the quarantine lapsed; the node takes no shards
+	// until a health probe succeeds, which closes the breaker.
+	BreakerHalfOpen BreakerState = 1
+	// BreakerOpen: consecutive transport failures tripped the breaker;
+	// the node takes no shards and even a successful exchange does not
+	// close it until the cooldown lapses into half-open.
+	BreakerOpen BreakerState = 2
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half_open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// breaker is one node's circuit breaker. It counts consecutive
+// transport-level failures (connection refused/reset, dead mid-body —
+// NOT overload sheds, which are an alive node's backpressure and get
+// Retry-After handling instead): threshold of them opens the breaker,
+// the cooldown quarantines the node even if a stray in-flight exchange
+// succeeds, and after the cooldown the breaker goes half-open, where
+// only a successful health probe — never a shard — closes it again.
+// That ordering is the invariant the chaos matrix pins: a breaker-open
+// node is not dispatched a shard until its half-open probe succeeds.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	// onTransition observes every state change (metrics wiring). Called
+	// with the lock held; must not call back into the breaker.
+	onTransition func(from, to BreakerState)
+	// now is the clock, swappable in tests.
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration, onTransition func(from, to BreakerState)) *breaker {
+	if threshold == 0 {
+		threshold = defaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = defaultBreakerCooldown
+	}
+	return &breaker{
+		threshold: threshold, cooldown: cooldown,
+		onTransition: onTransition, now: time.Now,
+	}
+}
+
+const (
+	defaultBreakerThreshold = 3
+	defaultBreakerCooldown  = 10 * time.Second
+)
+
+// transition moves to state to; callers hold b.mu.
+func (b *breaker) transition(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}
+
+// lapse applies the open -> half-open cooldown expiry; callers hold
+// b.mu.
+func (b *breaker) lapse() {
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		b.transition(BreakerHalfOpen)
+	}
+}
+
+// Allow reports whether a shard may be dispatched to the node right
+// now: only a closed breaker takes shards. (A negative threshold
+// disables the breaker entirely — it never opens, so Allow is always
+// true.)
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lapse()
+	return b.state == BreakerClosed
+}
+
+// State returns the current position, cooldown lapse applied.
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lapse()
+	return b.state
+}
+
+// onFailure records one transport-level failure. In closed it counts
+// toward the threshold; in half-open it re-opens immediately (the
+// probe trial failed); in open it refreshes the quarantine.
+func (b *breaker) onFailure() {
+	if b.threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lapse()
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.openedAt = b.now()
+			b.transition(BreakerOpen)
+		}
+	case BreakerHalfOpen, BreakerOpen:
+		b.openedAt = b.now()
+		b.transition(BreakerOpen)
+	}
+}
+
+// onSuccess records one successful exchange. It closes a half-open
+// breaker (the trial passed) and resets the failure run while closed —
+// but it does NOT close an open breaker still inside its cooldown:
+// the quarantine holds against a lucky straggler response, which is
+// what distinguishes a breaker from a plain health bit.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lapse()
+	switch b.state {
+	case BreakerClosed:
+		b.fails = 0
+	case BreakerHalfOpen:
+		b.fails = 0
+		b.transition(BreakerClosed)
+	case BreakerOpen:
+		// Quarantine holds.
+	}
+}

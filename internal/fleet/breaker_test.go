@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func testBreaker(threshold int, cooldown time.Duration, trans *[]string) (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(threshold, cooldown, func(from, to BreakerState) {
+		if trans != nil {
+			*trans = append(*trans, from.String()+">"+to.String())
+		}
+	})
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	var trans []string
+	b, _ := testBreaker(3, time.Minute, &trans)
+	for i := 0; i < 2; i++ {
+		b.onFailure()
+		if !b.Allow() {
+			t.Fatalf("breaker opened after %d failures (threshold 3)", i+1)
+		}
+	}
+	b.onFailure()
+	if b.Allow() {
+		t.Fatal("breaker still closed at threshold")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v", b.State())
+	}
+	if len(trans) != 1 || trans[0] != "closed>open" {
+		t.Fatalf("transitions = %v", trans)
+	}
+}
+
+// A success between failures resets the consecutive run: the breaker
+// counts runs, not totals.
+func TestBreakerSuccessResetsRun(t *testing.T) {
+	b, _ := testBreaker(3, time.Minute, nil)
+	b.onFailure()
+	b.onFailure()
+	b.onSuccess()
+	b.onFailure()
+	b.onFailure()
+	if !b.Allow() {
+		t.Fatal("interleaved successes did not reset the failure run")
+	}
+}
+
+// The cooldown lapses open into half-open; only a probe success (an
+// onSuccess in half-open) closes; shards stay blocked throughout.
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	var trans []string
+	b, clk := testBreaker(2, 10*time.Second, &trans)
+	b.onFailure()
+	b.onFailure()
+	if b.Allow() {
+		t.Fatal("breaker did not open")
+	}
+
+	// A lucky success inside the quarantine must NOT close it.
+	clk.advance(time.Second)
+	b.onSuccess()
+	if b.State() != BreakerOpen {
+		t.Fatalf("quarantine broken by in-flight success: %v", b.State())
+	}
+
+	clk.advance(10 * time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("cooldown did not lapse: %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker allowed a shard before the probe")
+	}
+	b.onSuccess() // the half-open probe succeeds
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatalf("probe success did not close: %v", b.State())
+	}
+	want := []string{"closed>open", "open>half_open", "half_open>closed"}
+	if len(trans) != len(want) {
+		t.Fatalf("transitions = %v, want %v", trans, want)
+	}
+	for i := range want {
+		if trans[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", trans, want)
+		}
+	}
+}
+
+// A failed half-open probe re-opens with a fresh cooldown.
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := testBreaker(1, 10*time.Second, nil)
+	b.onFailure()
+	clk.advance(10 * time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v", b.State())
+	}
+	b.onFailure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("failed probe did not re-open: %v", b.State())
+	}
+	clk.advance(9 * time.Second)
+	if b.State() != BreakerOpen {
+		t.Fatal("re-opened cooldown not refreshed")
+	}
+	clk.advance(time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("refreshed cooldown did not lapse")
+	}
+}
+
+// Threshold < 0 disables the breaker: it never opens.
+func TestBreakerDisabled(t *testing.T) {
+	b, _ := testBreaker(-1, time.Second, nil)
+	for i := 0; i < 100; i++ {
+		b.onFailure()
+	}
+	if !b.Allow() {
+		t.Fatal("disabled breaker opened")
+	}
+}

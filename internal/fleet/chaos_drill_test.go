@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"dmc/internal/core"
+	"dmc/internal/fault"
+	"dmc/internal/rules"
+)
+
+// TestChaosDrillTailLatency is the EXPERIMENTS.md chaos drill, not a
+// CI gate: it measures fleet mine latency under a recurring slow-loris
+// worker with hedging disabled vs enabled, and prints the tail-latency
+// table. Timing-sensitive by design, so it only runs when asked:
+//
+//	DMC_CHAOS_DRILL=1 go test ./internal/fleet -run ChaosDrill -v -count=1
+func TestChaosDrillTailLatency(t *testing.T) {
+	if os.Getenv("DMC_CHAOS_DRILL") == "" {
+		t.Skip("manual drill; set DMC_CHAOS_DRILL=1 to run")
+	}
+	const trials = 20
+	m := testMatrix(t, 21, 50, 20)
+	want := core.NaiveImplications(m, core.FromPercent(70))
+	rules.SortImplications(want)
+
+	// One mine per trial against a fresh 2-worker fleet whose first
+	// shard response from worker 0 trickles out a byte every 5ms —
+	// headers prompt, body stalled, the straggler no retry loop sees.
+	run := func(hedgeAfter time.Duration) (lat []time.Duration, hedges, wins int64) {
+		for i := 0; i < trials; i++ {
+			workers := []*fakeWorker{newFakeWorker(t), newFakeWorker(t)}
+			for _, w := range workers {
+				w.hold("d", m)
+			}
+			sc := fault.NetScenario{
+				Name: "slow-loris", HostContains: hostOf(workers[0]), PathContains: ShardPath,
+				SlowBodyAt: 1, SlowBodyDelay: 5 * time.Millisecond, SlowBodyChunk: 1,
+			}
+			c, _ := chaosFleet(t, workers, []fault.NetScenario{sc},
+				Options{HedgeAfter: hedgeAfter}, RegistryOptions{})
+			t0 := time.Now()
+			imps, st, err := c.MineImplications(context.Background(), testRef(t, m), Params{ThresholdPercent: 70})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lat = append(lat, time.Since(t0))
+			if d := rules.DiffImplications(imps, want); d != "" {
+				t.Fatal(d)
+			}
+			hedges += int64(st.Hedges)
+			wins += int64(st.HedgeWins)
+			shutFleet(c, workers)
+		}
+		sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+		return lat, hedges, wins
+	}
+
+	pct := func(lat []time.Duration, p float64) time.Duration {
+		i := int(p*float64(len(lat))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return lat[i]
+	}
+	row := func(name string, lat []time.Duration, hedges, wins int64) string {
+		return fmt.Sprintf("| %s | %v | %v | %v | %d/%d |", name,
+			pct(lat, 0.50).Round(time.Millisecond),
+			pct(lat, 0.95).Round(time.Millisecond),
+			lat[len(lat)-1].Round(time.Millisecond), wins, hedges)
+	}
+
+	off, _, _ := run(-1) // hedging disabled
+	on, hedges, wins := run(25 * time.Millisecond)
+	t.Logf("chaos drill: %d trials per mode, slow-loris on worker 0 (1 B / 5ms)", trials)
+	t.Logf("| Mode | p50 | p95 | max | hedge wins |")
+	t.Logf("|------|-----|-----|-----|------------|")
+	t.Logf("%s", row("hedging off (`-fleet-hedge-after=-1ms`)", off, 0, 0))
+	t.Logf("%s", row("hedging on (`-fleet-hedge-after=25ms`)", on, hedges, wins))
+	if wins < 1 {
+		t.Fatalf("drill never hedged: wins=%d hedges=%d", wins, hedges)
+	}
+}

@@ -1,0 +1,388 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"dmc/internal/core"
+	"dmc/internal/fault"
+	"dmc/internal/obs"
+	"dmc/internal/rules"
+)
+
+// hostOf strips the scheme from a fake worker's URL, the value a
+// NetScenario's HostContains scopes to.
+func hostOf(w *fakeWorker) string { return strings.TrimPrefix(w.ts.URL, "http://") }
+
+// chaosFleet builds a coordinator whose shared HTTP client routes
+// through one fault.Transport per scenario (chained; host-scoping
+// keeps them independent). The transports come back in scenario order
+// so tests can read injection counters.
+func chaosFleet(t *testing.T, workers []*fakeWorker, scens []fault.NetScenario, opt Options, ropt RegistryOptions) (*Coordinator, []*fault.Transport) {
+	t.Helper()
+	urls := make([]string, len(workers))
+	for i, w := range workers {
+		urls[i] = w.ts.URL
+	}
+	trs := make([]*fault.Transport, len(scens))
+	ropt.WrapTransport = func(rt http.RoundTripper) http.RoundTripper {
+		for i, sc := range scens {
+			trs[i] = fault.NewTransport(sc, rt)
+			rt = trs[i]
+		}
+		return rt
+	}
+	reg, err := NewRegistryOpts(urls, obs.NewRegistry(), ropt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(reg.Close)
+	return NewCoordinator(reg, opt), trs
+}
+
+func countFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("no /proc/self/fd: %v", err)
+	}
+	return len(ents)
+}
+
+// leakCheck snapshots goroutine and fd counts; call the returned func
+// after closing the fleet under test — it fails the test if either
+// count does not settle back near the baseline (a canceled hedge
+// loser, an unclosed body, a stuck slow-loris read).
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	baseG := runtime.NumGoroutine()
+	baseFD := countFDs(t)
+	return func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			g, fd := runtime.NumGoroutine(), countFDs(t)
+			if g <= baseG+2 && fd <= baseFD+4 {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("leak: goroutines %d -> %d, fds %d -> %d\n%s",
+					baseG, g, baseFD, fd, buf[:n])
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+}
+
+// shutFleet closes the registry and worker servers so leakCheck sees a
+// settled process.
+func shutFleet(c *Coordinator, workers []*fakeWorker) {
+	c.Registry().Close()
+	for _, w := range workers {
+		w.ts.Close()
+	}
+}
+
+// TestChaosMatrix drives every named network failure against worker
+// 0's shard endpoint, across both rule modes and both fleet widths.
+// All of these scenarios are survivable with a sibling alive, so the
+// acceptance bar is the strong one: the mine ends byte-identical to
+// the single-node rule set (which also rules out duplicated or dropped
+// rules), with no goroutine or fd left behind.
+func TestChaosMatrix(t *testing.T) {
+	m := testMatrix(t, 11, 50, 20)
+	wantImp := core.NaiveImplications(m, core.FromPercent(70))
+	rules.SortImplications(wantImp)
+	wantSim := core.NaiveSimilarities(m, core.FromPercent(70))
+	rules.SortSimilarities(wantSim)
+
+	scenarios := []fault.NetScenario{
+		{Name: "refuse-first", RefuseAt: 1},
+		{Name: "partition-mid-shard", PartitionFrom: 1},
+		{Name: "reset-after-headers", ResetBodyAt: 1},
+		{Name: "silent-truncation", TruncateBodyAt: 1},
+		{Name: "corrupt-payload", CorruptBodyAt: 1},
+		{Name: "shed-once", ShedAt: 1},
+		{Name: "latency-jitter", Latency: 10 * time.Millisecond, Jitter: 5 * time.Millisecond, Seed: 7},
+	}
+	for _, sc := range scenarios {
+		for _, mode := range []string{"imp", "sim"} {
+			for _, nw := range []int{2, 4} {
+				t.Run(fmt.Sprintf("%s/%s/%dw", sc.Name, mode, nw), func(t *testing.T) {
+					check := leakCheck(t)
+					workers := make([]*fakeWorker, nw)
+					for i := range workers {
+						workers[i] = newFakeWorker(t)
+						workers[i].hold("d", m)
+					}
+					sc := sc
+					sc.HostContains = hostOf(workers[0])
+					sc.PathContains = ShardPath
+					c, trs := chaosFleet(t, workers, []fault.NetScenario{sc}, Options{}, RegistryOptions{})
+					ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+					defer cancel()
+					ref, p := testRef(t, m), Params{ThresholdPercent: 70}
+					if mode == "imp" {
+						imps, _, err := c.MineImplications(ctx, ref, p)
+						if err != nil {
+							t.Fatalf("%s: %v", sc.Name, err)
+						}
+						if d := rules.DiffImplications(imps, wantImp); d != "" {
+							t.Fatalf("%s: parity: %s", sc.Name, d)
+						}
+					} else {
+						sims, _, err := c.MineSimilarities(ctx, ref, p)
+						if err != nil {
+							t.Fatalf("%s: %v", sc.Name, err)
+						}
+						if d := rules.DiffSimilarities(sims, wantSim); d != "" {
+							t.Fatalf("%s: parity: %s", sc.Name, d)
+						}
+					}
+					if trs[0].Counts().Requests == 0 {
+						t.Fatalf("%s: scenario never matched a request", sc.Name)
+					}
+					shutFleet(c, workers)
+					check()
+				})
+			}
+		}
+	}
+}
+
+// A slow-loris worker (headers prompt, body trickling a byte at a
+// time) must not stall the mine: the straggling dispatch hedges to the
+// sibling after HedgeAfter, the hedge wins, and the canceled loser
+// leaks nothing.
+func TestChaosSlowLorisHedgeWins(t *testing.T) {
+	check := leakCheck(t)
+	m := testMatrix(t, 12, 50, 20)
+	workers := []*fakeWorker{newFakeWorker(t), newFakeWorker(t)}
+	for _, w := range workers {
+		w.hold("d", m)
+	}
+	sc := fault.NetScenario{
+		Name: "slow-loris", HostContains: hostOf(workers[0]), PathContains: ShardPath,
+		SlowBodyAt: 1, SlowBodyDelay: 50 * time.Millisecond, SlowBodyChunk: 1,
+	}
+	c, _ := chaosFleet(t, workers, []fault.NetScenario{sc},
+		Options{HedgeAfter: 25 * time.Millisecond}, RegistryOptions{})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	imps, st, err := c.MineImplications(ctx, testRef(t, m), Params{ThresholdPercent: 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.NaiveImplications(m, core.FromPercent(70))
+	rules.SortImplications(want)
+	if d := rules.DiffImplications(imps, want); d != "" {
+		t.Fatal(d)
+	}
+	if st.Hedges < 1 || st.HedgeWins < 1 {
+		t.Fatalf("slow loris did not resolve via hedge: %+v", st)
+	}
+	if won := c.reg.met.hedges.With("won").Value(); won < 1 {
+		t.Fatalf("dmc_fleet_hedges_total{outcome=won} = %d, want >= 1", won)
+	}
+	if st.Requeues != 0 {
+		t.Fatalf("hedge burned a requeue: %+v", st)
+	}
+	shutFleet(c, workers)
+	check()
+}
+
+// The breaker invariant, pinned: a breaker-open node receives no shard
+// dispatch at all — not while open, not while half-open — until its
+// half-open health probe succeeds, and the skips burn neither attempts
+// nor requeues. The zero-scenario transport on worker 0 is a pure
+// request counter proving "never dispatched" at the wire.
+func TestChaosBreakerGatesDispatchUntilProbe(t *testing.T) {
+	m := testMatrix(t, 13, 40, 16)
+	workers := []*fakeWorker{newFakeWorker(t), newFakeWorker(t)}
+	for _, w := range workers {
+		w.hold("d", m)
+	}
+	counter := fault.NetScenario{Name: "wire-counter", HostContains: hostOf(workers[0]), PathContains: ShardPath}
+	c, trs := chaosFleet(t, workers, []fault.NetScenario{counter},
+		Options{}, RegistryOptions{BreakerThreshold: 2, BreakerCooldown: 200 * time.Millisecond})
+	reg := c.Registry()
+	n0 := reg.Nodes()[0]
+
+	// Trip worker 0's breaker (two consecutive transport failures).
+	n0.br.onFailure()
+	n0.br.onFailure()
+	if n0.Breaker() != BreakerOpen {
+		t.Fatalf("breaker = %v, want open", n0.Breaker())
+	}
+
+	ctx := context.Background()
+	ref, p := testRef(t, m), Params{ThresholdPercent: 75}
+	want := core.NaiveImplications(m, core.FromPercent(75))
+	rules.SortImplications(want)
+
+	// Open: both shards land on worker 1; the skip is a skip, not a
+	// requeue, and burns no attempt.
+	imps, st, err := c.MineImplications(ctx, ref, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := rules.DiffImplications(imps, want); d != "" {
+		t.Fatal(d)
+	}
+	if st.Skips < 1 || st.Requeues != 0 || st.Attempts != st.Shards {
+		t.Fatalf("open-breaker stats %+v: want skips >= 1, requeues 0, attempts == shards", st)
+	}
+	if n := trs[0].Counts().Requests; n != 0 {
+		t.Fatalf("open breaker let %d shard dispatches through", n)
+	}
+	if v := c.reg.met.brState.With(n0.Name()).Value(); v != int64(BreakerOpen) {
+		t.Fatalf("dmc_fleet_breaker_state = %d, want %d", v, BreakerOpen)
+	}
+
+	// Half-open after the cooldown: still no shards before the probe.
+	time.Sleep(250 * time.Millisecond)
+	if n0.Breaker() != BreakerHalfOpen {
+		t.Fatalf("breaker = %v, want half-open after cooldown", n0.Breaker())
+	}
+	if _, st, err = c.MineImplications(ctx, ref, p); err != nil {
+		t.Fatal(err)
+	}
+	if n := trs[0].Counts().Requests; n != 0 {
+		t.Fatalf("half-open breaker let %d shard dispatches through before the probe", n)
+	}
+
+	// The half-open probe succeeds and closes the breaker; worker 0
+	// takes shards again.
+	if err := reg.ProbeAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n0.Breaker() != BreakerClosed {
+		t.Fatalf("breaker = %v after successful probe, want closed", n0.Breaker())
+	}
+	if _, _, err := c.MineImplications(ctx, ref, p); err != nil {
+		t.Fatal(err)
+	}
+	if n := trs[0].Counts().Requests; n == 0 {
+		t.Fatal("recovered node still receives no shards")
+	}
+	for to, wantN := range map[string]int64{"open": 1, "half_open": 1, "closed": 1} {
+		if v := c.reg.met.brTrans.With(n0.Name(), to).Value(); v != wantN {
+			t.Fatalf("dmc_fleet_breaker_transitions_total{to=%s} = %d, want %d", to, v, wantN)
+		}
+	}
+}
+
+// Consecutive transport failures inside one mine open the breaker,
+// which then cuts off further dispatches — the mine fails with the
+// typed ErrNoNodes instead of burning its whole attempt budget against
+// a dead fleet.
+func TestChaosBreakerOpensMidMine(t *testing.T) {
+	m := testMatrix(t, 14, 40, 16)
+	w := newFakeWorker(t)
+	w.hold("d", m)
+	sc := fault.NetScenario{
+		Name: "dead-shards", HostContains: hostOf(w), PathContains: ShardPath,
+		PartitionFrom: 1,
+	}
+	c, trs := chaosFleet(t, []*fakeWorker{w}, []fault.NetScenario{sc},
+		Options{MaxAttempts: 6}, RegistryOptions{BreakerThreshold: 2, BreakerCooldown: time.Hour})
+
+	_, st, err := c.MineImplications(context.Background(), testRef(t, m), Params{ThresholdPercent: 70})
+	if !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("want ErrNoNodes once every breaker is open, got %v", err)
+	}
+	if got := trs[0].Counts().Partitioned; got != 2 {
+		t.Fatalf("breaker (threshold 2) allowed %d dispatches, want exactly 2", got)
+	}
+	if st.Attempts != 2 || st.Skips < 1 {
+		t.Fatalf("stats %+v: want attempts 2 (breaker cut the budget), skips >= 1", st)
+	}
+	if c.Registry().Nodes()[0].Breaker() != BreakerOpen {
+		t.Fatalf("breaker = %v, want open", c.Registry().Nodes()[0].Breaker())
+	}
+}
+
+// When every node is gated but a breaker has lapsed to half-open, a
+// starved shard probes it on demand (no background probe loop running)
+// and the mine self-recovers within its attempt budget.
+func TestChaosBreakerHalfOpenSelfRecovery(t *testing.T) {
+	m := testMatrix(t, 15, 40, 16)
+	w := newFakeWorker(t)
+	w.hold("d", m)
+	sc := fault.NetScenario{
+		Name: "refuse-once", HostContains: hostOf(w), PathContains: ShardPath,
+		RefuseAt: 1,
+	}
+	c, _ := chaosFleet(t, []*fakeWorker{w}, []fault.NetScenario{sc},
+		Options{}, RegistryOptions{BreakerThreshold: 1, BreakerCooldown: time.Nanosecond})
+
+	imps, st, err := c.MineImplications(context.Background(), testRef(t, m), Params{ThresholdPercent: 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.NaiveImplications(m, core.FromPercent(70))
+	rules.SortImplications(want)
+	if d := rules.DiffImplications(imps, want); d != "" {
+		t.Fatal(d)
+	}
+	if st.Attempts != 2 || st.Requeues != 1 || st.Skips < 1 {
+		t.Fatalf("stats %+v: want attempts 2, requeues 1, skips >= 1", st)
+	}
+	name := c.Registry().Nodes()[0].Name()
+	for to, wantN := range map[string]int64{"open": 1, "half_open": 1, "closed": 1} {
+		if v := c.reg.met.brTrans.With(name, to).Value(); v != wantN {
+			t.Fatalf("breaker transitions{to=%s} = %d, want %d", to, v, wantN)
+		}
+	}
+}
+
+// A worker 503 with Retry-After embargoes the node: with no sibling to
+// take the shard, the coordinator waits out the advertised window
+// (bounded by retryAfterCap) instead of hammering the overloaded
+// worker, then succeeds.
+func TestChaosRetryAfterHonored(t *testing.T) {
+	check := leakCheck(t)
+	m := testMatrix(t, 16, 40, 16)
+	w := newFakeWorker(t)
+	w.hold("d", m)
+	sc := fault.NetScenario{
+		Name: "shed-with-advice", HostContains: hostOf(w), PathContains: ShardPath,
+		ShedAt: 1, ShedRetryAfter: time.Second,
+	}
+	c, trs := chaosFleet(t, []*fakeWorker{w}, []fault.NetScenario{sc}, Options{}, RegistryOptions{})
+
+	t0 := time.Now()
+	imps, st, err := c.MineImplications(context.Background(), testRef(t, m), Params{ThresholdPercent: 70})
+	elapsed := time.Since(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.NaiveImplications(m, core.FromPercent(70))
+	rules.SortImplications(want)
+	if d := rules.DiffImplications(imps, want); d != "" {
+		t.Fatal(d)
+	}
+	if elapsed < 900*time.Millisecond {
+		t.Fatalf("re-dispatch after %v ignored the 1s Retry-After", elapsed)
+	}
+	if elapsed > retryAfterCap+5*time.Second {
+		t.Fatalf("embargo overshot: %v", elapsed)
+	}
+	if st.Requeues != 1 || st.Skips < 1 {
+		t.Fatalf("stats %+v: want requeues 1, skips >= 1", st)
+	}
+	if got := trs[0].Counts().Shed; got != 1 {
+		t.Fatalf("sheds = %d, want 1", got)
+	}
+	shutFleet(c, []*fakeWorker{w})
+	check()
+}

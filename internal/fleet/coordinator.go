@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dmc/internal/fault"
 	"dmc/internal/matrix"
 	"dmc/internal/rules"
 )
@@ -41,8 +42,13 @@ type Stats struct {
 	Nodes, Shards int
 	// Attempts counts shard dispatches including retries; Requeues the
 	// attempts that moved a shard to a different node after a failure;
-	// Pushes the dataset replicas shipped to stale workers.
-	Attempts, Requeues, Pushes int
+	// Skips the nodes passed over because a breaker was not closed or a
+	// Retry-After embargo was live (skips burn no attempt); Pushes the
+	// dataset replicas shipped to stale workers.
+	Attempts, Requeues, Skips, Pushes int
+	// Hedges counts dispatches that launched a speculative second
+	// attempt; HedgeWins the hedges whose answer won.
+	Hedges, HedgeWins int
 	// Merge is the gather cost: payload parse + canonical sort.
 	Merge time.Duration
 }
@@ -50,9 +56,19 @@ type Stats struct {
 // Options tune the coordinator.
 type Options struct {
 	// MaxAttempts bounds how often one shard may be dispatched before
-	// the mine fails (dataset pushes do not consume attempts); 0 means
-	// twice the node count.
+	// the mine fails (dataset pushes and breaker/embargo skips do not
+	// consume attempts); 0 means twice the node count.
 	MaxAttempts int
+	// Retry shapes the full-jitter backoff between a shard's failure and
+	// its re-dispatch. Only Backoff/Sleep are used — the attempt budget
+	// is MaxAttempts above. The zero value backs off from 2ms, capped at
+	// 250ms.
+	Retry fault.RetryPolicy
+	// HedgeAfter is how long a dispatch waits for its primary before
+	// launching the same shard on a sibling: > 0 is a fixed delay, < 0
+	// disables hedging, and 0 (the default) adapts to twice the EWMA of
+	// observed shard latency once a sample exists.
+	HedgeAfter time.Duration
 }
 
 // Coordinator scatters one mine over the registry's healthy nodes and
@@ -60,6 +76,7 @@ type Options struct {
 type Coordinator struct {
 	reg *Registry
 	opt Options
+	lat latencyEWMA
 }
 
 // NewCoordinator builds a coordinator over reg.
@@ -69,6 +86,11 @@ func NewCoordinator(reg *Registry, opt Options) *Coordinator {
 
 // Registry exposes the coordinator's node table (for probes/shutdown).
 func (c *Coordinator) Registry() *Registry { return c.reg }
+
+// HedgeDelay reports the delay a dispatch would hedge after right now
+// (0 = hedging off or no latency sample yet) — surfaced on
+// GET /v1/fleet/status.
+func (c *Coordinator) HedgeDelay() time.Duration { return c.hedgeDelay() }
 
 // MineImplications runs a fleet implication mine. The result is the
 // exact rule set a single-node mine of ds.M would produce, in the
@@ -117,9 +139,78 @@ func (c *Coordinator) MineSimilarities(ctx context.Context, ds DatasetRef, p Par
 	return out, st, nil
 }
 
+// starveLimit bounds how many consecutive pick rounds a shard may come
+// up empty (every node breaker-gated or embargoed) before the mine
+// fails — each round either probes half-open breakers or waits out the
+// earliest embargo, so persistent starvation means the fleet is gone.
+const starveLimit = 3
+
+// pick selects the next dispatchable node round-robin from *cursor:
+// breaker closed and no live Retry-After embargo. Nodes passed over
+// count into dmc_fleet_skips_total and burn no attempt. The second
+// return is the hedge backup — the next dispatchable sibling, nil when
+// the primary is the only candidate. A full empty lap returns nil.
+func (c *Coordinator) pick(nodes []*Node, cursor *int, skips *atomic.Int64) (primary, backup *Node) {
+	now := time.Now()
+	for step := 0; step < len(nodes); step++ {
+		j := (*cursor + step) % len(nodes)
+		n := nodes[j]
+		if !n.dispatchable(now) {
+			skips.Add(1)
+			c.reg.met.skips.Inc()
+			continue
+		}
+		*cursor = j
+		for b := 1; b < len(nodes); b++ {
+			if cand := nodes[(j+b)%len(nodes)]; cand.dispatchable(now) {
+				return n, cand
+			}
+		}
+		return n, nil
+	}
+	return nil, nil
+}
+
+// earliestEmbargo returns the soonest Retry-After embargo expiry among
+// breaker-allowed nodes, or the zero time when no embargo is live (the
+// remaining gates are breakers, which a sleep cannot fix).
+func earliestEmbargo(nodes []*Node) time.Time {
+	var wake time.Time
+	now := time.Now()
+	for _, n := range nodes {
+		if !n.br.Allow() {
+			continue
+		}
+		if until := n.shedEmbargo(); until.After(now) && (wake.IsZero() || until.Before(wake)) {
+			wake = until
+		}
+	}
+	return wake
+}
+
+// sleepUntil blocks until t or ctx is done.
+func sleepUntil(ctx context.Context, t time.Time) error {
+	d := time.Until(t)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // scatter plans the shards over the healthy nodes and runs them
-// concurrently, retrying each failed shard on the next node (round
-// robin from its home node) until it succeeds or MaxAttempts is spent.
+// concurrently. Each shard walks the nodes round robin from its home
+// node: breaker-open or embargoed nodes are skipped (no attempt
+// burned), a failed dispatch backs off with full jitter and requeues
+// to the next sibling, a straggling dispatch hedges to a sibling after
+// the hedge delay, and a shard that finds every node gated probes
+// half-open breakers or waits out the earliest embargo before failing.
 func (c *Coordinator) scatter(ctx context.Context, ds DatasetRef, p Params, mode string) ([][]byte, Stats, error) {
 	var st Stats
 	if ds.M == nil {
@@ -142,7 +233,7 @@ func (c *Coordinator) scatter(ctx context.Context, ds DatasetRef, p Params, mode
 	met := c.reg.met
 	payloads := make([][]byte, len(shards))
 	errs := make([]error, len(shards))
-	var attempts, requeues, pushes atomic.Int64
+	var attempts, requeues, skips, pushes, hedges, hedgeWins atomic.Int64
 	var frameOnce sync.Once
 	var frame []byte
 	var frameErr error
@@ -163,27 +254,59 @@ func (c *Coordinator) scatter(ctx context.Context, ds DatasetRef, p Params, mode
 				ColLo:     shards[i].Lo, ColHi: shards[i].Hi,
 				Workers: p.Workers,
 			}
-			home := i % len(nodes)
+			cursor := i % len(nodes)
 			var lastErr error
-			for attempt := 0; attempt < maxAttempts; attempt++ {
+			starved := 0
+			for dispatches := 0; dispatches < maxAttempts; {
 				if ctx.Err() != nil {
 					errs[i] = ctx.Err()
 					return
 				}
-				n := nodes[(home+attempt)%len(nodes)]
-				if attempt > 0 {
-					requeues.Add(1)
-					met.requeues.Inc()
-					if !n.Healthy() && attempt < maxAttempts-1 {
-						// Skip known-down nodes while alternatives remain;
-						// the last attempt tries anyway — a stale health
-						// bit must not fail a mine a live node could serve.
+				primary, backup := c.pick(nodes, &cursor, &skips)
+				if primary == nil {
+					starved++
+					if starved > starveLimit {
+						errs[i] = fmt.Errorf("fleet: shard [%d,%d): every node breaker-gated or embargoed: %w",
+							task.ColLo, task.ColHi, ErrNoNodes)
+						return
+					}
+					// Half-open breakers can be probed right now; embargoes
+					// expire on their own. Anything else is terminal.
+					if c.reg.probeHalfOpen(ctx) {
 						continue
 					}
+					wake := earliestEmbargo(nodes)
+					if wake.IsZero() {
+						errs[i] = fmt.Errorf("fleet: shard [%d,%d): every node breaker-gated or embargoed: %w",
+							task.ColLo, task.ColHi, ErrNoNodes)
+						return
+					}
+					if err := sleepUntil(ctx, wake); err != nil {
+						errs[i] = err
+						return
+					}
+					continue
 				}
+				starved = 0
+				if dispatches > 0 {
+					requeues.Add(1)
+					met.requeues.Inc()
+					if err := c.opt.Retry.Sleep(ctx, dispatches); err != nil {
+						errs[i] = err
+						return
+					}
+				}
+				dispatches++
 				attempts.Add(1)
 				met.shards.Inc()
-				payload, err := n.runShard(ctx, task)
+				res := c.runHedged(ctx, primary, backup, task)
+				if res.hedged {
+					hedges.Add(1)
+					if res.won {
+						hedgeWins.Add(1)
+					}
+				}
+				payload, err := res.payload, res.err
 				if errors.Is(err, ErrStaleReplica) {
 					fr, ferr := replica()
 					if ferr != nil {
@@ -192,8 +315,8 @@ func (c *Coordinator) scatter(ctx context.Context, ds DatasetRef, p Params, mode
 					}
 					pushes.Add(1)
 					met.pushes.Inc()
-					if err = n.pushDataset(ctx, ds.Name, fr); err == nil {
-						payload, err = n.runShard(ctx, task)
+					if err = res.n.pushDataset(ctx, ds.Name, fr); err == nil {
+						payload, err = res.n.runShard(ctx, task)
 					}
 				}
 				if err == nil {
@@ -206,6 +329,9 @@ func (c *Coordinator) scatter(ctx context.Context, ds DatasetRef, p Params, mode
 					errs[i] = err // final rejection: no node will answer differently
 					return
 				}
+				// Advance past the failed node so the requeue lands on the
+				// next dispatchable sibling.
+				cursor++
 			}
 			errs[i] = fmt.Errorf("fleet: shard [%d,%d) failed after %d attempts: %w",
 				task.ColLo, task.ColHi, maxAttempts, lastErr)
@@ -214,7 +340,10 @@ func (c *Coordinator) scatter(ctx context.Context, ds DatasetRef, p Params, mode
 	wg.Wait()
 	st.Attempts = int(attempts.Load())
 	st.Requeues = int(requeues.Load())
+	st.Skips = int(skips.Load())
 	st.Pushes = int(pushes.Load())
+	st.Hedges = int(hedges.Load())
+	st.HedgeWins = int(hedgeWins.Load())
 	if err := errors.Join(errs...); err != nil {
 		return nil, st, err
 	}

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -104,6 +105,8 @@ func newFakeWorker(t *testing.T) *fakeWorker {
 			rules.SortSimilarities(rs)
 			rules.WriteSimilarities(&buf, rs)
 		}
+		rw.Header().Set(PayloadCRCHeader, PayloadCRC(buf.Bytes()))
+		rw.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 		rw.Write(buf.Bytes())
 	})
 	w.ts = httptest.NewServer(mux)

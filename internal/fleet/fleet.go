@@ -33,6 +33,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"dmc/internal/matrix"
@@ -52,6 +53,20 @@ const (
 	// are part of the content address) under the name.
 	DatasetsPath = "/v1/fleet/datasets/"
 )
+
+// PayloadCRCHeader carries the CRC-32C (Castagnoli, hex) of a shard
+// response body. Workers set it on every shard payload; the
+// coordinator verifies it when present, so a payload corrupted or
+// truncated in flight is retried instead of silently merged — the
+// network twin of the spill codec's per-frame CRC.
+const PayloadCRCHeader = "X-Dmc-Payload-Crc32c"
+
+var payloadCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// PayloadCRC computes the PayloadCRCHeader value for a payload.
+func PayloadCRC(b []byte) string {
+	return fmt.Sprintf("%08x", crc32.Checksum(b, payloadCRCTable))
+}
 
 // Task is the unit of scatter: one column shard of one mine, addressed
 // to a worker's replica of the dataset. Hash is the content address

@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// latencyEWMA is a lock-free exponentially weighted moving average of
+// successful shard round-trip latency — the signal the adaptive hedge
+// delay follows. Zero bits mean "no sample yet", which disables
+// adaptive hedging: a cold coordinator must not speculate.
+type latencyEWMA struct {
+	bits atomic.Uint64 // math.Float64bits of the average, in seconds
+}
+
+const ewmaAlpha = 0.3
+
+func (e *latencyEWMA) observe(d time.Duration) {
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	for {
+		old := e.bits.Load()
+		next := d.Seconds()
+		if old != 0 {
+			next = ewmaAlpha*d.Seconds() + (1-ewmaAlpha)*math.Float64frombits(old)
+		}
+		if e.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+func (e *latencyEWMA) value() time.Duration {
+	b := e.bits.Load()
+	if b == 0 {
+		return 0
+	}
+	return time.Duration(math.Float64frombits(b) * float64(time.Second))
+}
+
+// minHedgeDelay floors the adaptive hedge delay so a microsecond EWMA
+// (an in-process test fleet) does not hedge every dispatch.
+const minHedgeDelay = 5 * time.Millisecond
+
+// hedgeDelay returns how long a shard dispatch waits for its primary
+// before hedging to a sibling, or 0 to not hedge at all. Fixed when
+// Options.HedgeAfter > 0, disabled when negative; the default (0)
+// adapts: twice the latency EWMA, floored at minHedgeDelay, and no
+// hedging until a first sample exists.
+func (c *Coordinator) hedgeDelay() time.Duration {
+	switch {
+	case c.opt.HedgeAfter > 0:
+		return c.opt.HedgeAfter
+	case c.opt.HedgeAfter < 0:
+		return 0
+	}
+	e := c.lat.value()
+	if e <= 0 {
+		return 0
+	}
+	return max(2*e, minHedgeDelay)
+}
+
+// hedgeResult is one hedged dispatch's outcome. n is the node that
+// produced payload or err — the stale-replica push must go to the node
+// that actually answered, not necessarily the primary.
+type hedgeResult struct {
+	payload []byte
+	n       *Node
+	hedged  bool // a hedge was launched
+	won     bool // the hedge's answer is the one returned
+	err     error
+}
+
+// runHedged runs the shard on primary and, if it has not finished
+// after the hedge delay, launches the identical task on backup. The
+// first success wins and the loser is canceled — safe because a shard
+// is a pure function of (dataset hash, column range, params), so both
+// answers are byte-identical. A primary that fails before the delay
+// returns immediately (failures are the retry loop's job; hedging is
+// for stragglers). The loser is always drained before returning, so no
+// request goroutine outlives the call.
+func (c *Coordinator) runHedged(ctx context.Context, primary, backup *Node, t Task) hedgeResult {
+	delay := c.hedgeDelay()
+	if backup == nil || delay <= 0 {
+		t0 := time.Now()
+		p, err := primary.runShard(ctx, t)
+		if err == nil {
+			c.lat.observe(time.Since(t0))
+		}
+		return hedgeResult{payload: p, n: primary, err: err}
+	}
+
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type attempt struct {
+		payload []byte
+		err     error
+		n       *Node
+		hedge   bool
+	}
+	ch := make(chan attempt, 2)
+	run := func(n *Node, hedge bool) {
+		t0 := time.Now()
+		p, err := n.runShard(hctx, t)
+		if err == nil {
+			c.lat.observe(time.Since(t0))
+		}
+		ch <- attempt{p, err, n, hedge}
+	}
+	go run(primary, false)
+	inflight := 1
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	timerC := timer.C
+	launched := false
+	var primaryFail *attempt
+	for {
+		select {
+		case r := <-ch:
+			inflight--
+			if r.err == nil {
+				if launched {
+					outcome := "lost"
+					if r.hedge {
+						outcome = "won"
+					}
+					c.reg.met.hedges.With(outcome).Inc()
+				}
+				if inflight > 0 {
+					cancel()
+					<-ch // wait out the canceled loser
+				}
+				return hedgeResult{payload: r.payload, n: r.n, hedged: launched, won: r.hedge}
+			}
+			if r.hedge {
+				c.reg.met.hedges.With("failed").Inc()
+				if inflight == 0 {
+					// Both failed; the primary's error is the one the retry
+					// loop should classify (it names the home node).
+					return hedgeResult{n: primaryFail.n, hedged: true, err: primaryFail.err}
+				}
+				continue // primary still in flight
+			}
+			if inflight == 0 {
+				return hedgeResult{n: r.n, hedged: launched, err: r.err}
+			}
+			primaryFail = &r
+			timerC = nil
+		case <-timerC:
+			timerC = nil
+			launched = true
+			inflight++
+			go run(backup, true)
+		}
+	}
+}

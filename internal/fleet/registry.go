@@ -22,11 +22,15 @@ var ErrNoNodes = errors.New("fleet: no healthy worker nodes")
 type metrics struct {
 	shards   obs.Counter
 	requeues obs.Counter
+	skips    obs.Counter
 	pushes   obs.Counter
+	hedges   *obs.CounterVec // outcome
 	mines    *obs.CounterVec // mode
 	mergeSec obs.Histogram
-	nodeUp   *obs.GaugeVec // node
-	probeErr *obs.CounterVec
+	nodeUp   *obs.GaugeVec   // node
+	probeErr *obs.CounterVec // node, reason
+	brState  *obs.GaugeVec   // node
+	brTrans  *obs.CounterVec // node, to
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -35,8 +39,13 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Shard tasks dispatched to fleet workers (retries included)."),
 		requeues: reg.Counter("dmc_fleet_requeues_total",
 			"Shard tasks requeued to another node after a worker failed mid-pass."),
+		skips: reg.Counter("dmc_fleet_skips_total",
+			"Nodes passed over during shard dispatch because their breaker was not closed or a Retry-After embargo was live."),
 		pushes: reg.Counter("dmc_fleet_dataset_pushes_total",
 			"Dataset replicas pushed to workers whose copy was missing or stale."),
+		hedges: reg.CounterVec("dmc_fleet_hedges_total",
+			"Hedged shard dispatches by outcome: won (hedge finished first), lost (primary finished first), failed (hedge errored).",
+			"outcome"),
 		mines: reg.CounterVec("dmc_fleet_mines_total",
 			"Completed fleet-coordinated mines.", "mode"),
 		mergeSec: reg.Histogram("dmc_fleet_merge_seconds",
@@ -46,7 +55,28 @@ func newMetrics(reg *obs.Registry) *metrics {
 		probeErr: reg.CounterVec("dmc_fleet_probe_failures_total",
 			"Failed health probes, classified: connect, status, decode, not_ready.",
 			"node", "reason"),
+		brState: reg.GaugeVec("dmc_fleet_breaker_state",
+			"Per-node circuit breaker position: 0 closed, 1 half-open, 2 open.", "node"),
+		brTrans: reg.CounterVec("dmc_fleet_breaker_transitions_total",
+			"Circuit breaker transitions by destination state.", "node", "to"),
 	}
+}
+
+// RegistryOptions tune node construction. The zero value is the
+// production default.
+type RegistryOptions struct {
+	// WrapTransport, when set, wraps the registry's pooled transport in
+	// the shared HTTP client — the seam a fault.Transport (or any
+	// middleware) plugs into to sit under every coordinator↔worker
+	// exchange.
+	WrapTransport func(http.RoundTripper) http.RoundTripper
+	// BreakerThreshold is the consecutive transport-failure count that
+	// opens a node's circuit breaker; 0 means the default (3), negative
+	// disables the breakers entirely.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker quarantines its node
+	// before lapsing to half-open; <= 0 means the default (10s).
+	BreakerCooldown time.Duration
 }
 
 // Registry is the fleet's node table. It owns the pooled HTTP
@@ -59,6 +89,10 @@ type Registry struct {
 
 	probeTimeout time.Duration
 
+	// probeMu serializes on-demand half-open probes (probeHalfOpen) so
+	// concurrent starved scatters do not stampede a recovering node.
+	probeMu sync.Mutex
+
 	started  atomic.Bool
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -66,10 +100,15 @@ type Registry struct {
 }
 
 // NewRegistry builds a registry over the given worker base URLs
-// ("http://host:port"). Nodes start healthy — the first probe or shard
-// attempt corrects optimism — so a fleet is usable before Start.
-// Metrics land on reg (nil = obs.Default).
+// ("http://host:port") with default options. Nodes start healthy — the
+// first probe or shard attempt corrects optimism — so a fleet is
+// usable before Start. Metrics land on reg (nil = obs.Default).
 func NewRegistry(urls []string, reg *obs.Registry) (*Registry, error) {
+	return NewRegistryOpts(urls, reg, RegistryOptions{})
+}
+
+// NewRegistryOpts is NewRegistry with explicit options.
+func NewRegistryOpts(urls []string, reg *obs.Registry, opt RegistryOptions) (*Registry, error) {
 	if reg == nil {
 		reg = obs.Default
 	}
@@ -80,7 +119,11 @@ func NewRegistry(urls []string, reg *obs.Registry) (*Registry, error) {
 		MaxIdleConnsPerHost: 16,
 		IdleConnTimeout:     90 * time.Second,
 	}
-	client := &http.Client{Transport: tr}
+	var rt http.RoundTripper = tr
+	if opt.WrapTransport != nil {
+		rt = opt.WrapTransport(tr)
+	}
+	client := &http.Client{Transport: rt}
 	r := &Registry{
 		tr:           tr,
 		met:          newMetrics(reg),
@@ -94,6 +137,12 @@ func NewRegistry(urls []string, reg *obs.Registry) (*Registry, error) {
 			return nil, err
 		}
 		n.healthy.Store(true)
+		name := n.Name()
+		n.br = newBreaker(opt.BreakerThreshold, opt.BreakerCooldown, func(from, to BreakerState) {
+			r.met.brState.With(name).Set(int64(to))
+			r.met.brTrans.With(name, to.String()).Inc()
+		})
+		r.met.brState.With(name).Set(int64(BreakerClosed))
 		r.nodes = append(r.nodes, n)
 	}
 	return r, nil
@@ -126,15 +175,96 @@ func (r *Registry) ProbeAll(ctx context.Context) error {
 		wg.Add(1)
 		go func(i int, n *Node) {
 			defer wg.Done()
-			errs[i] = n.probe(ctx)
-			if errs[i] != nil {
-				r.met.probeErr.With(n.Name(), probeReason(errs[i])).Inc()
-			}
-			r.met.nodeUp.With(n.Name()).Set(b2i(n.Healthy()))
+			errs[i] = r.probeOne(ctx, n)
 		}(i, n)
 	}
 	wg.Wait()
 	return errors.Join(errs...)
+}
+
+// probeOne probes a single node and refreshes its gauges.
+func (r *Registry) probeOne(ctx context.Context, n *Node) error {
+	err := n.probe(ctx)
+	if err != nil {
+		r.met.probeErr.With(n.Name(), probeReason(err)).Inc()
+	}
+	r.met.nodeUp.With(n.Name()).Set(b2i(n.Healthy()))
+	return err
+}
+
+// probeHalfOpen probes every node whose breaker has lapsed to
+// half-open and reports whether any node is dispatchable afterwards.
+// The scatter loop calls it when every node is gated — the on-demand
+// twin of the background probe loop, so a coordinator running without
+// Start still self-recovers. Serialized so concurrent starved mines
+// send one probe volley, not one each.
+func (r *Registry) probeHalfOpen(ctx context.Context) bool {
+	r.probeMu.Lock()
+	defer r.probeMu.Unlock()
+	// Re-check under the lock: the probe volley a concurrent caller just
+	// finished may already have recovered a node.
+	now := time.Now()
+	any := false
+	var candidates []*Node
+	for _, n := range r.nodes {
+		if n.dispatchable(now) {
+			any = true
+		} else if n.Breaker() == BreakerHalfOpen {
+			candidates = append(candidates, n)
+		}
+	}
+	if any || len(candidates) == 0 {
+		return any
+	}
+	ctx, cancel := context.WithTimeout(ctx, r.probeTimeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, n := range candidates {
+		wg.Add(1)
+		go func(n *Node) {
+			defer wg.Done()
+			_ = r.probeOne(ctx, n)
+		}(n)
+	}
+	wg.Wait()
+	now = time.Now()
+	for _, n := range r.nodes {
+		if n.dispatchable(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// NodeStatus is one node's row in Status.
+type NodeStatus struct {
+	Node    string `json:"node"`
+	Healthy bool   `json:"healthy"`
+	Breaker string `json:"breaker"`
+	CPUs    int    `json:"cpus"`
+	// ShedEmbargoMs is how much of a worker Retry-After embargo is still
+	// live, in milliseconds (0 when none).
+	ShedEmbargoMs int64 `json:"shed_embargo_ms,omitempty"`
+}
+
+// Status snapshots every node's health, breaker position, capacity and
+// live Retry-After embargo — the payload of GET /v1/fleet/status.
+func (r *Registry) Status() []NodeStatus {
+	now := time.Now()
+	out := make([]NodeStatus, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		st := NodeStatus{
+			Node:    n.Name(),
+			Healthy: n.Healthy(),
+			Breaker: n.Breaker().String(),
+			CPUs:    n.CPUs(),
+		}
+		if until := n.shedEmbargo(); until.After(now) {
+			st.ShedEmbargoMs = int64(until.Sub(now) / time.Millisecond)
+		}
+		out = append(out, st)
+	}
+	return out
 }
 
 // Start launches the background probe loop at the given interval

@@ -179,7 +179,9 @@ func (s *Server) handleFleetShard(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeRulePayload buffers the rule-file payload before writing so an
-// encoding failure can still become a 500 instead of a torn body.
+// encoding failure can still become a 500 instead of a torn body, and
+// stamps the CRC-32C header the coordinator verifies — a payload
+// truncated or corrupted in flight is retried, never merged.
 func writeRulePayload(w http.ResponseWriter, encode func(*bytes.Buffer) error) {
 	var buf bytes.Buffer
 	if err := encode(&buf); err != nil {
@@ -188,7 +190,27 @@ func writeRulePayload(w http.ResponseWriter, encode func(*bytes.Buffer) error) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Header().Set("Content-Length", fmt.Sprint(buf.Len()))
+	w.Header().Set(fleet.PayloadCRCHeader, fleet.PayloadCRC(buf.Bytes()))
 	_, _ = w.Write(buf.Bytes())
+}
+
+// fleetStatus is the GET /v1/fleet/status payload: the coordinator's
+// live view of its fleet — per-node health, breaker position, capacity
+// and Retry-After embargo, plus the current hedge delay.
+type fleetStatus struct {
+	Nodes []fleet.NodeStatus `json:"nodes"`
+	// HedgeAfterMs is the delay a straggling dispatch would hedge after
+	// right now, in milliseconds (0 = hedging off or no latency sample).
+	HedgeAfterMs int64 `json:"hedge_after_ms"`
+}
+
+// handleFleetStatus implements GET /v1/fleet/status on a coordinator
+// replica.
+func (s *Server) handleFleetStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, fleetStatus{
+		Nodes:        s.cfg.Fleet.Registry().Status(),
+		HedgeAfterMs: int64(s.cfg.Fleet.HedgeDelay() / time.Millisecond),
+	})
 }
 
 // fleetReady gates a ?fleet=1 mine: the replica must be a configured

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -358,6 +359,80 @@ func TestFleetShardEndpoint(t *testing.T) {
 		if resp.StatusCode != tc.want {
 			t.Errorf("shard %+v: status %d, want %d", bad, resp.StatusCode, tc.want)
 		}
+	}
+}
+
+// TestFleetShardPayloadCRC: every shard payload carries the CRC-32C
+// header matching its body — the end-to-end integrity check that turns
+// in-flight truncation or corruption into a retry instead of a silent
+// bad merge.
+func TestFleetShardPayloadCRC(t *testing.T) {
+	m := fleetTestMatrix(t, 8, 30, 10)
+	s := NewWith(Config{FleetWorker: true})
+	s.Add("d", m)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	hash, err := store.ContentHash(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body, _ := json.Marshal(fleet.Task{Dataset: "d", Hash: hash, Mode: "imp", Threshold: 70, ColLo: 0, ColHi: 10})
+	resp, err := http.Post(ts.URL+fleet.ShardPath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shard post: status %d", resp.StatusCode)
+	}
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := resp.Header.Get(fleet.PayloadCRCHeader)
+	if got == "" {
+		t.Fatalf("shard response has no %s header", fleet.PayloadCRCHeader)
+	}
+	if want := fleet.PayloadCRC(payload); got != want {
+		t.Fatalf("%s = %q, body CRC %q", fleet.PayloadCRCHeader, got, want)
+	}
+	if cl := resp.ContentLength; cl != int64(len(payload)) {
+		t.Fatalf("Content-Length %d, body %d bytes", cl, len(payload))
+	}
+}
+
+// TestFleetStatusEndpoint: a coordinator exposes its live fleet view —
+// per-node health and breaker position plus the hedge delay — and
+// non-coordinator replicas do not mount the route.
+func TestFleetStatusEndpoint(t *testing.T) {
+	m := fleetTestMatrix(t, 9, 30, 10)
+	fc := startFleet(t, 2, m, nil)
+
+	var st struct {
+		Nodes []fleet.NodeStatus `json:"nodes"`
+		Hedge int64              `json:"hedge_after_ms"`
+	}
+	getJSON(t, fc.coord.URL+"/v1/fleet/status", http.StatusOK, &st)
+	if len(st.Nodes) != 2 {
+		t.Fatalf("status nodes = %d, want 2", len(st.Nodes))
+	}
+	for _, n := range st.Nodes {
+		if n.Breaker != "closed" || !n.Healthy {
+			t.Fatalf("fresh fleet node %+v, want healthy + closed breaker", n)
+		}
+	}
+
+	plain := New()
+	ts := httptest.NewServer(plain.Handler())
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/v1/fleet/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status on non-coordinator: %d, want 404", resp.StatusCode)
 	}
 }
 

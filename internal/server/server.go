@@ -573,6 +573,9 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("POST "+fleet.ShardPath, s.handleFleetShard)
 		mux.HandleFunc("PUT "+fleet.DatasetsPath+"{name}", s.handleFleetDataset)
 	}
+	if s.cfg.Fleet != nil {
+		mux.HandleFunc("GET /v1/fleet/status", s.handleFleetStatus)
+	}
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -621,7 +624,7 @@ func endpointLabel(r *http.Request) string {
 	}
 	switch p {
 	case "/v1/healthz", "/v1/readyz", "/v1/metrics", "/v1/datasets",
-		fleet.InfoPath, fleet.ShardPath:
+		fleet.InfoPath, fleet.ShardPath, "/v1/fleet/status":
 		return p
 	}
 	return "other"
